@@ -1,0 +1,45 @@
+"""E1 — warehouse load throughput (paper claim: Data Hounds
+"efficiently warehouse data locally").
+
+Measures the full transform+shred+load path (flat text → XML documents →
+generic-schema rows in the backend) at three corpus sizes, for both
+relational backends. ``entries_per_second`` lands in extra_info.
+"""
+
+import pytest
+
+from repro.engine import Warehouse
+from repro.relational import MiniDbBackend, SqliteBackend
+from repro.synth import generate_enzyme_release
+
+SIZES = [50, 150, 400]
+BACKENDS = {"sqlite": SqliteBackend, "minidb": MiniDbBackend}
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("backend_name", list(BACKENDS))
+def test_e1_load_enzyme_release(benchmark, backend_name, size):
+    text = generate_enzyme_release(seed=13, count=size)
+
+    def load():
+        warehouse = Warehouse(backend=BACKENDS[backend_name]())
+        count = warehouse.load_text("hlx_enzyme", text)
+        warehouse.close()
+        return count
+
+    loaded = benchmark.pedantic(load, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    assert loaded == size
+    benchmark.extra_info["entries"] = size
+    benchmark.extra_info["entries_per_second"] = round(
+        size / benchmark.stats.stats.mean, 1)
+
+
+def test_e1_transform_only(benchmark, corpus_small):
+    """The XML-transformation half alone (no relational load), to show
+    where load time goes."""
+    from repro.datahounds.sources.enzyme import EnzymeTransformer
+    transformer = EnzymeTransformer()
+    docs = benchmark(lambda: transformer.transform_text(
+        corpus_small.enzyme_text))
+    assert len(docs) == corpus_small.sizes()["hlx_enzyme"]

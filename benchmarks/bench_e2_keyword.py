@@ -1,0 +1,55 @@
+"""E2 — keyword query (the paper's Figure 8) across engines.
+
+The claim under test: keyword searches pushed into the relational
+engine via the inverted keyword index are efficient, versus (a) the
+native-XML tree-walking evaluator, which tokenizes documents on the
+fly, and (b) the SRS-style flat-file index, which is fast but only
+sees its pre-indexed fields.
+
+Expected shape: sqlite ≈ minidb ≪ native; flatscan fast but answering
+a weaker question (no join, indexed fields only).
+"""
+
+import pytest
+
+FIG8 = '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+     $b IN document("hlx_sprot.all")/hlx_n_sequence
+WHERE contains ($a, "cdc6", any)
+AND   contains ($b, "cdc6", any)
+RETURN
+     $b//sprot_accession_number,
+     $a//embl_accession_number'''
+
+SINGLE_DB = '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE contains($a, "cdc6", any)
+RETURN $a//embl_accession_number'''
+
+
+@pytest.mark.parametrize("engine", ["sqlite", "minidb", "native"])
+def test_e2_figure8_two_database_keyword(benchmark, engines, engine):
+    result = benchmark(engines[engine], FIG8)
+    assert len(result) > 0
+    benchmark.extra_info["rows"] = len(result)
+
+
+@pytest.mark.parametrize("engine", ["sqlite", "minidb", "native"])
+def test_e2_single_database_keyword(benchmark, engines, engine):
+    result = benchmark(engines[engine], SINGLE_DB)
+    assert len(result) > 0
+    benchmark.extra_info["rows"] = len(result)
+
+
+def test_e2_flatscan_baseline(benchmark, embl_flat_index):
+    """The SRS-class lookup — fast, but only over ID/DE/KW lines and
+    with no join capability (expressiveness gap, paper §4)."""
+    hits = benchmark(embl_flat_index.search, "cdc6")
+    benchmark.extra_info["rows"] = len(hits)
+
+
+def test_e2_proximity_keyword(benchmark, sqlite_warehouse):
+    """The positional extension: both tokens within a 12-token window."""
+    query = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+             'WHERE contains($a, "alcohol ketone", 12) '
+             'RETURN $a//enzyme_id')
+    result = benchmark(sqlite_warehouse.query, query)
+    benchmark.extra_info["rows"] = len(result)

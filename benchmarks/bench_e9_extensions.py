@@ -1,0 +1,79 @@
+"""E9 — extension features (beyond the paper's figures).
+
+Covers the implemented paper-adjacent functionality: sequence motif
+search (the query class the sequence split exists for), order-based
+BEFORE/AFTER operators, positional predicates, element constructors
+and standing-query refresh.
+"""
+
+import pytest
+
+MOTIF = '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+WHERE seqcontains($a//sequence, "acg.ac")
+RETURN $a//embl_accession_number'''
+
+ORDER = '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+  AND $a//enzyme_description BEFORE $a//catalytic_activity
+RETURN $a//enzyme_id'''
+
+POSITIONAL = '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+RETURN $a//enzyme_id, $a//alternate_name[2]'''
+
+CONSTRUCTOR = '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN <hit ec={ $a//enzyme_id }>
+         <what>{ $a//enzyme_description }</what>
+       </hit>'''
+
+PLAIN_EQUIVALENT = '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id, $a//enzyme_description'''
+
+
+@pytest.mark.parametrize("engine", ["sqlite", "minidb", "native"])
+def test_e9_sequence_motif(benchmark, engines, engine):
+    result = benchmark(engines[engine], MOTIF)
+    benchmark.extra_info["rows"] = len(result)
+
+
+@pytest.mark.parametrize("engine", ["sqlite", "minidb", "native"])
+def test_e9_order_operators(benchmark, engines, engine):
+    result = benchmark(engines[engine], ORDER)
+    assert len(result) > 0
+    benchmark.extra_info["rows"] = len(result)
+
+
+@pytest.mark.parametrize("engine", ["sqlite", "minidb"])
+def test_e9_positional_predicate(benchmark, engines, engine):
+    result = benchmark(engines[engine], POSITIONAL)
+    assert len(result) > 0
+    benchmark.extra_info["rows"] = len(result)
+
+
+def test_e9_constructor_vs_plain(benchmark, sqlite_warehouse):
+    """Construction overhead: same data, shaped output."""
+    result = benchmark(sqlite_warehouse.query, CONSTRUCTOR)
+    assert len(result) > 0
+    benchmark.extra_info["rows"] = len(result)
+
+
+def test_e9_plain_equivalent(benchmark, sqlite_warehouse):
+    result = benchmark(sqlite_warehouse.query, PLAIN_EQUIVALENT)
+    assert len(result) > 0
+    benchmark.extra_info["rows"] = len(result)
+
+
+def test_e9_subscription_refresh(benchmark, sqlite_warehouse):
+    """Standing-query delta computation on an unchanged warehouse."""
+    from repro.subscriptions import QuerySubscription
+
+    class _NoHound:
+        def subscribe(self, *_args, **_kwargs):
+            pass
+
+    subscription = QuerySubscription(sqlite_warehouse, _NoHound(),
+                                     PLAIN_EQUIVALENT)
+    subscription.refresh()
+    delta = benchmark(subscription.refresh)
+    assert not delta.changed

@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures.
+
+Two corpus scales; warehouses for both relational backends plus the
+native-XML and flat-scan baselines, built once per session. Benchmarks
+measure query/load paths only, never corpus generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FlatFileIndex, NativeXmlStore
+from repro.engine import Warehouse
+from repro.relational import MiniDbBackend, SqliteBackend
+from repro.synth import build_corpus
+
+SMALL = dict(enzyme_count=60, embl_count=80, sprot_count=60)
+MEDIUM = dict(enzyme_count=180, embl_count=260, sprot_count=180)
+
+
+@pytest.fixture(scope="session")
+def corpus_small():
+    return build_corpus(seed=7, **SMALL)
+
+
+@pytest.fixture(scope="session")
+def corpus_medium():
+    return build_corpus(seed=7, **MEDIUM)
+
+
+def _warehouse(backend, corpus):
+    warehouse = Warehouse(backend=backend)
+    warehouse.load_corpus(corpus)
+    return warehouse
+
+
+@pytest.fixture(scope="session")
+def sqlite_warehouse(corpus_medium):
+    return _warehouse(SqliteBackend(), corpus_medium)
+
+
+@pytest.fixture(scope="session")
+def minidb_warehouse(corpus_medium):
+    return _warehouse(MiniDbBackend(), corpus_medium)
+
+
+@pytest.fixture(scope="session")
+def native_store(corpus_medium):
+    store = NativeXmlStore()
+    store.load_corpus(corpus_medium)
+    return store
+
+
+@pytest.fixture(scope="session")
+def embl_flat_index(corpus_medium):
+    return FlatFileIndex.build("hlx_embl", corpus_medium.embl_text,
+                               ("ID", "DE", "KW"))
+
+
+@pytest.fixture(scope="session")
+def engines(sqlite_warehouse, minidb_warehouse, native_store):
+    """Engine name → callable(query_text) -> result, for the engine
+    comparison benchmarks."""
+    return {
+        "sqlite": sqlite_warehouse.query,
+        "minidb": minidb_warehouse.query,
+        "native": native_store.query,
+    }

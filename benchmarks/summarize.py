@@ -1,0 +1,74 @@
+"""Summarize a pytest-benchmark JSON into per-experiment tables.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/summarize.py bench.json
+
+Prints one table per experiment (E1-E10) with median latencies and the
+row counts recorded in extra_info — the rows EXPERIMENTS.md reports.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from collections import defaultdict
+
+_NAME_RE = re.compile(r"test_(e\d+)_(.+?)(\[(.+)\])?$")
+
+
+def load(path: str) -> dict[str, list[dict]]:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    groups: dict[str, list[dict]] = defaultdict(list)
+    for bench in data["benchmarks"]:
+        match = _NAME_RE.match(bench["name"])
+        if not match:
+            continue
+        experiment = match.group(1).upper()
+        groups[experiment].append({
+            "workload": match.group(2),
+            "variant": match.group(4) or "",
+            "median_ms": bench["stats"]["median"] * 1000,
+            "extra": bench.get("extra_info", {}),
+        })
+    return groups
+
+
+def format_extra(extra: dict) -> str:
+    parts = []
+    for key, value in extra.items():
+        if key == "scale":
+            continue
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def print_tables(groups: dict[str, list[dict]]) -> None:
+    for experiment in sorted(groups):
+        print(f"== {experiment} ==")
+        rows = sorted(groups[experiment],
+                      key=lambda r: (r["workload"], r["variant"]))
+        width = max(len(f"{r['workload']} [{r['variant']}]")
+                    for r in rows) + 2
+        for row in rows:
+            label = row["workload"]
+            if row["variant"]:
+                label += f" [{row['variant']}]"
+            print(f"  {label:<{width}} {row['median_ms']:>10.2f} ms   "
+                  f"{format_extra(row['extra'])}")
+        print()
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    print_tables(load(argv[1]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

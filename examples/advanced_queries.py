@@ -1,0 +1,107 @@
+"""Beyond the paper's figures: numeric predicates, proximity search,
+negation and variable re-rooting — the rest of the implemented XomatiQ
+surface.
+
+Run:  python examples/advanced_queries.py
+"""
+
+from repro import Warehouse
+from repro.synth import build_corpus
+
+
+def show(warehouse, title, text):
+    print(f"== {title} ==")
+    print(text.strip())
+    result = warehouse.query(text)
+    print(result.to_table())
+    print()
+    return result
+
+
+def main() -> None:
+    warehouse = Warehouse()
+    warehouse.load_corpus(build_corpus(seed=7, enzyme_count=50,
+                                       embl_count=60, sprot_count=50))
+
+    # numeric typing: sequence lengths compare as numbers, not strings
+    # (lexicographically "900" > "1200"; numerically it is not)
+    show(warehouse, "numeric range on sequence length", '''
+        FOR $a IN document("hlx_sprot.all")/hlx_n_sequence
+        WHERE $a//sequence/@length > 800
+        RETURN $a//entry_name, $a//sequence/@length
+    ''')
+
+    # proximity keyword search: both tokens within a 12-token window
+    # ("keywords implicitly meant to be located close to one another")
+    show(warehouse, "proximity search (window 12)", '''
+        FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+        WHERE contains($a, "alcohol ketone", 12)
+        RETURN $a//enzyme_id, $a//catalytic_activity
+    ''')
+
+    # negation: synthases that do NOT use copper
+    show(warehouse, "negation", '''
+        FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+        WHERE contains($a//enzyme_description, "synthase")
+          AND NOT contains($a//cofactor_list, "copper")
+        RETURN $a//enzyme_id, $a//enzyme_description
+    ''')
+
+    # variable re-rooting: iterate references within matched entries
+    show(warehouse, "nested iteration over cross-references", '''
+        FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme,
+            $r IN $a//reference
+        WHERE contains($a//enzyme_description, "kinase")
+        RETURN $a//enzyme_id, $r/@swissprot_accession_number, $r/@name
+    ''')
+
+    # three-database correlation in one query
+    show(warehouse, "three-way correlation", '''
+        FOR $e IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $z IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry,
+            $p IN document("hlx_sprot.all")/hlx_n_sequence/db_entry
+        WHERE $e//qualifier[@qualifier_type = "EC_number"] = $z/enzyme_id
+          AND $z//reference/@swissprot_accession_number
+              = $p/sprot_accession_number
+        RETURN $e//embl_accession_number, $z//enzyme_id, $p//entry_name
+    ''')
+
+    # sequence motif search (the sequence/non-sequence split at work:
+    # the pattern scan runs entirely in the sequences table)
+    show(warehouse, "sequence motif search", '''
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+        WHERE seqcontains($a//sequence, "acg.acgt")
+        RETURN $a//embl_accession_number
+    ''')
+
+    # order-based operators over the preserved document order
+    show(warehouse, "BEFORE/AFTER document-order operators", '''
+        FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+        WHERE contains($a//catalytic_activity, "ketone")
+          AND $a//enzyme_description BEFORE $a//catalytic_activity
+        RETURN $a//enzyme_id
+    ''')
+
+    # positional predicates: the second alternate name of each entry
+    show(warehouse, "positional predicate [2]", '''
+        FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+        WHERE contains($a//enzyme_description, "synthase")
+        RETURN $a//enzyme_id, $a//alternate_name[2]
+    ''')
+
+    # element constructors: shape the output document in the query
+    print("== element constructor in RETURN ==")
+    result = warehouse.query('''
+        FOR $e IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $z IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+        WHERE $e//qualifier[@qualifier_type = "EC_number"] = $z/enzyme_id
+        RETURN <match ec={ $z/enzyme_id }>
+                 <sequence_entry>{ $e//embl_accession_number }</sequence_entry>
+                 <enzyme>{ $z//enzyme_description }</enzyme>
+               </match>
+    ''')
+    print("\n".join(result.to_xml().splitlines()[:14]))
+
+
+if __name__ == "__main__":
+    main()

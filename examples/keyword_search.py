@@ -1,0 +1,61 @@
+"""Figure 8: keyword search for "cdc6" across EMBL and Swiss-Prot.
+
+Shows the same search three ways:
+  1. the textual XomatiQ query (the paper's Figure 8, verbatim),
+  2. the visual builder (keyword mode) generating that query,
+  3. the SRS-style flat-file baseline, to exhibit the expressiveness
+     gap the paper's Related Work section describes.
+
+Run:  python examples/keyword_search.py
+"""
+
+from repro import Warehouse
+from repro.baselines import FlatFileIndex
+from repro.qbe import KeywordSearchBuilder
+from repro.synth import build_corpus
+
+FIGURE_8 = '''
+FOR  $a IN document("hlx_embl.inv")/hlx_n_sequence,
+     $b IN document("hlx_sprot.all")/hlx_n_sequence
+WHERE contains ($a, "cdc6", any)
+AND   contains ($b, "cdc6", any)
+RETURN
+     $b//sprot_accession_number,
+     $a//embl_accession_number
+'''
+
+
+def main() -> None:
+    corpus = build_corpus(seed=7, enzyme_count=40, embl_count=80,
+                          sprot_count=60, gene_plant=("cdc6", 0.07))
+    warehouse = Warehouse()
+    warehouse.load_corpus(corpus)
+
+    print("== 1. the paper's Figure 8 query, verbatim ==")
+    result = warehouse.query(FIGURE_8)
+    print(result.to_table())
+    print()
+
+    print("== 2. the same query built visually (keyword mode) ==")
+    builder = (KeywordSearchBuilder(warehouse)
+               .add_database("hlx_embl.inv")
+               .add_database("hlx_sprot.all")
+               .keyword("cdc6")
+               .retrieve("hlx_sprot.all", "sprot_accession_number")
+               .retrieve("hlx_embl.inv", "embl_accession_number"))
+    print("-- Translate Query button output --")
+    print(builder.translate())
+    print(f"-- runs to {len(builder.run())} rows (same as above)\n")
+
+    print("== 3. SRS-style baseline: index on ID/DE/KW lines only ==")
+    embl_index = FlatFileIndex.build("hlx_embl", corpus.embl_text,
+                                     ("ID", "DE", "KW"))
+    hits = embl_index.search("cdc6")
+    print(f"flat-file index finds {len(hits)} EMBL entries for 'cdc6'")
+    print("but: a cdc6 mentioned only in an FT qualifier is invisible to")
+    print("the flat index, and no cross-database join can be expressed —")
+    print("only predefined link traversal (see repro.baselines.flatscan).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Standing queries: applications living on top of the warehouse.
+
+The gRNA loop: Data Hounds refreshes the warehouse from remote
+releases and "sends out triggers to related applications"; XomatiQ
+results are "fed into a variety of applications". A
+`QuerySubscription` wires the two together — here, a mock monitoring
+application watches for enzymes whose annotations mention copper and
+gets row-level deltas as releases roll in.
+
+Run:  python examples/standing_queries.py
+"""
+
+from repro import QuerySubscription, Warehouse
+from repro.datahounds import InMemoryRepository
+from repro.synth import generate_enzyme_release, mutate_release
+
+WATCH_QUERY = '''
+FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//cofactor_list, "copper")
+RETURN $a//enzyme_id, $a//enzyme_description
+'''
+
+
+def main() -> None:
+    repository = InMemoryRepository()
+    release_1 = generate_enzyme_release(seed=101, count=40)
+    repository.publish("hlx_enzyme", "r1", release_1)
+
+    warehouse = Warehouse()
+    hound = warehouse.connect(repository)
+
+    def application(delta):
+        print(f"  [app] {delta}")
+        for row in delta.added:
+            print(f"        + {row.first('enzyme_id')}  "
+                  f"{row.first('enzyme_description')}")
+        for row in delta.removed:
+            print(f"        - {row.first('enzyme_id')}")
+
+    subscription = QuerySubscription(warehouse, hound, WATCH_QUERY,
+                                     on_change=application)
+    print(f"watching sources: {subscription.sources}\n")
+
+    print("== load r1 ==")
+    hound.load("hlx_enzyme")
+
+    print("\n== r2: some entries change, some disappear ==")
+    release_2 = mutate_release(release_1, seed=7, update_fraction=0.3,
+                               remove_fraction=0.15)
+    repository.publish("hlx_enzyme", "r2", release_2)
+    hound.load("hlx_enzyme")
+
+    print("\n== r2 again: no changes, no callback ==")
+    report = hound.load("hlx_enzyme")
+    print(f"  (refresh was a no-op: {report.plan.is_noop})")
+
+    print("\n== final standing result ==")
+    print(subscription.last_result.to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""One-command reproduction driver.
+
+Runs the full pipeline a reviewer needs::
+
+    python reproduce.py            # tests + benchmarks + summaries
+    python reproduce.py --quick    # tests only
+
+Outputs land next to this file: ``test_output.txt``,
+``bench_output.txt`` and ``bench_results.json`` (the input for
+``benchmarks/summarize.py``).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent
+
+
+def run(label: str, command: list[str], output: Path | None = None) -> int:
+    print(f"\n=== {label}: {' '.join(command)} ===")
+    process = subprocess.run(command, cwd=ROOT, capture_output=True,
+                             text=True)
+    text = process.stdout + process.stderr
+    if output is not None:
+        output.write_text(text, encoding="utf-8")
+    tail = "\n".join(text.splitlines()[-3:])
+    print(tail)
+    return process.returncode
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+    code = run("tests", [sys.executable, "-m", "pytest", "tests/"],
+               ROOT / "test_output.txt")
+    if code != 0:
+        print("tests failed; aborting")
+        return code
+    if quick:
+        return 0
+    code = run("benchmarks",
+               [sys.executable, "-m", "pytest", "benchmarks/",
+                "--benchmark-only",
+                "--benchmark-json", str(ROOT / "bench_results.json")],
+               ROOT / "bench_output.txt")
+    if code != 0:
+        print("benchmarks failed")
+        return code
+    return run("summary", [sys.executable,
+                           str(ROOT / "benchmarks" / "summarize.py"),
+                           str(ROOT / "bench_results.json")])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

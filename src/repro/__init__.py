@@ -1,0 +1,43 @@
+"""XomatiQ / Data Hounds reproduction (ICDE 2003).
+
+Public API lives here; see README.md for a tour. The short version::
+
+    from repro import Warehouse
+    from repro.synth import build_corpus
+
+    wh = Warehouse()                      # in-memory SQLite warehouse
+    wh.load_corpus(build_corpus(seed=7))  # Data Hounds: fetch+shred+load
+    result = wh.query('FOR $a IN document("hlx_enzyme.DEFAULT") ... ')
+    print(result.to_table())
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError  # noqa: F401
+
+__all__ = [
+    "QueryResult",
+    "QuerySubscription",
+    "ReproError",
+    "Warehouse",
+    "XomatiQ",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {
+    "Warehouse": ("repro.engine", "Warehouse"),
+    "XomatiQ": ("repro.engine", "XomatiQ"),
+    "QueryResult": ("repro.results.resultset", "QueryResult"),
+    "QuerySubscription": ("repro.subscriptions", "QuerySubscription"),
+}
+
+
+def __getattr__(name):
+    # Facade classes sit at the top of the dependency chain; import them
+    # lazily so substrate modules stay importable on their own.
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+    module = importlib.import_module(target[0])
+    return getattr(module, target[1])

@@ -1,0 +1,13 @@
+"""Comparison baselines: a native-XML tree-walking evaluator and an
+SRS-style indexed flat-file scanner."""
+
+from repro.baselines.flatscan import (
+    AccessionIndex,
+    FlatFileIndex,
+    LinkMap,
+    follow_links,
+)
+from repro.baselines.native_xml import NativeXmlStore
+
+__all__ = ["AccessionIndex", "FlatFileIndex", "LinkMap", "NativeXmlStore",
+           "follow_links"]

@@ -1,0 +1,140 @@
+"""SRS-style flat-file retrieval baseline (paper §4, Related Work).
+
+SRS indexes formatted text files on *pre-defined* fields and answers
+index lookups plus "following predefined links between data sources";
+"searches are only permitted on pre-defined indexed attributes whereas
+XomatiQ permits searches on attributes at any level". This module
+reproduces that model so the expressiveness/performance contrast the
+paper draws is measurable:
+
+* :class:`FlatFileIndex` — per-source token index over a chosen set of
+  line codes (the Icarus-class definition),
+* :meth:`FlatFileIndex.search` — keyword lookup on the indexed fields
+  only (a keyword that appears on a non-indexed line is invisible —
+  the expressiveness gap),
+* :class:`LinkMap` + :func:`follow_links` — predefined cross-source
+  links (ENZYME ``DR`` → Swiss-Prot accessions, etc.); arbitrary joins
+  are *not* expressible, only link traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flatfile import Entry, parse_entries
+from repro.shredding.keywords import query_tokens, tokenize
+
+
+@dataclass
+class FlatFileIndex:
+    """A token index over designated line codes of one source."""
+
+    source: str
+    indexed_codes: frozenset[str]
+    entries: list[Entry] = field(default_factory=list)
+    _token_index: dict[str, set[int]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, source: str, flat_text: str,
+              indexed_codes: tuple[str, ...] = ("ID", "DE", "KW")
+              ) -> "FlatFileIndex":
+        """Index a whole flat-file release on the designated codes."""
+        index = cls(source=source, indexed_codes=frozenset(indexed_codes))
+        for entry in parse_entries(flat_text):
+            index.add(entry)
+        return index
+
+    def add(self, entry: Entry) -> int:
+        """Store one entry; returns its id in this index."""
+        entry_id = len(self.entries)
+        self.entries.append(entry)
+        for line in entry.lines:
+            if line.code not in self.indexed_codes:
+                continue
+            for token in tokenize(line.data):
+                self._token_index.setdefault(token, set()).add(entry_id)
+        return entry_id
+
+    def search(self, keyword_phrase: str) -> list[Entry]:
+        """Entries whose *indexed* fields contain every query token."""
+        tokens = query_tokens(keyword_phrase)
+        if not tokens:
+            return []
+        hit_sets = [self._token_index.get(token, set()) for token in tokens]
+        hits = set.intersection(*hit_sets) if hit_sets else set()
+        return [self.entries[i] for i in sorted(hits)]
+
+    def entry_ids(self, keyword_phrase: str) -> list[int]:
+        """Ids (not entries) matching every query token."""
+        tokens = query_tokens(keyword_phrase)
+        if not tokens:
+            return []
+        hit_sets = [self._token_index.get(token, set()) for token in tokens]
+        return sorted(set.intersection(*hit_sets)) if hit_sets else []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class LinkMap:
+    """A predefined link: which line code of the *from* source carries
+    accessions of the *to* source, and how to read them."""
+
+    from_source: str
+    to_source: str
+    line_code: str
+
+    def targets_of(self, entry: Entry) -> list[str]:
+        """Accession strings this entry links to."""
+        values: list[str] = []
+        for line in entry.all(self.line_code):
+            for chunk in line.data.replace(";", ",").split(","):
+                token = chunk.strip().rstrip(".")
+                if token and token[0].isalpha() and any(
+                        ch.isdigit() for ch in token):
+                    values.append(token.split()[0])
+        return values
+
+
+def follow_links(entries: list[Entry], link: LinkMap,
+                 target_index: "AccessionIndex") -> list[Entry]:
+    """SRS-style link traversal: from matched entries to the linked
+    entries of another source."""
+    out: list[Entry] = []
+    seen: set[int] = set()
+    for entry in entries:
+        for accession in link.targets_of(entry):
+            entry_id = target_index.lookup(accession)
+            if entry_id is not None and entry_id not in seen:
+                seen.add(entry_id)
+                out.append(target_index.entries[entry_id])
+    return out
+
+
+@dataclass
+class AccessionIndex:
+    """Primary-accession lookup for one source (SRS keeps one per
+    databank)."""
+
+    entries: list[Entry] = field(default_factory=list)
+    _by_accession: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, flat_text: str,
+              accession_code: str = "AC") -> "AccessionIndex":
+        """Index a release by its primary accessions."""
+        index = cls()
+        for entry in parse_entries(flat_text):
+            entry_id = len(index.entries)
+            index.entries.append(entry)
+            for line in entry.all(accession_code):
+                for accession in line.data.split(";"):
+                    accession = accession.strip()
+                    if accession:
+                        index._by_accession.setdefault(accession, entry_id)
+        return index
+
+    def lookup(self, accession: str) -> int | None:
+        """Entry id carrying the accession, or None."""
+        return self._by_accession.get(accession)

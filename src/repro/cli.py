@@ -1,0 +1,166 @@
+"""Command-line interface.
+
+Subcommands mirror the system's workflow::
+
+    xomatiq init --db wh.sqlite                      # create a warehouse
+    xomatiq load --db wh.sqlite --source hlx_enzyme enzyme.dat
+    xomatiq synth --out corpus/ --enzyme 200 --embl 300 --sprot 200
+    xomatiq query --db wh.sqlite --file query.xq [--xml]
+    xomatiq query --db wh.sqlite 'FOR $a IN ... RETURN ...'
+    xomatiq translate --db wh.sqlite 'FOR ...'        # show generated SQL
+    xomatiq dtd --source hlx_enzyme                   # DTD tree (GUI panel)
+    xomatiq sources                                   # registered sources
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.datahounds.registry import SourceRegistry
+from repro.engine import Warehouse
+from repro.errors import ReproError
+from repro.relational.sqlite_backend import SqliteBackend
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The xomatiq argument parser (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="xomatiq",
+        description="XomatiQ/Data Hounds: warehouse and query biological "
+                    "data as XML over a relational engine")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    init = sub.add_parser("init", help="create an empty warehouse database")
+    init.add_argument("--db", required=True, help="sqlite database path")
+
+    load = sub.add_parser("load", help="transform and load a flat file")
+    load.add_argument("--db", required=True)
+    load.add_argument("--source", required=True,
+                      help="source name (hlx_enzyme, hlx_embl, hlx_sprot)")
+    load.add_argument("flatfile", help="path to the flat-file release")
+
+    synth = sub.add_parser("synth",
+                           help="generate a cross-linked synthetic corpus")
+    synth.add_argument("--out", required=True, help="output directory")
+    synth.add_argument("--seed", type=int, default=7)
+    synth.add_argument("--enzyme", type=int, default=100)
+    synth.add_argument("--embl", type=int, default=150)
+    synth.add_argument("--sprot", type=int, default=100)
+
+    query = sub.add_parser("query", help="run a XomatiQ query")
+    query.add_argument("--db", required=True)
+    query.add_argument("--file", help="read the query from a file")
+    query.add_argument("--xml", action="store_true",
+                       help="XML output instead of a table")
+    query.add_argument("text", nargs="?", help="query text")
+
+    translate = sub.add_parser(
+        "translate", help="show the SQL a query translates to")
+    translate.add_argument("--db", required=True)
+    translate.add_argument("--file")
+    translate.add_argument("text", nargs="?")
+
+    dtd = sub.add_parser("dtd", help="print a source's DTD tree")
+    dtd.add_argument("--source", required=True)
+
+    sub.add_parser("sources", help="list registered source transformers")
+
+    stats = sub.add_parser("stats", help="warehouse table/row counts")
+    stats.add_argument("--db", required=True)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
+    if args.command == "init":
+        warehouse = Warehouse(backend=SqliteBackend(args.db))
+        warehouse.close()
+        print(f"created warehouse {args.db}")
+        return 0
+
+    if args.command == "load":
+        warehouse = _open(args.db)
+        count = warehouse.load_file(args.source, args.flatfile)
+        print(f"loaded {count} documents into {args.source}")
+        warehouse.close()
+        return 0
+
+    if args.command == "synth":
+        from repro.synth import build_corpus
+        corpus = build_corpus(seed=args.seed, enzyme_count=args.enzyme,
+                              embl_count=args.embl, sprot_count=args.sprot)
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "enzyme.dat").write_text(corpus.enzyme_text, encoding="utf-8")
+        (out / "embl.dat").write_text(corpus.embl_text, encoding="utf-8")
+        (out / "sprot.dat").write_text(corpus.sprot_text, encoding="utf-8")
+        print(f"wrote corpus to {out} ({corpus.sizes()})")
+        return 0
+
+    if args.command in ("query", "translate"):
+        text = _query_text(args)
+        warehouse = _open(args.db)
+        if args.command == "translate":
+            compiled = warehouse.translate(text)
+            for index, statement in enumerate(compiled.statements(), 1):
+                print(f"-- statement {index}")
+                print(statement)
+                print()
+        else:
+            result = warehouse.query(text)
+            print(result.to_xml() if args.xml else result.to_table())
+        warehouse.close()
+        return 0
+
+    if args.command == "dtd":
+        registry = SourceRegistry()
+        transformer = registry.create(args.source, validate=False)
+        print(transformer.dtd_tree().render())
+        return 0
+
+    if args.command == "stats":
+        warehouse = _open(args.db)
+        for key, count in warehouse.stats().items():
+            print(f"{key:<24} {count}")
+        warehouse.close()
+        return 0
+
+    if args.command == "sources":
+        registry = SourceRegistry()
+        for name in registry.names():
+            transformer = registry.create(name, validate=False)
+            codes = ", ".join(spec.code for spec in transformer.line_specs)
+            print(f"{name:<12} root <{transformer.dtd.root}>  lines: {codes}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+def _open(db: str) -> Warehouse:
+    # reuse the schema if the database file already exists
+    exists = Path(db).exists()
+    return Warehouse(backend=SqliteBackend(db), create=not exists)
+
+
+def _query_text(args) -> str:
+    if args.file:
+        return Path(args.file).read_text(encoding="utf-8")
+    if args.text:
+        return args.text
+    print("error: provide query text or --file", file=sys.stderr)
+    raise SystemExit(2)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

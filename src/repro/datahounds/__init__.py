@@ -1,0 +1,39 @@
+"""Data Hounds: harvest, transform and load biological sources
+(paper §2). See :class:`DataHound` for the orchestrator."""
+
+from repro.datahounds.hound import DataHound, DocumentStore, LoadReport
+from repro.datahounds.mapping import strip_trailing_period
+from repro.datahounds.registry import SourceRegistry
+from repro.datahounds.transformer import SourceTransformer
+from repro.datahounds.transport import (
+    DirectoryRepository,
+    FetchResult,
+    InMemoryRepository,
+    content_checksum,
+)
+from repro.datahounds.triggers import ChangeEvent, TriggerHub
+from repro.datahounds.updates import (
+    ReleaseSnapshot,
+    UpdatePlan,
+    diff_releases,
+    entry_fingerprint,
+)
+
+__all__ = [
+    "ChangeEvent",
+    "DataHound",
+    "DirectoryRepository",
+    "DocumentStore",
+    "FetchResult",
+    "InMemoryRepository",
+    "LoadReport",
+    "ReleaseSnapshot",
+    "SourceRegistry",
+    "SourceTransformer",
+    "TriggerHub",
+    "UpdatePlan",
+    "content_checksum",
+    "diff_releases",
+    "entry_fingerprint",
+    "strip_trailing_period",
+]

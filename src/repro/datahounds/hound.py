@@ -1,0 +1,166 @@
+"""The Data Hound orchestrator (paper Figure 1).
+
+One :class:`DataHound` ties the pipeline together for a set of sources:
+
+1. **transport** — fetch a release from the (simulated) remote
+   repository,
+2. **XML-Transformer** — flat entries → validated XML documents,
+3. **XML2Relational-Transformer** — documents → tuples in the warehouse
+   (delegated to a :class:`DocumentStore`, implemented by
+   :mod:`repro.shredding.loader`),
+4. **updates** — on refresh, only entries whose content changed are
+   re-transformed and re-loaded; vanished entries are removed,
+5. **triggers** — committed changes are announced to subscribed
+   applications.
+
+The hound never interprets documents itself; everything source-specific
+lives in the registered transformer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.datahounds.registry import SourceRegistry
+from repro.datahounds.transformer import SourceTransformer
+from repro.datahounds.triggers import ChangeEvent, TriggerHub
+from repro.datahounds.updates import ReleaseSnapshot, UpdatePlan, diff_releases
+from repro.errors import DataHoundsError
+from repro.flatfile import Entry, parse_entries
+from repro.xmlkit import Document
+
+
+class DocumentStore(Protocol):
+    """Where shredded documents land (the relational warehouse)."""
+
+    def store_document(self, source: str, collection: str, entry_key: str,
+                       document: Document) -> None:
+        """Insert or replace one entry's document."""
+
+    def remove_document(self, source: str, collection: str,
+                        entry_key: str) -> None:
+        """Remove one entry's document (all collections if unknown)."""
+
+
+class Repository(Protocol):
+    """Transport protocol (see :mod:`repro.datahounds.transport`)."""
+
+    def fetch(self, source: str, release: str | None = None):
+        """Fetch one release (latest when unspecified)."""
+
+    def latest_release(self, source: str) -> str:
+        """Greatest release id of a source."""
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load/refresh."""
+
+    source: str
+    release: str
+    plan: UpdatePlan
+    documents_loaded: int
+    triggers_fired: int
+
+    def __str__(self) -> str:
+        return (f"{self.source}@{self.release}: loaded "
+                f"{self.documents_loaded} documents "
+                f"(+{len(self.plan.added)} ~{len(self.plan.updated)} "
+                f"-{len(self.plan.removed)}, "
+                f"{len(self.plan.unchanged)} unchanged)")
+
+
+class DataHound:
+    """Harvests sources from a repository into a document store."""
+
+    def __init__(self, repository: Repository, store: DocumentStore,
+                 registry: SourceRegistry | None = None,
+                 validate: bool = True):
+        self.repository = repository
+        self.store = store
+        self.registry = registry or SourceRegistry()
+        self.validate = validate
+        self.triggers = TriggerHub()
+        self._snapshots: dict[str, ReleaseSnapshot] = {}
+        self._transformers: dict[str, SourceTransformer] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def load(self, source: str, release: str | None = None) -> LoadReport:
+        """Load (or refresh to) a release of a source.
+
+        The first load of a source fills the warehouse; subsequent loads
+        apply only the entry-level diff, so nothing is added twice and
+        removals are never left out.
+        """
+        transformer = self._transformer(source)
+        fetched = self.repository.fetch(source, release)
+        entries = parse_entries(fetched.text)
+        keyed = [(transformer.entry_key(entry), entry) for entry in entries]
+        self._check_duplicate_keys(source, keyed)
+
+        new_snapshot = ReleaseSnapshot.build(fetched.release, keyed)
+        plan = diff_releases(self._snapshots.get(source), new_snapshot)
+
+        # two-phase apply: transform every touched entry BEFORE storing
+        # anything, so a malformed entry anywhere in the release aborts
+        # the refresh with the warehouse untouched ("without any
+        # information being left out or added twice")
+        entry_map = dict(keyed)
+        staged: list[tuple[str, str, Document]] = []
+        for key in plan.touched:
+            entry = entry_map[key]
+            document = transformer.transform_entry(entry)
+            staged.append((key, transformer.collection_of(entry), document))
+
+        loaded = 0
+        for key, collection, document in staged:
+            self.store.store_document(source, collection, key, document)
+            loaded += 1
+        for key in plan.removed:
+            self.store.remove_document(source, "", key)
+
+        optimize = getattr(self.store, "optimize", None)
+        if optimize is not None and not plan.is_noop:
+            optimize()
+
+        self._snapshots[source] = new_snapshot
+        event = ChangeEvent(source=source, release=fetched.release,
+                            added=plan.added, updated=plan.updated,
+                            removed=plan.removed)
+        fired = self.triggers.fire(event)
+        return LoadReport(source=source, release=fetched.release, plan=plan,
+                          documents_loaded=loaded, triggers_fired=fired)
+
+    def refresh(self, source: str) -> LoadReport:
+        """Load the latest release of an already-known source."""
+        return self.load(source, release=None)
+
+    def loaded_release(self, source: str) -> str | None:
+        """Release currently reflected in the warehouse, or None."""
+        snapshot = self._snapshots.get(source)
+        return snapshot.release if snapshot else None
+
+    def subscribe(self, callback, source: str = "*") -> None:
+        """Subscribe an application to warehouse change triggers."""
+        self.triggers.subscribe(callback, source)
+
+    # -- internals -----------------------------------------------------------
+
+    def _transformer(self, source: str) -> SourceTransformer:
+        if source not in self._transformers:
+            self._transformers[source] = self.registry.create(
+                source, validate=self.validate)
+        return self._transformers[source]
+
+    @staticmethod
+    def _check_duplicate_keys(source: str,
+                              keyed: list[tuple[str, Entry]]) -> None:
+        seen: set[str] = set()
+        for key, __ in keyed:
+            if key in seen:
+                raise DataHoundsError(
+                    f"{source}: duplicate entry key {key!r} in release "
+                    f"(would be added twice)")
+            seen.add(key)

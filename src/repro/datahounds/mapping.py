@@ -1,0 +1,124 @@
+"""Mapping helpers shared by source transformers.
+
+The paper describes each XML-Transformer as "a mapping of the attributes
+in this data to elements and attributes in the DTD". Sources differ in
+the details (ENZYME packs several cross-references on one ``DR`` line;
+EMBL spreads one feature over several ``FT`` lines), but a handful of
+shapes recur; this module provides them so each source module stays a
+readable description of its format rather than string-plumbing.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import TransformError
+from repro.flatfile import Entry
+from repro.xmlkit import Element
+
+
+def strip_trailing_period(value: str) -> str:
+    """Drop one trailing period — flat-file convention ends values with
+    '.', the XML versions in the paper's Figure 6 drop it for names."""
+    return value[:-1] if value.endswith(".") else value
+
+
+def add_scalar(parent: Element, tag: str, value: str | None) -> Element | None:
+    """Append ``<tag>value</tag>`` unless value is None/empty."""
+    if not value:
+        return None
+    return parent.subelement(tag, text=value)
+
+
+def add_list(parent: Element, list_tag: str, item_tag: str,
+             values: list[str]) -> Element:
+    """Append ``<list_tag><item_tag>v</item_tag>...</list_tag>``.
+
+    The list container is always emitted, even when empty — the paper's
+    Figure 6 shows ``<disease_list/>`` for an entry with no diseases.
+    """
+    container = parent.subelement(list_tag)
+    for value in values:
+        container.subelement(item_tag, text=value)
+    return container
+
+
+def split_semicolon_pairs(data: str, entry_label: str,
+                          code: str) -> list[tuple[str, str]]:
+    """Parse ``A1, N1 ; A2, N2 ;`` into ``[(A1, N1), (A2, N2)]``.
+
+    This is the ENZYME ``DR`` line shape: pairs of (accession, entry
+    name) separated by semicolons, possibly wrapped over several lines.
+    """
+    pairs: list[tuple[str, str]] = []
+    for chunk in data.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "," not in chunk:
+            raise TransformError(
+                f"{entry_label}: malformed {code} pair {chunk!r}")
+        accession, __, name = chunk.partition(",")
+        pairs.append((accession.strip(), name.strip()))
+    return pairs
+
+
+def merge_comment_lines(lines: list[str], marker: str = "-!-") -> list[str]:
+    """Reassemble comments wrapped over several ``CC`` lines.
+
+    A new comment starts at each ``-!-`` marker; continuation lines are
+    appended to the current comment (the shape of the paper's Figure 2,
+    reassembled as in Figure 6).
+    """
+    comments: list[str] = []
+    for raw in lines:
+        text = raw.strip()
+        if not text:
+            continue
+        if text.startswith(marker):
+            comments.append(text[len(marker):].strip())
+        else:
+            if not comments:
+                raise TransformError(
+                    f"comment continuation before any {marker} marker: "
+                    f"{text!r}")
+            comments[-1] += " " + text
+    return comments
+
+
+_DISEASE_RE = re.compile(r"^(?P<name>.*?)\s*;\s*MIM:\s*(?P<mim>\d+)\.?$")
+
+
+def parse_disease(data: str, entry_label: str) -> tuple[str, str]:
+    """Parse an ENZYME ``DI`` line: ``Disease name; MIM:123456.`` →
+    ``(name, mim_id)``."""
+    match = _DISEASE_RE.match(data.strip())
+    if not match:
+        raise TransformError(f"{entry_label}: malformed DI line {data!r}")
+    return match.group("name"), match.group("mim")
+
+
+_PROSITE_RE = re.compile(r"^PROSITE\s*;\s*(?P<acc>[A-Z0-9]+)\s*;?\s*$")
+
+
+def parse_prosite(data: str, entry_label: str) -> str:
+    """Parse an ENZYME ``PR`` line: ``PROSITE; PDOC00080;`` → accession."""
+    match = _PROSITE_RE.match(data.strip())
+    if not match:
+        raise TransformError(f"{entry_label}: malformed PR line {data!r}")
+    return match.group("acc")
+
+
+def collect_sequence(entry: Entry, code: str = "  ") -> str:
+    """Concatenate sequence continuation lines into one residue string.
+
+    Residue position counters trailing each line (EMBL style) and
+    internal whitespace are removed.
+    """
+    residues: list[str] = []
+    for line in entry.all(code):
+        for token in line.data.split():
+            if token.isdigit():
+                continue
+            residues.append(token)
+    return "".join(residues)

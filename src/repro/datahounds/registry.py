@@ -1,0 +1,63 @@
+"""Registry of source transformers.
+
+The hound looks transformers up by source name; the built-in three
+(ENZYME, EMBL, Swiss-Prot) are pre-registered, and third parties add
+their own — the paper stresses that Data Hounds "contains third-party
+programmable mechanisms" for new sources.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.datahounds.transformer import SourceTransformer
+from repro.errors import UnknownSourceError
+
+
+class SourceRegistry:
+    """Name → transformer class registry."""
+
+    def __init__(self, include_builtin: bool = True):
+        self._transformers: dict[str, Type[SourceTransformer]] = {}
+        if include_builtin:
+            register_builtin_sources(self)
+
+    def register(self, transformer_class: Type[SourceTransformer]) -> None:
+        """Register (or replace) a transformer class by its name."""
+        name = transformer_class.name
+        if not name:
+            raise UnknownSourceError(
+                f"{transformer_class.__name__} has no source name")
+        self._transformers[name] = transformer_class
+
+    def create(self, name: str, validate: bool = True) -> SourceTransformer:
+        """Instantiate the transformer registered under ``name``."""
+        try:
+            transformer_class = self._transformers[name]
+        except KeyError:
+            known = ", ".join(sorted(self._transformers)) or "(none)"
+            raise UnknownSourceError(
+                f"no transformer registered for {name!r}; known: {known}"
+            ) from None
+        return transformer_class(validate=validate)
+
+    def names(self) -> list[str]:
+        """Registered source names, sorted."""
+        return sorted(self._transformers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._transformers
+
+
+def register_builtin_sources(registry: SourceRegistry) -> None:
+    """Register the paper's three sources plus the OMIM-style disease
+    databank its introduction motivates correlating with."""
+    from repro.datahounds.sources.embl import EmblTransformer
+    from repro.datahounds.sources.enzyme import EnzymeTransformer
+    from repro.datahounds.sources.omim import OmimTransformer
+    from repro.datahounds.sources.sprot import SprotTransformer
+
+    registry.register(EnzymeTransformer)
+    registry.register(EmblTransformer)
+    registry.register(SprotTransformer)
+    registry.register(OmimTransformer)

@@ -1,0 +1,9 @@
+"""Built-in source transformers: ENZYME, EMBL, Swiss-Prot, OMIM."""
+
+from repro.datahounds.sources.embl import EmblTransformer
+from repro.datahounds.sources.enzyme import EnzymeTransformer
+from repro.datahounds.sources.omim import OmimTransformer
+from repro.datahounds.sources.sprot import SprotTransformer
+
+__all__ = ["EmblTransformer", "EnzymeTransformer", "OmimTransformer",
+           "SprotTransformer"]

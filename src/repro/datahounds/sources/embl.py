@@ -1,0 +1,220 @@
+"""The EMBL nucleotide-sequence source transformer.
+
+The paper's Figure 8 queries ``document("hlx_embl.inv")/hlx_n_sequence``
+and Figure 11 joins ``$a//qualifier[@qualifier_type = "EC_number"]``
+against ENZYME ids and returns ``$a//embl_accession_number`` and
+``$a//description`` — so the EMBL warehouse documents must be rooted at
+``hlx_n_sequence`` (the gRNA's normalized nucleotide-sequence shape) and
+carry feature qualifiers, the accession number and a description.
+
+We implement the EMBL flat-file subset that feeds those elements:
+
+======  ======================================================
+``ID``  entry name, division (e.g. ``INV``), length
+``AC``  accession number(s), ``;``-separated
+``DE``  description (may span lines, joined)
+``KW``  keywords, ``;``-separated, ``.``-terminated
+``OS``  organism species
+``FT``  feature table: key + location, then ``/name="value"``
+        qualifier continuations
+``SQ``  sequence header; residues follow on blank-code lines
+======  ======================================================
+
+Division is the collection suffix: an entry in division ``INV`` loads
+into ``hlx_embl.inv`` — exactly the address Figure 8 uses.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.flatfile import Entry, LineSpec
+from repro.datahounds.mapping import collect_sequence, merge_comment_lines
+from repro.datahounds.transformer import SourceTransformer
+from repro.errors import TransformError
+from repro.xmlkit import Document, Element, parse_dtd
+
+LINE_SPECS = [
+    LineSpec("ID", "Identification", min_count=1, max_count=1),
+    LineSpec("AC", "Accession number(s)", min_count=1),
+    LineSpec("DE", "Description", min_count=1),
+    LineSpec("KW", "Keywords"),
+    LineSpec("OS", "Organism species"),
+    LineSpec("CC", "Comments"),
+    LineSpec("FT", "Feature table"),
+    LineSpec("SQ", "Sequence header", max_count=1),
+    LineSpec("  ", "Sequence data"),
+]
+
+EMBL_DTD_TEXT = """\
+<!ELEMENT hlx_n_sequence (db_entry)>
+<!ELEMENT db_entry (entry_name, embl_accession_number+, description,
+  division, keyword_list, organism?, comment_list, feature_list,
+  sequence?)>
+<!ELEMENT comment_list (comment*)>
+<!ELEMENT comment (#PCDATA)>
+<!ELEMENT entry_name (#PCDATA)>
+<!ELEMENT embl_accession_number (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT division (#PCDATA)>
+<!ELEMENT keyword_list (keyword*)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT organism (#PCDATA)>
+<!ELEMENT feature_list (feature*)>
+<!ELEMENT feature (qualifier*)>
+<!ATTLIST feature feature_key CDATA #REQUIRED
+  location CDATA #REQUIRED>
+<!ELEMENT qualifier (#PCDATA)>
+<!ATTLIST qualifier qualifier_type CDATA #REQUIRED>
+<!ELEMENT sequence (#PCDATA)>
+<!ATTLIST sequence length NMTOKEN #REQUIRED
+  molecule_type CDATA #IMPLIED>
+"""
+
+#: A small sample in the implemented subset, used by tests and docs.
+SAMPLE_ENTRY = """\
+ID   CEcdc6gene; SV 1; INV; 1859 BP.
+AC   AB012345;
+DE   Caenorhabditis elegans cdc6 gene for cell division control
+DE   protein 6, complete cds.
+KW   cdc6; cell cycle; DNA replication.
+OS   Caenorhabditis elegans
+FT   CDS             join(100..450,520..900)
+FT                   /gene="cdc6"
+FT                   /product="cell division control protein 6"
+FT                   /EC_number="3.6.4.12"
+SQ   Sequence 1859 BP; 501 A; 419 C; 398 G; 541 T; 0 other;
+     aacgttgcaa ttgcgtacgt agctagctag catcgatcgt acgtagcatc gatcgatcga 60
+     ttgcacgtgc atcgatcgta cgatcgatcg tacgtagcat cgatcgatcg atcgtacgta 120
+//
+"""
+
+_ID_RE = re.compile(
+    r"^(?P<name>[A-Za-z0-9_]+)\s*;"
+    r"(?:\s*SV\s+\d+\s*;)?"
+    r"\s*(?P<division>[A-Za-z]+)\s*;"
+    r"\s*(?P<length>\d+)\s+BP\.?\s*$")
+
+_QUALIFIER_RE = re.compile(r'^/(?P<type>[A-Za-z_][A-Za-z0-9_]*)'
+                           r'(?:=(?P<value>.*))?$')
+
+
+class EmblTransformer(SourceTransformer):
+    """Flat EMBL entries → ``hlx_n_sequence`` documents."""
+
+    name = "hlx_embl"
+    default_collection = "inv"
+    dtd = parse_dtd(EMBL_DTD_TEXT)
+    line_specs = LINE_SPECS
+
+    def entry_to_document(self, entry: Entry) -> Document:
+        """Map one entry to a <hlx_n_sequence> document (see module docstring
+        for the line-code mapping)."""
+        id_line = entry.value("ID")
+        if id_line is None:
+            raise TransformError("hlx_embl: entry missing ID line")
+        match = _ID_RE.match(id_line.strip())
+        if not match:
+            raise TransformError(
+                f"hlx_embl: malformed ID line {id_line!r}")
+        entry_name = match.group("name")
+        division = match.group("division").lower()
+        length = match.group("length")
+        label = f"hlx_embl entry {entry_name}"
+
+        root = Element("hlx_n_sequence")
+        db_entry = root.subelement("db_entry")
+        db_entry.subelement("entry_name", text=entry_name)
+        for line in entry.all("AC"):
+            for accession in line.data.split(";"):
+                accession = accession.strip()
+                if accession:
+                    db_entry.subelement("embl_accession_number",
+                                        text=accession)
+        description = " ".join(line.data.strip() for line in entry.all("DE"))
+        db_entry.subelement("description", text=description)
+        db_entry.subelement("division", text=division)
+
+        keywords = db_entry.subelement("keyword_list")
+        for line in entry.all("KW"):
+            for keyword in line.data.rstrip(".").split(";"):
+                keyword = keyword.strip()
+                if keyword:
+                    keywords.subelement("keyword", text=keyword)
+
+        organism = " ".join(line.data.strip() for line in entry.all("OS"))
+        if organism:
+            db_entry.subelement("organism", text=organism.rstrip("."))
+
+        comments = db_entry.subelement("comment_list")
+        for comment in merge_comment_lines(
+                [line.data for line in entry.all("CC")]):
+            comments.subelement("comment", text=comment)
+
+        feature_list = db_entry.subelement("feature_list")
+        for key, location, qualifiers in _parse_features(entry, label):
+            feature = feature_list.subelement("feature")
+            feature.set("feature_key", key)
+            feature.set("location", location)
+            for qualifier_type, value in qualifiers:
+                qualifier = feature.subelement("qualifier", text=value)
+                qualifier.set("qualifier_type", qualifier_type)
+
+        residues = collect_sequence(entry)
+        if residues or entry.first("SQ") is not None:
+            sequence = db_entry.subelement("sequence", text=residues)
+            sequence.set("length", length)
+            sequence.set("molecule_type", "DNA")
+
+        return Document(root, name=self.name)
+
+    def entry_key(self, entry: Entry) -> str:
+        """Primary accession number — stable across annotation updates,
+        unlike the entry name."""
+        ac_line = entry.value("AC")
+        if ac_line is None:
+            raise TransformError("hlx_embl: entry missing AC line")
+        return ac_line.split(";")[0].strip()
+
+    def collection_of(self, entry: Entry) -> str:
+        """Division → collection suffix (``INV`` → ``inv``)."""
+        id_line = entry.value("ID") or ""
+        match = _ID_RE.match(id_line.strip())
+        if not match:
+            return self.default_collection
+        return match.group("division").lower()
+
+
+def _parse_features(entry: Entry, label: str) -> list[
+        tuple[str, str, list[tuple[str, str]]]]:
+    """Group FT lines into ``(key, location, [(qualifier, value)])``.
+
+    A feature starts on an FT line whose data does not begin with ``/``
+    (key, whitespace, location); continuation lines hold qualifiers.
+    """
+    features: list[tuple[str, str, list[tuple[str, str]]]] = []
+    for line in entry.all("FT"):
+        data = line.data.strip()
+        if not data:
+            continue
+        if data.startswith("/"):
+            if not features:
+                raise TransformError(
+                    f"{label}: qualifier before any feature: {data!r}")
+            match = _QUALIFIER_RE.match(data)
+            if not match:
+                raise TransformError(
+                    f"{label}: malformed qualifier {data!r}")
+            value = match.group("value") or ""
+            features[-1][2].append(
+                (match.group("type"), value.strip().strip('"')))
+        else:
+            parts = data.split(None, 1)
+            if len(parts) != 2:
+                raise TransformError(
+                    f"{label}: malformed feature line {data!r}")
+            features.append((parts[0], parts[1].strip(), []))
+    return features
+
+
+__all__ = ["EMBL_DTD_TEXT", "EmblTransformer", "LINE_SPECS", "SAMPLE_ENTRY"]

@@ -1,0 +1,181 @@
+"""The Swiss-Prot protein-sequence source transformer.
+
+Figure 8 of the paper searches ``document("hlx_sprot.all")/hlx_n_sequence``
+for a keyword and returns ``$b//sprot_accession_number`` — so Swiss-Prot
+documents share the normalized ``hlx_n_sequence`` root with EMBL (the
+gRNA's uniform sequence shape) while carrying protein-specific children.
+
+Implemented flat-file subset:
+
+======  =========================================================
+``ID``  entry name, status, length (``AMD_HUMAN  STANDARD;  PRT;  973 AA.``)
+``AC``  accession number(s), ``;``-separated
+``DE``  description
+``GN``  gene name(s)
+``OS``  organism species
+``DR``  cross-references (``EMBL; AB012345; -.`` / ``PROSITE; PDOC00080; ...``)
+``KW``  keywords
+``SQ``  sequence header; residues on blank-code lines
+======  =========================================================
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.flatfile import Entry, LineSpec
+from repro.datahounds.mapping import collect_sequence, merge_comment_lines
+from repro.datahounds.transformer import SourceTransformer
+from repro.errors import TransformError
+from repro.xmlkit import Document, Element, parse_dtd
+
+LINE_SPECS = [
+    LineSpec("ID", "Identification", min_count=1, max_count=1),
+    LineSpec("AC", "Accession number(s)", min_count=1),
+    LineSpec("DE", "Description", min_count=1),
+    LineSpec("GN", "Gene name(s)"),
+    LineSpec("OS", "Organism species"),
+    LineSpec("DR", "Database cross-references"),
+    LineSpec("KW", "Keywords"),
+    LineSpec("CC", "Comments"),
+    LineSpec("SQ", "Sequence header", max_count=1),
+    LineSpec("  ", "Sequence data"),
+]
+
+SPROT_DTD_TEXT = """\
+<!ELEMENT hlx_n_sequence (db_entry)>
+<!ELEMENT db_entry (entry_name, sprot_accession_number+, description,
+  gene_name_list, organism?, keyword_list, comment_list,
+  db_reference_list, sequence?)>
+<!ELEMENT comment_list (comment*)>
+<!ELEMENT comment (#PCDATA)>
+<!ELEMENT entry_name (#PCDATA)>
+<!ELEMENT sprot_accession_number (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT gene_name_list (gene_name*)>
+<!ELEMENT gene_name (#PCDATA)>
+<!ELEMENT organism (#PCDATA)>
+<!ELEMENT keyword_list (keyword*)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT db_reference_list (db_reference*)>
+<!ELEMENT db_reference (#PCDATA)>
+<!ATTLIST db_reference database CDATA #REQUIRED
+  primary_id CDATA #REQUIRED>
+<!ELEMENT sequence (#PCDATA)>
+<!ATTLIST sequence length NMTOKEN #REQUIRED
+  molecule_type CDATA #IMPLIED>
+"""
+
+#: A small sample in the implemented subset, used by tests and docs.
+SAMPLE_ENTRY = """\
+ID   CDC6_CAEEL  STANDARD;  PRT;  561 AA.
+AC   Q17798;
+DE   Cell division control protein 6 homolog (cdc6).
+GN   cdc6.
+OS   Caenorhabditis elegans.
+DR   EMBL; AB012345; -.
+DR   PROSITE; PDOC00080; PS00017.
+KW   Cell cycle; DNA replication; ATP-binding.
+SQ   SEQUENCE   561 AA;  63208 MW;  3FA2B1C9 CRC32;
+     MSTRSKRKLV FDDIAEPSTS RRSSRIAAAS SSSTLNNFVT PSKSGRVLRS SSRLAASQSQ
+     MLSPFKRDLG QSPAKSIRSD LFANSPLKSP KKRLIFDEDE AESSELLSSS PAKKSTASLL
+//
+"""
+
+_ID_RE = re.compile(
+    r"^(?P<name>[A-Za-z0-9_]+)\s+"
+    r"(?P<status>STANDARD|PRELIMINARY|Reviewed|Unreviewed)\s*;\s*"
+    r"(?:PRT\s*;)?\s*"
+    r"(?P<length>\d+)\s+AA\.?\s*$")
+
+
+class SprotTransformer(SourceTransformer):
+    """Flat Swiss-Prot entries → ``hlx_n_sequence`` documents."""
+
+    name = "hlx_sprot"
+    default_collection = "all"
+    dtd = parse_dtd(SPROT_DTD_TEXT)
+    line_specs = LINE_SPECS
+
+    def entry_to_document(self, entry: Entry) -> Document:
+        """Map one entry to a <hlx_n_sequence> document (see module docstring
+        for the line-code mapping)."""
+        id_line = entry.value("ID")
+        if id_line is None:
+            raise TransformError("hlx_sprot: entry missing ID line")
+        match = _ID_RE.match(id_line.strip())
+        if not match:
+            raise TransformError(f"hlx_sprot: malformed ID line {id_line!r}")
+        entry_name = match.group("name")
+        length = match.group("length")
+        label = f"hlx_sprot entry {entry_name}"
+
+        root = Element("hlx_n_sequence")
+        db_entry = root.subelement("db_entry")
+        db_entry.subelement("entry_name", text=entry_name)
+        for line in entry.all("AC"):
+            for accession in line.data.split(";"):
+                accession = accession.strip()
+                if accession:
+                    db_entry.subelement("sprot_accession_number",
+                                        text=accession)
+        description = " ".join(line.data.strip() for line in entry.all("DE"))
+        db_entry.subelement("description", text=description)
+
+        genes = db_entry.subelement("gene_name_list")
+        for line in entry.all("GN"):
+            for gene in re.split(r"[;,]| OR | AND ", line.data):
+                gene = gene.strip().rstrip(".")
+                if gene:
+                    genes.subelement("gene_name", text=gene)
+
+        organism = " ".join(line.data.strip() for line in entry.all("OS"))
+        if organism:
+            db_entry.subelement("organism", text=organism.rstrip("."))
+
+        keywords = db_entry.subelement("keyword_list")
+        for line in entry.all("KW"):
+            for keyword in line.data.rstrip(".").split(";"):
+                keyword = keyword.strip()
+                if keyword:
+                    keywords.subelement("keyword", text=keyword)
+
+        comments = db_entry.subelement("comment_list")
+        for comment in merge_comment_lines(
+                [line.data for line in entry.all("CC")]):
+            comments.subelement("comment", text=comment)
+
+        references = db_entry.subelement("db_reference_list")
+        for line in entry.all("DR"):
+            database, primary_id, remainder = _parse_dr(line.data, label)
+            reference = references.subelement(
+                "db_reference", text=remainder if remainder else None)
+            reference.set("database", database)
+            reference.set("primary_id", primary_id)
+
+        residues = collect_sequence(entry)
+        if residues or entry.first("SQ") is not None:
+            sequence = db_entry.subelement("sequence", text=residues)
+            sequence.set("length", length)
+            sequence.set("molecule_type", "protein")
+
+        return Document(root, name=self.name)
+
+    def entry_key(self, entry: Entry) -> str:
+        """Primary accession number — stable across entry renames."""
+        ac_line = entry.value("AC")
+        if ac_line is None:
+            raise TransformError("hlx_sprot: entry missing AC line")
+        return ac_line.split(";")[0].strip()
+
+
+def _parse_dr(data: str, label: str) -> tuple[str, str, str]:
+    """Parse ``DATABASE; PRIMARY_ID; rest.`` into its three parts."""
+    parts = [part.strip() for part in data.rstrip(".").split(";")]
+    if len(parts) < 2 or not parts[0] or not parts[1]:
+        raise TransformError(f"{label}: malformed DR line {data!r}")
+    remainder = "; ".join(part for part in parts[2:] if part and part != "-")
+    return parts[0], parts[1], remainder
+
+
+__all__ = ["SPROT_DTD_TEXT", "SprotTransformer", "LINE_SPECS", "SAMPLE_ENTRY"]

@@ -1,0 +1,140 @@
+"""Simulated transport layer for remote biological repositories.
+
+The paper's sources are "accessible through internet protocols such as
+FTP and HTTP", with "updates ... provided through pre-designated
+locations through the same protocols". This environment has no network,
+so we model a remote repository as a set of *releases* per source, each
+release a full flat-file dump — the shape of a real FTP mirror
+(``enzyme.dat`` re-published monthly). Two implementations:
+
+* :class:`InMemoryRepository` — releases held as strings; used by tests
+  and the synthetic-corpus benchmarks,
+* :class:`DirectoryRepository` — releases on disk as
+  ``<base>/<source>/<release>.dat``; used by the examples.
+
+Both present the same protocol: :meth:`releases`, :meth:`latest_release`
+and :meth:`fetch`, with content checksums so the hound can detect that a
+release already loaded has not changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.errors import TransportError
+
+
+def content_checksum(text: str) -> str:
+    """Stable checksum of a release's content (first 16 hex chars of
+    SHA-256 — plenty for change detection)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class FetchResult:
+    """One fetched release: content plus provenance."""
+
+    __slots__ = ("source", "release", "text", "checksum")
+
+    def __init__(self, source: str, release: str, text: str):
+        self.source = source
+        self.release = release
+        self.text = text
+        self.checksum = content_checksum(text)
+
+    def __repr__(self) -> str:
+        return (f"FetchResult({self.source}/{self.release}, "
+                f"{len(self.text)} chars, {self.checksum})")
+
+
+class InMemoryRepository:
+    """A fake FTP site whose releases live in a dict.
+
+    Release ids sort lexicographically; the latest release is the
+    greatest id (use e.g. ``r2026-01``-style names).
+    """
+
+    def __init__(self):
+        self._releases: dict[str, dict[str, str]] = {}
+
+    def publish(self, source: str, release: str, text: str) -> None:
+        """Publish (or overwrite) a release of a source."""
+        self._releases.setdefault(source, {})[release] = text
+
+    def sources(self) -> list[str]:
+        """Published source names."""
+        return sorted(self._releases)
+
+    def releases(self, source: str) -> list[str]:
+        """Release ids of a source, oldest first."""
+        try:
+            return sorted(self._releases[source])
+        except KeyError:
+            raise TransportError(f"unknown source {source!r}") from None
+
+    def latest_release(self, source: str) -> str:
+        """Greatest release id of a source."""
+        releases = self.releases(source)
+        if not releases:
+            raise TransportError(f"source {source!r} has no releases")
+        return releases[-1]
+
+    def fetch(self, source: str, release: str | None = None) -> FetchResult:
+        """Fetch a release (latest when unspecified)."""
+        if release is None:
+            release = self.latest_release(source)
+        try:
+            text = self._releases[source][release]
+        except KeyError:
+            raise TransportError(
+                f"cannot fetch {source!r} release {release!r}") from None
+        return FetchResult(source, release, text)
+
+
+class DirectoryRepository:
+    """A fake FTP site rooted at a directory.
+
+    Layout: ``<base>/<source>/<release>.dat``. Publishing writes files;
+    fetching reads them.
+    """
+
+    def __init__(self, base: str | Path):
+        self.base = Path(base)
+
+    def publish(self, source: str, release: str, text: str) -> Path:
+        """Write one release file; returns its path."""
+        source_dir = self.base / source
+        source_dir.mkdir(parents=True, exist_ok=True)
+        path = source_dir / f"{release}.dat"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def sources(self) -> list[str]:
+        """Source directories present on disk."""
+        if not self.base.is_dir():
+            return []
+        return sorted(p.name for p in self.base.iterdir() if p.is_dir())
+
+    def releases(self, source: str) -> list[str]:
+        """Release ids of a source, oldest first."""
+        source_dir = self.base / source
+        if not source_dir.is_dir():
+            raise TransportError(f"unknown source {source!r}")
+        return sorted(p.stem for p in source_dir.glob("*.dat"))
+
+    def latest_release(self, source: str) -> str:
+        """Greatest release id of a source."""
+        releases = self.releases(source)
+        if not releases:
+            raise TransportError(f"source {source!r} has no releases")
+        return releases[-1]
+
+    def fetch(self, source: str, release: str | None = None) -> FetchResult:
+        """Read a release from disk (latest when unspecified)."""
+        if release is None:
+            release = self.latest_release(source)
+        path = self.base / source / f"{release}.dat"
+        if not path.is_file():
+            raise TransportError(
+                f"cannot fetch {source!r} release {release!r}")
+        return FetchResult(source, release, path.read_text(encoding="utf-8"))

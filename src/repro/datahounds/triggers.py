@@ -1,0 +1,71 @@
+"""Change triggers to subscribed applications.
+
+"Once the changes have been committed to the local warehouse, the Data
+Hounds sends out triggers to related applications, indicating changes to
+the warehouse" (paper §2.2). We model a trigger as a callback invoked
+with a :class:`ChangeEvent`; subscriptions can be scoped to one source
+or to all sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """What changed in one warehouse commit."""
+
+    source: str
+    release: str
+    added: tuple[str, ...] = ()      # entry keys newly loaded
+    updated: tuple[str, ...] = ()    # entry keys whose content changed
+    removed: tuple[str, ...] = ()    # entry keys no longer in the source
+
+    @property
+    def total_changes(self) -> int:
+        """Total entries added + updated + removed."""
+        return len(self.added) + len(self.updated) + len(self.removed)
+
+    def __str__(self) -> str:
+        return (f"{self.source}@{self.release}: +{len(self.added)} "
+                f"~{len(self.updated)} -{len(self.removed)}")
+
+
+TriggerCallback = Callable[[ChangeEvent], None]
+
+_ALL_SOURCES = "*"
+
+
+@dataclass
+class TriggerHub:
+    """Subscription registry + dispatch."""
+
+    _subscribers: dict[str, list[TriggerCallback]] = field(default_factory=dict)
+
+    def subscribe(self, callback: TriggerCallback,
+                  source: str = _ALL_SOURCES) -> None:
+        """Register a callback for one source (or ``"*"`` for all)."""
+        self._subscribers.setdefault(source, []).append(callback)
+
+    def unsubscribe(self, callback: TriggerCallback,
+                    source: str = _ALL_SOURCES) -> None:
+        """Remove a subscription (no-op if absent)."""
+        callbacks = self._subscribers.get(source, [])
+        if callback in callbacks:
+            callbacks.remove(callback)
+
+    def fire(self, event: ChangeEvent) -> int:
+        """Dispatch an event; returns the number of callbacks invoked.
+
+        Events with no changes are not dispatched (a refresh that found
+        the warehouse already current is not a change).
+        """
+        if event.total_changes == 0:
+            return 0
+        callbacks = (self._subscribers.get(event.source, [])
+                     + self._subscribers.get(_ALL_SOURCES, []))
+        for callback in callbacks:
+            callback(event)
+        return len(callbacks)

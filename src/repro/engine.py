@@ -1,0 +1,246 @@
+"""The public facade: :class:`Warehouse` (storage + Data Hounds side)
+and :class:`XomatiQ` (the query component).
+
+Typical use::
+
+    from repro import Warehouse
+    from repro.synth import build_corpus
+
+    wh = Warehouse()                         # in-memory SQLite
+    wh.load_corpus(build_corpus(seed=7))     # ENZYME + EMBL + Swiss-Prot
+
+    result = wh.query('''
+        FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+        WHERE contains($a//catalytic_activity, "ketone")
+        RETURN $a//enzyme_id, $a//enzyme_description
+    ''')
+    print(result.to_table())
+    print(result.to_xml())
+
+The warehouse hides the relational engine entirely — the paper's
+"illusion of a fully XML-based data management system".
+"""
+
+from __future__ import annotations
+
+from repro.datahounds.hound import DataHound, LoadReport
+from repro.datahounds.registry import SourceRegistry
+from repro.errors import UnknownDocumentError
+from repro.relational.backend import Backend
+from repro.relational.schema import SchemaOptions
+from repro.relational.sqlite_backend import SqliteBackend
+from repro.results.resultset import BoundNode, QueryResult, ResultRow
+from repro.shredding.loader import WarehouseLoader
+from repro.shredding.reconstruct import reconstruct_document
+from repro.shredding.shredder import DEFAULT_SEQUENCE_TAGS
+from repro.translator.compile import CompiledQuery, compile_query
+from repro.translator.execute import execute_compiled
+from repro.xmlkit import Document, DtdTreeNode, serialize
+from repro.xquery.ast import Query
+from repro.xquery.parser import parse_query
+from repro.xquery.semantics import check_query
+
+
+class Warehouse:
+    """A local biological-data warehouse over a relational backend."""
+
+    def __init__(self, backend: Backend | None = None,
+                 options: SchemaOptions = SchemaOptions(),
+                 registry: SourceRegistry | None = None,
+                 sequence_tags: frozenset[str] = DEFAULT_SEQUENCE_TAGS,
+                 validate_sources: bool = True,
+                 create: bool = True):
+        """``create=False`` attaches to a backend whose generic schema
+        already exists (reopening an on-disk warehouse)."""
+        self.backend = backend if backend is not None else SqliteBackend()
+        self.registry = registry or SourceRegistry()
+        self.sequence_tags = sequence_tags
+        self.validate_sources = validate_sources
+        self.loader = WarehouseLoader(self.backend, options=options,
+                                      sequence_tags=sequence_tags,
+                                      create=create)
+        self.xomatiq = XomatiQ(self)
+
+    # -- loading ---------------------------------------------------------------
+
+    def load_text(self, source: str, flat_text: str) -> int:
+        """Transform and load a flat-file release directly (no
+        transport layer); returns the number of documents loaded."""
+        transformer = self.registry.create(source,
+                                           validate=self.validate_sources)
+        count = 0
+        from repro.flatfile import parse_entries
+        for entry in parse_entries(flat_text):
+            document = transformer.transform_entry(entry)
+            key = transformer.entry_key(entry)
+            collection = transformer.collection_of(entry)
+            self.loader.store_document(source, collection, key, document)
+            count += 1
+        self.optimize()
+        return count
+
+    def optimize(self) -> None:
+        """Refresh planner statistics after bulk loads (the paper's
+        query plans depended on Oracle's statistics; sqlite needs
+        ANALYZE for the same effect)."""
+        analyze = getattr(self.backend, "analyze", None)
+        if analyze is not None:
+            analyze()
+
+    def load_file(self, source: str, path) -> int:
+        """Transform and load a flat-file release from disk, streaming
+        entry by entry (multi-hundred-MB dumps never need to be
+        memory-resident)."""
+        from repro.flatfile import iter_entries
+        transformer = self.registry.create(source,
+                                           validate=self.validate_sources)
+        count = 0
+        with open(path, encoding="utf-8") as handle:
+            for entry in iter_entries(handle):
+                document = transformer.transform_entry(entry)
+                self.loader.store_document(
+                    source, transformer.collection_of(entry),
+                    transformer.entry_key(entry), document)
+                count += 1
+        self.optimize()
+        return count
+
+    def load_corpus(self, corpus) -> dict[str, int]:
+        """Load a :class:`repro.synth.corpus.Corpus`; returns per-source
+        document counts."""
+        return {source: self.load_text(source, text)
+                for source, text in corpus.texts().items()}
+
+    def connect(self, repository) -> DataHound:
+        """A Data Hound harvesting ``repository`` into this warehouse."""
+        return DataHound(repository, self.loader, registry=self.registry,
+                         validate=self.validate_sources)
+
+    def refresh(self, repository, source: str) -> LoadReport:
+        """One-shot convenience: hound-load the latest release."""
+        return self.connect(repository).load(source)
+
+    # -- catalog ---------------------------------------------------------------------
+
+    def document_names(self) -> list[str]:
+        """Loaded ``source.collection`` addresses."""
+        rows = self.backend.execute(
+            "SELECT DISTINCT source, collection FROM documents")
+        return sorted(f"{source}.{collection}"
+                      for source, collection in rows)
+
+    def document_exists(self, source: str,
+                        collection: str | None) -> bool:
+        """True when documents of ``source[.collection]`` are loaded."""
+        if collection is None:
+            rows = self.backend.execute(
+                "SELECT COUNT(*) FROM documents WHERE source = ?", (source,))
+        else:
+            rows = self.backend.execute(
+                "SELECT COUNT(*) FROM documents WHERE source = ? "
+                "AND collection = ?", (source, collection))
+        return bool(rows and rows[0][0])
+
+    def remove_source(self, source: str) -> int:
+        """Delete every document of one source; returns the number of
+        documents removed (decommissioning a databank)."""
+        doc_ids = self.loader.doc_ids(source)
+        for doc_id in doc_ids:
+            for table in ("documents", "elements", "attributes",
+                          "text_values", "sequences", "keywords"):
+                self.backend.execute(
+                    f"DELETE FROM {table} WHERE doc_id = ?", (doc_id,))
+        self.backend.commit()
+        return len(doc_ids)
+
+    def stats(self) -> dict[str, int]:
+        """Row counts of every generic-schema table plus per-source
+        document counts — the warehouse-size report an operator wants
+        after a load."""
+        from repro.relational.schema import TABLE_NAMES
+        out: dict[str, int] = {}
+        for table in TABLE_NAMES:
+            out[table] = self.backend.execute(
+                f"SELECT COUNT(*) FROM {table}")[0][0]
+        for source, count in self.backend.execute(
+                "SELECT source, COUNT(*) FROM documents GROUP BY source"):
+            out[f"documents:{source}"] = count
+        return out
+
+    def dtd_tree(self, source: str) -> DtdTreeNode:
+        """The DTD structural summary of a source (the query builder's
+        left panel)."""
+        return self.registry.create(source, validate=False).dtd_tree()
+
+    # -- querying -----------------------------------------------------------------------
+
+    def query(self, text: str) -> QueryResult:
+        """Parse, check, compile and run a XomatiQ query."""
+        return self.xomatiq.query(text)
+
+    def translate(self, text: str) -> CompiledQuery:
+        """Parse, check and compile without executing."""
+        return self.xomatiq.translate(text)
+
+    # -- document fetch (the GUI's right panel) --------------------------------------------
+
+    def fetch_document(self, node: BoundNode | int) -> Document:
+        """Reconstruct the XML document a result row's binding points
+        at."""
+        doc_id = node.doc_id if isinstance(node, BoundNode) else node
+        return reconstruct_document(self.backend, doc_id)
+
+    def fetch_document_xml(self, row: ResultRow, variable: str) -> str:
+        """Serialized document behind one result row's variable."""
+        try:
+            node = row.bindings[variable]
+        except KeyError:
+            raise UnknownDocumentError(
+                f"result row has no binding for ${variable}") from None
+        return serialize(self.fetch_document(node))
+
+    def close(self) -> None:
+        """Release the backend (files, connections)."""
+        self.backend.close()
+
+
+class XomatiQ:
+    """The query component: parse → check → XQ2SQL → execute → tag."""
+
+    def __init__(self, warehouse: Warehouse):
+        self.warehouse = warehouse
+
+    def parse(self, text: str) -> Query:
+        """Parse query text to its AST."""
+        return parse_query(text)
+
+    def check(self, query: Query) -> None:
+        """Semantic checks against the warehouse catalog and DTDs."""
+        check_query(query,
+                    document_exists=self.warehouse.document_exists,
+                    dtd_for_source=self._dtd_for_source)
+
+    def translate(self, text: str) -> CompiledQuery:
+        """Parse, check and compile; the compiled object exposes every
+        SQL statement (the GUI's "Translate Query" view, one level
+        deeper)."""
+        query = self.parse(text)
+        self.check(query)
+        return compile_query(query,
+                             sequence_tags=self.warehouse.sequence_tags)
+
+    def query(self, text: str) -> QueryResult:
+        """The full pipeline: translate then execute."""
+        compiled = self.translate(text)
+        return execute_compiled(compiled, self.warehouse.backend)
+
+    def execute(self, compiled: CompiledQuery) -> QueryResult:
+        """Run an already-compiled query (benchmarks separate compile
+        and execute cost with this)."""
+        return execute_compiled(compiled, self.warehouse.backend)
+
+    def _dtd_for_source(self, source: str):
+        if source in self.warehouse.registry:
+            return self.warehouse.registry.create(source,
+                                                  validate=False).dtd
+        return None

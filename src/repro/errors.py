@@ -1,0 +1,121 @@
+"""Exception hierarchy for the XomatiQ reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the system (the paper's "applications under the gRNA
+framework") can catch one base class. Subsystem bases mirror the package
+layout: XML handling, flat-file parsing, Data Hounds, relational storage,
+the XQuery front end and the XQ2SQL translator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XmlError(ReproError):
+    """Base class for XML infoset errors."""
+
+
+class XmlParseError(XmlError):
+    """Raised when an XML document is not well-formed.
+
+    Carries ``line`` and ``column`` (1-based) of the offending input
+    position when they are known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class DtdError(XmlError):
+    """Raised when a DTD is malformed."""
+
+
+class DtdValidationError(XmlError):
+    """Raised when a document does not conform to its DTD."""
+
+
+class PathError(XmlError):
+    """Raised for malformed path expressions."""
+
+
+class FlatFileError(ReproError):
+    """Raised when a flat-file record violates its line-format spec."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"{message} (input line {line_number})"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class DataHoundsError(ReproError):
+    """Base class for Data Hounds (harvest/transform/load) errors."""
+
+
+class TransportError(DataHoundsError):
+    """Raised when a source release cannot be fetched."""
+
+
+class TransformError(DataHoundsError):
+    """Raised when a source record cannot be mapped to XML."""
+
+
+class UnknownSourceError(DataHoundsError):
+    """Raised when a source name is not registered with the hound."""
+
+
+class StorageError(ReproError):
+    """Base class for relational-backend errors."""
+
+
+class SchemaError(StorageError):
+    """Raised for invalid DDL or catalog misuse."""
+
+
+class ConstraintError(StorageError):
+    """Raised when an insert violates a uniqueness constraint."""
+
+
+class ExecutionError(StorageError):
+    """Raised when a physical plan fails during execution."""
+
+
+class QueryError(ReproError):
+    """Base class for XomatiQ query-language errors."""
+
+
+class XQuerySyntaxError(QueryError):
+    """Raised when a query does not parse.
+
+    Carries the offending ``position`` (0-based character offset) when
+    known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class BindingError(QueryError):
+    """Raised for undefined or duplicate variable bindings."""
+
+
+class TranslationError(QueryError):
+    """Raised when a parsed query cannot be compiled to a plan."""
+
+
+class UnknownDocumentError(QueryError):
+    """Raised when ``document("name")`` names an unloaded warehouse."""

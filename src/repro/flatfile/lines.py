@@ -1,0 +1,143 @@
+"""Line-oriented flat-file format of the paper's Figure 3.
+
+Biological flat files (ENZYME, EMBL, Swiss-Prot) are sequences of
+*entries*, each entry a sequence of *lines*. The general line structure
+(Figure 3):
+
+====================  =========================================
+characters 1 to 2     two-character line code
+characters 3 to 5     blank
+characters 6 to 78    data
+====================  =========================================
+
+Entries are terminated by a ``//`` line. This module models line codes
+and their cardinalities (Figure 4) and converts between raw text lines
+and :class:`Line` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FlatFileError
+
+TERMINATOR = "//"
+SEQUENCE_CODE = "  "     # blank code: sequence continuation lines (EMBL/Swiss-Prot)
+DATA_COLUMN = 5          # 0-based index where data starts (column 6)
+MAX_DATA_WIDTH = 73      # columns 6..78 inclusive
+
+
+@dataclass(frozen=True)
+class LineSpec:
+    """Declares one line type of a source format (one row of Figure 4).
+
+    ``min_count``/``max_count`` bound occurrences per entry;
+    ``max_count=None`` means unbounded.
+    """
+
+    code: str
+    description: str
+    min_count: int = 0
+    max_count: int | None = None
+
+    def __post_init__(self):
+        if len(self.code) != 2:
+            raise ValueError(f"line code must be 2 characters: {self.code!r}")
+        if self.code != SEQUENCE_CODE and " " in self.code:
+            raise ValueError(f"line code must be non-blank: {self.code!r}")
+        if self.max_count is not None and self.max_count < self.min_count:
+            raise ValueError(
+                f"line code {self.code}: max_count < min_count")
+
+
+@dataclass(frozen=True)
+class Line:
+    """One parsed line: a two-character code plus its data payload."""
+
+    code: str
+    data: str
+
+    def render(self) -> str:
+        """Format back to fixed-column text (code, 3 blanks, data)."""
+        if self.code == TERMINATOR:
+            return TERMINATOR
+        return f"{self.code}   {self.data}".rstrip()
+
+
+def parse_line(raw: str, line_number: int | None = None) -> Line:
+    """Parse one raw text line into a :class:`Line`.
+
+    The terminator ``//`` is returned with empty data. Codes must be two
+    non-blank characters; data starts at column 6 (anything in columns
+    3-5 is an error, per the spec).
+    """
+    raw = raw.rstrip("\r\n")
+    if raw.startswith(TERMINATOR):
+        return Line(TERMINATOR, "")
+    if raw.startswith(" " * DATA_COLUMN):
+        # sequence continuation line: five leading blanks, then residues
+        return Line(SEQUENCE_CODE, raw[DATA_COLUMN:])
+    if len(raw) < 2:
+        raise FlatFileError(f"line too short for a line code: {raw!r}",
+                            line_number)
+    code = raw[:2]
+    if code.strip() != code or " " in code:
+        raise FlatFileError(f"malformed line code {code!r}", line_number)
+    filler = raw[2:DATA_COLUMN]
+    if filler.strip():
+        raise FlatFileError(
+            f"columns 3-5 must be blank, got {filler!r} after code {code}",
+            line_number)
+    return Line(code, raw[DATA_COLUMN:])
+
+
+def render_wrapped(code: str, data: str,
+                   width: int = MAX_DATA_WIDTH) -> list[str]:
+    """Render a logical value as one or more fixed-width lines.
+
+    Long values are wrapped at word boundaries so no data column exceeds
+    ``width`` (column 78 of the physical format), mirroring how ENZYME
+    wraps CA and CC lines across multiple physical lines.
+    """
+    words = data.split()
+    if not words:
+        return [Line(code, "").render()]
+    lines: list[str] = []
+    current = words[0]
+    for word in words[1:]:
+        if len(current) + 1 + len(word) <= width:
+            current += " " + word
+        else:
+            lines.append(Line(code, current).render())
+            current = word
+    lines.append(Line(code, current).render())
+    return lines
+
+
+class CardinalityChecker:
+    """Validates per-entry line counts against a list of LineSpecs."""
+
+    def __init__(self, specs: list[LineSpec]):
+        self.specs = {spec.code: spec for spec in specs}
+
+    def check(self, lines: list[Line], entry_label: str = "entry") -> None:
+        """Raise :class:`FlatFileError` on cardinality violations or
+        unknown codes."""
+        counts: dict[str, int] = {}
+        for line in lines:
+            if line.code == TERMINATOR:
+                continue
+            if line.code not in self.specs:
+                raise FlatFileError(
+                    f"{entry_label}: unknown line code {line.code!r}")
+            counts[line.code] = counts.get(line.code, 0) + 1
+        for code, spec in self.specs.items():
+            count = counts.get(code, 0)
+            if count < spec.min_count:
+                raise FlatFileError(
+                    f"{entry_label}: line code {code} occurs {count} times, "
+                    f"needs at least {spec.min_count}")
+            if spec.max_count is not None and count > spec.max_count:
+                raise FlatFileError(
+                    f"{entry_label}: line code {code} occurs {count} times, "
+                    f"allows at most {spec.max_count}")

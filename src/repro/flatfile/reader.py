@@ -1,0 +1,95 @@
+"""Read flat files into entries (lists of parsed lines).
+
+An *entry* runs from its first line (by convention an ID line) to the
+``//`` terminator. Entries stream lazily so multi-hundred-megabyte dumps
+(the realistic case for EMBL) never need to be memory-resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.errors import FlatFileError
+from repro.flatfile.lines import TERMINATOR, Line, parse_line
+
+
+@dataclass
+class Entry:
+    """One flat-file entry: ordered lines, excluding the terminator."""
+
+    lines: list[Line]
+
+    def first(self, code: str) -> Line | None:
+        """First line with the given code, or None."""
+        for line in self.lines:
+            if line.code == code:
+                return line
+        return None
+
+    def all(self, code: str) -> list[Line]:
+        """All lines with the given code, in order."""
+        return [line for line in self.lines if line.code == code]
+
+    def value(self, code: str) -> str | None:
+        """Data of the first line with the given code, or None."""
+        line = self.first(code)
+        return line.data if line is not None else None
+
+    def joined(self, code: str, separator: str = " ") -> str:
+        """All data lines with the given code joined into one string.
+
+        This is how multi-line values (ENZYME ``CA``/``CC``) are
+        reassembled.
+        """
+        return separator.join(line.data for line in self.all(code))
+
+    def codes(self) -> list[str]:
+        """Distinct line codes, in first-appearance order."""
+        seen: list[str] = []
+        for line in self.lines:
+            if line.code not in seen:
+                seen.append(line.code)
+        return seen
+
+
+def iter_entries(source: TextIO | Iterable[str]) -> Iterator[Entry]:
+    """Yield entries from an iterable of raw text lines.
+
+    Blank lines between entries are tolerated; a non-blank trailing
+    fragment without its ``//`` terminator is an error (the paper's
+    update requirement — "without any information being left out" —
+    makes silently dropping a truncated entry unacceptable).
+    """
+    current: list[Line] = []
+    line_number = 0
+    for raw in source:
+        line_number += 1
+        if not raw.strip():
+            if current:
+                raise FlatFileError(
+                    "blank line inside an entry", line_number)
+            continue
+        line = parse_line(raw, line_number)
+        if line.code == TERMINATOR:
+            if not current:
+                raise FlatFileError("terminator with no entry", line_number)
+            yield Entry(current)
+            current = []
+        else:
+            current.append(line)
+    if current:
+        raise FlatFileError(
+            f"unterminated final entry ({len(current)} lines)", line_number)
+
+
+def read_entries(path: str | Path) -> list[Entry]:
+    """Read all entries of a flat file on disk."""
+    with open(path, encoding="utf-8") as handle:
+        return list(iter_entries(handle))
+
+
+def parse_entries(text: str) -> list[Entry]:
+    """Read all entries from a flat-file string."""
+    return list(iter_entries(text.splitlines()))

@@ -1,0 +1,41 @@
+"""Write entries back out as flat-file text.
+
+Used by the synthetic corpus generators (to produce source "releases" for
+the transport layer) and by round-trip tests (entry → text → entry must be
+identity for unwrapped values).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.flatfile.lines import TERMINATOR, Line
+from repro.flatfile.reader import Entry
+
+
+def render_entry(entry: Entry) -> str:
+    """Render one entry, terminator included, with a trailing newline."""
+    lines = [line.render() for line in entry.lines]
+    lines.append(TERMINATOR)
+    return "\n".join(lines) + "\n"
+
+
+def render_entries(entries: Iterable[Entry]) -> str:
+    """Render a full flat file."""
+    return "".join(render_entry(entry) for entry in entries)
+
+
+def write_entries(entries: Iterable[Entry], path: str | Path) -> int:
+    """Write entries to ``path``; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for entry in entries:
+            handle.write(render_entry(entry))
+            count += 1
+    return count
+
+
+def entry_from_pairs(pairs: Iterable[tuple[str, str]]) -> Entry:
+    """Build an entry from ``(code, data)`` pairs (generator helper)."""
+    return Entry([Line(code, data) for code, data in pairs])

@@ -1,0 +1,19 @@
+"""Query-by-example builders: the programmatic substitute for the
+XomatiQ visual query interface (three modes, per paper §3.1)."""
+
+from repro.qbe.builder import (
+    JoinQueryBuilder,
+    KeywordSearchBuilder,
+    SubtreeSearchBuilder,
+)
+from repro.qbe.dtd_tree import all_paths, attribute_paths, contains_tag, path_to
+
+__all__ = [
+    "JoinQueryBuilder",
+    "KeywordSearchBuilder",
+    "SubtreeSearchBuilder",
+    "all_paths",
+    "attribute_paths",
+    "contains_tag",
+    "path_to",
+]

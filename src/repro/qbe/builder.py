@@ -1,0 +1,295 @@
+"""Programmatic query builders — the GUI's three modes (paper §3.1).
+
+Each builder mirrors one visual formulation mode; its
+:meth:`translate` is the "Translate Query" button, returning the exact
+textual XomatiQ query, and :meth:`run` executes it on a warehouse.
+
+* :class:`KeywordSearchBuilder` — Figure 8: pick databases, type a
+  keyword, choose what to return from each database.
+* :class:`SubtreeSearchBuilder` — Figures 7a/9: pick one database,
+  click the sub-tree element to search within, type the keyword,
+  click the elements to retrieve.
+* :class:`JoinQueryBuilder` — Figures 10/11: pick two databases, click
+  the joining elements (middle panel), choose the outputs.
+
+Builders validate clicked names against the source DTD trees, exactly
+as the GUI constrains clicks to existing nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PathError, QueryError
+from repro.qbe.dtd_tree import contains_tag
+from repro.xmlkit.dtd import DtdTreeNode
+
+_VARIABLE_NAMES = "abcdefgh"
+
+
+def _validate_click(tree: DtdTreeNode, name: str, database: str) -> None:
+    target = name.lstrip("@")
+    if name.startswith("@"):
+        found = _has_attribute(tree, target)
+    else:
+        found = contains_tag(tree, target)
+    if not found:
+        raise PathError(
+            f"{name!r} is not a node of the {database} DTD tree")
+
+
+def _has_attribute(tree: DtdTreeNode, attribute: str) -> bool:
+    if attribute in tree.attributes:
+        return True
+    return any(_has_attribute(child, attribute) for child in tree.children)
+
+
+def _return_expr(var: str, name: str) -> str:
+    if name.startswith("@"):
+        return f"${var}//{'@' + name[1:]}"
+    return f"${var}//{name}"
+
+
+@dataclass
+class _DatabasePanel:
+    """One selected database in a builder: its document address, its
+    DTD tree, its root element tag and the fields to retrieve."""
+
+    document: str
+    tree: DtdTreeNode
+    returns: list[str] = field(default_factory=list)
+
+
+class _BuilderBase:
+    def __init__(self, warehouse):
+        self.warehouse = warehouse
+        self._panels: list[_DatabasePanel] = []
+
+    def _add_database(self, document: str) -> _DatabasePanel:
+        if len(self._panels) >= len(_VARIABLE_NAMES):
+            raise QueryError("too many databases selected")
+        source = document.rpartition(".")[0] or document
+        panel = _DatabasePanel(document=document,
+                               tree=self.warehouse.dtd_tree(source))
+        self._panels.append(panel)
+        return panel
+
+    def _panel(self, document: str) -> _DatabasePanel:
+        for panel in self._panels:
+            if panel.document == document:
+                return panel
+        raise QueryError(f"database {document!r} was not selected")
+
+    def _var(self, panel: _DatabasePanel) -> str:
+        return _VARIABLE_NAMES[self._panels.index(panel)]
+
+    def translate(self) -> str:
+        raise NotImplementedError
+
+    def run(self):
+        """Execute the translated query on the warehouse."""
+        return self.warehouse.query(self.translate())
+
+
+class KeywordSearchBuilder(_BuilderBase):
+    """Keyword-based search mode: one keyword across N databases."""
+
+    def __init__(self, warehouse):
+        super().__init__(warehouse)
+        self._keyword: str | None = None
+
+    def add_database(self, document: str) -> "KeywordSearchBuilder":
+        """Select a database (left panel)."""
+        self._add_database(document)
+        return self
+
+    def keyword(self, phrase: str) -> "KeywordSearchBuilder":
+        """Type the keyword to search for."""
+        self._keyword = phrase
+        return self
+
+    def retrieve(self, document: str, name: str) -> "KeywordSearchBuilder":
+        """Click a field of one database to add it to the output."""
+        panel = self._panel(document)
+        _validate_click(panel.tree, name, document)
+        panel.returns.append(name)
+        return self
+
+    def translate(self) -> str:
+        """The "Translate Query" button: emit the textual query."""
+        if not self._panels:
+            raise QueryError("select at least one database")
+        if not self._keyword:
+            raise QueryError("enter a keyword")
+        for panel in self._panels:
+            if not panel.returns:
+                raise QueryError(
+                    f"select at least one field to retrieve from "
+                    f"{panel.document}")
+        bindings = []
+        conditions = []
+        returns = []
+        for panel in self._panels:
+            var = self._var(panel)
+            bindings.append(
+                f'${var} IN document("{panel.document}")/{panel.tree.tag}')
+            conditions.append(f'contains(${var}, "{self._keyword}", any)')
+            returns.extend(_return_expr(var, name)
+                           for name in panel.returns)
+        return (f"FOR {', '.join(bindings)}\n"
+                f"WHERE {' AND '.join(conditions)}\n"
+                f"RETURN {', '.join(returns)}")
+
+
+class SubtreeSearchBuilder(_BuilderBase):
+    """Sub-tree search mode: keyword limited to one clicked sub-tree."""
+
+    def __init__(self, warehouse, document: str):
+        super().__init__(warehouse)
+        self._add_database(document)
+        self._conditions: list[tuple[str, str, str]] = []  # (connector, subtree, keyword)
+
+    @property
+    def _main(self) -> _DatabasePanel:
+        return self._panels[0]
+
+    def search_in(self, subtree: str, keyword: str,
+                  connector: str = "and") -> "SubtreeSearchBuilder":
+        """Click a sub-tree element and enter a keyword condition.
+
+        ``connector`` chains multiple conditions conjunctively or
+        disjunctively ("complex conjunctive and disjunctive
+        constraints ... using logical operators").
+        """
+        if connector.lower() not in ("and", "or"):
+            raise QueryError("connector must be 'and' or 'or'")
+        _validate_click(self._main.tree, subtree, self._main.document)
+        if subtree.startswith("@"):
+            raise QueryError("sub-tree search targets elements")
+        self._conditions.append((connector.lower(), subtree, keyword))
+        return self
+
+    def retrieve(self, name: str) -> "SubtreeSearchBuilder":
+        """Click a field to add it to the output."""
+        _validate_click(self._main.tree, name, self._main.document)
+        self._main.returns.append(name)
+        return self
+
+    def translate(self) -> str:
+        """The "Translate Query" button: emit the textual query."""
+        if not self._conditions:
+            raise QueryError("add at least one sub-tree condition")
+        if not self._main.returns:
+            raise QueryError("select at least one field to retrieve")
+        panel = self._main
+        var = self._var(panel)
+        clauses: list[str] = []
+        for index, (connector, subtree, keyword) in enumerate(
+                self._conditions):
+            atom = f'contains(${var}//{subtree}, "{keyword}")'
+            if index == 0:
+                clauses.append(atom)
+            else:
+                clauses.append(f"{connector.upper()} {atom}")
+        returns = ", ".join(_return_expr(var, name)
+                            for name in panel.returns)
+        return (f'FOR ${var} IN document("{panel.document}")'
+                f"/{panel.tree.tag}\n"
+                f"WHERE {' '.join(clauses)}\n"
+                f"RETURN {returns}")
+
+
+class JoinQueryBuilder(_BuilderBase):
+    """Join query mode: correlate two (or more) databases."""
+
+    def __init__(self, warehouse):
+        super().__init__(warehouse)
+        self._joins: list[tuple[str, str, str, str]] = []
+        self._filters: list[tuple[str, str, str]] = []
+
+    def add_database(self, document: str) -> "JoinQueryBuilder":
+        """Select a database (one of the side panels)."""
+        self._add_database(document)
+        return self
+
+    def join(self, left_document: str, left_path: str,
+             right_document: str, right_path: str) -> "JoinQueryBuilder":
+        """Click the joining elements in the middle panel.
+
+        Paths are relative (descendant) paths like
+        ``qualifier[@qualifier_type = "EC_number"]`` or
+        ``db_entry/enzyme_id`` — the builder prefixes the variable.
+        """
+        for document, path in ((left_document, left_path),
+                               (right_document, right_path)):
+            panel = self._panel(document)
+            head = path.split("[")[0].split("/")[-1].strip()
+            first = path.split("[")[0].split("/")[0].strip()
+            for name in {head, first}:
+                if name:
+                    _validate_click(panel.tree, name, document)
+        self._joins.append(
+            (left_document, left_path, right_document, right_path))
+        return self
+
+    def filter_equals(self, document: str, path: str,
+                      value: str) -> "JoinQueryBuilder":
+        """An extra equality condition on one database."""
+        panel = self._panel(document)
+        head = path.split("[")[0].split("/")[-1].strip().lstrip("@")
+        _validate_click(panel.tree,
+                        ("@" + head) if "@" in path.split("/")[-1] else head,
+                        document)
+        self._filters.append((document, path, value))
+        return self
+
+    def retrieve(self, document: str, name: str,
+                 alias: str | None = None) -> "JoinQueryBuilder":
+        """Click an output field, optionally naming the column."""
+        panel = self._panel(document)
+        _validate_click(panel.tree, name, document)
+        panel.returns.append(f"{alias}={name}" if alias else name)
+        return self
+
+    def translate(self) -> str:
+        """The "Translate Query" button: emit the textual query."""
+        if len(self._panels) < 2:
+            raise QueryError("a join query needs at least two databases")
+        if not self._joins:
+            raise QueryError("click a pair of joining elements")
+        bindings = []
+        for panel in self._panels:
+            var = self._var(panel)
+            bindings.append(
+                f'${var} IN document("{panel.document}")'
+                f"/{panel.tree.tag}/db_entry"
+                if _root_has_db_entry(panel.tree)
+                else f'${var} IN document("{panel.document}")'
+                     f"/{panel.tree.tag}")
+        conditions = []
+        for left_doc, left_path, right_doc, right_path in self._joins:
+            left_var = self._var(self._panel(left_doc))
+            right_var = self._var(self._panel(right_doc))
+            conditions.append(
+                f"${left_var}//{left_path} = ${right_var}//{right_path}")
+        for document, path, value in self._filters:
+            var = self._var(self._panel(document))
+            conditions.append(f'${var}//{path} = "{value}"')
+        returns = []
+        for panel in self._panels:
+            var = self._var(panel)
+            for item in panel.returns:
+                if "=" in item:
+                    alias, __, name = item.partition("=")
+                    returns.append(f"${alias} = {_return_expr(var, name)}")
+                else:
+                    returns.append(_return_expr(var, item))
+        if not returns:
+            raise QueryError("select at least one field to retrieve")
+        return (f"FOR {', '.join(bindings)}\n"
+                f"WHERE {' AND '.join(conditions)}\n"
+                f"RETURN {', '.join(returns)}")
+
+
+def _root_has_db_entry(tree: DtdTreeNode) -> bool:
+    return any(child.tag == "db_entry" for child in tree.children)

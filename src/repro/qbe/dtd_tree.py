@@ -1,0 +1,61 @@
+"""DTD-tree navigation for the query builder.
+
+The XomatiQ GUI's left panel "displays the DTD structure of the XML
+documents to be queried" and users "click on the elements ... to select
+them". Programmatically, a click is: resolve a tag (or an explicit
+path) against the DTD structural summary to a root-anchored path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PathError
+from repro.xmlkit.dtd import DtdTreeNode
+
+
+def all_paths(tree: DtdTreeNode, tag: str) -> list[str]:
+    """Every root-anchored slash path to elements tagged ``tag``."""
+    hits: list[str] = []
+
+    def walk(node: DtdTreeNode, prefix: str) -> None:
+        here = f"{prefix}/{node.tag}"
+        if node.tag == tag:
+            hits.append(here)
+        for child in node.children:
+            walk(child, here)
+
+    walk(tree, "")
+    return hits
+
+
+def path_to(tree: DtdTreeNode, tag: str) -> str:
+    """The unique root-anchored path to ``tag``; raises if the tag is
+    absent or ambiguous (the GUI disambiguates by position; text users
+    must write the full path)."""
+    hits = all_paths(tree, tag)
+    if not hits:
+        raise PathError(f"element {tag!r} does not occur in this DTD")
+    if len(hits) > 1:
+        raise PathError(
+            f"element {tag!r} is ambiguous in this DTD: {hits}")
+    return hits[0]
+
+
+def attribute_paths(tree: DtdTreeNode, attribute: str) -> list[str]:
+    """Every root-anchored path to elements carrying ``attribute``,
+    with the attribute step appended."""
+    hits: list[str] = []
+
+    def walk(node: DtdTreeNode, prefix: str) -> None:
+        here = f"{prefix}/{node.tag}"
+        if attribute in node.attributes:
+            hits.append(f"{here}/@{attribute}")
+        for child in node.children:
+            walk(child, here)
+
+    walk(tree, "")
+    return hits
+
+
+def contains_tag(tree: DtdTreeNode, tag: str) -> bool:
+    """True when ``tag`` occurs anywhere in the DTD tree."""
+    return bool(all_paths(tree, tag))

@@ -1,0 +1,32 @@
+"""Relational substrate: the backend protocol, the generic schema for
+shredded XML, and the two engines (SQLite and minidb)."""
+
+from repro.relational.backend import Backend, Params, Row
+from repro.relational.inlined import InlinedSchema
+from repro.relational.minidb import MiniDbBackend
+from repro.relational.schema import (
+    CREATE_INDEXES,
+    CREATE_TABLES,
+    INSERT_STATEMENTS,
+    TABLE_NAMES,
+    SchemaOptions,
+    create_schema,
+    drop_schema,
+)
+from repro.relational.sqlite_backend import SqliteBackend
+
+__all__ = [
+    "Backend",
+    "CREATE_INDEXES",
+    "CREATE_TABLES",
+    "INSERT_STATEMENTS",
+    "InlinedSchema",
+    "MiniDbBackend",
+    "Params",
+    "Row",
+    "SchemaOptions",
+    "SqliteBackend",
+    "TABLE_NAMES",
+    "create_schema",
+    "drop_schema",
+]

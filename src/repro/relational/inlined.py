@@ -1,0 +1,309 @@
+"""DTD-aware *inlined* shredding — the road the paper did not take.
+
+The paper stores XML in a **generic** edge/value schema. The work it
+builds on (Shanmugasundaram et al., VLDB'99 — its reference [40])
+proposes the alternative: derive a relational schema *from the DTD*,
+inlining singly-occurring scalar children as columns of their parent's
+table and spinning repeated or attributed elements into child tables.
+Experiment E10 quantifies the tradeoff on our workloads.
+
+Mapping rules (a pragmatic "shared inlining"):
+
+* the DTD root wraps one ``db_entry`` per document → the **entry
+  table**, one row per document, keyed ``(entry_id)`` with the
+  warehouse ``entry_key`` alongside;
+* a child element that occurs **at most once**, has ``#PCDATA``
+  content and **no attributes** → a TEXT column on its parent's table;
+* a **container** (single occurrence, element-only content, no
+  attributes) is transparent: its children are mapped as if they hung
+  off the container's parent (``alternate_name_list`` disappears);
+* anything repeated, attributed, or non-scalar → its **own table**
+  with ``(row_id, parent_id, ord, value, <one column per attribute>)``,
+  where ``parent_id`` references the entry row or the enclosing
+  repeated element's row;
+* recursion through repeated containers nests child tables
+  (EMBL: ``feature`` rows own ``qualifier`` rows).
+
+The inlined schema answers path queries with fewer joins (navigation
+is compiled into the schema) but is frozen per-DTD: a new source means
+new DDL, and schema evolution (the paper's core concern with
+biological data!) means migrations. That asymmetry is the point of the
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.relational.backend import Backend
+from repro.xmlkit import Document, Dtd, Element
+from repro.xmlkit.dtd import (
+    AnyContent,
+    Choice,
+    ElementDecl,
+    Mixed,
+    Name,
+    PCData,
+    Particle,
+    Seq,
+)
+
+
+def _sanitize(name: str) -> str:
+    return "".join(ch if (ch.isalnum() or ch == "_") else "_"
+                   for ch in name)
+
+
+def child_multiplicities(decl: ElementDecl) -> dict[str, str]:
+    """tag → ``"one"`` | ``"many"`` for a declaration's content model."""
+    counts: dict[str, str] = {}
+
+    def bump(tag: str, many: bool) -> None:
+        if many or tag in counts:
+            counts[tag] = "many"
+        else:
+            counts[tag] = "one"
+
+    def walk(particle: Particle, forced_many: bool) -> None:
+        many = forced_many or particle.occurs in ("*", "+")
+        if isinstance(particle, Name):
+            bump(particle.tag, many)
+        elif isinstance(particle, (Seq, Choice)):
+            for item in particle.items:
+                walk(item, many)
+        elif isinstance(particle, Mixed):
+            for tag in particle.tags:
+                bump(tag, True)
+
+    walk(decl.content, False)
+    return counts
+
+
+@dataclass
+class InlinedColumn:
+    """One column of an inlined table."""
+
+    name: str
+    kind: str            # "scalar_child" | "attribute" | "text"
+    source_tag: str = ""     # child tag (scalar_child) / attr name
+
+
+@dataclass
+class InlinedTable:
+    """One table: rows correspond to elements tagged ``anchor_tag``.
+
+    ``container_path`` lists the transparent container tags between the
+    parent anchor and this anchor (e.g. ``["alternate_name_list"]``).
+    """
+
+    name: str
+    anchor_tag: str
+    parent: "InlinedTable | None"
+    container_path: list[str] = field(default_factory=list)
+    columns: list[InlinedColumn] = field(default_factory=list)
+    children: list["InlinedTable"] = field(default_factory=list)
+
+    @property
+    def is_entry_table(self) -> bool:
+        """True for the one-row-per-document table."""
+        return self.parent is None
+
+    def ddl(self) -> str:
+        """The CREATE TABLE statement for this table."""
+        parts = ["row_id INTEGER PRIMARY KEY"]
+        if self.is_entry_table:
+            parts.append("entry_key TEXT NOT NULL")
+        else:
+            parts.append("parent_id INTEGER NOT NULL")
+            parts.append("ord INTEGER NOT NULL")
+        for column in self.columns:
+            parts.append(f"{column.name} TEXT")
+        return f"CREATE TABLE {self.name} (" + ", ".join(parts) + ")"
+
+    def insert_sql(self) -> str:
+        """Parameterized INSERT covering every column."""
+        names = ["row_id"]
+        names.append("entry_key" if self.is_entry_table
+                     else "parent_id")
+        if not self.is_entry_table:
+            names.append("ord")
+        names.extend(column.name for column in self.columns)
+        placeholders = ", ".join("?" for __ in names)
+        return (f"INSERT INTO {self.name} ({', '.join(names)}) "
+                f"VALUES ({placeholders})")
+
+
+class InlinedSchema:
+    """The inlined relational schema of one DTD."""
+
+    def __init__(self, source: str, dtd: Dtd):
+        self.source = source
+        self.dtd = dtd
+        self.tables: dict[str, InlinedTable] = {}
+        self.entry_table = self._build()
+
+    # -- schema derivation ---------------------------------------------------
+
+    def _build(self) -> InlinedTable:
+        root_decl = self.dtd.declaration(self.dtd.root)
+        root_children = child_multiplicities(root_decl)
+        if list(root_children) != ["db_entry"]:
+            raise SchemaError(
+                f"inlined mapping expects a (db_entry) root, "
+                f"{self.dtd.root} declares {sorted(root_children)}")
+        entry = self._new_table("db_entry", parent=None, container_path=[])
+        self._populate(entry, self.dtd.declaration("db_entry"))
+        return entry
+
+    def _new_table(self, anchor_tag: str, parent: InlinedTable | None,
+                   container_path: list[str]) -> InlinedTable:
+        base = _sanitize(f"{self.source}_{anchor_tag}")
+        name = base
+        suffix = 2
+        while name in self.tables:
+            name = f"{base}_{suffix}"
+            suffix += 1
+        table = InlinedTable(name=name, anchor_tag=anchor_tag,
+                             parent=parent,
+                             container_path=list(container_path))
+        self.tables[name] = table
+        if parent is not None:
+            parent.children.append(table)
+        return table
+
+    def _populate(self, table: InlinedTable, decl: ElementDecl) -> None:
+        for attr_name in decl.attributes:
+            table.columns.append(InlinedColumn(
+                name=_sanitize(attr_name), kind="attribute",
+                source_tag=attr_name))
+        if decl.allows_text() and not table.is_entry_table:
+            table.columns.append(InlinedColumn(name="value", kind="text"))
+        self._map_children(table, decl, container_path=[])
+
+    def _map_children(self, table: InlinedTable, decl: ElementDecl,
+                      container_path: list[str]) -> None:
+        for tag, multiplicity in child_multiplicities(decl).items():
+            child_decl = self.dtd.declaration(tag)
+            scalar = (multiplicity == "one"
+                      and isinstance(child_decl.content, PCData)
+                      and not child_decl.attributes)
+            container = (multiplicity == "one"
+                         and not child_decl.allows_text()
+                         and not child_decl.attributes
+                         and not isinstance(child_decl.content,
+                                            (AnyContent,)))
+            if scalar:
+                table.columns.append(InlinedColumn(
+                    name=_sanitize("_".join(container_path + [tag])),
+                    kind="scalar_child", source_tag=tag))
+            elif container:
+                # transparent: hoist its children onto this table
+                self._map_children(table, child_decl,
+                                   container_path + [tag])
+            else:
+                child_table = self._new_table(tag, table, container_path)
+                self._populate_child(child_table, child_decl)
+
+    def _populate_child(self, table: InlinedTable,
+                        decl: ElementDecl) -> None:
+        for attr_name in decl.attributes:
+            table.columns.append(InlinedColumn(
+                name=_sanitize(attr_name), kind="attribute",
+                source_tag=attr_name))
+        if decl.allows_text():
+            table.columns.append(InlinedColumn(name="value", kind="text"))
+        if not isinstance(decl.content, (PCData, AnyContent, Mixed)):
+            self._map_children(table, decl, container_path=[])
+
+    # -- DDL / loading ------------------------------------------------------------
+
+    def create(self, backend: Backend) -> None:
+        """Create every derived table plus parent-id indexes."""
+        for table in self.tables.values():
+            backend.execute(table.ddl())
+        for table in self.tables.values():
+            if not table.is_entry_table:
+                backend.execute(
+                    f"CREATE INDEX idx_{table.name}_parent "
+                    f"ON {table.name} (parent_id)")
+        backend.commit()
+
+    def load_documents(self, backend: Backend,
+                       keyed_documents) -> int:
+        """Load ``(entry_key, Document)`` pairs; returns rows written
+        to the entry table."""
+        loader = _InlinedLoader(self, backend)
+        count = 0
+        for entry_key, document in keyed_documents:
+            loader.load(entry_key, document)
+            count += 1
+        backend.commit()
+        analyze = getattr(backend, "analyze", None)
+        if analyze is not None:
+            analyze()
+        return count
+
+
+class _InlinedLoader:
+    def __init__(self, schema: InlinedSchema, backend: Backend):
+        self.schema = schema
+        self.backend = backend
+        self._next_row: dict[str, int] = {
+            name: 1 for name in schema.tables}
+
+    def load(self, entry_key: str, document: Document) -> int:
+        entry_element = document.root.first("db_entry")
+        if entry_element is None:
+            raise SchemaError("document has no db_entry child")
+        return self._store(self.schema.entry_table, entry_element,
+                           parent_row=None, ord_=0, entry_key=entry_key)
+
+    def _store(self, table: InlinedTable, element: Element,
+               parent_row: int | None, ord_: int,
+               entry_key: str | None = None) -> int:
+        row_id = self._next_row[table.name]
+        self._next_row[table.name] = row_id + 1
+        values: list = [row_id]
+        values.append(entry_key if table.is_entry_table else parent_row)
+        if not table.is_entry_table:
+            values.append(ord_)
+        for column in table.columns:
+            values.append(self._column_value(column, element))
+        self.backend.execute(table.insert_sql(), values)
+        for child_table in table.children:
+            anchors = self._anchors(element, child_table)
+            for index, anchor in enumerate(anchors):
+                self._store(child_table, anchor, parent_row=row_id,
+                            ord_=index)
+        return row_id
+
+    @staticmethod
+    def _column_value(column: InlinedColumn, element: Element):
+        if column.kind == "attribute":
+            return element.get(column.source_tag)
+        if column.kind == "text":
+            return element.text()
+        # scalar child, possibly through transparent containers encoded
+        # in the column name — resolve by tag search one level at a time
+        child = element.first(column.source_tag)
+        if child is None:
+            # hoisted through containers: search grandchildren
+            for container in element.child_elements():
+                child = container.first(column.source_tag)
+                if child is not None:
+                    break
+        return child.text() if child is not None else None
+
+    @staticmethod
+    def _anchors(element: Element, table: InlinedTable) -> list[Element]:
+        holders = [element]
+        for container_tag in table.container_path:
+            next_holders: list[Element] = []
+            for holder in holders:
+                next_holders.extend(holder.child_elements(container_tag))
+            holders = next_holders
+        anchors: list[Element] = []
+        for holder in holders:
+            anchors.extend(holder.child_elements(table.anchor_tag))
+        return anchors

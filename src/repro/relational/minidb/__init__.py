@@ -1,0 +1,17 @@
+"""minidb: a from-scratch pure-Python relational engine.
+
+Heap tables, hash and ordered (bisect) secondary indexes, an SQL-subset
+lexer/parser, and a planner/executor with predicate pushdown, index
+access paths and hash joins. It exists so the reproduction's
+experiments can open the hood on the relational substrate (index
+ablation, join strategy) that the SQLite/Oracle black box hides, while
+consuming exactly the same SQL.
+"""
+
+from repro.relational.minidb.backend import MiniDbBackend
+from repro.relational.minidb.executor import Plan, execute_select
+from repro.relational.minidb.sql import parse_sql
+from repro.relational.minidb.table import Catalog, Table
+
+__all__ = ["Catalog", "MiniDbBackend", "Plan", "Table", "execute_select",
+           "parse_sql"]

@@ -1,0 +1,380 @@
+"""Expression AST for minidb SQL.
+
+Expressions appear in WHERE clauses, join conditions and select lists.
+Each node compiles to a Python closure ``fn(row, params) -> value``
+against a :class:`ColumnEnv` that maps qualified column names to
+positions in the executor's combined row tuples — compiling once per
+statement keeps per-row evaluation cheap, which matters when the
+nested-loop baseline scans millions of combinations.
+
+NULL semantics follow SQL where it is observable in our workload:
+comparisons involving NULL are not-true, ``IS [NOT] NULL`` tests
+explicitly, aggregates skip NULLs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import ExecutionError, SchemaError
+
+RowFn = Callable[[tuple, Sequence], Any]
+
+
+class ColumnEnv:
+    """Maps ``alias.column`` (and unambiguous bare ``column``) names to
+    offsets in the combined row tuple."""
+
+    def __init__(self):
+        self._qualified: dict[tuple[str, str], int] = {}
+        self._bare: dict[str, int | None] = {}  # None = ambiguous
+
+    def add(self, alias: str, column: str, offset: int) -> None:
+        """Register one column at a row-tuple offset."""
+        self._qualified[(alias, column)] = offset
+        if column in self._bare:
+            self._bare[column] = None
+        else:
+            self._bare[column] = offset
+
+    def resolve(self, alias: str | None, column: str) -> int:
+        """Offset of ``alias.column`` (or unambiguous bare name)."""
+        if alias is not None:
+            try:
+                return self._qualified[(alias, column)]
+            except KeyError:
+                raise SchemaError(
+                    f"unknown column {alias}.{column}") from None
+        offset = self._bare.get(column, "missing")
+        if offset == "missing":
+            raise SchemaError(f"unknown column {column}")
+        if offset is None:
+            raise SchemaError(f"ambiguous column {column}")
+        return offset
+
+
+class Expr:
+    """Base class; subclasses implement :meth:`compile`."""
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        """Compile to a closure ``fn(row, params) -> value`` bound to
+        the given column layout; subclasses implement the operator
+        semantics described in the module docstring."""
+        raise NotImplementedError
+
+    def column_refs(self) -> list["ColumnRef"]:
+        """All column references in this expression tree."""
+        refs: list[ColumnRef] = []
+        self._collect_refs(refs)
+        return refs
+
+    def _collect_refs(self, refs: list["ColumnRef"]) -> None:
+        for value in self.__dict__.values():
+            if isinstance(value, Expr):
+                value._collect_refs(refs)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Expr):
+                        item._collect_refs(refs)
+
+
+@dataclass
+class ColumnRef(Expr):
+    """``alias.column`` or bare ``column``."""
+
+    alias: str | None
+    column: str
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        offset = env.resolve(self.alias, self.column)
+        return lambda row, params: row[offset]
+
+    def _collect_refs(self, refs: list["ColumnRef"]) -> None:
+        refs.append(self)
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column}" if self.alias else self.column
+
+
+@dataclass
+class Literal(Expr):
+    """A constant (string, number or NULL)."""
+
+    value: Any
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        value = self.value
+        return lambda row, params: value
+
+
+@dataclass
+class Param(Expr):
+    """A positional ``?`` parameter."""
+
+    index: int
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        index = self.index
+        return lambda row, params: params[index]
+
+
+_COMPARISONS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass
+class Comparison(Expr):
+    """Binary comparison; NULL operands make it not-true."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        left = self.left.compile(env)
+        right = self.right.compile(env)
+        compare = _COMPARISONS[self.op]
+
+        def run(row, params):
+            a = left(row, params)
+            b = right(row, params)
+            if a is None or b is None:
+                return None   # SQL three-valued logic: unknown
+            try:
+                return compare(a, b)
+            except TypeError:
+                # mixed text/number comparison: SQL engines coerce;
+                # we compare as strings, matching sqlite's affinity-less case
+                return compare(str(a), str(b))
+
+        return run
+
+
+@dataclass
+class Arithmetic(Expr):
+    """Binary arithmetic; NULL propagates."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        left = self.left.compile(env)
+        right = self.right.compile(env)
+        operate = _ARITHMETIC[self.op]
+
+        def run(row, params):
+            a = left(row, params)
+            b = right(row, params)
+            if a is None or b is None:
+                return None
+            try:
+                return operate(a, b)
+            except (TypeError, ZeroDivisionError) as exc:
+                raise ExecutionError(
+                    f"arithmetic error: {a!r} {self.op} {b!r}: {exc}"
+                ) from exc
+
+        return run
+
+
+@dataclass
+class And(Expr):
+    """Conjunction with SQL three-valued logic."""
+
+    items: list[Expr]
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        compiled = [item.compile(env) for item in self.items]
+
+        def run(row, params):
+            unknown = False
+            for fn in compiled:
+                value = fn(row, params)
+                if value is None:
+                    unknown = True
+                elif not value:
+                    return False
+            return None if unknown else True
+
+        return run
+
+
+@dataclass
+class Or(Expr):
+    """Disjunction with SQL three-valued logic."""
+
+    items: list[Expr]
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        compiled = [item.compile(env) for item in self.items]
+
+        def run(row, params):
+            unknown = False
+            for fn in compiled:
+                value = fn(row, params)
+                if value is None:
+                    unknown = True
+                elif value:
+                    return True
+            return None if unknown else False
+
+        return run
+
+
+@dataclass
+class Not(Expr):
+    """Negation; unknown stays unknown."""
+
+    item: Expr
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        inner = self.item.compile(env)
+
+        def run(row, params):
+            value = inner(row, params)
+            if value is None:
+                return None
+            return not value
+
+        return run
+
+
+@dataclass
+class IsNull(Expr):
+    """``IS [NOT] NULL`` — the only NULL-aware predicate."""
+
+    item: Expr
+    negate: bool = False
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        inner = self.item.compile(env)
+        if self.negate:
+            return lambda row, params: inner(row, params) is not None
+        return lambda row, params: inner(row, params) is None
+
+
+@dataclass
+class Like(Expr):
+    """SQL LIKE with ``%`` and ``_`` wildcards (case-insensitive, as in
+    sqlite's default)."""
+
+    item: Expr
+    pattern: Expr
+    negate: bool = False
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        inner = self.item.compile(env)
+        pattern_fn = self.pattern.compile(env)
+        negate = self.negate
+        cache: dict[str, re.Pattern] = {}
+
+        def run(row, params):
+            value = inner(row, params)
+            pattern = pattern_fn(row, params)
+            if value is None or pattern is None:
+                return None
+            compiled = cache.get(pattern)
+            if compiled is None:
+                compiled = compile_like(pattern)
+                cache[pattern] = compiled
+            matched = compiled.match(str(value)) is not None
+            return matched != negate
+
+        return run
+
+
+def compile_like(pattern: str) -> re.Pattern:
+    """Translate a LIKE pattern to a compiled regex."""
+    parts: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("".join(parts) + r"\Z", re.IGNORECASE | re.DOTALL)
+
+
+@dataclass
+class InList(Expr):
+    """``x IN (a, b, c)`` over literal/param items."""
+
+    item: Expr
+    options: list[Expr]
+    negate: bool = False
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        inner = self.item.compile(env)
+        compiled = [option.compile(env) for option in self.options]
+        negate = self.negate
+
+        def run(row, params):
+            value = inner(row, params)
+            if value is None:
+                return None
+            result = any(fn(row, params) == value for fn in compiled)
+            return result != negate
+
+        return run
+
+
+_SCALAR_FUNCTIONS: dict[str, Callable] = {
+    "lower": lambda v: None if v is None else str(v).lower(),
+    "upper": lambda v: None if v is None else str(v).upper(),
+    "length": lambda v: None if v is None else len(str(v)),
+    "abs": lambda v: None if v is None else abs(v),
+}
+
+
+@dataclass
+class FuncCall(Expr):
+    """Scalar function call (lower/upper/length/abs)."""
+
+    name: str
+    args: list[Expr]
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        func = _SCALAR_FUNCTIONS.get(self.name.lower())
+        if func is None:
+            raise SchemaError(f"unknown function {self.name}()")
+        if len(self.args) != 1:
+            raise SchemaError(f"{self.name}() takes exactly one argument")
+        inner = self.args[0].compile(env)
+        return lambda row, params: func(inner(row, params))
+
+
+AGGREGATE_NAMES = {"count", "min", "max", "sum", "avg"}
+
+
+@dataclass
+class Aggregate(Expr):
+    """Aggregate call in a select list: COUNT(*), MIN(x), etc.
+
+    Compiled per-row functions are meaningless for aggregates; the
+    executor special-cases them.
+    """
+
+    name: str
+    arg: Expr | None     # None = COUNT(*)
+    distinct: bool = False
+
+    def compile(self, env: ColumnEnv) -> RowFn:
+        raise ExecutionError(
+            f"aggregate {self.name}() outside an aggregating select")

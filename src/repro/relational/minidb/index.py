@@ -1,0 +1,189 @@
+"""minidb secondary indexes.
+
+Two flavours behind one interface:
+
+* :class:`HashIndex` — dict of key tuple → row-id list; O(1) equality
+  probes. Used for multi-column indexes and unique/primary keys.
+* :class:`OrderedIndex` — a sorted key list with bisect probes;
+  supports range scans (``<``, ``<=``, ``>``, ``>=``) as well as
+  equality, which is what ``num_value`` range predicates need. Single-
+  column indexes get this flavour.
+
+Both ignore rows whose (leading) key column is NULL — SQL predicates
+never match NULL anyway, and it keeps range scans clean of
+incomparable values. An ordered index keys on the first column only;
+equality on the remaining columns is re-checked by the executor's
+residual filter.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from repro.errors import ConstraintError
+
+
+class Index:
+    """Interface both index flavours implement."""
+
+    name: str
+    offsets: list[int]
+    unique: bool
+
+    def add(self, row: tuple, row_id: int) -> None:
+        """Index one live row (no-op when its key is NULL)."""
+        raise NotImplementedError
+
+    def remove(self, row: tuple, row_id: int) -> None:
+        """Drop one row from the index (tolerates absent entries)."""
+        raise NotImplementedError
+
+    def lookup(self, key: tuple) -> list[int]:
+        """Row ids whose key columns equal ``key``."""
+        raise NotImplementedError
+
+    @property
+    def supports_ranges(self) -> bool:
+        """True when :meth:`range_scan` is available."""
+        return False
+
+
+class HashIndex(Index):
+    """Dict-of-buckets index: O(1) equality probes on the full key."""
+    def __init__(self, name: str, offsets: list[int], unique: bool = False):
+        self.name = name
+        self.offsets = offsets
+        self.unique = unique
+        self._buckets: dict[tuple, list[int]] = {}
+
+    def _key(self, row: tuple) -> tuple | None:
+        key = tuple(row[i] for i in self.offsets)
+        if any(part is None for part in key):
+            return None
+        return key
+
+    def add(self, row: tuple, row_id: int) -> None:
+        key = self._key(row)
+        if key is None:
+            return
+        bucket = self._buckets.setdefault(key, [])
+        if self.unique and bucket:
+            raise ConstraintError(
+                f"index {self.name}: duplicate key {key}")
+        bucket.append(row_id)
+
+    def remove(self, row: tuple, row_id: int) -> None:
+        key = self._key(row)
+        if key is None:
+            return
+        bucket = self._buckets.get(key)
+        if bucket and row_id in bucket:
+            bucket.remove(row_id)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: tuple) -> list[int]:
+        return self._buckets.get(tuple(key), [])
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class OrderedIndex(Index):
+    """Single-column ordered index: parallel sorted lists of keys and
+    row-id lists, probed with bisect.
+
+    Keys of mixed type within one index would break ordering, so keys
+    are segregated by type bucket (numbers before strings, as sqlite
+    orders storage classes)."""
+
+    def __init__(self, name: str, offsets: list[int], unique: bool = False):
+        self.name = name
+        self.offsets = offsets
+        self.unique = unique
+        self._keys: list[tuple] = []      # (type_rank, value)
+        self._row_ids: list[list[int]] = []
+
+    @property
+    def supports_ranges(self) -> bool:
+        return True
+
+    @staticmethod
+    def _rank(value) -> tuple:
+        if isinstance(value, bool):
+            return (0, int(value))
+        if isinstance(value, (int, float)):
+            return (0, value)
+        return (1, str(value))
+
+    def add(self, row: tuple, row_id: int) -> None:
+        value = row[self.offsets[0]]
+        if value is None:
+            return
+        key = self._rank(value)
+        pos = bisect.bisect_left(self._keys, key)
+        if pos < len(self._keys) and self._keys[pos] == key:
+            if self.unique:
+                raise ConstraintError(
+                    f"index {self.name}: duplicate key {value!r}")
+            self._row_ids[pos].append(row_id)
+        else:
+            self._keys.insert(pos, key)
+            self._row_ids.insert(pos, [row_id])
+
+    def remove(self, row: tuple, row_id: int) -> None:
+        value = row[self.offsets[0]]
+        if value is None:
+            return
+        key = self._rank(value)
+        pos = bisect.bisect_left(self._keys, key)
+        if pos < len(self._keys) and self._keys[pos] == key:
+            bucket = self._row_ids[pos]
+            if row_id in bucket:
+                bucket.remove(row_id)
+                if not bucket:
+                    del self._keys[pos]
+                    del self._row_ids[pos]
+
+    def lookup(self, key: tuple) -> list[int]:
+        value = key[0]
+        if value is None:
+            return []
+        ranked = self._rank(value)
+        pos = bisect.bisect_left(self._keys, ranked)
+        if pos < len(self._keys) and self._keys[pos] == ranked:
+            return self._row_ids[pos]
+        return []
+
+    def range_scan(self, low=None, high=None, low_inclusive: bool = True,
+                   high_inclusive: bool = True) -> Iterator[int]:
+        """Row ids with ``low (<|<=) key (<|<=) high``; either bound may
+        be None (open). Only same-type-bucket keys are visited."""
+        if low is not None:
+            ranked_low = self._rank(low)
+            start = (bisect.bisect_left(self._keys, ranked_low)
+                     if low_inclusive
+                     else bisect.bisect_right(self._keys, ranked_low))
+        else:
+            start = 0
+        if high is not None:
+            ranked_high = self._rank(high)
+            stop = (bisect.bisect_right(self._keys, ranked_high)
+                    if high_inclusive
+                    else bisect.bisect_left(self._keys, ranked_high))
+        else:
+            stop = len(self._keys)
+        for pos in range(start, stop):
+            yield from self._row_ids[pos]
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._row_ids)
+
+
+def build_index(name: str, offsets: list[int], unique: bool) -> Index:
+    """Pick the index flavour: ordered for single-column (range
+    support), hash otherwise."""
+    if len(offsets) == 1:
+        return OrderedIndex(name, offsets, unique)
+    return HashIndex(name, offsets, unique)

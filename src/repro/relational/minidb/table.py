@@ -1,0 +1,172 @@
+"""minidb heap tables and catalog.
+
+A table is a list of row tuples with tombstone deletion (``None``
+slots); row ids are list offsets, which indexes reference. Column types
+follow SQLite's storage-class spirit: INTEGER/REAL coerce numeric
+strings on insert, TEXT stores as given, NULL passes through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import ConstraintError, SchemaError
+from repro.relational.minidb.index import Index, build_index
+from repro.relational.minidb.sql import ColumnDef
+
+
+@dataclass
+class Table:
+    """A heap table: column defs, tombstoned row list, indexes."""
+
+    name: str
+    columns: list[ColumnDef]
+    rows: list[tuple | None] = field(default_factory=list)
+    live_count: int = 0
+    indexes: dict[str, Index] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self._offsets = {col.name: i for i, col in enumerate(self.columns)}
+        if len(self._offsets) != len(self.columns):
+            raise SchemaError(f"table {self.name}: duplicate column names")
+        self._primary = [i for i, col in enumerate(self.columns)
+                         if col.primary_key]
+
+    def column_offset(self, name: str) -> int:
+        """Position of a column in row tuples."""
+        try:
+            return self._offsets[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name} has no column {name!r}") from None
+
+    def coerce(self, column: ColumnDef, value):
+        """Apply column-type coercion to one value."""
+        if value is None:
+            if column.not_null or column.primary_key:
+                raise ConstraintError(
+                    f"{self.name}.{column.name} is NOT NULL")
+            return None
+        if column.type_name == "INTEGER":
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            if isinstance(value, str) and value.lstrip("-").isdigit():
+                return int(value)
+            return value  # sqlite-style: keep as-is rather than fail
+        if column.type_name == "REAL":
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                return value
+        return value if isinstance(value, str) else str(value)
+
+    def insert(self, values: Sequence) -> int:
+        """Insert one full-width row; returns its row id."""
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"{self.name}: expected {len(self.columns)} values, "
+                f"got {len(values)}")
+        row = tuple(self.coerce(col, val)
+                    for col, val in zip(self.columns, values))
+        row_id = len(self.rows)
+        if self._primary:
+            key = tuple(row[i] for i in self._primary)
+            primary_index = self.indexes.get("__primary__")
+            if primary_index is not None and primary_index.lookup(key):
+                raise ConstraintError(
+                    f"{self.name}: duplicate primary key {key}")
+        self.rows.append(row)
+        self.live_count += 1
+        for index in self.indexes.values():
+            index.add(row, row_id)
+        return row_id
+
+    def delete_where(self, predicate) -> int:
+        """Delete rows where ``predicate(row)`` is true; returns count."""
+        deleted = 0
+        for row_id, row in enumerate(self.rows):
+            if row is None or not predicate(row):
+                continue
+            for index in self.indexes.values():
+                index.remove(row, row_id)
+            self.rows[row_id] = None
+            self.live_count -= 1
+            deleted += 1
+        return deleted
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield ``(row_id, row)`` for live rows."""
+        for row_id, row in enumerate(self.rows):
+            if row is not None:
+                yield row_id, row
+
+    def add_index(self, index_name: str, columns: list[str],
+                  unique: bool = False) -> Index:
+        """Create and backfill an index over existing rows."""
+        offsets = [self.column_offset(c) for c in columns]
+        index = build_index(index_name, offsets, unique)
+        for row_id, row in self.scan():
+            index.add(row, row_id)
+        self.indexes[index_name] = index
+        return index
+
+
+class Catalog:
+    """All tables and the index namespace of one minidb instance."""
+
+    def __init__(self):
+        self.tables: dict[str, Table] = {}
+        self._index_owner: dict[str, str] = {}   # index name -> table name
+
+    def create_table(self, name: str, columns: list[ColumnDef]) -> Table:
+        """Register a new table (primary keys get a unique index)."""
+        if name in self.tables:
+            raise SchemaError(f"table {name} already exists")
+        table = Table(name, columns)
+        self.tables[name] = table
+        if any(col.primary_key for col in columns):
+            primary_cols = [col.name for col in columns if col.primary_key]
+            table.add_index("__primary__", primary_cols, unique=True)
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        """Remove a table and release its index names."""
+        if name not in self.tables:
+            if if_exists:
+                return
+            raise SchemaError(f"no such table {name}")
+        table = self.tables.pop(name)
+        for index_name in list(table.indexes):
+            self._index_owner.pop(index_name, None)
+
+    def table(self, name: str) -> Table:
+        """Look a table up or raise :class:`SchemaError`."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"no such table {name}") from None
+
+    def create_index(self, index_name: str, table_name: str,
+                     columns: list[str], unique: bool = False) -> None:
+        """Create a named secondary index."""
+        if index_name in self._index_owner:
+            raise SchemaError(f"index {index_name} already exists")
+        table = self.table(table_name)
+        table.add_index(index_name, columns, unique)
+        self._index_owner[index_name] = table_name
+
+    def drop_index(self, index_name: str, if_exists: bool = False) -> None:
+        """Drop a named secondary index."""
+        owner = self._index_owner.pop(index_name, None)
+        if owner is None:
+            if if_exists:
+                return
+            raise SchemaError(f"no such index {index_name}")
+        self.tables[owner].indexes.pop(index_name, None)

@@ -1,0 +1,48 @@
+"""Tabular result export.
+
+Bioinformatics pipelines are file-driven: the paper's results are
+"fed into a variety of applications", and in practice that means TSV
+on disk. These exporters flatten a
+:class:`~repro.results.resultset.QueryResult` into delimited text.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+
+def to_delimited(result, delimiter: str = "\t",
+                 multi_value_separator: str = "; ") -> str:
+    """One header row plus one data row per result row.
+
+    Multi-valued cells are joined with ``multi_value_separator``
+    (quoting is handled by the csv module, so delimiters inside values
+    are safe).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter,
+                        lineterminator="\n")
+    writer.writerow(result.columns)
+    for row in result.rows:
+        writer.writerow([
+            multi_value_separator.join(row.values.get(column, []))
+            for column in result.columns])
+    return buffer.getvalue()
+
+
+def to_tsv(result) -> str:
+    """Tab-separated export (the lingua franca of bio pipelines)."""
+    return to_delimited(result, delimiter="\t")
+
+
+def to_csv(result) -> str:
+    """Comma-separated export."""
+    return to_delimited(result, delimiter=",")
+
+
+def write_tsv(result, path: str | Path) -> int:
+    """Write TSV to disk; returns the number of data rows written."""
+    Path(path).write_text(to_tsv(result), encoding="utf-8")
+    return len(result.rows)

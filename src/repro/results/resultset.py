@@ -1,0 +1,94 @@
+"""Query results.
+
+A :class:`QueryResult` holds one row per surviving FOR-binding
+combination. Each row carries
+
+* ``bindings`` — for every FOR variable, the bound element's
+  ``(doc_id, node_id)`` (enough to fetch/reconstruct the document the
+  GUI's right panel shows when a result is clicked),
+* ``values`` — for every RETURN item, the list of values found under
+  that binding (XQuery items are naturally multi-valued: an entry has
+  many alternate names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BoundNode:
+    """One variable's bound element."""
+
+    doc_id: int
+    node_id: int
+
+
+@dataclass
+class ResultRow:
+    """One binding combination and its return values.
+
+    ``values`` holds string values per column; for constructor items
+    ``elements`` additionally holds the assembled XML element (the
+    string value is its compact serialization).
+    """
+
+    bindings: dict[str, BoundNode]
+    values: dict[str, list[str]] = field(default_factory=dict)
+    elements: dict[str, "object"] = field(default_factory=dict)
+
+    def first(self, column: str, default: str = "") -> str:
+        """First value of a column (columns are multi-valued)."""
+        items = self.values.get(column, [])
+        return items[0] if items else default
+
+    def joined(self, column: str, separator: str = "; ") -> str:
+        """All values of a column joined into one string."""
+        return separator.join(self.values.get(column, []))
+
+
+@dataclass
+class QueryResult:
+    """All rows of one query execution."""
+
+    columns: list[str]
+    variables: list[str]
+    rows: list[ResultRow] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> list[list[str]]:
+        """Per-row value lists of one column."""
+        if name not in self.columns:
+            raise KeyError(f"no result column {name!r}; "
+                           f"have {self.columns}")
+        return [row.values.get(name, []) for row in self.rows]
+
+    def scalars(self, name: str) -> list[str]:
+        """Flattened values of one column across all rows."""
+        return [value for values in self.column(name) for value in values]
+
+    def to_table(self) -> str:
+        """Plain-table rendering (the GUI's table view)."""
+        from repro.results.table import format_table
+        return format_table(self)
+
+    def to_xml(self) -> str:
+        """XML rendering of the result values (the GUI's XML view)."""
+        from repro.results.tagger import tag_result
+        from repro.xmlkit import serialize
+        return serialize(tag_result(self))
+
+    def to_tsv(self) -> str:
+        """Tab-separated export (for downstream file-driven tools)."""
+        from repro.results.export import to_tsv
+        return to_tsv(self)
+
+    def to_csv(self) -> str:
+        """Comma-separated export."""
+        from repro.results.export import to_csv
+        return to_csv(self)

@@ -1,0 +1,45 @@
+"""Plain-table result formatting.
+
+The paper: "we provide an option to display the results in XML format
+or a simple table format because in bioinformatics the user may not
+always wish to view the results in an XML format". Multi-valued cells
+are joined with ``"; "``; wide cells are truncated with an ellipsis.
+"""
+
+from __future__ import annotations
+
+MAX_CELL_WIDTH = 60
+
+
+def format_table(result, max_cell_width: int = MAX_CELL_WIDTH) -> str:
+    """Render a :class:`~repro.results.resultset.QueryResult` as an
+    ASCII table with a header row and a row-count footer."""
+    headers = list(result.columns)
+    body: list[list[str]] = []
+    for row in result.rows:
+        body.append([_clip(row.joined(column), max_cell_width)
+                     for column in headers])
+
+    widths = [len(h) for h in headers]
+    for record in body:
+        for index, cell in enumerate(record):
+            widths[index] = max(widths[index], len(cell))
+
+    separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = [separator,
+             "|" + "|".join(f" {h:<{w}} " for h, w in zip(headers, widths))
+             + "|",
+             separator]
+    for record in body:
+        lines.append(
+            "|" + "|".join(f" {c:<{w}} " for c, w in zip(record, widths))
+            + "|")
+    lines.append(separator)
+    lines.append(f"{len(body)} row(s)")
+    return "\n".join(lines)
+
+
+def _clip(text: str, width: int) -> str:
+    if len(text) <= width:
+        return text
+    return text[:width - 3] + "..."

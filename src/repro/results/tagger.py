@@ -1,0 +1,60 @@
+"""The tagger: structure result tuples into XML (paper §3.3).
+
+"The resultant tuples are either displayed in a simple table format or
+treated by a tagger module, that structure them into the desired XML
+format of the result." Output shape::
+
+    <xomatiq_results>
+      <result>
+        <Accession_Number>AB012345</Accession_Number>
+        <description>...</description>     <!-- repeated if multi-valued -->
+      </result>
+      ...
+    </xomatiq_results>
+
+Column names are sanitized into valid element names (the ``@`` of
+attribute items becomes a prefix).
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit import Document, Element, is_valid_name
+
+RESULTS_TAG = "xomatiq_results"
+RESULT_TAG = "result"
+
+
+def element_name_for(column: str) -> str:
+    """A valid element name for a result column."""
+    name = column
+    if name.startswith("@"):
+        name = "attr_" + name[1:]
+    cleaned = "".join(ch if (ch.isalnum() or ch in "_-.") else "_"
+                      for ch in name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = "col_" + cleaned
+    if not is_valid_name(cleaned):
+        cleaned = "column"
+    return cleaned
+
+
+def tag_result(result) -> Document:
+    """Build the result document for a
+    :class:`~repro.results.resultset.QueryResult`."""
+    root = Element(RESULTS_TAG)
+    root.set("rows", str(len(result.rows)))
+    for row in result.rows:
+        record = root.subelement(RESULT_TAG)
+        for column in result.columns:
+            constructed = row.elements.get(column)
+            if constructed is not None:
+                # a constructor item: splice the assembled element
+                record.append(constructed)
+                continue
+            tag = element_name_for(column)
+            values = row.values.get(column, [])
+            if not values:
+                record.subelement(tag)   # explicit empty element
+            for value in values:
+                record.subelement(tag, text=value if value else None)
+    return Document(root, name="xomatiq_results")

@@ -1,0 +1,30 @@
+"""XML shredding into the generic relational schema and back
+(the XML2Relational- and Relation2XML-transformers of the paper)."""
+
+from repro.shredding.keywords import query_tokens, tokenize
+from repro.shredding.loader import WarehouseLoader
+from repro.shredding.reconstruct import (
+    reconstruct_by_entry,
+    reconstruct_document,
+    reconstruct_subtree,
+)
+from repro.shredding.shredder import (
+    DEFAULT_SEQUENCE_TAGS,
+    ShreddedDocument,
+    shred_document,
+)
+from repro.shredding.typing import is_numeric, numeric_value
+
+__all__ = [
+    "DEFAULT_SEQUENCE_TAGS",
+    "ShreddedDocument",
+    "WarehouseLoader",
+    "is_numeric",
+    "numeric_value",
+    "query_tokens",
+    "reconstruct_by_entry",
+    "reconstruct_document",
+    "reconstruct_subtree",
+    "shred_document",
+    "tokenize",
+]

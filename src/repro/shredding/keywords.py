@@ -1,0 +1,65 @@
+"""Keyword tokenization for the inverted index (paper §2.2, §3).
+
+XomatiQ's ``contains()`` extension wants "simple keyword-based queries,
+similar to those found in web-based search engines", where keywords may
+be "implicitly meant to be located close to one another in the same XML
+document". That needs (a) a tokenizer applied identically at shred time
+and at query time, and (b) token *positions* within the document so
+proximity is computable.
+
+Tokens are lowercased runs of letters/digits; characters common inside
+biological identifiers (``. - _``) are kept inside a token so ``cdc6``,
+``1.14.17.3`` and ``AMD_HUMAN`` each index as one searchable unit —
+and additionally each separable fragment (``amd``, ``human``) indexes
+on its own so partial-name searches hit too. A short stopword list
+drops English glue words.
+"""
+
+from __future__ import annotations
+
+import re
+
+STOPWORDS = frozenset("""
+a an and are as at be by for from has in is it of on or that the this
+to was which with
+""".split())
+
+#: a token: alphanumeric runs possibly glued by . - _
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+(?:[._\-][A-Za-z0-9]+)*")
+_FRAGMENT_RE = re.compile(r"[A-Za-z0-9]+")
+
+MIN_TOKEN_LENGTH = 2
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokens of ``text``, lowercased, stopworded, in order.
+
+    Compound tokens also yield their fragments (deduplicated per
+    occurrence): ``AMD_HUMAN`` → ``["amd_human", "amd", "human"]``.
+    """
+    tokens: list[str] = []
+    for match in _TOKEN_RE.finditer(text):
+        token = match.group().lower()
+        if _acceptable(token):
+            tokens.append(token)
+        fragments = _FRAGMENT_RE.findall(token)
+        if len(fragments) > 1:
+            for fragment in fragments:
+                if _acceptable(fragment) and fragment != token:
+                    tokens.append(fragment)
+    return tokens
+
+
+def _acceptable(token: str) -> bool:
+    return len(token) >= MIN_TOKEN_LENGTH and token not in STOPWORDS
+
+
+def query_tokens(keyword_phrase: str) -> list[str]:
+    """Tokens a ``contains(x, "phrase")`` argument matches against.
+
+    Query-side tokenization must mirror shred-side tokenization, minus
+    fragment expansion (the query means what it says).
+    """
+    tokens = [match.group().lower()
+              for match in _TOKEN_RE.finditer(keyword_phrase)]
+    return [t for t in tokens if len(t) >= MIN_TOKEN_LENGTH]

@@ -1,0 +1,142 @@
+"""Load shredded rows into a relational backend.
+
+:class:`WarehouseLoader` is the glue between the Data Hounds (which
+hand it validated documents) and the backend (which sees only SQL). It
+implements the :class:`~repro.datahounds.hound.DocumentStore` protocol:
+``store_document`` is upsert-by-entry (replacing any previous version
+of the same ``(source, collection, entry_key)``), ``remove_document``
+deletes every row of the entry's document — together they give the
+paper's "nothing left out, nothing added twice" update behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.relational.backend import Backend
+from repro.relational.schema import INSERT_STATEMENTS, SchemaOptions, create_schema
+from repro.shredding.shredder import (
+    DEFAULT_SEQUENCE_TAGS,
+    ShreddedDocument,
+    shred_document,
+)
+from repro.xmlkit import Document
+
+_DELETE_BY_DOC = {
+    table: f"DELETE FROM {table} WHERE doc_id = ?"
+    for table in ("documents", "elements", "attributes", "text_values",
+                  "sequences", "keywords")
+}
+
+
+class WarehouseLoader:
+    """Shreds documents and maintains them in one backend."""
+
+    def __init__(self, backend: Backend,
+                 options: SchemaOptions = SchemaOptions(),
+                 sequence_tags: frozenset[str] = DEFAULT_SEQUENCE_TAGS,
+                 create: bool = True):
+        self.backend = backend
+        self.options = options
+        self.sequence_tags = sequence_tags
+        if create:
+            create_schema(backend, options)
+        self._next_doc_id = self._load_max_doc_id() + 1
+
+    def _load_max_doc_id(self) -> int:
+        rows = self.backend.execute("SELECT MAX(doc_id) FROM documents")
+        value = rows[0][0] if rows else None
+        return value if isinstance(value, int) else 0
+
+    # -- DocumentStore protocol -------------------------------------------------
+
+    def store_document(self, source: str, collection: str, entry_key: str,
+                       document: Document) -> int:
+        """Insert (or replace) one entry's document; returns its doc_id."""
+        self._delete_entry(source, entry_key, collection)
+        doc_id = self._next_doc_id
+        self._next_doc_id += 1
+        shredded = shred_document(
+            document, doc_id, source, collection, entry_key,
+            sequence_tags=self.sequence_tags,
+            numeric_typing=self.options.numeric_typing)
+        self._insert_rows(shredded)
+        self.backend.commit()
+        return doc_id
+
+    def remove_document(self, source: str, collection: str,
+                        entry_key: str) -> None:
+        """Delete one entry's document. An empty ``collection`` matches
+        any collection (the hound does not track divisions of removed
+        entries)."""
+        self._delete_entry(source, entry_key,
+                           collection if collection else None)
+        self.backend.commit()
+
+    # -- bulk/lookup helpers ----------------------------------------------------
+
+    def store_documents(self, source: str, collection: str,
+                        keyed_documents: list[tuple[str, Document]]) -> int:
+        """Bulk-load fresh documents (no per-entry delete); returns the
+        number loaded. Use only on an empty source."""
+        count = 0
+        for entry_key, document in keyed_documents:
+            doc_id = self._next_doc_id
+            self._next_doc_id += 1
+            shredded = shred_document(
+                document, doc_id, source, collection, entry_key,
+                sequence_tags=self.sequence_tags,
+                numeric_typing=self.options.numeric_typing)
+            self._insert_rows(shredded)
+            count += 1
+        self.backend.commit()
+        return count
+
+    def optimize(self) -> None:
+        """Refresh backend planner statistics (no-op for backends
+        without an ``analyze`` hook). The hound calls this after each
+        release load."""
+        analyze = getattr(self.backend, "analyze", None)
+        if analyze is not None:
+            analyze()
+
+    def doc_ids(self, source: str, collection: str | None = None) -> list[int]:
+        """Stored doc ids of a source (optionally one collection)."""
+        if collection is None:
+            rows = self.backend.execute(
+                "SELECT doc_id FROM documents WHERE source = ? "
+                "ORDER BY doc_id", (source,))
+        else:
+            rows = self.backend.execute(
+                "SELECT doc_id FROM documents WHERE source = ? "
+                "AND collection = ? ORDER BY doc_id", (source, collection))
+        return [row[0] for row in rows]
+
+    def document_count(self, source: str | None = None) -> int:
+        """Stored document count (one source or the whole warehouse)."""
+        if source is None:
+            rows = self.backend.execute("SELECT COUNT(*) FROM documents")
+        else:
+            rows = self.backend.execute(
+                "SELECT COUNT(*) FROM documents WHERE source = ?", (source,))
+        return rows[0][0]
+
+    # -- internals -----------------------------------------------------------------
+
+    def _insert_rows(self, shredded: ShreddedDocument) -> None:
+        for table, rows in shredded.rows_by_table().items():
+            if rows:
+                self.backend.executemany(INSERT_STATEMENTS[table], rows)
+
+    def _delete_entry(self, source: str, entry_key: str,
+                      collection: str | None) -> None:
+        if collection is None:
+            rows = self.backend.execute(
+                "SELECT doc_id FROM documents WHERE source = ? "
+                "AND entry_key = ?", (source, entry_key))
+        else:
+            rows = self.backend.execute(
+                "SELECT doc_id FROM documents WHERE source = ? "
+                "AND entry_key = ? AND collection = ?",
+                (source, entry_key, collection))
+        for (doc_id,) in rows:
+            for statement in _DELETE_BY_DOC.values():
+                self.backend.execute(statement, (doc_id,))

@@ -1,0 +1,153 @@
+"""The Relation2XML-Transformer: rebuild XML documents from tuples.
+
+The paper's "tagger module" (§3.3, after Shanmugasundaram et al.'s XML
+publishing work) structures result tuples back into XML. This module is
+its storage half: given a ``doc_id``, read the element/attribute/
+text/sequence rows back and reassemble the :class:`Document`. The
+query-result tagger in :mod:`repro.results.tagger` builds on it.
+
+Reconstruction is exact for the documents the shredder accepts: element
+order is restored from ``(parent_id, sib_ord)``, text is re-attached to
+its element (text precedes element children — the shredder does not
+record interleavings of mixed content, which the paper's data-centric
+DTDs never produce), and sequences are re-inlined from the
+``sequences`` table.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.relational.backend import Backend
+from repro.xmlkit import Document, Element, Text
+
+
+def reconstruct_document(backend: Backend, doc_id: int) -> Document:
+    """Rebuild the document stored under ``doc_id``."""
+    meta = backend.execute(
+        "SELECT source, collection, entry_key, root_tag FROM documents "
+        "WHERE doc_id = ?", (doc_id,))
+    if not meta:
+        raise StorageError(f"no document with doc_id {doc_id}")
+    source, __, __, root_tag = meta[0]
+
+    element_rows = backend.execute(
+        "SELECT node_id, parent_id, tag, sib_ord FROM elements "
+        "WHERE doc_id = ? ORDER BY doc_order", (doc_id,))
+    if not element_rows:
+        raise StorageError(f"document {doc_id} has no element rows")
+
+    nodes: dict[int, Element] = {}
+    children: dict[int, list[tuple[int, int]]] = {}
+    root_id: int | None = None
+    for node_id, parent_id, tag, sib_ord in element_rows:
+        nodes[node_id] = Element(tag)
+        if parent_id is None:
+            if root_id is not None:
+                raise StorageError(
+                    f"document {doc_id} has multiple roots")
+            root_id = node_id
+        else:
+            children.setdefault(parent_id, []).append((sib_ord, node_id))
+    if root_id is None:
+        raise StorageError(f"document {doc_id} has no root element")
+    if nodes[root_id].tag != root_tag:
+        raise StorageError(
+            f"document {doc_id}: root tag mismatch "
+            f"({nodes[root_id].tag!r} vs {root_tag!r})")
+
+    for doc, node_id, name, value in backend.execute(
+            "SELECT doc_id, node_id, name, value FROM attributes "
+            "WHERE doc_id = ?", (doc_id,)):
+        nodes[node_id].set(name, value)
+
+    texts: dict[int, list[str]] = {}
+    for node_id, value in backend.execute(
+            "SELECT node_id, value FROM text_values WHERE doc_id = ?",
+            (doc_id,)):
+        texts.setdefault(node_id, []).append(value)
+    for node_id, residues in backend.execute(
+            "SELECT node_id, residues FROM sequences WHERE doc_id = ?",
+            (doc_id,)):
+        texts.setdefault(node_id, []).append(residues)
+
+    # assemble: text first, then element children in sibling order
+    for node_id, element in nodes.items():
+        for value in texts.get(node_id, ()):
+            if value:
+                element.append(Text(value))
+        for __, child_id in sorted(children.get(node_id, ())):
+            element.append(nodes[child_id])
+
+    return Document(nodes[root_id], name=source)
+
+
+def reconstruct_by_entry(backend: Backend, source: str, entry_key: str,
+                         collection: str | None = None) -> Document:
+    """Rebuild the document of one entry."""
+    if collection is None:
+        rows = backend.execute(
+            "SELECT doc_id FROM documents WHERE source = ? "
+            "AND entry_key = ?", (source, entry_key))
+    else:
+        rows = backend.execute(
+            "SELECT doc_id FROM documents WHERE source = ? "
+            "AND entry_key = ? AND collection = ?",
+            (source, entry_key, collection))
+    if not rows:
+        raise StorageError(
+            f"no document for {source}/{collection or '*'}/{entry_key}")
+    return reconstruct_document(backend, rows[0][0])
+
+
+def reconstruct_subtree(backend: Backend, doc_id: int,
+                        node_id: int) -> Element:
+    """Rebuild only the subtree rooted at ``node_id``.
+
+    Uses the interval encoding directly: one range query per table over
+    ``[doc_order, subtree_end]`` — the cost is proportional to the
+    subtree, not the document (the paper's motivation for returning
+    fragments rather than whole documents)."""
+    anchor = backend.execute(
+        "SELECT doc_order, subtree_end FROM elements "
+        "WHERE doc_id = ? AND node_id = ?", (doc_id, node_id))
+    if not anchor:
+        raise StorageError(
+            f"document {doc_id} has no element with node_id {node_id}")
+    start, end = anchor[0]
+
+    element_rows = backend.execute(
+        "SELECT node_id, parent_id, tag, sib_ord FROM elements "
+        "WHERE doc_id = ? AND doc_order >= ? AND doc_order <= ? "
+        "ORDER BY doc_order", (doc_id, start, end))
+    nodes: dict[int, Element] = {}
+    children: dict[int, list[tuple[int, int]]] = {}
+    for current_id, parent_id, tag, sib_ord in element_rows:
+        nodes[current_id] = Element(tag)
+        if current_id != node_id and parent_id in nodes:
+            children.setdefault(parent_id, []).append((sib_ord, current_id))
+
+    for __, current_id, name, value in backend.execute(
+            "SELECT doc_id, node_id, name, value FROM attributes "
+            "WHERE doc_id = ? AND node_id >= ? AND node_id <= ?",
+            (doc_id, start, end)):
+        nodes[current_id].set(name, value)
+
+    texts: dict[int, list[str]] = {}
+    for current_id, value in backend.execute(
+            "SELECT node_id, value FROM text_values "
+            "WHERE doc_id = ? AND node_id >= ? AND node_id <= ?",
+            (doc_id, start, end)):
+        texts.setdefault(current_id, []).append(value)
+    for current_id, residues in backend.execute(
+            "SELECT node_id, residues FROM sequences "
+            "WHERE doc_id = ? AND node_id >= ? AND node_id <= ?",
+            (doc_id, start, end)):
+        texts.setdefault(current_id, []).append(residues)
+
+    for current_id, element in nodes.items():
+        for value in texts.get(current_id, ()):
+            if value:
+                element.append(Text(value))
+        for __, child_id in sorted(children.get(current_id, ())):
+            element.append(nodes[child_id])
+    return nodes[node_id]

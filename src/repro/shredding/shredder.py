@@ -1,0 +1,149 @@
+"""The XML2Relational-Transformer: shred documents into schema rows.
+
+One :func:`shred_document` call turns a
+:class:`~repro.xmlkit.doc.Document` into row tuples for the six generic
+tables (see :mod:`repro.relational.schema`). Design properties mapped
+to code:
+
+* **order as data** — elements are numbered by pre-order rank
+  (``node_id == doc_order``) and carry ``sib_ord``; reconstruction
+  sorts on these,
+* **sequence split** — elements whose tag is in ``sequence_tags``
+  (default ``{"sequence"}``) land in the ``sequences`` table; their
+  residues are excluded from ``text_values`` and the keyword index,
+* **numeric typing** — ``num_value`` is filled when the value parses
+  as a number (disable via ``numeric_typing=False`` for experiment E7),
+* **keyword index** — every non-sequence text and attribute value is
+  tokenized with document-global positions for proximity search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.shredding.keywords import tokenize
+from repro.shredding.typing import numeric_value
+from repro.xmlkit import Document, Element, Text
+
+#: element tags holding residue strings (the sequence/non-sequence split)
+DEFAULT_SEQUENCE_TAGS = frozenset({"sequence"})
+
+
+@dataclass
+class ShreddedDocument:
+    """Row tuples for one document, keyed by table name."""
+
+    doc_id: int
+    documents: list[tuple] = field(default_factory=list)
+    elements: list[tuple] = field(default_factory=list)
+    attributes: list[tuple] = field(default_factory=list)
+    text_values: list[tuple] = field(default_factory=list)
+    sequences: list[tuple] = field(default_factory=list)
+    keywords: list[tuple] = field(default_factory=list)
+
+    def rows_by_table(self) -> dict[str, list[tuple]]:
+        """Rows keyed by generic-schema table name."""
+        return {
+            "documents": self.documents,
+            "elements": self.elements,
+            "attributes": self.attributes,
+            "text_values": self.text_values,
+            "sequences": self.sequences,
+            "keywords": self.keywords,
+        }
+
+    @property
+    def total_rows(self) -> int:
+        """Total rows across all six tables."""
+        return sum(len(rows) for rows in self.rows_by_table().values())
+
+
+def shred_document(document: Document, doc_id: int, source: str,
+                   collection: str, entry_key: str,
+                   sequence_tags: frozenset[str] = DEFAULT_SEQUENCE_TAGS,
+                   numeric_typing: bool = True) -> ShreddedDocument:
+    """Shred one document into generic-schema rows."""
+    shredded = ShreddedDocument(doc_id=doc_id)
+    shredded.documents.append(
+        (doc_id, source, collection, entry_key, document.root.tag))
+    state = _ShredState(shredded, sequence_tags, numeric_typing)
+    state.visit(document.root, parent_id=None, sib_ord=0, depth=0)
+    return shredded
+
+
+class _ShredState:
+    def __init__(self, shredded: ShreddedDocument,
+                 sequence_tags: frozenset[str], numeric_typing: bool):
+        self.out = shredded
+        self.sequence_tags = sequence_tags
+        self.numeric_typing = numeric_typing
+        self.next_node_id = 0
+        self.keyword_position = 0
+
+    def visit(self, element: Element, parent_id: int | None,
+              sib_ord: int, depth: int, tag_sib_ord: int = 0) -> int:
+        """Shred one element; returns its ``subtree_end`` (the highest
+        node id inside its subtree — the interval encoding used for the
+        descendant axis). ``tag_sib_ord`` is the element's rank among
+        its same-tag siblings (positional predicates compile to it)."""
+        node_id = self.next_node_id
+        self.next_node_id += 1
+        doc_id = self.out.doc_id
+
+        is_sequence = element.tag in self.sequence_tags
+        for name, value in element.attributes.items():
+            number = numeric_value(value) if self.numeric_typing else None
+            self.out.attributes.append((doc_id, node_id, name, value, number))
+            self._index_keywords(node_id, value)
+
+        if is_sequence:
+            residues = element.full_text()
+            length = _sequence_length(element, residues)
+            self.out.sequences.append(
+                (doc_id, node_id, residues, length,
+                 element.get("molecule_type")))
+            # residues stay out of text_values and keywords; a sequence
+            # element is a leaf in the relational image
+            self.out.elements.append(
+                (doc_id, node_id, parent_id, element.tag, sib_ord, node_id,
+                 node_id, depth, tag_sib_ord))
+            return node_id
+
+        element_sib = 0
+        tag_counts: dict[str, int] = {}
+        subtree_end = node_id
+        for child in element.children:
+            if isinstance(child, Text):
+                if child.value:
+                    number = (numeric_value(child.value)
+                              if self.numeric_typing else None)
+                    self.out.text_values.append(
+                        (doc_id, node_id, child.value, number))
+                    self._index_keywords(node_id, child.value)
+            else:
+                child_tag_ord = tag_counts.get(child.tag, 0)
+                tag_counts[child.tag] = child_tag_ord + 1
+                subtree_end = self.visit(child, parent_id=node_id,
+                                         sib_ord=element_sib,
+                                         depth=depth + 1,
+                                         tag_sib_ord=child_tag_ord)
+                element_sib += 1
+        self.out.elements.append(
+            (doc_id, node_id, parent_id, element.tag, sib_ord, node_id,
+             subtree_end, depth, tag_sib_ord))
+        return subtree_end
+
+    def _index_keywords(self, node_id: int, value: str) -> None:
+        for token in tokenize(value):
+            self.out.keywords.append(
+                (self.out.doc_id, node_id, token, self.keyword_position))
+            self.keyword_position += 1
+
+
+def _sequence_length(element: Element, residues: str) -> int:
+    """Sequence length: the declared ``length`` attribute when present
+    and numeric, else the residue count actually stored."""
+    declared = element.get("length")
+    if declared is not None and declared.isdigit():
+        return int(declared)
+    return len(residues)

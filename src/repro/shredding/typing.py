@@ -1,0 +1,37 @@
+"""String vs numeric typing of shredded values (paper §2.2).
+
+"All these data appear as strings in the biological sources", but
+lengths, coordinates and scores must compare numerically. The shredder
+calls :func:`numeric_value` on every text and attribute value; when it
+parses as a number the row's ``num_value`` column is filled, and the
+XQ2SQL translator routes numeric comparisons there.
+
+Deliberately conservative: EC numbers (``1.14.17.3``), accessions
+(``P10731``) and dates must *not* be treated as numbers, so only a
+plain integer/decimal (optional sign, optional scientific exponent)
+qualifies.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NUMERIC_RE = re.compile(
+    r"^[+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?$")
+
+
+def numeric_value(text: str) -> float | None:
+    """The numeric interpretation of ``text``, or None.
+
+    Surrounding whitespace is tolerated (flat-file values are often
+    padded); anything else disqualifies.
+    """
+    stripped = text.strip()
+    if not stripped or not _NUMERIC_RE.match(stripped):
+        return None
+    return float(stripped)
+
+
+def is_numeric(text: str) -> bool:
+    """True if :func:`numeric_value` would return a number."""
+    return numeric_value(text) is not None

@@ -1,0 +1,152 @@
+"""Standing queries over a live warehouse.
+
+The gRNA loop the paper sketches: applications consume XomatiQ results,
+and Data Hounds "sends out triggers to related applications, indicating
+changes to the warehouse". A :class:`QuerySubscription` closes that
+loop — it registers a query with a hound, re-evaluates it whenever a
+release load changes one of the *sources the query actually reads*
+(derived from its FOR bindings), and hands the subscriber a row-level
+delta rather than the raw trigger.
+
+Usage::
+
+    hound = warehouse.connect(repository)
+    sub = QuerySubscription(warehouse, hound, QUERY_TEXT,
+                            on_change=my_callback)
+    hound.load("hlx_enzyme")          # initial load fires the callback
+    ...
+    hound.load("hlx_enzyme")          # refresh: callback gets the delta
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.datahounds.triggers import ChangeEvent
+from repro.results.resultset import QueryResult, ResultRow
+from repro.xquery.parser import parse_query
+
+
+def _row_key(row: ResultRow, entry_keys: dict[int, tuple]) -> tuple:
+    """Canonical identity of a result row.
+
+    Bindings are identified by the *entry* behind them — the durable
+    ``(source, entry_key)`` — not by ``doc_id``, which changes whenever
+    a refresh re-shreds the entry. Otherwise every content update
+    reports the row as removed-and-re-added even when the watched
+    values did not change.
+    """
+    bindings = tuple(sorted(
+        (var,) + entry_keys.get(node.doc_id, (node.doc_id,))
+        for var, node in row.bindings.items()))
+    values = tuple(sorted(
+        (column, tuple(values)) for column, values in row.values.items()))
+    return bindings, values
+
+
+@dataclass
+class ResultDelta:
+    """What changed in a standing query's result after one warehouse
+    commit."""
+
+    event: ChangeEvent | None
+    added: list[ResultRow] = field(default_factory=list)
+    removed: list[ResultRow] = field(default_factory=list)
+    total_rows: int = 0
+
+    @property
+    def changed(self) -> bool:
+        """True when any row was added or removed."""
+        return bool(self.added or self.removed)
+
+    def __str__(self) -> str:
+        origin = str(self.event) if self.event else "initial"
+        return (f"[{origin}] +{len(self.added)} -{len(self.removed)} "
+                f"rows (now {self.total_rows})")
+
+
+DeltaCallback = Callable[[ResultDelta], None]
+
+
+class QuerySubscription:
+    """A standing XomatiQ query bound to a warehouse and its hound."""
+
+    def __init__(self, warehouse, hound, query_text: str,
+                 on_change: DeltaCallback | None = None,
+                 fire_on_unchanged: bool = False):
+        self.warehouse = warehouse
+        self.hound = hound
+        self.query_text = query_text
+        self.on_change = on_change
+        self.fire_on_unchanged = fire_on_unchanged
+        self.sources = self._sources_of(query_text)
+        self._snapshot: dict[tuple, ResultRow] = {}
+        self._primed = False
+        self.last_result: QueryResult | None = None
+        for source in self.sources:
+            hound.subscribe(self._handle_event, source)
+
+    @staticmethod
+    def _sources_of(query_text: str) -> list[str]:
+        """The warehouse sources the query's bindings read."""
+        query = parse_query(query_text)
+        sources: list[str] = []
+        for binding in query.bindings:
+            if binding.document is not None:
+                source = binding.document.source
+                if source not in sources:
+                    sources.append(source)
+        return sources
+
+    # -- evaluation ---------------------------------------------------------
+
+    def refresh(self, event: ChangeEvent | None = None) -> ResultDelta:
+        """Re-run the query and compute the delta against the previous
+        snapshot. Called automatically from triggers; callable manually
+        to prime the subscription before the first load (a query over a
+        not-yet-loaded document is treated as empty, not an error — the
+        subscription exists precisely to wait for that load)."""
+        from repro.errors import UnknownDocumentError
+        try:
+            result = self.warehouse.query(self.query_text)
+        except UnknownDocumentError:
+            result = QueryResult(columns=[], variables=[])
+        self.last_result = result
+        entry_keys = self._entry_keys(result)
+        current = {_row_key(row, entry_keys): row for row in result.rows}
+        delta = ResultDelta(event=event, total_rows=len(current))
+        for key, row in current.items():
+            if key not in self._snapshot:
+                delta.added.append(row)
+        for key, row in self._snapshot.items():
+            if key not in current:
+                delta.removed.append(row)
+        self._snapshot = current
+        self._primed = True
+        return delta
+
+    def _entry_keys(self, result: QueryResult) -> dict[int, tuple]:
+        """doc_id → (source, entry_key) for every bound document."""
+        doc_ids = sorted({node.doc_id for row in result.rows
+                          for node in row.bindings.values()})
+        mapping: dict[int, tuple] = {}
+        for start in range(0, len(doc_ids), 200):
+            chunk = doc_ids[start:start + 200]
+            id_list = ", ".join(str(int(d)) for d in chunk)
+            for doc_id, source, entry_key in self.warehouse.backend.execute(
+                    f"SELECT doc_id, source, entry_key FROM documents "
+                    f"WHERE doc_id IN ({id_list})"):
+                mapping[doc_id] = (source, entry_key)
+        return mapping
+
+    def _handle_event(self, event: ChangeEvent) -> None:
+        delta = self.refresh(event)
+        if self.on_change is not None and (delta.changed
+                                           or self.fire_on_unchanged):
+            self.on_change(delta)
+
+    def cancel(self) -> None:
+        """Stop receiving triggers."""
+        for source in self.sources:
+            self.hound.triggers.unsubscribe(self._handle_event, source)

@@ -1,0 +1,24 @@
+"""Deterministic synthetic corpus generators for ENZYME, EMBL and
+Swiss-Prot flat files, with cross-linked identifiers."""
+
+from repro.synth.corpus import Corpus, build_corpus, mutate_release
+from repro.synth.embl_gen import generate_embl_entry, generate_embl_release
+from repro.synth.enzyme_gen import (
+    generate_enzyme_entry,
+    generate_enzyme_release,
+    unique_ec_numbers,
+)
+from repro.synth.sprot_gen import generate_sprot_entry, generate_sprot_release
+
+__all__ = [
+    "Corpus",
+    "build_corpus",
+    "generate_embl_entry",
+    "generate_embl_release",
+    "generate_enzyme_entry",
+    "generate_enzyme_release",
+    "generate_sprot_entry",
+    "generate_sprot_release",
+    "mutate_release",
+    "unique_ec_numbers",
+]

@@ -1,0 +1,155 @@
+"""Cross-linked synthetic corpus builder.
+
+The paper's queries span databases: Figure 8 searches a gene keyword
+across EMBL *and* Swiss-Prot; Figure 11 joins EMBL feature
+``EC_number`` qualifiers against ENZYME ids; ENZYME's DR lines point at
+Swiss-Prot accessions. A corpus whose three releases are generated
+independently would make those joins vacuously empty, so this module
+generates them against shared identifier pools.
+
+:func:`build_corpus` returns a :class:`Corpus` of three flat-file texts
+plus the pools, and can publish them straight into a transport
+repository. :func:`mutate_release` derives an "updated release" for the
+incremental-update experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.flatfile import parse_entries, render_entries, render_entry
+from repro.synth import names
+from repro.synth.embl_gen import generate_embl_release
+from repro.synth.enzyme_gen import generate_enzyme_release, unique_ec_numbers
+from repro.synth.sprot_gen import generate_sprot_release, make_entry_name
+
+
+@dataclass
+class Corpus:
+    """Three cross-linked flat-file releases plus their identifier pools."""
+
+    seed: int
+    enzyme_text: str
+    embl_text: str
+    sprot_text: str
+    omim_text: str = ""
+    ec_numbers: list[str] = field(default_factory=list)
+    sprot_accessions: list[tuple[str, str]] = field(default_factory=list)
+    embl_accessions: list[str] = field(default_factory=list)
+    mim_ids: list[str] = field(default_factory=list)
+
+    def texts(self) -> dict[str, str]:
+        """Source name → flat-file text, for every non-empty release."""
+        out = {
+            "hlx_enzyme": self.enzyme_text,
+            "hlx_embl": self.embl_text,
+            "hlx_sprot": self.sprot_text,
+        }
+        if self.omim_text:
+            out["hlx_omim"] = self.omim_text
+        return out
+
+    def sizes(self) -> dict[str, int]:
+        """Entry counts per source release."""
+        return {source: sum(1 for line in text.splitlines() if line == "//")
+                for source, text in self.texts().items()}
+
+    def publish_to(self, repository, release: str = "r1") -> None:
+        """Publish every release into a transport repository."""
+        for source, text in self.texts().items():
+            repository.publish(source, release, text)
+
+
+def build_corpus(seed: int = 7, enzyme_count: int = 50,
+                 embl_count: int = 80, sprot_count: int = 60,
+                 omim_count: int = 0,
+                 gene_plant: tuple[str, float] = ("cdc6", 0.08),
+                 keyword_plant: tuple[str, float] = ("ketone", 0.1),
+                 ec_fraction: float = 0.5) -> Corpus:
+    """Build a cross-linked corpus.
+
+    Defaults reproduce the paper's running examples: a ``cdc6`` gene
+    planted in both sequence databases (Figure 8), a ``ketone`` keyword
+    planted in ENZYME catalytic activities (Figure 9), and EMBL
+    ``EC_number`` qualifiers drawn from the ENZYME id pool (Figure 11).
+    With ``omim_count > 0`` a disease databank is generated too, and
+    ENZYME ``DI`` lines draw their MIM numbers from its id pool, so the
+    enzyme-deficiency→disease join is answerable.
+    """
+    rng = names.make_rng(seed)
+    ec_numbers = unique_ec_numbers(rng, enzyme_count)
+
+    mim_ids: list[str] = []
+    if omim_count:
+        seen_mims: set[str] = set()
+        while len(mim_ids) < omim_count:
+            candidate = str(rng.randint(100000, 620000))
+            if candidate not in seen_mims:
+                seen_mims.add(candidate)
+                mim_ids.append(candidate)
+
+    sprot_accessions: list[tuple[str, str]] = []
+    seen_accessions: set[str] = set()
+    seen_names: set[str] = set()
+    while len(sprot_accessions) < sprot_count:
+        accession = names.random_accession(rng)
+        if accession in seen_accessions:
+            continue
+        entry_name = make_entry_name(rng, names.random_gene_name(rng))
+        if entry_name in seen_names:
+            entry_name = f"{entry_name[:7]}{len(seen_names)}"
+        seen_accessions.add(accession)
+        seen_names.add(entry_name)
+        sprot_accessions.append((accession, entry_name))
+
+    enzyme_text = generate_enzyme_release(
+        seed + 1, enzyme_count, ec_numbers=ec_numbers,
+        swissprot_pool=sprot_accessions, keyword_plant=keyword_plant,
+        mim_pool=mim_ids or None)
+    embl_text = generate_embl_release(
+        seed + 2, embl_count, division="inv", ec_pool=ec_numbers,
+        ec_fraction=ec_fraction, gene_plant=gene_plant)
+    embl_accessions = [
+        entry.value("AC").split(";")[0].strip()
+        for entry in parse_entries(embl_text)]
+    sprot_text = generate_sprot_release(
+        seed + 3, sprot_count, accessions=sprot_accessions,
+        embl_pool=embl_accessions, gene_plant=gene_plant)
+    omim_text = ""
+    if omim_count:
+        from repro.synth.omim_gen import generate_omim_release
+        gene_pool = [gene_plant[0]] + [
+            names.random_gene_name(rng) for __ in range(10)]
+        omim_text = generate_omim_release(seed + 4, omim_count,
+                                          mim_ids=mim_ids,
+                                          gene_pool=gene_pool)
+    return Corpus(seed=seed, enzyme_text=enzyme_text, embl_text=embl_text,
+                  sprot_text=sprot_text, omim_text=omim_text,
+                  ec_numbers=ec_numbers,
+                  sprot_accessions=sprot_accessions,
+                  embl_accessions=embl_accessions, mim_ids=mim_ids)
+
+
+def mutate_release(text: str, seed: int, update_fraction: float = 0.1,
+                   remove_fraction: float = 0.05,
+                   marker: str = "updated in r2") -> str:
+    """Derive a new release from an old one.
+
+    A fraction of entries get a new comment-style CC line appended
+    (content change → update), a fraction are dropped (removal), the
+    rest are byte-identical (must not be reloaded). Used by experiment
+    E8 and the hound's update tests.
+    """
+    rng = random.Random(seed)
+    entries = parse_entries(text)
+    kept = []
+    for entry in entries:
+        roll = rng.random()
+        if roll < remove_fraction:
+            continue
+        if roll < remove_fraction + update_fraction:
+            from repro.flatfile.lines import Line
+            entry.lines.append(Line("CC", f"-!- {marker}."))
+        kept.append(entry)
+    return render_entries(kept)

@@ -1,0 +1,120 @@
+"""Synthetic EMBL releases (nucleotide entries, division-tagged)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.flatfile import Entry, render_entries
+from repro.flatfile.lines import Line
+from repro.synth import names
+
+
+def generate_embl_entry(rng: random.Random, accession: str,
+                        division: str = "inv",
+                        ec_number: str | None = None,
+                        gene: str | None = None,
+                        sequence_length: int | None = None) -> Entry:
+    """One EMBL entry.
+
+    ``ec_number`` plants an ``/EC_number`` qualifier (join-benchmark
+    control); ``gene`` plants a ``/gene`` qualifier and puts the gene
+    name into the description (keyword-query control).
+    """
+    gene = gene or names.random_gene_name(rng)
+    organism, __ = rng.choice(names.ORGANISMS)
+    length = sequence_length or rng.randint(400, 3000)
+    lines: list[Line] = [
+        Line("ID", f"{_entry_name(rng, gene)}; SV 1; "
+                   f"{division.upper()}; {length} BP."),
+        Line("AC", f"{accession};"),
+    ]
+    description = (f"{organism} {gene} gene for "
+                   f"{names.random_enzyme_name(rng).lower()}, complete cds.")
+    for chunk in _wrap(description, 60):
+        lines.append(Line("DE", chunk))
+    keywords = rng.sample(names.KEYWORDS, rng.randint(1, 4))
+    lines.append(Line("KW", "; ".join([gene] + keywords) + "."))
+    lines.append(Line("OS", organism))
+
+    feature_count = rng.randint(1, 3)
+    for index in range(feature_count):
+        key = names.FEATURE_KEYS[0] if index == 0 else rng.choice(
+            names.FEATURE_KEYS)
+        start = rng.randint(1, max(2, length // 2))
+        end = rng.randint(start + 1, length)
+        lines.append(Line("FT", f"{key:<16}{start}..{end}"))
+        if key == "CDS":
+            lines.append(Line("FT", f'                /gene="{gene}"'))
+            lines.append(Line(
+                "FT",
+                f'                /product='
+                f'"{names.random_enzyme_name(rng).lower()}"'))
+            if ec_number and index == 0:
+                lines.append(
+                    Line("FT", f'                /EC_number="{ec_number}"'))
+
+    residues = names.random_sequence(rng, min(length, 240))
+    lines.append(Line("SQ", f"Sequence {length} BP;"))
+    for offset in range(0, len(residues), 60):
+        lines.append(Line("  ", _format_residues(residues[offset:offset + 60],
+                                                 offset + 60)))
+    return Entry(lines)
+
+
+def _entry_name(rng: random.Random, gene: str) -> str:
+    return f"{rng.choice('ABCDEX')}{gene.upper()}{rng.randint(1, 99)}"
+
+
+def _format_residues(chunk: str, position: int) -> str:
+    groups = " ".join(chunk[i:i + 10] for i in range(0, len(chunk), 10))
+    return f"{groups} {position}"
+
+
+def _wrap(text: str, width: int) -> list[str]:
+    words = text.split()
+    chunks: list[str] = []
+    current = words[0]
+    for word in words[1:]:
+        if len(current) + 1 + len(word) <= width:
+            current += " " + word
+        else:
+            chunks.append(current)
+            current = word
+    chunks.append(current)
+    return chunks
+
+
+def generate_embl_release(seed: int, count: int,
+                          division: str = "inv",
+                          ec_pool: list[str] | None = None,
+                          ec_fraction: float = 0.5,
+                          gene_plant: tuple[str, float] | None = None,
+                          ) -> str:
+    """A full EMBL flat-file release.
+
+    Roughly ``ec_fraction`` of entries carry an ``/EC_number`` qualifier
+    drawn from ``ec_pool`` (the ENZYME ids of the shared corpus), which
+    is what the paper's Figure 11 join correlates. ``gene_plant=(gene,
+    fraction)`` forces that gene name into a fraction of entries for
+    keyword-query benchmarks (the paper's "cdc6" example).
+    """
+    rng = names.make_rng(seed)
+    accessions: list[str] = []
+    seen: set[str] = set()
+    while len(accessions) < count:
+        accession = names.random_embl_accession(rng)
+        if accession not in seen:
+            seen.add(accession)
+            accessions.append(accession)
+    entries: list[Entry] = []
+    for accession in accessions:
+        ec_number = None
+        if ec_pool and rng.random() < ec_fraction:
+            ec_number = rng.choice(ec_pool)
+        gene = None
+        if gene_plant and rng.random() < gene_plant[1]:
+            gene = gene_plant[0]
+        entries.append(generate_embl_entry(
+            rng, accession, division=division, ec_number=ec_number,
+            gene=gene))
+    return render_entries(entries)

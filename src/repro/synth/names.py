@@ -1,0 +1,123 @@
+"""Vocabulary pools for the synthetic corpus generators.
+
+Everything is drawn from small fixed pools with a seeded
+``random.Random``, so corpora are deterministic given (seed, size) —
+benchmarks and tests can regenerate byte-identical releases.
+"""
+
+from __future__ import annotations
+
+import random
+
+ENZYME_ACTIVITY_WORDS = [
+    "oxidase", "reductase", "kinase", "phosphatase", "hydrolase",
+    "transferase", "synthase", "dehydrogenase", "monooxygenase",
+    "carboxylase", "isomerase", "ligase", "mutase", "deaminase",
+    "peptidase", "esterase", "decarboxylase", "aminotransferase",
+]
+
+SUBSTRATE_WORDS = [
+    "peptidylglycine", "glucose", "alcohol", "pyruvate", "lactate",
+    "glutamate", "aspartate", "choline", "xanthine", "urate",
+    "glycerol", "malate", "citrate", "fumarate", "acetaldehyde",
+    "ketone", "sarcosine", "creatine", "ornithine", "histidine",
+]
+
+COFACTORS = [
+    "Copper", "Zinc", "Iron", "Magnesium", "Manganese", "FAD", "NAD(+)",
+    "NADP(+)", "Pyridoxal 5'-phosphate", "Heme", "Cobalt", "Biotin",
+]
+
+COMMENT_TEMPLATES = [
+    "{substrate} with a neutral amino acid residue in the penultimate "
+    "position are the best substrates for the enzyme.",
+    "The enzyme also catalyzes the dismutation of the product to "
+    "glyoxylate and the corresponding {substrate} amide.",
+    "Requires {cofactor} for full activity.",
+    "Highly specific for {substrate} as the acceptor.",
+    "Also acts on {substrate}, more slowly.",
+    "Inhibited by excess {substrate}.",
+    "Involved in the degradation of {substrate}.",
+    "A {cofactor} protein that forms part of the respiratory chain.",
+]
+
+DISEASES = [
+    "Hemolytic anemia", "Phenylketonuria", "Maple syrup urine disease",
+    "Galactosemia", "Tyrosinemia", "Homocystinuria", "Alkaptonuria",
+    "Gaucher disease", "Fabry disease", "Tay-Sachs disease",
+    "Lesch-Nyhan syndrome", "Pompe disease",
+]
+
+ORGANISMS = [
+    ("Homo sapiens", "HUMAN"),
+    ("Mus musculus", "MOUSE"),
+    ("Rattus norvegicus", "RAT"),
+    ("Bos taurus", "BOVIN"),
+    ("Xenopus laevis", "XENLA"),
+    ("Caenorhabditis elegans", "CAEEL"),
+    ("Drosophila melanogaster", "DROME"),
+    ("Saccharomyces cerevisiae", "YEAST"),
+    ("Escherichia coli", "ECOLI"),
+    ("Danio rerio", "DANRE"),
+]
+
+#: EMBL divisions (the paper's Figure 8 queries the invertebrate one).
+EMBL_DIVISIONS = ["inv", "hum", "rod", "fun", "pln", "pro"]
+
+GENE_STEMS = [
+    "cdc", "rad", "pol", "rec", "gyr", "top", "his", "trp", "lac",
+    "ara", "gal", "mal", "pur", "pyr", "dna", "rpo", "rps", "atp",
+]
+
+KEYWORDS = [
+    "cell cycle", "DNA replication", "transcription", "ATP-binding",
+    "metal-binding", "oxidoreductase", "transferase", "hydrolase",
+    "membrane", "mitochondrion", "nucleus", "signal", "kinase",
+    "glycoprotein", "zinc-finger", "repeat", "phosphoprotein",
+]
+
+FEATURE_KEYS = ["CDS", "mRNA", "exon", "promoter", "misc_feature"]
+
+DNA_ALPHABET = "acgt"
+PROTEIN_ALPHABET = "ACDEFGHIKLMNPQRSTVWY"
+
+
+def make_rng(seed: int) -> random.Random:
+    """The one constructor all generators use, so one seed pins the
+    whole corpus family."""
+    return random.Random(seed)
+
+
+def random_ec_number(rng: random.Random) -> str:
+    """A plausible EC number (four dotted fields)."""
+    return (f"{rng.randint(1, 6)}.{rng.randint(1, 20)}."
+            f"{rng.randint(1, 20)}.{rng.randint(1, 200)}")
+
+
+def random_accession(rng: random.Random, prefix_alphabet: str = "OPQ") -> str:
+    """A Swiss-Prot-style accession, e.g. ``P10731``."""
+    prefix = rng.choice(prefix_alphabet)
+    return f"{prefix}{rng.randint(0, 99999):05d}"
+
+
+def random_embl_accession(rng: random.Random) -> str:
+    """An EMBL-style accession, e.g. ``AB012345``."""
+    letters = "".join(rng.choice("ABCDEFGHJKLMXYZ") for __ in range(2))
+    return f"{letters}{rng.randint(0, 999999):06d}"
+
+
+def random_sequence(rng: random.Random, length: int,
+                    alphabet: str = DNA_ALPHABET) -> str:
+    """A random residue string."""
+    return "".join(rng.choice(alphabet) for __ in range(length))
+
+
+def random_gene_name(rng: random.Random) -> str:
+    """A gene symbol like ``cdc42``."""
+    return f"{rng.choice(GENE_STEMS)}{rng.randint(1, 60)}"
+
+
+def random_enzyme_name(rng: random.Random) -> str:
+    """An enzyme name like ``Pyruvate kinase``."""
+    return (f"{rng.choice(SUBSTRATE_WORDS).capitalize()} "
+            f"{rng.choice(ENZYME_ACTIVITY_WORDS)}")

@@ -1,0 +1,60 @@
+"""Synthetic OMIM-style disease releases."""
+
+from __future__ import annotations
+
+import random
+
+from repro.flatfile import Entry, render_entries
+from repro.flatfile.lines import Line
+from repro.synth import names
+
+
+def generate_omim_entry(rng: random.Random, mim_id: str,
+                        title: str | None = None,
+                        gene_symbols: list[str] | None = None) -> Entry:
+    """One disease entry for ``mim_id``."""
+    title = title or rng.choice(names.DISEASES)
+    lines: list[Line] = [Line("ID", mim_id), Line("TI", title)]
+    for __ in range(rng.randint(0, 2)):
+        lines.append(Line("SY", f"{rng.choice(names.SUBSTRATE_WORDS)} "
+                                f"{rng.choice(['deficiency', 'syndrome', 'disease'])}"))
+    description = (f"An inborn error of metabolism caused by deficiency "
+                   f"of {names.random_enzyme_name(rng).lower()}.")
+    words = description.split()
+    half = len(words) // 2
+    lines.append(Line("TX", " ".join(words[:half])))
+    lines.append(Line("TX", " ".join(words[half:])))
+    for symbol in gene_symbols or []:
+        lines.append(Line("GS", symbol))
+    if rng.random() < 0.8:
+        lines.append(Line("IN", rng.choice(
+            ["Autosomal recessive", "Autosomal dominant", "X-linked"])))
+    return Entry(lines)
+
+
+def generate_omim_release(seed: int, count: int,
+                          mim_ids: list[str] | None = None,
+                          gene_pool: list[str] | None = None) -> str:
+    """A full OMIM-style flat-file release.
+
+    ``mim_ids`` pins the identities — the corpus builder passes the
+    same pool it plants in ENZYME ``DI`` lines, closing the
+    disease-join loop.
+    """
+    rng = names.make_rng(seed)
+    if mim_ids is None:
+        seen: set[str] = set()
+        mim_ids = []
+        while len(mim_ids) < count:
+            candidate = str(rng.randint(100000, 620000))
+            if candidate not in seen:
+                seen.add(candidate)
+                mim_ids.append(candidate)
+    entries = []
+    for mim_id in mim_ids[:count]:
+        symbols = None
+        if gene_pool and rng.random() < 0.7:
+            symbols = [rng.choice(gene_pool).upper()]
+        entries.append(generate_omim_entry(rng, mim_id,
+                                           gene_symbols=symbols))
+    return render_entries(entries)

@@ -1,0 +1,96 @@
+"""Synthetic Swiss-Prot releases (protein entries)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.flatfile import Entry, render_entries
+from repro.flatfile.lines import Line
+from repro.synth import names
+
+
+def generate_sprot_entry(rng: random.Random, accession: str,
+                         entry_name: str,
+                         embl_refs: list[str] | None = None,
+                         gene: str | None = None,
+                         sequence_length: int | None = None) -> Entry:
+    """One Swiss-Prot entry.
+
+    ``embl_refs`` are EMBL accessions for DR lines; ``gene`` plants a
+    gene name in GN and the description (the paper's "cdc6" keyword
+    search needs the same gene to surface in both EMBL and Swiss-Prot).
+    """
+    gene = gene or names.random_gene_name(rng)
+    organism, __ = rng.choice(names.ORGANISMS)
+    length = sequence_length or rng.randint(80, 900)
+    lines: list[Line] = [
+        Line("ID", f"{entry_name}  STANDARD;  PRT;  {length} AA."),
+        Line("AC", f"{accession};"),
+        Line("DE", f"{names.random_enzyme_name(rng)} ({gene})."),
+        Line("GN", f"{gene}."),
+        Line("OS", f"{organism}."),
+    ]
+    for embl_accession in embl_refs or []:
+        lines.append(Line("DR", f"EMBL; {embl_accession}; -."))
+    if rng.random() < 0.4:
+        lines.append(
+            Line("DR", f"PROSITE; PDOC{rng.randint(0, 99999):05d}; "
+                       f"PS{rng.randint(0, 99999):05d}."))
+    keywords = rng.sample(names.KEYWORDS, rng.randint(1, 4))
+    lines.append(Line("KW", "; ".join(keywords) + "."))
+
+    residues = names.random_sequence(rng, min(length, 180),
+                                     names.PROTEIN_ALPHABET).upper()
+    lines.append(Line("SQ", f"SEQUENCE   {length} AA;"))
+    for offset in range(0, len(residues), 60):
+        chunk = residues[offset:offset + 60]
+        grouped = " ".join(chunk[i:i + 10] for i in range(0, len(chunk), 10))
+        lines.append(Line("  ", grouped))
+    return Entry(lines)
+
+
+def make_entry_name(rng: random.Random, gene: str) -> str:
+    """A Swiss-Prot entry name like ``CDC6_HUMAN``."""
+    __, suffix = rng.choice(names.ORGANISMS)
+    stem = gene.upper()[:5] or "PROT"
+    return f"{stem}_{suffix}"
+
+
+def generate_sprot_release(seed: int, count: int,
+                           accessions: list[tuple[str, str]] | None = None,
+                           embl_pool: list[str] | None = None,
+                           gene_plant: tuple[str, float] | None = None,
+                           ) -> str:
+    """A full Swiss-Prot flat-file release.
+
+    ``accessions`` pins ``(accession, entry_name)`` identities — the
+    corpus builder passes the same pool it fed to the ENZYME generator's
+    DR lines, closing the ENZYME→Swiss-Prot reference loop.
+    """
+    rng = names.make_rng(seed)
+    if accessions is None:
+        accessions = []
+        seen: set[str] = set()
+        while len(accessions) < count:
+            accession = names.random_accession(rng)
+            if accession in seen:
+                continue
+            seen.add(accession)
+            gene = names.random_gene_name(rng)
+            accessions.append((accession, make_entry_name(rng, gene)))
+    entries: list[Entry] = []
+    used_names: set[str] = set()
+    for accession, entry_name in accessions[:count]:
+        if entry_name in used_names:
+            entry_name = f"{entry_name}{len(used_names)}"
+        used_names.add(entry_name)
+        refs: list[str] = []
+        if embl_pool:
+            refs = [rng.choice(embl_pool)
+                    for __ in range(rng.randint(0, 2))]
+        gene = None
+        if gene_plant and rng.random() < gene_plant[1]:
+            gene = gene_plant[0]
+        entries.append(generate_sprot_entry(
+            rng, accession, entry_name, embl_refs=refs, gene=gene))
+    return render_entries(entries)

@@ -1,0 +1,27 @@
+"""The XQ2SQL-transformer: XomatiQ queries → SQL over the generic
+schema, plus the executor that merges SQL results back into query
+results."""
+
+from repro.translator.compile import (
+    BindingSql,
+    CompiledDisjunct,
+    CompiledItem,
+    CompiledQuery,
+    compile_query,
+    to_dnf,
+)
+from repro.translator.execute import execute_compiled
+from repro.translator.sqlgen import ChainBuilder, ElementRef, SqlBuilder
+
+__all__ = [
+    "BindingSql",
+    "ChainBuilder",
+    "CompiledDisjunct",
+    "CompiledItem",
+    "CompiledQuery",
+    "ElementRef",
+    "SqlBuilder",
+    "compile_query",
+    "execute_compiled",
+    "to_dnf",
+]

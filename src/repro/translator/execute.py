@@ -1,0 +1,214 @@
+"""Execute a compiled query against a relational backend.
+
+Python's role here is deliberately thin (the paper pushes evaluation
+into the RDBMS): run each disjunct's binding SQL, union the binding
+tuples, subtract negation tuples, run each value SQL once, and merge
+values onto bindings by ``(doc_id, node_id)`` anchor keys. Constructor
+items additionally assemble one fresh XML element per result row from
+their fetched values.
+"""
+
+from __future__ import annotations
+
+from repro.relational.backend import Backend
+from repro.results.resultset import BoundNode, QueryResult, ResultRow
+from repro.translator.compile import VAR_COLUMNS, CompiledQuery, CompiledValue
+from repro.xmlkit.doc import Element
+from repro.xmlkit.serializer import serialize_compact
+from repro.xquery.ast import Constructor, VarPath
+
+
+def execute_compiled(compiled: CompiledQuery,
+                     backend: Backend) -> QueryResult:
+    """Run all SQL of a compiled query; returns the merged result."""
+    variables = compiled.variables
+    bindings = _collect_bindings(compiled, backend)
+
+    columns: list[str] = []
+    for item in compiled.items:
+        name = item.item.output_name
+        # duplicate output names get positional suffixes so columns
+        # stay addressable
+        if name in columns:
+            name = f"{name}_{len(columns)}"
+        columns.append(name)
+
+    doc_ids_by_var = {
+        var: sorted({binding[i * VAR_COLUMNS] for binding in bindings})
+        for i, var in enumerate(variables)}
+    value_maps = [
+        [_collect_values(value, backend,
+                         doc_ids_by_var.get(value.varpath.var, []))
+         for value in item.values]
+        for item in compiled.items]
+
+    result = QueryResult(columns=columns, variables=list(variables))
+    for binding in bindings:
+        row = ResultRow(bindings={
+            var: BoundNode(doc_id=binding[i * VAR_COLUMNS],
+                           node_id=binding[i * VAR_COLUMNS + 1])
+            for i, var in enumerate(variables)})
+
+        def values_for(varpath: VarPath, maps) -> list[str]:
+            var_index = variables.index(varpath.var)
+            anchor = (binding[var_index * VAR_COLUMNS],
+                      binding[var_index * VAR_COLUMNS + 1])
+            return [value for __, value in sorted(maps.get(anchor, []))]
+
+        for column, item, maps in zip(columns, compiled.items, value_maps):
+            if item.item.constructor is not None:
+                element = _build_element(item.item.constructor, maps,
+                                         values_for)
+                row.elements[column] = element
+                row.values[column] = [serialize_compact(element)]
+            else:
+                row.values[column] = values_for(item.item.value, maps[0])
+        result.rows.append(row)
+    return result
+
+
+def _build_element(constructor: Constructor, maps: list,
+                   values_for) -> Element:
+    """Assemble one constructed element for one result row.
+
+    ``maps`` parallels ``constructor.varpaths()`` order (the order the
+    compiler emitted the value queries in).
+    """
+    slot_values = {
+        index: values_for(varpath, value_map)
+        for index, (varpath, value_map) in enumerate(
+            zip(constructor.varpaths(), maps))}
+    counter = [0]
+
+    def build(node: Constructor) -> Element:
+        element = Element(node.tag)
+        for name, value in node.attributes:
+            if isinstance(value, VarPath):
+                values = slot_values[counter[0]]
+                counter[0] += 1
+                if values:
+                    element.set(name, values[0])
+            else:
+                element.set(name, value)
+        for child in node.children:
+            if isinstance(child, VarPath):
+                values = slot_values[counter[0]]
+                counter[0] += 1
+                tag = _splice_tag(child)
+                for value in values:
+                    element.subelement(tag, text=value if value else None)
+            else:
+                element.append(build(child))
+        return element
+
+    return build(constructor)
+
+
+def _splice_tag(varpath: VarPath) -> str:
+    """Element name for spliced values: the path's final step name
+    (attribute steps lose their ``@``), or the variable name."""
+    if varpath.path is None:
+        return varpath.var
+    return varpath.path.last_name
+
+
+def _collect_bindings(compiled: CompiledQuery,
+                      backend: Backend) -> list[tuple]:
+    """Union of disjunct binding tuples minus their negations, in a
+    stable (document-order-ish) ordering."""
+    accepted: set[tuple] = set()
+    for disjunct in compiled.disjuncts:
+        rows = {tuple(row) for row in backend.execute(
+            disjunct.positive.sql, disjunct.positive.params)}
+        for negation in disjunct.negations:
+            rows -= {tuple(row) for row in backend.execute(
+                negation.sql, negation.params)}
+        accepted |= rows
+    return sorted(accepted)
+
+
+#: restrict value queries to bound documents via IN lists of at most
+#: this many ids per statement (keeps statements cacheable-ish and well
+#: under engine parameter limits)
+_DOC_CHUNK = 200
+
+
+def _restricted(backend: Backend, sql: str, params: tuple,
+                doc_column: str, doc_ids: list[int]) -> list:
+    """Run a value query restricted to the bound documents.
+
+    Without this, value queries scan every document of the source —
+    measured 75x slower than the binding query itself on selective
+    queries over large corpora.
+    """
+    if not doc_ids:
+        return []
+    rows: list = []
+    for start in range(0, len(doc_ids), _DOC_CHUNK):
+        chunk = doc_ids[start:start + _DOC_CHUNK]
+        id_list = ", ".join(str(int(doc_id)) for doc_id in chunk)
+        chunk_sql = f"{sql}\n  AND {doc_column} IN ({id_list})"
+        rows.extend(backend.execute(chunk_sql, params))
+    return rows
+
+
+def _collect_values(value: CompiledValue, backend: Backend,
+                    doc_ids: list[int]
+                    ) -> dict[tuple, list[tuple[tuple, str]]]:
+    """Run one value's queries; returns
+    ``(doc_id, anchor_node) -> [(order_key, value), ...]``.
+
+    Element paths: one value per matched holder — the concatenation of
+    all text/residue pieces in the holder's subtree, document order
+    (the XQuery string value; ``""`` for empty elements). Attribute
+    paths: one value per present attribute. All queries are restricted
+    to the ``doc_ids`` that actually carry bindings.
+    """
+    if value.holders_sql is None:
+        # attribute item: rows are (doc, anchor, order, attr value)
+        values: dict[tuple, list[tuple[tuple, str]]] = {}
+        occurrences: dict[tuple, int] = {}
+        for doc_id, anchor_node, order, text in _restricted(
+                backend, value.sql, value.params,
+                value.anchor_doc_column, doc_ids):
+            key = (doc_id, anchor_node)
+            occ_key = (doc_id, anchor_node, order)
+            occurrence = occurrences.get(occ_key, 0)
+            occurrences[occ_key] = occurrence + 1
+            values.setdefault(key, []).append(
+                ((order, occurrence), "" if text is None else str(text)))
+        return values
+
+    # element item: holders first, then subtree text pieces
+    holders: dict[tuple, list[int]] = {}
+    for doc_id, anchor_node, order in _restricted(
+            backend, value.holders_sql, value.holders_params,
+            value.anchor_doc_column, doc_ids):
+        holders.setdefault((doc_id, anchor_node), []).append(order)
+
+    pieces: dict[tuple, list[tuple[tuple, str]]] = {}
+    occurrences = {}
+
+    def ingest(rows) -> None:
+        for doc_id, anchor_node, order, piece_node, text in rows:
+            key = (doc_id, anchor_node, order)
+            occ_key = (doc_id, anchor_node, order, piece_node)
+            occurrence = occurrences.get(occ_key, 0)
+            occurrences[occ_key] = occurrence + 1
+            pieces.setdefault(key, []).append(
+                ((piece_node, occurrence), "" if text is None else str(text)))
+
+    ingest(_restricted(backend, value.sql, value.params,
+                       value.anchor_doc_column, doc_ids))
+    if value.sequence_sql:
+        ingest(_restricted(backend, value.sequence_sql,
+                           value.sequence_params,
+                           value.anchor_doc_column, doc_ids))
+
+    values = {}
+    for key, orders in holders.items():
+        for order in orders:
+            parts = sorted(pieces.get(key + (order,), []))
+            values.setdefault(key, []).append(
+                ((order, 0), "".join(text for __, text in parts)))
+    return values

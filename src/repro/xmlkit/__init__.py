@@ -1,0 +1,57 @@
+"""XML substrate: infoset, parser, serializer, DTDs and path expressions.
+
+This package is self-contained (no stdlib ``xml`` involvement) so that the
+whole reproduction owns its XML behaviour — document order, whitespace
+policy and DTD validation are all specified here and relied on by the
+shredder and the query engine.
+"""
+
+from repro.xmlkit.doc import (
+    Document,
+    Element,
+    Node,
+    Text,
+    is_valid_name,
+    merge_adjacent_text,
+)
+from repro.xmlkit.dtd import (
+    AttrDecl,
+    Dtd,
+    DtdTreeNode,
+    ElementDecl,
+    parse_dtd,
+)
+from repro.xmlkit.parser import parse_document, parse_fragment
+from repro.xmlkit.path import (
+    Path,
+    Predicate,
+    Step,
+    evaluate_elements,
+    evaluate_strings,
+    parse_path,
+)
+from repro.xmlkit.serializer import serialize, serialize_compact
+
+__all__ = [
+    "AttrDecl",
+    "Document",
+    "Dtd",
+    "DtdTreeNode",
+    "Element",
+    "ElementDecl",
+    "Node",
+    "Path",
+    "Predicate",
+    "Step",
+    "Text",
+    "evaluate_elements",
+    "evaluate_strings",
+    "is_valid_name",
+    "merge_adjacent_text",
+    "parse_document",
+    "parse_dtd",
+    "parse_fragment",
+    "parse_path",
+    "serialize",
+    "serialize_compact",
+]

@@ -1,0 +1,290 @@
+"""A small XML infoset: documents, elements, attributes and text.
+
+This is the data model every other subsystem works against. It is written
+from scratch (the paper's gRNA treats XML as its universal interchange
+format, so we own the representation end to end) and deliberately covers
+the subset of XML 1.0 that biological data conversions need:
+
+* elements with ordered children,
+* attributes (unordered, unique per element),
+* text content,
+* document order.
+
+Namespaces, processing instructions and entity definitions beyond the
+five predefined ones are out of scope — none of the paper's DTDs use
+them.
+
+Element and text nodes know their parent, their index among their
+siblings, and expose a stable *document order* via :meth:`Document.walk`.
+Document order is load-bearing: the paper stores order as a data value in
+the relational schema so documents can be reconstructed and order-based
+XQuery predicates evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+def is_valid_name(name: str) -> bool:
+    """Return True if ``name`` is a valid XML element/attribute name."""
+    if not name:
+        return False
+    if name[0] not in _NAME_START:
+        return False
+    return all(ch in _NAME_CHARS for ch in name[1:])
+
+
+class Node:
+    """Base class for tree nodes (elements and text)."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self):
+        self.parent: Element | None = None
+
+    def root(self) -> "Node":
+        """Return the topmost ancestor (self if detached)."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+
+class Text(Node):
+    """A text node. Consecutive text children are allowed but the parser
+    and builders normally merge them."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        super().__init__()
+        if not isinstance(value, str):
+            raise TypeError(f"text value must be str, got {type(value).__name__}")
+        self.value = value
+
+    def __repr__(self) -> str:
+        preview = self.value if len(self.value) <= 30 else self.value[:27] + "..."
+        return f"Text({preview!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Text) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("Text", self.value))
+
+
+class Element(Node):
+    """An XML element: a tag, attributes, and ordered children."""
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(self, tag: str, attributes: dict[str, str] | None = None,
+                 children: Iterable["Element | Text | str"] | None = None):
+        super().__init__()
+        if not is_valid_name(tag):
+            raise ValueError(f"invalid element name: {tag!r}")
+        self.tag = tag
+        self.attributes: dict[str, str] = {}
+        if attributes:
+            for key, value in attributes.items():
+                self.set(key, value)
+        self.children: list[Element | Text] = []
+        if children:
+            for child in children:
+                self.append(child)
+
+    # -- attribute handling -------------------------------------------------
+
+    def set(self, name: str, value: str) -> None:
+        """Set attribute ``name`` to ``value`` (stringified)."""
+        if not is_valid_name(name):
+            raise ValueError(f"invalid attribute name: {name!r}")
+        self.attributes[name] = str(value)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Return attribute ``name`` or ``default``."""
+        return self.attributes.get(name, default)
+
+    # -- child handling ------------------------------------------------------
+
+    def append(self, child: "Element | Text | str") -> "Element | Text":
+        """Append a child node; bare strings become :class:`Text` nodes."""
+        if isinstance(child, str):
+            child = Text(child)
+        if not isinstance(child, (Element, Text)):
+            raise TypeError(
+                f"child must be Element, Text or str, got {type(child).__name__}")
+        if child.parent is not None:
+            raise ValueError("node already has a parent; detach it first")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def subelement(self, tag: str, attributes: dict[str, str] | None = None,
+                   text: str | None = None) -> "Element":
+        """Create, append and return a child element (builder helper)."""
+        child = Element(tag, attributes)
+        if text is not None:
+            child.append(Text(text))
+        self.append(child)
+        return child
+
+    def remove(self, child: "Element | Text") -> None:
+        """Remove a direct child (by identity — structurally-equal
+        siblings are distinct nodes)."""
+        for index, existing in enumerate(self.children):
+            if existing is child:
+                del self.children[index]
+                child.parent = None
+                return
+        raise ValueError("node is not a child of this element")
+
+    # -- navigation -----------------------------------------------------------
+
+    def child_elements(self, tag: str | None = None) -> list["Element"]:
+        """Direct element children, optionally filtered by tag."""
+        return [c for c in self.children
+                if isinstance(c, Element) and (tag is None or c.tag == tag)]
+
+    def first(self, tag: str) -> "Element | None":
+        """First direct child element with the given tag, or None."""
+        for child in self.children:
+            if isinstance(child, Element) and child.tag == tag:
+                return child
+        return None
+
+    def iter(self, tag: str | None = None) -> Iterator["Element"]:
+        """Depth-first pre-order iteration over self and descendants."""
+        if tag is None or self.tag == tag:
+            yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter(tag)
+
+    def text(self) -> str:
+        """Concatenated text of direct text children."""
+        return "".join(c.value for c in self.children if isinstance(c, Text))
+
+    def full_text(self) -> str:
+        """Concatenated text of all descendant text nodes, document order."""
+        parts: list[str] = []
+        for child in self.children:
+            if isinstance(child, Text):
+                parts.append(child.value)
+            else:
+                parts.append(child.full_text())
+        return "".join(parts)
+
+    def sibling_index(self) -> int:
+        """0-based position among the parent's children (0 if detached;
+        identity-based — equal siblings are distinct positions)."""
+        if self.parent is None:
+            return 0
+        for index, child in enumerate(self.parent.children):
+            if child is self:
+                return index
+        raise ValueError("element has a parent it is not a child of")
+
+    def path_from_root(self) -> str:
+        """Slash path of tags from the root element to this element."""
+        parts: list[str] = []
+        node: Element | None = self
+        while node is not None:
+            parts.append(node.tag)
+            node = node.parent
+        return "/" + "/".join(reversed(parts))
+
+    # -- comparison -------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        """Deep structural equality: tag, attributes and children."""
+        if not isinstance(other, Element):
+            return NotImplemented
+        return (self.tag == other.tag
+                and self.attributes == other.attributes
+                and self.children == other.children)
+
+    def __hash__(self):
+        return hash((self.tag, tuple(sorted(self.attributes.items())),
+                     tuple(self.children)))
+
+    def __repr__(self) -> str:
+        bits = [self.tag]
+        if self.attributes:
+            bits.append(f"{len(self.attributes)} attrs")
+        if self.children:
+            bits.append(f"{len(self.children)} children")
+        return f"Element({', '.join(bits)})"
+
+
+class Document:
+    """An XML document: one root element plus an optional name.
+
+    The ``name`` is the warehouse document identity used by XomatiQ's
+    ``document("hlx_enzyme.DEFAULT")`` function; it is not part of XML
+    proper.
+    """
+
+    __slots__ = ("root", "name", "doctype")
+
+    def __init__(self, root: Element, name: str = "", doctype: str | None = None):
+        if not isinstance(root, Element):
+            raise TypeError("document root must be an Element")
+        self.root = root
+        self.name = name
+        self.doctype = doctype
+
+    def walk(self) -> Iterator[tuple[int, "Element | Text"]]:
+        """Yield ``(document_order, node)`` in depth-first pre-order.
+
+        Document order starts at 0 at the root and includes text nodes;
+        this is exactly the order value the shredder persists.
+        """
+        counter = 0
+
+        def _walk(node: Element | Text) -> Iterator[tuple[int, Element | Text]]:
+            nonlocal counter
+            yield counter, node
+            counter += 1
+            if isinstance(node, Element):
+                for child in node.children:
+                    yield from _walk(child)
+
+        yield from _walk(self.root)
+
+    def element_count(self) -> int:
+        """Number of element nodes in the document."""
+        return sum(1 for _, n in self.walk() if isinstance(n, Element))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Document):
+            return NotImplemented
+        return self.root == other.root
+
+    def __repr__(self) -> str:
+        label = self.name or self.root.tag
+        return f"Document({label}, {self.element_count()} elements)"
+
+
+def merge_adjacent_text(element: Element) -> None:
+    """Merge consecutive Text children in-place, recursively.
+
+    Parsers and builders can produce fragmented text runs; the shredder
+    assumes at most one text node between any two element siblings.
+    """
+    merged: list[Element | Text] = []
+    for child in element.children:
+        if (isinstance(child, Text) and merged
+                and isinstance(merged[-1], Text)):
+            merged[-1] = Text(merged[-1].value + child.value)
+            merged[-1].parent = element
+        else:
+            merged.append(child)
+            if isinstance(child, Element):
+                merge_adjacent_text(child)
+    element.children = merged

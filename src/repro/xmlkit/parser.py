@@ -1,0 +1,322 @@
+"""A from-scratch XML 1.0 subset parser.
+
+Covers what the Data Hounds pipeline produces and consumes:
+
+* elements, attributes (single- or double-quoted), text,
+* self-closing tags,
+* XML declaration (``<?xml ... ?>``) — parsed and discarded,
+* ``<!DOCTYPE name ...>`` — the doctype name is kept on the Document,
+* comments and CDATA sections,
+* the five predefined entities plus decimal/hex character references.
+
+Out of scope (raises :class:`XmlParseError` where detectable): namespaces
+beyond colon-in-name, external entities, parameter entities. The parser is
+strict about well-formedness — mismatched tags, duplicate attributes and
+stray content outside the root are errors, because shredded garbage is far
+harder to debug than a parse failure.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlParseError
+from repro.xmlkit.doc import Document, Element, Text, merge_adjacent_text
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_WHITESPACE = " \t\r\n"
+
+
+class _Cursor:
+    """Input cursor with line/column tracking for error messages."""
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos:self.pos + n]
+
+    def advance(self, n: int = 1) -> str:
+        chunk = self.text[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def skip_whitespace(self) -> None:
+        while not self.eof() and self.text[self.pos] in _WHITESPACE:
+            self.pos += 1
+
+    def location(self) -> tuple[int, int]:
+        """(line, column), both 1-based, of the current position."""
+        consumed = self.text[:self.pos]
+        line = consumed.count("\n") + 1
+        last_newline = consumed.rfind("\n")
+        column = self.pos - last_newline
+        return line, column
+
+    def error(self, message: str) -> XmlParseError:
+        line, column = self.location()
+        return XmlParseError(message, line, column)
+
+
+def parse_document(text: str, name: str = "") -> Document:
+    """Parse an XML document string into a :class:`Document`.
+
+    ``name`` is the warehouse document identity to record on the result.
+    Whitespace-only text between elements is dropped (the paper's data
+    documents are data-centric, not mixed-content prose).
+    """
+    cursor = _Cursor(text)
+    doctype = _skip_prolog(cursor)
+    cursor.skip_whitespace()
+    if cursor.eof() or cursor.peek() != "<":
+        raise cursor.error("expected root element")
+    root = _parse_element(cursor)
+    _skip_misc(cursor)
+    if not cursor.eof():
+        raise cursor.error("content after document root")
+    merge_adjacent_text(root)
+    _strip_whitespace_text(root)
+    return Document(root, name=name, doctype=doctype)
+
+
+def parse_fragment(text: str) -> Element:
+    """Parse a single element (no prolog allowed)."""
+    cursor = _Cursor(text)
+    cursor.skip_whitespace()
+    element = _parse_element(cursor)
+    cursor.skip_whitespace()
+    if not cursor.eof():
+        raise cursor.error("content after fragment element")
+    merge_adjacent_text(element)
+    _strip_whitespace_text(element)
+    return element
+
+
+def _skip_prolog(cursor: _Cursor) -> str | None:
+    """Consume XML declaration, comments, PIs and DOCTYPE before the root."""
+    doctype: str | None = None
+    while True:
+        cursor.skip_whitespace()
+        if cursor.startswith("<?"):
+            end = cursor.text.find("?>", cursor.pos)
+            if end < 0:
+                raise cursor.error("unterminated processing instruction")
+            cursor.pos = end + 2
+        elif cursor.startswith("<!--"):
+            _skip_comment(cursor)
+        elif cursor.startswith("<!DOCTYPE"):
+            doctype = _parse_doctype(cursor)
+        else:
+            return doctype
+
+
+def _skip_misc(cursor: _Cursor) -> None:
+    """Consume trailing whitespace, comments and PIs after the root."""
+    while True:
+        cursor.skip_whitespace()
+        if cursor.startswith("<!--"):
+            _skip_comment(cursor)
+        elif cursor.startswith("<?"):
+            end = cursor.text.find("?>", cursor.pos)
+            if end < 0:
+                raise cursor.error("unterminated processing instruction")
+            cursor.pos = end + 2
+        else:
+            return
+
+
+def _skip_comment(cursor: _Cursor) -> None:
+    end = cursor.text.find("-->", cursor.pos + 4)
+    if end < 0:
+        raise cursor.error("unterminated comment")
+    cursor.pos = end + 3
+
+
+def _parse_doctype(cursor: _Cursor) -> str:
+    """Consume ``<!DOCTYPE name [internal subset]>`` and return the name.
+
+    The internal subset, if present, is skipped (DTDs are handled by
+    :mod:`repro.xmlkit.dtd` from their own text, not inline)."""
+    cursor.advance(len("<!DOCTYPE"))
+    cursor.skip_whitespace()
+    name = _read_name(cursor)
+    depth = 0
+    while not cursor.eof():
+        ch = cursor.advance()
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth == 0:
+            return name
+    raise cursor.error("unterminated DOCTYPE")
+
+
+def _read_name(cursor: _Cursor) -> str:
+    start = cursor.pos
+    text = cursor.text
+    while (cursor.pos < len(text)
+           and text[cursor.pos] not in _WHITESPACE
+           and text[cursor.pos] not in "<>=/[]'\""):
+        cursor.pos += 1
+    if cursor.pos == start:
+        raise cursor.error("expected a name")
+    return text[start:cursor.pos]
+
+
+def _parse_element(cursor: _Cursor) -> Element:
+    if cursor.advance() != "<":
+        raise cursor.error("expected '<'")
+    tag = _read_name(cursor)
+    try:
+        element = Element(tag)
+    except ValueError as exc:
+        raise cursor.error(str(exc)) from exc
+    # attributes
+    while True:
+        cursor.skip_whitespace()
+        if cursor.eof():
+            raise cursor.error(f"unterminated start tag <{tag}>")
+        if cursor.startswith("/>"):
+            cursor.advance(2)
+            return element
+        if cursor.peek() == ">":
+            cursor.advance()
+            break
+        attr_name = _read_name(cursor)
+        cursor.skip_whitespace()
+        if cursor.peek() != "=":
+            raise cursor.error(f"attribute {attr_name!r} missing '='")
+        cursor.advance()
+        cursor.skip_whitespace()
+        quote = cursor.peek()
+        if quote not in "'\"":
+            raise cursor.error(f"attribute {attr_name!r} value must be quoted")
+        cursor.advance()
+        end = cursor.text.find(quote, cursor.pos)
+        if end < 0:
+            raise cursor.error(f"unterminated value for attribute {attr_name!r}")
+        raw_value = cursor.text[cursor.pos:end]
+        cursor.pos = end + 1
+        if attr_name in element.attributes:
+            raise cursor.error(f"duplicate attribute {attr_name!r} on <{tag}>")
+        try:
+            element.set(attr_name, _expand_references(raw_value, cursor))
+        except ValueError as exc:
+            raise cursor.error(str(exc)) from exc
+    # content
+    while True:
+        if cursor.eof():
+            raise cursor.error(f"unexpected end of input inside <{tag}>")
+        if cursor.startswith("</"):
+            cursor.advance(2)
+            close = _read_name(cursor)
+            cursor.skip_whitespace()
+            if cursor.peek() != ">":
+                raise cursor.error(f"malformed end tag </{close}")
+            cursor.advance()
+            if close != tag:
+                raise cursor.error(
+                    f"mismatched end tag: expected </{tag}>, got </{close}>")
+            return element
+        if cursor.startswith("<!--"):
+            _skip_comment(cursor)
+        elif cursor.startswith("<![CDATA["):
+            end = cursor.text.find("]]>", cursor.pos + 9)
+            if end < 0:
+                raise cursor.error("unterminated CDATA section")
+            element.append(Text(cursor.text[cursor.pos + 9:end]))
+            cursor.pos = end + 3
+        elif cursor.startswith("<?"):
+            end = cursor.text.find("?>", cursor.pos)
+            if end < 0:
+                raise cursor.error("unterminated processing instruction")
+            cursor.pos = end + 2
+        elif cursor.peek() == "<":
+            element.append(_parse_element(cursor))
+        else:
+            element.append(Text(_parse_text(cursor)))
+
+
+def _parse_text(cursor: _Cursor) -> str:
+    start = cursor.pos
+    next_tag = cursor.text.find("<", start)
+    if next_tag < 0:
+        raise cursor.error("text outside of any element")
+    raw = cursor.text[start:next_tag]
+    cursor.pos = next_tag
+    return _expand_references(raw, cursor)
+
+
+def _expand_references(raw: str, cursor: _Cursor) -> str:
+    """Expand entity and character references in text or attribute values."""
+    if "&" not in raw:
+        if "<" in raw:
+            raise cursor.error("raw '<' in character data")
+        return raw
+    parts: list[str] = []
+    index = 0
+    while index < len(raw):
+        amp = raw.find("&", index)
+        if amp < 0:
+            parts.append(raw[index:])
+            break
+        parts.append(raw[index:amp])
+        semi = raw.find(";", amp)
+        if semi < 0:
+            raise cursor.error("unterminated entity reference")
+        entity = raw[amp + 1:semi]
+        parts.append(_decode_entity(entity, cursor))
+        index = semi + 1
+    return "".join(parts)
+
+
+def _decode_entity(entity: str, cursor: _Cursor) -> str:
+    if entity.startswith("#x") or entity.startswith("#X"):
+        try:
+            return chr(int(entity[2:], 16))
+        except (ValueError, OverflowError) as exc:
+            raise cursor.error(f"bad character reference &{entity};") from exc
+    if entity.startswith("#"):
+        try:
+            return chr(int(entity[1:]))
+        except (ValueError, OverflowError) as exc:
+            raise cursor.error(f"bad character reference &{entity};") from exc
+    try:
+        return _PREDEFINED_ENTITIES[entity]
+    except KeyError:
+        raise cursor.error(f"unknown entity &{entity};") from None
+
+
+def _strip_whitespace_text(element: Element) -> None:
+    """Drop whitespace-only text nodes that sit between elements.
+
+    Text nodes in an element that has element children are presumed to be
+    indentation; text in a leaf element is content and kept verbatim.
+    """
+    has_element_child = any(isinstance(c, Element) for c in element.children)
+    if has_element_child:
+        kept: list[Element | Text] = []
+        for child in element.children:
+            if isinstance(child, Text) and not child.value.strip():
+                child.parent = None
+                continue
+            kept.append(child)
+        element.children = kept
+    for child in element.children:
+        if isinstance(child, Element):
+            _strip_whitespace_text(child)

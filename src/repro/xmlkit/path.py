@@ -1,0 +1,302 @@
+"""Path expressions over the XML infoset.
+
+XomatiQ queries navigate documents with abbreviated XPath steps —
+``document(...)/hlx_enzyme/db_entry``, ``$a//catalytic_activity``,
+``$a//qualifier[@qualifier_type = "EC_number"]``, ``$b//@mim_id``. This
+module gives those paths a first-class representation shared by
+
+* the XQuery parser (paths appear in FOR bindings, WHERE clauses and
+  RETURN expressions),
+* the XQ2SQL translator (steps become joins / index lookups over the
+  generic schema),
+* the native-XML baseline evaluator (steps are evaluated directly on the
+  tree).
+
+Grammar (after an optional leading ``/`` or ``//``)::
+
+    path      := step (("/" | "//") step)*
+    step      := "@" name | name | "*"
+    step      := step predicate*
+    predicate := "[" "@" name "=" string "]" | "[" name "=" string "]"
+
+Attribute steps (``@name``) are only valid in the final position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PathError
+from repro.xmlkit.doc import Element, is_valid_name
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An equality predicate filtering a step: ``[@attr = "v"]`` or
+    ``[child = "v"]``."""
+
+    name: str
+    value: str
+    on_attribute: bool
+
+    def __str__(self) -> str:
+        target = ("@" if self.on_attribute else "") + self.name
+        return f'[{target} = "{self.value}"]'
+
+    def matches(self, element: Element) -> bool:
+        """Tree-side evaluation of the predicate."""
+        if self.on_attribute:
+            return element.get(self.name) == self.value
+        child = element.first(self.name)
+        return child is not None and child.full_text().strip() == self.value
+
+
+@dataclass(frozen=True)
+class PositionPredicate:
+    """A positional predicate ``[n]`` (1-based): the element must be
+    the n-th of its same-tag siblings. This is the list-item access the
+    paper's order preservation enables (``alternate_name[2]``); note it
+    ranks within the *parent's* same-tag children, which coincides with
+    XPath positional semantics for the child axis over homogeneous
+    lists (the shape of all our DTD list containers)."""
+
+    position: int
+
+    def __str__(self) -> str:
+        return f"[{self.position}]"
+
+    def matches(self, element: Element) -> bool:
+        """Tree-side evaluation: is this the n-th same-tag sibling?"""
+        parent = element.parent
+        if parent is None:
+            return self.position == 1
+        # identity comparison: structurally-equal siblings (repeated
+        # list items with the same content) must rank separately
+        rank = 0
+        for sibling in parent.child_elements(element.tag):
+            if sibling is element:
+                return rank == self.position - 1
+            rank += 1
+        return False
+
+
+@dataclass(frozen=True)
+class Step:
+    """One navigation step."""
+
+    name: str                    # tag name, "*" wildcard, or attribute name
+    descendant: bool = False     # reached via // rather than /
+    is_attribute: bool = False
+    predicates: tuple["Predicate | PositionPredicate", ...] = ()
+
+    def __str__(self) -> str:
+        axis = "//" if self.descendant else "/"
+        label = ("@" if self.is_attribute else "") + self.name
+        return axis + label + "".join(str(p) for p in self.predicates)
+
+
+@dataclass(frozen=True)
+class Path:
+    """A sequence of steps, possibly rooted (leading slash)."""
+
+    steps: tuple[Step, ...] = ()
+
+    def __str__(self) -> str:
+        return "".join(str(s) for s in self.steps)
+
+    @property
+    def is_attribute_path(self) -> bool:
+        """True when the final step addresses an attribute."""
+        return bool(self.steps) and self.steps[-1].is_attribute
+
+    @property
+    def last_name(self) -> str:
+        """Name of the final step (tag or attribute name)."""
+        if not self.steps:
+            raise PathError("empty path has no final step")
+        return self.steps[-1].name
+
+    def concat(self, other: "Path") -> "Path":
+        """Append another (relative) path to this one."""
+        return Path(self.steps + other.steps)
+
+
+def parse_path(text: str) -> Path:
+    """Parse a path expression string into a :class:`Path`."""
+    parser = _PathParser(text)
+    return parser.parse()
+
+
+class _PathParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Path:
+        steps: list[Step] = []
+        text = self.text.strip()
+        self.text = text
+        if not text:
+            raise PathError("empty path expression")
+        descendant = False
+        if text.startswith("//"):
+            descendant = True
+            self.pos = 2
+        elif text.startswith("/"):
+            self.pos = 1
+        while self.pos < len(text):
+            steps.append(self._parse_step(descendant))
+            if self.pos >= len(text):
+                break
+            if text.startswith("//", self.pos):
+                descendant = True
+                self.pos += 2
+            elif text[self.pos] == "/":
+                descendant = False
+                self.pos += 1
+            else:
+                raise PathError(
+                    f"unexpected character {text[self.pos]!r} in path "
+                    f"{text!r} at offset {self.pos}")
+        if not steps:
+            raise PathError(f"path {text!r} has no steps")
+        for step in steps[:-1]:
+            if step.is_attribute:
+                raise PathError(
+                    f"attribute step @{step.name} must be final in {text!r}")
+        return Path(tuple(steps))
+
+    def _parse_step(self, descendant: bool) -> Step:
+        text = self.text
+        is_attribute = False
+        if text.startswith("@", self.pos):
+            is_attribute = True
+            self.pos += 1
+        start = self.pos
+        if text.startswith("*", self.pos):
+            self.pos += 1
+            name = "*"
+        else:
+            while self.pos < len(text) and text[self.pos] not in "/[@":
+                self.pos += 1
+            name = text[start:self.pos].strip()
+            if not is_valid_name(name):
+                raise PathError(f"invalid step name {name!r} in {text!r}")
+        predicates: list[Predicate] = []
+        while self.pos < len(text) and text[self.pos] == "[":
+            predicates.append(self._parse_predicate())
+        if is_attribute and predicates:
+            raise PathError("attribute steps cannot carry predicates")
+        return Step(name=name, descendant=descendant,
+                    is_attribute=is_attribute,
+                    predicates=tuple(predicates))
+
+    def _parse_predicate(self) -> "Predicate | PositionPredicate":
+        text = self.text
+        assert text[self.pos] == "["
+        end = text.find("]", self.pos)
+        if end < 0:
+            raise PathError(f"unterminated predicate in {text!r}")
+        body = text[self.pos + 1:end].strip()
+        self.pos = end + 1
+        if body.isdigit():
+            position = int(body)
+            if position < 1:
+                raise PathError("positional predicates are 1-based")
+            return PositionPredicate(position)
+        if "=" not in body:
+            raise PathError(
+                f"only equality and positional predicates supported: "
+                f"[{body}]")
+        left, __, right = body.partition("=")
+        left = left.strip()
+        right = right.strip()
+        on_attribute = left.startswith("@")
+        if on_attribute:
+            left = left[1:]
+        if not is_valid_name(left):
+            raise PathError(f"invalid predicate target {left!r}")
+        if len(right) < 2 or right[0] not in "\"'" or right[-1] != right[0]:
+            raise PathError(
+                f"predicate value must be a quoted string: [{body}]")
+        return Predicate(name=left, value=right[1:-1], on_attribute=on_attribute)
+
+
+# --------------------------------------------------------------------------
+# Tree evaluation (used by the native-XML baseline and the tagger)
+# --------------------------------------------------------------------------
+
+
+def evaluate_elements(path: Path, context: Element) -> list[Element]:
+    """Elements reached by ``path`` from ``context`` (document order).
+
+    The final step must not be an attribute step.
+    """
+    if path.is_attribute_path:
+        raise PathError("evaluate_elements() cannot target an attribute")
+    return _walk_steps(list(path.steps), [context])
+
+
+def evaluate_strings(path: Path, context: Element) -> list[str]:
+    """String values reached by ``path`` from ``context``.
+
+    For element targets this is the element's full text; for attribute
+    targets the attribute value. Missing attributes yield nothing.
+    """
+    steps = list(path.steps)
+    if path.is_attribute_path:
+        attr_step = steps.pop()
+        holders = _walk_steps(steps, [context]) if steps else [context]
+        values: list[str] = []
+        for holder in holders:
+            if attr_step.descendant:
+                for descendant in holder.iter():
+                    value = descendant.get(attr_step.name)
+                    if value is not None:
+                        values.append(value)
+            else:
+                value = holder.get(attr_step.name)
+                if value is not None:
+                    values.append(value)
+        return values
+    return [e.full_text() for e in _walk_steps(steps, [context])]
+
+
+def _walk_steps(steps: list[Step], contexts: list[Element]) -> list[Element]:
+    current = contexts
+    for step in steps:
+        nxt: list[Element] = []
+        for element in current:
+            nxt.extend(_apply_step(step, element))
+        current = _dedupe(nxt)
+    return current
+
+
+def _apply_step(step: Step, context: Element) -> list[Element]:
+    if step.is_attribute:
+        raise PathError("attribute step in element position")
+    if step.descendant:
+        candidates = [e for e in context.iter()
+                      if e is not context and (step.name == "*" or e.tag == step.name)]
+        # descendant-or-self semantics for the root-level tag: //x from the
+        # document root includes the root itself when it matches.
+        if step.name == "*" or context.tag == step.name:
+            candidates = [context] + candidates
+    else:
+        candidates = (context.child_elements()
+                      if step.name == "*"
+                      else context.child_elements(step.name))
+    if step.predicates:
+        candidates = [e for e in candidates
+                      if all(p.matches(e) for p in step.predicates)]
+    return candidates
+
+
+def _dedupe(elements: list[Element]) -> list[Element]:
+    seen: set[int] = set()
+    unique: list[Element] = []
+    for element in elements:
+        if id(element) not in seen:
+            seen.add(id(element))
+            unique.append(element)
+    return unique

@@ -1,0 +1,36 @@
+"""The XomatiQ query language: FLWR subset of the June-2001 XQuery
+draft plus the ``contains()`` keyword extension (paper §3)."""
+
+from repro.xquery.ast import (
+    Binding,
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Compare,
+    Condition,
+    Contains,
+    DocumentName,
+    LiteralOperand,
+    Query,
+    ReturnItem,
+    VarPath,
+)
+from repro.xquery.parser import parse_query
+from repro.xquery.semantics import check_query
+
+__all__ = [
+    "Binding",
+    "BoolAnd",
+    "BoolNot",
+    "BoolOr",
+    "Compare",
+    "Condition",
+    "Contains",
+    "DocumentName",
+    "LiteralOperand",
+    "Query",
+    "ReturnItem",
+    "VarPath",
+    "check_query",
+    "parse_query",
+]

@@ -1,0 +1,300 @@
+"""AST of the XomatiQ query language.
+
+A query is a FLWR expression (the paper uses FOR-WHERE-RETURN; LET is
+accepted and treated as a single-binding FOR since our bindings are
+node sequences either way)::
+
+    FOR   $a IN document("hlx_embl.inv")/hlx_n_sequence,
+          $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+    WHERE contains($a, "cdc6", any) AND $a//x = $b/enzyme_id
+    RETURN $Alias = $a//embl_accession_number, $b//enzyme_description
+
+Conditions form a boolean algebra over two atoms: ``contains`` and
+comparisons. Operands are variable-rooted paths or literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlkit.path import Path
+
+
+@dataclass(frozen=True)
+class DocumentName:
+    """A ``document("source.collection")`` argument, split at the last
+    dot. A name with no dot addresses every collection of the source."""
+
+    source: str
+    collection: str | None
+
+    @classmethod
+    def parse(cls, raw: str) -> "DocumentName":
+        """Split ``source.collection`` at the last dot."""
+        if "." in raw:
+            source, __, collection = raw.rpartition(".")
+            return cls(source, collection)
+        return cls(raw, None)
+
+    def __str__(self) -> str:
+        if self.collection is None:
+            return self.source
+        return f"{self.source}.{self.collection}"
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One FOR binding: ``$var IN document(...)path`` or
+    ``$var IN $context path`` (re-rooting on another variable)."""
+
+    var: str
+    document: DocumentName | None   # exactly one of document/context set
+    context_var: str | None
+    path: Path | None               # None = the document root itself
+
+    def __str__(self) -> str:
+        if self.document is not None:
+            origin = f'document("{self.document}")'
+        else:
+            origin = f"${self.context_var}"
+        return f"${self.var} IN {origin}{self.path or ''}"
+
+
+@dataclass(frozen=True)
+class VarPath:
+    """A variable-rooted path operand: ``$a`` or ``$a//x/@y``."""
+
+    var: str
+    path: Path | None = None
+
+    def __str__(self) -> str:
+        return f"${self.var}{self.path or ''}"
+
+
+@dataclass(frozen=True)
+class LiteralOperand:
+    """A string or numeric literal operand."""
+
+    value: str | float
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for numeric literals (affects comparison typing)."""
+        return isinstance(self.value, float)
+
+    def __str__(self) -> str:
+        if self.is_numeric:
+            return f"{self.value:g}"
+        return f'"{self.value}"'
+
+
+Operand = VarPath | LiteralOperand
+
+
+class Condition:
+    """Base class for WHERE conditions."""
+
+
+@dataclass(frozen=True)
+class Contains(Condition):
+    """``contains(target, "phrase"[, scope])``.
+
+    ``scope`` is ``"node"`` (default: all tokens under the target node),
+    ``"any"`` (anywhere in the target's document) or an integer
+    proximity window in token positions.
+    """
+
+    target: VarPath
+    phrase: str
+    scope: str | int = "node"
+
+    def __str__(self) -> str:
+        extra = ""
+        if self.scope == "any":
+            extra = ", any"
+        elif isinstance(self.scope, int):
+            extra = f", {self.scope}"
+        return f'contains({self.target}, "{self.phrase}"{extra})'
+
+
+@dataclass(frozen=True)
+class SeqContains(Condition):
+    """``seqcontains(target, "motif")`` — pattern search over sequence
+    residues (the query class the paper's sequence/non-sequence split
+    exists for). The motif matches case-insensitively anywhere in the
+    residue string; ``.`` matches any single residue."""
+
+    target: VarPath
+    motif: str
+
+    def __str__(self) -> str:
+        return f'seqcontains({self.target}, "{self.motif}")'
+
+
+@dataclass(frozen=True)
+class Compare(Condition):
+    """``left op right`` with op in ``= != < <= > >=``."""
+
+    op: str
+    left: Operand
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class OrderCompare(Condition):
+    """``left BEFORE right`` / ``left AFTER right`` — document-order
+    comparison (the order-based functionality the generic schema's
+    ``doc_order`` column exists for). Holds when some element matched
+    by ``left`` precedes (follows) some element matched by ``right``
+    within the same document."""
+
+    op: str          # "before" | "after"
+    left: VarPath
+    right: VarPath
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.upper()} {self.right}"
+
+
+@dataclass(frozen=True)
+class BoolAnd(Condition):
+    """Conjunction of conditions."""
+
+    items: tuple[Condition, ...]
+
+    def __str__(self) -> str:
+        return " AND ".join(_paren(i) for i in self.items)
+
+
+@dataclass(frozen=True)
+class BoolOr(Condition):
+    """Disjunction of conditions."""
+
+    items: tuple[Condition, ...]
+
+    def __str__(self) -> str:
+        return " OR ".join(_paren(i) for i in self.items)
+
+
+@dataclass(frozen=True)
+class BoolNot(Condition):
+    """Negated condition."""
+
+    item: Condition
+
+    def __str__(self) -> str:
+        return f"NOT {_paren(self.item)}"
+
+
+def _paren(condition: Condition) -> str:
+    if isinstance(condition, (BoolAnd, BoolOr)):
+        return f"({condition})"
+    return str(condition)
+
+
+@dataclass(frozen=True)
+class Constructor:
+    """An element constructor in a RETURN clause (June-2001 draft
+    syntax)::
+
+        RETURN <hit ec="{ $b/enzyme_id }">
+                 <acc>{ $a//embl_accession_number }</acc>
+                 <desc>{ $a//description }</desc>
+               </hit>
+
+    ``attributes`` values and element ``children`` are either literal
+    strings / nested constructors, or embedded :class:`VarPath`
+    expressions whose values are spliced in per result row.
+    """
+
+    tag: str
+    attributes: tuple[tuple[str, "str | VarPath"], ...] = ()
+    children: tuple["Constructor | VarPath", ...] = ()
+
+    def varpaths(self) -> list[VarPath]:
+        """Every embedded VarPath, document order."""
+        out: list[VarPath] = []
+        for __, value in self.attributes:
+            if isinstance(value, VarPath):
+                out.append(value)
+        for child in self.children:
+            if isinstance(child, VarPath):
+                out.append(child)
+            else:
+                out.extend(child.varpaths())
+        return out
+
+    def __str__(self) -> str:
+        attrs = "".join(
+            f' {name}="{{ {value} }}"' if isinstance(value, VarPath)
+            else f' {name}="{value}"'
+            for name, value in self.attributes)
+        if not self.children:
+            return f"<{self.tag}{attrs}/>"
+        inner = " ".join(
+            f"{{ {child} }}" if isinstance(child, VarPath) else str(child)
+            for child in self.children)
+        return f"<{self.tag}{attrs}> {inner} </{self.tag}>"
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    """One RETURN item: a path (optionally named), or an element
+    constructor.
+
+    The paper's Figure 11 names outputs (``$Accession_Number = $a//...``);
+    unnamed items take the final step name of their path; constructor
+    items take their root tag.
+    """
+
+    value: VarPath | None = None
+    alias: str | None = None
+    constructor: Constructor | None = None
+
+    def __post_init__(self):
+        if (self.value is None) == (self.constructor is None):
+            raise ValueError(
+                "ReturnItem needs exactly one of value/constructor")
+
+    @property
+    def output_name(self) -> str:
+        """The result-column name this item produces."""
+        if self.alias:
+            return self.alias
+        if self.constructor is not None:
+            return self.constructor.tag
+        if self.value.path is not None:
+            name = self.value.path.last_name
+            return ("@" + name) if self.value.path.is_attribute_path else name
+        return self.value.var
+
+    def __str__(self) -> str:
+        if self.constructor is not None:
+            return str(self.constructor)
+        if self.alias:
+            return f"${self.alias} = {self.value}"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full FLWR query."""
+
+    bindings: tuple[Binding, ...]
+    where: Condition | None
+    returns: tuple[ReturnItem, ...]
+
+    def variables(self) -> list[str]:
+        """Bound variable names, binding order."""
+        return [binding.var for binding in self.bindings]
+
+    def __str__(self) -> str:
+        parts = ["FOR " + ",\n    ".join(str(b) for b in self.bindings)]
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        parts.append("RETURN " + ",\n       ".join(
+            str(r) for r in self.returns))
+        return "\n".join(parts)

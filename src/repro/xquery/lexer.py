@@ -1,0 +1,103 @@
+"""Lexer for the XomatiQ query language.
+
+The language is the FLWR subset of the June-2001 XQuery draft that the
+paper implements, extended with ``contains()`` keyword search. Keywords
+(`FOR`, `IN`, `WHERE`, `AND`, `OR`, `NOT`, `RETURN`, plus the
+``document``/``contains``/``any`` builtins) are recognized
+case-insensitively — the paper writes them in upper case, the draft in
+lower case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import XQuerySyntaxError
+
+KEYWORDS = frozenset({"for", "let", "in", "where", "and", "or", "not",
+                      "return", "document", "contains", "seqcontains",
+                      "any", "before", "after"})
+
+_SYMBOLS = ("//", "/", "[", "]", "(", ")", ",", "@", "$", "*",
+            "<=", ">=", "!=", "=", "<", ">", ":=", "{", "}")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset."""
+
+    kind: str    # "var", "name", "keyword", "string", "number", "symbol", "end"
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True for the given (lowercased) keyword."""
+        return self.kind == "keyword" and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        """True for the given punctuation symbol."""
+        return self.kind == "symbol" and self.value == symbol
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a query; raises :class:`XQuerySyntaxError` on garbage."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if ch == '"' or ch == "'":
+            end = text.find(ch, pos + 1)
+            if end < 0:
+                raise XQuerySyntaxError("unterminated string literal", pos)
+            tokens.append(Token("string", text[pos + 1:end], pos))
+            pos = end + 1
+            continue
+        if ch == "$":
+            end = pos + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if end == pos + 1:
+                raise XQuerySyntaxError("expected variable name after $", pos)
+            tokens.append(Token("var", text[pos + 1:end], pos))
+            pos = end
+            continue
+        if ch.isdigit():
+            end = pos
+            seen_dot = False
+            while end < length and (text[end].isdigit()
+                                    or (text[end] == "." and not seen_dot
+                                        and end + 1 < length
+                                        and text[end + 1].isdigit())):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            # an identifier-like tail (EC numbers in paths are quoted, so
+            # bare numbers are genuinely numeric)
+            tokens.append(Token("number", text[pos:end], pos))
+            pos = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[pos:end]
+            kind = "keyword" if word.lower() in KEYWORDS else "name"
+            value = word.lower() if kind == "keyword" else word
+            tokens.append(Token(kind, value, pos))
+            pos = end
+            continue
+        matched = False
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, pos):
+                tokens.append(Token("symbol", symbol, pos))
+                pos += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise XQuerySyntaxError(f"unexpected character {ch!r}", pos)
+    tokens.append(Token("end", "", length))
+    return tokens

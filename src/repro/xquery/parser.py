@@ -1,0 +1,387 @@
+"""Recursive-descent parser for the XomatiQ query language."""
+
+from __future__ import annotations
+
+from repro.errors import XQuerySyntaxError
+from repro.xmlkit.path import Path, PositionPredicate, Predicate, Step
+from repro.xquery.ast import (
+    Binding,
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Compare,
+    Condition,
+    Constructor,
+    Contains,
+    DocumentName,
+    LiteralOperand,
+    Operand,
+    OrderCompare,
+    Query,
+    ReturnItem,
+    SeqContains,
+    VarPath,
+)
+from repro.xquery.lexer import Token, tokenize
+
+_COMPARE_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query string into a :class:`Query` AST."""
+    parser = _Parser(tokenize(text))
+    query = parser.parse_query()
+    parser.expect_end()
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.pos += 1
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            self.error(f"expected {word.upper()}")
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.peek().is_symbol(symbol):
+            self.pos += 1
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            self.error(f"expected {symbol!r}")
+
+    def error(self, message: str):
+        token = self.peek()
+        found = token.value or "end of query"
+        raise XQuerySyntaxError(f"{message}, found {found!r}",
+                                token.position)
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        if not (self.accept_keyword("for") or self.accept_keyword("let")):
+            self.error("query must begin with FOR")
+        bindings = [self.parse_binding()]
+        while self.accept_symbol(","):
+            # a FOR list may interleave further FOR/LET keywords
+            self.accept_keyword("for") or self.accept_keyword("let")
+            bindings.append(self.parse_binding())
+        while self.accept_keyword("for") or self.accept_keyword("let"):
+            bindings.append(self.parse_binding())
+            while self.accept_symbol(","):
+                bindings.append(self.parse_binding())
+
+        where: Condition | None = None
+        if self.accept_keyword("where"):
+            where = self.parse_or()
+            # the paper's example style: WHERE c1 AND c2 on separate
+            # lines with leading AND keywords is already handled by
+            # parse_or; stray ANDs are not.
+
+        self.expect_keyword("return")
+        returns = [self.parse_return_item()]
+        while self.accept_symbol(","):
+            returns.append(self.parse_return_item())
+        return Query(bindings=tuple(bindings), where=where,
+                     returns=tuple(returns))
+
+    def parse_binding(self) -> Binding:
+        token = self.peek()
+        if token.kind != "var":
+            self.error("expected a $variable binding")
+        var = self.advance().value
+        if not (self.accept_keyword("in") or self.accept_symbol(":=")):
+            self.error(f"expected IN after ${var}")
+        if self.accept_keyword("document"):
+            self.expect_symbol("(")
+            name_token = self.peek()
+            if name_token.kind != "string":
+                self.error("document() expects a quoted name")
+            self.advance()
+            self.expect_symbol(")")
+            path = self.parse_optional_path()
+            return Binding(var=var,
+                           document=DocumentName.parse(name_token.value),
+                           context_var=None, path=path)
+        if self.peek().kind == "var":
+            context = self.advance().value
+            path = self.parse_optional_path()
+            return Binding(var=var, document=None, context_var=context,
+                           path=path)
+        self.error("expected document(...) or a $variable after IN")
+
+    def parse_optional_path(self) -> Path | None:
+        """A path continuation starting with / or //, or None."""
+        steps: list[Step] = []
+        while True:
+            if self.accept_symbol("//"):
+                descendant = True
+            elif self.accept_symbol("/"):
+                descendant = False
+            else:
+                break
+            steps.append(self.parse_step(descendant))
+        if not steps:
+            return None
+        for step in steps[:-1]:
+            if step.is_attribute:
+                self.error("attribute step must be the final step")
+        return Path(tuple(steps))
+
+    def parse_step(self, descendant: bool) -> Step:
+        is_attribute = self.accept_symbol("@")
+        token = self.peek()
+        if token.is_symbol("*"):
+            self.advance()
+            name = "*"
+        elif token.kind in ("name", "keyword"):
+            self.advance()
+            name = token.value
+        else:
+            self.error("expected a step name")
+        predicates: list[Predicate] = []
+        while self.accept_symbol("["):
+            predicates.append(self.parse_predicate())
+        if is_attribute and predicates:
+            self.error("attribute steps cannot carry predicates")
+        return Step(name=name, descendant=descendant,
+                    is_attribute=is_attribute,
+                    predicates=tuple(predicates))
+
+    def parse_predicate(self) -> Predicate | PositionPredicate:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            position = int(float(token.value))
+            if position < 1:
+                self.error("positional predicates are 1-based")
+            self.expect_symbol("]")
+            return PositionPredicate(position)
+        on_attribute = self.accept_symbol("@")
+        token = self.peek()
+        if token.kind not in ("name", "keyword"):
+            self.error("expected a predicate target name")
+        self.advance()
+        name = token.value
+        self.expect_symbol("=")
+        value_token = self.peek()
+        if value_token.kind != "string":
+            self.error("predicate value must be a quoted string")
+        self.advance()
+        self.expect_symbol("]")
+        return Predicate(name=name, value=value_token.value,
+                         on_attribute=on_attribute)
+
+    # -- conditions ---------------------------------------------------------------
+
+    def parse_or(self) -> Condition:
+        items = [self.parse_and()]
+        while self.accept_keyword("or"):
+            items.append(self.parse_and())
+        return items[0] if len(items) == 1 else BoolOr(tuple(items))
+
+    def parse_and(self) -> Condition:
+        items = [self.parse_not()]
+        while self.accept_keyword("and"):
+            items.append(self.parse_not())
+        return items[0] if len(items) == 1 else BoolAnd(tuple(items))
+
+    def parse_not(self) -> Condition:
+        if self.accept_keyword("not"):
+            return BoolNot(self.parse_not())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Condition:
+        if self.accept_keyword("contains"):
+            return self.parse_contains()
+        if self.accept_keyword("seqcontains"):
+            return self.parse_seqcontains()
+        if self.peek().is_symbol("("):
+            self.advance()
+            inner = self.parse_or()
+            self.expect_symbol(")")
+            return inner
+        left = self.parse_operand()
+        op_token = self.peek()
+        if op_token.kind == "symbol" and op_token.value in _COMPARE_OPS:
+            self.advance()
+            right = self.parse_operand()
+            return Compare(op=op_token.value, left=left, right=right)
+        if op_token.is_keyword("before") or op_token.is_keyword("after"):
+            self.advance()
+            if not isinstance(left, VarPath):
+                self.error(f"{op_token.value.upper()} compares element "
+                           f"paths, not literals")
+            right = self.parse_operand()
+            if not isinstance(right, VarPath):
+                self.error(f"{op_token.value.upper()} compares element "
+                           f"paths, not literals")
+            return OrderCompare(op=op_token.value, left=left, right=right)
+        self.error("expected a comparison operator")
+
+    def parse_contains(self) -> Contains:
+        self.expect_symbol("(")
+        target = self.parse_varpath()
+        self.expect_symbol(",")
+        phrase_token = self.peek()
+        if phrase_token.kind != "string":
+            self.error("contains() expects a quoted keyword phrase")
+        self.advance()
+        scope: str | int = "node"
+        if self.accept_symbol(","):
+            scope_token = self.peek()
+            if scope_token.is_keyword("any"):
+                self.advance()
+                scope = "any"
+            elif scope_token.kind == "number":
+                self.advance()
+                scope = int(float(scope_token.value))
+            else:
+                self.error("contains() scope must be `any` or a number")
+        self.expect_symbol(")")
+        return Contains(target=target, phrase=phrase_token.value,
+                        scope=scope)
+
+    def parse_seqcontains(self) -> SeqContains:
+        self.expect_symbol("(")
+        target = self.parse_varpath()
+        self.expect_symbol(",")
+        motif_token = self.peek()
+        if motif_token.kind != "string":
+            self.error("seqcontains() expects a quoted motif")
+        self.advance()
+        self.expect_symbol(")")
+        if not motif_token.value.strip():
+            self.error("seqcontains() motif must be non-empty")
+        return SeqContains(target=target, motif=motif_token.value)
+
+    def parse_operand(self) -> Operand:
+        token = self.peek()
+        if token.kind == "var":
+            return self.parse_varpath()
+        if token.kind == "string":
+            self.advance()
+            return LiteralOperand(token.value)
+        if token.kind == "number":
+            self.advance()
+            return LiteralOperand(float(token.value))
+        self.error("expected a $variable path or a literal")
+
+    def parse_varpath(self) -> VarPath:
+        token = self.peek()
+        if token.kind != "var":
+            self.error("expected a $variable")
+        var = self.advance().value
+        path = self.parse_optional_path()
+        return VarPath(var=var, path=path)
+
+    # -- return clause ----------------------------------------------------------------
+
+    def parse_return_item(self) -> ReturnItem:
+        token = self.peek()
+        if token.is_symbol("<"):
+            return ReturnItem(constructor=self.parse_constructor())
+        if token.kind == "var":
+            # either `$Alias = $a//x` or a bare `$a//x`
+            var = self.advance().value
+            if self.accept_symbol("="):
+                value = self.parse_varpath()
+                return ReturnItem(value=value, alias=var)
+            path = self.parse_optional_path()
+            return ReturnItem(value=VarPath(var=var, path=path))
+        self.error("expected a return item ($var path, $Alias = $var path "
+                   "or an <element> constructor)")
+
+    # -- element constructors -----------------------------------------------------
+
+    def parse_constructor(self) -> Constructor:
+        self.expect_symbol("<")
+        token = self.peek()
+        if token.kind not in ("name", "keyword"):
+            self.error("expected an element name after <")
+        tag = self.advance().value
+        attributes: list[tuple[str, object]] = []
+        while True:
+            token = self.peek()
+            if token.is_symbol(">") or token.is_symbol("/"):
+                break
+            if token.kind not in ("name", "keyword"):
+                self.error("expected an attribute name in constructor")
+            name = self.advance().value
+            self.expect_symbol("=")
+            value_token = self.peek()
+            if value_token.kind == "string":
+                self.advance()
+                raw = value_token.value.strip()
+                if raw.startswith("{") and raw.endswith("}"):
+                    # attribute value is an embedded expression:
+                    # re-lex the inside as a varpath
+                    inner = _Parser(tokenize(raw[1:-1]))
+                    varpath = inner.parse_varpath()
+                    if inner.peek().kind != "end":
+                        self.error(
+                            f"bad embedded expression in attribute {name}")
+                    attributes.append((name, varpath))
+                else:
+                    attributes.append((name, value_token.value))
+            elif value_token.is_symbol("{"):
+                self.advance()
+                attributes.append((name, self.parse_varpath()))
+                self.expect_symbol("}")
+            else:
+                self.error(f"attribute {name} needs a quoted value or "
+                           f"{{ $var path }}")
+        if self.accept_symbol("/"):
+            self.expect_symbol(">")
+            return Constructor(tag=tag, attributes=tuple(attributes))
+        self.expect_symbol(">")
+        children: list = []
+        while True:
+            token = self.peek()
+            if token.is_symbol("<"):
+                if self.tokens[self.pos + 1].is_symbol("/"):
+                    break  # closing tag
+                children.append(self.parse_constructor())
+            elif token.is_symbol("{"):
+                self.advance()
+                children.append(self.parse_varpath())
+                self.expect_symbol("}")
+            else:
+                self.error("constructor content must be nested elements "
+                           "or { $var path } expressions")
+        self.expect_symbol("<")
+        self.expect_symbol("/")
+        close_token = self.peek()
+        if close_token.kind not in ("name", "keyword"):
+            self.error("expected closing tag name")
+        self.advance()
+        if close_token.value != tag:
+            self.error(f"mismatched constructor tags <{tag}> vs "
+                       f"</{close_token.value}>")
+        self.expect_symbol(">")
+        return Constructor(tag=tag, attributes=tuple(attributes),
+                           children=tuple(children))
+
+    def expect_end(self) -> None:
+        if self.peek().kind != "end":
+            self.error("unexpected trailing content")

@@ -1,0 +1,151 @@
+"""Semantic checks on parsed queries.
+
+Performed before translation so the user gets a query-shaped error
+("$b is not bound") rather than an SQL-shaped one. Checks:
+
+* binding variables are unique; context variables are bound earlier,
+* every variable used in WHERE/RETURN is bound,
+* known document names (when a resolver is supplied),
+* path sanity against the source DTD (when a DTD resolver is
+  supplied): each step name must occur somewhere in the DTD — the
+  paper's GUI prevents unknown names by construction (users click DTD
+  nodes); text queries get the equivalent safety net here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import BindingError, UnknownDocumentError
+from repro.xmlkit.dtd import Dtd
+from repro.xmlkit.path import Path
+from repro.xquery.ast import (
+    Binding,
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Compare,
+    Condition,
+    Contains,
+    OrderCompare,
+    Query,
+    SeqContains,
+    VarPath,
+)
+
+DocumentChecker = Callable[[str, str | None], bool]
+DtdResolver = Callable[[str], Dtd | None]
+
+
+def check_query(query: Query,
+                document_exists: DocumentChecker | None = None,
+                dtd_for_source: DtdResolver | None = None) -> None:
+    """Raise on semantic errors; returns None when the query is sound."""
+    bound: dict[str, Binding] = {}
+    for binding in query.bindings:
+        if binding.var in bound:
+            raise BindingError(f"variable ${binding.var} bound twice")
+        if binding.context_var is not None:
+            if binding.context_var not in bound:
+                raise BindingError(
+                    f"${binding.var} is rooted on unbound "
+                    f"${binding.context_var}")
+        elif document_exists is not None:
+            name = binding.document
+            if not document_exists(name.source, name.collection):
+                raise UnknownDocumentError(
+                    f'document("{name}") is not loaded in this warehouse')
+        bound[binding.var] = binding
+
+    used = _used_varpaths(query)
+    for varpath in used:
+        if varpath.var not in bound:
+            raise BindingError(f"variable ${varpath.var} is not bound")
+
+    if dtd_for_source is not None:
+        _check_paths_against_dtds(query, bound, dtd_for_source)
+
+
+def _used_varpaths(query: Query) -> list[VarPath]:
+    """Every VarPath the query reads (conditions, plain return items
+    and constructor-embedded expressions)."""
+    used: list[VarPath] = []
+    if query.where is not None:
+        _collect_varpaths(query.where, used)
+    for item in query.returns:
+        if item.constructor is not None:
+            used.extend(item.constructor.varpaths())
+        else:
+            used.append(item.value)
+    return used
+
+
+def _collect_varpaths(condition: Condition, out: list[VarPath]) -> None:
+    if isinstance(condition, (Contains, SeqContains)):
+        out.append(condition.target)
+    elif isinstance(condition, Compare):
+        for operand in (condition.left, condition.right):
+            if isinstance(operand, VarPath):
+                out.append(operand)
+    elif isinstance(condition, OrderCompare):
+        out.append(condition.left)
+        out.append(condition.right)
+    elif isinstance(condition, (BoolAnd, BoolOr)):
+        for item in condition.items:
+            _collect_varpaths(item, out)
+    elif isinstance(condition, BoolNot):
+        _collect_varpaths(condition.item, out)
+    else:
+        # fail loudly: a skipped condition type would escape both the
+        # binding check and the DTD path check
+        raise TypeError(
+            f"unknown condition type {type(condition).__name__}")
+
+
+def _source_of(var: str, bound: dict[str, Binding]) -> str:
+    binding = bound[var]
+    while binding.context_var is not None:
+        binding = bound[binding.context_var]
+    return binding.document.source
+
+
+def _check_paths_against_dtds(query: Query, bound: dict[str, Binding],
+                              dtd_for_source: DtdResolver) -> None:
+    known_names: dict[str, set[str] | None] = {}
+
+    def names_for(source: str) -> set[str] | None:
+        if source not in known_names:
+            dtd = dtd_for_source(source)
+            if dtd is None:
+                known_names[source] = None
+            else:
+                names: set[str] = set(dtd.elements)
+                for decl in dtd.elements.values():
+                    names.update(decl.attributes)
+                known_names[source] = names
+        return known_names[source]
+
+    def check_path(path: Path | None, source: str, label: str) -> None:
+        if path is None:
+            return
+        names = names_for(source)
+        if names is None:
+            return
+        for step in path.steps:
+            if step.name != "*" and step.name not in names:
+                raise BindingError(
+                    f"{label}: name {step.name!r} does not occur in the "
+                    f"DTD of {source}")
+            for predicate in step.predicates:
+                target = getattr(predicate, "name", None)
+                if target is not None and target not in names:
+                    raise BindingError(
+                        f"{label}: predicate target {target!r} "
+                        f"does not occur in the DTD of {source}")
+
+    for binding in query.bindings:
+        check_path(binding.path, _source_of(binding.var, bound),
+                   f"binding ${binding.var}")
+    for varpath in _used_varpaths(query):
+        check_path(varpath.path, _source_of(varpath.var, bound),
+                   f"path ${varpath.var}{varpath.path}")

@@ -1,0 +1,81 @@
+"""Unit tests for the SRS-style flat-file baseline."""
+
+from repro.baselines import AccessionIndex, FlatFileIndex, LinkMap, follow_links
+
+ENZYME_TEXT = """\
+ID   1.1.1.1
+DE   Alcohol dehydrogenase.
+CA   An alcohol + NAD(+) = an aldehyde or ketone + NADH.
+DR   P00330, ADH1_YEAST ;
+//
+ID   1.1.1.2
+DE   Aldehyde reductase.
+CA   An alcohol + NADP(+) = an aldehyde + NADPH.
+//
+"""
+
+SPROT_TEXT = """\
+ID   ADH1_YEAST  STANDARD;  PRT;  347 AA.
+AC   P00330;
+DE   Alcohol dehydrogenase 1.
+//
+ID   OTHER_HUMAN  STANDARD;  PRT;  100 AA.
+AC   P99999;
+DE   Unrelated protein.
+//
+"""
+
+
+class TestIndexedSearch:
+    def test_hit_on_indexed_field(self):
+        index = FlatFileIndex.build("hlx_enzyme", ENZYME_TEXT, ("ID", "DE"))
+        hits = index.search("dehydrogenase")
+        assert len(hits) == 1
+        assert hits[0].value("ID") == "1.1.1.1"
+
+    def test_multi_token_intersection(self):
+        index = FlatFileIndex.build("hlx_enzyme", ENZYME_TEXT, ("ID", "DE"))
+        assert len(index.search("alcohol dehydrogenase")) == 1
+        assert len(index.search("alcohol reductase")) == 0
+
+    def test_expressiveness_gap_unindexed_field_invisible(self):
+        # "ketone" appears only on a CA line; an SRS class without CA
+        # indexed cannot find it — the contrast the paper draws
+        narrow = FlatFileIndex.build("hlx_enzyme", ENZYME_TEXT, ("ID", "DE"))
+        wide = FlatFileIndex.build("hlx_enzyme", ENZYME_TEXT,
+                                   ("ID", "DE", "CA"))
+        assert narrow.search("ketone") == []
+        assert len(wide.search("ketone")) == 1
+
+    def test_no_tokens_no_results(self):
+        index = FlatFileIndex.build("hlx_enzyme", ENZYME_TEXT)
+        assert index.search("") == []
+
+    def test_len_counts_entries(self):
+        assert len(FlatFileIndex.build("e", ENZYME_TEXT)) == 2
+
+
+class TestLinkFollowing:
+    def test_predefined_link_traversal(self):
+        enzyme_index = FlatFileIndex.build("hlx_enzyme", ENZYME_TEXT,
+                                           ("ID", "DE"))
+        sprot_index = AccessionIndex.build(SPROT_TEXT)
+        link = LinkMap("hlx_enzyme", "hlx_sprot", "DR")
+        hits = enzyme_index.search("dehydrogenase")
+        linked = follow_links(hits, link, sprot_index)
+        assert len(linked) == 1
+        assert linked[0].value("AC") == "P00330;"
+
+    def test_no_links_no_results(self):
+        enzyme_index = FlatFileIndex.build("hlx_enzyme", ENZYME_TEXT,
+                                           ("ID", "DE"))
+        sprot_index = AccessionIndex.build(SPROT_TEXT)
+        link = LinkMap("hlx_enzyme", "hlx_sprot", "DR")
+        hits = enzyme_index.search("reductase")   # entry without DR
+        assert follow_links(hits, link, sprot_index) == []
+
+    def test_accession_index_lookup(self):
+        index = AccessionIndex.build(SPROT_TEXT)
+        assert index.lookup("P00330") == 0
+        assert index.lookup("P99999") == 1
+        assert index.lookup("NOPE") is None

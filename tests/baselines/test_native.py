@@ -1,0 +1,96 @@
+"""Unit tests for the native-XML baseline evaluator."""
+
+import pytest
+
+from repro.baselines import NativeXmlStore
+from repro.errors import UnknownDocumentError
+from repro.xmlkit import parse_document
+
+
+@pytest.fixture
+def store():
+    store = NativeXmlStore()
+    store.add_document("db", "c", "k1", parse_document(
+        "<r><item><name>alpha beta</name><score>10</score></item>"
+        "<item><name>gamma</name><score>200</score></item></r>"))
+    store.add_document("db", "c", "k2", parse_document(
+        "<r><item><name>delta</name><score>30</score></item></r>"))
+    store.add_document("db", "other", "k3", parse_document(
+        "<r><item><name>epsilon</name><score>5</score></item></r>"))
+    return store
+
+
+class TestBindingsAndFilters:
+    def test_binding_over_collection(self, store):
+        result = store.query('FOR $a IN document("db.c")/r/item '
+                             'RETURN $a//name')
+        assert len(result) == 3
+
+    def test_binding_without_collection_spans_all(self, store):
+        result = store.query('FOR $a IN document("db")/r/item '
+                             'RETURN $a//name')
+        assert len(result) == 4
+
+    def test_unknown_document_rejected(self, store):
+        with pytest.raises(UnknownDocumentError):
+            store.query('FOR $a IN document("zzz.c")/r RETURN $a')
+
+    def test_contains_node_scope(self, store):
+        result = store.query('FOR $a IN document("db.c")/r/item '
+                             'WHERE contains($a//name, "alpha") '
+                             'RETURN $a//name')
+        assert result.scalars("name") == ["alpha beta"]
+
+    def test_contains_multiword_requires_all_tokens(self, store):
+        result = store.query('FOR $a IN document("db.c")/r/item '
+                             'WHERE contains($a//name, "alpha gamma") '
+                             'RETURN $a//name')
+        assert len(result) == 0
+
+    def test_contains_any_scope(self, store):
+        result = store.query('FOR $a IN document("db.c")/r '
+                             'WHERE contains($a, "delta", any) '
+                             'RETURN $a//name')
+        assert len(result) == 1
+
+    def test_numeric_comparison(self, store):
+        result = store.query('FOR $a IN document("db.c")/r/item '
+                             'WHERE $a/score > 25 RETURN $a//score')
+        assert sorted(result.scalars("score")) == ["200", "30"]
+
+    def test_not_condition(self, store):
+        result = store.query('FOR $a IN document("db.c")/r/item '
+                             'WHERE NOT contains($a//name, "gamma") '
+                             'RETURN $a//name')
+        assert sorted(result.scalars("name")) == ["alpha beta", "delta"]
+
+    def test_proximity_window(self, store):
+        near = store.query('FOR $a IN document("db.c")/r '
+                           'WHERE contains($a, "alpha beta", 1) '
+                           'RETURN $a//name')
+        far = store.query('FOR $a IN document("db.c")/r '
+                          'WHERE contains($a, "alpha delta", 1) '
+                          'RETURN $a//name')
+        assert len(near) == 1
+        assert len(far) == 0
+
+    def test_sequence_text_not_keyword_searchable(self):
+        store = NativeXmlStore()
+        store.add_document("db", "c", "k", parse_document(
+            "<r><sequence>acgtacgt</sequence><name>gene1</name></r>"))
+        result = store.query('FOR $a IN document("db.c")/r '
+                             'WHERE contains($a, "acgtacgt", any) '
+                             'RETURN $a//name')
+        assert len(result) == 0
+
+
+class TestLoading:
+    def test_load_text_uses_transformers(self, corpus):
+        store = NativeXmlStore()
+        count = store.load_text("hlx_enzyme", corpus.enzyme_text)
+        assert count == corpus.sizes()["hlx_enzyme"]
+
+    def test_document_count(self, corpus):
+        store = NativeXmlStore()
+        store.load_corpus(corpus)
+        assert store.document_count() == sum(corpus.sizes().values())

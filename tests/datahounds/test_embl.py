@@ -1,0 +1,119 @@
+"""Unit tests for the EMBL transformer."""
+
+import pytest
+
+from repro.datahounds.sources.embl import (
+    EMBL_DTD_TEXT,
+    EmblTransformer,
+    SAMPLE_ENTRY,
+)
+from repro.errors import TransformError
+from repro.flatfile import parse_entries
+from repro.xmlkit import evaluate_strings, parse_dtd, parse_path
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return EmblTransformer().transform_text(SAMPLE_ENTRY)[0]
+
+
+class TestSampleEntry:
+    def test_root_is_normalized_sequence(self, sample):
+        assert sample.root.tag == "hlx_n_sequence"
+
+    def test_accession(self, sample):
+        assert evaluate_strings(parse_path("//embl_accession_number"),
+                                sample.root) == ["AB012345"]
+
+    def test_description_joined_across_lines(self, sample):
+        description = evaluate_strings(parse_path("//description"),
+                                       sample.root)[0]
+        assert description.startswith("Caenorhabditis elegans cdc6 gene")
+        assert description.endswith("complete cds.")
+        assert "\n" not in description
+
+    def test_division_lowercased(self, sample):
+        assert evaluate_strings(parse_path("//division"),
+                                sample.root) == ["inv"]
+
+    def test_keywords_split(self, sample):
+        keywords = evaluate_strings(parse_path("//keyword"), sample.root)
+        assert keywords == ["cdc6", "cell cycle", "DNA replication"]
+
+    def test_feature_key_and_location(self, sample):
+        values = evaluate_strings(parse_path("//feature/@feature_key"),
+                                  sample.root)
+        assert values == ["CDS"]
+        locations = evaluate_strings(parse_path("//feature/@location"),
+                                     sample.root)
+        assert locations == ["join(100..450,520..900)"]
+
+    def test_qualifiers_typed(self, sample):
+        path = parse_path('//qualifier[@qualifier_type = "EC_number"]')
+        assert evaluate_strings(path, sample.root) == ["3.6.4.12"]
+        path = parse_path('//qualifier[@qualifier_type = "gene"]')
+        assert evaluate_strings(path, sample.root) == ["cdc6"]
+
+    def test_sequence_residues_concatenated(self, sample):
+        sequence = sample.root.first("db_entry").first("sequence")
+        residues = sequence.text()
+        assert residues.startswith("aacgttgcaa")
+        assert " " not in residues
+        assert not any(ch.isdigit() for ch in residues)
+
+    def test_sequence_length_attribute_from_id_line(self, sample):
+        sequence = sample.root.first("db_entry").first("sequence")
+        assert sequence.get("length") == "1859"
+        assert sequence.get("molecule_type") == "DNA"
+
+    def test_validates_against_dtd(self, sample):
+        parse_dtd(EMBL_DTD_TEXT).validate(sample)
+
+
+class TestIdentity:
+    def test_entry_key_is_primary_accession(self):
+        transformer = EmblTransformer()
+        entry = parse_entries(SAMPLE_ENTRY)[0]
+        assert transformer.entry_key(entry) == "AB012345"
+
+    def test_collection_follows_division(self):
+        transformer = EmblTransformer()
+        entry = parse_entries(SAMPLE_ENTRY)[0]
+        assert transformer.collection_of(entry) == "inv"
+
+    def test_document_name_default(self):
+        assert EmblTransformer().document_name() == "hlx_embl.inv"
+
+
+class TestErrors:
+    def test_malformed_id_line_rejected(self):
+        with pytest.raises(TransformError):
+            EmblTransformer().transform_text(
+                "ID   garbage with no structure\nAC   A1;\nDE   x\n//\n")
+
+    def test_qualifier_before_feature_rejected(self):
+        text = ("ID   NAME1; SV 1; INV; 100 BP.\nAC   AB000001;\n"
+                "DE   x\nFT                   /gene=\"g\"\n//\n")
+        with pytest.raises(TransformError):
+            EmblTransformer().transform_text(text)
+
+    def test_missing_accession_rejected(self):
+        from repro.errors import FlatFileError
+        with pytest.raises(FlatFileError):
+            EmblTransformer().transform_text(
+                "ID   NAME1; SV 1; INV; 100 BP.\nDE   x\n//\n")
+
+    def test_cc_comment_lines_mapped(self):
+        text = ("ID   NAME1; SV 1; INV; 100 BP.\nAC   AB000001;\n"
+                "DE   x\nCC   -!- Assembled from three reads.\n//\n")
+        doc = EmblTransformer().transform_text(text)[0]
+        comments = evaluate_strings(parse_path("//comment"), doc.root)
+        assert comments == ["Assembled from three reads."]
+
+    def test_multiple_accessions_split(self):
+        text = ("ID   NAME1; SV 1; INV; 100 BP.\nAC   AB000001; AB000002;\n"
+                "DE   x\n//\n")
+        doc = EmblTransformer().transform_text(text)[0]
+        values = evaluate_strings(parse_path("//embl_accession_number"),
+                                  doc.root)
+        assert values == ["AB000001", "AB000002"]

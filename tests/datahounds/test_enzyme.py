@@ -1,0 +1,163 @@
+"""The ENZYME transformer against the paper's Figures 2-6.
+
+The golden test: transforming the verbatim Figure 2 entry must produce
+exactly the Figure 6 document under the Figure 5 DTD.
+"""
+
+import pytest
+
+from repro.datahounds.sources.enzyme import (
+    ENZYME_DTD_TEXT,
+    EnzymeTransformer,
+    LINE_SPECS,
+    SAMPLE_ENTRY,
+)
+from repro.errors import FlatFileError, TransformError
+from repro.flatfile import parse_entries
+from repro.xmlkit import evaluate_strings, parse_dtd, parse_path
+
+
+@pytest.fixture(scope="module")
+def figure6():
+    """The transformed Figure 2 sample entry."""
+    return EnzymeTransformer().transform_text(SAMPLE_ENTRY)[0]
+
+
+class TestFigure6Golden:
+    def test_root_and_entry_shape(self, figure6):
+        assert figure6.root.tag == "hlx_enzyme"
+        assert [c.tag for c in figure6.root.children] == ["db_entry"]
+
+    def test_enzyme_id(self, figure6):
+        assert evaluate_strings(parse_path("//enzyme_id"),
+                                figure6.root) == ["1.14.17.3"]
+
+    def test_description_keeps_trailing_period(self, figure6):
+        assert evaluate_strings(parse_path("//enzyme_description"),
+                                figure6.root) == [
+            "Peptidylglycine monooxygenase."]
+
+    def test_alternate_names_drop_trailing_period(self, figure6):
+        assert evaluate_strings(parse_path("//alternate_name"),
+                                figure6.root) == [
+            "Peptidyl alpha-amidating enzyme",
+            "Peptidylglycine 2-hydroxylase"]
+
+    def test_one_catalytic_activity_per_ca_line(self, figure6):
+        values = evaluate_strings(parse_path("//catalytic_activity"),
+                                  figure6.root)
+        assert len(values) == 2
+        assert values[0].startswith("Peptidylglycine + ascorbate")
+        assert values[1] == "dehydroascorbate + H(2)O"
+
+    def test_cofactor(self, figure6):
+        assert evaluate_strings(parse_path("//cofactor"),
+                                figure6.root) == ["Copper"]
+
+    def test_comments_merged_at_markers(self, figure6):
+        comments = evaluate_strings(parse_path("//comment"), figure6.root)
+        assert len(comments) == 2
+        assert comments[0].startswith("Peptidylglycines with a neutral")
+        assert comments[0].endswith("best substrates for the enzyme.")
+
+    def test_prosite_reference_attribute(self, figure6):
+        values = evaluate_strings(
+            parse_path("//prosite_reference/@prosite_accession_number"),
+            figure6.root)
+        assert values == ["PDOC00080"]
+
+    def test_swissprot_references(self, figure6):
+        accessions = evaluate_strings(
+            parse_path("//reference/@swissprot_accession_number"),
+            figure6.root)
+        assert accessions == ["P10731", "P19021", "P14925", "P08478",
+                              "P12890"]
+        names = evaluate_strings(parse_path("//reference/@name"),
+                                 figure6.root)
+        assert names[0] == "AMD_BOVIN"
+
+    def test_empty_disease_list_present(self, figure6):
+        entry = figure6.root.first("db_entry")
+        disease_list = entry.first("disease_list")
+        assert disease_list is not None
+        assert disease_list.children == []
+
+    def test_output_validates_against_figure5_dtd(self, figure6):
+        parse_dtd(ENZYME_DTD_TEXT).validate(figure6)
+
+
+class TestLineSpecs:
+    """Figure 4's cardinality table."""
+
+    def spec(self, code):
+        return next(s for s in LINE_SPECS if s.code == code)
+
+    def test_id_exactly_once(self):
+        assert self.spec("ID").min_count == 1
+        assert self.spec("ID").max_count == 1
+
+    def test_de_at_least_once(self):
+        assert self.spec("DE").min_count == 1
+        assert self.spec("DE").max_count is None
+
+    @pytest.mark.parametrize("code", ["AN", "CA", "CF", "CC", "DI", "PR",
+                                      "DR"])
+    def test_optional_repeatable_codes(self, code):
+        assert self.spec(code).min_count == 0
+
+
+class TestErrorHandling:
+    def test_entry_without_id_rejected(self):
+        with pytest.raises(FlatFileError):
+            EnzymeTransformer().transform_text("DE   No id here.\n//\n")
+
+    def test_two_id_lines_rejected(self):
+        with pytest.raises(FlatFileError):
+            EnzymeTransformer().transform_text(
+                "ID   1.1.1.1\nID   1.1.1.2\nDE   Two ids.\n//\n")
+
+    def test_malformed_pr_line_rejected(self):
+        with pytest.raises(TransformError):
+            EnzymeTransformer().transform_text(
+                "ID   1.1.1.1\nDE   x.\nPR   NOT A PROSITE LINE\n//\n")
+
+    def test_malformed_dr_pair_rejected(self):
+        with pytest.raises(TransformError):
+            EnzymeTransformer().transform_text(
+                "ID   1.1.1.1\nDE   x.\nDR   P10731 AMD_BOVIN ;\n//\n")
+
+    def test_comment_continuation_without_marker_rejected(self):
+        with pytest.raises(TransformError):
+            EnzymeTransformer().transform_text(
+                "ID   1.1.1.1\nDE   x.\nCC       continuation first\n//\n")
+
+    def test_validation_can_be_disabled(self):
+        transformer = EnzymeTransformer(validate=False)
+        docs = transformer.transform_text(SAMPLE_ENTRY)
+        assert len(docs) == 1
+
+
+class TestDiseaseMapping:
+    def test_disease_with_mim_id(self):
+        text = ("ID   1.1.1.1\nDE   x.\n"
+                "DI   Phenylketonuria; MIM:261600.\n//\n")
+        doc = EnzymeTransformer().transform_text(text)[0]
+        assert evaluate_strings(parse_path("//disease"),
+                                doc.root) == ["Phenylketonuria"]
+        assert evaluate_strings(parse_path("//disease/@mim_id"),
+                                doc.root) == ["261600"]
+
+    def test_malformed_disease_rejected(self):
+        with pytest.raises(TransformError):
+            EnzymeTransformer().transform_text(
+                "ID   1.1.1.1\nDE   x.\nDI   No mim number here\n//\n")
+
+
+class TestEntryIdentity:
+    def test_entry_key_is_ec_number(self, figure6):
+        transformer = EnzymeTransformer()
+        entry = parse_entries(SAMPLE_ENTRY)[0]
+        assert transformer.entry_key(entry) == "1.14.17.3"
+
+    def test_document_name(self):
+        assert EnzymeTransformer().document_name() == "hlx_enzyme.DEFAULT"

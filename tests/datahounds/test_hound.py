@@ -1,0 +1,144 @@
+"""Integration tests for the Data Hound orchestrator (in-memory store)."""
+
+import pytest
+
+from repro.datahounds import DataHound, InMemoryRepository
+from repro.errors import DataHoundsError, UnknownSourceError
+from repro.synth import build_corpus, mutate_release
+from repro.xmlkit import Document
+
+
+class RecordingStore:
+    """A DocumentStore that records operations (no relational engine)."""
+
+    def __init__(self):
+        self.documents = {}
+        self.operations = []
+
+    def store_document(self, source, collection, entry_key, document):
+        assert isinstance(document, Document)
+        self.documents[(source, entry_key)] = (collection, document)
+        self.operations.append(("store", source, entry_key))
+
+    def remove_document(self, source, collection, entry_key):
+        self.documents.pop((source, entry_key), None)
+        self.operations.append(("remove", source, entry_key))
+
+
+@pytest.fixture
+def setup():
+    corpus = build_corpus(seed=11, enzyme_count=12, embl_count=10,
+                          sprot_count=10)
+    repo = InMemoryRepository()
+    corpus.publish_to(repo, "r1")
+    store = RecordingStore()
+    return corpus, repo, store
+
+
+class TestInitialLoad:
+    def test_loads_every_entry(self, setup):
+        corpus, repo, store = setup
+        hound = DataHound(repo, store)
+        report = hound.load("hlx_enzyme")
+        assert report.documents_loaded == 12
+        assert len(report.plan.added) == 12
+        assert hound.loaded_release("hlx_enzyme") == "r1"
+
+    def test_unknown_source_rejected(self, setup):
+        __, repo, store = setup
+        with pytest.raises(UnknownSourceError):
+            DataHound(repo, store).load("not_a_source")
+
+    def test_embl_collections_routed_by_division(self, setup):
+        corpus, repo, store = setup
+        DataHound(repo, store).load("hlx_embl")
+        collections = {c for (c, __) in store.documents.values()}
+        assert collections == {"inv"}
+
+
+class TestIncrementalUpdate:
+    def test_unchanged_entries_not_reloaded(self, setup):
+        corpus, repo, store = setup
+        hound = DataHound(repo, store)
+        hound.load("hlx_enzyme")
+        store.operations.clear()
+        repo.publish("hlx_enzyme", "r2",
+                     mutate_release(corpus.enzyme_text, seed=3,
+                                    update_fraction=0.25,
+                                    remove_fraction=0.1))
+        report = hound.load("hlx_enzyme")
+        stores = [op for op in store.operations if op[0] == "store"]
+        removes = [op for op in store.operations if op[0] == "remove"]
+        assert len(stores) == len(report.plan.updated)
+        assert len(removes) == len(report.plan.removed)
+        assert len(report.plan.unchanged) > 0
+
+    def test_refresh_to_same_release_is_noop(self, setup):
+        corpus, repo, store = setup
+        hound = DataHound(repo, store)
+        hound.load("hlx_enzyme")
+        store.operations.clear()
+        report = hound.load("hlx_enzyme")
+        assert report.plan.is_noop
+        assert store.operations == []
+
+    def test_triggers_fired_with_change_details(self, setup):
+        corpus, repo, store = setup
+        hound = DataHound(repo, store)
+        events = []
+        hound.subscribe(events.append, "hlx_enzyme")
+        hound.load("hlx_enzyme")
+        assert len(events) == 1
+        repo.publish("hlx_enzyme", "r2",
+                     mutate_release(corpus.enzyme_text, seed=3))
+        hound.load("hlx_enzyme")
+        assert len(events) == 2
+        assert events[1].release == "r2"
+
+    def test_no_trigger_on_noop_refresh(self, setup):
+        corpus, repo, store = setup
+        hound = DataHound(repo, store)
+        events = []
+        hound.subscribe(events.append)
+        hound.load("hlx_enzyme")
+        hound.load("hlx_enzyme")
+        assert len(events) == 1
+
+
+class TestSafety:
+    def test_duplicate_entry_keys_rejected(self, setup):
+        __, repo, store = setup
+        repo.publish("hlx_enzyme", "r9",
+                     "ID   1.1.1.1\nDE   a.\n//\nID   1.1.1.1\nDE   b.\n//\n")
+        hound = DataHound(repo, store)
+        with pytest.raises(DataHoundsError):
+            hound.load("hlx_enzyme", "r9")
+
+    def test_corrupt_entry_aborts_whole_load(self, setup):
+        """Two-phase apply: a malformed entry anywhere in the release
+        must leave the warehouse completely untouched."""
+        from repro.errors import TransformError
+        __, repo, store = setup
+        repo.publish(
+            "hlx_enzyme", "r9",
+            "ID   1.1.1.1\nDE   fine.\n//\n"
+            "ID   1.1.1.2\nDE   broken.\nPR   NOT A PROSITE LINE\n//\n")
+        hound = DataHound(repo, store)
+        with pytest.raises(TransformError):
+            hound.load("hlx_enzyme", "r9")
+        assert store.documents == {}
+        assert store.operations == []
+        assert hound.loaded_release("hlx_enzyme") is None
+
+    def test_corrupt_refresh_keeps_previous_release(self, setup):
+        from repro.errors import TransformError
+        corpus, repo, store = setup
+        hound = DataHound(repo, store)
+        hound.load("hlx_enzyme")
+        before = dict(store.documents)
+        repo.publish("hlx_enzyme", "r9",
+                     "ID   9.9.9.9\nDE   broken.\nDI   no mim here\n//\n")
+        with pytest.raises(TransformError):
+            hound.load("hlx_enzyme", "r9")
+        assert store.documents == before
+        assert hound.loaded_release("hlx_enzyme") == "r1"

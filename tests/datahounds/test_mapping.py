@@ -1,0 +1,104 @@
+"""Unit tests for the mapping helper combinators."""
+
+import pytest
+
+from repro.datahounds.mapping import (
+    add_list,
+    add_scalar,
+    collect_sequence,
+    merge_comment_lines,
+    parse_disease,
+    parse_prosite,
+    split_semicolon_pairs,
+    strip_trailing_period,
+)
+from repro.errors import TransformError
+from repro.flatfile import entry_from_pairs
+from repro.xmlkit import Element
+
+
+class TestScalarHelpers:
+    def test_strip_trailing_period(self):
+        assert strip_trailing_period("Copper.") == "Copper"
+        assert strip_trailing_period("Copper") == "Copper"
+        assert strip_trailing_period("1.14.17.3.") == "1.14.17.3"
+
+    def test_add_scalar_skips_empty(self):
+        parent = Element("p")
+        assert add_scalar(parent, "x", "") is None
+        assert add_scalar(parent, "x", None) is None
+        assert parent.children == []
+
+    def test_add_scalar_appends(self):
+        parent = Element("p")
+        child = add_scalar(parent, "x", "v")
+        assert child.text() == "v"
+
+    def test_add_list_always_emits_container(self):
+        parent = Element("p")
+        container = add_list(parent, "items", "item", [])
+        assert container.tag == "items"
+        assert container.children == []
+
+    def test_add_list_with_values(self):
+        parent = Element("p")
+        add_list(parent, "items", "item", ["a", "b"])
+        items = parent.first("items").child_elements("item")
+        assert [i.text() for i in items] == ["a", "b"]
+
+
+class TestLineParsers:
+    def test_split_semicolon_pairs(self):
+        pairs = split_semicolon_pairs(
+            "P10731, AMD_BOVIN ; P19021, AMD_HUMAN ;", "e", "DR")
+        assert pairs == [("P10731", "AMD_BOVIN"), ("P19021", "AMD_HUMAN")]
+
+    def test_split_semicolon_pairs_bad_chunk(self):
+        with pytest.raises(TransformError):
+            split_semicolon_pairs("NOCOMMA ;", "e", "DR")
+
+    def test_merge_comment_lines(self):
+        comments = merge_comment_lines([
+            "-!- First comment starts here",
+            "    and continues here.",
+            "-!- Second comment."])
+        assert comments == [
+            "First comment starts here and continues here.",
+            "Second comment."]
+
+    def test_merge_comment_lines_orphan_continuation(self):
+        with pytest.raises(TransformError):
+            merge_comment_lines(["    dangling continuation"])
+
+    def test_parse_disease(self):
+        assert parse_disease("Phenylketonuria; MIM:261600.", "e") == (
+            "Phenylketonuria", "261600")
+
+    def test_parse_disease_without_trailing_period(self):
+        assert parse_disease("Gaucher disease; MIM: 230800", "e")[1] == \
+            "230800"
+
+    def test_parse_disease_malformed(self):
+        with pytest.raises(TransformError):
+            parse_disease("no mim here", "e")
+
+    def test_parse_prosite(self):
+        assert parse_prosite("PROSITE; PDOC00080;", "e") == "PDOC00080"
+
+    def test_parse_prosite_malformed(self):
+        with pytest.raises(TransformError):
+            parse_prosite("PFAM; PF00001;", "e")
+
+
+class TestCollectSequence:
+    def test_strips_position_counters_and_spaces(self):
+        entry = entry_from_pairs([
+            ("ID", "X"),
+            ("  ", "aacgtt ggcatt 60"),
+            ("  ", "ttgcaa 120"),
+        ])
+        assert collect_sequence(entry) == "aacgttggcattttgcaa"
+
+    def test_empty_when_no_sequence_lines(self):
+        entry = entry_from_pairs([("ID", "X")])
+        assert collect_sequence(entry) == ""

@@ -1,0 +1,102 @@
+"""Unit tests for the OMIM-style disease transformer."""
+
+import pytest
+
+from repro.datahounds.sources.omim import (
+    OMIM_DTD_TEXT,
+    OmimTransformer,
+    SAMPLE_ENTRY,
+)
+from repro.errors import TransformError
+from repro.flatfile import parse_entries
+from repro.xmlkit import evaluate_strings, parse_dtd, parse_path
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return OmimTransformer().transform_text(SAMPLE_ENTRY)[0]
+
+
+class TestSampleEntry:
+    def test_root_tag(self, sample):
+        assert sample.root.tag == "hlx_disease"
+
+    def test_mim_id(self, sample):
+        assert evaluate_strings(parse_path("//mim_id"),
+                                sample.root) == ["261600"]
+
+    def test_title(self, sample):
+        assert evaluate_strings(parse_path("//title"),
+                                sample.root) == ["Phenylketonuria"]
+
+    def test_synonyms(self, sample):
+        assert evaluate_strings(parse_path("//synonym"), sample.root) == [
+            "PKU", "Folling disease"]
+
+    def test_description_joined(self, sample):
+        description = evaluate_strings(parse_path("//description"),
+                                       sample.root)[0]
+        assert description.startswith("An inborn error")
+        assert description.endswith("phenylalanine hydroxylase.")
+
+    def test_gene_symbols(self, sample):
+        assert evaluate_strings(parse_path("//gene_symbol"),
+                                sample.root) == ["PAH"]
+
+    def test_inheritance(self, sample):
+        assert evaluate_strings(parse_path("//inheritance"),
+                                sample.root) == ["Autosomal recessive"]
+
+    def test_validates_against_dtd(self, sample):
+        parse_dtd(OMIM_DTD_TEXT).validate(sample)
+
+
+class TestErrorsAndIdentity:
+    def test_non_numeric_mim_rejected(self):
+        with pytest.raises(TransformError):
+            OmimTransformer().transform_text(
+                "ID   NOTANUMBER\nTI   x\n//\n")
+
+    def test_entry_key_is_mim_number(self):
+        entry = parse_entries(SAMPLE_ENTRY)[0]
+        assert OmimTransformer().entry_key(entry) == "261600"
+
+    def test_registered_as_builtin(self):
+        from repro.datahounds.registry import SourceRegistry
+        assert "hlx_omim" in SourceRegistry()
+
+
+class TestDiseaseJoin:
+    """The join the source exists for: ENZYME DI → OMIM."""
+
+    QUERY = '''FOR $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry,
+        $d IN document("hlx_omim.DEFAULT")/hlx_disease/db_entry
+    WHERE $e//disease/@mim_id = $d/mim_id
+    RETURN $e//enzyme_id, $d//title'''
+
+    @pytest.fixture
+    def loaded(self, empty_warehouse):
+        from repro.synth import build_corpus
+        corpus = build_corpus(seed=11, enzyme_count=60, embl_count=5,
+                              sprot_count=5, omim_count=25)
+        empty_warehouse.load_corpus(corpus)
+        return empty_warehouse, corpus
+
+    def test_join_returns_matches(self, loaded):
+        warehouse, corpus = loaded
+        result = warehouse.query(self.QUERY)
+        assert len(result) > 0
+        mim_pool = set(corpus.mim_ids)
+        for row in result:
+            doc = warehouse.fetch_document(row.bindings["e"])
+            mims = {e.get("mim_id") for e in doc.root.iter("disease")}
+            assert mims & mim_pool
+
+    def test_join_agrees_with_native(self, loaded):
+        warehouse, corpus = loaded
+        from repro.baselines import NativeXmlStore
+        store = NativeXmlStore()
+        store.load_corpus(corpus)
+        relational = sorted(warehouse.query(self.QUERY).scalars("title"))
+        native = sorted(store.query(self.QUERY).scalars("title"))
+        assert relational == native

@@ -1,0 +1,94 @@
+"""Unit tests for the Swiss-Prot transformer."""
+
+import pytest
+
+from repro.datahounds.sources.sprot import (
+    SPROT_DTD_TEXT,
+    SprotTransformer,
+    SAMPLE_ENTRY,
+)
+from repro.errors import TransformError
+from repro.flatfile import parse_entries
+from repro.xmlkit import evaluate_strings, parse_dtd, parse_path
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return SprotTransformer().transform_text(SAMPLE_ENTRY)[0]
+
+
+class TestSampleEntry:
+    def test_root_is_normalized_sequence(self, sample):
+        assert sample.root.tag == "hlx_n_sequence"
+
+    def test_entry_name(self, sample):
+        assert evaluate_strings(parse_path("//entry_name"),
+                                sample.root) == ["CDC6_CAEEL"]
+
+    def test_accession(self, sample):
+        assert evaluate_strings(parse_path("//sprot_accession_number"),
+                                sample.root) == ["Q17798"]
+
+    def test_gene_names(self, sample):
+        assert evaluate_strings(parse_path("//gene_name"),
+                                sample.root) == ["cdc6"]
+
+    def test_organism_period_stripped(self, sample):
+        assert evaluate_strings(parse_path("//organism"),
+                                sample.root) == ["Caenorhabditis elegans"]
+
+    def test_db_references(self, sample):
+        databases = evaluate_strings(parse_path("//db_reference/@database"),
+                                     sample.root)
+        assert databases == ["EMBL", "PROSITE"]
+        ids = evaluate_strings(parse_path("//db_reference/@primary_id"),
+                               sample.root)
+        assert ids == ["AB012345", "PDOC00080"]
+
+    def test_protein_sequence(self, sample):
+        sequence = sample.root.first("db_entry").first("sequence")
+        assert sequence.get("molecule_type") == "protein"
+        assert sequence.get("length") == "561"
+        assert sequence.text().startswith("MSTRSKRKLV")
+
+    def test_keywords(self, sample):
+        keywords = evaluate_strings(parse_path("//keyword"), sample.root)
+        assert "Cell cycle" in keywords
+
+    def test_validates_against_dtd(self, sample):
+        parse_dtd(SPROT_DTD_TEXT).validate(sample)
+
+
+class TestIdentityAndErrors:
+    def test_entry_key_is_accession(self):
+        entry = parse_entries(SAMPLE_ENTRY)[0]
+        assert SprotTransformer().entry_key(entry) == "Q17798"
+
+    def test_malformed_id_rejected(self):
+        with pytest.raises(TransformError):
+            SprotTransformer().transform_text(
+                "ID   NO STRUCTURE AT ALL\nAC   Q1;\nDE   x\n//\n")
+
+    def test_malformed_dr_rejected(self):
+        text = ("ID   AAAA_HUMAN  STANDARD;  PRT;  10 AA.\nAC   Q00001;\n"
+                "DE   x.\nDR   justoneword\n//\n")
+        with pytest.raises(TransformError):
+            SprotTransformer().transform_text(text)
+
+    def test_gene_list_splitting(self):
+        text = ("ID   AAAA_HUMAN  STANDARD;  PRT;  10 AA.\nAC   Q00001;\n"
+                "DE   x.\nGN   abc1 OR abc2.\n//\n")
+        doc = SprotTransformer().transform_text(text)[0]
+        assert evaluate_strings(parse_path("//gene_name"),
+                                doc.root) == ["abc1", "abc2"]
+
+    def test_document_name_default(self):
+        assert SprotTransformer().document_name() == "hlx_sprot.all"
+
+    def test_cc_comment_lines_mapped(self):
+        text = ("ID   AAAA_HUMAN  STANDARD;  PRT;  10 AA.\nAC   Q00001;\n"
+                "DE   x.\nCC   -!- FUNCTION: does something\n"
+                "CC       across two lines.\n//\n")
+        doc = SprotTransformer().transform_text(text)[0]
+        comments = evaluate_strings(parse_path("//comment"), doc.root)
+        assert comments == ["FUNCTION: does something across two lines."]

@@ -1,0 +1,82 @@
+"""Unit tests for the SourceTransformer base class contract."""
+
+import pytest
+
+from repro.datahounds.transformer import SourceTransformer
+from repro.errors import TransformError
+from repro.flatfile import Entry, LineSpec, entry_from_pairs
+from repro.xmlkit import Document, Element, parse_dtd
+
+
+class GoodTransformer(SourceTransformer):
+    name = "hlx_test"
+    dtd = parse_dtd("<!ELEMENT r (v)><!ELEMENT v (#PCDATA)>")
+    line_specs = [LineSpec("ID", "id", min_count=1, max_count=1),
+                  LineSpec("VA", "value", min_count=1, max_count=1)]
+
+    def entry_to_document(self, entry: Entry) -> Document:
+        root = Element("r")
+        root.subelement("v", text=entry.value("VA"))
+        return Document(root)
+
+
+class BadOutputTransformer(GoodTransformer):
+    def entry_to_document(self, entry: Entry) -> Document:
+        return Document(Element("wrong_root"))
+
+
+class TestContract:
+    def test_transform_entry_happy_path(self):
+        doc = GoodTransformer().transform_entry(
+            entry_from_pairs([("ID", "k1"), ("VA", "hello")]))
+        assert doc.name == "hlx_test"
+        assert doc.root.first("v").text() == "hello"
+
+    def test_nameless_transformer_rejected(self):
+        class Nameless(GoodTransformer):
+            name = ""
+        with pytest.raises(TransformError):
+            Nameless()
+
+    def test_invalid_output_caught_by_dtd(self):
+        with pytest.raises(TransformError):
+            BadOutputTransformer().transform_entry(
+                entry_from_pairs([("ID", "k1"), ("VA", "x")]))
+
+    def test_validation_disabled_lets_bad_output_through(self):
+        doc = BadOutputTransformer(validate=False).transform_entry(
+            entry_from_pairs([("ID", "k1"), ("VA", "x")]))
+        assert doc.root.tag == "wrong_root"
+
+    def test_cardinality_enforced_before_mapping(self):
+        from repro.errors import FlatFileError
+        with pytest.raises(FlatFileError):
+            GoodTransformer().transform_entry(
+                entry_from_pairs([("ID", "k1")]))   # missing VA
+
+    def test_default_entry_key_is_first_id_token(self):
+        entry = entry_from_pairs([("ID", "k1 extra tokens"), ("VA", "x")])
+        assert GoodTransformer().entry_key(entry) == "k1"
+
+    def test_entry_key_without_id_rejected(self):
+        with pytest.raises(TransformError):
+            GoodTransformer().entry_key(entry_from_pairs([("VA", "x")]))
+
+    def test_default_collection(self):
+        transformer = GoodTransformer()
+        entry = entry_from_pairs([("ID", "k1"), ("VA", "x")])
+        assert transformer.collection_of(entry) == "DEFAULT"
+        assert transformer.document_name() == "hlx_test.DEFAULT"
+        assert transformer.document_name("other") == "hlx_test.other"
+
+    def test_transform_streams_lazily(self):
+        lines = iter("ID   a\nVA   1\n//\nID   b\nVA   2\n//\n".splitlines())
+        docs = GoodTransformer().transform(lines)
+        first = next(docs)
+        assert first.root.first("v").text() == "1"
+        assert next(docs).root.first("v").text() == "2"
+
+    def test_dtd_tree_exposed(self):
+        tree = GoodTransformer().dtd_tree()
+        assert tree.tag == "r"
+        assert tree.children[0].tag == "v"

@@ -1,0 +1,81 @@
+"""Unit tests for the simulated transport layer."""
+
+import pytest
+
+from repro.datahounds import (
+    DirectoryRepository,
+    InMemoryRepository,
+    content_checksum,
+)
+from repro.errors import TransportError
+
+
+class TestInMemoryRepository:
+    def repo(self):
+        repo = InMemoryRepository()
+        repo.publish("hlx_enzyme", "r1", "ID   a\n//\n")
+        repo.publish("hlx_enzyme", "r2", "ID   b\n//\n")
+        return repo
+
+    def test_sources_listed(self):
+        assert self.repo().sources() == ["hlx_enzyme"]
+
+    def test_releases_sorted(self):
+        assert self.repo().releases("hlx_enzyme") == ["r1", "r2"]
+
+    def test_latest_release(self):
+        assert self.repo().latest_release("hlx_enzyme") == "r2"
+
+    def test_fetch_specific_release(self):
+        fetched = self.repo().fetch("hlx_enzyme", "r1")
+        assert fetched.release == "r1"
+        assert "ID   a" in fetched.text
+
+    def test_fetch_defaults_to_latest(self):
+        assert self.repo().fetch("hlx_enzyme").release == "r2"
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(TransportError):
+            self.repo().fetch("nope")
+
+    def test_unknown_release_rejected(self):
+        with pytest.raises(TransportError):
+            self.repo().fetch("hlx_enzyme", "r99")
+
+    def test_checksum_stable_and_distinct(self):
+        repo = self.repo()
+        first = repo.fetch("hlx_enzyme", "r1")
+        again = repo.fetch("hlx_enzyme", "r1")
+        other = repo.fetch("hlx_enzyme", "r2")
+        assert first.checksum == again.checksum
+        assert first.checksum != other.checksum
+
+
+class TestDirectoryRepository:
+    def test_publish_and_fetch(self, tmp_path):
+        repo = DirectoryRepository(tmp_path)
+        repo.publish("hlx_enzyme", "r1", "ID   a\n//\n")
+        fetched = repo.fetch("hlx_enzyme")
+        assert fetched.release == "r1"
+        assert fetched.text == "ID   a\n//\n"
+
+    def test_releases_sorted_on_disk(self, tmp_path):
+        repo = DirectoryRepository(tmp_path)
+        repo.publish("s", "r2", "b")
+        repo.publish("s", "r1", "a")
+        assert repo.releases("s") == ["r1", "r2"]
+
+    def test_missing_source_rejected(self, tmp_path):
+        with pytest.raises(TransportError):
+            DirectoryRepository(tmp_path).releases("missing")
+
+    def test_sources_empty_when_base_missing(self, tmp_path):
+        repo = DirectoryRepository(tmp_path / "nothing")
+        assert repo.sources() == []
+
+
+class TestChecksum:
+    def test_checksum_is_short_hex(self):
+        value = content_checksum("abc")
+        assert len(value) == 16
+        int(value, 16)  # parses as hex

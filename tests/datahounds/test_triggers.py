@@ -1,0 +1,66 @@
+"""Unit tests for change triggers."""
+
+from repro.datahounds import ChangeEvent, TriggerHub
+
+
+def event(source="hlx_enzyme", added=("a",), updated=(), removed=()):
+    return ChangeEvent(source=source, release="r1", added=added,
+                       updated=updated, removed=removed)
+
+
+class TestTriggerHub:
+    def test_subscriber_receives_event(self):
+        hub = TriggerHub()
+        seen = []
+        hub.subscribe(seen.append, "hlx_enzyme")
+        fired = hub.fire(event())
+        assert fired == 1
+        assert seen[0].added == ("a",)
+
+    def test_wildcard_subscription(self):
+        hub = TriggerHub()
+        seen = []
+        hub.subscribe(seen.append)  # all sources
+        hub.fire(event(source="hlx_embl"))
+        hub.fire(event(source="hlx_sprot"))
+        assert len(seen) == 2
+
+    def test_other_source_not_notified(self):
+        hub = TriggerHub()
+        seen = []
+        hub.subscribe(seen.append, "hlx_embl")
+        hub.fire(event(source="hlx_enzyme"))
+        assert seen == []
+
+    def test_noop_event_not_dispatched(self):
+        hub = TriggerHub()
+        seen = []
+        hub.subscribe(seen.append)
+        fired = hub.fire(event(added=()))
+        assert fired == 0
+        assert seen == []
+
+    def test_unsubscribe(self):
+        hub = TriggerHub()
+        seen = []
+        hub.subscribe(seen.append, "hlx_enzyme")
+        hub.unsubscribe(seen.append, "hlx_enzyme")
+        hub.fire(event())
+        assert seen == []
+
+    def test_multiple_subscribers_all_notified(self):
+        hub = TriggerHub()
+        first, second = [], []
+        hub.subscribe(first.append, "hlx_enzyme")
+        hub.subscribe(second.append)
+        assert hub.fire(event()) == 2
+
+
+class TestChangeEvent:
+    def test_total_changes(self):
+        assert event(added=("a",), updated=("b", "c"),
+                     removed=("d",)).total_changes == 4
+
+    def test_str_summary(self):
+        text = str(event(added=("a",), updated=("b",)))
+        assert "+1" in text and "~1" in text and "-0" in text

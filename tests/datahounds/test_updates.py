@@ -1,0 +1,65 @@
+"""Unit tests for release diffing (incremental updates)."""
+
+from repro.datahounds import ReleaseSnapshot, diff_releases, entry_fingerprint
+from repro.flatfile import entry_from_pairs
+
+
+def snapshot(release, **entries):
+    keyed = [(key, entry_from_pairs([("ID", key), ("DE", body)]))
+             for key, body in entries.items()]
+    return ReleaseSnapshot.build(release, keyed)
+
+
+class TestFingerprints:
+    def test_identical_entries_same_fingerprint(self):
+        a = entry_from_pairs([("ID", "x"), ("DE", "d")])
+        b = entry_from_pairs([("ID", "x"), ("DE", "d")])
+        assert entry_fingerprint(a) == entry_fingerprint(b)
+
+    def test_content_change_changes_fingerprint(self):
+        a = entry_from_pairs([("ID", "x"), ("DE", "d")])
+        b = entry_from_pairs([("ID", "x"), ("DE", "different")])
+        assert entry_fingerprint(a) != entry_fingerprint(b)
+
+    def test_line_order_matters(self):
+        a = entry_from_pairs([("AN", "1"), ("AN", "2")])
+        b = entry_from_pairs([("AN", "2"), ("AN", "1")])
+        assert entry_fingerprint(a) != entry_fingerprint(b)
+
+
+class TestDiff:
+    def test_initial_load_is_all_added(self):
+        plan = diff_releases(None, snapshot("r1", a="x", b="y"))
+        assert plan.added == ("a", "b")
+        assert plan.is_noop is False
+
+    def test_identical_releases_are_noop(self):
+        old = snapshot("r1", a="x", b="y")
+        new = snapshot("r2", a="x", b="y")
+        plan = diff_releases(old, new)
+        assert plan.is_noop
+        assert plan.unchanged == ("a", "b")
+
+    def test_update_detected(self):
+        plan = diff_releases(snapshot("r1", a="x"), snapshot("r2", a="x2"))
+        assert plan.updated == ("a",)
+        assert plan.added == ()
+
+    def test_removal_detected(self):
+        plan = diff_releases(snapshot("r1", a="x", b="y"),
+                             snapshot("r2", a="x"))
+        assert plan.removed == ("b",)
+
+    def test_mixed_changes(self):
+        plan = diff_releases(snapshot("r1", a="1", b="2", c="3"),
+                             snapshot("r2", a="1", b="changed", d="new"))
+        assert plan.unchanged == ("a",)
+        assert plan.updated == ("b",)
+        assert plan.removed == ("c",)
+        assert plan.added == ("d",)
+        assert plan.touched == ("d", "b")
+
+    def test_nothing_added_twice(self):
+        # the same key in both releases is never in `added`
+        plan = diff_releases(snapshot("r1", a="1"), snapshot("r2", a="2"))
+        assert "a" not in plan.added

@@ -1,0 +1,126 @@
+"""Unit tests for the flat-file line kit (paper Figure 3)."""
+
+import pytest
+
+from repro.errors import FlatFileError
+from repro.flatfile import (
+    CardinalityChecker,
+    Line,
+    LineSpec,
+    parse_line,
+    render_wrapped,
+)
+from repro.flatfile.lines import SEQUENCE_CODE, TERMINATOR
+
+
+class TestParseLine:
+    def test_code_and_data_split(self):
+        line = parse_line("ID   1.14.17.3")
+        assert line.code == "ID"
+        assert line.data == "1.14.17.3"
+
+    def test_terminator(self):
+        assert parse_line("//").code == TERMINATOR
+
+    def test_terminator_with_trailing_spaces(self):
+        assert parse_line("//   ").code == TERMINATOR
+
+    def test_sequence_continuation_line(self):
+        line = parse_line("     aacgtt ggcatt 60")
+        assert line.code == SEQUENCE_CODE
+        assert line.data == "aacgtt ggcatt 60"
+
+    def test_data_column_is_six(self):
+        # columns 3-5 must be blank per Figure 3
+        with pytest.raises(FlatFileError):
+            parse_line("IDx  data")
+
+    def test_short_line_rejected(self):
+        with pytest.raises(FlatFileError):
+            parse_line("I")
+
+    def test_blank_in_code_rejected(self):
+        with pytest.raises(FlatFileError):
+            parse_line("I    data")
+
+    def test_line_number_in_error(self):
+        with pytest.raises(FlatFileError) as info:
+            parse_line("I", line_number=42)
+        assert "42" in str(info.value)
+
+    def test_crlf_stripped(self):
+        assert parse_line("DE   name.\r\n").data == "name."
+
+    def test_code_only_line(self):
+        line = parse_line("CC   ")
+        assert line.code == "CC"
+        assert line.data == ""
+
+
+class TestRender:
+    def test_render_fixed_columns(self):
+        assert Line("ID", "1.1.1.1").render() == "ID   1.1.1.1"
+
+    def test_render_terminator(self):
+        assert Line(TERMINATOR, "").render() == "//"
+
+    def test_render_parse_roundtrip(self):
+        line = Line("DE", "Alcohol dehydrogenase.")
+        assert parse_line(line.render()) == line
+
+    def test_render_wrapped_respects_width(self):
+        lines = render_wrapped("CA", "alpha beta gamma delta", width=11)
+        assert all(len(line) - 5 <= 11 for line in lines)
+        assert len(lines) == 2
+
+    def test_render_wrapped_single_word_overflow_kept(self):
+        lines = render_wrapped("CA", "x" * 100, width=10)
+        assert len(lines) == 1
+
+    def test_render_wrapped_empty(self):
+        assert render_wrapped("CC", "") == ["CC"]
+
+
+class TestLineSpec:
+    def test_code_length_enforced(self):
+        with pytest.raises(ValueError):
+            LineSpec("IDX", "bad")
+
+    def test_blank_code_rejected_except_sequence(self):
+        with pytest.raises(ValueError):
+            LineSpec("I ", "bad")
+        LineSpec(SEQUENCE_CODE, "sequence data")  # allowed
+
+    def test_bounds_sanity(self):
+        with pytest.raises(ValueError):
+            LineSpec("ID", "x", min_count=2, max_count=1)
+
+
+class TestCardinalityChecker:
+    SPECS = [
+        LineSpec("ID", "id", min_count=1, max_count=1),
+        LineSpec("DE", "description", min_count=1),
+        LineSpec("AN", "alternates"),
+    ]
+
+    def check(self, lines):
+        CardinalityChecker(self.SPECS).check(lines, "test entry")
+
+    def test_valid_entry(self):
+        self.check([Line("ID", "x"), Line("DE", "y"), Line("AN", "z")])
+
+    def test_missing_required_line(self):
+        with pytest.raises(FlatFileError):
+            self.check([Line("DE", "y")])
+
+    def test_too_many_of_bounded_line(self):
+        with pytest.raises(FlatFileError):
+            self.check([Line("ID", "x"), Line("ID", "x2"), Line("DE", "y")])
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(FlatFileError):
+            self.check([Line("ID", "x"), Line("DE", "y"), Line("ZZ", "?")])
+
+    def test_unbounded_line_accepts_many(self):
+        self.check([Line("ID", "x"), Line("DE", "y")]
+                   + [Line("AN", f"alt{i}") for i in range(50)])

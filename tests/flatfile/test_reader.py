@@ -1,0 +1,77 @@
+"""Unit tests for the flat-file entry reader."""
+
+import pytest
+
+from repro.errors import FlatFileError
+from repro.flatfile import parse_entries, read_entries
+
+SAMPLE = """\
+ID   1.1.1.1
+DE   Alcohol dehydrogenase.
+AN   Aldehyde reductase.
+//
+ID   1.1.1.2
+DE   Second enzyme.
+CA   First half of the reaction
+CA   second half.
+//
+"""
+
+
+class TestEntrySplitting:
+    def test_entries_split_at_terminator(self):
+        entries = parse_entries(SAMPLE)
+        assert len(entries) == 2
+        assert entries[0].value("ID") == "1.1.1.1"
+        assert entries[1].value("ID") == "1.1.1.2"
+
+    def test_terminator_not_included_in_lines(self):
+        entries = parse_entries(SAMPLE)
+        assert all(line.code != "//" for line in entries[0].lines)
+
+    def test_blank_lines_between_entries_tolerated(self):
+        entries = parse_entries("ID   a\n//\n\n\nID   b\n//\n")
+        assert len(entries) == 2
+
+    def test_blank_line_inside_entry_rejected(self):
+        with pytest.raises(FlatFileError):
+            parse_entries("ID   a\n\nDE   x\n//\n")
+
+    def test_unterminated_final_entry_rejected(self):
+        with pytest.raises(FlatFileError):
+            parse_entries("ID   a\nDE   x\n")
+
+    def test_terminator_without_entry_rejected(self):
+        with pytest.raises(FlatFileError):
+            parse_entries("//\n")
+
+    def test_empty_input_yields_nothing(self):
+        assert parse_entries("") == []
+
+
+class TestEntryAccess:
+    def entry(self):
+        return parse_entries(SAMPLE)[1]
+
+    def test_first_and_value(self):
+        assert self.entry().value("DE") == "Second enzyme."
+        assert self.entry().value("ZZ") is None
+
+    def test_all_preserves_order(self):
+        data = [line.data for line in self.entry().all("CA")]
+        assert data == ["First half of the reaction", "second half."]
+
+    def test_joined_reassembles_wrapped_value(self):
+        assert self.entry().joined("CA") == (
+            "First half of the reaction second half.")
+
+    def test_codes_in_first_appearance_order(self):
+        assert self.entry().codes() == ["ID", "DE", "CA"]
+
+
+class TestFileReading:
+    def test_read_entries_from_disk(self, tmp_path):
+        path = tmp_path / "sample.dat"
+        path.write_text(SAMPLE, encoding="utf-8")
+        entries = read_entries(path)
+        assert len(entries) == 2

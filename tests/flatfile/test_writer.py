@@ -1,0 +1,34 @@
+"""Unit tests for the flat-file writer."""
+
+from repro.flatfile import (
+    entry_from_pairs,
+    parse_entries,
+    render_entries,
+    render_entry,
+    write_entries,
+)
+
+
+class TestRendering:
+    def test_render_entry_appends_terminator(self):
+        entry = entry_from_pairs([("ID", "x"), ("DE", "y")])
+        assert render_entry(entry) == "ID   x\nDE   y\n//\n"
+
+    def test_render_entries_concatenates(self):
+        entries = [entry_from_pairs([("ID", "a")]),
+                   entry_from_pairs([("ID", "b")])]
+        text = render_entries(entries)
+        assert text.count("//\n") == 2
+
+    def test_roundtrip_text(self):
+        entries = [entry_from_pairs([("ID", "a"), ("DE", "desc."),
+                                     ("AN", "alt one"), ("AN", "alt two")])]
+        reparsed = parse_entries(render_entries(entries))
+        assert reparsed == entries
+
+    def test_write_entries_to_disk(self, tmp_path):
+        path = tmp_path / "out.dat"
+        count = write_entries(
+            [entry_from_pairs([("ID", "a")])], path)
+        assert count == 1
+        assert parse_entries(path.read_text())[0].value("ID") == "a"

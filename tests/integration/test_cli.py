@@ -1,0 +1,92 @@
+"""CLI integration tests (in-process invocation of repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def corpus_dir(tmp_path, corpus):
+    out = tmp_path / "corpus"
+    out.mkdir()
+    (out / "enzyme.dat").write_text(corpus.enzyme_text, encoding="utf-8")
+    (out / "embl.dat").write_text(corpus.embl_text, encoding="utf-8")
+    return out
+
+
+class TestCliWorkflow:
+    def test_init_creates_database(self, tmp_path, capsys):
+        db = tmp_path / "wh.sqlite"
+        assert main(["init", "--db", str(db)]) == 0
+        assert db.exists()
+
+    def test_load_and_query(self, tmp_path, corpus_dir, capsys):
+        db = str(tmp_path / "wh.sqlite")
+        assert main(["init", "--db", db]) == 0
+        assert main(["load", "--db", db, "--source", "hlx_enzyme",
+                     str(corpus_dir / "enzyme.dat")]) == 0
+        assert main([
+            "query", "--db", db,
+            'FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+            'WHERE contains($a//catalytic_activity, "ketone") '
+            'RETURN $a//enzyme_id']) == 0
+        out = capsys.readouterr().out
+        assert "enzyme_id" in out
+        assert "row(s)" in out
+
+    def test_query_xml_output(self, tmp_path, corpus_dir, capsys):
+        db = str(tmp_path / "wh.sqlite")
+        main(["init", "--db", db])
+        main(["load", "--db", db, "--source", "hlx_enzyme",
+              str(corpus_dir / "enzyme.dat")])
+        main(["query", "--db", db, "--xml",
+              'FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+              'RETURN $a//enzyme_id'])
+        assert "<xomatiq_results" in capsys.readouterr().out
+
+    def test_translate_shows_sql(self, tmp_path, corpus_dir, capsys):
+        db = str(tmp_path / "wh.sqlite")
+        main(["init", "--db", db])
+        main(["load", "--db", db, "--source", "hlx_enzyme",
+              str(corpus_dir / "enzyme.dat")])
+        main(["translate", "--db", db,
+              'FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+              'RETURN $a//enzyme_id'])
+        out = capsys.readouterr().out
+        assert "SELECT DISTINCT" in out
+        assert "FROM documents" in out
+
+    def test_synth_writes_corpus(self, tmp_path, capsys):
+        out_dir = tmp_path / "synth"
+        assert main(["synth", "--out", str(out_dir), "--seed", "3",
+                     "--enzyme", "5", "--embl", "5", "--sprot", "5"]) == 0
+        assert (out_dir / "enzyme.dat").exists()
+        assert (out_dir / "embl.dat").exists()
+        assert (out_dir / "sprot.dat").exists()
+
+    def test_dtd_rendering(self, capsys):
+        assert main(["dtd", "--source", "hlx_enzyme"]) == 0
+        out = capsys.readouterr().out
+        assert "hlx_enzyme" in out
+        assert "enzyme_id" in out
+
+    def test_sources_listing(self, capsys):
+        assert main(["sources"]) == 0
+        out = capsys.readouterr().out
+        for name in ("hlx_enzyme", "hlx_embl", "hlx_sprot"):
+            assert name in out
+
+    def test_query_error_reported_cleanly(self, tmp_path, capsys):
+        db = str(tmp_path / "wh.sqlite")
+        main(["init", "--db", db])
+        code = main(["query", "--db", db, "NOT A QUERY AT ALL"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_source_reported_cleanly(self, tmp_path, corpus_dir,
+                                             capsys):
+        db = str(tmp_path / "wh.sqlite")
+        main(["init", "--db", db])
+        code = main(["load", "--db", db, "--source", "nope",
+                     str(corpus_dir / "enzyme.dat")])
+        assert code == 1

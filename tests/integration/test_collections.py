@@ -1,0 +1,70 @@
+"""Multi-collection behaviour: EMBL divisions route to distinct
+collections; queries can address one or all of them."""
+
+import pytest
+
+from repro.synth import generate_embl_release
+
+
+@pytest.fixture
+def divided(empty_warehouse):
+    """A warehouse with EMBL entries in two divisions."""
+    empty_warehouse.load_text("hlx_embl", generate_embl_release(
+        seed=51, count=12, division="inv", gene_plant=("cdc6", 0.5)))
+    empty_warehouse.load_text("hlx_embl", generate_embl_release(
+        seed=52, count=8, division="hum", gene_plant=("cdc6", 0.5)))
+    return empty_warehouse
+
+
+class TestDivisionRouting:
+    def test_collections_visible_in_catalog(self, divided):
+        names = divided.document_names()
+        assert "hlx_embl.inv" in names
+        assert "hlx_embl.hum" in names
+
+    def test_collection_scoped_query(self, divided):
+        inv = divided.query(
+            'FOR $a IN document("hlx_embl.inv")/hlx_n_sequence '
+            'RETURN $a//embl_accession_number')
+        hum = divided.query(
+            'FOR $a IN document("hlx_embl.hum")/hlx_n_sequence '
+            'RETURN $a//embl_accession_number')
+        assert len(inv) == 12
+        assert len(hum) == 8
+        assert not (set(inv.scalars("embl_accession_number"))
+                    & set(hum.scalars("embl_accession_number")))
+
+    def test_source_wide_query_spans_collections(self, divided):
+        result = divided.query(
+            'FOR $a IN document("hlx_embl")/hlx_n_sequence '
+            'RETURN $a//embl_accession_number')
+        assert len(result) == 20
+
+    def test_keyword_search_respects_collection(self, divided):
+        inv_hits = divided.query(
+            'FOR $a IN document("hlx_embl.inv")/hlx_n_sequence '
+            'WHERE contains($a, "cdc6", any) '
+            'RETURN $a//embl_accession_number')
+        all_hits = divided.query(
+            'FOR $a IN document("hlx_embl")/hlx_n_sequence '
+            'WHERE contains($a, "cdc6", any) '
+            'RETURN $a//embl_accession_number')
+        assert len(all_hits) > len(inv_hits) > 0
+
+    def test_division_element_matches_collection(self, divided):
+        result = divided.query(
+            'FOR $a IN document("hlx_embl.hum")/hlx_n_sequence '
+            'RETURN $a//division')
+        assert set(result.scalars("division")) == {"hum"}
+
+    def test_cross_collection_join(self, divided):
+        """Divisions of the same source can be correlated like any two
+        databases (shared gene names)."""
+        result = divided.query(
+            'FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry, '
+            '$b IN document("hlx_embl.hum")/hlx_n_sequence/db_entry '
+            'WHERE $a//qualifier[@qualifier_type = "gene"] '
+            '= $b//qualifier[@qualifier_type = "gene"] '
+            'RETURN $a//entry_name, $b//entry_name')
+        # cdc6 planted in half of each division: matches must exist
+        assert len(result) > 0

@@ -1,0 +1,77 @@
+"""On-disk warehouse behaviours the paper attributes to using an
+RDBMS: concurrent readers, durable storage, streamed loads."""
+
+import threading
+
+import pytest
+
+from repro.engine import Warehouse
+from repro.relational import SqliteBackend
+from repro.synth import build_corpus
+
+QUERY = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+         'RETURN $a//enzyme_id')
+
+
+@pytest.fixture
+def db_path(tmp_path, corpus):
+    path = tmp_path / "wh.sqlite"
+    warehouse = Warehouse(backend=SqliteBackend(path))
+    warehouse.load_text("hlx_enzyme", corpus.enzyme_text)
+    warehouse.close()
+    return path
+
+
+class TestConcurrentReaders:
+    def test_two_connections_read_simultaneously(self, db_path, corpus):
+        first = Warehouse(backend=SqliteBackend(db_path), create=False)
+        second = Warehouse(backend=SqliteBackend(db_path), create=False)
+        expected = corpus.sizes()["hlx_enzyme"]
+        assert len(first.query(QUERY)) == expected
+        assert len(second.query(QUERY)) == expected
+        first.close()
+        second.close()
+
+    def test_parallel_reader_threads(self, db_path, corpus):
+        expected = corpus.sizes()["hlx_enzyme"]
+        results: list[int] = []
+        errors: list[Exception] = []
+
+        def reader():
+            try:
+                warehouse = Warehouse(backend=SqliteBackend(db_path),
+                                      create=False)
+                for __ in range(5):
+                    results.append(len(warehouse.query(QUERY)))
+                warehouse.close()
+            except Exception as exc:   # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert results == [expected] * 20
+
+
+class TestStreamedFileLoad:
+    def test_load_file_matches_load_text(self, tmp_path, corpus):
+        path = tmp_path / "enzyme.dat"
+        path.write_text(corpus.enzyme_text, encoding="utf-8")
+        via_file = Warehouse()
+        count = via_file.load_file("hlx_enzyme", path)
+        assert count == corpus.sizes()["hlx_enzyme"]
+        via_text = Warehouse()
+        via_text.load_text("hlx_enzyme", corpus.enzyme_text)
+        assert (sorted(via_file.query(QUERY).scalars("enzyme_id"))
+                == sorted(via_text.query(QUERY).scalars("enzyme_id")))
+
+    def test_cli_stats_command(self, db_path, capsys):
+        from repro.cli import main
+        assert main(["stats", "--db", str(db_path)]) == 0
+        out = capsys.readouterr().out
+        assert "documents" in out
+        assert "keywords" in out
+        assert "documents:hlx_enzyme" in out

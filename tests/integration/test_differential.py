@@ -1,0 +1,108 @@
+"""Differential testing: the relational path (both backends) must agree
+with the native-XML tree evaluator on a battery of queries."""
+
+import pytest
+
+QUERIES = [
+    # keyword, any scope
+    '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+       WHERE contains($a, "copper", any) RETURN $a//enzyme_id''',
+    # keyword, node scope
+    '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+       WHERE contains($a//catalytic_activity, "ketone")
+       RETURN $a//enzyme_id''',
+    # sub-tree keyword on a list container
+    '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+       WHERE contains($a//comment_list, "substrates")
+       RETURN $a//enzyme_id''',
+    # attribute equality via step predicate + cross-db join
+    '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+        $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+       WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+       RETURN $a//embl_accession_number, $b//enzyme_description''',
+    # numeric range on an attribute-derived element value
+    '''FOR $a IN document("hlx_sprot.all")/hlx_n_sequence
+       WHERE $a//sequence/@length > 400 RETURN $a//entry_name''',
+    # attribute return item
+    '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+       WHERE contains($a//enzyme_description, "synthase")
+       RETURN $a//reference/@swissprot_accession_number''',
+    # disjunction
+    '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+       WHERE contains($a//catalytic_activity, "ketone")
+          OR contains($a//catalytic_activity, "alcohol")
+       RETURN $a//enzyme_id''',
+    # negation
+    '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+       WHERE contains($a//enzyme_description, "synthase")
+         AND NOT contains($a//cofactor_list, "copper")
+       RETURN $a//enzyme_id''',
+    # two keyword conditions over two databases (cross product)
+    '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+        $b IN document("hlx_sprot.all")/hlx_n_sequence
+       WHERE contains($a, "cdc6", any) AND contains($b, "cdc6", any)
+       RETURN $a//embl_accession_number, $b//sprot_accession_number''',
+    # variable re-rooted on another variable
+    '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme,
+        $r IN $a//reference
+       RETURN $r/@swissprot_accession_number''',
+    # equality against a string literal
+    '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+       WHERE $a//division = "inv" RETURN $a//entry_name''',
+    # wildcard step
+    '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+       WHERE contains($a//catalytic_activity, "ketone")
+       RETURN $a/db_entry/enzyme_id''',
+    # positional predicate
+    '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+       WHERE contains($a//enzyme_description, "synthase")
+       RETURN $a//alternate_name[1]''',
+    # order operators
+    '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+       WHERE $a//enzyme_description BEFORE $a//swissprot_reference_list
+         AND contains($a, "copper", any)
+       RETURN $a//enzyme_id''',
+    # sequence motif search
+    '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence
+       WHERE seqcontains($a//sequence, "acg.ta")
+       RETURN $a//embl_accession_number''',
+    # disease join (OMIM source)
+    '''FOR $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry,
+        $d IN document("hlx_omim.DEFAULT")/hlx_disease/db_entry
+       WHERE $e//disease/@mim_id = $d/mim_id
+       RETURN $e//enzyme_id, $d//title''',
+    # element constructor
+    '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+       WHERE contains($a//catalytic_activity, "ketone")
+       RETURN <hit ec={ $a//enzyme_id }>
+                <what>{ $a//enzyme_description }</what>
+              </hit>''',
+    # document-wide source query (no collection)
+    '''FOR $a IN document("hlx_embl")/hlx_n_sequence
+       WHERE $a//sequence/@length > 1500
+       RETURN $a//entry_name''',
+]
+
+
+def canonical(result):
+    """Order-insensitive canonical form of a query result."""
+    return sorted(
+        tuple(sorted((column, tuple(values))
+                     for column, values in row.values.items()))
+        for row in result.rows)
+
+
+@pytest.mark.parametrize("query_text", QUERIES,
+                         ids=[f"q{i}" for i in range(len(QUERIES))])
+def test_relational_agrees_with_native(query_text, warehouse, native_store):
+    relational = warehouse.query(query_text)
+    native = native_store.query(query_text)
+    assert canonical(relational) == canonical(native)
+
+
+def test_battery_is_not_vacuous(warehouse):
+    """At least half the battery queries return rows on the test corpus
+    (all-empty agreement would prove nothing)."""
+    non_empty = sum(
+        1 for text in QUERIES if len(warehouse.query(text)) > 0)
+    assert non_empty >= len(QUERIES) // 2

@@ -1,0 +1,103 @@
+"""The docs/adding_sources.md walkthrough, executed verbatim.
+
+If this test breaks, the tutorial is lying to its readers.
+"""
+
+import pytest
+
+from repro.datahounds import InMemoryRepository
+from repro.datahounds.transformer import SourceTransformer
+from repro.engine import Warehouse
+from repro.flatfile import Entry, LineSpec
+from repro.xmlkit import Document, Element, parse_dtd
+
+PROSITE_DTD_TEXT = """\
+<!ELEMENT hlx_prosite (db_entry)>
+<!ELEMENT db_entry (entry_name, prosite_accession, description+,
+  pattern_list)>
+<!ELEMENT entry_name (#PCDATA)>
+<!ELEMENT prosite_accession (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT pattern_list (pattern*)>
+<!ELEMENT pattern (#PCDATA)>
+"""
+
+FLAT_TEXT = """\
+ID   ZINC_FINGER_C2H2
+AC   PS00028
+DE   Zinc finger C2H2 type domain signature.
+PA   C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H
+//
+ID   EGF_1
+AC   PS00022
+DE   EGF-like domain signature 1.
+//
+"""
+
+
+class PrositeTransformer(SourceTransformer):
+    name = "hlx_prosite"
+    dtd = parse_dtd(PROSITE_DTD_TEXT)
+    line_specs = [
+        LineSpec("ID", "Entry name", min_count=1, max_count=1),
+        LineSpec("AC", "Accession", min_count=1, max_count=1),
+        LineSpec("DE", "Description", min_count=1),
+        LineSpec("PA", "Pattern"),
+    ]
+
+    def entry_to_document(self, entry: Entry) -> Document:
+        root = Element("hlx_prosite")
+        db_entry = root.subelement("db_entry")
+        db_entry.subelement("entry_name", text=entry.value("ID").strip())
+        db_entry.subelement("prosite_accession",
+                            text=entry.value("AC").strip())
+        for line in entry.all("DE"):
+            db_entry.subelement("description", text=line.data.strip())
+        patterns = db_entry.subelement("pattern_list")
+        for line in entry.all("PA"):
+            patterns.subelement("pattern", text=line.data.strip())
+        return Document(root, name=self.name)
+
+    def entry_key(self, entry: Entry) -> str:
+        return entry.value("AC").strip()
+
+
+class TestTutorial:
+    def test_register_load_query(self, backend):
+        warehouse = Warehouse(backend=backend)
+        warehouse.registry.register(PrositeTransformer)
+        assert warehouse.load_text("hlx_prosite", FLAT_TEXT) == 2
+
+        result = warehouse.query('''
+            FOR $p IN document("hlx_prosite.DEFAULT")/hlx_prosite
+            WHERE contains($p//description, "zinc finger")
+            RETURN $p//prosite_accession, $p//pattern
+        ''')
+        assert len(result) == 1
+        assert result.rows[0].values["prosite_accession"] == ["PS00028"]
+        assert result.rows[0].values["pattern"][0].startswith("C-x(2,4)")
+
+    def test_hound_pipeline(self, backend):
+        warehouse = Warehouse(backend=backend)
+        warehouse.registry.register(PrositeTransformer)
+        repository = InMemoryRepository()
+        repository.publish("hlx_prosite", "r2026-07", FLAT_TEXT)
+        hound = warehouse.connect(repository)
+        report = hound.load("hlx_prosite")
+        assert report.documents_loaded == 2
+
+    def test_roundtrip(self, backend):
+        from repro.shredding import reconstruct_by_entry
+        warehouse = Warehouse(backend=backend)
+        warehouse.registry.register(PrositeTransformer)
+        warehouse.load_text("hlx_prosite", FLAT_TEXT)
+        expected = PrositeTransformer().transform_text(FLAT_TEXT)[0]
+        rebuilt = reconstruct_by_entry(warehouse.backend, "hlx_prosite",
+                                       "PS00028")
+        assert rebuilt.root == expected.root
+
+    def test_dtd_tree_for_builders(self, backend):
+        warehouse = Warehouse(backend=backend)
+        warehouse.registry.register(PrositeTransformer)
+        tree = warehouse.dtd_tree("hlx_prosite")
+        assert tree.find("pattern") is not None

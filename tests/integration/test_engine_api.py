@@ -1,0 +1,108 @@
+"""Tests for the Warehouse/XomatiQ facade itself."""
+
+import pytest
+
+from repro.engine import Warehouse, XomatiQ
+from repro.errors import (
+    BindingError,
+    UnknownDocumentError,
+    UnknownSourceError,
+    XQuerySyntaxError,
+)
+from repro.relational import SqliteBackend
+
+
+class TestCatalog:
+    def test_document_names_lists_loaded_sources(self, warehouse):
+        names = warehouse.document_names()
+        assert "hlx_enzyme.DEFAULT" in names
+        assert "hlx_embl.inv" in names
+
+    def test_document_exists(self, warehouse):
+        assert warehouse.document_exists("hlx_enzyme", "DEFAULT")
+        assert warehouse.document_exists("hlx_enzyme", None)
+        assert not warehouse.document_exists("hlx_enzyme", "nope")
+        assert not warehouse.document_exists("zzz", None)
+
+    def test_dtd_tree_for_registered_source(self, warehouse):
+        assert warehouse.dtd_tree("hlx_sprot").tag == "hlx_n_sequence"
+
+    def test_dtd_tree_unknown_source(self, warehouse):
+        with pytest.raises(UnknownSourceError):
+            warehouse.dtd_tree("not_registered")
+
+
+class TestQueryErrors:
+    def test_syntax_error_propagates(self, warehouse):
+        with pytest.raises(XQuerySyntaxError):
+            warehouse.query("THIS IS NOT A QUERY")
+
+    def test_unknown_document_caught_before_sql(self, warehouse):
+        with pytest.raises(UnknownDocumentError):
+            warehouse.query('FOR $a IN document("missing.DEFAULT")/r '
+                            'RETURN $a')
+
+    def test_dtd_name_check(self, warehouse):
+        with pytest.raises(BindingError):
+            warehouse.query(
+                'FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+                'RETURN $a//definitely_not_in_dtd')
+
+    def test_unbound_variable_caught(self, warehouse):
+        with pytest.raises(BindingError):
+            warehouse.query(
+                'FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+                'RETURN $zz//enzyme_id')
+
+
+class TestCompiledReuse:
+    def test_execute_compiled_query_twice(self, warehouse):
+        compiled = warehouse.translate(
+            'FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+            'RETURN $a//enzyme_id')
+        first = warehouse.xomatiq.execute(compiled)
+        second = warehouse.xomatiq.execute(compiled)
+        assert len(first) == len(second) > 0
+
+    def test_translate_exposes_statements(self, warehouse):
+        compiled = warehouse.translate(
+            'FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+            'WHERE contains($a, "copper", any) RETURN $a//enzyme_id')
+        statements = compiled.statements()
+        assert all(s.lstrip().startswith("SELECT") for s in statements)
+
+
+class TestPersistence:
+    def test_reopen_on_disk_warehouse(self, tmp_path, corpus):
+        path = tmp_path / "wh.sqlite"
+        first = Warehouse(backend=SqliteBackend(path))
+        first.load_text("hlx_enzyme", corpus.enzyme_text)
+        count_query = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+                       'RETURN $a//enzyme_id')
+        expected = len(first.query(count_query))
+        first.close()
+
+        reopened = Warehouse(backend=SqliteBackend(path), create=False)
+        assert len(reopened.query(count_query)) == expected
+        reopened.close()
+
+    def test_fetch_document_by_doc_id(self, warehouse):
+        doc_id = warehouse.loader.doc_ids("hlx_enzyme")[0]
+        doc = warehouse.fetch_document(doc_id)
+        assert doc.root.tag == "hlx_enzyme"
+
+    def test_fetch_document_xml_unknown_variable(self, warehouse):
+        result = warehouse.query(
+            'FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+            'RETURN $a//enzyme_id')
+        with pytest.raises(UnknownDocumentError):
+            warehouse.fetch_document_xml(result.rows[0], "zz")
+
+
+class TestXomatiQComponent:
+    def test_warehouse_query_delegates(self, warehouse):
+        assert isinstance(warehouse.xomatiq, XomatiQ)
+        text = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+                'RETURN $a//enzyme_id')
+        assert len(warehouse.query(text)) == len(
+            warehouse.xomatiq.query(text))

@@ -1,0 +1,135 @@
+"""Robustness edges: unicode content, deep nesting, wide documents,
+odd-but-legal inputs through the whole pipeline."""
+
+import pytest
+
+from repro.shredding import reconstruct_by_entry
+from repro.xmlkit import parse_document, serialize
+
+
+class TestUnicode:
+    DOC = ("<entry><name>β-galactosidase (λ‐phage)</name>"
+           '<note lang="日本語">унікод · smörgåsbord</note></entry>')
+
+    def test_roundtrip_through_warehouse(self, empty_warehouse):
+        doc = parse_document(self.DOC)
+        empty_warehouse.loader.store_document("db", "c", "k", doc)
+        rebuilt = reconstruct_by_entry(empty_warehouse.backend, "db", "k")
+        assert rebuilt.root == doc.root
+
+    def test_unicode_keyword_search(self, empty_warehouse):
+        empty_warehouse.loader.store_document(
+            "db", "c", "k", parse_document(self.DOC))
+        empty_warehouse.optimize()
+        result = empty_warehouse.query(
+            'FOR $e IN document("db.c")/entry '
+            'WHERE contains($e//name, "galactosidase") RETURN $e//name')
+        assert len(result) == 1
+
+    def test_unicode_value_comparison(self, empty_warehouse):
+        empty_warehouse.loader.store_document(
+            "db", "c", "k", parse_document(self.DOC))
+        empty_warehouse.optimize()
+        result = empty_warehouse.query(
+            'FOR $e IN document("db.c")/entry '
+            'WHERE $e//note/@lang = "日本語" RETURN $e//name')
+        assert len(result) == 1
+
+    def test_unicode_survives_xml_result_view(self, empty_warehouse):
+        empty_warehouse.loader.store_document(
+            "db", "c", "k", parse_document(self.DOC))
+        empty_warehouse.optimize()
+        xml = empty_warehouse.query(
+            'FOR $e IN document("db.c")/entry RETURN $e//name').to_xml()
+        assert "β-galactosidase" in xml
+        parse_document(xml)
+
+
+class TestDeepAndWide:
+    def test_deep_nesting_roundtrip(self, empty_warehouse):
+        depth = 60
+        text = ("".join(f"<l{i}>" for i in range(depth))
+                + "bottom"
+                + "".join(f"</l{i}>" for i in reversed(range(depth))))
+        doc = parse_document(text)
+        empty_warehouse.loader.store_document("db", "c", "k", doc)
+        rebuilt = reconstruct_by_entry(empty_warehouse.backend, "db", "k")
+        assert rebuilt.root == doc.root
+
+    def test_descendant_query_reaches_deep_leaf(self, empty_warehouse):
+        depth = 40
+        text = ("".join(f"<l{i}>" for i in range(depth))
+                + "needle"
+                + "".join(f"</l{i}>" for i in reversed(range(depth))))
+        empty_warehouse.loader.store_document("db", "c", "k",
+                                              parse_document(text))
+        empty_warehouse.optimize()
+        result = empty_warehouse.query(
+            f'FOR $e IN document("db.c")/l0 RETURN $e//l{depth - 1}')
+        assert result.scalars(f"l{depth - 1}") == ["needle"]
+
+    def test_wide_document(self, empty_warehouse):
+        children = "".join(f"<item>{i}</item>" for i in range(500))
+        doc = parse_document(f"<r>{children}</r>")
+        empty_warehouse.loader.store_document("db", "c", "k", doc)
+        empty_warehouse.optimize()
+        result = empty_warehouse.query(
+            'FOR $e IN document("db.c")/r RETURN $e/item[500]')
+        assert result.scalars("item") == ["499"]
+
+    def test_many_small_documents(self, empty_warehouse):
+        for index in range(120):
+            empty_warehouse.loader.store_document(
+                "db", "c", f"k{index}",
+                parse_document(f"<r><v>{index}</v></r>"))
+        empty_warehouse.optimize()
+        result = empty_warehouse.query(
+            'FOR $e IN document("db.c")/r WHERE $e/v >= 100 RETURN $e/v')
+        assert len(result) == 20
+
+    def test_value_fetch_across_chunk_boundary(self, empty_warehouse):
+        """More bound documents than one IN-list chunk (200): the
+        chunked value-query restriction must not drop any values."""
+        total = 230
+        for index in range(total):
+            empty_warehouse.loader.store_document(
+                "db", "c", f"k{index}",
+                parse_document(f"<r><v>{index}</v></r>"))
+        empty_warehouse.optimize()
+        result = empty_warehouse.query(
+            'FOR $e IN document("db.c")/r RETURN $e/v')
+        values = sorted(int(v) for v in result.scalars("v"))
+        assert values == list(range(total))
+
+
+class TestOddButLegal:
+    def test_value_with_quotes_and_ampersands(self, empty_warehouse):
+        doc = parse_document(
+            '<r><v>he said "5&amp;6" &lt;loudly&gt;</v></r>')
+        empty_warehouse.loader.store_document("db", "c", "k", doc)
+        empty_warehouse.optimize()
+        result = empty_warehouse.query(
+            'FOR $e IN document("db.c")/r RETURN $e/v')
+        assert result.scalars("v") == ['he said "5&6" <loudly>']
+
+    def test_entry_key_with_spaces_and_symbols(self, empty_warehouse):
+        doc = parse_document("<r><v>x</v></r>")
+        key = "weird key; with stuff'"
+        empty_warehouse.loader.store_document("db", "c", key, doc)
+        rebuilt = reconstruct_by_entry(empty_warehouse.backend, "db", key)
+        assert rebuilt.root.first("v").text() == "x"
+
+    def test_keyword_phrase_with_sql_metacharacters(self, empty_warehouse):
+        doc = parse_document("<r><v>100% pure; O'Brien</v></r>")
+        empty_warehouse.loader.store_document("db", "c", "k", doc)
+        empty_warehouse.optimize()
+        result = empty_warehouse.query(
+            'FOR $e IN document("db.c")/r '
+            "WHERE contains($e//v, \"brien\") RETURN $e/v")
+        assert len(result) == 1
+
+    def test_numeric_looking_entry_keys_stay_strings(self, empty_warehouse):
+        empty_warehouse.loader.store_document(
+            "db", "c", "007", parse_document("<r><v>bond</v></r>"))
+        rebuilt = reconstruct_by_entry(empty_warehouse.backend, "db", "007")
+        assert rebuilt.root.first("v").text() == "bond"

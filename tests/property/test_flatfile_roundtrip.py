@@ -1,0 +1,39 @@
+"""Property-based tests for the flat-file record layer."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.flatfile import Entry, parse_entries, render_entries
+from repro.flatfile.lines import Line
+
+codes = st.sampled_from(["ID", "DE", "AN", "CA", "CF", "CC", "DR", "KW"])
+
+# payload must survive render/parse: no leading/trailing space loss, no
+# newline injection, and must be non-empty so rstrip keeps the code line
+payloads = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,;:+-()='_",
+    min_size=1, max_size=60).filter(
+        lambda s: s.strip() == s and not s.startswith("//"))
+
+entries_strategy = st.lists(
+    st.builds(Line, codes, payloads), min_size=1, max_size=10
+).map(Entry)
+
+
+@given(st.lists(entries_strategy, min_size=0, max_size=6))
+@settings(max_examples=120, deadline=None)
+def test_render_parse_roundtrip(entries):
+    text = render_entries(entries)
+    assert parse_entries(text) == entries
+
+
+@given(entries_strategy)
+@settings(max_examples=80, deadline=None)
+def test_rendered_lines_start_at_column_six(entry):
+    text = render_entries([entry])
+    for raw in text.splitlines():
+        if raw == "//":
+            continue
+        assert raw[2:5] == "   "
+        assert raw[5] != " "

@@ -1,0 +1,80 @@
+"""Property-based tests: XML parse/serialize and shred/reconstruct are
+lossless for arbitrary data-centric documents."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import SqliteBackend
+from repro.shredding import WarehouseLoader, reconstruct_document
+from repro.xmlkit import Document, Element, parse_document, serialize
+from repro.xmlkit.serializer import serialize_compact
+
+tag_names = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+
+# text that survives the whitespace policy: non-empty after strip, and
+# without carriage returns (XML line-end normalization is out of scope)
+text_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,;:+-()&<>'\"_",
+    min_size=1, max_size=40).filter(lambda s: s.strip() == s and s)
+
+attr_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,;&<>'\"_",
+    max_size=20)
+
+
+@st.composite
+def elements(draw, depth=0):
+    element = Element(draw(tag_names))
+    for name in draw(st.lists(tag_names, max_size=3, unique=True)):
+        element.set(name, draw(attr_values))
+    if depth >= 3:
+        if draw(st.booleans()):
+            element.append(draw(text_values))
+        return element
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        pass  # empty
+    elif kind == 1:
+        element.append(draw(text_values))
+    else:
+        for child in draw(st.lists(elements(depth=depth + 1), min_size=1,
+                                   max_size=4)):
+            element.append(child)
+    return element
+
+
+documents = elements().map(lambda root: Document(root, name="prop"))
+
+
+@given(documents)
+@settings(max_examples=120, deadline=None)
+def test_pretty_serialize_parse_roundtrip(doc):
+    assert parse_document(serialize(doc)) == doc
+
+
+@given(documents)
+@settings(max_examples=120, deadline=None)
+def test_compact_serialize_parse_roundtrip(doc):
+    assert parse_document(serialize_compact(doc)) == doc
+
+
+@given(documents)
+@settings(max_examples=60, deadline=None)
+def test_shred_reconstruct_roundtrip(doc):
+    backend = SqliteBackend()
+    try:
+        loader = WarehouseLoader(backend)
+        doc_id = loader.store_document("prop", "c", "k", doc)
+        rebuilt = reconstruct_document(backend, doc_id)
+        assert rebuilt.root == doc.root
+    finally:
+        backend.close()
+
+
+@given(documents)
+@settings(max_examples=40, deadline=None)
+def test_document_order_is_dense_and_total(doc):
+    orders = [order for order, __ in doc.walk()]
+    assert orders == sorted(orders)
+    assert len(set(orders)) == len(orders)

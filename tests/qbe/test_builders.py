@@ -1,0 +1,131 @@
+"""Unit tests for the visual-query-builder substitutes."""
+
+import pytest
+
+from repro.errors import PathError, QueryError
+from repro.qbe import (
+    JoinQueryBuilder,
+    KeywordSearchBuilder,
+    SubtreeSearchBuilder,
+    all_paths,
+    attribute_paths,
+    path_to,
+)
+
+
+class TestDtdTreeNavigation:
+    def test_path_to_unique_element(self, warehouse):
+        tree = warehouse.dtd_tree("hlx_enzyme")
+        assert path_to(tree, "enzyme_id") == "/hlx_enzyme/db_entry/enzyme_id"
+
+    def test_path_to_missing_element_rejected(self, warehouse):
+        tree = warehouse.dtd_tree("hlx_enzyme")
+        with pytest.raises(PathError):
+            path_to(tree, "not_there")
+
+    def test_all_paths_lists_every_occurrence(self, warehouse):
+        tree = warehouse.dtd_tree("hlx_enzyme")
+        assert len(all_paths(tree, "db_entry")) == 1
+
+    def test_attribute_paths(self, warehouse):
+        tree = warehouse.dtd_tree("hlx_enzyme")
+        hits = attribute_paths(tree, "mim_id")
+        assert hits == ["/hlx_enzyme/db_entry/disease_list/disease/@mim_id"]
+
+
+class TestSubtreeBuilder:
+    def test_reproduces_figure9(self, warehouse):
+        builder = (SubtreeSearchBuilder(warehouse, "hlx_enzyme.DEFAULT")
+                   .search_in("catalytic_activity", "ketone")
+                   .retrieve("enzyme_id")
+                   .retrieve("enzyme_description"))
+        text = builder.translate()
+        assert 'document("hlx_enzyme.DEFAULT")/hlx_enzyme' in text
+        assert 'contains($a//catalytic_activity, "ketone")' in text
+        assert "$a//enzyme_id" in text
+        result = builder.run()
+        direct = warehouse.query(text)
+        assert len(result) == len(direct)
+
+    def test_disjunctive_conditions(self, warehouse):
+        builder = (SubtreeSearchBuilder(warehouse, "hlx_enzyme.DEFAULT")
+                   .search_in("catalytic_activity", "ketone")
+                   .search_in("comment_list", "copper", connector="or")
+                   .retrieve("enzyme_id"))
+        assert " OR contains" in builder.translate()
+
+    def test_unknown_click_rejected(self, warehouse):
+        builder = SubtreeSearchBuilder(warehouse, "hlx_enzyme.DEFAULT")
+        with pytest.raises(PathError):
+            builder.search_in("no_such_element", "x")
+
+    def test_translation_requires_condition_and_output(self, warehouse):
+        builder = SubtreeSearchBuilder(warehouse, "hlx_enzyme.DEFAULT")
+        with pytest.raises(QueryError):
+            builder.translate()
+        builder.search_in("catalytic_activity", "k")
+        with pytest.raises(QueryError):
+            builder.translate()
+
+
+class TestKeywordBuilder:
+    def test_reproduces_figure8(self, warehouse):
+        builder = (KeywordSearchBuilder(warehouse)
+                   .add_database("hlx_embl.inv")
+                   .add_database("hlx_sprot.all")
+                   .keyword("cdc6")
+                   .retrieve("hlx_sprot.all", "sprot_accession_number")
+                   .retrieve("hlx_embl.inv", "embl_accession_number"))
+        text = builder.translate()
+        assert 'contains($a, "cdc6", any)' in text
+        assert 'contains($b, "cdc6", any)' in text
+        assert len(builder.run()) == len(warehouse.query(text))
+
+    def test_requires_keyword(self, warehouse):
+        builder = (KeywordSearchBuilder(warehouse)
+                   .add_database("hlx_enzyme.DEFAULT")
+                   .retrieve("hlx_enzyme.DEFAULT", "enzyme_id"))
+        with pytest.raises(QueryError):
+            builder.translate()
+
+    def test_retrieve_from_unselected_database_rejected(self, warehouse):
+        builder = KeywordSearchBuilder(warehouse).keyword("x")
+        with pytest.raises(QueryError):
+            builder.retrieve("hlx_enzyme.DEFAULT", "enzyme_id")
+
+
+class TestJoinBuilder:
+    def test_reproduces_figure11(self, warehouse):
+        builder = (JoinQueryBuilder(warehouse)
+                   .add_database("hlx_embl.inv")
+                   .add_database("hlx_enzyme.DEFAULT")
+                   .join("hlx_embl.inv",
+                         'qualifier[@qualifier_type = "EC_number"]',
+                         "hlx_enzyme.DEFAULT", "enzyme_id")
+                   .retrieve("hlx_embl.inv", "embl_accession_number",
+                             alias="Accession_Number")
+                   .retrieve("hlx_embl.inv", "description",
+                             alias="Accession_Description"))
+        text = builder.translate()
+        assert "$a//qualifier" in text and "= $b//enzyme_id" in text
+        assert "$Accession_Number" in text
+        result = builder.run()
+        assert len(result) > 0
+        assert len(result) == len(warehouse.query(text))
+
+    def test_join_needs_two_databases(self, warehouse):
+        builder = (JoinQueryBuilder(warehouse)
+                   .add_database("hlx_enzyme.DEFAULT"))
+        with pytest.raises(QueryError):
+            builder.translate()
+
+    def test_extra_filter_condition(self, warehouse):
+        builder = (JoinQueryBuilder(warehouse)
+                   .add_database("hlx_embl.inv")
+                   .add_database("hlx_enzyme.DEFAULT")
+                   .join("hlx_embl.inv",
+                         'qualifier[@qualifier_type = "EC_number"]',
+                         "hlx_enzyme.DEFAULT", "enzyme_id")
+                   .filter_equals("hlx_embl.inv", "division", "inv")
+                   .retrieve("hlx_embl.inv", "embl_accession_number"))
+        assert '$a//division = "inv"' in builder.translate()

@@ -1,0 +1,165 @@
+"""Tests for the DTD-aware inlined schema (experiment E10 substrate)."""
+
+import pytest
+
+from repro.datahounds.sources.embl import EmblTransformer
+from repro.datahounds.sources.enzyme import EnzymeTransformer, SAMPLE_ENTRY
+from repro.flatfile import parse_entries
+from repro.relational import SqliteBackend
+from repro.relational.inlined import InlinedSchema, child_multiplicities
+from repro.synth import build_corpus
+
+
+@pytest.fixture(scope="module")
+def enzyme_schema():
+    return InlinedSchema("hlx_enzyme", EnzymeTransformer.dtd)
+
+
+@pytest.fixture(scope="module")
+def embl_schema():
+    return InlinedSchema("hlx_embl", EmblTransformer.dtd)
+
+
+class TestMultiplicities:
+    def test_enzyme_db_entry(self):
+        decl = EnzymeTransformer.dtd.declaration("db_entry")
+        counts = child_multiplicities(decl)
+        assert counts["enzyme_id"] == "one"
+        assert counts["enzyme_description"] == "many"
+        assert counts["catalytic_activity"] == "many"
+        assert counts["alternate_name_list"] == "one"
+
+    def test_repetition_through_group(self):
+        from repro.xmlkit import parse_dtd
+        dtd = parse_dtd("<!ELEMENT r ((a | b)+)><!ELEMENT a (#PCDATA)>"
+                        "<!ELEMENT b (#PCDATA)>")
+        counts = child_multiplicities(dtd.declaration("r"))
+        assert counts == {"a": "many", "b": "many"}
+
+
+class TestSchemaDerivation:
+    def test_entry_table_scalar_columns(self, enzyme_schema):
+        entry = enzyme_schema.entry_table
+        names = [c.name for c in entry.columns]
+        assert "enzyme_id" in names          # single PCDATA child inlined
+        assert "enzyme_description" not in names   # repeated -> own table
+
+    def test_containers_are_transparent(self, enzyme_schema):
+        table_anchors = {t.anchor_tag for t in enzyme_schema.tables.values()}
+        assert "alternate_name" in table_anchors
+        assert "alternate_name_list" not in table_anchors
+
+    def test_attributed_elements_get_tables_with_attr_columns(
+            self, enzyme_schema):
+        reference = next(t for t in enzyme_schema.tables.values()
+                         if t.anchor_tag == "reference")
+        names = [c.name for c in reference.columns]
+        assert "name" in names
+        assert "swissprot_accession_number" in names
+        assert "value" in names
+
+    def test_nested_repeated_elements(self, embl_schema):
+        feature = next(t for t in embl_schema.tables.values()
+                       if t.anchor_tag == "feature")
+        qualifier_tables = [t for t in feature.children
+                            if t.anchor_tag == "qualifier"]
+        assert len(qualifier_tables) == 1
+        names = [c.name for c in qualifier_tables[0].columns]
+        assert "qualifier_type" in names and "value" in names
+
+    def test_ddl_is_valid_sql(self, enzyme_schema, backend):
+        enzyme_schema.create(backend)
+        for table in enzyme_schema.tables.values():
+            rows = backend.execute(f"SELECT COUNT(*) FROM {table.name}")
+            assert rows == [(0,)]
+
+
+class TestLoading:
+    @pytest.fixture
+    def loaded(self):
+        backend = SqliteBackend()
+        schema = InlinedSchema("hlx_enzyme", EnzymeTransformer.dtd)
+        schema.create(backend)
+        transformer = EnzymeTransformer()
+        entries = parse_entries(SAMPLE_ENTRY)
+        keyed = [(transformer.entry_key(e), transformer.transform_entry(e))
+                 for e in entries]
+        schema.load_documents(backend, keyed)
+        return backend, schema
+
+    def test_entry_row(self, loaded):
+        backend, schema = loaded
+        rows = backend.execute(
+            f"SELECT entry_key, enzyme_id FROM {schema.entry_table.name}")
+        assert rows == [("1.14.17.3", "1.14.17.3")]
+
+    def test_repeated_values_with_order(self, loaded):
+        backend, schema = loaded
+        table = next(t for t in schema.tables.values()
+                     if t.anchor_tag == "alternate_name")
+        rows = backend.execute(
+            f"SELECT ord, value FROM {table.name} ORDER BY ord")
+        assert rows == [(0, "Peptidyl alpha-amidating enzyme"),
+                        (1, "Peptidylglycine 2-hydroxylase")]
+
+    def test_attribute_columns_filled(self, loaded):
+        backend, schema = loaded
+        table = next(t for t in schema.tables.values()
+                     if t.anchor_tag == "reference")
+        rows = backend.execute(
+            f"SELECT name, swissprot_accession_number FROM {table.name} "
+            f"ORDER BY ord")
+        assert rows[0] == ("AMD_BOVIN", "P10731")
+        assert len(rows) == 5
+
+    def test_empty_list_produces_no_rows(self, loaded):
+        backend, schema = loaded
+        table = next(t for t in schema.tables.values()
+                     if t.anchor_tag == "disease")
+        assert backend.execute(
+            f"SELECT COUNT(*) FROM {table.name}") == [(0,)]
+
+
+class TestCrossValidationAgainstGenericSchema:
+    """The inlined and generic paths must answer the same question the
+    same way: the Figure 11 join, hand-written over the inlined schema,
+    must match XomatiQ over the generic schema."""
+
+    def test_figure11_join_agrees(self):
+        from repro.engine import Warehouse
+        corpus = build_corpus(seed=7, enzyme_count=40, embl_count=60,
+                              sprot_count=5)
+        warehouse = Warehouse()
+        warehouse.load_corpus(corpus)
+        expected = sorted(warehouse.query(
+            'FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry, '
+            '$b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry '
+            'WHERE $a//qualifier[@qualifier_type = "EC_number"] '
+            '= $b/enzyme_id '
+            'RETURN $a//entry_name').scalars("entry_name"))
+
+        backend = SqliteBackend()
+        enzyme_schema = InlinedSchema("hlx_enzyme", EnzymeTransformer.dtd)
+        embl_schema = InlinedSchema("hlx_embl", EmblTransformer.dtd)
+        enzyme_schema.create(backend)
+        embl_schema.create(backend)
+        for schema, transformer, text in [
+                (enzyme_schema, EnzymeTransformer(), corpus.enzyme_text),
+                (embl_schema, EmblTransformer(), corpus.embl_text)]:
+            keyed = [(transformer.entry_key(e),
+                      transformer.transform_entry(e))
+                     for e in parse_entries(text)]
+            schema.load_documents(backend, keyed)
+
+        feature = next(t for t in embl_schema.tables.values()
+                       if t.anchor_tag == "feature")
+        qualifier = feature.children[0]
+        rows = backend.execute(f"""
+            SELECT e.entry_name
+            FROM {embl_schema.entry_table.name} e
+            JOIN {feature.name} f ON f.parent_id = e.row_id
+            JOIN {qualifier.name} q ON q.parent_id = f.row_id
+            JOIN {enzyme_schema.entry_table.name} z
+              ON z.enzyme_id = q.value
+            WHERE q.qualifier_type = 'EC_number'""")
+        assert sorted(value for (value,) in rows) == expected

@@ -1,0 +1,93 @@
+"""Unit tests for minidb index structures."""
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.relational.minidb.index import HashIndex, OrderedIndex, build_index
+
+
+class TestHashIndex:
+    def make(self, unique=False):
+        index = HashIndex("h", [0, 1], unique=unique)
+        index.add(("a", 1, "x"), 0)
+        index.add(("a", 2, "y"), 1)
+        index.add(("a", 1, "z"), 2)
+        return index
+
+    def test_lookup_composite_key(self):
+        assert self.make().lookup(("a", 1)) == [0, 2]
+
+    def test_lookup_miss(self):
+        assert self.make().lookup(("b", 1)) == []
+
+    def test_null_keys_not_indexed(self):
+        index = HashIndex("h", [0], unique=False)
+        index.add((None, "x"), 0)
+        assert len(index) == 0
+
+    def test_remove(self):
+        index = self.make()
+        index.remove(("a", 1, "x"), 0)
+        assert index.lookup(("a", 1)) == [2]
+
+    def test_unique_violation(self):
+        index = HashIndex("h", [0], unique=True)
+        index.add(("k",), 0)
+        with pytest.raises(ConstraintError):
+            index.add(("k",), 1)
+
+    def test_no_range_support(self):
+        assert not HashIndex("h", [0]).supports_ranges
+
+
+class TestOrderedIndex:
+    def make(self):
+        index = OrderedIndex("o", [0])
+        for row_id, value in enumerate([30, 10, 20, 10, None, 40]):
+            index.add((value,), row_id)
+        return index
+
+    def test_lookup_equality(self):
+        assert sorted(self.make().lookup((10,))) == [1, 3]
+
+    def test_nulls_excluded(self):
+        assert len(self.make()) == 5
+
+    def test_range_scan_inclusive(self):
+        hits = sorted(self.make().range_scan(10, 30))
+        assert hits == [0, 1, 2, 3]
+
+    def test_range_scan_exclusive_bounds(self):
+        hits = sorted(self.make().range_scan(10, 30, low_inclusive=False,
+                                             high_inclusive=False))
+        assert hits == [2]
+
+    def test_open_ended_ranges(self):
+        assert sorted(self.make().range_scan(low=30)) == [0, 5]
+        assert sorted(self.make().range_scan(high=10)) == [1, 3]
+
+    def test_remove_shrinks_bucket(self):
+        index = self.make()
+        index.remove((10,), 1)
+        assert index.lookup((10,)) == [3]
+        index.remove((10,), 3)
+        assert index.lookup((10,)) == []
+
+    def test_mixed_type_keys_segregated(self):
+        index = OrderedIndex("o", [0])
+        index.add((5,), 0)
+        index.add(("banana",), 1)
+        index.add((7,), 2)
+        # numeric range scans never see string keys
+        assert sorted(index.range_scan(0, 100)) == [0, 2]
+
+    def test_supports_ranges(self):
+        assert OrderedIndex("o", [0]).supports_ranges
+
+
+class TestBuildIndex:
+    def test_single_column_gets_ordered(self):
+        assert isinstance(build_index("i", [0], False), OrderedIndex)
+
+    def test_multi_column_gets_hash(self):
+        assert isinstance(build_index("i", [0, 1], False), HashIndex)

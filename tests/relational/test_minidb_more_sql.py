@@ -1,0 +1,139 @@
+"""Additional minidb SQL-surface coverage (differential vs sqlite
+where both support the statement)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import MiniDbBackend, SqliteBackend
+
+
+@pytest.fixture
+def pair():
+    backends = (SqliteBackend(), MiniDbBackend())
+    for backend in backends:
+        backend.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, "
+                        "v TEXT, n INTEGER)")
+        backend.executemany("INSERT INTO t (id, v, n) VALUES (?, ?, ?)",
+                            [(1, "alpha", 10), (2, "beta", None),
+                             (3, "Gamma", 30), (4, None, 40)])
+    yield backends
+    for backend in backends:
+        backend.close()
+
+
+def both(pair, sql, params=()):
+    sqlite, minidb = pair
+    assert sorted(minidb.execute(sql, params)) \
+        == sorted(sqlite.execute(sql, params)), sql
+    return sorted(minidb.execute(sql, params))
+
+
+class TestMoreExpressions:
+    def test_not_in(self, pair):
+        both(pair, "SELECT id FROM t WHERE v NOT IN ('alpha', 'beta')")
+
+    def test_in_with_params(self, pair):
+        both(pair, "SELECT id FROM t WHERE n IN (?, ?)", (10, 40))
+
+    def test_like_case_insensitive(self, pair):
+        rows = both(pair, "SELECT id FROM t WHERE v LIKE 'g%'")
+        assert rows == [(3,)]
+
+    def test_not_like(self, pair):
+        both(pair, "SELECT id FROM t WHERE v NOT LIKE '%a%'")
+
+    def test_functions_in_projection(self, pair):
+        both(pair, "SELECT upper(v), length(v) FROM t WHERE id = 1")
+
+    def test_unary_minus(self, pair):
+        both(pair, "SELECT -n FROM t WHERE n IS NOT NULL")
+
+    def test_string_escaping(self, pair):
+        for backend in pair:
+            backend.execute("INSERT INTO t (id, v, n) VALUES (5, 'it''s', 0)")
+        rows = both(pair, "SELECT v FROM t WHERE id = 5")
+        assert rows == [("it's",)]
+
+    def test_limit_zero(self, pair):
+        assert both(pair, "SELECT id FROM t LIMIT 0") == []
+
+    def test_order_by_with_nulls(self, pair):
+        sqlite, minidb = pair
+        sql = "SELECT v FROM t ORDER BY v"
+        # NULLs sort first in both engines
+        assert minidb.execute(sql) == sqlite.execute(sql)
+
+    def test_comparison_with_arithmetic_both_sides(self, pair):
+        both(pair, "SELECT id FROM t WHERE n + 5 > id * 10")
+
+
+class TestDdlEdges:
+    def test_drop_index(self):
+        backend = MiniDbBackend()
+        backend.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        backend.execute("CREATE INDEX iv ON t (v)")
+        backend.execute("INSERT INTO t (id, v) VALUES (1, 'x')")
+        assert "index lookup" in " ".join(
+            backend.explain("SELECT id FROM t WHERE v = 'x'"))
+        backend.execute("DROP INDEX iv")
+        assert "seq scan" in " ".join(
+            backend.explain("SELECT id FROM t WHERE v = 'x'"))
+
+    def test_drop_missing_index_if_exists(self):
+        backend = MiniDbBackend()
+        backend.execute("DROP INDEX IF EXISTS nothing")
+        with pytest.raises(SchemaError):
+            backend.execute("DROP INDEX nothing")
+
+    def test_create_duplicate_index_rejected(self):
+        backend = MiniDbBackend()
+        backend.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        backend.execute("CREATE INDEX i ON t (id)")
+        with pytest.raises(SchemaError):
+            backend.execute("CREATE INDEX i ON t (id)")
+
+    def test_unique_index_enforced_on_insert(self):
+        from repro.errors import ConstraintError
+        backend = MiniDbBackend()
+        backend.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        backend.execute("CREATE UNIQUE INDEX uv ON t (v)")
+        backend.execute("INSERT INTO t (id, v) VALUES (1, 'x')")
+        with pytest.raises(ConstraintError):
+            backend.execute("INSERT INTO t (id, v) VALUES (2, 'x')")
+
+    def test_index_built_over_existing_rows(self):
+        backend = MiniDbBackend()
+        backend.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        backend.executemany("INSERT INTO t (id, v) VALUES (?, ?)",
+                            [(i, f"v{i}") for i in range(10)])
+        backend.execute("CREATE INDEX iv ON t (v)")
+        assert backend.execute("SELECT id FROM t WHERE v = 'v7'") == [(7,)]
+        assert "index lookup" in " ".join(
+            backend.explain("SELECT id FROM t WHERE v = 'v7'"))
+
+
+class TestJoinOrdering:
+    def test_greedy_order_avoids_cross_product(self):
+        """Three tables written in a pessimal FROM order: the planner
+        must join connected tables first (plan note records the
+        reordering)."""
+        backend = MiniDbBackend()
+        backend.execute("CREATE TABLE big_a (id INTEGER PRIMARY KEY)")
+        backend.execute("CREATE TABLE big_b (id INTEGER PRIMARY KEY)")
+        backend.execute("CREATE TABLE link (a_id INTEGER NOT NULL, "
+                        "b_id INTEGER NOT NULL, tag TEXT NOT NULL)")
+        backend.execute("CREATE INDEX lt ON link (tag)")
+        backend.executemany("INSERT INTO big_a (id) VALUES (?)",
+                            [(i,) for i in range(200)])
+        backend.executemany("INSERT INTO big_b (id) VALUES (?)",
+                            [(i,) for i in range(200)])
+        backend.executemany(
+            "INSERT INTO link (a_id, b_id, tag) VALUES (?, ?, ?)",
+            [(i, i, "hot" if i < 3 else "cold") for i in range(200)])
+        sql = ("SELECT a.id, b.id FROM big_a a, big_b b, link l "
+               "WHERE l.a_id = a.id AND l.b_id = b.id AND l.tag = 'hot'")
+        rows = backend.execute(sql)
+        assert sorted(rows) == [(0, 0), (1, 1), (2, 2)]
+        plan = " | ".join(backend.explain(sql))
+        assert "join order: l" in plan        # link (selective) first
+        assert "nested loop" not in plan      # everything hash-joined

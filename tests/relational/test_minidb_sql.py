@@ -1,0 +1,213 @@
+"""Unit tests for the minidb SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.minidb.expr import (
+    Aggregate,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Or,
+    Param,
+)
+from repro.relational.minidb.sql import (
+    CreateIndex,
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Select,
+    parse_sql,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("SELECT select SeLeCt")]
+        assert kinds[:3] == ["keyword"] * 3
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_number_kinds(self):
+        tokens = tokenize("1 2.5")
+        assert tokens[0].value == "1"
+        assert tokens[1].value == "2.5"
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT -- comment\n1")
+        assert [t.value for t in tokens[:2]] == ["SELECT", "1"]
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"weird name"')
+        assert tokens[0].kind == "ident"
+        assert tokens[0].value == "weird name"
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(SchemaError):
+            tokenize("'open")
+
+
+class TestDdlParsing:
+    def test_create_table(self):
+        statement = parse_sql(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+            "score REAL)")
+        assert isinstance(statement, CreateTable)
+        assert [c.name for c in statement.columns] == ["id", "name", "score"]
+        assert statement.columns[0].primary_key
+        assert statement.columns[1].not_null
+
+    def test_create_index(self):
+        statement = parse_sql("CREATE INDEX i ON t (a, b)")
+        assert isinstance(statement, CreateIndex)
+        assert statement.columns == ["a", "b"]
+        assert not statement.unique
+
+    def test_create_unique_index(self):
+        assert parse_sql("CREATE UNIQUE INDEX i ON t (a)").unique
+
+    def test_drop_table_if_exists(self):
+        statement = parse_sql("DROP TABLE IF EXISTS t")
+        assert isinstance(statement, DropTable)
+        assert statement.if_exists
+
+
+class TestDmlParsing:
+    def test_insert_with_params(self):
+        statement = parse_sql("INSERT INTO t (a, b) VALUES (?, ?)")
+        assert isinstance(statement, Insert)
+        assert statement.columns == ["a", "b"]
+        assert all(isinstance(v, Param) for v in statement.values)
+
+    def test_insert_count_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_sql("INSERT INTO t (a, b) VALUES (?)")
+
+    def test_delete_with_where(self):
+        statement = parse_sql("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, Delete)
+        assert isinstance(statement.where, Comparison)
+
+
+class TestSelectParsing:
+    def test_basic_shape(self):
+        statement = parse_sql("SELECT a, b FROM t WHERE a = 1")
+        assert isinstance(statement, Select)
+        assert len(statement.items) == 2
+        assert statement.base.table == "t"
+
+    def test_table_alias(self):
+        statement = parse_sql("SELECT x.a FROM t x")
+        assert statement.base.alias == "x"
+        ref = statement.items[0].expr
+        assert isinstance(ref, ColumnRef) and ref.alias == "x"
+
+    def test_join_on(self):
+        statement = parse_sql(
+            "SELECT a.x FROM t a JOIN u b ON a.id = b.id")
+        assert len(statement.joins) == 1
+        assert statement.joins[0].ref.alias == "b"
+
+    def test_comma_cross_join(self):
+        statement = parse_sql("SELECT a.x FROM t a, u b WHERE a.id = b.id")
+        assert len(statement.cross) == 1
+
+    def test_distinct_flag(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_order_by_directions(self):
+        statement = parse_sql("SELECT a FROM t ORDER BY a DESC, b ASC")
+        assert [o.ascending for o in statement.order_by] == [False, True]
+
+    def test_limit(self):
+        assert parse_sql("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_group_by(self):
+        statement = parse_sql(
+            "SELECT a, COUNT(*) FROM t GROUP BY a")
+        assert len(statement.group_by) == 1
+        assert isinstance(statement.items[1].expr, Aggregate)
+
+    def test_star(self):
+        assert parse_sql("SELECT * FROM t").items[0].star
+
+    def test_column_alias(self):
+        statement = parse_sql("SELECT a AS alpha FROM t")
+        assert statement.items[0].alias == "alpha"
+
+
+class TestExpressionParsing:
+    def where(self, text):
+        return parse_sql(f"SELECT a FROM t WHERE {text}").where
+
+    def test_precedence_and_over_or(self):
+        expr = self.where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, Or)
+        assert len(expr.items) == 2
+
+    def test_parentheses_override(self):
+        expr = self.where("(a = 1 OR b = 2) AND c = 3")
+        assert not isinstance(expr, Or)
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(self.where("a IS NULL"), IsNull)
+        expr = self.where("a IS NOT NULL")
+        assert isinstance(expr, IsNull) and expr.negate
+
+    def test_like(self):
+        expr = self.where("a LIKE '%x%'")
+        assert isinstance(expr, Like)
+
+    def test_not_like(self):
+        expr = self.where("a NOT LIKE '%x%'")
+        assert isinstance(expr, Like) and expr.negate
+
+    def test_in_list(self):
+        expr = self.where("a IN (1, 2, 3)")
+        assert isinstance(expr, InList)
+        assert len(expr.options) == 3
+
+    def test_arithmetic_in_comparison(self):
+        expr = self.where("a + 1 < b * 2")
+        assert isinstance(expr, Comparison)
+
+    def test_neq_spellings(self):
+        assert self.where("a != 1").op == "!="
+        assert self.where("a <> 1").op == "!="
+
+    def test_function_call(self):
+        expr = self.where("lower(a) = 'x'")
+        assert expr.left.name == "lower"
+
+    def test_null_literal(self):
+        expr = parse_sql("SELECT NULL FROM t").items[0].expr
+        assert isinstance(expr, Literal) and expr.value is None
+
+    def test_param_positions_in_order(self):
+        statement = parse_sql("SELECT a FROM t WHERE a = ? AND b = ?")
+        params = []
+
+        def walk(expr):
+            if isinstance(expr, Param):
+                params.append(expr.index)
+            for value in getattr(expr, "__dict__", {}).values():
+                if isinstance(value, list):
+                    for item in value:
+                        if hasattr(item, "__dict__"):
+                            walk(item)
+                elif hasattr(value, "__dict__"):
+                    walk(value)
+
+        walk(statement.where)
+        assert params == [0, 1]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_sql("SELECT a FROM t extra garbage here)")

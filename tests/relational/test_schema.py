@@ -1,0 +1,68 @@
+"""Unit tests for the generic schema DDL layer (both backends)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relational import (
+    CREATE_INDEXES,
+    SchemaOptions,
+    TABLE_NAMES,
+    create_schema,
+    drop_schema,
+)
+
+
+class TestCreateDrop:
+    def test_create_makes_all_tables(self, backend):
+        create_schema(backend)
+        for table in TABLE_NAMES:
+            rows = backend.execute(f"SELECT COUNT(*) FROM {table}")
+            assert rows == [(0,)]
+
+    def test_double_create_fails(self, backend):
+        create_schema(backend)
+        with pytest.raises(Exception):
+            create_schema(backend)
+
+    def test_drop_then_recreate(self, backend):
+        create_schema(backend)
+        drop_schema(backend)
+        create_schema(backend, SchemaOptions(with_indexes=False))
+        backend.execute(
+            "INSERT INTO documents (doc_id, source, collection, entry_key, "
+            "root_tag) VALUES (1, 's', 'c', 'k', 'r')")
+
+    def test_drop_missing_tables_tolerated(self, backend):
+        drop_schema(backend)   # nothing exists yet: must not raise
+
+    def test_without_indexes_option(self, backend):
+        create_schema(backend, SchemaOptions(with_indexes=False))
+        # table exists and is writable; no index errors on insert
+        backend.execute(
+            "INSERT INTO keywords (doc_id, node_id, token, position) "
+            "VALUES (1, 0, 'x', 0)")
+
+    def test_index_names_are_unique(self):
+        names = [stmt.split()[2] for stmt in CREATE_INDEXES]
+        assert len(names) == len(set(names))
+
+
+class TestSchemaShape:
+    def test_elements_has_interval_columns(self, backend):
+        create_schema(backend)
+        backend.execute(
+            "INSERT INTO elements (doc_id, node_id, parent_id, tag, "
+            "sib_ord, doc_order, subtree_end, depth, tag_sib_ord) "
+            "VALUES (1, 0, NULL, 'r', 0, 0, 0, 0, 0)")
+        rows = backend.execute(
+            "SELECT doc_order, subtree_end FROM elements")
+        assert rows == [(0, 0)]
+
+    def test_numeric_twin_columns(self, backend):
+        create_schema(backend)
+        backend.execute(
+            "INSERT INTO text_values (doc_id, node_id, value, num_value) "
+            "VALUES (1, 0, '42', 42.0)")
+        rows = backend.execute(
+            "SELECT value, num_value FROM text_values WHERE num_value > 40")
+        assert rows == [("42", 42.0)]

@@ -1,0 +1,70 @@
+"""Unit tests for the table formatter."""
+
+from repro.results import BoundNode, QueryResult, ResultRow, format_table
+
+
+def result_with(rows):
+    result = QueryResult(columns=["id", "name"], variables=["a"])
+    for values in rows:
+        row = ResultRow(bindings={"a": BoundNode(1, 0)})
+        row.values = values
+        result.rows.append(row)
+    return result
+
+
+class TestFormatTable:
+    def test_header_and_footer(self):
+        text = format_table(result_with([{"id": ["1"], "name": ["x"]}]))
+        assert "| id " in text
+        assert text.endswith("1 row(s)")
+
+    def test_multi_values_joined(self):
+        text = format_table(result_with(
+            [{"id": ["1"], "name": ["a", "b"]}]))
+        assert "a; b" in text
+
+    def test_empty_result(self):
+        text = format_table(result_with([]))
+        assert "0 row(s)" in text
+
+    def test_wide_cells_clipped(self):
+        text = format_table(result_with(
+            [{"id": ["1"], "name": ["x" * 200]}]), )
+        assert "..." in text
+        assert all(len(line) < 120 for line in text.splitlines())
+
+    def test_column_width_adapts(self):
+        text = format_table(result_with(
+            [{"id": ["1"], "name": ["somewhat longer value"]}]))
+        header, body = text.splitlines()[1], text.splitlines()[3]
+        assert len(header) == len(body)
+
+
+class TestQueryResultApi:
+    def test_column_accessor(self):
+        result = result_with([{"id": ["1"], "name": ["x"]}])
+        assert result.column("name") == [["x"]]
+
+    def test_unknown_column_rejected(self):
+        result = result_with([])
+        try:
+            result.column("zzz")
+            raise AssertionError("expected KeyError")
+        except KeyError:
+            pass
+
+    def test_scalars_flatten(self):
+        result = result_with([{"id": ["1"], "name": ["a", "b"]},
+                              {"id": ["2"], "name": ["c"]}])
+        assert result.scalars("name") == ["a", "b", "c"]
+
+    def test_row_first_and_joined(self):
+        row = result_with([{"id": ["1"], "name": ["a", "b"]}]).rows[0]
+        assert row.first("name") == "a"
+        assert row.first("missing", "?") == "?"
+        assert row.joined("name") == "a; b"
+
+    def test_len_and_iter(self):
+        result = result_with([{"id": ["1"], "name": ["x"]}])
+        assert len(result) == 1
+        assert list(result) == result.rows

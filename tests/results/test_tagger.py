@@ -1,0 +1,65 @@
+"""Unit tests for the XML result tagger."""
+
+from repro.results import BoundNode, QueryResult, ResultRow, element_name_for, tag_result
+from repro.xmlkit import parse_document, serialize
+
+
+def result_with(rows, columns=("enzyme_id", "@mim_id")):
+    result = QueryResult(columns=list(columns), variables=["a"])
+    for values in rows:
+        row = ResultRow(bindings={"a": BoundNode(1, 0)})
+        row.values = values
+        result.rows.append(row)
+    return result
+
+
+class TestElementNames:
+    def test_plain_name_kept(self):
+        assert element_name_for("enzyme_id") == "enzyme_id"
+
+    def test_attribute_column_prefixed(self):
+        assert element_name_for("@mim_id") == "attr_mim_id"
+
+    def test_weird_characters_sanitized(self):
+        name = element_name_for("a b/c")
+        parse_document(f"<{name}/>")   # must be a valid element name
+
+    def test_leading_digit_fixed(self):
+        name = element_name_for("1abc")
+        parse_document(f"<{name}/>")
+
+
+class TestTagResult:
+    def test_shape(self):
+        doc = tag_result(result_with(
+            [{"enzyme_id": ["1.1.1.1"], "@mim_id": ["600000"]}]))
+        assert doc.root.tag == "xomatiq_results"
+        assert doc.root.get("rows") == "1"
+        record = doc.root.first("result")
+        assert record.first("enzyme_id").text() == "1.1.1.1"
+        assert record.first("attr_mim_id").text() == "600000"
+
+    def test_multi_values_repeat_elements(self):
+        doc = tag_result(result_with(
+            [{"enzyme_id": ["a", "b"], "@mim_id": []}]))
+        record = doc.root.first("result")
+        assert len(record.child_elements("enzyme_id")) == 2
+
+    def test_missing_values_emit_empty_element(self):
+        doc = tag_result(result_with(
+            [{"enzyme_id": ["a"], "@mim_id": []}]))
+        record = doc.root.first("result")
+        assert record.first("attr_mim_id") is not None
+        assert record.first("attr_mim_id").children == []
+
+    def test_output_is_wellformed_xml(self):
+        doc = tag_result(result_with(
+            [{"enzyme_id": ["<&>"], "@mim_id": ["x"]}]))
+        reparsed = parse_document(serialize(doc))
+        record = reparsed.root.first("result")
+        assert record.first("enzyme_id").text() == "<&>"
+
+    def test_empty_result_document(self):
+        doc = tag_result(result_with([]))
+        assert doc.root.get("rows") == "0"
+        assert doc.root.children == []

@@ -1,0 +1,54 @@
+"""Unit tests for keyword tokenization."""
+
+from repro.shredding import query_tokens, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Ketone") == ["ketone"]
+
+    def test_stopwords_dropped(self):
+        assert tokenize("the enzyme is active") == ["enzyme", "active"]
+
+    def test_short_tokens_dropped(self):
+        assert tokenize("a b cd") == ["cd"]
+
+    def test_compound_identifier_kept_whole(self):
+        tokens = tokenize("AMD_HUMAN")
+        assert "amd_human" in tokens
+
+    def test_compound_identifier_fragments_indexed(self):
+        tokens = tokenize("AMD_HUMAN")
+        assert "amd" in tokens
+        assert "human" in tokens
+
+    def test_ec_number_is_single_token(self):
+        tokens = tokenize("EC 1.14.17.3 entry")
+        assert "1.14.17.3" in tokens
+
+    def test_gene_symbol_with_digits(self):
+        assert "cdc6" in tokenize("the cdc6 gene")
+
+    def test_punctuation_separates(self):
+        assert tokenize("alpha;beta,gamma") == ["alpha", "beta", "gamma"]
+
+    def test_order_preserved(self):
+        assert tokenize("zeta alpha beta") == ["zeta", "alpha", "beta"]
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+
+
+class TestQueryTokens:
+    def test_mirrors_tokenizer_without_fragments(self):
+        assert query_tokens("AMD_HUMAN") == ["amd_human"]
+
+    def test_multi_word_phrase(self):
+        assert query_tokens("cell division") == ["cell", "division"]
+
+    def test_keeps_stopword_like_queries(self):
+        # a user explicitly searching "the" should not silently match all
+        assert query_tokens("x") == []
+
+    def test_case_insensitive(self):
+        assert query_tokens("KETONE") == ["ketone"]

@@ -1,0 +1,87 @@
+"""Unit tests for document reconstruction (the tagger's storage half)."""
+
+import pytest
+
+from repro.datahounds.sources.enzyme import EnzymeTransformer, SAMPLE_ENTRY
+from repro.errors import StorageError
+from repro.shredding import (
+    WarehouseLoader,
+    reconstruct_by_entry,
+    reconstruct_document,
+    reconstruct_subtree,
+)
+from repro.xmlkit import parse_document
+
+
+class TestRoundTrip:
+    def test_figure2_document_roundtrips(self, backend):
+        loader = WarehouseLoader(backend)
+        original = EnzymeTransformer().transform_text(SAMPLE_ENTRY)[0]
+        doc_id = loader.store_document("hlx_enzyme", "DEFAULT", "1.14.17.3",
+                                       original)
+        rebuilt = reconstruct_document(backend, doc_id)
+        assert rebuilt.root == original.root
+
+    def test_sibling_order_preserved(self, backend):
+        loader = WarehouseLoader(backend)
+        original = parse_document(
+            "<r><a>1</a><b>2</b><a>3</a><c/><a>4</a></r>")
+        doc_id = loader.store_document("s", "c", "k", original)
+        rebuilt = reconstruct_document(backend, doc_id)
+        assert [c.tag for c in rebuilt.root.children] == [
+            "a", "b", "a", "c", "a"]
+        assert rebuilt.root == original.root
+
+    def test_attributes_restored(self, backend):
+        loader = WarehouseLoader(backend)
+        original = parse_document('<r><x a="1" b="two">t</x></r>')
+        doc_id = loader.store_document("s", "c", "k", original)
+        rebuilt = reconstruct_document(backend, doc_id)
+        assert rebuilt.root == original.root
+
+    def test_sequences_reinlined(self, backend):
+        loader = WarehouseLoader(backend)
+        original = parse_document(
+            '<r><sequence length="4">acgt</sequence></r>')
+        doc_id = loader.store_document("s", "c", "k", original)
+        rebuilt = reconstruct_document(backend, doc_id)
+        assert rebuilt.root == original.root
+
+    def test_reconstruct_by_entry(self, backend):
+        loader = WarehouseLoader(backend)
+        original = parse_document("<r><v>x</v></r>")
+        loader.store_document("s", "inv", "K9", original)
+        rebuilt = reconstruct_by_entry(backend, "s", "K9")
+        assert rebuilt.root == original.root
+        rebuilt2 = reconstruct_by_entry(backend, "s", "K9",
+                                        collection="inv")
+        assert rebuilt2.root == original.root
+
+
+class TestSubtree:
+    def test_subtree_by_node_id(self, backend):
+        loader = WarehouseLoader(backend)
+        original = parse_document("<r><a><b>deep</b></a><c/></r>")
+        doc_id = loader.store_document("s", "c", "k", original)
+        subtree = reconstruct_subtree(backend, doc_id, 1)   # <a>
+        assert subtree.tag == "a"
+        assert subtree.first("b").text() == "deep"
+
+    def test_missing_node_rejected(self, backend):
+        loader = WarehouseLoader(backend)
+        doc_id = loader.store_document(
+            "s", "c", "k", parse_document("<r/>"))
+        with pytest.raises(StorageError):
+            reconstruct_subtree(backend, doc_id, 99)
+
+
+class TestErrors:
+    def test_unknown_doc_id_rejected(self, backend):
+        WarehouseLoader(backend)
+        with pytest.raises(StorageError):
+            reconstruct_document(backend, 12345)
+
+    def test_unknown_entry_rejected(self, backend):
+        WarehouseLoader(backend)
+        with pytest.raises(StorageError):
+            reconstruct_by_entry(backend, "s", "nope")

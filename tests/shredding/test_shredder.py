@@ -1,0 +1,145 @@
+"""Unit tests for the XML shredder."""
+
+from repro.shredding import shred_document
+from repro.xmlkit import parse_document
+
+DOC = parse_document("""
+<hlx_n_sequence>
+  <db_entry>
+    <entry_name>CDC6_CAEEL</entry_name>
+    <score>42</score>
+    <feature feature_key="CDS" location="1..10">
+      <qualifier qualifier_type="gene">cdc6</qualifier>
+    </feature>
+    <sequence length="1859" molecule_type="DNA">aacgttgcaa</sequence>
+  </db_entry>
+</hlx_n_sequence>
+""", name="hlx_embl")
+
+
+def shred(doc=DOC, **kwargs):
+    return shred_document(doc, doc_id=5, source="hlx_embl",
+                          collection="inv", entry_key="K1", **kwargs)
+
+
+class TestDocumentRow:
+    def test_document_row_contents(self):
+        rows = shred().documents
+        assert rows == [(5, "hlx_embl", "inv", "K1", "hlx_n_sequence")]
+
+
+class TestElementRows:
+    def test_node_ids_are_preorder_ranks(self):
+        elements = sorted(shred().elements, key=lambda r: r[1])
+        tags = [row[3] for row in elements]
+        assert tags == ["hlx_n_sequence", "db_entry", "entry_name",
+                        "score", "feature", "qualifier", "sequence"]
+        node_ids = [row[1] for row in elements]
+        assert node_ids == list(range(7))
+
+    def test_doc_order_equals_node_id(self):
+        for row in shred().elements:
+            assert row[1] == row[5]
+
+    def test_parent_links(self):
+        elements = {row[1]: row for row in shred().elements}
+        assert elements[0][2] is None          # root has no parent
+        assert elements[1][2] == 0             # db_entry under root
+        assert elements[5][2] == 4             # qualifier under feature
+
+    def test_sibling_order(self):
+        elements = {row[1]: row for row in shred().elements}
+        assert elements[2][4] == 0   # entry_name is first child
+        assert elements[3][4] == 1   # score second
+        assert elements[4][4] == 2   # feature third
+
+    def test_subtree_end_intervals(self):
+        elements = {row[1]: row for row in shred().elements}
+        # root subtree spans the whole document
+        assert elements[0][6] == 6
+        # feature (node 4) contains qualifier (node 5)
+        assert elements[4][6] == 5
+        # leaf subtree ends at itself
+        assert elements[2][6] == 2
+
+    def test_depth_recorded(self):
+        elements = {row[1]: row for row in shred().elements}
+        assert elements[0][7] == 0
+        assert elements[5][7] == 3
+
+
+class TestValueRows:
+    def test_text_values_with_numeric_typing(self):
+        texts = {row[1]: row for row in shred().text_values}
+        score_row = texts[3]
+        assert score_row[2] == "42"
+        assert score_row[3] == 42.0
+
+    def test_non_numeric_text_has_null_num(self):
+        texts = {row[1]: row for row in shred().text_values}
+        assert texts[2][2] == "CDC6_CAEEL"
+        assert texts[2][3] is None
+
+    def test_numeric_typing_can_be_disabled(self):
+        texts = {row[1]: row
+                 for row in shred(numeric_typing=False).text_values}
+        assert texts[3][3] is None
+
+    def test_attributes_shredded(self):
+        attrs = {(row[1], row[2]): row for row in shred().attributes}
+        assert attrs[(4, "feature_key")][3] == "CDS"
+        assert attrs[(6, "length")][3] == "1859"
+        assert attrs[(6, "length")][4] == 1859.0
+
+
+class TestSequenceSplit:
+    def test_sequence_goes_to_sequence_table(self):
+        shredded = shred()
+        assert len(shredded.sequences) == 1
+        row = shredded.sequences[0]
+        assert row[2] == "aacgttgcaa"
+        assert row[3] == 1859          # declared length wins
+        assert row[4] == "DNA"
+
+    def test_sequence_text_not_in_text_values(self):
+        node_ids = {row[1] for row in shred().text_values}
+        assert 6 not in node_ids
+
+    def test_sequence_not_keyword_indexed(self):
+        tokens = {row[2] for row in shred().keywords}
+        assert "aacgttgcaa" not in tokens
+
+    def test_residue_count_used_when_length_missing(self):
+        doc = parse_document(
+            "<r><sequence>MKTV</sequence></r>")
+        shredded = shred_document(doc, 1, "s", "c", "k")
+        assert shredded.sequences[0][3] == 4
+
+    def test_custom_sequence_tags(self):
+        doc = parse_document("<r><residues>acgt</residues></r>")
+        shredded = shred_document(doc, 1, "s", "c", "k",
+                                  sequence_tags=frozenset({"residues"}))
+        assert len(shredded.sequences) == 1
+
+
+class TestKeywords:
+    def test_text_tokens_indexed(self):
+        tokens = {row[2] for row in shred().keywords}
+        assert "cdc6" in tokens
+        assert "cdc6_caeel" in tokens
+
+    def test_attribute_tokens_indexed(self):
+        tokens = {row[2] for row in shred().keywords}
+        assert "cds" in tokens
+        assert "gene" in tokens
+
+    def test_positions_strictly_increasing(self):
+        positions = [row[3] for row in shred().keywords]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+    def test_total_rows_accounting(self):
+        shredded = shred()
+        by_table = shredded.rows_by_table()
+        assert shredded.total_rows == sum(
+            len(rows) for rows in by_table.values())

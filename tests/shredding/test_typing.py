@@ -1,0 +1,42 @@
+"""Unit tests for string/numeric typing rules."""
+
+import pytest
+
+from repro.shredding import is_numeric, numeric_value
+
+
+class TestNumericDetection:
+    @pytest.mark.parametrize("text,expected", [
+        ("42", 42.0),
+        ("-3", -3.0),
+        ("+7", 7.0),
+        ("3.14", 3.14),
+        (".5", 0.5),
+        ("2.", 2.0),
+        ("1e3", 1000.0),
+        ("1.5E-2", 0.015),
+        ("  12  ", 12.0),
+    ])
+    def test_numbers_detected(self, text, expected):
+        assert numeric_value(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", [
+        "",
+        "   ",
+        "abc",
+        "1.14.17.3",     # EC number must NOT be numeric
+        "P10731",        # accession must NOT be numeric
+        "12a",
+        "1 2",
+        "2026-07-05",    # dates must NOT be numeric
+        "1,000",
+        "nan",
+        "inf",
+        "0x1F",
+    ])
+    def test_non_numbers_rejected(self, text):
+        assert numeric_value(text) is None
+
+    def test_is_numeric_predicate(self):
+        assert is_numeric("17")
+        assert not is_numeric("EC 17")

@@ -1,0 +1,88 @@
+"""Unit tests for the synthetic corpus generators."""
+
+from repro.datahounds.sources.embl import EmblTransformer
+from repro.datahounds.sources.enzyme import EnzymeTransformer
+from repro.datahounds.sources.sprot import SprotTransformer
+from repro.flatfile import parse_entries
+from repro.synth import build_corpus, mutate_release
+from repro.xmlkit import evaluate_strings, parse_path
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        a = build_corpus(seed=3, enzyme_count=8, embl_count=8, sprot_count=8)
+        b = build_corpus(seed=3, enzyme_count=8, embl_count=8, sprot_count=8)
+        assert a.enzyme_text == b.enzyme_text
+        assert a.embl_text == b.embl_text
+        assert a.sprot_text == b.sprot_text
+
+    def test_different_seed_different_corpus(self):
+        a = build_corpus(seed=3, enzyme_count=8, embl_count=8, sprot_count=8)
+        b = build_corpus(seed=4, enzyme_count=8, embl_count=8, sprot_count=8)
+        assert a.enzyme_text != b.enzyme_text
+
+
+class TestWellFormedness:
+    def test_all_releases_transform_cleanly(self, corpus):
+        assert len(EnzymeTransformer().transform_text(corpus.enzyme_text)) \
+            == corpus.sizes()["hlx_enzyme"]
+        assert len(EmblTransformer().transform_text(corpus.embl_text)) \
+            == corpus.sizes()["hlx_embl"]
+        assert len(SprotTransformer().transform_text(corpus.sprot_text)) \
+            == corpus.sizes()["hlx_sprot"]
+
+    def test_entry_keys_unique_per_source(self, corpus):
+        for text, transformer in [
+                (corpus.enzyme_text, EnzymeTransformer()),
+                (corpus.embl_text, EmblTransformer()),
+                (corpus.sprot_text, SprotTransformer())]:
+            keys = [transformer.entry_key(e) for e in parse_entries(text)]
+            assert len(keys) == len(set(keys))
+
+
+class TestCrossLinks:
+    def test_embl_ec_numbers_from_enzyme_pool(self, corpus):
+        ec_pool = set(corpus.ec_numbers)
+        found = set()
+        for doc in EmblTransformer().transform_text(corpus.embl_text):
+            found.update(evaluate_strings(
+                parse_path('//qualifier[@qualifier_type = "EC_number"]'),
+                doc.root))
+        assert found  # the join benchmark needs matches
+        assert found <= ec_pool
+
+    def test_enzyme_dr_lines_reference_sprot_accessions(self, corpus):
+        accession_pool = {acc for acc, __ in corpus.sprot_accessions}
+        referenced = set()
+        for doc in EnzymeTransformer().transform_text(corpus.enzyme_text):
+            referenced.update(evaluate_strings(
+                parse_path("//reference/@swissprot_accession_number"),
+                doc.root))
+        assert referenced <= accession_pool
+
+    def test_gene_plant_appears_in_both_sequence_sources(self, corpus):
+        assert "cdc6" in corpus.embl_text
+        assert "cdc6" in corpus.sprot_text
+
+    def test_keyword_plant_in_enzyme(self, corpus):
+        assert "ketone" in corpus.enzyme_text
+
+
+class TestMutateRelease:
+    def test_mutation_produces_updates_and_removals(self, corpus):
+        mutated = mutate_release(corpus.enzyme_text, seed=5,
+                                 update_fraction=0.3, remove_fraction=0.2)
+        old = parse_entries(corpus.enzyme_text)
+        new = parse_entries(mutated)
+        assert len(new) < len(old)
+        marker_count = mutated.count("updated in r2")
+        assert marker_count > 0
+
+    def test_mutation_deterministic(self, corpus):
+        a = mutate_release(corpus.enzyme_text, seed=5)
+        b = mutate_release(corpus.enzyme_text, seed=5)
+        assert a == b
+
+    def test_mutated_release_still_parses(self, corpus):
+        mutated = mutate_release(corpus.enzyme_text, seed=5)
+        assert EnzymeTransformer().transform_text(mutated)

@@ -1,0 +1,65 @@
+"""The exception hierarchy contract: one catchable base, informative
+messages."""
+
+import pytest
+
+import repro.errors as errors
+
+
+ALL_ERRORS = [
+    errors.XmlParseError, errors.DtdError, errors.DtdValidationError,
+    errors.PathError, errors.FlatFileError, errors.TransportError,
+    errors.TransformError, errors.UnknownSourceError, errors.SchemaError,
+    errors.ConstraintError, errors.ExecutionError, errors.XQuerySyntaxError,
+    errors.BindingError, errors.TranslationError,
+    errors.UnknownDocumentError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_class", ALL_ERRORS)
+    def test_everything_derives_from_repro_error(self, error_class):
+        assert issubclass(error_class, errors.ReproError)
+
+    def test_subsystem_bases(self):
+        assert issubclass(errors.XmlParseError, errors.XmlError)
+        assert issubclass(errors.TransportError, errors.DataHoundsError)
+        assert issubclass(errors.ConstraintError, errors.StorageError)
+        assert issubclass(errors.BindingError, errors.QueryError)
+
+
+class TestMessages:
+    def test_xml_parse_error_location(self):
+        error = errors.XmlParseError("bad", line=3, column=7)
+        assert "line 3" in str(error) and "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_xml_parse_error_without_location(self):
+        assert str(errors.XmlParseError("bad")) == "bad"
+
+    def test_flatfile_error_line_number(self):
+        error = errors.FlatFileError("bad code", line_number=42)
+        assert "line 42" in str(error)
+        assert error.line_number == 42
+
+    def test_xquery_error_offset(self):
+        error = errors.XQuerySyntaxError("oops", position=17)
+        assert "offset 17" in str(error)
+        assert error.position == 17
+
+
+class TestOneCatchSite:
+    def test_public_api_errors_catchable_as_repro_error(self, backend):
+        """The embedding contract: whatever goes wrong, catching
+        ReproError is enough."""
+        from repro.engine import Warehouse
+        warehouse = Warehouse(backend=backend)
+        for bad_call in [
+            lambda: warehouse.query("garbage input"),
+            lambda: warehouse.query(
+                'FOR $a IN document("nope.c")/r RETURN $a'),
+            lambda: warehouse.load_text("not_a_source", ""),
+            lambda: warehouse.dtd_tree("not_a_source"),
+        ]:
+            with pytest.raises(errors.ReproError):
+                bad_call()

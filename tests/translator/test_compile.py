@@ -1,0 +1,126 @@
+"""Unit tests for the XQ2SQL compiler (SQL shape, not execution)."""
+
+from repro.translator import compile_query
+from repro.xquery import parse_query
+
+FIG9 = '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//catalytic_activity, "ketone")
+RETURN $a//enzyme_id, $a//enzyme_description'''
+
+FIG11 = '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number'''
+
+
+def compiled(text):
+    return compile_query(parse_query(text))
+
+
+class TestBindingSql:
+    def test_one_disjunct_for_conjunctive_query(self):
+        assert len(compiled(FIG9).disjuncts) == 1
+        assert compiled(FIG9).disjuncts[0].negations == []
+
+    def test_binding_sql_selects_four_columns_per_var(self):
+        sql = compiled(FIG11).disjuncts[0].positive.sql
+        select_line = sql.splitlines()[0]
+        # two variables -> 8 selected columns
+        assert select_line.count(",") == 7
+
+    def test_binding_sql_is_distinct(self):
+        assert compiled(FIG9).disjuncts[0].positive.sql.startswith(
+            "SELECT DISTINCT")
+
+    def test_keyword_condition_probes_keyword_table(self):
+        sql = compiled(FIG9).disjuncts[0].positive.sql
+        assert "keywords" in sql
+        assert "token = ?" in sql
+        assert "ketone" in compiled(FIG9).disjuncts[0].positive.params
+
+    def test_descendant_step_uses_interval_encoding(self):
+        sql = compiled(FIG9).disjuncts[0].positive.sql
+        assert "subtree_end" in sql
+
+    def test_join_query_compares_text_values(self):
+        sql = compiled(FIG11).disjuncts[0].positive.sql
+        assert sql.count("text_values") >= 2
+        assert "qualifier_type" in str(
+            compiled(FIG11).disjuncts[0].positive.params)
+
+    def test_collection_constraint_present(self):
+        params = compiled(FIG11).disjuncts[0].positive.params
+        assert "inv" in params and "DEFAULT" in params
+
+    def test_or_query_yields_two_disjuncts(self):
+        text = FIG9.replace(
+            'contains($a//catalytic_activity, "ketone")',
+            'contains($a//catalytic_activity, "ketone") OR '
+            'contains($a//comment, "copper")')
+        assert len(compiled(text).disjuncts) == 2
+
+    def test_not_query_yields_negation_sql(self):
+        text = FIG9.replace(
+            'contains($a//catalytic_activity, "ketone")',
+            'contains($a//enzyme_description, "synthase") AND '
+            'NOT contains($a//catalytic_activity, "ketone")')
+        disjunct = compiled(text).disjuncts[0]
+        assert len(disjunct.negations) == 1
+        # the negation SQL contains both the positive atoms and the
+        # negated atom
+        assert disjunct.negations[0].sql.count("keywords") == 2
+
+    def test_proximity_adds_position_window(self):
+        text = ('FOR $a IN document("d.c")/r '
+                'WHERE contains($a, "alpha beta", 10) RETURN $a//x')
+        sql = compiled(text).disjuncts[0].positive.sql
+        assert "abs(" in sql
+        assert ".position" in sql
+
+    def test_numeric_literal_uses_num_value(self):
+        text = ('FOR $a IN document("d.c")/r '
+                'WHERE $a//score > 100 RETURN $a//x')
+        sql = compiled(text).disjuncts[0].positive.sql
+        assert "num_value > ?" in sql
+
+    def test_string_literal_uses_text_value(self):
+        text = ('FOR $a IN document("d.c")/r '
+                'WHERE $a//name = "abc" RETURN $a//x')
+        sql = compiled(text).disjuncts[0].positive.sql
+        assert ".value = ?" in sql
+
+
+class TestItemSql:
+    def test_one_item_query_per_return_item(self):
+        assert len(compiled(FIG9).items) == 2
+
+    def test_item_sql_selects_piece_columns(self):
+        sql = compiled(FIG9).items[0].sql
+        head = sql.splitlines()[0]
+        # doc, node, holder order, piece node, piece value
+        assert head.count(",") == 4
+
+    def test_item_holders_sql_is_distinct(self):
+        value = compiled(FIG9).items[0].values[0]
+        assert value.holders_sql.startswith("SELECT DISTINCT")
+
+    def test_attribute_item_reads_attributes_table(self):
+        text = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+                'RETURN $a//reference/@swissprot_accession_number')
+        item = compiled(text).items[0]
+        assert "attributes" in item.sql
+        assert item.values[0].holders_sql is None
+
+    def test_element_item_gets_sequences_twin(self):
+        text = ('FOR $a IN document("hlx_embl.inv")/hlx_n_sequence '
+                'RETURN $a//sequence')
+        item = compiled(text).items[0]
+        assert item.sequence_sql is not None
+        assert "sequences" in item.sequence_sql
+
+    def test_statements_listing(self):
+        statements = compiled(FIG11).statements()
+        # one binding query + per item: holders? no — statements() lists
+        # value sql + sequence twin; holders are internal
+        assert all(s.lstrip().startswith("SELECT") for s in statements)
+        assert len(statements) >= 2

@@ -1,0 +1,66 @@
+"""Unit tests for condition normalization (DNF with signed atoms)."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.translator import to_dnf
+from repro.xquery import parse_query
+
+
+def dnf_of(where: str):
+    query = parse_query(
+        f'FOR $a IN document("d")/r WHERE {where} RETURN $a//x')
+    return to_dnf(query.where)
+
+
+def shape(disjuncts):
+    """[(n_positive, n_negative), ...] per disjunct."""
+    return sorted(
+        (sum(1 for __, neg in d if not neg), sum(1 for __, neg in d if neg))
+        for d in disjuncts)
+
+
+class TestNormalization:
+    def test_single_atom(self):
+        assert shape(dnf_of('contains($a, "k")')) == [(1, 0)]
+
+    def test_conjunction_stays_one_disjunct(self):
+        assert shape(dnf_of('contains($a, "k1") AND contains($a, "k2")')) \
+            == [(2, 0)]
+
+    def test_disjunction_splits(self):
+        assert shape(dnf_of('contains($a, "k1") OR contains($a, "k2")')) \
+            == [(1, 0), (1, 0)]
+
+    def test_and_distributes_over_or(self):
+        disjuncts = dnf_of('contains($a, "k1") AND '
+                           '(contains($a, "k2") OR contains($a, "k3"))')
+        assert shape(disjuncts) == [(2, 0), (2, 0)]
+
+    def test_not_atom_marks_negative(self):
+        assert shape(dnf_of('NOT contains($a, "k")')) == [(0, 1)]
+
+    def test_de_morgan_not_and(self):
+        # NOT (p AND q) == NOT p OR NOT q
+        assert shape(dnf_of('NOT (contains($a, "k1") AND '
+                            'contains($a, "k2"))')) == [(0, 1), (0, 1)]
+
+    def test_de_morgan_not_or(self):
+        # NOT (p OR q) == NOT p AND NOT q
+        assert shape(dnf_of('NOT (contains($a, "k1") OR '
+                            'contains($a, "k2"))')) == [(0, 2)]
+
+    def test_double_negation_cancels(self):
+        assert shape(dnf_of('NOT NOT contains($a, "k")')) == [(1, 0)]
+
+    def test_mixed_polarity_disjunct(self):
+        assert shape(dnf_of('contains($a, "k1") AND '
+                            'NOT contains($a, "k2")')) == [(1, 1)]
+
+    def test_explosion_guard(self):
+        # (a1 OR b1) AND (a2 OR b2) AND ... 7 times = 128 disjuncts > 64
+        clause = " AND ".join(
+            f'(contains($a, "x{i}") OR contains($a, "y{i}"))'
+            for i in range(7))
+        with pytest.raises(TranslationError):
+            dnf_of(clause)

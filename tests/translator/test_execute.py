@@ -1,0 +1,149 @@
+"""Execution-level tests of the translator (against loaded warehouses;
+runs on both backends via the fixture)."""
+
+from repro.xmlkit import parse_document
+
+
+def load(warehouse_loader, source, collection, docs):
+    for key, text in docs:
+        warehouse_loader.store_document(source, collection, key,
+                                        parse_document(text))
+
+
+class TestBindingsAndValues:
+    def make(self, empty_warehouse):
+        load(empty_warehouse.loader, "db", "c", [
+            ("k1", "<r><item><name>alpha</name><score>10</score></item>"
+                   "<item><name>beta</name><score>20</score></item></r>"),
+            ("k2", "<r><item><name>gamma ray</name><score>30</score>"
+                   "</item></r>"),
+        ])
+        return empty_warehouse
+
+    def test_multiple_bindings_per_document(self, empty_warehouse):
+        wh = self.make(empty_warehouse)
+        result = wh.query('FOR $a IN document("db.c")/r/item '
+                          'RETURN $a//name')
+        assert len(result) == 3
+        assert sorted(result.scalars("name")) == [
+            "alpha", "beta", "gamma ray"]
+
+    def test_condition_filters_bindings(self, empty_warehouse):
+        wh = self.make(empty_warehouse)
+        result = wh.query('FOR $a IN document("db.c")/r/item '
+                          'WHERE $a/score > 15 RETURN $a//name')
+        assert sorted(result.scalars("name")) == ["beta", "gamma ray"]
+
+    def test_multi_valued_item_collected_in_one_row(self, empty_warehouse):
+        wh = self.make(empty_warehouse)
+        result = wh.query('FOR $a IN document("db.c")/r '
+                          'RETURN $a//name')
+        names = result.column("name")
+        assert sorted(len(v) for v in names) == [1, 2]
+
+    def test_missing_item_yields_empty_list(self, empty_warehouse):
+        load(empty_warehouse.loader, "db", "c", [
+            ("k1", "<r><a>x</a></r>"), ("k2", "<r><b>y</b></r>")])
+        result = empty_warehouse.query(
+            'FOR $r IN document("db.c")/r RETURN $r//a')
+        values = sorted(tuple(v) for v in result.column("a"))
+        assert values == [(), ("x",)]
+
+    def test_values_in_document_order(self, empty_warehouse):
+        load(empty_warehouse.loader, "db", "c", [
+            ("k1", "<r><n>3</n><n>1</n><n>2</n></r>")])
+        result = empty_warehouse.query(
+            'FOR $r IN document("db.c")/r RETURN $r//n')
+        assert result.rows[0].values["n"] == ["3", "1", "2"]
+
+    def test_or_unions_bindings(self, empty_warehouse):
+        wh = self.make(empty_warehouse)
+        result = wh.query(
+            'FOR $a IN document("db.c")/r/item '
+            'WHERE contains($a//name, "alpha") OR contains($a//name, "beta") '
+            'RETURN $a//name')
+        assert sorted(result.scalars("name")) == ["alpha", "beta"]
+
+    def test_or_does_not_duplicate_overlapping_bindings(self,
+                                                        empty_warehouse):
+        wh = self.make(empty_warehouse)
+        result = wh.query(
+            'FOR $a IN document("db.c")/r/item '
+            'WHERE $a/score > 5 OR contains($a//name, "beta") '
+            'RETURN $a//name')
+        assert len(result) == 3
+
+    def test_not_subtracts_bindings(self, empty_warehouse):
+        wh = self.make(empty_warehouse)
+        result = wh.query(
+            'FOR $a IN document("db.c")/r/item '
+            'WHERE $a/score > 5 AND NOT contains($a//name, "beta") '
+            'RETURN $a//name')
+        assert sorted(result.scalars("name")) == ["alpha", "gamma ray"]
+
+    def test_bindings_carry_doc_and_node_ids(self, empty_warehouse):
+        wh = self.make(empty_warehouse)
+        result = wh.query('FOR $a IN document("db.c")/r/item '
+                          'RETURN $a//name')
+        node = result.rows[0].bindings["a"]
+        rebuilt = wh.fetch_document(node)
+        assert rebuilt.root.tag == "r"
+
+
+class TestCrossDocumentJoin:
+    def test_join_matches_across_sources(self, empty_warehouse):
+        load(empty_warehouse.loader, "left", "c", [
+            ("l1", "<r><ref>A</ref><tag>one</tag></r>"),
+            ("l2", "<r><ref>B</ref><tag>two</tag></r>")])
+        load(empty_warehouse.loader, "right", "c", [
+            ("r1", "<r><id>A</id><val>match-a</val></r>"),
+            ("r2", "<r><id>C</id><val>no-match</val></r>")])
+        result = empty_warehouse.query(
+            'FOR $l IN document("left.c")/r, $r IN document("right.c")/r '
+            'WHERE $l/ref = $r/id '
+            'RETURN $l//tag, $r//val')
+        assert len(result) == 1
+        assert result.rows[0].values["tag"] == ["one"]
+        assert result.rows[0].values["val"] == ["match-a"]
+
+    def test_unconstrained_vars_cross_product(self, empty_warehouse):
+        load(empty_warehouse.loader, "left", "c",
+             [("l1", "<r><x>1</x></r>"), ("l2", "<r><x>2</x></r>")])
+        load(empty_warehouse.loader, "right", "c",
+             [("r1", "<r><y>9</y></r>")])
+        result = empty_warehouse.query(
+            'FOR $l IN document("left.c")/r, $r IN document("right.c")/r '
+            'RETURN $l//x, $r//y')
+        assert len(result) == 2
+
+
+class TestContextVariables:
+    def test_nested_binding(self, empty_warehouse):
+        load(empty_warehouse.loader, "db", "c", [
+            ("k1", "<r><grp><m>a</m><m>b</m></grp><grp><m>c</m></grp></r>")])
+        result = empty_warehouse.query(
+            'FOR $r IN document("db.c")/r, $g IN $r//grp, $m IN $g/m '
+            'RETURN $m')
+        assert len(result) == 3
+        assert sorted(result.scalars("m")) == ["a", "b", "c"]
+
+
+class TestNumericSemantics:
+    def test_numeric_comparison_not_lexicographic(self, empty_warehouse):
+        load(empty_warehouse.loader, "db", "c", [
+            ("k1", "<r><score>9</score></r>"),
+            ("k2", "<r><score>100</score></r>")])
+        result = empty_warehouse.query(
+            'FOR $a IN document("db.c")/r WHERE $a/score > 50 '
+            'RETURN $a//score')
+        # lexicographically "9" > "50" would also match; numerically only 100
+        assert result.scalars("score") == ["100"]
+
+    def test_string_comparison_on_string_literal(self, empty_warehouse):
+        load(empty_warehouse.loader, "db", "c", [
+            ("k1", "<r><name>beta</name></r>"),
+            ("k2", "<r><name>alpha</name></r>")])
+        result = empty_warehouse.query(
+            'FOR $a IN document("db.c")/r WHERE $a/name = "alpha" '
+            'RETURN $a//name')
+        assert result.scalars("name") == ["alpha"]

@@ -1,0 +1,114 @@
+"""Unit tests for the SQL generation helpers (ChainBuilder)."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.translator.sqlgen import ChainBuilder, SqlBuilder
+from repro.xmlkit import parse_path
+
+
+def build():
+    builder = SqlBuilder()
+    return builder, ChainBuilder(builder)
+
+
+class TestSqlBuilder:
+    def test_alias_counters_per_prefix(self):
+        builder = SqlBuilder()
+        assert builder.add_table("elements", "e") == "e0"
+        assert builder.add_table("elements", "e") == "e1"
+        assert builder.add_table("keywords", "k") == "k0"
+
+    def test_where_accumulates_params_in_order(self):
+        builder = SqlBuilder()
+        builder.add_table("t", "x")
+        builder.select = ["x0.a"]
+        builder.where("x0.a = ?", 1)
+        builder.where("x0.b = ?", "two")
+        assert builder.params == [1, "two"]
+        assert "WHERE x0.a = ?\n  AND x0.b = ?" in builder.sql()
+
+    def test_no_tables_rejected(self):
+        with pytest.raises(TranslationError):
+            SqlBuilder().sql()
+
+    def test_distinct_header(self):
+        builder = SqlBuilder(distinct=True)
+        builder.add_table("t", "x")
+        builder.select = ["x0.a"]
+        assert builder.sql().startswith("SELECT DISTINCT")
+
+
+class TestDocumentPath:
+    def test_leading_child_step_constrains_root_tag(self):
+        builder, chains = build()
+        ref = chains.document_path("src", "col", parse_path("/root_tag"))
+        builder.select = [ref.doc_id]
+        sql = builder.sql()
+        assert "parent_id IS NULL" in sql
+        assert "src" in builder.params and "root_tag" in builder.params
+
+    def test_leading_descendant_step_skips_root_constraint(self):
+        builder, chains = build()
+        chains.document_path("src", None, parse_path("//anywhere"))
+        sql_conjuncts = " ".join(builder.conjuncts)
+        assert "parent_id IS NULL" not in sql_conjuncts
+        assert "collection" not in sql_conjuncts
+
+    def test_attribute_binding_path_rejected(self):
+        __, chains = build()
+        with pytest.raises(TranslationError):
+            chains.document_path("src", None, parse_path("//x/@attr"))
+
+
+class TestSteps:
+    def test_child_step_joins_parent_id(self):
+        builder, chains = build()
+        root = chains.document_root("s", None)
+        chains.element_step(root, parse_path("/child").steps[0])
+        assert any("parent_id = e0.node_id" in c for c in builder.conjuncts)
+
+    def test_descendant_step_uses_interval(self):
+        builder, chains = build()
+        root = chains.document_root("s", None)
+        chains.element_step(root, parse_path("//deep").steps[0])
+        joined = " ".join(builder.conjuncts)
+        assert "doc_order >= e0.doc_order" in joined
+        assert "doc_order <= e0.subtree_end" in joined
+
+    def test_wildcard_step_has_no_tag_constraint(self):
+        builder, chains = build()
+        root = chains.document_root("s", None)
+        before = list(builder.params)
+        chains.element_step(root, parse_path("/*").steps[0])
+        assert builder.params == before   # no tag parameter added
+
+    def test_attribute_value_ref(self):
+        builder, chains = build()
+        root = chains.document_root("s", None)
+        value = chains.value_of(root, parse_path("/x/@id"))
+        assert value.text.endswith(".value")
+        assert value.numeric.endswith(".num_value")
+        assert "id" in builder.params
+
+    def test_descendant_attribute_spans_subtree(self):
+        builder, chains = build()
+        root = chains.document_root("s", None)
+        chains.value_of(root, parse_path("//@mim_id"))
+        joined = " ".join(builder.conjuncts)
+        assert "doc_order >=" in joined   # any-element holder
+
+    def test_keyword_probe_with_interval(self):
+        builder, chains = build()
+        root = chains.document_root("s", None)
+        chains.keyword(root.doc_id, "cdc6", interval=root)
+        joined = " ".join(builder.conjuncts)
+        assert "token = ?" in joined
+        assert "node_id >= e0.doc_order" in joined
+
+    def test_keyword_probe_document_scope(self):
+        builder, chains = build()
+        root = chains.document_root("s", None)
+        chains.keyword(root.doc_id, "cdc6", interval=None)
+        joined = " ".join(builder.conjuncts)
+        assert "node_id >=" not in joined

@@ -1,0 +1,122 @@
+"""Regression tests for value semantics the query fuzzer pinned down.
+
+Three rules, identical across the relational and native paths:
+
+1. RETURN of an element path yields the XQuery *string value* — the
+   subtree text concatenation, ``""`` for an empty element, one value
+   per matched element.
+2. Comparisons operate on *leaf* values: an element with no direct
+   text contributes no comparison value.
+3. Structurally identical siblings are distinct nodes (positional
+   predicates rank by identity).
+"""
+
+import pytest
+
+from repro.baselines import NativeXmlStore
+from repro.xmlkit import parse_document
+
+
+def pair(empty_warehouse, text):
+    doc = parse_document(text)
+    empty_warehouse.loader.store_document("db", "c", "k0", doc)
+    empty_warehouse.optimize()
+    store = NativeXmlStore()
+    store.add_document("db", "c", "k0", parse_document(text))
+    return empty_warehouse, store
+
+
+def agree(warehouse, store, query):
+    rel = sorted(tuple(sorted((c, tuple(v)) for c, v in row.values.items()))
+                 for row in warehouse.query(query).rows)
+    nat = sorted(tuple(sorted((c, tuple(v)) for c, v in row.values.items()))
+                 for row in store.query(query).rows)
+    assert rel == nat, (query, rel, nat)
+    return [dict((c, list(v)) for c, v in row) for row in rel]
+
+
+class TestStringValueOfReturnItems:
+    def test_empty_element_yields_empty_string(self, empty_warehouse):
+        wh, st = pair(empty_warehouse, "<entry><alpha/></entry>")
+        rows = agree(wh, st, 'FOR $e IN document("db.c")/entry '
+                             'RETURN $e/alpha')
+        assert rows[0]["alpha"] == [""]
+
+    def test_missing_element_yields_no_value(self, empty_warehouse):
+        wh, st = pair(empty_warehouse, "<entry><beta>x</beta></entry>")
+        rows = agree(wh, st, 'FOR $e IN document("db.c")/entry '
+                             'RETURN $e/alpha')
+        assert rows[0]["alpha"] == []
+
+    def test_container_returns_subtree_concatenation(self, empty_warehouse):
+        wh, st = pair(empty_warehouse,
+                      "<entry><group><a>one</a><b>two</b></group></entry>")
+        rows = agree(wh, st, 'FOR $e IN document("db.c")/entry '
+                             'RETURN $e/group')
+        assert rows[0]["group"] == ["onetwo"]
+
+    def test_one_value_per_matched_element(self, empty_warehouse):
+        wh, st = pair(empty_warehouse,
+                      "<entry><a>1</a><a>2</a><a/></entry>")
+        rows = agree(wh, st, 'FOR $e IN document("db.c")/entry '
+                             'RETURN $e//a')
+        assert rows[0]["a"] == ["1", "2", ""]
+
+    def test_sequence_residues_included_in_string_value(self,
+                                                        empty_warehouse):
+        wh, st = pair(empty_warehouse,
+                      '<entry><sequence length="4">acgt</sequence></entry>')
+        rows = agree(wh, st, 'FOR $e IN document("db.c")/entry '
+                             'RETURN $e/sequence')
+        assert rows[0]["sequence"] == ["acgt"]
+
+
+class TestLeafComparisonSemantics:
+    def test_container_contributes_no_comparison_value(self,
+                                                       empty_warehouse):
+        wh, st = pair(empty_warehouse,
+                      "<entry><group><a>3</a><a>3</a></group></entry>")
+        rows = agree(wh, st, 'FOR $e IN document("db.c")/entry '
+                             'WHERE $e/group != 3 RETURN $e')
+        assert rows == []   # group has no direct text: no value to compare
+
+    def test_leaf_values_compare(self, empty_warehouse):
+        wh, st = pair(empty_warehouse,
+                      "<entry><a>5</a><a>50</a></entry>")
+        rows = agree(wh, st, 'FOR $e IN document("db.c")/entry '
+                             'WHERE $e/a > 10 RETURN $e/a[1]')
+        assert len(rows) == 1   # existential: some a exceeds 10
+
+    def test_empty_element_never_equal_to_empty_string(self,
+                                                       empty_warehouse):
+        wh, st = pair(empty_warehouse, "<entry><a/></entry>")
+        rows = agree(wh, st, 'FOR $e IN document("db.c")/entry '
+                             'WHERE $e/a = "" RETURN $e')
+        assert rows == []
+
+
+class TestIdentityOfEqualSiblings:
+    def test_positional_predicate_on_identical_siblings(self,
+                                                        empty_warehouse):
+        wh, st = pair(empty_warehouse,
+                      "<entry><a>same</a><a>same</a></entry>")
+        rows = agree(wh, st, 'FOR $e IN document("db.c")/entry '
+                             'RETURN $e//a[1]')
+        assert rows[0]["a"] == ["same"]   # exactly one, not both
+
+    def test_remove_removes_the_given_node_only(self):
+        from repro.xmlkit import Element
+        parent = Element("p")
+        first = parent.subelement("a", text="same")
+        second = parent.subelement("a", text="same")
+        parent.remove(second)
+        assert parent.children == [first]
+        assert first.parent is parent
+
+    def test_sibling_index_is_identity_based(self):
+        from repro.xmlkit import Element
+        parent = Element("p")
+        first = parent.subelement("a", text="same")
+        second = parent.subelement("a", text="same")
+        assert first.sibling_index() == 0
+        assert second.sibling_index() == 1

@@ -1,0 +1,197 @@
+"""Unit tests for the XML infoset (doc.py)."""
+
+import pytest
+
+from repro.xmlkit import Document, Element, Text, is_valid_name, merge_adjacent_text
+
+
+class TestNames:
+    def test_simple_name_valid(self):
+        assert is_valid_name("enzyme_id")
+
+    def test_name_with_digits_and_dots(self):
+        assert is_valid_name("a1.b-2")
+
+    def test_empty_name_invalid(self):
+        assert not is_valid_name("")
+
+    def test_leading_digit_invalid(self):
+        assert not is_valid_name("1abc")
+
+    def test_space_invalid(self):
+        assert not is_valid_name("a b")
+
+
+class TestText:
+    def test_value_stored(self):
+        assert Text("hello").value == "hello"
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            Text(42)
+
+    def test_equality_by_value(self):
+        assert Text("x") == Text("x")
+        assert Text("x") != Text("y")
+
+
+class TestElementConstruction:
+    def test_invalid_tag_rejected(self):
+        with pytest.raises(ValueError):
+            Element("9bad")
+
+    def test_attributes_from_constructor(self):
+        element = Element("e", {"a": "1", "b": "2"})
+        assert element.get("a") == "1"
+        assert element.get("b") == "2"
+
+    def test_children_from_constructor_accepts_strings(self):
+        element = Element("e", children=["hi"])
+        assert element.text() == "hi"
+
+    def test_invalid_attribute_name_rejected(self):
+        element = Element("e")
+        with pytest.raises(ValueError):
+            element.set("bad name", "v")
+
+    def test_attribute_value_stringified(self):
+        element = Element("e")
+        element.set("n", 42)
+        assert element.get("n") == "42"
+
+    def test_get_default(self):
+        assert Element("e").get("missing", "dflt") == "dflt"
+
+
+class TestChildren:
+    def test_append_sets_parent(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        assert child.parent is parent
+
+    def test_append_rejects_reparenting(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        other = Element("q")
+        with pytest.raises(ValueError):
+            other.append(child)
+
+    def test_append_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            Element("p").append(42)
+
+    def test_remove_detaches(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        parent.remove(child)
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_subelement_with_text(self):
+        parent = Element("p")
+        child = parent.subelement("c", text="body")
+        assert child.text() == "body"
+        assert parent.first("c") is child
+
+    def test_child_elements_filter(self):
+        parent = Element("p")
+        parent.subelement("a")
+        parent.subelement("b")
+        parent.subelement("a")
+        assert len(parent.child_elements("a")) == 2
+        assert len(parent.child_elements()) == 3
+
+    def test_first_returns_none_when_absent(self):
+        assert Element("p").first("x") is None
+
+    def test_sibling_index(self):
+        parent = Element("p")
+        first = parent.subelement("a")
+        second = parent.subelement("b")
+        assert first.sibling_index() == 0
+        assert second.sibling_index() == 1
+
+
+class TestNavigation:
+    def make_tree(self):
+        root = Element("root")
+        one = root.subelement("a", text="1")
+        nested = one.subelement("b", text="2")
+        root.subelement("b", text="3")
+        return root, one, nested
+
+    def test_iter_preorder(self):
+        root, one, nested = self.make_tree()
+        tags = [e.tag for e in root.iter()]
+        assert tags == ["root", "a", "b", "b"]
+
+    def test_iter_with_tag_filter(self):
+        root, __, __ = self.make_tree()
+        assert len(list(root.iter("b"))) == 2
+
+    def test_full_text_in_document_order(self):
+        root, __, __ = self.make_tree()
+        assert root.full_text() == "123"
+
+    def test_path_from_root(self):
+        __, __, nested = self.make_tree()
+        assert nested.path_from_root() == "/root/a/b"
+
+    def test_root_method(self):
+        root, __, nested = self.make_tree()
+        assert nested.root() is root
+
+
+class TestDocument:
+    def test_requires_element_root(self):
+        with pytest.raises(TypeError):
+            Document("not an element")
+
+    def test_walk_assigns_dense_orders(self):
+        root = Element("r")
+        root.subelement("a", text="x")
+        doc = Document(root)
+        orders = [order for order, __ in doc.walk()]
+        assert orders == list(range(len(orders)))
+
+    def test_element_count_excludes_text(self):
+        root = Element("r")
+        root.subelement("a", text="x")
+        assert Document(root).element_count() == 2
+
+    def test_deep_equality(self):
+        def build():
+            root = Element("r", {"k": "v"})
+            root.subelement("a", text="x")
+            return Document(root)
+        assert build() == build()
+
+    def test_inequality_on_attribute_change(self):
+        a = Element("r", {"k": "v"})
+        b = Element("r", {"k": "w"})
+        assert Document(a) != Document(b)
+
+
+class TestMergeAdjacentText:
+    def test_merges_runs(self):
+        element = Element("e")
+        element.append(Text("a"))
+        element.append(Text("b"))
+        merge_adjacent_text(element)
+        assert element.children == [Text("ab")]
+
+    def test_keeps_element_boundaries(self):
+        element = Element("e")
+        element.append(Text("a"))
+        element.append(Element("x"))
+        element.append(Text("b"))
+        merge_adjacent_text(element)
+        assert len(element.children) == 3
+
+    def test_recurses(self):
+        element = Element("e")
+        inner = element.subelement("i")
+        inner.append(Text("a"))
+        inner.append(Text("b"))
+        merge_adjacent_text(element)
+        assert inner.text() == "ab"

@@ -1,0 +1,160 @@
+"""Unit tests for the XML parser."""
+
+import pytest
+
+from repro.errors import XmlParseError
+from repro.xmlkit import Element, Text, parse_document, parse_fragment
+
+
+class TestBasics:
+    def test_single_empty_element(self):
+        doc = parse_document("<r/>")
+        assert doc.root.tag == "r"
+        assert doc.root.children == []
+
+    def test_text_content(self):
+        doc = parse_document("<r>hello</r>")
+        assert doc.root.text() == "hello"
+
+    def test_nested_elements(self):
+        doc = parse_document("<r><a><b>x</b></a></r>")
+        assert doc.root.first("a").first("b").text() == "x"
+
+    def test_attributes_double_quoted(self):
+        doc = parse_document('<r a="1" b="two"/>')
+        assert doc.root.get("a") == "1"
+        assert doc.root.get("b") == "two"
+
+    def test_attributes_single_quoted(self):
+        doc = parse_document("<r a='1'/>")
+        assert doc.root.get("a") == "1"
+
+    def test_xml_declaration_skipped(self):
+        doc = parse_document('<?xml version="1.0" encoding="UTF-8"?>\n<r/>')
+        assert doc.root.tag == "r"
+
+    def test_doctype_name_recorded(self):
+        doc = parse_document("<!DOCTYPE hlx_enzyme>\n<hlx_enzyme/>")
+        assert doc.doctype == "hlx_enzyme"
+
+    def test_doctype_with_internal_subset_skipped(self):
+        doc = parse_document(
+            "<!DOCTYPE r [<!ELEMENT r (#PCDATA)>]>\n<r>x</r>")
+        assert doc.root.text() == "x"
+
+    def test_document_name_attached(self):
+        doc = parse_document("<r/>", name="hlx_enzyme")
+        assert doc.name == "hlx_enzyme"
+
+
+class TestWhitespacePolicy:
+    def test_indentation_between_elements_dropped(self):
+        doc = parse_document("<r>\n  <a>x</a>\n  <b>y</b>\n</r>")
+        assert [c.tag for c in doc.root.children] == ["a", "b"]
+
+    def test_leaf_text_preserved_verbatim(self):
+        doc = parse_document("<r><a>  padded  </a></r>")
+        assert doc.root.first("a").text() == "  padded  "
+
+    def test_mixed_content_text_kept(self):
+        doc = parse_document("<r>before<a/>after</r>")
+        values = [c.value for c in doc.root.children if isinstance(c, Text)]
+        assert values == ["before", "after"]
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        doc = parse_document("<r>&lt;&gt;&amp;&apos;&quot;</r>")
+        assert doc.root.text() == "<>&'\""
+
+    def test_decimal_character_reference(self):
+        doc = parse_document("<r>&#65;</r>")
+        assert doc.root.text() == "A"
+
+    def test_hex_character_reference(self):
+        doc = parse_document("<r>&#x41;</r>")
+        assert doc.root.text() == "A"
+
+    def test_entities_in_attribute_values(self):
+        doc = parse_document('<r a="&amp;&quot;"/>')
+        assert doc.root.get("a") == '&"'
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_document("<r>&nope;</r>")
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_document("<r>&amp</r>")
+
+
+class TestSections:
+    def test_comments_ignored(self):
+        doc = parse_document("<r><!-- hi --><a/></r>")
+        assert [c.tag for c in doc.root.children] == ["a"]
+
+    def test_cdata_text_preserved(self):
+        doc = parse_document("<r><![CDATA[<not><xml>&amp;]]></r>")
+        assert doc.root.text() == "<not><xml>&amp;"
+
+    def test_processing_instruction_inside_content_skipped(self):
+        doc = parse_document("<r><?pi data?><a/></r>")
+        assert [c.tag for c in doc.root.children] == ["a"]
+
+    def test_comment_before_root(self):
+        doc = parse_document("<!-- prolog --><r/>")
+        assert doc.root.tag == "r"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "<r>",
+        "<r></s>",
+        "<r><a></r></a>",
+        "<r attr></r>",
+        "<r a=1/>",
+        '<r a="1" a="2"/>',
+        "<r/><extra/>",
+        "just text",
+        "<r>a < b</r>",
+        "<r><!-- unterminated </r>",
+        "<r><![CDATA[open</r>",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XmlParseError):
+            parse_document(bad)
+
+    def test_error_carries_location(self):
+        with pytest.raises(XmlParseError) as info:
+            parse_document("<r>\n<bad\n</r>")
+        assert info.value.line is not None
+
+    def test_content_after_root_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_document("<r/>trailing")
+
+
+class TestFragment:
+    def test_fragment_parses_single_element(self):
+        element = parse_fragment("<a x='1'>t</a>")
+        assert isinstance(element, Element)
+        assert element.get("x") == "1"
+
+    def test_fragment_rejects_prolog(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("<?xml version='1.0'?><a/>")
+
+    def test_fragment_rejects_trailing(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("<a/><b/>")
+
+
+class TestTextNormalization:
+    def test_adjacent_text_merged_across_cdata(self):
+        doc = parse_document("<r>a<![CDATA[b]]>c</r>")
+        assert doc.root.children == [Text("abc")]
+
+    def test_self_closing_with_attributes(self):
+        doc = parse_document('<r><ref id="7"/></r>')
+        assert doc.root.first("ref").get("id") == "7"

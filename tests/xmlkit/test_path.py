@@ -1,0 +1,139 @@
+"""Unit tests for path expressions."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.xmlkit import (
+    evaluate_elements,
+    evaluate_strings,
+    parse_document,
+    parse_path,
+)
+
+DOC = parse_document("""
+<hlx_enzyme>
+  <db_entry>
+    <enzyme_id>1.14.17.3</enzyme_id>
+    <alternate_name_list>
+      <alternate_name>first</alternate_name>
+      <alternate_name>second</alternate_name>
+    </alternate_name_list>
+    <reference name="AMD_HUMAN" acc="P19021">x</reference>
+    <reference name="AMD_RAT" acc="P14925">y</reference>
+    <feature kind="CDS">
+      <qualifier qualifier_type="EC_number">1.14.17.3</qualifier>
+      <qualifier qualifier_type="gene">amd</qualifier>
+    </feature>
+  </db_entry>
+</hlx_enzyme>
+""")
+
+
+class TestParsing:
+    def test_child_steps(self):
+        path = parse_path("/db_entry/enzyme_id")
+        assert [s.name for s in path.steps] == ["db_entry", "enzyme_id"]
+        assert not path.steps[0].descendant
+
+    def test_descendant_step(self):
+        path = parse_path("//enzyme_id")
+        assert path.steps[0].descendant
+
+    def test_attribute_final_step(self):
+        path = parse_path("//reference/@acc")
+        assert path.is_attribute_path
+        assert path.last_name == "acc"
+
+    def test_attribute_mid_path_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("//@acc/more")
+
+    def test_predicate_on_attribute(self):
+        path = parse_path('//qualifier[@qualifier_type = "EC_number"]')
+        predicate = path.steps[0].predicates[0]
+        assert predicate.on_attribute
+        assert predicate.name == "qualifier_type"
+        assert predicate.value == "EC_number"
+
+    def test_predicate_on_child_element(self):
+        path = parse_path('//db_entry[enzyme_id = "1.14.17.3"]')
+        predicate = path.steps[0].predicates[0]
+        assert not predicate.on_attribute
+
+    def test_wildcard_step(self):
+        assert parse_path("/*").steps[0].name == "*"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("//a b")
+
+    def test_unquoted_predicate_value_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("//a[x = 1]")
+
+    def test_str_roundtrip(self):
+        text = '//qualifier[@qualifier_type = "EC_number"]'
+        assert str(parse_path(text)) == text
+
+    def test_concat(self):
+        joined = parse_path("/a").concat(parse_path("/b"))
+        assert str(joined) == "/a/b"
+
+
+class TestEvaluation:
+    def test_child_navigation(self):
+        values = evaluate_strings(parse_path("/db_entry/enzyme_id"), DOC.root)
+        assert values == ["1.14.17.3"]
+
+    def test_descendant_navigation(self):
+        values = evaluate_strings(parse_path("//alternate_name"), DOC.root)
+        assert values == ["first", "second"]
+
+    def test_descendant_matches_multiple_levels(self):
+        elements = evaluate_elements(parse_path("//qualifier"), DOC.root)
+        assert len(elements) == 2
+
+    def test_attribute_values(self):
+        values = evaluate_strings(parse_path("//reference/@acc"), DOC.root)
+        assert values == ["P19021", "P14925"]
+
+    def test_descendant_attribute(self):
+        values = evaluate_strings(parse_path("//@qualifier_type"), DOC.root)
+        assert values == ["EC_number", "gene"]
+
+    def test_attribute_predicate_filters(self):
+        path = parse_path('//qualifier[@qualifier_type = "EC_number"]')
+        values = evaluate_strings(path, DOC.root)
+        assert values == ["1.14.17.3"]
+
+    def test_child_predicate_filters(self):
+        path = parse_path('//db_entry[enzyme_id = "1.14.17.3"]/enzyme_id')
+        assert evaluate_strings(path, DOC.root) == ["1.14.17.3"]
+
+    def test_child_predicate_no_match(self):
+        path = parse_path('//db_entry[enzyme_id = "9.9.9.9"]')
+        assert evaluate_elements(path, DOC.root) == []
+
+    def test_wildcard_children(self):
+        elements = evaluate_elements(parse_path("/db_entry/*"), DOC.root)
+        assert len(elements) == 5
+
+    def test_descendant_or_self_on_root_tag(self):
+        elements = evaluate_elements(parse_path("//hlx_enzyme"), DOC.root)
+        assert elements == [DOC.root]
+
+    def test_missing_attribute_yields_nothing(self):
+        assert evaluate_strings(parse_path("//reference/@zzz"), DOC.root) == []
+
+    def test_element_target_full_text(self):
+        values = evaluate_strings(parse_path("//alternate_name_list"),
+                                  DOC.root)
+        assert values == ["firstsecond"]
+
+    def test_evaluate_elements_rejects_attribute_path(self):
+        with pytest.raises(PathError):
+            evaluate_elements(parse_path("//@acc"), DOC.root)

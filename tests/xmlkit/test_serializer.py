@@ -1,0 +1,80 @@
+"""Unit tests for the XML serializer."""
+
+from repro.xmlkit import (
+    Document,
+    Element,
+    parse_document,
+    serialize,
+    serialize_compact,
+)
+from repro.xmlkit.serializer import escape_attribute, escape_text
+
+
+class TestEscaping:
+    def test_text_escapes_core_chars(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escapes_quotes_and_whitespace(self):
+        assert escape_attribute('say "hi"\n') == "say &quot;hi&quot;&#10;"
+
+
+class TestCompact:
+    def test_empty_element(self):
+        assert serialize_compact(Element("r")) == "<r/>"
+
+    def test_nested(self):
+        root = Element("r")
+        root.subelement("a", text="x")
+        assert serialize_compact(root) == "<r><a>x</a></r>"
+
+    def test_attributes_rendered(self):
+        assert serialize_compact(Element("r", {"a": "1"})) == '<r a="1"/>'
+
+    def test_declaration_flag(self):
+        out = serialize_compact(Element("r"), declaration=True)
+        assert out.startswith("<?xml")
+
+
+class TestPretty:
+    def test_leaf_on_one_line(self):
+        root = Element("r")
+        root.subelement("a", text="x")
+        assert "<a>x</a>" in serialize(root)
+
+    def test_indentation_structure(self):
+        root = Element("r")
+        inner = root.subelement("list")
+        inner.subelement("item", text="1")
+        lines = serialize(root, declaration=False).splitlines()
+        assert lines[0] == "<r>"
+        assert lines[1] == "  <list>"
+        assert lines[2] == "    <item>1</item>"
+
+    def test_mixed_content_stays_inline(self):
+        doc = parse_document("<r>before<a/>after</r>")
+        out = serialize(doc, declaration=False)
+        assert "<r>before<a/>after</r>" in out
+
+
+class TestRoundTrip:
+    def parse_print_parse(self, text: str):
+        doc = parse_document(text)
+        return doc, parse_document(serialize(doc))
+
+    def test_structure_roundtrip(self):
+        original, reparsed = self.parse_print_parse(
+            '<r a="1"><x>t&amp;t</x><y/><x>  keep  </x></r>')
+        assert original == reparsed
+
+    def test_special_characters_roundtrip(self):
+        original, reparsed = self.parse_print_parse(
+            '<r a="&lt;&quot;&amp;">one &lt; two &amp; three</r>')
+        assert original == reparsed
+
+    def test_compact_roundtrip(self):
+        doc = parse_document('<r><a b="2">t</a></r>')
+        assert parse_document(serialize_compact(doc)) == doc
+
+    def test_document_wrapper_accepted(self):
+        doc = Document(Element("r"))
+        assert serialize(doc).strip().endswith("<r/>")

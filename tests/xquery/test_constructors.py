@@ -1,0 +1,136 @@
+"""Tests for element constructors in RETURN clauses.
+
+The paper (§1.1/§3): "the return clause can construct new XML element
+as output of the query".
+"""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xmlkit import parse_document
+from repro.xquery import parse_query
+from repro.xquery.ast import Constructor, VarPath
+
+
+class TestParsing:
+    def query(self, returns):
+        return parse_query(f'FOR $a IN document("d")/r RETURN {returns}')
+
+    def test_empty_element(self):
+        item = self.query("<marker/>").returns[0]
+        assert isinstance(item.constructor, Constructor)
+        assert item.constructor.tag == "marker"
+        assert item.output_name == "marker"
+
+    def test_static_attributes(self):
+        constructor = self.query('<hit kind="join"/>').returns[0].constructor
+        assert constructor.attributes == (("kind", "join"),)
+
+    def test_embedded_expression_child(self):
+        constructor = self.query(
+            "<out>{ $a//x }</out>").returns[0].constructor
+        child = constructor.children[0]
+        assert isinstance(child, VarPath)
+        assert str(child.path) == "//x"
+
+    def test_embedded_expression_attribute_brace_form(self):
+        constructor = self.query(
+            "<out id={ $a//x }/>").returns[0].constructor
+        assert isinstance(constructor.attributes[0][1], VarPath)
+
+    def test_embedded_expression_attribute_quoted_form(self):
+        constructor = self.query(
+            '<out id="{ $a//x }"/>').returns[0].constructor
+        assert isinstance(constructor.attributes[0][1], VarPath)
+
+    def test_nested_constructors(self):
+        constructor = self.query(
+            "<out><inner>{ $a//x }</inner><flag/></out>"
+        ).returns[0].constructor
+        assert len(constructor.children) == 2
+        assert constructor.children[0].tag == "inner"
+
+    def test_varpaths_in_document_order(self):
+        constructor = self.query(
+            '<out a={ $a//p }><c>{ $a//q }</c>{ $a//r }</out>'
+        ).returns[0].constructor
+        paths = [str(v.path) for v in constructor.varpaths()]
+        assert paths == ["//p", "//q", "//r"]
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            self.query("<out>{ $a//x }</wrong>")
+
+    def test_unclosed_constructor_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            self.query("<out>{ $a//x }")
+
+    def test_bare_text_content_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            self.query("<out>plain words</out>")
+
+    def test_mixes_with_plain_items(self):
+        query = self.query("$a//x, <out>{ $a//y }</out>")
+        assert query.returns[0].value is not None
+        assert query.returns[1].constructor is not None
+
+
+DOC = ("<r><item><name>alpha</name><score>10</score></item>"
+       "<item><name>beta</name><score>20</score></item></r>")
+
+
+@pytest.fixture
+def loaded(empty_warehouse):
+    empty_warehouse.loader.store_document("db", "c", "k",
+                                          parse_document(DOC))
+    empty_warehouse.optimize()
+    return empty_warehouse
+
+
+class TestExecution:
+    QUERY = ('FOR $a IN document("db.c")/r/item '
+             'RETURN <hit rank="x" score={ $a/score }>'
+             '<who>{ $a/name }</who></hit>')
+
+    def test_one_element_per_row(self, loaded):
+        result = loaded.query(self.QUERY)
+        assert result.columns == ["hit"]
+        assert len(result) == 2
+        for row in result:
+            assert row.elements["hit"].tag == "hit"
+
+    def test_attribute_values_filled(self, loaded):
+        result = loaded.query(self.QUERY)
+        scores = sorted(row.elements["hit"].get("score") for row in result)
+        assert scores == ["10", "20"]
+        assert all(row.elements["hit"].get("rank") == "x"
+                   for row in result)
+
+    def test_spliced_children_keep_element_names(self, loaded):
+        result = loaded.query(self.QUERY)
+        who = result.rows[0].elements["hit"].first("who")
+        assert who.first("name") is not None
+
+    def test_result_xml_embeds_constructed_elements(self, loaded):
+        xml = loaded.query(self.QUERY).to_xml()
+        assert "<hit" in xml and "</hit>" in xml
+        parse_document(xml)   # well-formed
+
+    def test_table_view_shows_compact_xml(self, loaded):
+        table = loaded.query(self.QUERY).to_table()
+        assert "<hit" in table
+
+    def test_missing_values_yield_empty_splice(self, loaded):
+        result = loaded.query(
+            'FOR $a IN document("db.c")/r/item '
+            'RETURN <out>{ $a/nonexistent }</out>')
+        for row in result:
+            assert row.elements["out"].children == []
+
+    def test_differential_with_native(self, loaded):
+        from repro.baselines import NativeXmlStore
+        store = NativeXmlStore()
+        store.add_document("db", "c", "k", parse_document(DOC))
+        rel = sorted(loaded.query(self.QUERY).scalars("hit"))
+        nat = sorted(store.query(self.QUERY).scalars("hit"))
+        assert rel == nat

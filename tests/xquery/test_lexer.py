@@ -1,0 +1,63 @@
+"""Unit tests for the XomatiQ query lexer."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_variables(self):
+        assert kinds("$a $long_name") == [("var", "a"), ("var", "long_name")]
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("FOR for For") == [("keyword", "for")] * 3
+
+    def test_strings_both_quotes(self):
+        assert kinds('"x" \'y\'') == [("string", "x"), ("string", "y")]
+
+    def test_path_symbols(self):
+        values = [v for __, v in kinds("//a/b[@c]")]
+        assert values == ["//", "a", "/", "b", "[", "@", "c", "]"]
+
+    def test_comparison_operators(self):
+        values = [v for k, v in kinds("= != < <= > >=") if k == "symbol"]
+        assert values == ["=", "!=", "<", "<=", ">", ">="]
+
+    def test_numbers(self):
+        assert kinds("5 2.5") == [("number", "5"), ("number", "2.5")]
+
+    def test_names_vs_keywords(self):
+        assert kinds("enzyme_id") == [("name", "enzyme_id")]
+
+    def test_braces_are_symbols(self):
+        assert kinds("{ $a }") == [("symbol", "{"), ("var", "a"),
+                                   ("symbol", "}")]
+
+    def test_document_and_contains_are_keywords(self):
+        assert kinds("document contains any") == [
+            ("keyword", "document"), ("keyword", "contains"),
+            ("keyword", "any")]
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize('"open')
+
+    def test_bare_dollar(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize("$ x")
+
+    def test_unknown_character(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize("FOR $a ; RETURN")
+
+    def test_error_carries_offset(self):
+        with pytest.raises(XQuerySyntaxError) as info:
+            tokenize("abc ^")
+        assert info.value.position == 4

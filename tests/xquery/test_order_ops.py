@@ -1,0 +1,121 @@
+"""Tests for the order-based BEFORE/AFTER operators (paper §2.2:
+document order is preserved "for evaluation of order-based
+functionalities of XQuery (such as BEFORE and AFTER operators)")."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xmlkit import parse_document
+from repro.xquery import parse_query
+from repro.xquery.ast import OrderCompare
+
+
+class TestParsing:
+    def test_before_parses(self):
+        query = parse_query('FOR $a IN document("d")/r '
+                            'WHERE $a//x BEFORE $a//y RETURN $a//x')
+        condition = query.where
+        assert isinstance(condition, OrderCompare)
+        assert condition.op == "before"
+
+    def test_after_parses(self):
+        query = parse_query('FOR $a IN document("d")/r '
+                            'WHERE $a//x AFTER $a//y RETURN $a//x')
+        assert query.where.op == "after"
+
+    def test_str_roundtrip(self):
+        query = parse_query('FOR $a IN document("d")/r '
+                            'WHERE $a//x BEFORE $a//y RETURN $a//x')
+        assert parse_query(str(query)) == query
+
+    def test_literal_operand_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query('FOR $a IN document("d")/r '
+                        'WHERE $a//x BEFORE "literal" RETURN $a//x')
+
+    def test_combines_with_boolean_operators(self):
+        query = parse_query(
+            'FOR $a IN document("d")/r '
+            'WHERE $a//x BEFORE $a//y AND contains($a, "k") RETURN $a//x')
+        assert query.where is not None
+
+
+DOC = ("<r><alpha>1</alpha><mid><beta>2</beta></mid>"
+       "<gamma>3</gamma></r>")
+
+
+@pytest.fixture
+def loaded(empty_warehouse):
+    empty_warehouse.loader.store_document(
+        "db", "c", "k", parse_document(DOC))
+    empty_warehouse.optimize()
+    return empty_warehouse
+
+
+class TestExecution:
+    def run(self, warehouse, clause):
+        return warehouse.query(
+            f'FOR $a IN document("db.c")/r WHERE {clause} '
+            f'RETURN $a//alpha')
+
+    def test_before_in_document_order(self, loaded):
+        assert len(self.run(loaded, "$a//alpha BEFORE $a//gamma")) == 1
+
+    def test_before_violated(self, loaded):
+        assert len(self.run(loaded, "$a//gamma BEFORE $a//alpha")) == 0
+
+    def test_after(self, loaded):
+        assert len(self.run(loaded, "$a//gamma AFTER $a//beta")) == 1
+        assert len(self.run(loaded, "$a//alpha AFTER $a//beta")) == 0
+
+    def test_nested_element_order(self, loaded):
+        # beta (inside mid) precedes gamma in pre-order
+        assert len(self.run(loaded, "$a//beta BEFORE $a//gamma")) == 1
+
+    def test_parent_precedes_child_in_preorder(self, loaded):
+        assert len(self.run(loaded, "$a//mid BEFORE $a//beta")) == 1
+
+    def test_attribute_path_rejected(self, loaded):
+        from repro.errors import TranslationError
+        with pytest.raises(TranslationError):
+            self.run(loaded, "$a//alpha/@id BEFORE $a//gamma")
+
+    def test_negated_order_condition(self, loaded):
+        assert len(self.run(
+            loaded, "NOT ($a//gamma BEFORE $a//alpha)")) == 1
+
+
+class TestCrossVariableOrder:
+    def test_same_document_required(self, empty_warehouse):
+        empty_warehouse.loader.store_document(
+            "db", "c", "k1", parse_document("<r><x>1</x></r>"))
+        empty_warehouse.loader.store_document(
+            "db", "c", "k2", parse_document("<r><y>2</y></r>"))
+        empty_warehouse.optimize()
+        # x and y live in different documents: no order between them
+        result = empty_warehouse.query(
+            'FOR $a IN document("db.c")/r, $b IN document("db.c")/r '
+            'WHERE $a//x BEFORE $b//y RETURN $a')
+        assert len(result) == 0
+
+    def test_rerooted_variables_share_document(self, empty_warehouse):
+        empty_warehouse.loader.store_document(
+            "db", "c", "k", parse_document(
+                "<r><item><x>1</x></item><item><y>2</y></item></r>"))
+        empty_warehouse.optimize()
+        result = empty_warehouse.query(
+            'FOR $r IN document("db.c")/r, $i IN $r/item, $j IN $r/item '
+            'WHERE $i/x BEFORE $j/y RETURN $i')
+        assert len(result) == 1
+
+
+def test_differential_with_native(warehouse, native_store):
+    """BEFORE/AFTER agree between relational and native evaluation on
+    the shared corpus."""
+    query = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+             'WHERE $a//enzyme_description BEFORE $a//comment_list '
+             'RETURN $a//enzyme_id')
+    relational = sorted(warehouse.query(query).scalars("enzyme_id"))
+    native = sorted(native_store.query(query).scalars("enzyme_id"))
+    assert relational == native
+    assert relational   # every entry has description before comment_list

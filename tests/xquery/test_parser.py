@@ -1,0 +1,157 @@
+"""Unit tests for the XomatiQ query parser."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery import (
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Compare,
+    Contains,
+    LiteralOperand,
+    parse_query,
+)
+
+
+def q(where: str = "", returns: str = "$a//x",
+      bindings: str = '$a IN document("db.c")/root') -> str:
+    text = f"FOR {bindings}\n"
+    if where:
+        text += f"WHERE {where}\n"
+    return text + f"RETURN {returns}"
+
+
+class TestBindings:
+    def test_document_binding_split(self):
+        query = parse_query(q())
+        binding = query.bindings[0]
+        assert binding.document.source == "db"
+        assert binding.document.collection == "c"
+        assert str(binding.path) == "/root"
+
+    def test_document_without_collection(self):
+        query = parse_query(q(bindings='$a IN document("db")/root'))
+        assert query.bindings[0].document.collection is None
+
+    def test_document_with_dotted_collection(self):
+        query = parse_query(
+            q(bindings='$a IN document("hlx_embl.inv")/hlx_n_sequence'))
+        assert query.bindings[0].document.source == "hlx_embl"
+        assert query.bindings[0].document.collection == "inv"
+
+    def test_multiple_bindings(self):
+        query = parse_query(q(
+            bindings='$a IN document("d1")/r, $b IN document("d2")/r'))
+        assert query.variables() == ["a", "b"]
+
+    def test_variable_rooted_binding(self):
+        query = parse_query(q(
+            bindings='$a IN document("d")/r, $b IN $a//item'))
+        assert query.bindings[1].context_var == "a"
+
+    def test_binding_without_path(self):
+        query = parse_query(q(bindings='$a IN document("d")'))
+        assert query.bindings[0].path is None
+
+    def test_let_accepted_as_for(self):
+        query = parse_query('LET $a IN document("d")/r RETURN $a//x')
+        assert query.variables() == ["a"]
+
+
+class TestConditions:
+    def test_contains_node_scope_default(self):
+        query = parse_query(q('contains($a//x, "kw")'))
+        condition = query.where
+        assert isinstance(condition, Contains)
+        assert condition.scope == "node"
+        assert condition.phrase == "kw"
+
+    def test_contains_any_scope(self):
+        condition = parse_query(q('contains($a, "kw", any)')).where
+        assert condition.scope == "any"
+
+    def test_contains_proximity_window(self):
+        condition = parse_query(q('contains($a, "kw", 5)')).where
+        assert condition.scope == 5
+
+    def test_comparison_path_to_literal(self):
+        condition = parse_query(q('$a//x = "v"')).where
+        assert isinstance(condition, Compare)
+        assert isinstance(condition.right, LiteralOperand)
+
+    def test_comparison_numeric_literal(self):
+        condition = parse_query(q("$a//x > 100")).where
+        assert condition.right.is_numeric
+        assert condition.right.value == 100.0
+
+    def test_comparison_path_to_path(self):
+        condition = parse_query(q(
+            "$a//x = $a//y")).where
+        assert not isinstance(condition.right, LiteralOperand)
+
+    def test_and_or_not_nesting(self):
+        condition = parse_query(q(
+            'contains($a, "k1") AND (contains($a, "k2") '
+            'OR NOT contains($a, "k3"))')).where
+        assert isinstance(condition, BoolAnd)
+        assert isinstance(condition.items[1], BoolOr)
+        assert isinstance(condition.items[1].items[1], BoolNot)
+
+    def test_attribute_path_in_condition(self):
+        condition = parse_query(q('$a//x/@id = "7"')).where
+        assert condition.left.path.is_attribute_path
+
+    def test_step_predicate_in_condition(self):
+        condition = parse_query(q(
+            '$a//qualifier[@qualifier_type = "EC_number"] = $a//y')).where
+        step = condition.left.path.steps[0]
+        assert step.predicates[0].value == "EC_number"
+
+
+class TestReturns:
+    def test_bare_paths(self):
+        query = parse_query(q(returns="$a//x, $a//y"))
+        assert [item.output_name for item in query.returns] == ["x", "y"]
+
+    def test_aliased_items(self):
+        query = parse_query(q(returns="$Label = $a//x"))
+        assert query.returns[0].alias == "Label"
+        assert query.returns[0].output_name == "Label"
+
+    def test_attribute_item_name(self):
+        query = parse_query(q(returns="$a//x/@id"))
+        assert query.returns[0].output_name == "@id"
+
+    def test_whole_variable_return(self):
+        query = parse_query(q(returns="$a"))
+        assert query.returns[0].value.path is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "RETURN $a//x",                                     # no FOR
+        'FOR $a IN document("d")/r',                        # no RETURN
+        'FOR $a document("d")/r RETURN $a',                 # missing IN
+        'FOR $a IN notdocument("d") RETURN $a',             # bad origin
+        'FOR $a IN document(d)/r RETURN $a',                # unquoted name
+        'FOR $a IN document("d")/r WHERE $a//x RETURN $a',  # dangling operand
+        'FOR $a IN document("d")/r WHERE contains($a) RETURN $a',
+        'FOR $a IN document("d")/r RETURN $a//x extra',     # trailing junk
+        'FOR $a IN document("d")/r WHERE contains($a, "k", maybe) RETURN $a',
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query(bad)
+
+    def test_attribute_mid_binding_path_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query('FOR $a IN document("d")/r/@x/y RETURN $a')
+
+
+class TestRoundTrip:
+    def test_str_reparses_equal(self):
+        text = q('contains($a//x, "kw") AND $a//y/@id = "7"',
+                 returns="$Out = $a//x, $a//y")
+        query = parse_query(text)
+        assert parse_query(str(query)) == query

@@ -1,0 +1,90 @@
+"""Tests for positional predicates ``[n]`` (order-as-data: range
+predicates over document order, paper §2.2)."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.xmlkit import parse_document, parse_path
+from repro.xmlkit.path import PositionPredicate, evaluate_strings
+from repro.xquery import parse_query
+
+
+class TestPathLayer:
+    DOC = parse_document(
+        "<r><n>one</n><n>two</n><m>mid</m><n>three</n></r>")
+
+    def test_parse_positional(self):
+        path = parse_path("/n[2]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, PositionPredicate)
+        assert predicate.position == 2
+
+    def test_zero_position_rejected(self):
+        with pytest.raises(PathError):
+            parse_path("/n[0]")
+
+    def test_str_roundtrip(self):
+        assert str(parse_path("//n[3]")) == "//n[3]"
+
+    def test_tree_evaluation_same_tag_rank(self):
+        # the m element between them does not shift n's ranks
+        assert evaluate_strings(parse_path("/n[3]"), self.DOC.root) == [
+            "three"]
+
+    def test_tree_evaluation_miss(self):
+        assert evaluate_strings(parse_path("/n[4]"), self.DOC.root) == []
+
+    def test_combined_with_equality_predicate(self):
+        doc = parse_document(
+            '<r><x k="a">1</x><x k="a">2</x><x k="b">3</x></r>')
+        values = evaluate_strings(parse_path('/x[@k = "a"][2]'), doc.root)
+        assert values == ["2"]
+
+
+class TestQueryLayer:
+    @pytest.fixture
+    def loaded(self, empty_warehouse):
+        empty_warehouse.loader.store_document(
+            "db", "c", "k", parse_document(
+                "<r><item><v>a</v><v>b</v></item>"
+                "<item><v>c</v></item></r>"))
+        empty_warehouse.optimize()
+        return empty_warehouse
+
+    def test_positional_in_return_item(self, loaded):
+        result = loaded.query(
+            'FOR $a IN document("db.c")/r RETURN $a//item[1]/v')
+        assert result.rows[0].values["v"] == ["a", "b"]
+
+    def test_positional_in_where(self, loaded):
+        result = loaded.query(
+            'FOR $a IN document("db.c")/r/item '
+            'WHERE $a/v[2] = "b" RETURN $a/v[1]')
+        assert result.scalars("v") == ["a"]
+
+    def test_query_parser_emits_position_predicate(self):
+        query = parse_query(
+            'FOR $a IN document("d")/r RETURN $a//x[2]')
+        predicate = query.returns[0].value.path.steps[0].predicates[0]
+        assert isinstance(predicate, PositionPredicate)
+
+    def test_differential_with_native(self, loaded):
+        from repro.baselines import NativeXmlStore
+        from repro.xmlkit import parse_document as parse
+        store = NativeXmlStore()
+        store.add_document("db", "c", "k", parse(
+            "<r><item><v>a</v><v>b</v></item><item><v>c</v></item></r>"))
+        query = ('FOR $a IN document("db.c")/r/item '
+                 'RETURN $a/v[2]')
+        assert (sorted(loaded.query(query).scalars("v"))
+                == sorted(store.query(query).scalars("v")) == ["b"])
+
+    def test_shredded_tag_sib_ord_values(self, empty_warehouse):
+        from repro.shredding import shred_document
+        doc = parse_document("<r><n>1</n><m>x</m><n>2</n></r>")
+        shredded = shred_document(doc, 1, "s", "c", "k")
+        by_node = {row[1]: row for row in shredded.elements}
+        # columns: ..., depth (7), tag_sib_ord (8)
+        assert by_node[1][8] == 0   # first n
+        assert by_node[2][8] == 0   # first m
+        assert by_node[3][8] == 1   # second n

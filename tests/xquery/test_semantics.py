@@ -1,0 +1,91 @@
+"""Unit tests for query semantic checks."""
+
+import pytest
+
+from repro.datahounds.sources.enzyme import EnzymeTransformer
+from repro.errors import BindingError, UnknownDocumentError
+from repro.xquery import check_query, parse_query
+
+
+def check(text, documents=None, dtds=None):
+    query = parse_query(text)
+    document_exists = None
+    if documents is not None:
+        document_exists = lambda s, c: (s, c) in documents
+    dtd_for_source = None
+    if dtds is not None:
+        dtd_for_source = dtds.get
+    check_query(query, document_exists=document_exists,
+                dtd_for_source=dtd_for_source)
+
+
+class TestBindingChecks:
+    def test_valid_query_passes(self):
+        check('FOR $a IN document("d")/r RETURN $a//x')
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(BindingError):
+            check('FOR $a IN document("d")/r, $a IN document("e")/r '
+                  'RETURN $a//x')
+
+    def test_unbound_variable_in_where_rejected(self):
+        with pytest.raises(BindingError):
+            check('FOR $a IN document("d")/r '
+                  'WHERE contains($z, "k") RETURN $a//x')
+
+    def test_unbound_variable_in_return_rejected(self):
+        with pytest.raises(BindingError):
+            check('FOR $a IN document("d")/r RETURN $z//x')
+
+    def test_context_variable_must_be_bound_before_use(self):
+        with pytest.raises(BindingError):
+            check('FOR $b IN $a//x, $a IN document("d")/r RETURN $b')
+
+    def test_context_chain_accepted(self):
+        check('FOR $a IN document("d")/r, $b IN $a//item RETURN $b//x')
+
+
+class TestDocumentChecks:
+    DOCS = {("hlx_enzyme", "DEFAULT")}
+
+    def test_known_document_passes(self):
+        check('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+              'RETURN $a//enzyme_id', documents=self.DOCS)
+
+    def test_unknown_document_rejected(self):
+        with pytest.raises(UnknownDocumentError):
+            check('FOR $a IN document("nope.DEFAULT")/x RETURN $a//y',
+                  documents=self.DOCS)
+
+
+class TestDtdChecks:
+    DTDS = {"hlx_enzyme": EnzymeTransformer.dtd}
+
+    def test_names_in_dtd_pass(self):
+        check('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+              'WHERE contains($a//catalytic_activity, "k") '
+              'RETURN $a//enzyme_id', dtds=self.DTDS)
+
+    def test_unknown_element_name_rejected(self):
+        with pytest.raises(BindingError):
+            check('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+                  'RETURN $a//not_a_real_element', dtds=self.DTDS)
+
+    def test_unknown_predicate_target_rejected(self):
+        with pytest.raises(BindingError):
+            check('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+                  'WHERE $a//reference[@zzz = "1"] = "x" '
+                  'RETURN $a//enzyme_id', dtds=self.DTDS)
+
+    def test_attribute_names_checked(self):
+        check('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+              'RETURN $a//reference/@swissprot_accession_number',
+              dtds=self.DTDS)
+
+    def test_source_without_dtd_skipped(self):
+        check('FOR $a IN document("unknown_source")/whatever '
+              'RETURN $a//anything', dtds=self.DTDS)
+
+    def test_wildcard_steps_always_pass(self):
+        check('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+              'RETURN $a//*', dtds=self.DTDS)

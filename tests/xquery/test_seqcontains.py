@@ -1,0 +1,128 @@
+"""Tests for the seqcontains() motif-search extension.
+
+The paper separates sequence from non-sequence data because "types of
+queries posed on DNA or protein sequences are generally different" —
+motif search is that query class, and it runs entirely against the
+``sequences`` table.
+"""
+
+import pytest
+
+from repro.errors import TranslationError, XQuerySyntaxError
+from repro.translator.compile import motif_to_like
+from repro.xmlkit import parse_document
+from repro.xquery import parse_query
+from repro.xquery.ast import SeqContains
+
+
+class TestParsing:
+    def test_basic_form(self):
+        query = parse_query('FOR $a IN document("d")/r '
+                            'WHERE seqcontains($a//sequence, "ACGT") '
+                            'RETURN $a//x')
+        condition = query.where
+        assert isinstance(condition, SeqContains)
+        assert condition.motif == "ACGT"
+
+    def test_empty_motif_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query('FOR $a IN document("d")/r '
+                        'WHERE seqcontains($a//sequence, "") RETURN $a//x')
+
+    def test_unquoted_motif_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query('FOR $a IN document("d")/r '
+                        'WHERE seqcontains($a//sequence, ACGT) '
+                        'RETURN $a//x')
+
+    def test_str_roundtrip(self):
+        text = ('FOR $a IN document("d")/r '
+                'WHERE seqcontains($a//sequence, "ac.ta") RETURN $a//x')
+        assert parse_query(str(parse_query(text))) == parse_query(text)
+
+
+class TestMotifTranslation:
+    def test_literal_motif(self):
+        assert motif_to_like("ACGT") == "%ACGT%"
+
+    def test_dot_wildcard(self):
+        assert motif_to_like("AC.T") == "%AC_T%"
+
+    def test_like_metacharacters_rejected(self):
+        with pytest.raises(TranslationError):
+            motif_to_like("AC%T")
+        with pytest.raises(TranslationError):
+            motif_to_like("AC_T")
+
+
+DOCS = [
+    ("k1", '<r><name>alpha</name>'
+           '<sequence length="12">aacgttacgtaa</sequence></r>'),
+    ("k2", '<r><name>beta</name>'
+           '<sequence length="8">ggggcccc</sequence></r>'),
+    ("k3", '<r><name>gamma</name>'
+           '<sequence length="10">AACGTTACGT</sequence></r>'),
+]
+
+
+@pytest.fixture
+def loaded(empty_warehouse):
+    for key, text in DOCS:
+        empty_warehouse.loader.store_document(
+            "db", "c", key, parse_document(text))
+    empty_warehouse.optimize()
+    return empty_warehouse
+
+
+class TestExecution:
+    def run(self, warehouse, motif):
+        return warehouse.query(
+            f'FOR $a IN document("db.c")/r '
+            f'WHERE seqcontains($a//sequence, "{motif}") '
+            f'RETURN $a//name')
+
+    def test_literal_match(self, loaded):
+        assert sorted(self.run(loaded, "acgtt").scalars("name")) == [
+            "alpha", "gamma"]
+
+    def test_case_insensitive(self, loaded):
+        assert sorted(self.run(loaded, "ACGTT").scalars("name")) == [
+            "alpha", "gamma"]
+
+    def test_wildcard_position(self, loaded):
+        # a.gt matches acgt (alpha, gamma); gg.c matches ggggcccc? g-g-g-c
+        assert sorted(self.run(loaded, "a.gtt").scalars("name")) == [
+            "alpha", "gamma"]
+        assert self.run(loaded, "gg.cc").scalars("name") == ["beta"]
+
+    def test_no_match(self, loaded):
+        assert len(self.run(loaded, "tttttttt")) == 0
+
+    def test_motif_not_found_in_annotations(self, loaded):
+        # "alpha" appears in a name element, not in any sequence
+        assert len(self.run(loaded, "alpha")) == 0
+
+    def test_combined_with_keyword_condition(self, loaded):
+        result = loaded.query(
+            'FOR $a IN document("db.c")/r '
+            'WHERE seqcontains($a//sequence, "acgtt") '
+            '  AND contains($a//name, "alpha") '
+            'RETURN $a//name')
+        assert result.scalars("name") == ["alpha"]
+
+    def test_attribute_target_rejected(self, loaded):
+        with pytest.raises(TranslationError):
+            loaded.query('FOR $a IN document("db.c")/r '
+                         'WHERE seqcontains($a//sequence/@length, "x") '
+                         'RETURN $a//name')
+
+
+def test_differential_on_corpus(warehouse, native_store):
+    query = ('FOR $a IN document("hlx_embl.inv")/hlx_n_sequence '
+             'WHERE seqcontains($a//sequence, "acg.ac") '
+             'RETURN $a//embl_accession_number')
+    relational = sorted(warehouse.query(query).scalars(
+        "embl_accession_number"))
+    native = sorted(native_store.query(query).scalars(
+        "embl_accession_number"))
+    assert relational == native
