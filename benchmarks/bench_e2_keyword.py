@@ -26,10 +26,17 @@ RETURN $a//embl_accession_number'''
 
 
 @pytest.mark.parametrize("engine", ["sqlite", "minidb", "native"])
-def test_e2_figure8_two_database_keyword(benchmark, engines, engine):
+def test_e2_figure8_two_database_keyword(benchmark, engines, engine,
+                                         sqlite_warehouse,
+                                         minidb_warehouse,
+                                         stage_breakdown):
     result = benchmark(engines[engine], FIG8)
     assert len(result) > 0
     benchmark.extra_info["rows"] = len(result)
+    if engine in ("sqlite", "minidb"):
+        warehouse = (sqlite_warehouse if engine == "sqlite"
+                     else minidb_warehouse)
+        benchmark.extra_info["stages"] = stage_breakdown(warehouse, FIG8)
 
 
 @pytest.mark.parametrize("engine", ["sqlite", "minidb", "native"])

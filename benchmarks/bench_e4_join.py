@@ -23,10 +23,16 @@ RETURN $Accession_Number = $a//embl_accession_number,
 
 
 @pytest.mark.parametrize("engine", ["sqlite", "minidb", "native"])
-def test_e4_figure11_join_medium(benchmark, engines, engine):
+def test_e4_figure11_join_medium(benchmark, engines, engine,
+                                 sqlite_warehouse, minidb_warehouse,
+                                 stage_breakdown):
     result = benchmark(engines[engine], FIG11)
     assert len(result) > 0
     benchmark.extra_info["rows"] = len(result)
+    if engine in ("sqlite", "minidb"):
+        warehouse = (sqlite_warehouse if engine == "sqlite"
+                     else minidb_warehouse)
+        benchmark.extra_info["stages"] = stage_breakdown(warehouse, FIG11)
 
 
 SCALES = {"s1": dict(enzyme_count=40, embl_count=60, sprot_count=10),

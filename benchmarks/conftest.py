@@ -58,6 +58,20 @@ def embl_flat_index(corpus_medium):
 
 
 @pytest.fixture(scope="session")
+def stage_breakdown():
+    """``(warehouse, query_text) -> {stage: ms}`` — one profiled run's
+    stage timings, for attaching to ``benchmark.extra_info`` so
+    experiment tables show where the time went, not just the total
+    (EXPLAIN capture off — it would bill the planner's extra pass to
+    the stage)."""
+    def breakdown(warehouse, query_text: str) -> dict[str, float]:
+        report = warehouse.profile(query_text, explain=False)
+        return {stage: round(ms, 3)
+                for stage, ms in report.stages.items()}
+    return breakdown
+
+
+@pytest.fixture(scope="session")
 def engines(sqlite_warehouse, minidb_warehouse, native_store):
     """Engine name → callable(query_text) -> result, for the engine
     comparison benchmarks."""

@@ -4,9 +4,13 @@ Usage::
 
     pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
     python benchmarks/summarize.py bench.json
+    python benchmarks/summarize.py profile_results.json   # obs export
 
 Prints one table per experiment (E1-E10) with median latencies and the
 row counts recorded in extra_info — the rows EXPERIMENTS.md reports.
+Profile exports written by :mod:`repro.obs.export` (``xomatiq profile
+--json`` / ``reproduce.py --profile``) are detected by their
+``format`` tag and rendered as per-stage breakdown tables instead.
 """
 
 from __future__ import annotations
@@ -42,8 +46,33 @@ def format_extra(extra: dict) -> str:
     for key, value in extra.items():
         if key == "scale":
             continue
+        if key == "stages" and isinstance(value, dict):
+            inner = " ".join(f"{stage}={ms:.1f}ms"
+                             for stage, ms in value.items())
+            parts.append(f"stages[{inner}]")
+            continue
         parts.append(f"{key}={value}")
     return " ".join(parts)
+
+
+def print_profiles(data: dict) -> None:
+    """Render a repro.obs profile export: one stage-breakdown block
+    per profiled query per backend."""
+    for profile in data.get("profiles", []):
+        query = " ".join(profile["query"].split())
+        if len(query) > 72:
+            query = query[:69] + "..."
+        print(f"== profile [{profile['backend']}] {query} ==")
+        trace = profile.get("trace", {})
+        total = trace.get("duration_ms", 0.0)
+        print(f"  rows={profile['rows']} total={total:.2f} ms "
+              f"sql_statements={profile['sql_statements']} "
+              f"sql_rows={profile['sql_rows']} "
+              f"sql_ms={profile['sql_ms']:.2f}")
+        for stage, ms in profile.get("stages", {}).items():
+            share = (ms / total * 100.0) if total else 0.0
+            print(f"  {stage:<12} {ms:>10.2f} ms  {share:>5.1f}%")
+        print()
 
 
 def print_tables(groups: dict[str, list[dict]]) -> None:
@@ -66,6 +95,11 @@ def main(argv: list[str]) -> int:
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        data = json.load(handle)
+    if str(data.get("format", "")).startswith("xomatiq-profile"):
+        print_profiles(data)
+        return 0
     print_tables(load(argv[1]))
     return 0
 

@@ -4,10 +4,14 @@ Runs the full pipeline a reviewer needs::
 
     python reproduce.py            # tests + benchmarks + summaries
     python reproduce.py --quick    # tests only
+    python reproduce.py --profile  # observability smoke: profile the
+                                   # Figure 8/11 queries on both
+                                   # backends, write profile_results.json
 
 Outputs land next to this file: ``test_output.txt``,
-``bench_output.txt`` and ``bench_results.json`` (the input for
-``benchmarks/summarize.py``).
+``bench_output.txt``, ``bench_results.json`` and (with ``--profile``)
+``profile_results.json`` — both JSON files feed
+``benchmarks/summarize.py``.
 """
 
 from __future__ import annotations
@@ -17,6 +21,48 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).parent
+
+FIG8 = '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+     $b IN document("hlx_sprot.all")/hlx_n_sequence
+WHERE contains ($a, "cdc6", any)
+AND   contains ($b, "cdc6", any)
+RETURN
+     $b//sprot_accession_number,
+     $a//embl_accession_number'''
+
+FIG11 = '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number,
+       $Accession_Description = $a//description'''
+
+
+def profile_smoke(out: Path) -> int:
+    """Profile the paper's Figure 8 and 11 queries on both backends;
+    write the stage-level breakdown JSON and print its summary."""
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.engine import Warehouse
+    from repro.obs import export_profiles, format_profile
+    from repro.relational import MiniDbBackend, SqliteBackend
+    from repro.synth import build_corpus
+
+    corpus = build_corpus(seed=7, enzyme_count=40, embl_count=60,
+                          sprot_count=40)
+    reports = []
+    for make in (SqliteBackend, MiniDbBackend):
+        warehouse = Warehouse(backend=make())
+        warehouse.load_corpus(corpus)
+        for label, query in (("fig8", FIG8), ("fig11", FIG11)):
+            report = warehouse.profile(query)
+            reports.append(report)
+            print(f"--- {label} ---")
+            print(format_profile(report, sql=False))
+        warehouse.close()
+    export_profiles(reports, out)
+    print(f"\nwrote {out}")
+    return subprocess.run(
+        [sys.executable, str(ROOT / "benchmarks" / "summarize.py"),
+         str(out)], cwd=ROOT).returncode
 
 
 def run(label: str, command: list[str], output: Path | None = None) -> int:
@@ -32,6 +78,8 @@ def run(label: str, command: list[str], output: Path | None = None) -> int:
 
 
 def main() -> int:
+    if "--profile" in sys.argv:
+        return profile_smoke(ROOT / "profile_results.json")
     quick = "--quick" in sys.argv
     code = run("tests", [sys.executable, "-m", "pytest", "tests/"],
                ROOT / "test_output.txt")

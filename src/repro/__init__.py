@@ -16,9 +16,11 @@ __version__ = "1.0.0"
 from repro.errors import ReproError  # noqa: F401
 
 __all__ = [
+    "ProfileReport",
     "QueryResult",
     "QuerySubscription",
     "ReproError",
+    "Tracer",
     "Warehouse",
     "XomatiQ",
     "__version__",
@@ -29,6 +31,8 @@ _LAZY_EXPORTS = {
     "XomatiQ": ("repro.engine", "XomatiQ"),
     "QueryResult": ("repro.results.resultset", "QueryResult"),
     "QuerySubscription": ("repro.subscriptions", "QuerySubscription"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "ProfileReport": ("repro.obs", "ProfileReport"),
 }
 
 

@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import UnknownDocumentError
-from repro.results.resultset import BoundNode, QueryResult, ResultRow
+from repro.results.resultset import (
+    BoundNode,
+    QueryResult,
+    ResultRow,
+    unique_columns,
+)
 from repro.shredding.keywords import query_tokens, tokenize
 from repro.shredding.typing import numeric_value
 from repro.xmlkit import Document, Element, Text
@@ -188,12 +193,8 @@ class _Evaluator:
                            if query.where is not None else [])
 
     def run(self) -> QueryResult:
-        columns: list[str] = []
-        for item in self.query.returns:
-            name = item.output_name
-            if name in columns:
-                name = f"{name}_{len(columns)}"
-            columns.append(name)
+        columns = unique_columns([item.output_name
+                                  for item in self.query.returns])
         result = QueryResult(columns=columns, variables=list(self.variables))
         self._loop({}, 0, result, columns)
         return result

@@ -8,6 +8,8 @@ Subcommands mirror the system's workflow::
     xomatiq query --db wh.sqlite --file query.xq [--xml]
     xomatiq query --db wh.sqlite 'FOR $a IN ... RETURN ...'
     xomatiq translate --db wh.sqlite 'FOR ...'        # show generated SQL
+    xomatiq profile --db wh.sqlite 'FOR ...'          # stage timings + plans
+    xomatiq profile --synth --backend minidb 'FOR ...'
     xomatiq dtd --source hlx_enzyme                   # DTD tree (GUI panel)
     xomatiq sources                                   # registered sources
 """
@@ -61,6 +63,25 @@ def build_parser() -> argparse.ArgumentParser:
     translate.add_argument("--db", required=True)
     translate.add_argument("--file")
     translate.add_argument("text", nargs="?")
+
+    profile = sub.add_parser(
+        "profile", help="profile a query: per-stage timings, "
+                        "per-statement counters, EXPLAIN plans")
+    profile.add_argument("--db", help="sqlite database path")
+    profile.add_argument("--synth", action="store_true",
+                         help="profile against an in-memory synthetic "
+                              "corpus instead of --db")
+    profile.add_argument("--backend", choices=("sqlite", "minidb"),
+                         default="sqlite",
+                         help="relational engine for --synth runs")
+    profile.add_argument("--seed", type=int, default=7,
+                         help="corpus seed for --synth runs")
+    profile.add_argument("--no-explain", action="store_true",
+                         help="skip EXPLAIN plan capture")
+    profile.add_argument("--json", dest="json_out",
+                         help="also write the profile JSON to this path")
+    profile.add_argument("--file", help="read the query from a file")
+    profile.add_argument("text", nargs="?", help="query text")
 
     dtd = sub.add_parser("dtd", help="print a source's DTD tree")
     dtd.add_argument("--source", required=True)
@@ -120,6 +141,29 @@ def _dispatch(args) -> int:
         else:
             result = warehouse.query(text)
             print(result.to_xml() if args.xml else result.to_table())
+        warehouse.close()
+        return 0
+
+    if args.command == "profile":
+        from repro.obs import export_profiles, format_profile
+        text = _query_text(args)
+        if args.synth:
+            from repro.relational import MiniDbBackend
+            from repro.synth import build_corpus
+            backend = (MiniDbBackend() if args.backend == "minidb"
+                       else SqliteBackend())
+            warehouse = Warehouse(backend=backend)
+            warehouse.load_corpus(build_corpus(seed=args.seed))
+        elif args.db:
+            warehouse = _open(args.db)
+        else:
+            print("error: provide --db or --synth", file=sys.stderr)
+            return 2
+        report = warehouse.profile(text, explain=not args.no_explain)
+        print(format_profile(report))
+        if args.json_out:
+            export_profiles([report], args.json_out)
+            print(f"\nwrote profile JSON to {args.json_out}")
         warehouse.close()
         return 0
 

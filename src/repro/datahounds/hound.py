@@ -19,6 +19,7 @@ lives in the registered transformer.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -76,11 +77,16 @@ class DataHound:
 
     def __init__(self, repository: Repository, store: DocumentStore,
                  registry: SourceRegistry | None = None,
-                 validate: bool = True):
+                 validate: bool = True,
+                 tracer=None):
         self.repository = repository
         self.store = store
         self.registry = registry or SourceRegistry()
         self.validate = validate
+        #: optional :class:`repro.obs.Tracer`; loads then run inside
+        #: per-phase spans (fetch, diff, transform, store) with
+        #: entries/s throughput recorded on the load span
+        self.tracer = tracer
         self.triggers = TriggerHub()
         self._snapshots: dict[str, ReleaseSnapshot] = {}
         self._transformers: dict[str, SourceTransformer] = {}
@@ -95,35 +101,53 @@ class DataHound:
         removals are never left out.
         """
         transformer = self._transformer(source)
-        fetched = self.repository.fetch(source, release)
-        entries = parse_entries(fetched.text)
-        keyed = [(transformer.entry_key(entry), entry) for entry in entries]
-        self._check_duplicate_keys(source, keyed)
+        with self._span("load", source=source) as load_span:
+            with self._span("fetch"):
+                fetched = self.repository.fetch(source, release)
+                entries = parse_entries(fetched.text)
+            keyed = [(transformer.entry_key(entry), entry)
+                     for entry in entries]
+            self._check_duplicate_keys(source, keyed)
 
-        new_snapshot = ReleaseSnapshot.build(fetched.release, keyed)
-        plan = diff_releases(self._snapshots.get(source), new_snapshot)
+            with self._span("diff"):
+                new_snapshot = ReleaseSnapshot.build(fetched.release, keyed)
+                plan = diff_releases(self._snapshots.get(source),
+                                     new_snapshot)
 
-        # two-phase apply: transform every touched entry BEFORE storing
-        # anything, so a malformed entry anywhere in the release aborts
-        # the refresh with the warehouse untouched ("without any
-        # information being left out or added twice")
-        entry_map = dict(keyed)
-        staged: list[tuple[str, str, Document]] = []
-        for key in plan.touched:
-            entry = entry_map[key]
-            document = transformer.transform_entry(entry)
-            staged.append((key, transformer.collection_of(entry), document))
+            # two-phase apply: transform every touched entry BEFORE
+            # storing anything, so a malformed entry anywhere in the
+            # release aborts the refresh with the warehouse untouched
+            # ("without any information being left out or added twice")
+            entry_map = dict(keyed)
+            staged: list[tuple[str, str, Document]] = []
+            with self._span("transform"):
+                for key in plan.touched:
+                    entry = entry_map[key]
+                    document = transformer.transform_entry(entry)
+                    staged.append((key, transformer.collection_of(entry),
+                                   document))
 
-        loaded = 0
-        for key, collection, document in staged:
-            self.store.store_document(source, collection, key, document)
-            loaded += 1
-        for key in plan.removed:
-            self.store.remove_document(source, "", key)
+            loaded = 0
+            with self._span("store") as store_span:
+                for key, collection, document in staged:
+                    self.store.store_document(source, collection, key,
+                                              document)
+                    loaded += 1
+                for key in plan.removed:
+                    self.store.remove_document(source, "", key)
 
-        optimize = getattr(self.store, "optimize", None)
-        if optimize is not None and not plan.is_noop:
-            optimize()
+            optimize = getattr(self.store, "optimize", None)
+            if optimize is not None and not plan.is_noop:
+                with self._span("optimize"):
+                    optimize()
+
+            if load_span is not None:
+                load_span.count("entries", len(keyed))
+                load_span.count("loaded", loaded)
+                load_span.count("removed", len(plan.removed))
+                if store_span is not None and store_span.duration_s > 0:
+                    load_span.meta["entries_per_s"] = round(
+                        loaded / store_span.duration_s, 2)
 
         self._snapshots[source] = new_snapshot
         event = ChangeEvent(source=source, release=fetched.release,
@@ -147,6 +171,12 @@ class DataHound:
         self.triggers.subscribe(callback, source)
 
     # -- internals -----------------------------------------------------------
+
+    def _span(self, name: str, **meta):
+        """A tracer span, or an inert context when tracing is off."""
+        if self.tracer is None:
+            return nullcontext(None)
+        return self.tracer.span(name, **meta)
 
     def _transformer(self, source: str) -> SourceTransformer:
         if source not in self._transformers:

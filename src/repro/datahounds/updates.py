@@ -18,9 +18,16 @@ from repro.flatfile import Entry, render_entry
 
 
 def entry_fingerprint(entry: Entry) -> str:
-    """Content fingerprint of an entry (rendered canonical text)."""
+    """Content fingerprint of an entry (rendered canonical text).
+
+    The full SHA-256 digest, deliberately untruncated: a truncated
+    prefix that collides between an entry's old and new content makes
+    ``diff_releases`` classify a changed entry as unchanged and
+    silently drop it from the update plan — exactly the "information
+    left out" failure the hound exists to prevent.
+    """
     return hashlib.sha256(
-        render_entry(entry).encode("utf-8")).hexdigest()[:16]
+        render_entry(entry).encode("utf-8")).hexdigest()
 
 
 @dataclass

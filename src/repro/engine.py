@@ -49,16 +49,30 @@ class Warehouse:
                  registry: SourceRegistry | None = None,
                  sequence_tags: frozenset[str] = DEFAULT_SEQUENCE_TAGS,
                  validate_sources: bool = True,
-                 create: bool = True):
+                 create: bool = True,
+                 trace=None):
         """``create=False`` attaches to a backend whose generic schema
-        already exists (reopening an on-disk warehouse)."""
+        already exists (reopening an on-disk warehouse).
+
+        ``trace`` enables observability: pass ``True`` for a fresh
+        :class:`repro.obs.Tracer` or an existing tracer instance. The
+        backend is then wrapped in an instrumented recorder, pipeline
+        stages run inside spans, and every ``QueryResult`` carries its
+        trace. The default ``None`` allocates nothing — queries and
+        loads pay zero instrumentation cost.
+        """
         self.backend = backend if backend is not None else SqliteBackend()
+        self.tracer = None
+        if trace is not None and trace is not False:
+            from repro.obs import InstrumentedBackend, Tracer
+            self.tracer = trace if isinstance(trace, Tracer) else Tracer()
+            self.backend = InstrumentedBackend(self.backend, self.tracer)
         self.registry = registry or SourceRegistry()
         self.sequence_tags = sequence_tags
         self.validate_sources = validate_sources
         self.loader = WarehouseLoader(self.backend, options=options,
                                       sequence_tags=sequence_tags,
-                                      create=create)
+                                      create=create, tracer=self.tracer)
         self.xomatiq = XomatiQ(self)
 
     # -- loading ---------------------------------------------------------------
@@ -114,7 +128,8 @@ class Warehouse:
     def connect(self, repository) -> DataHound:
         """A Data Hound harvesting ``repository`` into this warehouse."""
         return DataHound(repository, self.loader, registry=self.registry,
-                         validate=self.validate_sources)
+                         validate=self.validate_sources,
+                         tracer=self.tracer)
 
     def refresh(self, repository, source: str) -> LoadReport:
         """One-shot convenience: hound-load the latest release."""
@@ -141,15 +156,28 @@ class Warehouse:
                 "AND collection = ?", (source, collection))
         return bool(rows and rows[0][0])
 
+    #: doc ids per batched DELETE (well under engine parameter limits)
+    _REMOVE_CHUNK = 200
+
     def remove_source(self, source: str) -> int:
         """Delete every document of one source; returns the number of
-        documents removed (decommissioning a databank)."""
+        documents removed (decommissioning a databank).
+
+        Deletes are batched — one ``WHERE doc_id IN (...)`` statement
+        per table per chunk of ids instead of one statement per
+        document per table — and the table list comes from the schema
+        module, so a new generic-schema table can never leak rows."""
+        from repro.relational.schema import TABLE_NAMES
         doc_ids = self.loader.doc_ids(source)
-        for doc_id in doc_ids:
-            for table in ("documents", "elements", "attributes",
-                          "text_values", "sequences", "keywords"):
+        if not doc_ids:
+            return 0
+        for table in TABLE_NAMES:
+            for start in range(0, len(doc_ids), self._REMOVE_CHUNK):
+                chunk = doc_ids[start:start + self._REMOVE_CHUNK]
+                placeholders = ", ".join("?" for __ in chunk)
                 self.backend.execute(
-                    f"DELETE FROM {table} WHERE doc_id = ?", (doc_id,))
+                    f"DELETE FROM {table} WHERE doc_id IN ({placeholders})",
+                    tuple(chunk))
         self.backend.commit()
         return len(doc_ids)
 
@@ -181,6 +209,12 @@ class Warehouse:
     def translate(self, text: str) -> CompiledQuery:
         """Parse, check and compile without executing."""
         return self.xomatiq.translate(text)
+
+    def profile(self, text: str, explain: bool = True):
+        """Profile one query end to end (works on any warehouse, traced
+        or not); returns a :class:`repro.obs.ProfileReport`."""
+        from repro.obs import profile_query
+        return profile_query(self, text, explain=explain)
 
     # -- document fetch (the GUI's right panel) --------------------------------------------
 
@@ -230,14 +264,36 @@ class XomatiQ:
                              sequence_tags=self.warehouse.sequence_tags)
 
     def query(self, text: str) -> QueryResult:
-        """The full pipeline: translate then execute."""
-        compiled = self.translate(text)
-        return execute_compiled(compiled, self.warehouse.backend)
+        """The full pipeline: translate then execute.
+
+        On a traced warehouse every stage runs inside a span and the
+        result carries the span tree on ``result.trace``."""
+        tracer = self.warehouse.tracer
+        if tracer is None:
+            compiled = self.translate(text)
+            return execute_compiled(compiled, self.warehouse.backend)
+        with tracer.span("query", query=text,
+                         backend=self.warehouse.backend.name) as root:
+            with tracer.span("parse"):
+                query = self.parse(text)
+            with tracer.span("check"):
+                self.check(query)
+            with tracer.span("compile"):
+                compiled = compile_query(
+                    query, sequence_tags=self.warehouse.sequence_tags)
+            with tracer.span("execute") as span:
+                result = execute_compiled(compiled,
+                                          self.warehouse.backend,
+                                          tracer=tracer)
+                span.count("result_rows", len(result))
+        result.trace = root
+        return result
 
     def execute(self, compiled: CompiledQuery) -> QueryResult:
         """Run an already-compiled query (benchmarks separate compile
         and execute cost with this)."""
-        return execute_compiled(compiled, self.warehouse.backend)
+        return execute_compiled(compiled, self.warehouse.backend,
+                                tracer=self.warehouse.tracer)
 
     def _dtd_for_source(self, source: str):
         if source in self.warehouse.registry:

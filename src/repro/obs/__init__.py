@@ -1,0 +1,44 @@
+"""Observability: structured tracing and metrics for the whole stack.
+
+The paper's authors tuned XomatiQ "by meticulous analysis of query
+plans"; that workflow needs the pipeline to stop being a black box.
+This package provides it:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` producing nested
+  :class:`Span` trees with wall-clock timings and counters,
+* :mod:`repro.obs.backend` — :class:`InstrumentedBackend`, a
+  transparent wrapper over any relational backend that records every
+  SQL statement (text, parameter count, row count, timing, optional
+  EXPLAIN plan) into the active span,
+* :mod:`repro.obs.profile` — one-shot query profiling
+  (:func:`profile_query`, :class:`ProfileReport`) and text rendering,
+* :mod:`repro.obs.export` — JSON export of traces and profiles
+  (consumed by ``benchmarks/summarize.py``).
+
+Instrumentation is strictly opt-in: ``Warehouse(trace=None)`` (the
+default) allocates no tracer and adds no indirection to the hot path.
+"""
+
+from repro.obs.backend import InstrumentedBackend, StatementRecord
+from repro.obs.export import (
+    export_profiles,
+    profile_to_dict,
+    span_to_dict,
+    trace_to_json,
+)
+from repro.obs.profile import ProfileReport, format_profile, profile_query
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "InstrumentedBackend",
+    "ProfileReport",
+    "Span",
+    "StatementRecord",
+    "Tracer",
+    "export_profiles",
+    "format_profile",
+    "profile_query",
+    "profile_to_dict",
+    "span_to_dict",
+    "trace_to_json",
+]

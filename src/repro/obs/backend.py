@@ -1,0 +1,124 @@
+"""Instrumented backend wrapper.
+
+:class:`InstrumentedBackend` sits between the warehouse and any
+:class:`~repro.relational.backend.Backend` (SQLite or minidb) and
+records, per statement: the SQL text, statement kind, parameter count,
+result row count, wall-clock duration and — when enabled — the
+engine's EXPLAIN output. Records flow into the active
+:class:`~repro.obs.trace.Tracer` span, so a query's trace shows
+exactly which SQL ran inside each pipeline stage.
+
+The wrapper is dialect-agnostic: both backends expose ``explain()``
+(SQLite prints ``EXPLAIN QUERY PLAN`` lines, minidb its executor's
+plan notes), and everything else is delegated verbatim, including
+backend-specific extras like ``analyze`` and ``last_plan``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.relational.backend import Backend, Params, Row
+
+
+@dataclass
+class StatementRecord:
+    """One executed SQL statement (or one ``executemany`` batch)."""
+
+    sql: str
+    kind: str
+    param_count: int
+    row_count: int
+    duration_s: float
+    #: number of underlying statements (batch size for executemany)
+    executions: int = 1
+    #: captured EXPLAIN lines (empty unless plan capture is on)
+    plan: tuple[str, ...] = ()
+    extra: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall-clock milliseconds."""
+        return self.duration_s * 1000.0
+
+
+def statement_kind(sql: str) -> str:
+    """First keyword of a statement (``SELECT``, ``INSERT``, ...)."""
+    stripped = sql.lstrip()
+    head = stripped.split(None, 1)[0] if stripped else ""
+    return head.upper()
+
+
+class InstrumentedBackend:
+    """A :class:`Backend` that measures every statement it forwards."""
+
+    def __init__(self, inner: Backend, tracer,
+                 capture_explain: bool = False):
+        self.inner = inner
+        self.tracer = tracer
+        self.capture_explain = capture_explain
+        self._clock = time.perf_counter
+
+    @property
+    def name(self) -> str:
+        """The wrapped engine's identifier (traces stay attributable)."""
+        return self.inner.name
+
+    # -- Backend protocol ---------------------------------------------------
+
+    def execute(self, sql: str, params: Params = ()) -> list[Row]:
+        """Forward one statement, recording text/params/rows/timing."""
+        kind = statement_kind(sql)
+        plan: tuple[str, ...] = ()
+        if self.capture_explain and kind == "SELECT":
+            plan = self._explain(sql, params)
+        start = self._clock()
+        rows = self.inner.execute(sql, params)
+        duration = self._clock() - start
+        self.tracer.record_statement(StatementRecord(
+            sql=sql, kind=kind, param_count=len(tuple(params)),
+            row_count=len(rows), duration_s=duration, plan=plan))
+        return rows
+
+    def executemany(self, sql: str, params_seq: Iterable[Params]) -> int:
+        """Forward a batch, recorded as one entry with its batch size."""
+        params_list = [tuple(p) for p in params_seq]
+        start = self._clock()
+        count = self.inner.executemany(sql, params_list)
+        duration = self._clock() - start
+        width = len(params_list[0]) if params_list else 0
+        self.tracer.record_statement(StatementRecord(
+            sql=sql, kind=statement_kind(sql), param_count=width,
+            row_count=0, duration_s=duration,
+            executions=max(count, 1) if params_list else 0))
+        return count
+
+    def commit(self) -> None:
+        """Delegate; commits are not statements, so not recorded."""
+        self.inner.commit()
+
+    def close(self) -> None:
+        """Delegate."""
+        self.inner.close()
+
+    def explain(self, sql: str, params: Params = ()) -> list[str]:
+        """Delegate plan extraction to the wrapped engine."""
+        return list(self._explain(sql, params))
+
+    # -- extras -------------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        """Backend-specific extras (``analyze``, ``last_plan``,
+        ``catalog``...) pass straight through."""
+        return getattr(self.inner, name)
+
+    def _explain(self, sql: str, params: Params) -> tuple[str, ...]:
+        explain = getattr(self.inner, "explain", None)
+        if explain is None:
+            return ()
+        try:
+            return tuple(explain(sql, params))
+        except Exception as exc:  # plan capture must never fail a query
+            return (f"(explain failed: {exc})",)

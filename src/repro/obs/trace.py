@@ -1,0 +1,143 @@
+"""Nested-span tracing.
+
+A :class:`Tracer` maintains a stack of open :class:`Span` objects.
+Entering ``tracer.span("compile")`` opens a child of the innermost
+open span; on exit the span records its wall-clock duration. Anything
+that happens while a span is open — counter increments, SQL statement
+records from :class:`~repro.obs.backend.InstrumentedBackend` — attaches
+to that span, so the finished tree answers "where did the time go"
+stage by stage.
+
+Spans are plain data (no weak references, no globals); a finished span
+tree can be kept on a :class:`~repro.results.resultset.QueryResult`,
+exported to JSON, or rendered as text long after the tracer is gone.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+@dataclass
+class Span:
+    """One timed region of the pipeline."""
+
+    name: str
+    start: float
+    end: float | None = None
+    meta: dict[str, object] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    #: SQL statements executed while this span was innermost
+    statements: list = field(default_factory=list)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock seconds (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall-clock milliseconds."""
+        return self.duration_s * 1000.0
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment one of this span's counters."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (pre-order)."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def total_counter(self, name: str) -> int:
+        """Sum of one counter over this subtree."""
+        return sum(span.counters.get(name, 0) for span in self.walk())
+
+    def all_statements(self) -> list:
+        """Every statement record in this subtree, pre-order."""
+        return [record for span in self.walk()
+                for record in span.statements]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.duration_ms:.2f}ms, "
+                f"{len(self.children)} children)")
+
+
+class Tracer:
+    """Produces span trees; one tracer serves one warehouse.
+
+    Top-level spans (queries, loads) accumulate on :attr:`spans`;
+    :meth:`record_statement` attaches backend activity to whatever span
+    is innermost at the time. Statements executed while *no* span is
+    open (ad-hoc catalog queries, for instance) land in a catch-all
+    ``(untracked)`` span so nothing is silently dropped.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._untracked: Span | None = None
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **meta) -> Iterator[Span]:
+        """Open a span; nests under the current span when one is open."""
+        span = Span(name=name, start=self.clock(), meta=dict(meta))
+        parent = self.current
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.spans.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end = self.clock()
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment a counter on the current span; counts arriving
+        while no span is open land in the ``(untracked)`` catch-all."""
+        span = self.current
+        if span is None:
+            span = self._untracked_span()
+        span.count(name, amount)
+
+    def record_statement(self, record) -> None:
+        """Attach one backend statement record to the current span."""
+        span = self.current
+        if span is None:
+            span = self._untracked_span()
+        span.statements.append(record)
+        span.count("statements", getattr(record, "executions", 1))
+        span.count("rows", record.row_count)
+
+    def last_span(self, name: str | None = None) -> Span | None:
+        """Most recent finished top-level span (optionally by name)."""
+        for span in reversed(self.spans):
+            if name is None or span.name == name:
+                return span
+        return None
+
+    def _untracked_span(self) -> Span:
+        if self._untracked is None:
+            self._untracked = Span(name="(untracked)", start=self.clock())
+            self.spans.append(self._untracked)
+        return self._untracked

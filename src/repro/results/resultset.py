@@ -16,6 +16,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+def unique_columns(names: list[str]) -> list[str]:
+    """Uniquify result-column names.
+
+    Duplicates get ``_N`` suffixes starting at 2; the suffix is bumped
+    until the name is actually fresh — a fixed positional suffix can
+    collide with an explicit alias (items named ``a``, ``a_2``, ``a``
+    must not yield ``a_2`` twice). Both query evaluators (relational
+    and native) use this, so column naming stays differential-testable.
+    """
+    columns: list[str] = []
+    taken: set[str] = set()
+    for name in names:
+        if name in taken:
+            suffix = 2
+            while f"{name}_{suffix}" in taken:
+                suffix += 1
+            name = f"{name}_{suffix}"
+        taken.add(name)
+        columns.append(name)
+    return columns
+
+
 @dataclass(frozen=True)
 class BoundNode:
     """One variable's bound element."""
@@ -54,6 +76,9 @@ class QueryResult:
     columns: list[str]
     variables: list[str]
     rows: list[ResultRow] = field(default_factory=list)
+    #: root :class:`repro.obs.trace.Span` of this execution when the
+    #: warehouse ran with tracing enabled; None otherwise
+    trace: "object | None" = None
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -33,10 +33,14 @@ class WarehouseLoader:
     def __init__(self, backend: Backend,
                  options: SchemaOptions = SchemaOptions(),
                  sequence_tags: frozenset[str] = DEFAULT_SEQUENCE_TAGS,
-                 create: bool = True):
+                 create: bool = True,
+                 tracer=None):
         self.backend = backend
         self.options = options
         self.sequence_tags = sequence_tags
+        #: optional :class:`repro.obs.Tracer`; when set, stores record
+        #: per-table row counts and shred/insert split on load spans
+        self.tracer = tracer
         if create:
             create_schema(backend, options)
         self._next_doc_id = self._load_max_doc_id() + 1
@@ -60,6 +64,8 @@ class WarehouseLoader:
             numeric_typing=self.options.numeric_typing)
         self._insert_rows(shredded)
         self.backend.commit()
+        if self.tracer is not None:
+            self.tracer.count("documents")
         return doc_id
 
     def remove_document(self, source: str, collection: str,
@@ -88,6 +94,8 @@ class WarehouseLoader:
             self._insert_rows(shredded)
             count += 1
         self.backend.commit()
+        if self.tracer is not None:
+            self.tracer.count("documents", count)
         return count
 
     def optimize(self) -> None:
@@ -122,9 +130,12 @@ class WarehouseLoader:
     # -- internals -----------------------------------------------------------------
 
     def _insert_rows(self, shredded: ShreddedDocument) -> None:
+        tracer = self.tracer
         for table, rows in shredded.rows_by_table().items():
             if rows:
                 self.backend.executemany(INSERT_STATEMENTS[table], rows)
+                if tracer is not None:
+                    tracer.count(f"rows.{table}", len(rows))
 
     def _delete_entry(self, source: str, entry_key: str,
                       collection: str | None) -> None:

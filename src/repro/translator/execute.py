@@ -11,7 +11,12 @@ their fetched values.
 from __future__ import annotations
 
 from repro.relational.backend import Backend
-from repro.results.resultset import BoundNode, QueryResult, ResultRow
+from repro.results.resultset import (
+    BoundNode,
+    QueryResult,
+    ResultRow,
+    unique_columns,
+)
 from repro.translator.compile import VAR_COLUMNS, CompiledQuery, CompiledValue
 from repro.xmlkit.doc import Element
 from repro.xmlkit.serializer import serialize_compact
@@ -19,29 +24,56 @@ from repro.xquery.ast import Constructor, VarPath
 
 
 def execute_compiled(compiled: CompiledQuery,
-                     backend: Backend) -> QueryResult:
-    """Run all SQL of a compiled query; returns the merged result."""
+                     backend: Backend,
+                     tracer=None) -> QueryResult:
+    """Run all SQL of a compiled query; returns the merged result.
+
+    With a :class:`repro.obs.trace.Tracer`, the three execution phases
+    (binding collection, value collection, merge) each get their own
+    span nested under whatever span is currently open.
+    """
+    if tracer is None:
+        bindings = _collect_bindings(compiled, backend)
+        value_maps = _collect_value_maps(compiled, backend, bindings)
+        return _merge_result(compiled, bindings, value_maps)
+
+    with tracer.span("bindings") as span:
+        bindings = _collect_bindings(compiled, backend)
+        span.count("binding_tuples", len(bindings))
+    with tracer.span("values"):
+        value_maps = _collect_value_maps(compiled, backend, bindings)
+    with tracer.span("merge") as span:
+        result = _merge_result(compiled, bindings, value_maps)
+        span.count("result_rows", len(result))
+    return result
+
+
+def _output_columns(compiled: CompiledQuery) -> list[str]:
+    """Result column names, uniquified (shared scheme with the native
+    evaluator so differential tests compare like for like)."""
+    return unique_columns([item.item.output_name
+                           for item in compiled.items])
+
+
+def _collect_value_maps(compiled: CompiledQuery, backend: Backend,
+                        bindings: list[tuple]) -> list[list[dict]]:
+    """Run every item's value queries, restricted to bound documents."""
     variables = compiled.variables
-    bindings = _collect_bindings(compiled, backend)
-
-    columns: list[str] = []
-    for item in compiled.items:
-        name = item.item.output_name
-        # duplicate output names get positional suffixes so columns
-        # stay addressable
-        if name in columns:
-            name = f"{name}_{len(columns)}"
-        columns.append(name)
-
     doc_ids_by_var = {
         var: sorted({binding[i * VAR_COLUMNS] for binding in bindings})
         for i, var in enumerate(variables)}
-    value_maps = [
+    return [
         [_collect_values(value, backend,
                          doc_ids_by_var.get(value.varpath.var, []))
          for value in item.values]
         for item in compiled.items]
 
+
+def _merge_result(compiled: CompiledQuery, bindings: list[tuple],
+                  value_maps: list[list[dict]]) -> QueryResult:
+    """Merge value maps onto binding tuples by anchor keys."""
+    variables = compiled.variables
+    columns = _output_columns(compiled)
     result = QueryResult(columns=columns, variables=list(variables))
     for binding in bindings:
         row = ResultRow(bindings={

@@ -63,3 +63,27 @@ class TestDiff:
         # the same key in both releases is never in `added`
         plan = diff_releases(snapshot("r1", a="1"), snapshot("r2", a="2"))
         assert "a" not in plan.added
+
+
+class TestFingerprintResolution:
+    """The fingerprint is the full SHA-256 digest; a truncated prefix
+    colliding between an entry's old and new content would silently
+    drop the change from the update plan."""
+
+    def test_fingerprint_is_full_sha256(self):
+        entry = entry_from_pairs([("ID", "x"), ("DE", "d")])
+        digest = entry_fingerprint(entry)
+        assert len(digest) == 64
+        assert all(c in "0123456789abcdef" for c in digest)
+
+    def test_changed_entry_classified_even_when_prefixes_collide(self):
+        # two fingerprints sharing a 16-hex-char prefix but differing
+        # beyond it: with the old truncation these compared equal and
+        # the changed entry vanished from the plan
+        prefix = "deadbeefcafef00d"
+        old = ReleaseSnapshot("r1", {"a": prefix + "0" * 48})
+        new = ReleaseSnapshot("r2", {"a": prefix + "f" * 48})
+        plan = diff_releases(old, new)
+        assert plan.updated == ("a",)
+        assert plan.unchanged == ()
+        assert not plan.is_noop

@@ -90,3 +90,36 @@ class TestCliWorkflow:
         code = main(["load", "--db", db, "--source", "nope",
                      str(corpus_dir / "enzyme.dat")])
         assert code == 1
+
+
+class TestCliProfile:
+    QUERY = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+             'WHERE contains($a//catalytic_activity, "ketone") '
+             'RETURN $a//enzyme_id')
+
+    def test_profile_against_db(self, tmp_path, corpus_dir, capsys):
+        db = str(tmp_path / "wh.sqlite")
+        main(["init", "--db", db])
+        main(["load", "--db", db, "--source", "hlx_enzyme",
+              str(corpus_dir / "enzyme.dat")])
+        assert main(["profile", "--db", db, self.QUERY]) == 0
+        out = capsys.readouterr().out
+        for stage in ("parse", "check", "compile", "execute", "tag"):
+            assert stage in out
+        assert "plan:" in out
+
+    def test_profile_synth_minidb_with_json(self, tmp_path, capsys):
+        import json
+        out_json = tmp_path / "profile.json"
+        assert main(["profile", "--synth", "--backend", "minidb",
+                     "--json", str(out_json), self.QUERY]) == 0
+        printed = capsys.readouterr().out
+        assert "profile [minidb]" in printed
+        data = json.loads(out_json.read_text(encoding="utf-8"))
+        assert data["format"] == "xomatiq-profile/1"
+        assert data["profiles"][0]["backend"] == "minidb"
+        assert data["profiles"][0]["stages"]["execute"] >= 0
+
+    def test_profile_without_target_errors(self, capsys):
+        assert main(["profile", self.QUERY]) == 2
+        assert "provide --db or --synth" in capsys.readouterr().err

@@ -59,3 +59,21 @@ class TestRemoveSource:
 
     def test_remove_missing_source_is_zero(self, warehouse):
         assert warehouse.remove_source("never_loaded") == 0
+
+    def test_remove_all_sources_leaves_zero_residue(self, warehouse):
+        """Batched deletes must clear every generic-schema table —
+        derived from TABLE_NAMES so a new table can't leak rows."""
+        from repro.relational.schema import TABLE_NAMES
+        for source in ("hlx_enzyme", "hlx_embl", "hlx_sprot", "hlx_omim"):
+            warehouse.remove_source(source)
+        stats = warehouse.stats()
+        for table in TABLE_NAMES:
+            assert stats[table] == 0, f"{table} left {stats[table]} rows"
+
+    def test_remove_source_chunks_batched_deletes(self, warehouse):
+        """Chunked IN-lists: force multiple chunks per table."""
+        warehouse._REMOVE_CHUNK = 3
+        removed = warehouse.remove_source("hlx_enzyme")
+        assert removed > 3
+        assert not warehouse.document_exists("hlx_enzyme", None)
+        assert warehouse.stats()["documents"] > 0  # others intact

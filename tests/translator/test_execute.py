@@ -147,3 +147,27 @@ class TestNumericSemantics:
             'FOR $a IN document("db.c")/r WHERE $a/name = "alpha" '
             'RETURN $a//name')
         assert result.scalars("name") == ["alpha"]
+
+
+class TestOutputColumnUniqueness:
+    """Duplicate output names must never collide after renaming (items
+    named ``a``, ``a_2``, ``a`` once produced ``a_2`` twice)."""
+
+    def test_alias_collides_with_positional_suffix(self, empty_warehouse):
+        load(empty_warehouse.loader, "db", "c", [
+            ("k1", "<r><v>x</v></r>")])
+        result = empty_warehouse.query(
+            'FOR $r IN document("db.c")/r '
+            'RETURN $a = $r/v, $a_2 = $r/v, $a = $r/v')
+        assert result.columns == ["a", "a_2", "a_3"]
+        assert len(set(result.columns)) == 3
+        for column in result.columns:
+            assert result.scalars(column) == ["x"]
+
+    def test_triple_duplicate_names(self, empty_warehouse):
+        load(empty_warehouse.loader, "db", "c", [
+            ("k1", "<r><v>x</v></r>")])
+        result = empty_warehouse.query(
+            'FOR $r IN document("db.c")/r '
+            'RETURN $a = $r/v, $a = $r/v, $a = $r/v')
+        assert result.columns == ["a", "a_2", "a_3"]
