@@ -52,7 +52,11 @@ def profile_smoke(out: Path) -> int:
     for make in (SqliteBackend, MiniDbBackend):
         warehouse = Warehouse(backend=make())
         warehouse.load_corpus(corpus)
-        for label, query in (("fig8", FIG8), ("fig11", FIG11)):
+        # fig8 runs twice: the repeat is served by the compiled-query
+        # cache, so its profile shows the cache.hit counter and no
+        # parse/check/compile stages
+        for label, query in (("fig8", FIG8), ("fig8-repeat", FIG8),
+                             ("fig11", FIG11)):
             report = warehouse.profile(query)
             reports.append(report)
             print(f"--- {label} ---")

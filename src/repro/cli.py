@@ -42,6 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--source", required=True,
                       help="source name (hlx_enzyme, hlx_embl, hlx_sprot)")
     load.add_argument("flatfile", help="path to the flat-file release")
+    load.add_argument("--batch-size", type=int, default=None,
+                      help="documents per bulk-load flush transaction "
+                           "(default: warehouse bulk_batch_size, 512)")
+    load.add_argument("--workers", type=int, default=None,
+                      help="transform+shred worker threads "
+                           "(default 0: run inline)")
 
     synth = sub.add_parser("synth",
                            help="generate a cross-linked synthetic corpus")
@@ -112,7 +118,9 @@ def _dispatch(args) -> int:
 
     if args.command == "load":
         warehouse = _open(args.db)
-        count = warehouse.load_file(args.source, args.flatfile)
+        count = warehouse.load_file(args.source, args.flatfile,
+                                    batch_size=args.batch_size,
+                                    workers=args.workers)
         print(f"loaded {count} documents into {args.source}")
         warehouse.close()
         return 0

@@ -33,7 +33,12 @@ from repro.xmlkit import Document
 
 
 class DocumentStore(Protocol):
-    """Where shredded documents land (the relational warehouse)."""
+    """Where shredded documents land (the relational warehouse).
+
+    Stores may additionally expose ``bulk_session()`` returning a
+    context manager with an ``add(source, collection, entry_key,
+    document)`` method; the hound then batches release loads through
+    it instead of calling :meth:`store_document` per entry."""
 
     def store_document(self, source: str, collection: str, entry_key: str,
                        document: Document) -> None:
@@ -129,10 +134,20 @@ class DataHound:
 
             loaded = 0
             with self._span("store") as store_span:
-                for key, collection, document in staged:
-                    self.store.store_document(source, collection, key,
-                                              document)
-                    loaded += 1
+                # stores whose DocumentStore offers a bulk session get
+                # the batched pipeline (one transaction per batch of
+                # documents); others fall back to per-document upserts
+                session_factory = getattr(self.store, "bulk_session", None)
+                if session_factory is not None and staged:
+                    with session_factory() as session:
+                        for key, collection, document in staged:
+                            session.add(source, collection, key, document)
+                            loaded += 1
+                else:
+                    for key, collection, document in staged:
+                        self.store.store_document(source, collection, key,
+                                                  document)
+                        loaded += 1
                 for key in plan.removed:
                     self.store.remove_document(source, "", key)
 

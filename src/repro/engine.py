@@ -33,6 +33,7 @@ from repro.results.resultset import BoundNode, QueryResult, ResultRow
 from repro.shredding.loader import WarehouseLoader
 from repro.shredding.reconstruct import reconstruct_document
 from repro.shredding.shredder import DEFAULT_SEQUENCE_TAGS
+from repro.translator.cache import CompiledQueryCache
 from repro.translator.compile import CompiledQuery, compile_query
 from repro.translator.execute import execute_compiled
 from repro.xmlkit import Document, DtdTreeNode, serialize
@@ -50,7 +51,10 @@ class Warehouse:
                  sequence_tags: frozenset[str] = DEFAULT_SEQUENCE_TAGS,
                  validate_sources: bool = True,
                  create: bool = True,
-                 trace=None):
+                 trace=None,
+                 bulk_batch_size: int = 512,
+                 bulk_workers: int = 0,
+                 query_cache: int = 128):
         """``create=False`` attaches to a backend whose generic schema
         already exists (reopening an on-disk warehouse).
 
@@ -60,6 +64,11 @@ class Warehouse:
         stages run inside spans, and every ``QueryResult`` carries its
         trace. The default ``None`` allocates nothing — queries and
         loads pay zero instrumentation cost.
+
+        ``bulk_batch_size``/``bulk_workers`` set the defaults for the
+        batched load pipeline (documents per flush transaction /
+        transform+shred worker threads); ``query_cache`` sizes the
+        compiled-query LRU (0 disables it). See docs/performance.md.
         """
         self.backend = backend if backend is not None else SqliteBackend()
         self.tracer = None
@@ -72,24 +81,34 @@ class Warehouse:
         self.validate_sources = validate_sources
         self.loader = WarehouseLoader(self.backend, options=options,
                                       sequence_tags=sequence_tags,
-                                      create=create, tracer=self.tracer)
-        self.xomatiq = XomatiQ(self)
+                                      create=create, tracer=self.tracer,
+                                      bulk_batch_size=bulk_batch_size,
+                                      bulk_workers=bulk_workers)
+        self.xomatiq = XomatiQ(self, cache_size=query_cache)
 
     # -- loading ---------------------------------------------------------------
 
-    def load_text(self, source: str, flat_text: str) -> int:
+    def load_text(self, source: str, flat_text: str,
+                  batch_size: int | None = None,
+                  workers: int | None = None) -> int:
         """Transform and load a flat-file release directly (no
-        transport layer); returns the number of documents loaded."""
+        transport layer); returns the number of documents loaded.
+
+        Runs through the batched bulk-load pipeline: transform+shred
+        (parallelized across ``workers`` threads when > 1), rows
+        buffered and flushed one ``executemany`` per table per
+        ``batch_size`` documents in a single transaction, ANALYZE
+        deferred to the end of the release."""
+        from repro.flatfile import parse_entries
         transformer = self.registry.create(source,
                                            validate=self.validate_sources)
-        count = 0
-        from repro.flatfile import parse_entries
-        for entry in parse_entries(flat_text):
-            document = transformer.transform_entry(entry)
-            key = transformer.entry_key(entry)
-            collection = transformer.collection_of(entry)
-            self.loader.store_document(source, collection, key, document)
-            count += 1
+        with self.loader.bulk_session(batch_size=batch_size,
+                                      workers=workers) as session:
+            count = session.add_transformed(
+                source, parse_entries(flat_text),
+                lambda entry: (transformer.collection_of(entry),
+                               transformer.entry_key(entry),
+                               transformer.transform_entry(entry)))
         self.optimize()
         return count
 
@@ -101,21 +120,24 @@ class Warehouse:
         if analyze is not None:
             analyze()
 
-    def load_file(self, source: str, path) -> int:
+    def load_file(self, source: str, path,
+                  batch_size: int | None = None,
+                  workers: int | None = None) -> int:
         """Transform and load a flat-file release from disk, streaming
-        entry by entry (multi-hundred-MB dumps never need to be
-        memory-resident)."""
+        entry by entry through the bulk-load pipeline (multi-hundred-MB
+        dumps never need to be memory-resident — at most one batch of
+        shredded rows is buffered)."""
         from repro.flatfile import iter_entries
         transformer = self.registry.create(source,
                                            validate=self.validate_sources)
-        count = 0
         with open(path, encoding="utf-8") as handle:
-            for entry in iter_entries(handle):
-                document = transformer.transform_entry(entry)
-                self.loader.store_document(
-                    source, transformer.collection_of(entry),
-                    transformer.entry_key(entry), document)
-                count += 1
+            with self.loader.bulk_session(batch_size=batch_size,
+                                          workers=workers) as session:
+                count = session.add_transformed(
+                    source, iter_entries(handle),
+                    lambda entry: (transformer.collection_of(entry),
+                                   transformer.entry_key(entry),
+                                   transformer.transform_entry(entry)))
         self.optimize()
         return count
 
@@ -179,6 +201,7 @@ class Warehouse:
                     f"DELETE FROM {table} WHERE doc_id IN ({placeholders})",
                     tuple(chunk))
         self.backend.commit()
+        self.loader.bump_generation()
         return len(doc_ids)
 
     def stats(self) -> dict[str, int]:
@@ -239,10 +262,19 @@ class Warehouse:
 
 
 class XomatiQ:
-    """The query component: parse → check → XQ2SQL → execute → tag."""
+    """The query component: parse → check → XQ2SQL → execute → tag.
 
-    def __init__(self, warehouse: Warehouse):
+    Translations are memoized in a :class:`CompiledQueryCache` keyed by
+    (query text, backend dialect, sequence_tags) and guarded by the
+    loader's catalog-generation counter, so repeated queries skip
+    parse/check/compile entirely while any store/remove forces a fresh
+    translation (and a fresh semantic check) on the next call.
+    """
+
+    def __init__(self, warehouse: Warehouse, cache_size: int = 128):
         self.warehouse = warehouse
+        self.cache = (CompiledQueryCache(cache_size) if cache_size
+                      else None)
 
     def parse(self, text: str) -> Query:
         """Parse query text to its AST."""
@@ -263,24 +295,61 @@ class XomatiQ:
         return compile_query(query,
                              sequence_tags=self.warehouse.sequence_tags)
 
+    def translate_cached(self, text: str) -> tuple[CompiledQuery, bool]:
+        """Translate via the compiled-query cache; returns
+        ``(compiled, hit)``. With the cache disabled this is a plain
+        :meth:`translate` (``hit`` always False)."""
+        if self.cache is None:
+            return self.translate(text), False
+        generation = self.warehouse.loader.generation
+        dialect = self.warehouse.backend.name
+        tags = self.warehouse.sequence_tags
+        compiled = self.cache.get(text, dialect, tags, generation)
+        if compiled is not None:
+            return compiled, True
+        compiled = self.translate(text)
+        self.cache.put(text, dialect, tags, generation, compiled)
+        return compiled, False
+
+    def translate_in_spans(self, text: str, tracer, root) -> CompiledQuery:
+        """Cache-aware translation with per-stage spans; ``cache.hit``
+        / ``cache.miss`` counters land on ``root`` (they show up in
+        profile JSON and query traces). On a hit the parse/check/
+        compile spans are skipped entirely — that is the point."""
+        cache = self.cache
+        generation = dialect = tags = None
+        if cache is not None:
+            generation = self.warehouse.loader.generation
+            dialect = self.warehouse.backend.name
+            tags = self.warehouse.sequence_tags
+            compiled = cache.get(text, dialect, tags, generation)
+            if compiled is not None:
+                root.count("cache.hit")
+                return compiled
+            root.count("cache.miss")
+        with tracer.span("parse"):
+            query = self.parse(text)
+        with tracer.span("check"):
+            self.check(query)
+        with tracer.span("compile"):
+            compiled = compile_query(
+                query, sequence_tags=self.warehouse.sequence_tags)
+        if cache is not None:
+            cache.put(text, dialect, tags, generation, compiled)
+        return compiled
+
     def query(self, text: str) -> QueryResult:
-        """The full pipeline: translate then execute.
+        """The full pipeline: translate (cached) then execute.
 
         On a traced warehouse every stage runs inside a span and the
         result carries the span tree on ``result.trace``."""
         tracer = self.warehouse.tracer
         if tracer is None:
-            compiled = self.translate(text)
+            compiled, __ = self.translate_cached(text)
             return execute_compiled(compiled, self.warehouse.backend)
         with tracer.span("query", query=text,
                          backend=self.warehouse.backend.name) as root:
-            with tracer.span("parse"):
-                query = self.parse(text)
-            with tracer.span("check"):
-                self.check(query)
-            with tracer.span("compile"):
-                compiled = compile_query(
-                    query, sequence_tags=self.warehouse.sequence_tags)
+            compiled = self.translate_in_spans(text, tracer, root)
             with tracer.span("execute") as span:
                 result = execute_compiled(compiled,
                                           self.warehouse.backend,

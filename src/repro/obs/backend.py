@@ -83,16 +83,29 @@ class InstrumentedBackend:
         return rows
 
     def executemany(self, sql: str, params_seq: Iterable[Params]) -> int:
-        """Forward a batch, recorded as one entry with its batch size."""
-        params_list = [tuple(p) for p in params_seq]
+        """Forward a batch, recorded as one entry with its batch size.
+
+        The parameter iterable streams straight through to the backend
+        (which may itself chunk it) — instrumentation must not be the
+        layer that materializes a multi-million-row batch."""
+        width = 0
+
+        def watched(sequence):
+            nonlocal width
+            for params in sequence:
+                if not width:
+                    try:
+                        width = len(params)
+                    except TypeError:
+                        width = len(tuple(params))
+                yield params
+
         start = self._clock()
-        count = self.inner.executemany(sql, params_list)
+        count = self.inner.executemany(sql, watched(params_seq))
         duration = self._clock() - start
-        width = len(params_list[0]) if params_list else 0
         self.tracer.record_statement(StatementRecord(
             sql=sql, kind=statement_kind(sql), param_count=width,
-            row_count=0, duration_s=duration,
-            executions=max(count, 1) if params_list else 0))
+            row_count=0, duration_s=duration, executions=count))
         return count
 
     def commit(self) -> None:

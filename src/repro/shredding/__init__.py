@@ -2,7 +2,7 @@
 (the XML2Relational- and Relation2XML-transformers of the paper)."""
 
 from repro.shredding.keywords import query_tokens, tokenize
-from repro.shredding.loader import WarehouseLoader
+from repro.shredding.loader import BulkLoadSession, WarehouseLoader
 from repro.shredding.reconstruct import (
     reconstruct_by_entry,
     reconstruct_document,
@@ -16,6 +16,7 @@ from repro.shredding.shredder import (
 from repro.shredding.typing import is_numeric, numeric_value
 
 __all__ = [
+    "BulkLoadSession",
     "DEFAULT_SEQUENCE_TAGS",
     "ShreddedDocument",
     "WarehouseLoader",

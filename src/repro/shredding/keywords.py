@@ -38,15 +38,20 @@ def tokenize(text: str) -> list[str]:
     occurrence): ``AMD_HUMAN`` → ``["amd_human", "amd", "human"]``.
     """
     tokens: list[str] = []
-    for match in _TOKEN_RE.finditer(text):
-        token = match.group().lower()
-        if _acceptable(token):
-            tokens.append(token)
-        fragments = _FRAGMENT_RE.findall(token)
-        if len(fragments) > 1:
-            for fragment in fragments:
-                if _acceptable(fragment) and fragment != token:
-                    tokens.append(fragment)
+    append = tokens.append
+    stopwords = STOPWORDS
+    find_fragments = _FRAGMENT_RE.findall
+    for token in _TOKEN_RE.findall(text):
+        token = token.lower()
+        if len(token) >= MIN_TOKEN_LENGTH and token not in stopwords:
+            append(token)
+        # only compound tokens (glued by . - _) expand into fragments;
+        # plain alphanumeric runs — the common case — skip the regex
+        if "." in token or "-" in token or "_" in token:
+            for fragment in find_fragments(token):
+                if (len(fragment) >= MIN_TOKEN_LENGTH
+                        and fragment not in stopwords):
+                    append(fragment)
     return tokens
 
 

@@ -7,12 +7,30 @@ implements the :class:`~repro.datahounds.hound.DocumentStore` protocol:
 of the same ``(source, collection, entry_key)``), ``remove_document``
 deletes every row of the entry's document — together they give the
 paper's "nothing left out, nothing added twice" update behaviour.
+
+:class:`BulkLoadSession` is the release-scale path: instead of one
+transaction per document it accumulates shredded rows across documents
+and flushes one ``executemany`` per table per batch, committing once
+per batch. The CPU-bound transform+shred work can additionally run in
+a worker pool (:meth:`BulkLoadSession.add_transformed`) while inserts
+stay ordered on the calling thread, so the backend always sees rows in
+doc-id order.
 """
 
 from __future__ import annotations
 
+import re
+from contextlib import nullcontext
+from typing import Callable, Iterable
+
 from repro.relational.backend import Backend
-from repro.relational.schema import INSERT_STATEMENTS, SchemaOptions, create_schema
+from repro.relational.schema import (
+    CREATE_INDEXES,
+    INSERT_STATEMENTS,
+    TABLE_NAMES,
+    SchemaOptions,
+    create_schema,
+)
 from repro.shredding.shredder import (
     DEFAULT_SEQUENCE_TAGS,
     ShreddedDocument,
@@ -20,11 +38,20 @@ from repro.shredding.shredder import (
 )
 from repro.xmlkit import Document
 
+#: derived from the schema module so a new generic-schema table can
+#: never leak rows on per-entry upsert (same drift class as
+#: ``Warehouse.remove_source`` fixed earlier)
 _DELETE_BY_DOC = {
     table: f"DELETE FROM {table} WHERE doc_id = ?"
-    for table in ("documents", "elements", "attributes", "text_values",
-                  "sequences", "keywords")
+    for table in TABLE_NAMES
 }
+
+#: secondary-index names, derived from the schema DDL so deferred index
+#: builds can never miss an index added later
+_INDEX_NAMES = [
+    re.match(r"CREATE INDEX (\w+)", statement).group(1)
+    for statement in CREATE_INDEXES
+]
 
 
 class WarehouseLoader:
@@ -34,13 +61,22 @@ class WarehouseLoader:
                  options: SchemaOptions = SchemaOptions(),
                  sequence_tags: frozenset[str] = DEFAULT_SEQUENCE_TAGS,
                  create: bool = True,
-                 tracer=None):
+                 tracer=None,
+                 bulk_batch_size: int = 512,
+                 bulk_workers: int = 0):
         self.backend = backend
         self.options = options
         self.sequence_tags = sequence_tags
         #: optional :class:`repro.obs.Tracer`; when set, stores record
         #: per-table row counts and shred/insert split on load spans
         self.tracer = tracer
+        #: defaults for :meth:`bulk_session`
+        self.bulk_batch_size = bulk_batch_size
+        self.bulk_workers = bulk_workers
+        #: catalog generation — bumped by every store/remove/flush so
+        #: compiled-query caches can tell when semantic checks (which
+        #: documents exist) and results may have gone stale
+        self.generation = 0
         if create:
             create_schema(backend, options)
         self._next_doc_id = self._load_max_doc_id() + 1
@@ -50,20 +86,24 @@ class WarehouseLoader:
         value = rows[0][0] if rows else None
         return value if isinstance(value, int) else 0
 
+    def bump_generation(self) -> None:
+        """Note a catalog mutation (store, remove, bulk flush)."""
+        self.generation += 1
+
     # -- DocumentStore protocol -------------------------------------------------
 
     def store_document(self, source: str, collection: str, entry_key: str,
                        document: Document) -> int:
         """Insert (or replace) one entry's document; returns its doc_id."""
         self._delete_entry(source, entry_key, collection)
-        doc_id = self._next_doc_id
-        self._next_doc_id += 1
+        doc_id = self._reserve_doc_id()
         shredded = shred_document(
             document, doc_id, source, collection, entry_key,
             sequence_tags=self.sequence_tags,
             numeric_typing=self.options.numeric_typing)
         self._insert_rows(shredded)
         self.backend.commit()
+        self.bump_generation()
         if self.tracer is not None:
             self.tracer.count("documents")
         return doc_id
@@ -76,27 +116,36 @@ class WarehouseLoader:
         self._delete_entry(source, entry_key,
                            collection if collection else None)
         self.backend.commit()
+        self.bump_generation()
 
     # -- bulk/lookup helpers ----------------------------------------------------
+
+    def bulk_session(self, batch_size: int | None = None,
+                     workers: int | None = None,
+                     upsert: bool = True,
+                     defer_indexes: bool | None = None) -> "BulkLoadSession":
+        """A batched load session (see :class:`BulkLoadSession`).
+
+        ``batch_size``/``workers`` default to the loader's
+        ``bulk_batch_size``/``bulk_workers``; ``upsert=False`` skips
+        the existing-entry lookup entirely (safe only on a fresh
+        source). ``defer_indexes`` drops the secondary indexes for the
+        session's lifetime and rebuilds them sorted at the end — the
+        default ``None`` enables it automatically for initial loads
+        into an empty warehouse, where incremental index maintenance
+        is pure overhead."""
+        return BulkLoadSession(self, batch_size=batch_size,
+                               workers=workers, upsert=upsert,
+                               defer_indexes=defer_indexes)
 
     def store_documents(self, source: str, collection: str,
                         keyed_documents: list[tuple[str, Document]]) -> int:
         """Bulk-load fresh documents (no per-entry delete); returns the
         number loaded. Use only on an empty source."""
-        count = 0
-        for entry_key, document in keyed_documents:
-            doc_id = self._next_doc_id
-            self._next_doc_id += 1
-            shredded = shred_document(
-                document, doc_id, source, collection, entry_key,
-                sequence_tags=self.sequence_tags,
-                numeric_typing=self.options.numeric_typing)
-            self._insert_rows(shredded)
-            count += 1
-        self.backend.commit()
-        if self.tracer is not None:
-            self.tracer.count("documents", count)
-        return count
+        with self.bulk_session(upsert=False) as session:
+            for entry_key, document in keyed_documents:
+                session.add(source, collection, entry_key, document)
+        return session.documents_loaded
 
     def optimize(self) -> None:
         """Refresh backend planner statistics (no-op for backends
@@ -129,6 +178,11 @@ class WarehouseLoader:
 
     # -- internals -----------------------------------------------------------------
 
+    def _reserve_doc_id(self) -> int:
+        doc_id = self._next_doc_id
+        self._next_doc_id += 1
+        return doc_id
+
     def _insert_rows(self, shredded: ShreddedDocument) -> None:
         tracer = self.tracer
         for table, rows in shredded.rows_by_table().items():
@@ -151,3 +205,265 @@ class WarehouseLoader:
         for (doc_id,) in rows:
             for statement in _DELETE_BY_DOC.values():
                 self.backend.execute(statement, (doc_id,))
+
+
+class BulkLoadSession:
+    """Batched, optionally parallel document loading.
+
+    Documents added via :meth:`add` (or the worker-pool
+    :meth:`add_transformed`) are shredded immediately but their rows
+    are buffered; every ``batch_size`` documents the session flushes —
+    one batched existing-entry delete (upsert mode), then one
+    ``executemany`` per generic-schema table, then a single commit.
+    Compared with :meth:`WarehouseLoader.store_document`'s
+    seven-statements-plus-commit per document, a flush costs a handful
+    of statements per *batch*, which is where release-scale load
+    throughput comes from.
+
+    Use as a context manager::
+
+        with loader.bulk_session(batch_size=512) as session:
+            for entry in entries:
+                session.add(source, collection, key, document)
+        # remainder flushed on clean exit; pending rows are discarded
+        # if the block raises (complete batches stay committed)
+
+    Upsert semantics match the entry-level contract: any previously
+    stored document with the same ``(source, entry_key)`` — in *any*
+    collection, mirroring ``remove_document``'s empty-collection
+    wildcard — is deleted in the same transaction that inserts the
+    replacement. A key added twice in one session keeps the later
+    document. ``ANALYZE`` is deliberately deferred: callers run
+    :meth:`WarehouseLoader.optimize` once per release, not per batch.
+
+    On initial loads into an empty warehouse (or with
+    ``defer_indexes=True``) the secondary indexes are dropped at
+    ``__enter__`` and rebuilt sorted at ``__exit__`` — a bulk index
+    build over the loaded rows instead of per-row B-tree maintenance.
+    The rebuild also runs when the block raises, so committed batches
+    always end up indexed.
+    """
+
+    #: entry keys per existing-doc lookup / doc ids per DELETE chunk
+    #: (well under engine parameter limits)
+    _SQL_CHUNK = 200
+
+    def __init__(self, loader: WarehouseLoader,
+                 batch_size: int | None = None,
+                 workers: int | None = None,
+                 upsert: bool = True,
+                 defer_indexes: bool | None = None):
+        self.loader = loader
+        if batch_size is None:
+            batch_size = loader.bulk_batch_size
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.workers = (loader.bulk_workers if workers is None
+                        else workers)
+        self.upsert = upsert
+        self.defer_indexes = defer_indexes
+        self._indexes_dropped = False
+        #: set in ``__enter__``; on an initially-empty warehouse the
+        #: only entries an upsert can collide with are the session's
+        #: own earlier flushes, tracked here — lookups shrink to that
+        self._warehouse_was_empty = False
+        self._flushed_keys: set[tuple[str, str]] = set()
+        #: documents added so far (within-batch replacements included)
+        self.documents_loaded = 0
+        #: completed batch flushes
+        self.flushes = 0
+        self._pending: list[tuple[tuple[str, str], ShreddedDocument] | None]
+        self._pending = []
+        self._pending_index: dict[tuple[str, str], int] = {}
+        self._live = 0
+
+    # -- adding documents ---------------------------------------------------
+
+    def add(self, source: str, collection: str, entry_key: str,
+            document: Document) -> int:
+        """Shred and buffer one document; returns its doc_id. Flushes
+        automatically when the batch fills."""
+        doc_id = self.loader._reserve_doc_id()
+        shredded = shred_document(
+            document, doc_id, source, collection, entry_key,
+            sequence_tags=self.loader.sequence_tags,
+            numeric_typing=self.loader.options.numeric_typing)
+        self._buffer(source, entry_key, shredded)
+        return doc_id
+
+    def add_transformed(self, source: str, items: Iterable,
+                        transform: Callable) -> int:
+        """Feed the session through ``transform(item) -> (collection,
+        entry_key, document)``, shredding included; returns the number
+        of documents added.
+
+        With ``workers > 1`` the transform+shred stage (the CPU-bound
+        part of a load) runs in a thread pool; results come back in
+        input order, so buffering — and therefore every insert the
+        backend sees — stays ordered on the calling thread.
+        """
+        before = self.documents_loaded
+        job = self._shred_job(source, transform)
+        numbered = ((self.loader._reserve_doc_id(), item)
+                    for item in items)
+        if self.workers and self.workers > 1:
+            from concurrent.futures import ThreadPoolExecutor
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                for entry_key, shredded in pool.map(job, numbered):
+                    self._buffer(source, entry_key, shredded)
+        else:
+            for pair in numbered:
+                entry_key, shredded = job(pair)
+                self._buffer(source, entry_key, shredded)
+        return self.documents_loaded - before
+
+    # -- flushing -----------------------------------------------------------
+
+    def flush(self) -> int:
+        """Write out all buffered documents in one transaction; returns
+        the number of documents flushed (0 when nothing is pending)."""
+        pending = [item for item in self._pending if item is not None]
+        if not pending:
+            return 0
+        tracer = self.loader.tracer
+        backend = self.loader.backend
+        span_context = (tracer.span("flush", batch=len(pending))
+                        if tracer is not None else nullcontext(None))
+        with span_context as span:
+            if self.upsert:
+                keys = [key for key, __ in pending]
+                if self._warehouse_was_empty:
+                    keys = [key for key in keys
+                            if key in self._flushed_keys]
+                if keys:
+                    self._delete_existing(backend, keys)
+                if self._warehouse_was_empty:
+                    self._flushed_keys.update(
+                        key for key, __ in pending)
+            merged: dict[str, list[tuple]] = {
+                table: [] for table in TABLE_NAMES}
+            for __, shredded in pending:
+                for table, rows in shredded.rows_by_table().items():
+                    if rows:
+                        merged[table].extend(rows)
+            for table in TABLE_NAMES:
+                rows = merged[table]
+                if rows:
+                    backend.executemany(INSERT_STATEMENTS[table], rows)
+                    if span is not None:
+                        span.count(f"rows.{table}", len(rows))
+            backend.commit()
+            if span is not None:
+                span.count("documents", len(pending))
+        self.flushes += 1
+        self.loader.bump_generation()
+        self._pending.clear()
+        self._pending_index.clear()
+        self._live = 0
+        return len(pending)
+
+    def close(self) -> None:
+        """Flush the remainder (alias for one final :meth:`flush`)."""
+        self.flush()
+
+    def __enter__(self) -> "BulkLoadSession":
+        self._warehouse_was_empty = self.loader.document_count() == 0
+        defer = self.defer_indexes
+        if defer is None:
+            # auto: only initial loads into an empty warehouse, where
+            # no concurrent reader can miss the indexes mid-session
+            defer = self._warehouse_was_empty
+        if defer:
+            self._drop_indexes()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()
+        else:
+            # complete batches stay committed; the partial one is
+            # discarded so a failed load never half-writes a batch
+            self._pending.clear()
+            self._pending_index.clear()
+            self._live = 0
+        # committed rows must come back indexed even after a failure
+        if self._indexes_dropped:
+            self._rebuild_indexes()
+
+    # -- internals ----------------------------------------------------------
+
+    def _drop_indexes(self) -> None:
+        backend = self.loader.backend
+        for name in _INDEX_NAMES:
+            backend.execute(f"DROP INDEX IF EXISTS {name}")
+        backend.commit()
+        self._indexes_dropped = True
+
+    def _rebuild_indexes(self) -> None:
+        tracer = self.loader.tracer
+        backend = self.loader.backend
+        span_context = (tracer.span("index_rebuild")
+                        if tracer is not None else nullcontext(None))
+        with span_context:
+            for statement in CREATE_INDEXES:
+                backend.execute(statement)
+            backend.commit()
+        self._indexes_dropped = False
+
+    def _shred_job(self, source: str, transform: Callable) -> Callable:
+        loader = self.loader
+
+        def job(pair):
+            doc_id, item = pair
+            collection, entry_key, document = transform(item)
+            shredded = shred_document(
+                document, doc_id, source, collection, entry_key,
+                sequence_tags=loader.sequence_tags,
+                numeric_typing=loader.options.numeric_typing)
+            return entry_key, shredded
+
+        return job
+
+    def _buffer(self, source: str, entry_key: str,
+                shredded: ShreddedDocument) -> None:
+        key = (source, entry_key)
+        if self.upsert:
+            earlier = self._pending_index.pop(key, None)
+            if earlier is not None:
+                self._pending[earlier] = None
+                self._live -= 1
+            self._pending_index[key] = len(self._pending)
+        self._pending.append((key, shredded))
+        self._live += 1
+        self.documents_loaded += 1
+        if self._live >= self.batch_size:
+            self.flush()
+
+    def _delete_existing(self, backend: Backend,
+                         keys: list[tuple[str, str]]) -> None:
+        """Batched upsert delete: one IN-list lookup per chunk of entry
+        keys, then one IN-list DELETE per table per chunk of doomed
+        doc ids — instead of seven statements per document."""
+        by_source: dict[str, list[str]] = {}
+        for source, entry_key in keys:
+            by_source.setdefault(source, []).append(entry_key)
+        doomed: list[int] = []
+        for source, entry_keys in by_source.items():
+            for start in range(0, len(entry_keys), self._SQL_CHUNK):
+                chunk = entry_keys[start:start + self._SQL_CHUNK]
+                placeholders = ", ".join("?" for __ in chunk)
+                rows = backend.execute(
+                    f"SELECT doc_id FROM documents WHERE source = ? "
+                    f"AND entry_key IN ({placeholders})",
+                    (source, *chunk))
+                doomed.extend(row[0] for row in rows)
+        if not doomed:
+            return
+        for table in TABLE_NAMES:
+            for start in range(0, len(doomed), self._SQL_CHUNK):
+                chunk = doomed[start:start + self._SQL_CHUNK]
+                placeholders = ", ".join("?" for __ in chunk)
+                backend.execute(
+                    f"DELETE FROM {table} WHERE doc_id IN ({placeholders})",
+                    tuple(chunk))

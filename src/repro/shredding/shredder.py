@@ -28,6 +28,27 @@ from repro.xmlkit import Document, Element, Text
 #: element tags holding residue strings (the sequence/non-sequence split)
 DEFAULT_SEQUENCE_TAGS = frozenset({"sequence"})
 
+#: memoized (tokens, num_value) per raw value string. Biological releases
+#: repeat values heavily (cofactor names, organism lines, controlled
+#: vocabulary), so shredding re-derives the same tokenization thousands
+#: of times; bounded so a pathological corpus cannot grow it unbounded.
+_VALUE_CACHE: dict[str, tuple[tuple[str, ...], float | int | None]] = {}
+_VALUE_CACHE_MAX = 16_384
+
+
+def _analyzed(value: str, numeric_typing: bool) -> tuple[
+        tuple[str, ...], float | int | None]:
+    """Cached (keyword tokens, numeric value) for one raw value."""
+    cached = _VALUE_CACHE.get(value)
+    if cached is None:
+        if len(_VALUE_CACHE) >= _VALUE_CACHE_MAX:
+            _VALUE_CACHE.clear()
+        cached = (tuple(tokenize(value)), numeric_value(value))
+        _VALUE_CACHE[value] = cached
+    if not numeric_typing:
+        return cached[0], None
+    return cached
+
 
 @dataclass
 class ShreddedDocument:
@@ -92,9 +113,9 @@ class _ShredState:
 
         is_sequence = element.tag in self.sequence_tags
         for name, value in element.attributes.items():
-            number = numeric_value(value) if self.numeric_typing else None
+            tokens, number = _analyzed(value, self.numeric_typing)
             self.out.attributes.append((doc_id, node_id, name, value, number))
-            self._index_keywords(node_id, value)
+            self._index_keywords(node_id, tokens)
 
         if is_sequence:
             residues = element.full_text()
@@ -115,11 +136,11 @@ class _ShredState:
         for child in element.children:
             if isinstance(child, Text):
                 if child.value:
-                    number = (numeric_value(child.value)
-                              if self.numeric_typing else None)
+                    tokens, number = _analyzed(child.value,
+                                               self.numeric_typing)
                     self.out.text_values.append(
                         (doc_id, node_id, child.value, number))
-                    self._index_keywords(node_id, child.value)
+                    self._index_keywords(node_id, tokens)
             else:
                 child_tag_ord = tag_counts.get(child.tag, 0)
                 tag_counts[child.tag] = child_tag_ord + 1
@@ -133,11 +154,15 @@ class _ShredState:
              subtree_end, depth, tag_sib_ord))
         return subtree_end
 
-    def _index_keywords(self, node_id: int, value: str) -> None:
-        for token in tokenize(value):
-            self.out.keywords.append(
-                (self.out.doc_id, node_id, token, self.keyword_position))
-            self.keyword_position += 1
+    def _index_keywords(self, node_id: int,
+                        tokens: tuple[str, ...]) -> None:
+        position = self.keyword_position
+        doc_id = self.out.doc_id
+        append = self.out.keywords.append
+        for token in tokens:
+            append((doc_id, node_id, token, position))
+            position += 1
+        self.keyword_position = position
 
 
 def _sequence_length(element: Element, residues: str) -> int:

@@ -2,6 +2,7 @@
 schema, plus the executor that merges SQL results back into query
 results."""
 
+from repro.translator.cache import CompiledQueryCache
 from repro.translator.compile import (
     BindingSql,
     CompiledDisjunct,
@@ -19,6 +20,7 @@ __all__ = [
     "CompiledDisjunct",
     "CompiledItem",
     "CompiledQuery",
+    "CompiledQueryCache",
     "ElementRef",
     "SqlBuilder",
     "compile_query",

@@ -1,0 +1,143 @@
+"""Compiled-query cache: hits, staleness, and invalidation.
+
+The cache memoizes parse → check → compile keyed by (query text,
+backend dialect, sequence_tags); a catalog-generation counter bumped by
+every store/remove guarantees a hit can never serve a translation whose
+semantic check (or result) went stale. These tests pin the contract
+down on both backends.
+"""
+
+import pytest
+
+from repro.engine import Warehouse
+from repro.errors import UnknownDocumentError
+from repro.synth import generate_enzyme_release
+from repro.translator.cache import CompiledQueryCache
+
+QUERY = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+         'RETURN $a//enzyme_id')
+
+
+def rows_of(result):
+    return [row.values for row in result.rows]
+
+
+class TestCacheHits:
+    def test_repeated_query_hits_cache_with_identical_rows(
+            self, empty_warehouse):
+        wh = empty_warehouse
+        wh.load_text("hlx_enzyme", generate_enzyme_release(seed=3, count=4))
+        first = wh.query(QUERY)   # miss: compiled and cached
+        second = wh.query(QUERY)  # hit: no parse/check/compile
+        assert wh.xomatiq.cache.hits >= 1
+        assert first.columns == second.columns
+        assert rows_of(first) == rows_of(second)
+
+    def test_cached_rows_match_uncached_warehouse(self, backend):
+        text = generate_enzyme_release(seed=3, count=4)
+        cached = Warehouse(backend=type(backend)())
+        uncached = Warehouse(backend=type(backend)(), query_cache=0)
+        cached.load_text("hlx_enzyme", text)
+        uncached.load_text("hlx_enzyme", text)
+        cached.query(QUERY)
+        hit = cached.query(QUERY)  # served from cache
+        plain = uncached.query(QUERY)
+        assert uncached.xomatiq.cache is None
+        assert hit.columns == plain.columns
+        assert rows_of(hit) == rows_of(plain)
+
+    def test_traced_query_counts_hit_and_miss(self, backend):
+        wh = Warehouse(backend=type(backend)(), trace=True)
+        wh.load_text("hlx_enzyme", generate_enzyme_release(seed=3, count=3))
+        wh.query(QUERY)
+        wh.query(QUERY)
+        query_spans = [span for span in wh.tracer.spans
+                       if span.name == "query"]
+        assert query_spans[0].counters.get("cache.miss") == 1
+        assert query_spans[1].counters.get("cache.hit") == 1
+        # on the hit, parse/check/compile stages are skipped entirely
+        assert [child.name for child in query_spans[1].children] \
+            == ["execute"]
+
+
+class TestInvalidation:
+    def test_failed_check_then_load_recompiles(self, empty_warehouse):
+        wh = empty_warehouse
+        with pytest.raises(UnknownDocumentError):
+            wh.query(QUERY)  # hlx_enzyme not loaded yet
+        wh.load_text("hlx_enzyme", generate_enzyme_release(seed=3, count=4))
+        result = wh.query(QUERY)  # must recompile and succeed
+        assert len(result) == 4
+
+    def test_store_invalidates_cached_results(self, empty_warehouse):
+        wh = empty_warehouse
+        wh.load_text("hlx_enzyme", generate_enzyme_release(seed=3, count=2))
+        before = wh.query(QUERY)
+        # a bigger release upserts the old entries and adds new ones
+        wh.load_text("hlx_enzyme", generate_enzyme_release(seed=3, count=5))
+        after = wh.query(QUERY)
+        assert len(before) == 2
+        assert len(after) == 5
+
+    def test_remove_source_invalidates_cached_entries(
+            self, empty_warehouse):
+        wh = empty_warehouse
+        wh.load_text("hlx_enzyme", generate_enzyme_release(seed=3, count=3))
+        assert len(wh.query(QUERY)) == 3
+        wh.remove_source("hlx_enzyme")
+        # the stale translation must not be served: the semantic check
+        # re-runs and rejects the now-unknown document
+        with pytest.raises(UnknownDocumentError):
+            wh.query(QUERY)
+
+    def test_single_document_store_invalidates(self, empty_warehouse):
+        wh = empty_warehouse
+        wh.load_text("hlx_enzyme", generate_enzyme_release(seed=3, count=2))
+        wh.query(QUERY)
+        generation = wh.loader.generation
+        from repro.xmlkit import parse_document
+        wh.loader.store_document(
+            "other", "c", "k", parse_document("<r><v>x</v></r>"))
+        assert wh.loader.generation > generation
+        wh.query(QUERY)  # recompiles (generation moved); same answer
+        assert wh.xomatiq.cache.invalidations >= 1
+
+
+class TestCacheUnit:
+    def test_lru_eviction(self):
+        cache = CompiledQueryCache(maxsize=2)
+        tags = frozenset()
+        cache.put("q1", "sqlite", tags, 0, "c1")
+        cache.put("q2", "sqlite", tags, 0, "c2")
+        assert cache.get("q1", "sqlite", tags, 0) == "c1"  # refresh q1
+        cache.put("q3", "sqlite", tags, 0, "c3")           # evicts q2
+        assert cache.get("q2", "sqlite", tags, 0) is None
+        assert cache.get("q1", "sqlite", tags, 0) == "c1"
+        assert cache.evictions == 1
+
+    def test_generation_mismatch_is_a_miss_and_drops_entry(self):
+        cache = CompiledQueryCache()
+        tags = frozenset()
+        cache.put("q", "sqlite", tags, 1, "c")
+        assert cache.get("q", "sqlite", tags, 2) is None
+        assert cache.invalidations == 1
+        assert len(cache) == 0
+
+    def test_dialect_and_tags_partition_the_key(self):
+        cache = CompiledQueryCache()
+        cache.put("q", "sqlite", frozenset(), 0, "a")
+        cache.put("q", "minidb", frozenset(), 0, "b")
+        cache.put("q", "sqlite", frozenset({"seq"}), 0, "c")
+        assert cache.get("q", "sqlite", frozenset(), 0) == "a"
+        assert cache.get("q", "minidb", frozenset(), 0) == "b"
+        assert cache.get("q", "sqlite", frozenset({"seq"}), 0) == "c"
+
+    def test_stats_shape(self):
+        cache = CompiledQueryCache(maxsize=4)
+        stats = cache.stats()
+        assert stats == {"size": 0, "maxsize": 4, "hits": 0, "misses": 0,
+                         "evictions": 0, "invalidations": 0}
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            CompiledQueryCache(maxsize=0)

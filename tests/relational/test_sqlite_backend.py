@@ -1,0 +1,48 @@
+"""SqliteBackend specifics: pragmas, streaming executemany, errors."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relational.sqlite_backend import SqliteBackend
+
+
+@pytest.fixture
+def sqlite_backend():
+    backend = SqliteBackend()
+    backend.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    yield backend
+    backend.close()
+
+
+class TestExecutemanyStreaming:
+    def test_counts_while_streaming_a_generator(self, sqlite_backend):
+        total = 3 * SqliteBackend._EXECUTEMANY_CHUNK + 17
+        count = sqlite_backend.executemany(
+            "INSERT INTO t (a, b) VALUES (?, ?)",
+            ((i, f"v{i}") for i in range(total)))
+        assert count == total
+        rows = sqlite_backend.execute("SELECT COUNT(*), MIN(a), MAX(a) "
+                                      "FROM t")
+        assert rows == [(total, 0, total - 1)]
+
+    def test_empty_iterable_is_zero(self, sqlite_backend):
+        assert sqlite_backend.executemany(
+            "INSERT INTO t (a, b) VALUES (?, ?)", iter(())) == 0
+
+    def test_error_raises_storage_error(self, sqlite_backend):
+        with pytest.raises(StorageError):
+            sqlite_backend.executemany(
+                "INSERT INTO missing (a) VALUES (?)", [(1,)])
+
+
+class TestTuning:
+    def test_bulk_load_pragmas_applied(self, sqlite_backend):
+        assert sqlite_backend.execute("PRAGMA temp_store") == [(2,)]  # MEMORY
+        (cache_size,), = sqlite_backend.execute("PRAGMA cache_size")
+        assert cache_size == -65_536
+        assert sqlite_backend.execute("PRAGMA synchronous") == [(0,)]
+
+    def test_cache_size_is_configurable(self):
+        backend = SqliteBackend(cache_kib=1024)
+        assert backend.execute("PRAGMA cache_size") == [(-1024,)]
+        backend.close()

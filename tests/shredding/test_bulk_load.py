@@ -1,0 +1,162 @@
+"""Unit tests for the batched bulk-load pipeline (both backends)."""
+
+import pytest
+
+from repro.shredding import WarehouseLoader
+from repro.xmlkit import parse_document
+
+
+def doc(body: str):
+    return parse_document(f"<r><v>{body}</v></r>")
+
+
+class TestBulkLoadSession:
+    def test_flushes_across_batch_boundaries(self, backend):
+        loader = WarehouseLoader(backend)
+        with loader.bulk_session(batch_size=2) as session:
+            for i in range(5):
+                session.add("s", "c", f"k{i}", doc(str(i)))
+        assert session.flushes == 3  # 2 + 2 + remainder of 1
+        assert session.documents_loaded == 5
+        assert loader.document_count("s") == 5
+
+    def test_rows_visible_only_after_flush(self, backend):
+        loader = WarehouseLoader(backend)
+        with loader.bulk_session(batch_size=10) as session:
+            session.add("s", "c", "k0", doc("x"))
+            assert loader.document_count("s") == 0
+            session.flush()
+            assert loader.document_count("s") == 1
+
+    def test_doc_ids_are_sequential_in_add_order(self, backend):
+        loader = WarehouseLoader(backend)
+        with loader.bulk_session(batch_size=3) as session:
+            ids = [session.add("s", "c", f"k{i}", doc(str(i)))
+                   for i in range(4)]
+        assert ids == sorted(ids)
+        assert loader.doc_ids("s") == ids
+
+    def test_upsert_replaces_previously_stored_entry(self, backend):
+        loader = WarehouseLoader(backend)
+        loader.store_document("s", "c", "k", doc("old"))
+        with loader.bulk_session(batch_size=8) as session:
+            session.add("s", "c", "k", doc("new"))
+        assert loader.document_count("s") == 1
+        values = backend.execute("SELECT value FROM text_values")
+        assert ("new",) in values and ("old",) not in values
+
+    def test_upsert_matches_any_collection(self, backend):
+        loader = WarehouseLoader(backend)
+        loader.store_document("s", "inv", "k", doc("old"))
+        with loader.bulk_session() as session:
+            session.add("s", "hum", "k", doc("new"))
+        assert loader.document_count("s") == 1
+
+    def test_within_batch_duplicate_key_keeps_last(self, backend):
+        loader = WarehouseLoader(backend)
+        with loader.bulk_session(batch_size=16) as session:
+            session.add("s", "c", "k", doc("first"))
+            session.add("s", "c", "k", doc("second"))
+        assert loader.document_count("s") == 1
+        values = backend.execute("SELECT value FROM text_values")
+        assert ("second",) in values and ("first",) not in values
+
+    def test_duplicate_key_across_flushes_keeps_last(self, backend):
+        loader = WarehouseLoader(backend)
+        with loader.bulk_session(batch_size=1) as session:
+            session.add("s", "c", "k", doc("first"))
+            session.add("s", "c", "k", doc("second"))
+        assert loader.document_count("s") == 1
+        values = backend.execute("SELECT value FROM text_values")
+        assert ("second",) in values
+
+    def test_no_upsert_mode_skips_existing_lookup(self, backend):
+        loader = WarehouseLoader(backend)
+        with loader.bulk_session(batch_size=4, upsert=False) as session:
+            session.add("s", "c", "a", doc("1"))
+            session.add("s", "c", "b", doc("2"))
+        assert loader.document_count("s") == 2
+
+    def test_exception_discards_partial_batch(self, backend):
+        loader = WarehouseLoader(backend)
+        with pytest.raises(RuntimeError):
+            with loader.bulk_session(batch_size=10) as session:
+                session.add("s", "c", "k", doc("x"))
+                raise RuntimeError("boom")
+        assert loader.document_count("s") == 0
+
+    def test_exception_keeps_completed_batches(self, backend):
+        loader = WarehouseLoader(backend)
+        with pytest.raises(RuntimeError):
+            with loader.bulk_session(batch_size=1) as session:
+                session.add("s", "c", "a", doc("1"))  # flushed
+                session.add("s", "c", "b", doc("2"))  # flushed
+                raise RuntimeError("boom")
+        assert loader.document_count("s") == 2
+
+    def test_flush_bumps_generation(self, backend):
+        loader = WarehouseLoader(backend)
+        before = loader.generation
+        with loader.bulk_session() as session:
+            session.add("s", "c", "k", doc("x"))
+        assert loader.generation > before
+
+    def test_empty_session_is_a_noop(self, backend):
+        loader = WarehouseLoader(backend)
+        before = loader.generation
+        with loader.bulk_session() as session:
+            pass
+        assert session.flushes == 0
+        assert loader.generation == before
+
+    def test_rejects_batch_size_zero(self, backend):
+        loader = WarehouseLoader(backend)
+        with pytest.raises(ValueError):
+            loader.bulk_session(batch_size=0)
+
+    def test_add_transformed_serial(self, backend):
+        loader = WarehouseLoader(backend)
+        items = [("c", f"k{i}", doc(str(i))) for i in range(5)]
+        with loader.bulk_session(batch_size=2) as session:
+            count = session.add_transformed("s", items, lambda item: item)
+        assert count == 5
+        assert loader.document_count("s") == 5
+
+    def test_add_transformed_parallel_matches_serial(self, backend):
+        items = [("c", f"k{i}", doc(f"value {i}")) for i in range(12)]
+
+        def load(workers):
+            loader = WarehouseLoader(self_backend())
+            with loader.bulk_session(batch_size=5,
+                                     workers=workers) as session:
+                session.add_transformed("s", items, lambda item: item)
+            rows = sorted(loader.backend.execute(
+                "SELECT doc_id, node_id, value FROM text_values"))
+            loader_docs = loader.backend.execute(
+                "SELECT doc_id, entry_key FROM documents ORDER BY doc_id")
+            return rows, loader_docs
+
+        def self_backend():
+            return type(backend)()
+
+        serial = load(0)
+        parallel = load(3)
+        assert serial == parallel
+
+
+class TestLoaderGeneration:
+    def test_store_and_remove_bump_generation(self, backend):
+        loader = WarehouseLoader(backend)
+        g0 = loader.generation
+        loader.store_document("s", "c", "k", doc("x"))
+        g1 = loader.generation
+        loader.remove_document("s", "c", "k")
+        g2 = loader.generation
+        assert g0 < g1 < g2
+
+    def test_store_documents_uses_bulk_path(self, backend):
+        loader = WarehouseLoader(backend)
+        count = loader.store_documents(
+            "s", "c", [("a", doc("1")), ("b", doc("2"))])
+        assert count == 2
+        assert loader.document_count("s") == 2
