@@ -1,0 +1,158 @@
+"""Guardrail: always-on metrics must cost < 5% on the hot query path.
+
+The observability plane is on by default, so its price is a product
+property, not a benchmark curiosity. This script times the E2
+repeated-keyword leg (the paper's Figure 8 query served from the
+compiled-query cache — the cheapest real query we have, i.e. the one
+where fixed per-query overhead shows up largest) on two otherwise
+identical warehouses:
+
+* ``Warehouse(metrics=False)`` — metrics plane off, backend unwrapped,
+* ``Warehouse()`` default      — metrics on, instrumented backend.
+
+Measurement: rounds alternate one off-batch and one on-batch (order
+swapping each round, GC paused). Batches are timed with
+``time.process_time`` — the instrumentation cost is pure CPU work
+(the warehouses are in-memory), and CPU time is immune to the
+involuntary-preemption noise (other tenants, hypervisor steal) that
+makes wall-clock thresholds flaky on shared single-core runners.
+Two estimators are computed per attempt and the smaller decides:
+
+* **floor-to-floor** — the ratio of the two per-arm minima. Residual
+  noise is strictly additive, so the fastest batch of each arm is
+  its closest approach to the noise-free cost; fragile only when one
+  arm never gets a quiet round.
+* **median paired ratio** — the median of per-round on/off ratios
+  from batches run back-to-back; robust to slow drift, fragile when
+  bursts are frequent enough to land inside most pairs.
+
+Neither is systematically low, so the smaller of the two is still an
+honest estimate and survives whichever noise regime the host is in.
+Batches must be long enough (~50 ms+) to dominate the clock's
+granularity. Because every noise source inflates the estimate and
+none deflates it, a sub-threshold reading is conclusive while an
+over-threshold one may just be a bad window — so the check
+re-measures (fresh warehouses, up to ``--attempts`` times) before
+failing. Exit status 1 when every attempt exceeds the threshold — CI
+runs this as a step.
+
+Usage::
+
+    python benchmarks/metrics_overhead.py [--rounds 15] [--per-round 100]
+        [--threshold 5.0] [--attempts 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+from pathlib import Path
+from time import process_time
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+FIG8 = '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence,
+     $b IN document("hlx_sprot.all")/hlx_n_sequence
+WHERE contains ($a, "cdc6", any)
+AND   contains ($b, "cdc6", any)
+RETURN
+     $b//sprot_accession_number,
+     $a//embl_accession_number'''
+
+
+def build_warehouse(metrics):
+    from repro.engine import Warehouse
+    from repro.synth import build_corpus
+    corpus = build_corpus(seed=7, enzyme_count=40, embl_count=60,
+                          sprot_count=40)
+    warehouse = Warehouse(metrics=metrics)
+    warehouse.load_corpus(corpus)
+    warehouse.query(FIG8)   # prime the compiled-query cache
+    return warehouse
+
+
+def time_batch(warehouse, per_round: int) -> float:
+    start = process_time()
+    for __ in range(per_round):
+        warehouse.query(FIG8)
+    return process_time() - start
+
+
+def measure(rounds: int, per_round: int) -> tuple[float, float, float]:
+    """One full measurement: (best_off, best_on, median paired ratio).
+
+    Builds fresh warehouses so a retry also re-rolls allocation
+    layout, not just scheduler luck."""
+    from repro.obs import MetricsRegistry
+    off = build_warehouse(metrics=False)
+    on = build_warehouse(metrics=MetricsRegistry())
+    time_batch(off, per_round)   # warm both up
+    time_batch(on, per_round)
+    ratios = []
+    best_off = best_on = float("inf")
+    # a collection landing inside one batch of a pair would skew that
+    # ratio by far more than the effect under test
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for round_index in range(rounds):
+            gc.collect()
+            if round_index % 2:       # alternate order inside the pair
+                t_on = time_batch(on, per_round)
+                t_off = time_batch(off, per_round)
+            else:
+                t_off = time_batch(off, per_round)
+                t_on = time_batch(on, per_round)
+            ratios.append(t_on / t_off)
+            best_off = min(best_off, t_off)
+            best_on = min(best_on, t_on)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    off.close()
+    on.close()
+    ratios.sort()
+    return best_off, best_on, ratios[len(ratios) // 2]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=15)
+    parser.add_argument("--per-round", type=int, default=100)
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="max allowed overhead in percent")
+    parser.add_argument("--attempts", type=int, default=3,
+                        help="re-measure up to N times before failing "
+                        "(noise only ever inflates the estimate, so "
+                        "one clean sub-threshold reading settles it)")
+    args = parser.parse_args()
+
+    for attempt in range(args.attempts):
+        best_off, best_on, median_ratio = measure(args.rounds,
+                                                  args.per_round)
+        floor_pct = (best_on / best_off - 1.0) * 100.0
+        median_pct = (median_ratio - 1.0) * 100.0
+        overhead = min(floor_pct, median_pct)
+        per_query_us = (best_on - best_off) / args.per_round * 1e6
+        print(f"metrics off: {best_off * 1000:.2f} ms / "
+              f"{args.per_round} queries (best of {args.rounds} rounds)")
+        print(f"metrics on:  {best_on * 1000:.2f} ms / "
+              f"{args.per_round} queries (best of {args.rounds} rounds)")
+        print(f"overhead:    {overhead:+.2f}% (floor-to-floor "
+              f"{floor_pct:+.2f}%, {per_query_us:+.1f} us/query; "
+              f"median paired ratio {median_pct:+.2f}%)")
+        if overhead <= args.threshold:
+            print(f"OK: within {args.threshold:.1f}% threshold")
+            return 0
+        remaining = args.attempts - attempt - 1
+        if remaining:
+            print(f"above {args.threshold:.1f}% threshold — noisy run? "
+                  f"re-measuring ({remaining} attempt(s) left)")
+    print(f"FAIL: overhead exceeds {args.threshold:.1f}% threshold "
+          f"in {args.attempts} attempts")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

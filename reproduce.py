@@ -7,6 +7,10 @@ Runs the full pipeline a reviewer needs::
     python reproduce.py --profile  # observability smoke: profile the
                                    # Figure 8/11 queries on both
                                    # backends, write profile_results.json
+    python reproduce.py --metrics  # always-on metrics smoke: load via a
+                                   # hound, run the Figure 8/11 queries,
+                                   # write metrics.json (snapshot +
+                                   # events + slow queries)
 
 Outputs land next to this file: ``test_output.txt``,
 ``bench_output.txt``, ``bench_results.json`` and (with ``--profile``)
@@ -69,6 +73,59 @@ def profile_smoke(out: Path) -> int:
          str(out)], cwd=ROOT).returncode
 
 
+def metrics_smoke(out: Path) -> int:
+    """Exercise every instrumented layer once — hound-load a synthetic
+    corpus, run the Figure 8/11 queries (fig8 twice for a cache hit),
+    refresh — then dump the metrics snapshot, event log and slow-query
+    log as ``metrics.json``."""
+    import json
+
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.datahounds.transport import InMemoryRepository
+    from repro.engine import Warehouse
+    from repro.obs import MetricsRegistry
+    from repro.synth import build_corpus
+
+    corpus = build_corpus(seed=7, enzyme_count=40, embl_count=60,
+                          sprot_count=40)
+    registry = MetricsRegistry()
+    # slow_query_ms=0 so every query lands in the slow-query log — the
+    # smoke must prove SQL + EXPLAIN capture works, not wait for a
+    # genuinely slow query
+    warehouse = Warehouse(metrics=registry, slow_query_ms=0.0)
+    repository = InMemoryRepository(metrics=registry)
+    for source, text in corpus.texts().items():
+        repository.publish(source, "r1", text)
+    hound = warehouse.connect(repository)
+    for source in corpus.texts():
+        print(hound.load(source))
+    for query in (FIG8, FIG8, FIG11):
+        warehouse.query(query)
+    for source in corpus.texts():
+        hound.refresh(source)
+
+    payload = {
+        "format": "xomatiq-metrics/1",
+        "health": warehouse.health(),
+        "metrics": registry.snapshot(),
+        "events": [event.to_dict() for event in warehouse.events.events()],
+        "slow_queries": warehouse.slow_queries.to_dicts(),
+    }
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True),
+                   encoding="utf-8")
+    warehouse.close()
+
+    snapshot = payload["metrics"]
+    print(f"\nhealth: {payload['health']['status']}")
+    print(f"counters: {len(snapshot['counters'])}  "
+          f"gauges: {len(snapshot['gauges'])}  "
+          f"histograms: {len(snapshot['histograms'])}")
+    print(f"events: {len(payload['events'])}  "
+          f"slow queries: {len(payload['slow_queries'])}")
+    print(f"wrote {out}")
+    return 0
+
+
 def run(label: str, command: list[str], output: Path | None = None) -> int:
     print(f"\n=== {label}: {' '.join(command)} ===")
     process = subprocess.run(command, cwd=ROOT, capture_output=True,
@@ -84,6 +141,8 @@ def run(label: str, command: list[str], output: Path | None = None) -> int:
 def main() -> int:
     if "--profile" in sys.argv:
         return profile_smoke(ROOT / "profile_results.json")
+    if "--metrics" in sys.argv:
+        return metrics_smoke(ROOT / "metrics.json")
     quick = "--quick" in sys.argv
     code = run("tests", [sys.executable, "-m", "pytest", "tests/"],
                ROOT / "test_output.txt")

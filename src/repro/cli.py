@@ -12,6 +12,10 @@ Subcommands mirror the system's workflow::
     xomatiq profile --synth --backend minidb 'FOR ...'
     xomatiq dtd --source hlx_enzyme                   # DTD tree (GUI panel)
     xomatiq sources                                   # registered sources
+    xomatiq stats --db wh.sqlite [--json]             # table/row counts
+    xomatiq metrics --db wh.sqlite 'FOR ...'          # always-on metrics
+    xomatiq metrics --synth --format prometheus       # exposition text
+    xomatiq health --db wh.sqlite [--json]            # warehouse health
 """
 
 from __future__ import annotations
@@ -96,6 +100,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="warehouse table/row counts")
     stats.add_argument("--db", required=True)
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable JSON instead of a table")
+
+    metrics = sub.add_parser(
+        "metrics", help="dump the always-on metrics registry (optionally "
+                        "after running a query to exercise the pipeline)")
+    metrics.add_argument("--db", help="sqlite database path")
+    metrics.add_argument("--synth", action="store_true",
+                         help="run against an in-memory synthetic corpus "
+                              "instead of --db")
+    metrics.add_argument("--seed", type=int, default=7,
+                         help="corpus seed for --synth runs")
+    metrics.add_argument("--format", choices=("json", "prometheus"),
+                         default="json",
+                         help="snapshot JSON or Prometheus text exposition")
+    metrics.add_argument("--file", help="read a query from a file")
+    metrics.add_argument("text", nargs="?",
+                         help="optional query to run before dumping")
+
+    health = sub.add_parser(
+        "health", help="warehouse health: row-count and keyword-index "
+                       "sanity checks plus per-source harvest freshness")
+    health.add_argument("--db", help="sqlite database path")
+    health.add_argument("--synth", action="store_true",
+                        help="check an in-memory synthetic corpus")
+    health.add_argument("--seed", type=int, default=7,
+                        help="corpus seed for --synth runs")
+    health.add_argument("--json", action="store_true",
+                        help="machine-readable JSON instead of a report")
     return parser
 
 
@@ -182,11 +215,46 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "stats":
+        import json
         warehouse = _open(args.db)
-        for key, count in warehouse.stats().items():
-            print(f"{key:<24} {count}")
+        stats = warehouse.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            for key, count in stats.items():
+                print(f"{key:<24} {count}")
         warehouse.close()
         return 0
+
+    if args.command == "metrics":
+        import json
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        warehouse = _open_for_check(args, metrics=registry)
+        if warehouse is None:
+            return 2
+        if args.text or args.file:
+            warehouse.query(_query_text(args))
+        if args.format == "prometheus":
+            sys.stdout.write(registry.render_prometheus())
+        else:
+            print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+        warehouse.close()
+        return 0
+
+    if args.command == "health":
+        import json
+        from repro.obs import format_health
+        warehouse = _open_for_check(args)
+        if warehouse is None:
+            return 2
+        report = warehouse.health()
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_health(report))
+        warehouse.close()
+        return 0 if report["status"] == "ok" else 1
 
     if args.command == "sources":
         registry = SourceRegistry()
@@ -199,10 +267,25 @@ def _dispatch(args) -> int:
     raise AssertionError(f"unhandled command {args.command}")
 
 
-def _open(db: str) -> Warehouse:
+def _open(db: str, metrics=None) -> Warehouse:
     # reuse the schema if the database file already exists
     exists = Path(db).exists()
-    return Warehouse(backend=SqliteBackend(db), create=not exists)
+    return Warehouse(backend=SqliteBackend(db), create=not exists,
+                     metrics=metrics)
+
+
+def _open_for_check(args, metrics=None) -> Warehouse | None:
+    """Open --db, or build an in-memory --synth warehouse; None = usage
+    error (message already printed)."""
+    if args.synth:
+        from repro.synth import build_corpus
+        warehouse = Warehouse(metrics=metrics)
+        warehouse.load_corpus(build_corpus(seed=args.seed))
+        return warehouse
+    if args.db:
+        return _open(args.db, metrics=metrics)
+    print("error: provide --db or --synth", file=sys.stderr)
+    return None
 
 
 def _query_text(args) -> str:

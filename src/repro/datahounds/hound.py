@@ -19,8 +19,10 @@ lives in the registered transformer.
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Protocol
 
 from repro.datahounds.registry import SourceRegistry
@@ -83,7 +85,7 @@ class DataHound:
     def __init__(self, repository: Repository, store: DocumentStore,
                  registry: SourceRegistry | None = None,
                  validate: bool = True,
-                 tracer=None):
+                 tracer=None, metrics=None, events=None):
         self.repository = repository
         self.store = store
         self.registry = registry or SourceRegistry()
@@ -92,7 +94,14 @@ class DataHound:
         #: per-phase spans (fetch, diff, transform, store) with
         #: entries/s throughput recorded on the load span
         self.tracer = tracer
-        self.triggers = TriggerHub()
+        #: optional :class:`repro.obs.MetricsRegistry`; harvests then
+        #: feed ``hound.*`` counters/gauges (load counts, entry deltas,
+        #: per-source last-harvest timestamp read by the health report)
+        self.metrics = metrics
+        #: optional :class:`repro.obs.EventLog`; each load emits one
+        #: ``hound.load`` event with the release and delta counts
+        self.events = events
+        self.triggers = TriggerHub(metrics=metrics)
         self._snapshots: dict[str, ReleaseSnapshot] = {}
         self._transformers: dict[str, SourceTransformer] = {}
 
@@ -106,6 +115,7 @@ class DataHound:
         removals are never left out.
         """
         transformer = self._transformer(source)
+        start = perf_counter()
         with self._span("load", source=source) as load_span:
             with self._span("fetch"):
                 fetched = self.repository.fetch(source, release)
@@ -165,6 +175,8 @@ class DataHound:
                         loaded / store_span.duration_s, 2)
 
         self._snapshots[source] = new_snapshot
+        self._record_load(source, fetched.release, plan, loaded,
+                          perf_counter() - start)
         event = ChangeEvent(source=source, release=fetched.release,
                             added=plan.added, updated=plan.updated,
                             removed=plan.removed)
@@ -186,6 +198,31 @@ class DataHound:
         self.triggers.subscribe(callback, source)
 
     # -- internals -----------------------------------------------------------
+
+    def _record_load(self, source: str, release: str, plan: UpdatePlan,
+                     loaded: int, duration_s: float) -> None:
+        """Always-on harvest metrics + one ``hound.load`` event."""
+        if self.metrics is not None:
+            metrics = self.metrics
+            metrics.inc("hound.loads", source=source)
+            metrics.observe("hound.load_seconds", duration_s)
+            metrics.inc("hound.entries_added", len(plan.added),
+                        source=source)
+            metrics.inc("hound.entries_updated", len(plan.updated),
+                        source=source)
+            metrics.inc("hound.entries_removed", len(plan.removed),
+                        source=source)
+            metrics.inc("hound.entries_unchanged", len(plan.unchanged),
+                        source=source)
+            metrics.set_gauge("hound.last_harvest_timestamp", time.time(),
+                              source=source)
+        if self.events is not None:
+            self.events.emit(
+                "hound.load", source=source, release=release,
+                loaded=loaded, added=len(plan.added),
+                updated=len(plan.updated), removed=len(plan.removed),
+                unchanged=len(plan.unchanged),
+                duration_ms=round(duration_s * 1000.0, 3))
 
     def _span(self, name: str, **meta):
         """A tracer span, or an inert context when tracing is off."""

@@ -21,14 +21,29 @@ from __future__ import annotations
 
 import hashlib
 from pathlib import Path
+from time import perf_counter
 
 from repro.errors import TransportError
+from repro.obs.metrics import SIZE_BUCKETS, default_registry
 
 
 def content_checksum(text: str) -> str:
     """Stable checksum of a release's content (first 16 hex chars of
     SHA-256 — plenty for change detection)."""
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def _record_fetch(metrics, source: str, text: str,
+                  duration_s: float) -> None:
+    """Always-on transport metrics: fetch counts, bytes, latency."""
+    if metrics is None:
+        metrics = default_registry()
+    size = len(text.encode("utf-8"))
+    metrics.inc("transport.fetches", source=source)
+    metrics.inc("transport.fetch_bytes", size, source=source)
+    metrics.observe("transport.fetch_seconds", duration_s)
+    metrics.observe("transport.fetch_size_bytes", size,
+                    buckets=SIZE_BUCKETS)
 
 
 class FetchResult:
@@ -52,10 +67,14 @@ class InMemoryRepository:
 
     Release ids sort lexicographically; the latest release is the
     greatest id (use e.g. ``r2026-01``-style names).
+
+    ``metrics`` defaults to the process-wide registry; fetches record
+    count/bytes/latency either way.
     """
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self._releases: dict[str, dict[str, str]] = {}
+        self.metrics = metrics
 
     def publish(self, source: str, release: str, text: str) -> None:
         """Publish (or overwrite) a release of a source."""
@@ -81,6 +100,7 @@ class InMemoryRepository:
 
     def fetch(self, source: str, release: str | None = None) -> FetchResult:
         """Fetch a release (latest when unspecified)."""
+        start = perf_counter()
         if release is None:
             release = self.latest_release(source)
         try:
@@ -88,6 +108,7 @@ class InMemoryRepository:
         except KeyError:
             raise TransportError(
                 f"cannot fetch {source!r} release {release!r}") from None
+        _record_fetch(self.metrics, source, text, perf_counter() - start)
         return FetchResult(source, release, text)
 
 
@@ -98,8 +119,9 @@ class DirectoryRepository:
     fetching reads them.
     """
 
-    def __init__(self, base: str | Path):
+    def __init__(self, base: str | Path, metrics=None):
         self.base = Path(base)
+        self.metrics = metrics
 
     def publish(self, source: str, release: str, text: str) -> Path:
         """Write one release file; returns its path."""
@@ -131,10 +153,13 @@ class DirectoryRepository:
 
     def fetch(self, source: str, release: str | None = None) -> FetchResult:
         """Read a release from disk (latest when unspecified)."""
+        start = perf_counter()
         if release is None:
             release = self.latest_release(source)
         path = self.base / source / f"{release}.dat"
         if not path.is_file():
             raise TransportError(
                 f"cannot fetch {source!r} release {release!r}")
-        return FetchResult(source, release, path.read_text(encoding="utf-8"))
+        text = path.read_text(encoding="utf-8")
+        _record_fetch(self.metrics, source, text, perf_counter() - start)
+        return FetchResult(source, release, text)

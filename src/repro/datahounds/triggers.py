@@ -10,6 +10,7 @@ or to all sources.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable
 
 
@@ -40,9 +41,20 @@ _ALL_SOURCES = "*"
 
 @dataclass
 class TriggerHub:
-    """Subscription registry + dispatch."""
+    """Subscription registry + dispatch.
+
+    Instance counters (``events_fired`` / ``deliveries``) always track
+    dispatch; with a :class:`repro.obs.MetricsRegistry` attached, fires
+    also land in the always-on ``triggers.*`` metrics (event counts per
+    source, deliveries, per-callback delivery latency).
+    """
 
     _subscribers: dict[str, list[TriggerCallback]] = field(default_factory=dict)
+    metrics: object = None
+    #: change events dispatched (zero-change events excluded)
+    events_fired: int = 0
+    #: total callback invocations across all fires
+    deliveries: int = 0
 
     def subscribe(self, callback: TriggerCallback,
                   source: str = _ALL_SOURCES) -> None:
@@ -66,6 +78,17 @@ class TriggerHub:
             return 0
         callbacks = (self._subscribers.get(event.source, [])
                      + self._subscribers.get(_ALL_SOURCES, []))
-        for callback in callbacks:
-            callback(event)
+        self.events_fired += 1
+        self.deliveries += len(callbacks)
+        if self.metrics is not None:
+            self.metrics.inc("triggers.events", source=event.source)
+            self.metrics.inc("triggers.deliveries", len(callbacks))
+            for callback in callbacks:
+                start = perf_counter()
+                callback(event)
+                self.metrics.observe("triggers.delivery_seconds",
+                                     perf_counter() - start)
+        else:
+            for callback in callbacks:
+                callback(event)
         return len(callbacks)

@@ -23,6 +23,8 @@ The warehouse hides the relational engine entirely — the paper's
 
 from __future__ import annotations
 
+import time
+
 from repro.datahounds.hound import DataHound, LoadReport
 from repro.datahounds.registry import SourceRegistry
 from repro.errors import UnknownDocumentError
@@ -52,36 +54,66 @@ class Warehouse:
                  validate_sources: bool = True,
                  create: bool = True,
                  trace=None,
+                 metrics=None,
+                 slow_query_ms: float = 250.0,
                  bulk_batch_size: int = 512,
                  bulk_workers: int = 0,
                  query_cache: int = 128):
         """``create=False`` attaches to a backend whose generic schema
         already exists (reopening an on-disk warehouse).
 
-        ``trace`` enables observability: pass ``True`` for a fresh
+        ``trace`` enables span tracing: pass ``True`` for a fresh
         :class:`repro.obs.Tracer` or an existing tracer instance. The
         backend is then wrapped in an instrumented recorder, pipeline
         stages run inside spans, and every ``QueryResult`` carries its
-        trace. The default ``None`` allocates nothing — queries and
-        loads pay zero instrumentation cost.
+        trace. The default ``None`` allocates no tracer.
+
+        ``metrics`` controls the **always-on** metrics plane: the
+        default ``None`` records into the process-wide registry
+        (:func:`repro.obs.default_registry`) — counters, gauges and
+        latency histograms across every layer, cheap enough to leave
+        on (see docs/observability.md for the measured overhead).
+        Pass a :class:`repro.obs.MetricsRegistry` for an isolated
+        registry, or ``False`` to disable entirely (also skips the
+        backend wrapper when tracing is off). Every warehouse
+        additionally keeps a structured :class:`repro.obs.EventLog`
+        ring buffer (``warehouse.events``) and a slow-query log
+        (``warehouse.slow_queries``) that captures query text,
+        compiled SQL, row counts, cache hit/miss and EXPLAIN output
+        for any query slower than ``slow_query_ms``.
 
         ``bulk_batch_size``/``bulk_workers`` set the defaults for the
         batched load pipeline (documents per flush transaction /
         transform+shred worker threads); ``query_cache`` sizes the
         compiled-query LRU (0 disables it). See docs/performance.md.
         """
+        from repro.obs import (EventLog, InstrumentedBackend, NullMetrics,
+                               SlowQueryLog, Tracer, resolve_metrics)
         self.backend = backend if backend is not None else SqliteBackend()
+        self.metrics = resolve_metrics(metrics)
+        #: the metrics sink hot paths test against None (NullMetrics
+        #: never reaches them — disabling removes the work entirely)
+        self._metrics_sink = (None if isinstance(self.metrics, NullMetrics)
+                              else self.metrics)
+        self.events = EventLog()
+        self.slow_queries = SlowQueryLog(threshold_ms=slow_query_ms,
+                                         events=self.events)
         self.tracer = None
         if trace is not None and trace is not False:
-            from repro.obs import InstrumentedBackend, Tracer
             self.tracer = trace if isinstance(trace, Tracer) else Tracer()
-            self.backend = InstrumentedBackend(self.backend, self.tracer)
+            if self.tracer.metrics is None:
+                # spans feed trace.span_seconds when both are active
+                self.tracer.metrics = self._metrics_sink
+        if self.tracer is not None or self._metrics_sink is not None:
+            self.backend = InstrumentedBackend(
+                self.backend, self.tracer, metrics=self._metrics_sink)
         self.registry = registry or SourceRegistry()
         self.sequence_tags = sequence_tags
         self.validate_sources = validate_sources
         self.loader = WarehouseLoader(self.backend, options=options,
                                       sequence_tags=sequence_tags,
                                       create=create, tracer=self.tracer,
+                                      metrics=self._metrics_sink,
                                       bulk_batch_size=bulk_batch_size,
                                       bulk_workers=bulk_workers)
         self.xomatiq = XomatiQ(self, cache_size=query_cache)
@@ -151,7 +183,9 @@ class Warehouse:
         """A Data Hound harvesting ``repository`` into this warehouse."""
         return DataHound(repository, self.loader, registry=self.registry,
                          validate=self.validate_sources,
-                         tracer=self.tracer)
+                         tracer=self.tracer,
+                         metrics=self._metrics_sink,
+                         events=self.events)
 
     def refresh(self, repository, source: str) -> LoadReport:
         """One-shot convenience: hound-load the latest release."""
@@ -202,6 +236,11 @@ class Warehouse:
                     tuple(chunk))
         self.backend.commit()
         self.loader.bump_generation()
+        if self._metrics_sink is not None:
+            self._metrics_sink.inc("warehouse.documents_removed",
+                                   len(doc_ids), source=source)
+        self.events.emit("warehouse.remove_source", source=source,
+                         documents=len(doc_ids))
         return len(doc_ids)
 
     def stats(self) -> dict[str, int]:
@@ -239,6 +278,14 @@ class Warehouse:
         from repro.obs import profile_query
         return profile_query(self, text, explain=explain)
 
+    def health(self, stale_after_s: float | None = None) -> dict:
+        """Row-count/keyword-index sanity checks plus per-source
+        harvest freshness; see :func:`repro.obs.health.health_report`."""
+        from repro.obs import health_report
+        if stale_after_s is None:
+            return health_report(self)
+        return health_report(self, stale_after_s=stale_after_s)
+
     # -- document fetch (the GUI's right panel) --------------------------------------------
 
     def fetch_document(self, node: BoundNode | int) -> Document:
@@ -273,8 +320,18 @@ class XomatiQ:
 
     def __init__(self, warehouse: Warehouse, cache_size: int = 128):
         self.warehouse = warehouse
-        self.cache = (CompiledQueryCache(cache_size) if cache_size
-                      else None)
+        self.cache = (CompiledQueryCache(
+            cache_size, metrics=warehouse._metrics_sink)
+            if cache_size else None)
+        # fused per-query metric handle, resolved once (the backend
+        # name is fixed for the warehouse's lifetime) so the per-query
+        # cost is a single locked update, not four registry lookups
+        metrics = warehouse._metrics_sink
+        if metrics is not None:
+            self._query_timer = metrics.query_timer(
+                warehouse.backend.name)
+        else:
+            self._query_timer = None
 
     def parse(self, text: str) -> Query:
         """Parse query text to its AST."""
@@ -342,20 +399,34 @@ class XomatiQ:
         """The full pipeline: translate (cached) then execute.
 
         On a traced warehouse every stage runs inside a span and the
-        result carries the span tree on ``result.trace``."""
-        tracer = self.warehouse.tracer
+        result carries the span tree on ``result.trace``. Every query
+        — traced or not — feeds the always-on metrics plane
+        (``query.total``, ``query.seconds``, cache hit/miss) and is
+        screened by the slow-query log, which captures SQL + EXPLAIN
+        for anything over the threshold."""
+        warehouse = self.warehouse
+        tracer = warehouse.tracer
+        start = time.perf_counter()
         if tracer is None:
-            compiled, __ = self.translate_cached(text)
-            return execute_compiled(compiled, self.warehouse.backend)
-        with tracer.span("query", query=text,
-                         backend=self.warehouse.backend.name) as root:
-            compiled = self.translate_in_spans(text, tracer, root)
-            with tracer.span("execute") as span:
-                result = execute_compiled(compiled,
-                                          self.warehouse.backend,
-                                          tracer=tracer)
-                span.count("result_rows", len(result))
-        result.trace = root
+            compiled, hit = self.translate_cached(text)
+            result = execute_compiled(compiled, warehouse.backend)
+        else:
+            with tracer.span("query", query=text,
+                             backend=warehouse.backend.name) as root:
+                compiled = self.translate_in_spans(text, tracer, root)
+                with tracer.span("execute") as span:
+                    result = execute_compiled(compiled,
+                                              warehouse.backend,
+                                              tracer=tracer)
+                    span.count("result_rows", len(result))
+            hit = root.counters.get("cache.hit", 0) > 0
+            result.trace = root
+        duration_s = time.perf_counter() - start
+        if self._query_timer is not None:
+            self._query_timer.record(hit, duration_s, len(result))
+        warehouse.slow_queries.record(
+            text, warehouse.backend, duration_s * 1000.0, len(result),
+            hit, compiled.parameterized_statements)
         return result
 
     def execute(self, compiled: CompiledQuery) -> QueryResult:

@@ -1,4 +1,4 @@
-"""Observability: structured tracing and metrics for the whole stack.
+"""Observability: tracing, always-on metrics, events, and health.
 
 The paper's authors tuned XomatiQ "by meticulous analysis of query
 plans"; that workflow needs the pipeline to stop being a black box.
@@ -6,39 +6,76 @@ This package provides it:
 
 * :mod:`repro.obs.trace` — :class:`Tracer` producing nested
   :class:`Span` trees with wall-clock timings and counters,
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` (thread-safe
+  counters, gauges, fixed-bucket latency histograms with p50/p95/p99),
+  JSON snapshots and Prometheus text exposition; cheap enough that it
+  is **on by default** in every :class:`~repro.engine.Warehouse`,
+* :mod:`repro.obs.events` — :class:`EventLog`, a structured JSON-lines
+  ring buffer with severity levels, and :class:`SlowQueryLog`, which
+  captures query text + compiled SQL + EXPLAIN for any query over a
+  configurable threshold,
+* :mod:`repro.obs.health` — :func:`health_report`, row-count and
+  keyword-index sanity checks plus per-source harvest freshness,
 * :mod:`repro.obs.backend` — :class:`InstrumentedBackend`, a
   transparent wrapper over any relational backend that records every
-  SQL statement (text, parameter count, row count, timing, optional
-  EXPLAIN plan) into the active span,
+  SQL statement into the active span and/or the metrics registry,
 * :mod:`repro.obs.profile` — one-shot query profiling
   (:func:`profile_query`, :class:`ProfileReport`) and text rendering,
 * :mod:`repro.obs.export` — JSON export of traces and profiles
   (consumed by ``benchmarks/summarize.py``).
 
-Instrumentation is strictly opt-in: ``Warehouse(trace=None)`` (the
-default) allocates no tracer and adds no indirection to the hot path.
+Span *tracing* remains opt-in (``Warehouse(trace=True)``); the metrics
+plane and slow-query log are always on and can be disabled with
+``Warehouse(metrics=False)``. When both are active, every finished
+span automatically feeds the ``trace.span_seconds`` histogram.
 """
 
 from repro.obs.backend import InstrumentedBackend, StatementRecord
+from repro.obs.events import Event, EventLog, SlowQueryLog, SlowQueryRecord
 from repro.obs.export import (
     export_profiles,
     profile_to_dict,
     span_to_dict,
     trace_to_json,
+    tracer_to_dicts,
+)
+from repro.obs.health import format_health, health_report
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    default_registry,
+    resolve_metrics,
 )
 from repro.obs.profile import ProfileReport, format_profile, profile_query
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
+    "Counter",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
     "InstrumentedBackend",
+    "MetricsRegistry",
+    "NullMetrics",
     "ProfileReport",
+    "SlowQueryLog",
+    "SlowQueryRecord",
     "Span",
     "StatementRecord",
     "Tracer",
+    "default_registry",
     "export_profiles",
+    "format_health",
     "format_profile",
+    "health_report",
     "profile_query",
     "profile_to_dict",
+    "resolve_metrics",
     "span_to_dict",
     "trace_to_json",
+    "tracer_to_dicts",
 ]

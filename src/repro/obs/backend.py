@@ -52,34 +52,75 @@ def statement_kind(sql: str) -> str:
 
 
 class InstrumentedBackend:
-    """A :class:`Backend` that measures every statement it forwards."""
+    """A :class:`Backend` that measures every statement it forwards.
 
-    def __init__(self, inner: Backend, tracer,
-                 capture_explain: bool = False):
+    Two independent sinks, either or both active:
+
+    * ``tracer`` — every statement becomes a :class:`StatementRecord`
+      on the innermost span (the PR-1 tracing behaviour),
+    * ``metrics`` — per-kind statement counters and latency histograms
+      in a :class:`repro.obs.metrics.MetricsRegistry`; this is the
+      always-on path, so handles are cached per SQL text and each
+      statement costs two clock reads plus one fused locked update
+      (:class:`repro.obs.metrics.StatementTimer`).
+    """
+
+    def __init__(self, inner: Backend, tracer=None,
+                 capture_explain: bool = False, metrics=None):
         self.inner = inner
         self.tracer = tracer
+        self.metrics = metrics
         self.capture_explain = capture_explain
         self._clock = time.perf_counter
+        #: kind → fused StatementTimer (statements/rows/latency)
+        self._kind_handles: dict = {}
+        #: sql text → (kind, timer) — compiled SQL strings are reused
+        #: across calls (the compiled-query cache hands back the same
+        #: objects), so the hot path is one dict hit instead of
+        #: re-deriving the kind every statement
+        self._sql_handles: dict = {}
 
     @property
     def name(self) -> str:
         """The wrapped engine's identifier (traces stay attributable)."""
         return self.inner.name
 
+    def _handles(self, kind: str):
+        timer = self._kind_handles.get(kind)
+        if timer is None:
+            timer = self._kind_handles[kind] = (
+                self.metrics.statement_timer(kind))
+        return timer
+
     # -- Backend protocol ---------------------------------------------------
+
+    def _sql_entry(self, sql: str):
+        kind = statement_kind(sql)
+        timer = self._handles(kind) if self.metrics is not None else None
+        entry = (kind, timer)
+        if len(self._sql_handles) < 4096:   # bound ad-hoc SQL growth
+            self._sql_handles[sql] = entry
+        return entry
 
     def execute(self, sql: str, params: Params = ()) -> list[Row]:
         """Forward one statement, recording text/params/rows/timing."""
-        kind = statement_kind(sql)
+        entry = self._sql_handles.get(sql)
+        if entry is None:
+            entry = self._sql_entry(sql)
+        kind, timer = entry
         plan: tuple[str, ...] = ()
         if self.capture_explain and kind == "SELECT":
             plan = self._explain(sql, params)
-        start = self._clock()
+        clock = self._clock
+        start = clock()
         rows = self.inner.execute(sql, params)
-        duration = self._clock() - start
-        self.tracer.record_statement(StatementRecord(
-            sql=sql, kind=kind, param_count=len(tuple(params)),
-            row_count=len(rows), duration_s=duration, plan=plan))
+        duration = clock() - start
+        if timer is not None:
+            timer.record(len(rows), duration)
+        if self.tracer is not None:
+            self.tracer.record_statement(StatementRecord(
+                sql=sql, kind=kind, param_count=len(tuple(params)),
+                row_count=len(rows), duration_s=duration, plan=plan))
         return rows
 
     def executemany(self, sql: str, params_seq: Iterable[Params]) -> int:
@@ -100,12 +141,16 @@ class InstrumentedBackend:
                         width = len(tuple(params))
                 yield params
 
+        kind = statement_kind(sql)
         start = self._clock()
         count = self.inner.executemany(sql, watched(params_seq))
         duration = self._clock() - start
-        self.tracer.record_statement(StatementRecord(
-            sql=sql, kind=statement_kind(sql), param_count=width,
-            row_count=0, duration_s=duration, executions=count))
+        if self.metrics is not None:
+            self._handles(kind).record(0, duration, executions=count)
+        if self.tracer is not None:
+            self.tracer.record_statement(StatementRecord(
+                sql=sql, kind=kind, param_count=width,
+                row_count=0, duration_s=duration, executions=count))
         return count
 
     def commit(self) -> None:

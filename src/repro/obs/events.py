@@ -1,0 +1,227 @@
+"""Structured event log and slow-query log.
+
+The Data Hounds "send out triggers to related applications" — a
+warehouse already narrates its own life. :class:`EventLog` captures
+that narration as structured events (name + severity + arbitrary
+fields) in a fixed-size ring buffer, exportable as JSON lines, so an
+operator can answer "what happened around 14:03" without grepping
+stdout.
+
+:class:`SlowQueryLog` is the always-on outlier catcher: every query's
+wall-clock time is compared against a threshold, and the ones over it
+are recorded *with everything needed to diagnose them offline* — the
+query text, the compiled SQL, result rows, whether the translation was
+a cache hit, and the engine's EXPLAIN output for each SELECT. The
+diagnosis cost (EXPLAIN passes) is paid only by queries that already
+blew the budget.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+#: ordered severity levels, least to most severe
+SEVERITIES = ("debug", "info", "warning", "error")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured log record."""
+
+    ts: float                      # epoch seconds (time.time)
+    severity: str                  # one of SEVERITIES
+    name: str                      # dotted event name ("hound.load")
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (one JSONL line)."""
+        return {"ts": round(self.ts, 6), "severity": self.severity,
+                "name": self.name, **self.fields}
+
+
+class EventLog:
+    """A bounded, thread-safe ring buffer of :class:`Event`.
+
+    Old events fall off the far end; ``emit`` is append-only and
+    cheap. ``min_severity`` drops events below a floor at emit time
+    (the always-on default keeps everything from ``info`` up).
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 min_severity: str = "info",
+                 clock: Callable[[], float] = time.time):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if min_severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {min_severity!r}")
+        self.capacity = capacity
+        self.min_severity = min_severity
+        self._clock = clock
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: total events accepted (survives ring-buffer eviction)
+        self.emitted = 0
+        #: total events dropped by the severity floor
+        self.suppressed = 0
+
+    def emit(self, name: str, severity: str = "info", **fields) -> Event | None:
+        """Append one event; returns it (None when below the floor)."""
+        rank = _SEVERITY_RANK.get(severity)
+        if rank is None:
+            raise ValueError(f"unknown severity {severity!r}")
+        if rank < _SEVERITY_RANK[self.min_severity]:
+            with self._lock:
+                self.suppressed += 1
+            return None
+        event = Event(ts=self._clock(), severity=severity, name=name,
+                      fields=fields)
+        with self._lock:
+            self._events.append(event)
+            self.emitted += 1
+        return event
+
+    def events(self, name: str | None = None,
+               min_severity: str = "debug") -> list[Event]:
+        """Buffered events, oldest first, optionally filtered by exact
+        name and/or severity floor."""
+        floor = _SEVERITY_RANK[min_severity]
+        with self._lock:
+            buffered = list(self._events)
+        return [event for event in buffered
+                if (name is None or event.name == name)
+                and _SEVERITY_RANK[event.severity] >= floor]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def to_jsonl(self) -> str:
+        """The buffer as JSON lines (one event per line)."""
+        return "\n".join(json.dumps(event.to_dict(), sort_keys=True,
+                                    default=str)
+                         for event in self.events())
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Write the buffer to ``path`` as JSONL; returns event count."""
+        events = self.events()
+        text = "\n".join(json.dumps(event.to_dict(), sort_keys=True,
+                                    default=str)
+                         for event in events)
+        Path(path).write_text(text + ("\n" if text else ""),
+                              encoding="utf-8")
+        return len(events)
+
+
+@dataclass
+class SlowQueryRecord:
+    """One query that exceeded the slow-query threshold."""
+
+    ts: float
+    query: str
+    backend: str
+    duration_ms: float
+    rows: int
+    cache_hit: bool
+    sql: tuple[str, ...] = ()
+    #: SELECT sql → the engine's EXPLAIN lines for it
+    plans: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form."""
+        return {"ts": round(self.ts, 6), "query": self.query,
+                "backend": self.backend,
+                "duration_ms": round(self.duration_ms, 3),
+                "rows": self.rows, "cache_hit": self.cache_hit,
+                "sql": list(self.sql),
+                "plans": {sql: list(lines)
+                          for sql, lines in self.plans.items()}}
+
+
+class SlowQueryLog:
+    """Threshold-triggered capture of slow queries.
+
+    The engine calls :meth:`record` after every query with the
+    measured duration; nothing happens under the threshold. Over it,
+    the record keeps the compiled SQL and — when the backend offers
+    ``explain`` — the plan of every SELECT, and a ``query.slow``
+    warning event lands in the companion :class:`EventLog`.
+    """
+
+    def __init__(self, threshold_ms: float = 250.0, capacity: int = 100,
+                 events: EventLog | None = None,
+                 clock: Callable[[], float] = time.time):
+        self.threshold_ms = threshold_ms
+        self.events = events
+        self._clock = clock
+        self._records: deque[SlowQueryRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: queries seen / queries recorded as slow
+        self.seen = 0
+        self.slow = 0
+
+    def record(self, query: str, backend, duration_ms: float,
+               rows: int, cache_hit: bool,
+               statements=()) -> SlowQueryRecord | None:
+        """Consider one finished query; returns the record when slow.
+
+        ``statements`` are ``(sql, params)`` pairs (see
+        ``CompiledQuery.parameterized_statements``) — params are needed
+        to re-run EXPLAIN against parameterized SQL. Pass a zero-arg
+        callable returning the pairs to defer building them to the
+        slow case (the common fast case then pays one comparison)."""
+        with self._lock:
+            self.seen += 1
+        if duration_ms < self.threshold_ms:
+            return None
+        if callable(statements):
+            statements = statements()
+        statements = tuple(statements)
+        record = SlowQueryRecord(
+            ts=self._clock(), query=query,
+            backend=getattr(backend, "name", str(backend)),
+            duration_ms=duration_ms, rows=rows, cache_hit=cache_hit,
+            sql=tuple(sql for sql, __ in statements),
+            plans=self._capture_plans(backend, statements))
+        with self._lock:
+            self._records.append(record)
+            self.slow += 1
+        if self.events is not None:
+            self.events.emit(
+                "query.slow", severity="warning", query=query,
+                backend=record.backend,
+                duration_ms=round(duration_ms, 3), rows=rows,
+                cache_hit=cache_hit, statements=len(record.sql))
+        return record
+
+    def records(self) -> list[SlowQueryRecord]:
+        """Captured slow queries, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def to_dicts(self) -> list[dict]:
+        """JSON-ready dump (the ``metrics.json`` / CLI payload)."""
+        return [record.to_dict() for record in self.records()]
+
+    @staticmethod
+    def _capture_plans(backend,
+                       statements: tuple[tuple[str, tuple], ...]) -> dict:
+        explain = getattr(backend, "explain", None)
+        if explain is None:
+            return {}
+        plans: dict[str, tuple[str, ...]] = {}
+        for sql, params in statements:
+            if not sql.lstrip().upper().startswith("SELECT"):
+                continue
+            try:
+                plans[sql] = tuple(explain(sql, params))
+            except Exception as exc:   # diagnosis must never re-fail
+                plans[sql] = (f"(explain failed: {exc})",)
+        return plans

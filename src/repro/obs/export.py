@@ -42,10 +42,15 @@ PROFILE_FORMAT = "xomatiq-profile/1"
 
 
 def span_to_dict(span: "Span") -> dict:
-    """One span (and its subtree) as JSON-ready data."""
+    """One span (and its subtree) as JSON-ready data.
+
+    A span that was never closed (``end is None``) renders with
+    ``duration_ms: null`` — an honest "unknown", not a fake 0.0.
+    """
     return {
         "name": span.name,
-        "duration_ms": round(span.duration_ms, 4),
+        "duration_ms": (round(span.duration_ms, 4)
+                        if span.end is not None else None),
         "meta": {key: _jsonable(value)
                  for key, value in span.meta.items()},
         "counters": dict(span.counters),
@@ -58,6 +63,14 @@ def span_to_dict(span: "Span") -> dict:
 def trace_to_json(span: "Span", indent: int | None = 2) -> str:
     """One span tree serialized to a JSON string."""
     return json.dumps(span_to_dict(span), indent=indent)
+
+
+def tracer_to_dicts(tracer) -> list[dict]:
+    """Every top-level span of a tracer, exported. Closes the
+    catch-all ``(untracked)`` spans first so their durations are real
+    instead of perpetually-open garbage."""
+    tracer.finish()
+    return [span_to_dict(span) for span in tracer.spans]
 
 
 def profile_to_dict(report: "ProfileReport") -> dict:

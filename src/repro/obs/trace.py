@@ -15,6 +15,7 @@ exported to JSON, or rendered as text long after the tracer is gone.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -83,34 +84,64 @@ class Tracer:
     is innermost at the time. Statements executed while *no* span is
     open (ad-hoc catalog queries, for instance) land in a catch-all
     ``(untracked)`` span so nothing is silently dropped.
+
+    The open-span stack is **thread-local**: a span opened in a
+    ``BulkLoadSession --workers`` thread nests under that thread's own
+    spans (or becomes a top-level span), never under whatever the main
+    thread happens to have open. The shared ``spans`` list and the
+    per-thread catch-all spans are guarded by a lock.
+
+    When :attr:`metrics` is set (a
+    :class:`repro.obs.metrics.MetricsRegistry` — the warehouse wires
+    this up when both tracing and metrics are active), every finished
+    span also feeds the ``trace.span_seconds{span=...}`` histogram, so
+    traces and the always-on metrics plane agree by construction.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 metrics=None):
         self.clock = clock
+        #: optional MetricsRegistry fed one sample per finished span
+        self.metrics = metrics
         self.spans: list[Span] = []
-        self._stack: list[Span] = []
-        self._untracked: Span | None = None
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        #: per-thread catch-all spans, so concurrent counts never race
+        #: on one shared Span's dicts
+        self._untracked_spans: list[Span] = []
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @property
     def current(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
 
     @contextmanager
     def span(self, name: str, **meta) -> Iterator[Span]:
-        """Open a span; nests under the current span when one is open."""
+        """Open a span; nests under the calling thread's current span
+        when one is open."""
         span = Span(name=name, start=self.clock(), meta=dict(meta))
-        parent = self.current
-        if parent is not None:
-            parent.children.append(span)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.spans.append(span)
-        self._stack.append(span)
+            with self._lock:
+                self.spans.append(span)
+        stack.append(span)
         try:
             yield span
         finally:
-            self._stack.pop()
+            stack.pop()
             span.end = self.clock()
+            if self.metrics is not None:
+                self.metrics.observe("trace.span_seconds",
+                                     span.end - span.start, span=name)
 
     def count(self, name: str, amount: int = 1) -> None:
         """Increment a counter on the current span; counts arriving
@@ -131,13 +162,29 @@ class Tracer:
 
     def last_span(self, name: str | None = None) -> Span | None:
         """Most recent finished top-level span (optionally by name)."""
-        for span in reversed(self.spans):
+        with self._lock:
+            spans = list(self.spans)
+        for span in reversed(spans):
             if name is None or span.name == name:
                 return span
         return None
 
+    def finish(self) -> None:
+        """Close every still-open catch-all span (call before
+        exporting — an open span's duration is meaningless, and JSON
+        export renders open spans with ``duration_ms: null``)."""
+        now = self.clock()
+        with self._lock:
+            for span in self._untracked_spans:
+                if span.end is None:
+                    span.end = now
+
     def _untracked_span(self) -> Span:
-        if self._untracked is None:
-            self._untracked = Span(name="(untracked)", start=self.clock())
-            self.spans.append(self._untracked)
-        return self._untracked
+        span = getattr(self._local, "untracked", None)
+        if span is None:
+            span = Span(name="(untracked)", start=self.clock())
+            self._local.untracked = span
+            with self._lock:
+                self.spans.append(span)
+                self._untracked_spans.append(span)
+        return span

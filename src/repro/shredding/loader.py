@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import re
 from contextlib import nullcontext
+from time import perf_counter
 from typing import Callable, Iterable
+
+from repro.obs.metrics import SIZE_BUCKETS
 
 from repro.relational.backend import Backend
 from repro.relational.schema import (
@@ -62,6 +65,7 @@ class WarehouseLoader:
                  sequence_tags: frozenset[str] = DEFAULT_SEQUENCE_TAGS,
                  create: bool = True,
                  tracer=None,
+                 metrics=None,
                  bulk_batch_size: int = 512,
                  bulk_workers: int = 0):
         self.backend = backend
@@ -70,6 +74,10 @@ class WarehouseLoader:
         #: optional :class:`repro.obs.Tracer`; when set, stores record
         #: per-table row counts and shred/insert split on load spans
         self.tracer = tracer
+        #: optional :class:`repro.obs.MetricsRegistry` — the always-on
+        #: plane: documents/rows-per-table counters, flush timings,
+        #: deferred-index rebuild counts
+        self.metrics = metrics
         #: defaults for :meth:`bulk_session`
         self.bulk_batch_size = bulk_batch_size
         self.bulk_workers = bulk_workers
@@ -106,6 +114,8 @@ class WarehouseLoader:
         self.bump_generation()
         if self.tracer is not None:
             self.tracer.count("documents")
+        if self.metrics is not None:
+            self.metrics.inc("load.documents", source=source)
         return doc_id
 
     def remove_document(self, source: str, collection: str,
@@ -185,11 +195,14 @@ class WarehouseLoader:
 
     def _insert_rows(self, shredded: ShreddedDocument) -> None:
         tracer = self.tracer
+        metrics = self.metrics
         for table, rows in shredded.rows_by_table().items():
             if rows:
                 self.backend.executemany(INSERT_STATEMENTS[table], rows)
                 if tracer is not None:
                     tracer.count(f"rows.{table}", len(rows))
+                if metrics is not None:
+                    metrics.inc("load.rows", len(rows), table=table)
 
     def _delete_entry(self, source: str, entry_key: str,
                       collection: str | None) -> None:
@@ -327,7 +340,9 @@ class BulkLoadSession:
         if not pending:
             return 0
         tracer = self.loader.tracer
+        metrics = self.loader.metrics
         backend = self.loader.backend
+        start = perf_counter()
         span_context = (tracer.span("flush", batch=len(pending))
                         if tracer is not None else nullcontext(None))
         with span_context as span:
@@ -353,9 +368,17 @@ class BulkLoadSession:
                     backend.executemany(INSERT_STATEMENTS[table], rows)
                     if span is not None:
                         span.count(f"rows.{table}", len(rows))
+                    if metrics is not None:
+                        metrics.inc("load.rows", len(rows), table=table)
             backend.commit()
             if span is not None:
                 span.count("documents", len(pending))
+        if metrics is not None:
+            metrics.inc("load.flushes")
+            metrics.inc("load.documents", len(pending))
+            metrics.observe("load.flush_seconds", perf_counter() - start)
+            metrics.observe("load.batch_documents", len(pending),
+                            buckets=SIZE_BUCKETS)
         self.flushes += 1
         self.loader.bump_generation()
         self._pending.clear()
@@ -402,13 +425,19 @@ class BulkLoadSession:
 
     def _rebuild_indexes(self) -> None:
         tracer = self.loader.tracer
+        metrics = self.loader.metrics
         backend = self.loader.backend
+        start = perf_counter()
         span_context = (tracer.span("index_rebuild")
                         if tracer is not None else nullcontext(None))
         with span_context:
             for statement in CREATE_INDEXES:
                 backend.execute(statement)
             backend.commit()
+        if metrics is not None:
+            metrics.inc("load.index_rebuilds")
+            metrics.observe("load.index_rebuild_seconds",
+                            perf_counter() - start)
         self._indexes_dropped = False
 
     def _shred_job(self, source: str, transform: Callable) -> Callable:

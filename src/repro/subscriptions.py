@@ -21,6 +21,7 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable
 
 from repro.datahounds.triggers import ChangeEvent
@@ -84,6 +85,10 @@ class QuerySubscription:
         self._snapshot: dict[tuple, ResultRow] = {}
         self._primed = False
         self.last_result: QueryResult | None = None
+        #: re-evaluations / callback invocations (always tracked)
+        self.refreshes = 0
+        self.deliveries = 0
+        self._metrics = getattr(warehouse, "_metrics_sink", None)
         for source in self.sources:
             hound.subscribe(self._handle_event, source)
 
@@ -108,6 +113,7 @@ class QuerySubscription:
         not-yet-loaded document is treated as empty, not an error — the
         subscription exists precisely to wait for that load)."""
         from repro.errors import UnknownDocumentError
+        start = perf_counter()
         try:
             result = self.warehouse.query(self.query_text)
         except UnknownDocumentError:
@@ -124,6 +130,14 @@ class QuerySubscription:
                 delta.removed.append(row)
         self._snapshot = current
         self._primed = True
+        self.refreshes += 1
+        if self._metrics is not None:
+            self._metrics.inc("subscriptions.refreshes")
+            self._metrics.observe("subscriptions.refresh_seconds",
+                                  perf_counter() - start)
+            self._metrics.inc("subscriptions.rows_added", len(delta.added))
+            self._metrics.inc("subscriptions.rows_removed",
+                              len(delta.removed))
         return delta
 
     def _entry_keys(self, result: QueryResult) -> dict[int, tuple]:
@@ -144,7 +158,13 @@ class QuerySubscription:
         delta = self.refresh(event)
         if self.on_change is not None and (delta.changed
                                            or self.fire_on_unchanged):
+            start = perf_counter()
             self.on_change(delta)
+            self.deliveries += 1
+            if self._metrics is not None:
+                self._metrics.inc("subscriptions.deliveries")
+                self._metrics.observe("subscriptions.delivery_seconds",
+                                      perf_counter() - start)
 
     def cancel(self) -> None:
         """Stop receiving triggers."""

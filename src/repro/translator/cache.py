@@ -38,9 +38,15 @@ CacheKey = tuple[str, str, frozenset]
 
 
 class CompiledQueryCache:
-    """A bounded LRU of ``(generation, CompiledQuery)`` entries."""
+    """A bounded LRU of ``(generation, CompiledQuery)`` entries.
 
-    def __init__(self, maxsize: int = 128):
+    With a :class:`repro.obs.MetricsRegistry` attached, every hit /
+    miss / eviction / invalidation also bumps the always-on
+    ``query_cache.*`` counters and the cache size gauge, so cache
+    behaviour shows up in ``xomatiq metrics`` without a profiler run.
+    """
+
+    def __init__(self, maxsize: int = 128, metrics=None):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
@@ -51,6 +57,18 @@ class CompiledQueryCache:
         self.evictions = 0
         #: entries dropped because the catalog generation moved on
         self.invalidations = 0
+        if metrics is not None:
+            self._hit_counter = metrics.counter("query_cache.hits")
+            self._miss_counter = metrics.counter("query_cache.misses")
+            self._eviction_counter = metrics.counter(
+                "query_cache.evictions")
+            self._invalidation_counter = metrics.counter(
+                "query_cache.invalidations")
+            self._size_gauge = metrics.gauge("query_cache.size")
+        else:
+            self._hit_counter = self._miss_counter = None
+            self._eviction_counter = self._invalidation_counter = None
+            self._size_gauge = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,15 +80,23 @@ class CompiledQueryCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            if self._miss_counter is not None:
+                self._miss_counter.inc()
             return None
         cached_generation, compiled = entry
         if cached_generation != generation:
             del self._entries[key]
             self.invalidations += 1
             self.misses += 1
+            if self._miss_counter is not None:
+                self._invalidation_counter.inc()
+                self._miss_counter.inc()
+                self._size_gauge.set(len(self._entries))
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if self._hit_counter is not None:
+            self._hit_counter.inc()
         return compiled
 
     def put(self, text: str, dialect: str, sequence_tags: frozenset,
@@ -82,6 +108,10 @@ class CompiledQueryCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
+            if self._eviction_counter is not None:
+                self._eviction_counter.inc()
+        if self._size_gauge is not None:
+            self._size_gauge.set(len(self._entries))
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""

@@ -149,15 +149,20 @@ class CompiledQuery:
 
     def statements(self) -> list[str]:
         """Every SQL statement, for display/EXPLAIN."""
-        out: list[str] = []
+        return [sql for sql, __ in self.parameterized_statements()]
+
+    def parameterized_statements(self) -> list[tuple[str, tuple]]:
+        """Every SQL statement with its bound parameters — what the
+        slow-query log needs to re-run EXPLAIN faithfully."""
+        out: list[tuple[str, tuple]] = []
         for disjunct in self.disjuncts:
-            out.append(disjunct.positive.sql)
-            out.extend(n.sql for n in disjunct.negations)
+            out.append((disjunct.positive.sql, disjunct.positive.params))
+            out.extend((n.sql, n.params) for n in disjunct.negations)
         for item in self.items:
             for value in item.values:
-                out.append(value.sql)
+                out.append((value.sql, value.params))
                 if value.sequence_sql:
-                    out.append(value.sequence_sql)
+                    out.append((value.sequence_sql, value.sequence_params))
         return out
 
 

@@ -104,6 +104,27 @@ class TestIncrementalUpdate:
         hound.load("hlx_enzyme")
         assert len(events) == 1
 
+    def test_loads_feed_delta_metrics(self, setup):
+        from repro.obs import MetricsRegistry
+        corpus, repo, store = setup
+        registry = MetricsRegistry()
+        hound = DataHound(repo, store, metrics=registry)
+        hound.load("hlx_enzyme")
+        repo.publish("hlx_enzyme", "r2",
+                     mutate_release(corpus.enzyme_text, seed=3,
+                                    update_fraction=0.25,
+                                    remove_fraction=0.1))
+        report = hound.load("hlx_enzyme")
+        get = lambda name: registry.get_counter(name, source="hlx_enzyme")
+        assert get("hound.loads") == 2
+        assert get("hound.entries_added") == 12
+        assert get("hound.entries_updated") == len(report.plan.updated)
+        assert get("hound.entries_removed") == len(report.plan.removed)
+        assert get("hound.entries_unchanged") == len(report.plan.unchanged)
+        assert registry.histogram("hound.load_seconds").count == 2
+        assert registry.get_gauge_value("hound.last_harvest_timestamp",
+                                        source="hlx_enzyme") > 0
+
 
 class TestSafety:
     def test_duplicate_entry_keys_rejected(self, setup):

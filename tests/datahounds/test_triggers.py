@@ -55,6 +55,27 @@ class TestTriggerHub:
         hub.subscribe(second.append)
         assert hub.fire(event()) == 2
 
+    def test_fire_counts_events_and_deliveries(self):
+        hub = TriggerHub()
+        hub.subscribe(lambda e: None, "hlx_enzyme")
+        hub.subscribe(lambda e: None)
+        hub.fire(event())                    # 2 deliveries
+        hub.fire(event(source="hlx_embl"))   # wildcard only
+        hub.fire(event(added=()))            # noop: not counted
+        assert hub.events_fired == 2
+        assert hub.deliveries == 3
+
+    def test_fire_feeds_metrics(self):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        hub = TriggerHub(metrics=registry)
+        hub.subscribe(lambda e: None, "hlx_enzyme")
+        hub.fire(event())
+        assert registry.get_counter("triggers.events",
+                                    source="hlx_enzyme") == 1
+        assert registry.get_counter("triggers.deliveries") == 1
+        assert registry.histogram("triggers.delivery_seconds").count == 1
+
 
 class TestChangeEvent:
     def test_total_changes(self):

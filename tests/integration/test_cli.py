@@ -123,3 +123,75 @@ class TestCliProfile:
     def test_profile_without_target_errors(self, capsys):
         assert main(["profile", self.QUERY]) == 2
         assert "provide --db or --synth" in capsys.readouterr().err
+
+
+class TestCliMetricsAndHealth:
+    QUERY = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+             'WHERE contains($a//catalytic_activity, "ketone") '
+             'RETURN $a//enzyme_id')
+
+    @pytest.fixture
+    def loaded_db(self, tmp_path, corpus_dir):
+        db = str(tmp_path / "wh.sqlite")
+        main(["init", "--db", db])
+        main(["load", "--db", db, "--source", "hlx_enzyme",
+              str(corpus_dir / "enzyme.dat")])
+        return db
+
+    def test_metrics_json_after_query(self, loaded_db, capsys):
+        import json
+        assert main(["metrics", "--db", loaded_db, self.QUERY]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        counters = {(c["name"], tuple(sorted(c["labels"].items()))):
+                    c["value"] for c in snapshot["counters"]}
+        assert counters[("query.total", (("backend", "sqlite"),))] == 1
+        histograms = [h["name"] for h in snapshot["histograms"]]
+        assert "query.seconds" in histograms
+
+    def test_metrics_prometheus_parses(self, loaded_db, capsys):
+        from tests.obs.test_metrics import parse_prometheus
+        assert main(["metrics", "--db", loaded_db,
+                     "--format", "prometheus", self.QUERY]) == 0
+        types, samples = parse_prometheus(capsys.readouterr().out)
+        assert types["xomatiq_query_total"] == "counter"
+        assert types["xomatiq_query_seconds"] == "histogram"
+        assert "xomatiq_query_seconds_bucket" in samples
+
+    def test_metrics_without_query_dumps_load_counters(self, tmp_path,
+                                                       corpus_dir,
+                                                       capsys):
+        import json
+        assert main(["metrics", "--synth"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        names = {c["name"] for c in snapshot["counters"]}
+        assert "load.documents" in names
+
+    def test_metrics_without_target_errors(self, capsys):
+        assert main(["metrics", self.QUERY]) == 2
+        assert "provide --db or --synth" in capsys.readouterr().err
+
+    def test_health_ok_on_loaded_db(self, loaded_db, capsys):
+        assert main(["health", "--db", loaded_db]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("health: OK")
+        assert "keyword_index_populated" in out
+
+    def test_health_json(self, loaded_db, capsys):
+        import json
+        assert main(["health", "--db", loaded_db, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "ok"
+        assert report["stats"]["documents"] > 0
+
+    def test_health_warns_on_empty_db(self, tmp_path, capsys):
+        db = str(tmp_path / "empty.sqlite")
+        main(["init", "--db", db])
+        assert main(["health", "--db", db]) == 1
+        assert "health: WARN" in capsys.readouterr().out
+
+    def test_stats_json(self, loaded_db, capsys):
+        import json
+        assert main(["stats", "--db", loaded_db, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["documents"] > 0
+        assert "documents:hlx_enzyme" in stats

@@ -51,6 +51,30 @@ class TestSubscriptionLifecycle:
         assert not deltas[0].removed
         assert deltas[0].total_rows == len(deltas[0].added)
         assert sub.last_result is not None
+        # refresh/delivery instance counters track the lifecycle
+        assert sub.refreshes == 2    # one per load
+        assert sub.deliveries == 1   # only the changed delta delivered
+
+    def test_refresh_and_delivery_feed_metrics(self, setup):
+        from repro.obs import MetricsRegistry
+        corpus, repo, warehouse, hound = setup
+        registry = MetricsRegistry()
+        warehouse.metrics = warehouse._metrics_sink = registry
+        hound.metrics = registry
+        deltas = []
+        sub = QuerySubscription(warehouse, hound, QUERY,
+                                on_change=deltas.append)
+        hound.load("hlx_enzyme")
+        repo.publish("hlx_enzyme", "r2",
+                     mutate_release(corpus.enzyme_text, seed=5,
+                                    update_fraction=0.3,
+                                    remove_fraction=0.0))
+        hound.load("hlx_enzyme")
+        assert registry.get_counter("subscriptions.refreshes") == 2
+        assert registry.get_counter("subscriptions.deliveries") == 1
+        assert registry.get_counter("subscriptions.rows_added") \
+            == len(deltas[0].added)
+        assert registry.histogram("subscriptions.refresh_seconds").count == 2
 
     def test_removal_produces_removed_rows(self, setup):
         corpus, repo, warehouse, hound = setup

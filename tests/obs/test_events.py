@@ -1,0 +1,163 @@
+"""Structured event log (ring buffer, severities, JSONL) and the
+slow-query log (threshold, SQL + EXPLAIN capture, event emission)."""
+
+import json
+
+import pytest
+
+from repro.engine import Warehouse
+from repro.obs import EventLog, MetricsRegistry, SlowQueryLog
+from repro.xmlkit import parse_document
+
+QUERY = ('FOR $a IN document("db.c")/r/item '
+         'WHERE $a/name = "alpha" RETURN $a//name')
+
+
+def small_warehouse(backend, **kwargs):
+    warehouse = Warehouse(backend=backend, **kwargs)
+    warehouse.loader.store_document(
+        "db", "c", "k1",
+        parse_document("<r><item><name>alpha</name></item>"
+                       "<item><name>beta</name></item></r>"))
+    return warehouse
+
+
+class TestEventLog:
+    def test_emit_and_read(self):
+        log = EventLog(clock=lambda: 1000.0)
+        event = log.emit("hound.load", source="embl", loaded=3)
+        assert event.ts == 1000.0
+        assert event.severity == "info"
+        assert [e.name for e in log.events()] == ["hound.load"]
+        assert log.events()[0].fields == {"source": "embl", "loaded": 3}
+
+    def test_ring_buffer_drops_oldest(self):
+        log = EventLog(capacity=3)
+        for index in range(5):
+            log.emit("e", index=index)
+        assert [e.fields["index"] for e in log.events()] == [2, 3, 4]
+        assert log.emitted == 5
+        assert len(log) == 3
+
+    def test_severity_floor_suppresses(self):
+        log = EventLog(min_severity="warning")
+        assert log.emit("fine", severity="info") is None
+        assert log.emit("bad", severity="error") is not None
+        assert log.suppressed == 1
+        assert [e.name for e in log.events()] == ["bad"]
+
+    def test_filter_by_name_and_severity(self):
+        log = EventLog()
+        log.emit("a", severity="info")
+        log.emit("b", severity="warning")
+        log.emit("a", severity="error")
+        assert len(log.events(name="a")) == 2
+        assert [e.name for e in log.events(min_severity="warning")] \
+            == ["b", "a"]
+
+    def test_unknown_severity_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.emit("x", severity="fatal")
+        with pytest.raises(ValueError):
+            EventLog(min_severity="loud")
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = EventLog(clock=lambda: 7.0)
+        log.emit("one", value=1)
+        log.emit("two", value=2)
+        lines = log.to_jsonl().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["one", "two"]
+        path = tmp_path / "events.jsonl"
+        assert log.write_jsonl(path) == 2
+        assert path.read_text().count("\n") == 2
+
+
+class TestSlowQueryLog:
+    def test_fast_queries_not_recorded(self):
+        log = SlowQueryLog(threshold_ms=100.0)
+        assert log.record("q", None, 5.0, rows=1, cache_hit=False) is None
+        assert log.seen == 1
+        assert log.slow == 0
+
+    def test_slow_query_recorded_with_event(self):
+        events = EventLog()
+        log = SlowQueryLog(threshold_ms=100.0, events=events)
+        record = log.record("q", None, 250.0, rows=3, cache_hit=True)
+        assert record.duration_ms == 250.0
+        assert record.cache_hit is True
+        (event,) = events.events(name="query.slow")
+        assert event.severity == "warning"
+        assert event.fields["rows"] == 3
+
+    def test_lazy_statements_not_built_when_fast(self):
+        log = SlowQueryLog(threshold_ms=100.0)
+        calls = []
+
+        def statements():
+            calls.append(1)
+            return [("SELECT 1", ())]
+
+        log.record("q", None, 5.0, rows=0, cache_hit=False,
+                   statements=statements)
+        assert calls == []
+        log.record("q", None, 500.0, rows=0, cache_hit=False,
+                   statements=statements)
+        assert calls == [1]
+
+    def test_explain_failure_never_raises(self):
+        class BrokenBackend:
+            name = "broken"
+
+            def explain(self, sql, params=()):
+                raise RuntimeError("no plan for you")
+
+        log = SlowQueryLog(threshold_ms=0.0)
+        record = log.record("q", BrokenBackend(), 1.0, rows=0,
+                            cache_hit=False,
+                            statements=[("SELECT 1", ())])
+        assert "explain failed" in record.plans["SELECT 1"][0]
+
+
+class TestWarehouseSlowQueries:
+    def test_slow_query_captures_sql_and_plans(self, backend):
+        """The acceptance path: with the threshold at zero every query
+        is 'slow' and must land with its compiled SQL and the engine's
+        EXPLAIN output attached."""
+        warehouse = small_warehouse(backend, metrics=MetricsRegistry(),
+                                    slow_query_ms=0.0)
+        warehouse.query(QUERY)
+        (record,) = warehouse.slow_queries.records()
+        assert record.query == QUERY
+        assert record.backend == warehouse.backend.name
+        assert record.rows == 1
+        assert record.cache_hit is False
+        assert record.sql and all(
+            sql.lstrip().upper().startswith("SELECT")
+            for sql in record.sql)
+        assert record.plans                  # every backend can EXPLAIN
+        assert all(lines for lines in record.plans.values())
+        # and the companion warning event fired
+        assert warehouse.events.events(name="query.slow")
+
+    def test_cache_hit_flag_on_repeat(self, backend):
+        warehouse = small_warehouse(backend, metrics=MetricsRegistry(),
+                                    slow_query_ms=0.0)
+        warehouse.query(QUERY)
+        warehouse.query(QUERY)
+        first, second = warehouse.slow_queries.records()
+        assert first.cache_hit is False
+        assert second.cache_hit is True
+
+    def test_to_dicts_is_json_ready(self, backend):
+        warehouse = small_warehouse(backend, metrics=MetricsRegistry(),
+                                    slow_query_ms=0.0)
+        warehouse.query(QUERY)
+        payload = json.dumps(warehouse.slow_queries.to_dicts())
+        assert "duration_ms" in payload
+
+    def test_default_threshold_keeps_log_empty(self, backend):
+        warehouse = small_warehouse(backend, metrics=MetricsRegistry())
+        warehouse.query(QUERY)
+        assert warehouse.slow_queries.records() == []
+        assert warehouse.slow_queries.seen == 1

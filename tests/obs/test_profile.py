@@ -31,14 +31,23 @@ def small_warehouse(backend):
 
 
 class TestHotPathDefault:
-    """Observability must never tax the untraced path."""
+    """Tracing stays opt-in; only the (cheap) metrics plane is
+    always on, and ``metrics=False`` removes even that."""
 
     def test_no_tracer_allocated_by_default(self, backend):
         warehouse = Warehouse(backend=backend)
         assert warehouse.tracer is None
+        assert warehouse.loader.tracer is None
+        # metrics are on by default: backend wrapped, but no tracer
+        assert isinstance(warehouse.backend, InstrumentedBackend)
+        assert warehouse.backend.tracer is None
+
+    def test_metrics_false_leaves_backend_unwrapped(self, backend):
+        warehouse = Warehouse(backend=backend, metrics=False)
+        assert warehouse.tracer is None
         assert warehouse.backend is backend  # not wrapped
         assert not isinstance(warehouse.backend, InstrumentedBackend)
-        assert warehouse.loader.tracer is None
+        assert warehouse._metrics_sink is None
 
     def test_connect_without_trace_passes_no_tracer(self, backend):
         from repro.datahounds import InMemoryRepository

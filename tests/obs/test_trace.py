@@ -61,6 +61,91 @@ class TestTracerUnit:
         assert tracer.spans[0].counters["statements"] == 1
 
 
+class TestTracerThreadSafety:
+    """Regression: the open-span stack was one shared list, so spans
+    opened by bulk-load worker threads nested under whatever the main
+    thread had open (or popped the wrong frame entirely)."""
+
+    def test_concurrent_spans_never_cross_threads(self):
+        import threading
+
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def work(index):
+            try:
+                barrier.wait()
+                for __ in range(200):
+                    with tracer.span(f"outer-{index}") as outer:
+                        with tracer.span(f"inner-{index}") as inner:
+                            assert tracer.current is inner
+                        assert tracer.current is outer
+                    assert tracer.current is None
+            except Exception as exc:   # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # every span is top-level in its own thread: 4 threads x 200
+        assert len(tracer.spans) == 800
+        for span in tracer.spans:
+            assert span.end is not None
+            # children belong to the same worker as their parent
+            (child,) = span.children
+            assert child.name.split("-")[1] == span.name.split("-")[1]
+
+    def test_concurrent_bulk_load_with_workers_keeps_spans_sane(self):
+        """End to end: a traced warehouse loading with worker threads
+        must produce a well-formed span forest (no span parented under
+        another thread's open span, no negative durations)."""
+        from repro.synth import build_corpus
+
+        corpus = build_corpus(seed=11, enzyme_count=20, embl_count=20,
+                              sprot_count=10)
+        warehouse = Warehouse(trace=True, metrics=False, bulk_workers=3)
+        warehouse.load_corpus(corpus)
+        warehouse.tracer.finish()
+        for span in warehouse.tracer.spans:
+            for node in span.walk():
+                assert node.end is not None
+                assert node.end >= node.start
+
+
+class TestUntrackedSpanClose:
+    """Regression: the ``(untracked)`` catch-all span was never closed,
+    so exports rendered a nonsense duration."""
+
+    def test_finish_closes_untracked_spans(self):
+        tracer = Tracer()
+        tracer.count("orphan")
+        (span,) = tracer.spans
+        assert span.end is None
+        tracer.finish()
+        assert span.end is not None
+        assert span.duration_s >= 0
+
+    def test_open_span_renders_null_duration(self):
+        from repro.obs import span_to_dict
+        tracer = Tracer()
+        tracer.count("orphan")
+        rendered = span_to_dict(tracer.spans[0])
+        assert rendered["duration_ms"] is None
+
+    def test_tracer_to_dicts_finishes_first(self):
+        from repro.obs import tracer_to_dicts
+        tracer = Tracer()
+        tracer.count("orphan")
+        (rendered,) = tracer_to_dicts(tracer)
+        assert rendered["name"] == "(untracked)"
+        assert rendered["duration_ms"] is not None
+
+
 class _CountingBackend:
     """Sits *under* the instrumented wrapper and counts what actually
     reaches the engine — the ground truth the tracer must match."""
