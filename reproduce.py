@@ -11,6 +11,10 @@ Runs the full pipeline a reviewer needs::
                                    # hound, run the Figure 8/11 queries,
                                    # write metrics.json (snapshot +
                                    # events + slow queries)
+    python reproduce.py --chaos    # resilience smoke: harvest a mirror
+                                   # under seeded transport faults and
+                                   # verify convergence to the
+                                   # fault-free document set
 
 Outputs land next to this file: ``test_output.txt``,
 ``bench_output.txt``, ``bench_results.json`` and (with ``--profile``)
@@ -126,6 +130,84 @@ def metrics_smoke(out: Path) -> int:
     return 0
 
 
+def chaos_smoke() -> int:
+    """Harvest a two-release mirror under seeded transport faults
+    (transient resets, truncations, corruptions) through the resilient
+    transport, and verify the warehouse converges to exactly the
+    fault-free document set — counts and entry fingerprints."""
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.datahounds import (FaultInjectingRepository, FaultPlan,
+                                  InMemoryRepository, ResilientRepository,
+                                  RetryPolicy)
+    from repro.engine import Warehouse
+    from repro.obs import format_health
+    from repro.synth import build_corpus, mutate_release
+
+    corpus = build_corpus(seed=23, enzyme_count=30, embl_count=30,
+                          sprot_count=30)
+    releases = {"r1": corpus.texts()}
+    releases["r2"] = {source: mutate_release(text, seed=29,
+                                             update_fraction=0.3,
+                                             remove_fraction=0.1)
+                      for source, text in releases["r1"].items()}
+
+    def make_mirror():
+        repo = InMemoryRepository()
+        for release, texts in releases.items():
+            for source, text in texts.items():
+                repo.publish(source, release, text)
+        return repo
+
+    def state(warehouse):
+        counts = {k: v for k, v in warehouse.stats().items()
+                  if k.startswith("documents:")}
+        prints = {source: fp for source, (__, fp)
+                  in warehouse.loader.load_snapshots().items()}
+        return counts, prints
+
+    def harvest(warehouse, repo):
+        hound = warehouse.connect(repo)
+        for release in ("r1", "r2"):
+            for source in sorted(releases["r1"]):
+                print(f"  {hound.load(source, release)}")
+
+    print("=== fault-free baseline ===")
+    baseline = Warehouse()
+    harvest(baseline, make_mirror())
+    want = state(baseline)
+    baseline.close()
+
+    for seed in (11, 23, 47):
+        print(f"\n=== chaos seed {seed} ===")
+        warehouse = Warehouse()
+        plan = FaultPlan(seed=seed).add_source(
+            "*", transient_rate=0.15, truncate_rate=0.05,
+            corrupt_rate=0.05)
+        wrapper = ResilientRepository(
+            FaultInjectingRepository(make_mirror(), plan,
+                                     sleep=lambda s: None),
+            policy=RetryPolicy(max_attempts=8, base_delay_s=0.0,
+                               jitter=0.0),
+            breaker_threshold=50, sleep=lambda s: None,
+            metrics=warehouse.metrics, events=warehouse.events)
+        harvest(warehouse, wrapper)
+        converged = state(warehouse) == want
+        print(f"  faults injected: {plan.injected_total()}  "
+              f"converged: {converged}")
+        if seed == 47:
+            print()
+            print(format_health(warehouse.health()))
+        warehouse.close()
+        if not converged:
+            print("chaos harvest DIVERGED from the fault-free state")
+            return 1
+        if not plan.injected_total():
+            print("no faults injected — smoke proves nothing")
+            return 1
+    print("\nchaos smoke ok: every seed converged")
+    return 0
+
+
 def run(label: str, command: list[str], output: Path | None = None) -> int:
     print(f"\n=== {label}: {' '.join(command)} ===")
     process = subprocess.run(command, cwd=ROOT, capture_output=True,
@@ -143,6 +225,8 @@ def main() -> int:
         return profile_smoke(ROOT / "profile_results.json")
     if "--metrics" in sys.argv:
         return metrics_smoke(ROOT / "metrics.json")
+    if "--chaos" in sys.argv:
+        return chaos_smoke()
     quick = "--quick" in sys.argv
     code = run("tests", [sys.executable, "-m", "pytest", "tests/"],
                ROOT / "test_output.txt")

@@ -4,6 +4,7 @@ Subcommands mirror the system's workflow::
 
     xomatiq init --db wh.sqlite                      # create a warehouse
     xomatiq load --db wh.sqlite --source hlx_enzyme enzyme.dat
+    xomatiq harvest --db wh.sqlite --repo mirror/ --retries 4
     xomatiq synth --out corpus/ --enzyme 200 --embl 300 --sprot 200
     xomatiq query --db wh.sqlite --file query.xq [--xml]
     xomatiq query --db wh.sqlite 'FOR $a IN ... RETURN ...'
@@ -52,6 +53,30 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--workers", type=int, default=None,
                       help="transform+shred worker threads "
                            "(default 0: run inline)")
+
+    harvest = sub.add_parser(
+        "harvest", help="hound-harvest every source from a mirror "
+                        "directory, with retries and per-source fault "
+                        "isolation")
+    harvest.add_argument("--db", required=True, help="sqlite database path")
+    harvest.add_argument("--repo", required=True,
+                         help="mirror directory "
+                              "(<repo>/<source>/<release>.dat layout)")
+    harvest.add_argument("--source", action="append", dest="sources",
+                         help="harvest only this source (repeatable; "
+                              "default: every registered source the "
+                              "mirror publishes)")
+    harvest.add_argument("--retries", type=int, default=None,
+                         help="max fetch attempts per source (enables "
+                              "the resilient transport wrapper: "
+                              "backoff, integrity verification, "
+                              "circuit breakers)")
+    harvest.add_argument("--fail-fast", action="store_true",
+                         help="abort on the first failing source "
+                              "instead of isolating it")
+    harvest.add_argument("--quarantine", action="store_true",
+                         help="skip and report malformed entries "
+                              "instead of aborting the release")
 
     synth = sub.add_parser("synth",
                            help="generate a cross-linked synthetic corpus")
@@ -157,6 +182,18 @@ def _dispatch(args) -> int:
         print(f"loaded {count} documents into {args.source}")
         warehouse.close()
         return 0
+
+    if args.command == "harvest":
+        from repro.datahounds.transport import DirectoryRepository
+        warehouse = _open(args.db)
+        report = warehouse.harvest(DirectoryRepository(args.repo),
+                                   sources=args.sources,
+                                   quarantine=args.quarantine,
+                                   retries=args.retries,
+                                   fail_fast=args.fail_fast)
+        print(report)
+        warehouse.close()
+        return 0 if report.ok else 1
 
     if args.command == "synth":
         from repro.synth import build_corpus

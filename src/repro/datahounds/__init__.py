@@ -1,9 +1,25 @@
 """Data Hounds: harvest, transform and load biological sources
 (paper §2). See :class:`DataHound` for the orchestrator."""
 
-from repro.datahounds.hound import DataHound, DocumentStore, LoadReport
+from repro.datahounds.faults import (
+    FaultInjectingRepository,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.datahounds.hound import (
+    DataHound,
+    DocumentStore,
+    HarvestReport,
+    LoadReport,
+    SourceFailure,
+)
 from repro.datahounds.mapping import strip_trailing_period
 from repro.datahounds.registry import SourceRegistry
+from repro.datahounds.resilience import (
+    CircuitBreaker,
+    ResilientRepository,
+    RetryPolicy,
+)
 from repro.datahounds.transformer import SourceTransformer
 from repro.datahounds.transport import (
     DirectoryRepository,
@@ -21,13 +37,21 @@ from repro.datahounds.updates import (
 
 __all__ = [
     "ChangeEvent",
+    "CircuitBreaker",
     "DataHound",
     "DirectoryRepository",
     "DocumentStore",
+    "FaultInjectingRepository",
+    "FaultPlan",
+    "FaultSpec",
     "FetchResult",
+    "HarvestReport",
     "InMemoryRepository",
     "LoadReport",
     "ReleaseSnapshot",
+    "ResilientRepository",
+    "RetryPolicy",
+    "SourceFailure",
     "SourceRegistry",
     "SourceTransformer",
     "TriggerHub",

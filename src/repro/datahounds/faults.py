@@ -1,0 +1,220 @@
+"""Deterministic fault injection for the transport layer.
+
+The paper's sources live on remote FTP/HTTP mirrors — exactly the kind
+of infrastructure that stalls, resets connections, truncates transfers
+and occasionally serves a corrupted dump. Reproducing those failure
+modes on demand is what makes the resilience layer
+(:mod:`repro.datahounds.resilience`) testable: a
+:class:`FaultInjectingRepository` wraps any repository and injects
+faults according to a :class:`FaultPlan`, and because every decision
+comes from per-source seeded RNGs (or explicit scripts), a given plan
+replays the *same* fault sequence every run — chaos you can put in a
+regression test.
+
+Fault kinds:
+
+* ``transient`` — the fetch raises :class:`TransportError` (connection
+  reset / 5xx); succeeds when retried enough times,
+* ``stall`` — the fetch sleeps ``stall_s`` before succeeding
+  (injectable sleep, so tests pay nothing),
+* ``truncate`` — the payload is cut short (a dropped connection
+  mid-transfer); detectable only by checksum,
+* ``corrupt`` — the payload is altered (a bad mirror); ditto.
+
+Truncated/corrupted payloads are returned *successfully* — like a real
+mirror would — so only integrity verification against the release
+checksum (``ResilientRepository``) catches them.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.datahounds.transport import FetchResult, _record_fetch_error
+from repro.errors import TransportError
+
+#: every fault kind a plan can inject (``ok`` = no fault)
+FAULT_KINDS = ("transient", "stall", "truncate", "corrupt")
+
+
+@dataclass
+class FaultSpec:
+    """Per-source fault configuration.
+
+    ``script`` is consumed first — an explicit outcome per fetch
+    (``"fail-N-then-succeed"`` is a script of N ``"transient"``
+    entries); once exhausted, outcomes are drawn from the rates using
+    the source's seeded RNG. Rates are cumulative-checked in the order
+    transient, truncate, corrupt, stall and must sum to <= 1.
+    """
+
+    transient_rate: float = 0.0
+    truncate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    stall_rate: float = 0.0
+    #: injected latency for ``stall`` outcomes, seconds
+    stall_s: float = 0.05
+    script: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        total = (self.transient_rate + self.truncate_rate
+                 + self.corrupt_rate + self.stall_rate)
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fault rates sum to {total}, must be <= 1")
+        for kind in self.script:
+            if kind not in FAULT_KINDS and kind != "ok":
+                raise ValueError(f"unknown scripted fault {kind!r}")
+
+
+class FaultPlan:
+    """Seedable, per-source fault schedule.
+
+    One RNG per source (seeded from ``(seed, source)``) keeps the fault
+    sequence of each source independent of how fetches interleave
+    across sources — harvesting sources in a different order replays
+    identical per-source faults. :meth:`reset` re-arms scripts and
+    RNGs so the same plan object can drive a byte-identical second run.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._specs: dict[str, FaultSpec] = {}
+        self._cursors: dict[str, int] = {}
+        self._rngs: dict[str, random.Random] = {}
+        #: injected fault counts: (source, kind) -> count
+        self.injected: dict[tuple[str, str], int] = {}
+
+    def add_source(self, source: str = "*", **spec_kwargs) -> "FaultPlan":
+        """Configure faults for one source (``"*"`` = any source
+        without its own spec); returns self for chaining."""
+        self._specs[source] = FaultSpec(**spec_kwargs)
+        return self
+
+    def fail_then_succeed(self, source: str, failures: int,
+                          kind: str = "transient") -> "FaultPlan":
+        """Script ``failures`` consecutive faults, then clean fetches."""
+        self._specs[source] = FaultSpec(script=(kind,) * failures)
+        return self
+
+    def spec_for(self, source: str) -> FaultSpec | None:
+        """The spec governing one source (wildcard fallback)."""
+        spec = self._specs.get(source)
+        return spec if spec is not None else self._specs.get("*")
+
+    def next_outcome(self, source: str) -> str:
+        """The fault (or ``"ok"``) for this source's next fetch."""
+        spec = self.spec_for(source)
+        if spec is None:
+            return "ok"
+        cursor = self._cursors.get(source, 0)
+        if cursor < len(spec.script):
+            self._cursors[source] = cursor + 1
+            outcome = spec.script[cursor]
+        else:
+            roll = self._rng(source).random()
+            outcome = "ok"
+            threshold = 0.0
+            for kind, rate in (("transient", spec.transient_rate),
+                               ("truncate", spec.truncate_rate),
+                               ("corrupt", spec.corrupt_rate),
+                               ("stall", spec.stall_rate)):
+                threshold += rate
+                if roll < threshold:
+                    outcome = kind
+                    break
+        if outcome != "ok":
+            key = (source, outcome)
+            self.injected[key] = self.injected.get(key, 0) + 1
+        return outcome
+
+    def reset(self) -> None:
+        """Re-arm every script and RNG (identical replay)."""
+        self._cursors.clear()
+        self._rngs.clear()
+        self.injected.clear()
+
+    def injected_total(self) -> int:
+        """Total faults injected since construction/reset."""
+        return sum(self.injected.values())
+
+    def _rng(self, source: str) -> random.Random:
+        rng = self._rngs.get(source)
+        if rng is None:
+            rng = self._rngs[source] = random.Random(
+                f"{self.seed}:{source}")
+        return rng
+
+
+@dataclass
+class FaultInjectingRepository:
+    """A repository wrapper that injects :class:`FaultPlan` faults.
+
+    Transparent on the read-only surface (``sources``, ``releases``,
+    ``latest_release``, ``publish``, ``checksum`` all delegate); only
+    ``fetch`` consults the plan. The advertised ``checksum`` always
+    comes from the pristine inner repository, so corrupted payloads are
+    detectable — exactly the mirror-plus-``.sha``-sidecar situation.
+    """
+
+    inner: object
+    plan: FaultPlan
+    #: injectable sleep for ``stall`` faults (tests pass a recorder)
+    sleep: object = time.sleep
+    metrics: object = None
+    events: object = None
+
+    def fetch(self, source: str, release: str | None = None) -> FetchResult:
+        """Fetch through the fault plan."""
+        outcome = self.plan.next_outcome(source)
+        if outcome != "ok":
+            self._note(source, outcome)
+        if outcome == "transient":
+            _record_fetch_error(self.metrics, source)
+            raise TransportError(
+                f"{source}: injected transient fetch failure")
+        if outcome == "stall":
+            spec = self.plan.spec_for(source)
+            self.sleep(spec.stall_s if spec is not None else 0.0)
+        result = self.inner.fetch(source, release)
+        if outcome == "truncate":
+            return FetchResult(source, result.release,
+                               result.text[:max(1, len(result.text) // 2)])
+        if outcome == "corrupt":
+            flipped = "#" if not result.text.startswith("#") else "!"
+            return FetchResult(source, result.release,
+                               flipped + result.text[1:])
+        return result
+
+    # -- transparent delegation --------------------------------------------
+
+    def sources(self) -> list[str]:
+        """Delegated to the inner repository."""
+        return self.inner.sources()
+
+    def releases(self, source: str) -> list[str]:
+        """Delegated to the inner repository."""
+        return self.inner.releases(source)
+
+    def latest_release(self, source: str) -> str:
+        """Delegated to the inner repository."""
+        return self.inner.latest_release(source)
+
+    def publish(self, source: str, release: str, text: str):
+        """Delegated to the inner repository."""
+        return self.inner.publish(source, release, text)
+
+    def checksum(self, source: str, release: str) -> str | None:
+        """The pristine release checksum (faults corrupt payloads, not
+        the advertised checksum)."""
+        advertise = getattr(self.inner, "checksum", None)
+        return advertise(source, release) if advertise else None
+
+    def _note(self, source: str, outcome: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("transport.faults_injected",
+                             source=source, kind=outcome)
+        if self.events is not None:
+            self.events.emit("transport.fault_injected", severity="debug",
+                             source=source, kind=outcome)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Protocol
 
@@ -29,7 +29,7 @@ from repro.datahounds.registry import SourceRegistry
 from repro.datahounds.transformer import SourceTransformer
 from repro.datahounds.triggers import ChangeEvent, TriggerHub
 from repro.datahounds.updates import ReleaseSnapshot, UpdatePlan, diff_releases
-from repro.errors import DataHoundsError
+from repro.errors import DataHoundsError, ReproError
 from repro.flatfile import Entry, parse_entries
 from repro.xmlkit import Document
 
@@ -70,13 +70,60 @@ class LoadReport:
     plan: UpdatePlan
     documents_loaded: int
     triggers_fired: int
+    #: entry keys skipped by quarantine mode (malformed content);
+    #: empty in strict mode, which aborts the whole release instead
+    quarantined: tuple[str, ...] = ()
 
     def __str__(self) -> str:
-        return (f"{self.source}@{self.release}: loaded "
+        text = (f"{self.source}@{self.release}: loaded "
                 f"{self.documents_loaded} documents "
                 f"(+{len(self.plan.added)} ~{len(self.plan.updated)} "
                 f"-{len(self.plan.removed)}, "
                 f"{len(self.plan.unchanged)} unchanged)")
+        if self.quarantined:
+            text += f", {len(self.quarantined)} quarantined"
+        return text
+
+
+@dataclass(frozen=True)
+class SourceFailure:
+    """One source's failure inside a multi-source harvest run."""
+
+    source: str
+    error: str
+    error_type: str
+
+    def __str__(self) -> str:
+        return f"{self.source}: {self.error_type}: {self.error}"
+
+
+@dataclass
+class HarvestReport:
+    """Outcome of one :meth:`DataHound.harvest_all` run: per-source
+    load reports for the sources that made it, per-source failures for
+    the ones that did not — one bad mirror never aborts the run."""
+
+    reports: dict[str, LoadReport] = field(default_factory=dict)
+    failures: dict[str, SourceFailure] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every source harvested cleanly."""
+        return not self.failures
+
+    @property
+    def documents_loaded(self) -> int:
+        """Total documents loaded across all successful sources."""
+        return sum(r.documents_loaded for r in self.reports.values())
+
+    def __str__(self) -> str:
+        lines = [f"harvest: {len(self.reports)} ok, "
+                 f"{len(self.failures)} failed"]
+        for source in sorted(self.reports):
+            lines.append(f"  [+] {self.reports[source]}")
+        for source in sorted(self.failures):
+            lines.append(f"  [!] {self.failures[source]}")
+        return "\n".join(lines)
 
 
 class DataHound:
@@ -85,11 +132,17 @@ class DataHound:
     def __init__(self, repository: Repository, store: DocumentStore,
                  registry: SourceRegistry | None = None,
                  validate: bool = True,
+                 quarantine: bool = False,
                  tracer=None, metrics=None, events=None):
         self.repository = repository
         self.store = store
         self.registry = registry or SourceRegistry()
         self.validate = validate
+        #: quarantine mode skips (and reports) malformed entries
+        #: instead of aborting the whole release; the default stays
+        #: strict all-or-nothing ("without any information being left
+        #: out or added twice")
+        self.quarantine = quarantine
         #: optional :class:`repro.obs.Tracer`; loads then run inside
         #: per-phase spans (fetch, diff, transform, store) with
         #: entries/s throughput recorded on the load span
@@ -104,6 +157,15 @@ class DataHound:
         self.triggers = TriggerHub(metrics=metrics)
         self._snapshots: dict[str, ReleaseSnapshot] = {}
         self._transformers: dict[str, SourceTransformer] = {}
+        # crash recovery: stores that persist release snapshots (the
+        # warehouse loader does) hand back every source's last loaded
+        # release, so a restarted process resumes incremental diffs
+        # instead of re-harvesting from nothing
+        restore = getattr(store, "load_snapshots", None)
+        if restore is not None:
+            for source, (release, fingerprints) in restore().items():
+                self._snapshots[source] = ReleaseSnapshot(
+                    release, dict(fingerprints))
 
     # -- public API ---------------------------------------------------------
 
@@ -132,13 +194,25 @@ class DataHound:
             # two-phase apply: transform every touched entry BEFORE
             # storing anything, so a malformed entry anywhere in the
             # release aborts the refresh with the warehouse untouched
-            # ("without any information being left out or added twice")
+            # ("without any information being left out or added twice").
+            # In quarantine mode a malformed entry is skipped and
+            # reported instead, and its fingerprint is withheld from
+            # the snapshot so the next refresh retries it.
             entry_map = dict(keyed)
             staged: list[tuple[str, str, Document]] = []
+            quarantined: list[str] = []
             with self._span("transform"):
                 for key in plan.touched:
                     entry = entry_map[key]
-                    document = transformer.transform_entry(entry)
+                    try:
+                        document = transformer.transform_entry(entry)
+                    except ReproError as exc:
+                        if not self.quarantine:
+                            raise
+                        quarantined.append(key)
+                        self._record_quarantine(source, fetched.release,
+                                                key, exc)
+                        continue
                     staged.append((key, transformer.collection_of(entry),
                                    document))
 
@@ -174,19 +248,87 @@ class DataHound:
                     load_span.meta["entries_per_s"] = round(
                         loaded / store_span.duration_s, 2)
 
+        # quarantined keys must not enter the committed snapshot: a new
+        # entry that never loaded is withheld entirely, an updated one
+        # keeps its previous fingerprint — either way the next refresh
+        # sees it as still-pending work instead of already-applied
+        if quarantined:
+            old_snapshot = self._snapshots.get(source)
+            for key in quarantined:
+                new_snapshot.fingerprints.pop(key, None)
+                if (old_snapshot is not None
+                        and key in old_snapshot.fingerprints):
+                    new_snapshot.fingerprints[key] = (
+                        old_snapshot.fingerprints[key])
         self._snapshots[source] = new_snapshot
+        persist = getattr(self.store, "save_snapshot", None)
+        if persist is not None:
+            persist(source, new_snapshot.release,
+                    new_snapshot.fingerprints)
         self._record_load(source, fetched.release, plan, loaded,
                           perf_counter() - start)
-        event = ChangeEvent(source=source, release=fetched.release,
-                            added=plan.added, updated=plan.updated,
-                            removed=plan.removed)
-        fired = self.triggers.fire(event)
+        if plan.is_noop:
+            # an unchanged re-harvest is not a change: subscribers
+            # never see an empty-delta notification
+            fired = 0
+        else:
+            quarantined_set = frozenset(quarantined)
+            event = ChangeEvent(
+                source=source, release=fetched.release,
+                added=tuple(k for k in plan.added
+                            if k not in quarantined_set),
+                updated=tuple(k for k in plan.updated
+                              if k not in quarantined_set),
+                removed=plan.removed)
+            fired = self.triggers.fire(event)
         return LoadReport(source=source, release=fetched.release, plan=plan,
-                          documents_loaded=loaded, triggers_fired=fired)
+                          documents_loaded=loaded, triggers_fired=fired,
+                          quarantined=tuple(quarantined))
 
     def refresh(self, source: str) -> LoadReport:
         """Load the latest release of an already-known source."""
         return self.load(source, release=None)
+
+    def harvest_all(self, sources=None,
+                    fail_fast: bool = False) -> HarvestReport:
+        """Harvest the latest release of every source, isolating
+        per-source failures.
+
+        ``sources`` defaults to everything the repository publishes
+        that this hound's registry knows how to transform. A source
+        whose fetch/transform/load fails lands in
+        ``report.failures`` — with its error — while the remaining
+        sources still harvest; ``fail_fast=True`` restores the
+        abort-on-first-error behaviour.
+        """
+        if sources is None:
+            listed = getattr(self.repository, "sources", None)
+            published = listed() if listed is not None else []
+            sources = [s for s in published if s in self.registry]
+        report = HarvestReport()
+        for source in sources:
+            try:
+                report.reports[source] = self.load(source)
+            except ReproError as exc:
+                if fail_fast:
+                    raise
+                report.failures[source] = SourceFailure(
+                    source=source, error=str(exc),
+                    error_type=type(exc).__name__)
+                if self.metrics is not None:
+                    self.metrics.inc("hound.harvest_failures",
+                                     source=source)
+                if self.events is not None:
+                    self.events.emit("hound.harvest_error",
+                                     severity="error", source=source,
+                                     error_type=type(exc).__name__,
+                                     error=str(exc))
+        if self.events is not None:
+            self.events.emit(
+                "hound.harvest", ok=len(report.reports),
+                failed=len(report.failures),
+                documents_loaded=report.documents_loaded)
+        return report
 
     def loaded_release(self, source: str) -> str | None:
         """Release currently reflected in the warehouse, or None."""
@@ -223,6 +365,17 @@ class DataHound:
                 updated=len(plan.updated), removed=len(plan.removed),
                 unchanged=len(plan.unchanged),
                 duration_ms=round(duration_s * 1000.0, 3))
+
+    def _record_quarantine(self, source: str, release: str, key: str,
+                           exc: Exception) -> None:
+        """One malformed entry skipped by quarantine mode."""
+        if self.metrics is not None:
+            self.metrics.inc("hound.entries_quarantined", source=source)
+        if self.events is not None:
+            self.events.emit("hound.quarantine", severity="warning",
+                             source=source, release=release, entry_key=key,
+                             error_type=type(exc).__name__,
+                             error=str(exc))
 
     def _span(self, name: str, **meta):
         """A tracer span, or an inert context when tracing is off."""

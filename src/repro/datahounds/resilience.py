@@ -1,0 +1,308 @@
+"""Fault-tolerant transport: retries, integrity checks, circuit breakers.
+
+The Data Hounds' remote mirrors fail in three distinct ways, and each
+gets its own counter-measure here:
+
+* **transient failures** (connection resets, temporary 5xx) —
+  :class:`RetryPolicy`: bounded attempts with exponential backoff and
+  *deterministic* jitter (hashed from source + attempt, so test runs
+  replay identical delays), under an optional per-fetch deadline;
+* **corrupted/truncated transfers** — payload integrity verification:
+  the fetched text's checksum is compared against the checksum the
+  repository *advertises* for the release (an FTP mirror's ``.sha``
+  sidecar); a mismatch raises :class:`PayloadIntegrityError`, which is
+  retryable like any other transport fault;
+* **persistently down sources** — a per-source :class:`CircuitBreaker`
+  (closed → open after K consecutive failures → half-open probe after
+  a cooldown), so a dead mirror costs one short-circuited exception
+  per harvest instead of a full retry ladder every time.
+
+:class:`ResilientRepository` composes all three around any repository
+(including a :class:`~repro.datahounds.faults.FaultInjectingRepository`
+— that pairing is the chaos test-bed). Everything observable flows
+through the always-on planes: ``transport.retries`` /
+``transport.fetch_errors`` counters, ``transport.breaker_state``
+gauges, and ``transport.retry`` / ``transport.breaker_*`` events.
+
+Sleep and clock are injectable, so the full retry/breaker state space
+is testable in microseconds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+
+from repro.datahounds.transport import FetchResult, _record_fetch_error
+from repro.errors import CircuitOpenError, PayloadIntegrityError, TransportError
+
+#: breaker states, and their numeric codes on the
+#: ``transport.breaker_state`` gauge
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+BREAKER_STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+BREAKER_STATE_NAMES = {code: name
+                       for name, code in BREAKER_STATE_CODES.items()}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts the first try: ``max_attempts=1`` disables
+    retrying. Delays grow ``base_delay_s * multiplier**(attempt-1)``
+    capped at ``max_delay_s``, then jittered by up to ±``jitter``
+    (fractional) using a hash of ``(source, attempt)`` — spread like
+    random jitter, reproducible like none. ``deadline_s`` bounds the
+    whole fetch (attempts + sleeps): once past it, no further attempt
+    is made. (A stalled in-flight call cannot be interrupted; the
+    deadline is checked between attempts.)
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+    jitter: float = 0.1
+    deadline_s: float | None = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay_for(self, attempt: int, source: str = "") -> float:
+        """Backoff delay after the ``attempt``-th failure (1-based)."""
+        raw = min(self.base_delay_s * self.multiplier ** (attempt - 1),
+                  self.max_delay_s)
+        if self.jitter:
+            digest = hashlib.sha256(
+                f"{source}:{attempt}".encode("utf-8")).hexdigest()[:8]
+            unit = int(digest, 16) / 0xFFFFFFFF          # [0, 1]
+            raw *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return max(0.0, raw)
+
+
+class CircuitBreaker:
+    """Per-source breaker: closed → open → half-open → closed.
+
+    ``failure_threshold`` consecutive failures open the breaker; while
+    open, :meth:`allow` returns False (callers short-circuit without
+    touching the source) until ``cooldown_s`` has elapsed, at which
+    point the breaker half-opens and admits one probe. A successful
+    probe closes it; a failed probe re-opens it for another cooldown.
+
+    State transitions land on the ``transport.breaker_state`` gauge
+    (coded via :data:`BREAKER_STATE_CODES`) and as
+    ``transport.breaker_open`` / ``transport.breaker_half_open`` /
+    ``transport.breaker_close`` events.
+    """
+
+    def __init__(self, source: str, failure_threshold: int = 5,
+                 cooldown_s: float = 30.0, clock=time.monotonic,
+                 metrics=None, events=None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.source = source
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self.metrics = metrics
+        self.events = events
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._publish_state()
+
+    def allow(self) -> bool:
+        """May the caller attempt a fetch right now? (An open breaker
+        past its cooldown half-opens and admits the probe.)"""
+        if self.state != OPEN:
+            return True
+        if (self.clock() - self._opened_at) >= self.cooldown_s:
+            self._transition(HALF_OPEN)
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A fetch succeeded: reset the failure streak; a half-open
+        probe's success closes the breaker."""
+        self.consecutive_failures = 0
+        if self.state != CLOSED:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A fetch failed: extend the streak; hitting the threshold —
+        or failing the half-open probe — opens the breaker."""
+        self.consecutive_failures += 1
+        if (self.state == HALF_OPEN
+                or self.consecutive_failures >= self.failure_threshold):
+            if self.state != OPEN:
+                self._transition(OPEN)
+            self._opened_at = self.clock()
+
+    # -- internals ----------------------------------------------------------
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        if state == OPEN and self._opened_at is None:
+            self._opened_at = self.clock()
+        self._publish_state()
+        if self.events is not None:
+            severity = "warning" if state == OPEN else "info"
+            self.events.emit(f"transport.breaker_{state}",
+                             severity=severity, source=self.source,
+                             consecutive_failures=self.consecutive_failures)
+
+    def _publish_state(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge("transport.breaker_state",
+                                   BREAKER_STATE_CODES[self.state],
+                                   source=self.source)
+
+
+class ResilientRepository:
+    """Retry + verify + circuit-break around any repository.
+
+    Construction wires the observability planes once; per-source
+    breakers are created lazily. The wrapper is transparent on the
+    read-only surface, so a :class:`~repro.datahounds.hound.DataHound`
+    (or anything speaking the Repository protocol) can use it as a
+    drop-in replacement for the raw transport.
+    """
+
+    def __init__(self, inner, policy: RetryPolicy | None = None,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown_s: float = 30.0,
+                 verify_integrity: bool = True,
+                 sleep=time.sleep, clock=time.monotonic,
+                 metrics=None, events=None):
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.verify_integrity = verify_integrity
+        self.sleep = sleep
+        self.clock = clock
+        self.metrics = metrics
+        self.events = events
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    # -- the resilient fetch ------------------------------------------------
+
+    def fetch(self, source: str, release: str | None = None) -> FetchResult:
+        """Fetch with retries, integrity verification and breaker
+        protection; raises the last :class:`TransportError` when the
+        attempt budget (or deadline, or breaker) runs out."""
+        breaker = self.breaker(source)
+        if not breaker.allow():
+            _record_fetch_error(self.metrics, source)
+            raise CircuitOpenError(
+                f"{source}: circuit breaker open "
+                f"({breaker.consecutive_failures} consecutive failures; "
+                f"retry after {self.breaker_cooldown_s}s cooldown)")
+        policy = self.policy
+        deadline = (self.clock() + policy.deadline_s
+                    if policy.deadline_s is not None else None)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = self.inner.fetch(source, release)
+                self._verify(source, result)
+            except TransportError as exc:
+                breaker.record_failure()
+                if (attempt >= policy.max_attempts
+                        or breaker.state == OPEN
+                        or (deadline is not None
+                            and self.clock() >= deadline)):
+                    _record_fetch_error(self.metrics, source)
+                    raise TransportError(
+                        f"{source}: fetch failed after {attempt} "
+                        f"attempt(s): {exc}") from exc
+                delay = policy.delay_for(attempt, source)
+                if self.metrics is not None:
+                    self.metrics.inc("transport.retries", source=source)
+                if self.events is not None:
+                    self.events.emit(
+                        "transport.retry", source=source, attempt=attempt,
+                        delay_ms=round(delay * 1000.0, 3), error=str(exc))
+                self.sleep(delay)
+                continue
+            breaker.record_success()
+            if attempt > 1 and self.events is not None:
+                self.events.emit("transport.recovered", source=source,
+                                 attempts=attempt)
+            return result
+
+    # -- breaker access -----------------------------------------------------
+
+    def breaker(self, source: str) -> CircuitBreaker:
+        """The (lazily created) breaker guarding one source."""
+        breaker = self._breakers.get(source)
+        if breaker is None:
+            breaker = self._breakers[source] = CircuitBreaker(
+                source, failure_threshold=self.breaker_threshold,
+                cooldown_s=self.breaker_cooldown_s, clock=self.clock,
+                metrics=self.metrics, events=self.events)
+        return breaker
+
+    def breaker_states(self) -> dict[str, dict]:
+        """Per-source breaker status (the health report's view)."""
+        return {source: {"state": breaker.state,
+                         "consecutive_failures":
+                             breaker.consecutive_failures}
+                for source, breaker in sorted(self._breakers.items())}
+
+    # -- transparent delegation --------------------------------------------
+
+    def sources(self) -> list[str]:
+        """Delegated to the inner repository."""
+        return self.inner.sources()
+
+    def releases(self, source: str) -> list[str]:
+        """Delegated to the inner repository."""
+        return self.inner.releases(source)
+
+    def latest_release(self, source: str) -> str:
+        """Delegated to the inner repository."""
+        return self.inner.latest_release(source)
+
+    def publish(self, source: str, release: str, text: str):
+        """Delegated to the inner repository."""
+        return self.inner.publish(source, release, text)
+
+    def checksum(self, source: str, release: str) -> str | None:
+        """Delegated to the inner repository (None when it cannot
+        advertise checksums)."""
+        advertise = getattr(self.inner, "checksum", None)
+        return advertise(source, release) if advertise else None
+
+    # -- internals ----------------------------------------------------------
+
+    def _verify(self, source: str, result: FetchResult) -> None:
+        if not self.verify_integrity:
+            return
+        advertise = getattr(self.inner, "checksum", None)
+        if advertise is None:
+            return
+        expected = advertise(source, result.release)
+        if expected is None:
+            return
+        # FetchResult recomputes its checksum from the payload it
+        # actually carries, so comparing it against the advertised one
+        # catches truncation and corruption alike
+        actual = result.checksum
+        if actual != expected:
+            _record_fetch_error(self.metrics, source)
+            if self.metrics is not None:
+                self.metrics.inc("transport.integrity_failures",
+                                 source=source)
+            raise PayloadIntegrityError(
+                f"{source}/{result.release}: payload checksum {actual} "
+                f"does not match advertised {expected} "
+                f"(truncated or corrupted transfer)")

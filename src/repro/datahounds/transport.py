@@ -46,6 +46,14 @@ def _record_fetch(metrics, source: str, text: str,
                     buckets=SIZE_BUCKETS)
 
 
+def _record_fetch_error(metrics, source: str) -> None:
+    """Always-on failure-path counter — a fetch that raises must be as
+    visible as one that succeeds, or retry storms look like silence."""
+    if metrics is None:
+        metrics = default_registry()
+    metrics.inc("transport.fetch_errors", source=source)
+
+
 class FetchResult:
     """One fetched release: content plus provenance."""
 
@@ -106,10 +114,21 @@ class InMemoryRepository:
         try:
             text = self._releases[source][release]
         except KeyError:
+            _record_fetch_error(self.metrics, source)
             raise TransportError(
                 f"cannot fetch {source!r} release {release!r}") from None
         _record_fetch(self.metrics, source, text, perf_counter() - start)
         return FetchResult(source, release, text)
+
+    def checksum(self, source: str, release: str) -> str:
+        """The advertised content checksum of one release (what a real
+        mirror publishes next to the dump); lets transport wrappers
+        verify payload integrity independently of the fetch."""
+        try:
+            return content_checksum(self._releases[source][release])
+        except KeyError:
+            raise TransportError(
+                f"no checksum for {source!r} release {release!r}") from None
 
 
 class DirectoryRepository:
@@ -124,11 +143,15 @@ class DirectoryRepository:
         self.metrics = metrics
 
     def publish(self, source: str, release: str, text: str) -> Path:
-        """Write one release file; returns its path."""
+        """Write one release file plus its ``<release>.sha`` checksum
+        sidecar (the mirror convention that makes corrupted-transfer
+        detection possible); returns the release path."""
         source_dir = self.base / source
         source_dir.mkdir(parents=True, exist_ok=True)
         path = source_dir / f"{release}.dat"
         path.write_text(text, encoding="utf-8")
+        (source_dir / f"{release}.sha").write_text(
+            content_checksum(text), encoding="utf-8")
         return path
 
     def sources(self) -> list[str]:
@@ -152,14 +175,35 @@ class DirectoryRepository:
         return releases[-1]
 
     def fetch(self, source: str, release: str | None = None) -> FetchResult:
-        """Read a release from disk (latest when unspecified)."""
+        """Read a release from disk (latest when unspecified).
+
+        When a ``<release>.sha`` sidecar exists (``publish`` always
+        writes one) the payload is verified against it, so a truncated
+        or bit-rotted file on the mirror raises a retryable
+        :class:`TransportError` instead of silently loading garbage."""
         start = perf_counter()
         if release is None:
             release = self.latest_release(source)
         path = self.base / source / f"{release}.dat"
         if not path.is_file():
+            _record_fetch_error(self.metrics, source)
             raise TransportError(
                 f"cannot fetch {source!r} release {release!r}")
         text = path.read_text(encoding="utf-8")
+        expected = self.checksum(source, release)
+        if expected is not None and content_checksum(text) != expected:
+            _record_fetch_error(self.metrics, source)
+            raise TransportError(
+                f"{source!r} release {release!r}: on-disk payload does "
+                f"not match its .sha sidecar (corrupted mirror copy)")
         _record_fetch(self.metrics, source, text, perf_counter() - start)
         return FetchResult(source, release, text)
+
+    def checksum(self, source: str, release: str) -> str | None:
+        """The advertised checksum from the ``<release>.sha`` sidecar,
+        or None for releases published without one (pre-sidecar
+        mirrors stay fetchable, just unverified)."""
+        sidecar = self.base / source / f"{release}.sha"
+        if not sidecar.is_file():
+            return None
+        return sidecar.read_text(encoding="utf-8").strip()

@@ -179,10 +179,32 @@ class Warehouse:
         return {source: self.load_text(source, text)
                 for source, text in corpus.texts().items()}
 
-    def connect(self, repository) -> DataHound:
-        """A Data Hound harvesting ``repository`` into this warehouse."""
+    def connect(self, repository, quarantine: bool = False,
+                retries: int | None = None,
+                retry_policy=None) -> DataHound:
+        """A Data Hound harvesting ``repository`` into this warehouse.
+
+        The hound restores any release snapshots persisted in this
+        warehouse, so reconnecting after a process restart resumes
+        incremental diffs. ``retries`` (or a full ``retry_policy``)
+        wraps the repository in a
+        :class:`~repro.datahounds.resilience.ResilientRepository` —
+        retry/backoff, payload integrity verification and per-source
+        circuit breakers, wired into this warehouse's metrics and
+        event log. ``quarantine=True`` skips and reports malformed
+        entries instead of aborting the release.
+        """
+        if retries is not None or retry_policy is not None:
+            from repro.datahounds.resilience import (ResilientRepository,
+                                                     RetryPolicy)
+            if retry_policy is None:
+                retry_policy = RetryPolicy(max_attempts=max(1, retries))
+            repository = ResilientRepository(
+                repository, policy=retry_policy,
+                metrics=self._metrics_sink, events=self.events)
         return DataHound(repository, self.loader, registry=self.registry,
                          validate=self.validate_sources,
+                         quarantine=quarantine,
                          tracer=self.tracer,
                          metrics=self._metrics_sink,
                          events=self.events)
@@ -190,6 +212,14 @@ class Warehouse:
     def refresh(self, repository, source: str) -> LoadReport:
         """One-shot convenience: hound-load the latest release."""
         return self.connect(repository).load(source)
+
+    def harvest(self, repository, sources=None, quarantine: bool = False,
+                retries: int | None = None, fail_fast: bool = False):
+        """One-shot convenience: resilient multi-source harvest;
+        returns a :class:`~repro.datahounds.hound.HarvestReport`."""
+        hound = self.connect(repository, quarantine=quarantine,
+                             retries=retries)
+        return hound.harvest_all(sources, fail_fast=fail_fast)
 
     # -- catalog ---------------------------------------------------------------------
 
@@ -236,6 +266,10 @@ class Warehouse:
                     tuple(chunk))
         self.backend.commit()
         self.loader.bump_generation()
+        # a decommissioned source's persisted snapshot must go too, or
+        # a reconnected hound would diff against documents that no
+        # longer exist and skip re-loading them
+        self.loader.delete_snapshot(source)
         if self._metrics_sink is not None:
             self._metrics_sink.inc("warehouse.documents_removed",
                                    len(doc_ids), source=source)

@@ -67,6 +67,18 @@ class TransportError(DataHoundsError):
     """Raised when a source release cannot be fetched."""
 
 
+class PayloadIntegrityError(TransportError):
+    """Raised when a fetched payload does not match the release
+    checksum the repository advertises (truncated or corrupted
+    transfer — a retryable transport fault, not a data-model error)."""
+
+
+class CircuitOpenError(TransportError):
+    """Raised when a fetch is short-circuited because the source's
+    circuit breaker is open (the source has failed repeatedly and is
+    in its cooldown window)."""
+
+
 class TransformError(DataHoundsError):
     """Raised when a source record cannot be mapped to XML."""
 

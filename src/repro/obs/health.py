@@ -85,9 +85,23 @@ def health_report(warehouse, metrics=None,
                          f" (stale: > {stale_after_s:.0f}s)"))
         check(f"freshness:{source}", healthy, detail)
 
+    resilience = _resilience(metrics)
+    for source, state in resilience["breakers"].items():
+        check(f"breaker:{source}", state != "open",
+              f"circuit breaker {state}"
+              + ("" if state != "open"
+                 else " — fetches short-circuited until cooldown"))
+    quarantined = resilience["quarantined"]
+    total_quarantined = sum(quarantined.values())
+    check("quarantine_empty", total_quarantined == 0,
+          f"{total_quarantined} entries quarantined"
+          + ("" if total_quarantined == 0 else " (" + ", ".join(
+              f"{source}: {count}"
+              for source, count in sorted(quarantined.items())) + ")"))
+
     status = OK if all(c["status"] == OK for c in checks) else WARN
     return {"status": status, "checks": checks, "stats": stats,
-            "freshness": freshness}
+            "freshness": freshness, "resilience": resilience}
 
 
 def _freshness(sources, metrics, stale_after_s: float,
@@ -105,6 +119,31 @@ def _freshness(sources, metrics, stale_after_s: float,
             "age_s": round(age, 3) if age is not None else None,
             "stale": (age is not None and age > stale_after_s),
         }
+    return out
+
+
+def _resilience(metrics) -> dict:
+    """Transport-resilience view: per-source breaker states (decoded
+    from the ``transport.breaker_state`` gauge), quarantine counts, and
+    the cumulative fetch-error / retry counters.  Empty dicts when the
+    warehouse runs without metrics or no resilient transport is wired.
+    """
+    out = {"breakers": {}, "quarantined": {},
+           "fetch_errors": {}, "retries": {}}
+    if metrics is None:
+        return out
+    # lazy: obs must stay importable without the datahounds package
+    from repro.datahounds.resilience import BREAKER_STATE_NAMES
+    for labels, value in metrics.gauge_items("transport.breaker_state"):
+        source = labels.get("source", "?")
+        out["breakers"][source] = BREAKER_STATE_NAMES.get(
+            int(value), f"state-{int(value)}")
+    for name, key in (("hound.entries_quarantined", "quarantined"),
+                      ("transport.fetch_errors", "fetch_errors"),
+                      ("transport.retries", "retries")):
+        for labels, value in metrics.counter_items(name):
+            source = labels.get("source", "?")
+            out[key][source] = out[key].get(source, 0) + int(value)
     return out
 
 

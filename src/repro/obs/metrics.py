@@ -367,6 +367,21 @@ class MetricsRegistry:
                        if n == name]
         return sum(m.value for m in metrics)
 
+    def counter_items(self, name: str) -> list[tuple[dict, float]]:
+        """Every label set of one counter name with its value (the
+        health report enumerates per-source counters this way)."""
+        with self._lock:
+            metrics = [m for (n, __), m in self._counters.items()
+                       if n == name]
+        return [(dict(m.labels), m.value) for m in metrics]
+
+    def gauge_items(self, name: str) -> list[tuple[dict, float]]:
+        """Every label set of one gauge name with its value."""
+        with self._lock:
+            metrics = [m for (n, __), m in self._gauges.items()
+                       if n == name]
+        return [(dict(m.labels), m.value) for m in metrics]
+
     def snapshot(self) -> dict:
         """JSON-ready dump of every metric (the ``xomatiq metrics``
         payload; schema documented in docs/observability.md)."""
@@ -483,6 +498,12 @@ class NullMetrics:
 
     def counter_total(self, name: str):
         return 0
+
+    def counter_items(self, name: str):
+        return []
+
+    def gauge_items(self, name: str):
+        return []
 
     def snapshot(self) -> dict:
         return {"counters": [], "gauges": [], "histograms": []}

@@ -19,10 +19,13 @@ doc-id order.
 
 from __future__ import annotations
 
+import json
 import re
 from contextlib import nullcontext
 from time import perf_counter
 from typing import Callable, Iterable
+
+from repro.errors import StorageError
 
 from repro.obs.metrics import SIZE_BUCKETS
 
@@ -56,6 +59,16 @@ _INDEX_NAMES = [
     for statement in CREATE_INDEXES
 ]
 
+#: release-snapshot persistence (crash recovery for the Data Hounds):
+#: one row per source holding the loaded release id and the entry
+#: fingerprint map as JSON. Deliberately outside TABLE_NAMES — it has
+#: no doc_id and must survive per-document delete sweeps. The column
+#: is ``release_id`` because ``RELEASE`` is a reserved word in SQLite.
+_SNAPSHOT_DDL = ("CREATE TABLE hound_snapshots ("
+                 "source TEXT NOT NULL, "
+                 "release_id TEXT NOT NULL, "
+                 "fingerprints TEXT NOT NULL)")
+
 
 class WarehouseLoader:
     """Shreds documents and maintains them in one backend."""
@@ -87,12 +100,23 @@ class WarehouseLoader:
         self.generation = 0
         if create:
             create_schema(backend, options)
+        self._ensure_snapshot_table()
         self._next_doc_id = self._load_max_doc_id() + 1
 
     def _load_max_doc_id(self) -> int:
         rows = self.backend.execute("SELECT MAX(doc_id) FROM documents")
         value = rows[0][0] if rows else None
         return value if isinstance(value, int) else 0
+
+    def _ensure_snapshot_table(self) -> None:
+        # probe-then-create instead of IF NOT EXISTS: minidb's dialect
+        # has no CREATE TABLE IF NOT EXISTS, and warehouses reopened
+        # with create=False may predate the snapshot table
+        try:
+            self.backend.execute("SELECT COUNT(*) FROM hound_snapshots")
+        except StorageError:
+            self.backend.execute(_SNAPSHOT_DDL)
+            self.backend.commit()
 
     def bump_generation(self) -> None:
         """Note a catalog mutation (store, remove, bulk flush)."""
@@ -164,6 +188,37 @@ class WarehouseLoader:
         analyze = getattr(self.backend, "analyze", None)
         if analyze is not None:
             analyze()
+
+    # -- release-snapshot persistence (hound crash recovery) --------------------
+
+    def save_snapshot(self, source: str, release: str,
+                      fingerprints: dict[str, str]) -> None:
+        """Persist one source's loaded-release snapshot (replacing any
+        previous row). The hound calls this after every successful
+        load, so a restarted process resumes incremental diffs."""
+        payload = json.dumps(fingerprints, sort_keys=True,
+                             separators=(",", ":"))
+        self.backend.execute(
+            "DELETE FROM hound_snapshots WHERE source = ?", (source,))
+        self.backend.execute(
+            "INSERT INTO hound_snapshots (source, release_id, fingerprints)"
+            " VALUES (?, ?, ?)", (source, release, payload))
+        self.backend.commit()
+
+    def load_snapshots(self) -> dict[str, tuple[str, dict[str, str]]]:
+        """Every persisted snapshot: source → (release, fingerprint
+        map). Restored by :class:`~repro.datahounds.hound.DataHound`
+        on construction."""
+        rows = self.backend.execute(
+            "SELECT source, release_id, fingerprints FROM hound_snapshots")
+        return {source: (release, json.loads(payload))
+                for source, release, payload in rows}
+
+    def delete_snapshot(self, source: str) -> None:
+        """Forget one source's persisted snapshot (decommissioning)."""
+        self.backend.execute(
+            "DELETE FROM hound_snapshots WHERE source = ?", (source,))
+        self.backend.commit()
 
     def doc_ids(self, source: str, collection: str | None = None) -> list[int]:
         """Stored doc ids of a source (optionally one collection)."""

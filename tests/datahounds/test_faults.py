@@ -1,0 +1,157 @@
+"""Unit tests for deterministic transport fault injection."""
+
+import pytest
+
+from repro.datahounds import (
+    FaultInjectingRepository,
+    FaultPlan,
+    FaultSpec,
+    InMemoryRepository,
+)
+from repro.errors import TransportError
+from repro.obs import MetricsRegistry
+
+TEXT = "ID   1.1.1.1\nDE   alcohol dehydrogenase.\n//\n"
+
+
+def repo():
+    inner = InMemoryRepository()
+    inner.publish("hlx_enzyme", "r1", TEXT)
+    return inner
+
+
+class TestFaultSpec:
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError):
+            FaultSpec(transient_rate=0.7, corrupt_rate=0.5)
+
+    def test_unknown_scripted_fault_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(script=("explode",))
+
+    def test_ok_is_a_legal_script_entry(self):
+        FaultSpec(script=("ok", "transient", "ok"))
+
+
+class TestFaultPlan:
+    def test_no_spec_means_no_faults(self):
+        plan = FaultPlan(seed=1)
+        assert [plan.next_outcome("s") for __ in range(10)] == ["ok"] * 10
+
+    def test_script_consumed_then_clean(self):
+        plan = FaultPlan().fail_then_succeed("s", 3)
+        outcomes = [plan.next_outcome("s") for __ in range(5)]
+        assert outcomes == ["transient"] * 3 + ["ok", "ok"]
+
+    def test_same_seed_replays_same_sequence(self):
+        one = FaultPlan(seed=42).add_source("s", transient_rate=0.5)
+        two = FaultPlan(seed=42).add_source("s", transient_rate=0.5)
+        seq_one = [one.next_outcome("s") for __ in range(40)]
+        seq_two = [two.next_outcome("s") for __ in range(40)]
+        assert seq_one == seq_two
+        assert "transient" in seq_one and "ok" in seq_one
+
+    def test_different_seeds_differ(self):
+        one = FaultPlan(seed=1).add_source("s", transient_rate=0.5)
+        two = FaultPlan(seed=2).add_source("s", transient_rate=0.5)
+        assert ([one.next_outcome("s") for __ in range(40)]
+                != [two.next_outcome("s") for __ in range(40)])
+
+    def test_per_source_sequences_independent_of_interleaving(self):
+        """Fetching sources in a different order must replay identical
+        per-source fault sequences (one RNG per source)."""
+        def sequences(order):
+            plan = FaultPlan(seed=9).add_source("*", transient_rate=0.4)
+            out = {"a": [], "b": []}
+            for source in order:
+                out[source].append(plan.next_outcome(source))
+            return out
+        fair = sequences(["a", "b"] * 10)
+        skewed = sequences(["a"] * 10 + ["b"] * 10)
+        assert fair == skewed
+
+    def test_reset_rearms_scripts_and_rngs(self):
+        plan = FaultPlan(seed=5).add_source(
+            "s", transient_rate=0.3, script=("corrupt",))
+        first = [plan.next_outcome("s") for __ in range(20)]
+        assert plan.injected_total() > 0
+        plan.reset()
+        assert plan.injected_total() == 0
+        assert [plan.next_outcome("s") for __ in range(20)] == first
+
+    def test_wildcard_spec_applies_to_unlisted_sources(self):
+        plan = FaultPlan().add_source("*", script=("transient",))
+        assert plan.next_outcome("anything") == "transient"
+
+    def test_explicit_spec_beats_wildcard(self):
+        plan = (FaultPlan().add_source("*", script=("transient",))
+                .add_source("clean"))
+        assert plan.next_outcome("clean") == "ok"
+
+    def test_injected_counts_recorded(self):
+        plan = FaultPlan().fail_then_succeed("s", 2, kind="corrupt")
+        for __ in range(4):
+            plan.next_outcome("s")
+        assert plan.injected == {("s", "corrupt"): 2}
+
+
+class TestFaultInjectingRepository:
+    def test_transient_raises_then_recovers(self):
+        plan = FaultPlan().fail_then_succeed("hlx_enzyme", 1)
+        flaky = FaultInjectingRepository(repo(), plan)
+        with pytest.raises(TransportError):
+            flaky.fetch("hlx_enzyme")
+        assert flaky.fetch("hlx_enzyme").text == TEXT
+
+    def test_truncate_shortens_payload_but_fetch_succeeds(self):
+        plan = FaultPlan().fail_then_succeed("hlx_enzyme", 1,
+                                             kind="truncate")
+        result = FaultInjectingRepository(repo(), plan).fetch("hlx_enzyme")
+        assert 0 < len(result.text) < len(TEXT)
+
+    def test_corrupt_alters_payload_but_fetch_succeeds(self):
+        plan = FaultPlan().fail_then_succeed("hlx_enzyme", 1,
+                                             kind="corrupt")
+        result = FaultInjectingRepository(repo(), plan).fetch("hlx_enzyme")
+        assert result.text != TEXT
+        assert len(result.text) == len(TEXT)
+
+    def test_stall_sleeps_injected_duration(self):
+        naps = []
+        plan = FaultPlan().add_source("hlx_enzyme", script=("stall",),
+                                      stall_s=0.25)
+        flaky = FaultInjectingRepository(repo(), plan, sleep=naps.append)
+        assert flaky.fetch("hlx_enzyme").text == TEXT
+        assert naps == [0.25]
+
+    def test_checksum_stays_pristine_under_corruption(self):
+        """The advertised checksum comes from the inner repository, so
+        corrupted payloads are detectable by verification."""
+        from repro.datahounds import content_checksum
+        plan = FaultPlan().fail_then_succeed("hlx_enzyme", 1,
+                                             kind="corrupt")
+        flaky = FaultInjectingRepository(repo(), plan)
+        result = flaky.fetch("hlx_enzyme")
+        advertised = flaky.checksum("hlx_enzyme", "r1")
+        assert advertised == content_checksum(TEXT)
+        assert result.checksum != advertised
+
+    def test_transient_fault_counts_as_fetch_error(self):
+        metrics = MetricsRegistry()
+        plan = FaultPlan().fail_then_succeed("hlx_enzyme", 1)
+        flaky = FaultInjectingRepository(repo(), plan, metrics=metrics)
+        with pytest.raises(TransportError):
+            flaky.fetch("hlx_enzyme")
+        assert metrics.get_counter("transport.fetch_errors",
+                                   source="hlx_enzyme") == 1
+        assert metrics.get_counter("transport.faults_injected",
+                                   source="hlx_enzyme",
+                                   kind="transient") == 1
+
+    def test_delegation_is_transparent(self):
+        flaky = FaultInjectingRepository(repo(), FaultPlan())
+        assert flaky.sources() == ["hlx_enzyme"]
+        assert flaky.releases("hlx_enzyme") == ["r1"]
+        assert flaky.latest_release("hlx_enzyme") == "r1"
+        flaky.publish("hlx_enzyme", "r2", "ID   x\n//\n")
+        assert flaky.latest_release("hlx_enzyme") == "r2"

@@ -163,3 +163,216 @@ class TestSafety:
             hound.load("hlx_enzyme", "r9")
         assert store.documents == before
         assert hound.loaded_release("hlx_enzyme") == "r1"
+
+
+class TestQuarantine:
+    BROKEN_RELEASE = (
+        "ID   1.1.1.1\nDE   fine.\n//\n"
+        "ID   1.1.1.2\nDE   broken.\nPR   NOT A PROSITE LINE\n//\n"
+        "ID   1.1.1.3\nDE   also fine.\n//\n")
+
+    def test_quarantine_skips_malformed_entries(self, setup):
+        __, repo, store = setup
+        repo.publish("hlx_enzyme", "r9", self.BROKEN_RELEASE)
+        hound = DataHound(repo, store, quarantine=True)
+        report = hound.load("hlx_enzyme", "r9")
+        assert report.quarantined == ("1.1.1.2",)
+        assert report.documents_loaded == 2
+        assert ("hlx_enzyme", "1.1.1.2") not in store.documents
+
+    def test_quarantined_entry_retried_on_next_refresh(self, setup):
+        """A quarantined entry stays out of the committed snapshot, so
+        a fixed re-release loads it as new work."""
+        __, repo, store = setup
+        repo.publish("hlx_enzyme", "r9", self.BROKEN_RELEASE)
+        hound = DataHound(repo, store, quarantine=True)
+        hound.load("hlx_enzyme", "r9")
+        repo.publish("hlx_enzyme", "r10",
+                     self.BROKEN_RELEASE.replace(
+                         "PR   NOT A PROSITE LINE\n", ""))
+        report = hound.load("hlx_enzyme", "r10")
+        assert report.quarantined == ()
+        assert "1.1.1.2" in report.plan.added
+        assert ("hlx_enzyme", "1.1.1.2") in store.documents
+
+    def test_strict_mode_still_aborts(self, setup):
+        from repro.errors import TransformError
+        __, repo, store = setup
+        repo.publish("hlx_enzyme", "r9", self.BROKEN_RELEASE)
+        hound = DataHound(repo, store)     # quarantine off by default
+        with pytest.raises(TransformError):
+            hound.load("hlx_enzyme", "r9")
+        assert store.documents == {}
+
+    def test_quarantine_feeds_metrics_and_events(self, setup):
+        from repro.obs import EventLog, MetricsRegistry
+        __, repo, store = setup
+        repo.publish("hlx_enzyme", "r9", self.BROKEN_RELEASE)
+        metrics, events = MetricsRegistry(), EventLog()
+        hound = DataHound(repo, store, quarantine=True,
+                          metrics=metrics, events=events)
+        hound.load("hlx_enzyme", "r9")
+        assert metrics.get_counter("hound.entries_quarantined",
+                                   source="hlx_enzyme") == 1
+        warned = [e for e in events.events()
+                  if e.name == "hound.quarantine"]
+        assert len(warned) == 1
+        assert warned[0].severity == "warning"
+        assert warned[0].fields["entry_key"] == "1.1.1.2"
+
+    def test_triggers_exclude_quarantined_keys(self, setup):
+        __, repo, store = setup
+        repo.publish("hlx_enzyme", "r9", self.BROKEN_RELEASE)
+        hound = DataHound(repo, store, quarantine=True)
+        fired = []
+        hound.subscribe(fired.append, "hlx_enzyme")
+        hound.load("hlx_enzyme", "r9")
+        assert len(fired) == 1
+        assert "1.1.1.2" not in fired[0].added
+
+
+class TestHarvestAll:
+    def test_harvests_every_published_known_source(self, setup):
+        corpus, repo, store = setup
+        hound = DataHound(repo, store)
+        report = hound.harvest_all()
+        assert report.ok
+        assert sorted(report.reports) == ["hlx_embl", "hlx_enzyme",
+                                          "hlx_sprot"]
+        assert report.documents_loaded == 32
+
+    def test_one_bad_source_is_isolated(self, setup):
+        from repro.errors import TransportError
+        corpus, repo, store = setup
+
+        class Flaky:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def sources(self):
+                return self.inner.sources()
+
+            def latest_release(self, source):
+                return self.inner.latest_release(source)
+
+            def fetch(self, source, release=None):
+                if source == "hlx_embl":
+                    raise TransportError("mirror down")
+                return self.inner.fetch(source, release)
+
+        hound = DataHound(Flaky(repo), store)
+        report = hound.harvest_all()
+        assert not report.ok
+        assert sorted(report.reports) == ["hlx_enzyme", "hlx_sprot"]
+        assert report.failures["hlx_embl"].error_type == "TransportError"
+        assert "mirror down" in str(report)
+
+    def test_fail_fast_restores_abort_behaviour(self, setup):
+        from repro.errors import TransportError
+        corpus, repo, store = setup
+
+        class Down:
+            def sources(self):
+                return ["hlx_enzyme"]
+
+            def latest_release(self, source):
+                return "r1"
+
+            def fetch(self, source, release=None):
+                raise TransportError("down")
+
+        with pytest.raises(TransportError):
+            DataHound(Down(), store).harvest_all(fail_fast=True)
+
+    def test_explicit_source_list_respected(self, setup):
+        corpus, repo, store = setup
+        report = DataHound(repo, store).harvest_all(["hlx_enzyme"])
+        assert sorted(report.reports) == ["hlx_enzyme"]
+
+    def test_failures_feed_metrics_and_events(self, setup):
+        from repro.errors import TransportError
+        from repro.obs import EventLog, MetricsRegistry
+
+        class Down:
+            def sources(self):
+                return ["hlx_enzyme"]
+
+            def latest_release(self, source):
+                return "r1"
+
+            def fetch(self, source, release=None):
+                raise TransportError("down")
+
+        __, __, store = setup
+        metrics, events = MetricsRegistry(), EventLog()
+        hound = DataHound(Down(), store, metrics=metrics, events=events)
+        report = hound.harvest_all()
+        assert not report.ok
+        assert metrics.get_counter("hound.harvest_failures",
+                                   source="hlx_enzyme") == 1
+        names = [e.name for e in events.events()]
+        assert "hound.harvest_error" in names
+        assert "hound.harvest" in names
+
+
+class SnapshotStore(RecordingStore):
+    """A RecordingStore that also persists release snapshots (the
+    warehouse loader's crash-recovery surface)."""
+
+    def __init__(self):
+        super().__init__()
+        self.snapshots = {}
+
+    def save_snapshot(self, source, release, fingerprints):
+        self.snapshots[source] = (release, dict(fingerprints))
+
+    def load_snapshots(self):
+        return dict(self.snapshots)
+
+
+class TestSnapshotPersistence:
+    def test_snapshot_saved_after_each_load(self, setup):
+        corpus, repo, store = setup
+        store = SnapshotStore()
+        hound = DataHound(repo, store)
+        hound.load("hlx_enzyme")
+        release, fingerprints = store.snapshots["hlx_enzyme"]
+        assert release == "r1"
+        assert len(fingerprints) == 12
+
+    def test_restored_hound_resumes_incremental_diffs(self, setup):
+        """A fresh hound over the same store must see the persisted
+        snapshot: an unchanged re-harvest is a no-op, not a re-load."""
+        corpus, repo, __ = setup
+        store = SnapshotStore()
+        DataHound(repo, store).load("hlx_enzyme")
+        store.operations.clear()
+        revived = DataHound(repo, store)
+        assert revived.loaded_release("hlx_enzyme") == "r1"
+        report = revived.load("hlx_enzyme")
+        assert report.plan.is_noop
+        assert store.operations == []
+
+    def test_restored_hound_applies_only_the_delta(self, setup):
+        corpus, repo, __ = setup
+        store = SnapshotStore()
+        DataHound(repo, store).load("hlx_enzyme")
+        repo.publish("hlx_enzyme", "r2",
+                     mutate_release(corpus.enzyme_text, seed=3,
+                                    update_fraction=0.25,
+                                    remove_fraction=0.1))
+        store.operations.clear()
+        report = DataHound(repo, store).load("hlx_enzyme")
+        stores = [op for op in store.operations if op[0] == "store"]
+        assert len(report.plan.unchanged) > 0
+        assert len(stores) == (len(report.plan.added)
+                               + len(report.plan.updated))
+
+    def test_quarantined_keys_stay_out_of_persisted_snapshot(self, setup):
+        __, repo, __ = setup
+        store = SnapshotStore()
+        repo.publish("hlx_enzyme", "r9", TestQuarantine.BROKEN_RELEASE)
+        DataHound(repo, store, quarantine=True).load("hlx_enzyme", "r9")
+        __, fingerprints = store.snapshots["hlx_enzyme"]
+        assert "1.1.1.2" not in fingerprints
+        assert set(fingerprints) == {"1.1.1.1", "1.1.1.3"}

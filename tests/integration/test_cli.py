@@ -195,3 +195,62 @@ class TestCliMetricsAndHealth:
         stats = json.loads(capsys.readouterr().out)
         assert stats["documents"] > 0
         assert "documents:hlx_enzyme" in stats
+
+
+class TestCliHarvest:
+    @pytest.fixture
+    def mirror(self, tmp_path, corpus):
+        from repro.datahounds import DirectoryRepository
+        repo = DirectoryRepository(tmp_path / "mirror")
+        corpus.publish_to(repo, "r1")
+        return tmp_path / "mirror"
+
+    def test_harvest_loads_every_source(self, tmp_path, mirror, capsys):
+        db = str(tmp_path / "wh.sqlite")
+        assert main(["init", "--db", db]) == 0
+        assert main(["harvest", "--db", db, "--repo", str(mirror),
+                     "--retries", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+        assert main(["stats", "--db", db]) == 0
+        assert "documents:hlx_enzyme" in capsys.readouterr().out
+
+    def test_harvest_single_source(self, tmp_path, mirror, capsys):
+        db = str(tmp_path / "wh.sqlite")
+        main(["init", "--db", db])
+        assert main(["harvest", "--db", db, "--repo", str(mirror),
+                     "--source", "hlx_enzyme"]) == 0
+        assert "1 ok" in capsys.readouterr().out
+
+    def test_harvest_isolates_corrupted_source(self, tmp_path, mirror,
+                                               capsys):
+        """One bit-rotted mirror file: its source fails (sidecar
+        mismatch), the others still load, exit code flags the failure."""
+        db = str(tmp_path / "wh.sqlite")
+        main(["init", "--db", db])
+        (mirror / "hlx_enzyme" / "r1.dat").write_text("ID   junk\n//\n",
+                                                      encoding="utf-8")
+        assert main(["harvest", "--db", db, "--repo", str(mirror)]) == 1
+        out = capsys.readouterr().out
+        assert " 1 failed" in out
+        assert "[!] hlx_enzyme" in out
+
+    def test_harvest_fail_fast_aborts(self, tmp_path, mirror, capsys):
+        db = str(tmp_path / "wh.sqlite")
+        main(["init", "--db", db])
+        for source_dir in mirror.iterdir():
+            (source_dir / "r1.dat").write_text("ID   junk\n//\n",
+                                               encoding="utf-8")
+        assert main(["harvest", "--db", db, "--repo", str(mirror),
+                     "--fail-fast"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_harvest_twice_is_incremental(self, tmp_path, mirror, capsys):
+        db = str(tmp_path / "wh.sqlite")
+        main(["init", "--db", db])
+        main(["harvest", "--db", db, "--repo", str(mirror)])
+        capsys.readouterr()
+        # a second process over the same warehouse: snapshots restored,
+        # unchanged releases are no-ops
+        assert main(["harvest", "--db", db, "--repo", str(mirror)]) == 0
+        assert "0 unchanged" not in capsys.readouterr().out

@@ -1,0 +1,141 @@
+"""Failure-path integration tests: transport errors, mid-release
+transform failures, bulk-session rollback — each verified against the
+real warehouse (both backends), including the persisted snapshot
+state the Data Hounds' crash recovery depends on."""
+
+import pytest
+
+from repro.datahounds import InMemoryRepository
+from repro.errors import TransformError, TransportError
+from repro.xmlkit import parse_document
+
+GOOD = ("ID   1.1.1.1\nDE   alcohol dehydrogenase.\n//\n"
+        "ID   1.1.1.2\nDE   another enzyme.\n//\n")
+BROKEN = ("ID   1.1.1.1\nDE   fine.\n//\n"
+          "ID   1.1.1.2\nDE   broken.\nPR   NOT A PROSITE LINE\n//\n")
+
+
+class TestTransportErrorPropagation:
+    def test_fetch_failure_reaches_the_caller(self, empty_warehouse):
+        repo = InMemoryRepository()
+        repo.publish("hlx_enzyme", "r1", GOOD)
+        hound = empty_warehouse.connect(repo)
+        with pytest.raises(TransportError):
+            hound.load("hlx_enzyme", "r99")
+
+    def test_failed_fetch_leaves_warehouse_and_snapshot_untouched(
+            self, empty_warehouse):
+        repo = InMemoryRepository()
+        hound = empty_warehouse.connect(repo)
+        with pytest.raises(TransportError):
+            hound.load("hlx_enzyme")
+        assert empty_warehouse.stats()["documents"] == 0
+        assert empty_warehouse.loader.load_snapshots() == {}
+
+    def test_failed_refresh_keeps_previous_release_queryable(
+            self, empty_warehouse):
+        repo = InMemoryRepository()
+        repo.publish("hlx_enzyme", "r1", GOOD)
+        hound = empty_warehouse.connect(repo)
+        hound.load("hlx_enzyme")
+        with pytest.raises(TransportError):
+            hound.load("hlx_enzyme", "r99")
+        assert hound.loaded_release("hlx_enzyme") == "r1"
+        assert empty_warehouse.stats()["documents"] == 2
+        release, fingerprints = (
+            empty_warehouse.loader.load_snapshots()["hlx_enzyme"])
+        assert release == "r1" and len(fingerprints) == 2
+
+
+class TestTransformFailureMidRelease:
+    def test_warehouse_untouched_after_initial_load_failure(
+            self, empty_warehouse):
+        """Two-phase apply against the real store: a malformed entry
+        anywhere in the release leaves zero rows behind."""
+        repo = InMemoryRepository()
+        repo.publish("hlx_enzyme", "r1", BROKEN)
+        hound = empty_warehouse.connect(repo)
+        with pytest.raises(TransformError):
+            hound.load("hlx_enzyme")
+        stats = empty_warehouse.stats()
+        assert stats["documents"] == 0
+        assert stats["elements"] == 0
+        assert empty_warehouse.loader.load_snapshots() == {}
+
+    def test_refresh_failure_preserves_loaded_release(
+            self, empty_warehouse):
+        repo = InMemoryRepository()
+        repo.publish("hlx_enzyme", "r1", GOOD)
+        hound = empty_warehouse.connect(repo)
+        hound.load("hlx_enzyme")
+        before = empty_warehouse.stats()
+        repo.publish("hlx_enzyme", "r2", BROKEN)
+        with pytest.raises(TransformError):
+            hound.load("hlx_enzyme")
+        assert empty_warehouse.stats() == before
+        release, __ = empty_warehouse.loader.load_snapshots()["hlx_enzyme"]
+        assert release == "r1"   # snapshot still points at the good one
+
+    def test_quarantine_loads_the_healthy_remainder(self, empty_warehouse):
+        repo = InMemoryRepository()
+        repo.publish("hlx_enzyme", "r1", BROKEN)
+        hound = empty_warehouse.connect(repo, quarantine=True)
+        report = hound.load("hlx_enzyme")
+        assert report.quarantined == ("1.1.1.2",)
+        assert empty_warehouse.stats()["documents"] == 1
+        __, fingerprints = (
+            empty_warehouse.loader.load_snapshots()["hlx_enzyme"])
+        assert set(fingerprints) == {"1.1.1.1"}
+
+
+class TestBulkSessionRollback:
+    def doc(self, index):
+        return parse_document(f"<r><v>{index}</v></r>")
+
+    def test_partial_batch_discarded_on_failure(self, empty_warehouse):
+        """Complete batches stay committed, the in-flight partial batch
+        is discarded — a failed load never half-writes a batch."""
+        loader = empty_warehouse.loader
+        with pytest.raises(RuntimeError):
+            with loader.bulk_session(batch_size=2) as session:
+                for index in range(5):     # flushes at 2 and 4
+                    session.add("db", "c", f"k{index}", self.doc(index))
+                raise RuntimeError("simulated store failure")
+        assert loader.document_count("db") == 4
+        assert session.flushes == 2
+
+    def test_failure_before_first_flush_writes_nothing(
+            self, empty_warehouse):
+        loader = empty_warehouse.loader
+        with pytest.raises(RuntimeError):
+            with loader.bulk_session(batch_size=100) as session:
+                session.add("db", "c", "k", self.doc(0))
+                raise RuntimeError("boom")
+        assert loader.document_count() == 0
+
+    def test_committed_rows_are_indexed_after_failure(
+            self, empty_warehouse):
+        """Deferred indexes must be rebuilt even when the session block
+        raises, so the committed batches stay queryable."""
+        loader = empty_warehouse.loader
+        with pytest.raises(RuntimeError):
+            with loader.bulk_session(batch_size=1,
+                                     defer_indexes=True) as session:
+                session.add("db", "c", "k0", self.doc(0))
+                raise RuntimeError("boom")
+        empty_warehouse.optimize()
+        result = empty_warehouse.query(
+            'FOR $e IN document("db.c")/r RETURN $e/v')
+        assert result.scalars("v") == ["0"]
+
+    def test_snapshot_untouched_by_failed_bulk_load(self, empty_warehouse):
+        repo = InMemoryRepository()
+        repo.publish("hlx_enzyme", "r1", GOOD)
+        empty_warehouse.connect(repo).load("hlx_enzyme")
+        loader = empty_warehouse.loader
+        with pytest.raises(RuntimeError):
+            with loader.bulk_session(batch_size=2) as session:
+                session.add("db", "c", "k", self.doc(0))
+                raise RuntimeError("boom")
+        release, fingerprints = loader.load_snapshots()["hlx_enzyme"]
+        assert release == "r1" and len(fingerprints) == 2

@@ -104,3 +104,65 @@ class TestRendering:
         text = format_health(warehouse.health())
         assert text.startswith("health: WARN")
         assert "[!]" in text
+
+
+class TestResilienceSection:
+    def resilient_setup(self, backend, fail=0):
+        from repro.datahounds import (FaultInjectingRepository, FaultPlan,
+                                      ResilientRepository, RetryPolicy)
+        registry = MetricsRegistry()
+        warehouse = Warehouse(backend=backend, metrics=registry)
+        repository = InMemoryRepository(metrics=registry)
+        repository.publish("hlx_enzyme", "r1", ENZYME_RELEASE)
+        plan = FaultPlan().fail_then_succeed("hlx_enzyme", fail)
+        wrapper = ResilientRepository(
+            FaultInjectingRepository(repository, plan, metrics=registry),
+            policy=RetryPolicy(max_attempts=3, base_delay_s=0.0),
+            breaker_threshold=3, sleep=lambda s: None,
+            metrics=registry, events=warehouse.events)
+        return warehouse, wrapper
+
+    def test_closed_breaker_reported_ok(self, backend):
+        warehouse, wrapper = self.resilient_setup(backend)
+        warehouse.connect(wrapper).load("hlx_enzyme")
+        report = warehouse.health()
+        assert report["resilience"]["breakers"] == {"hlx_enzyme": "closed"}
+        by_name = {check["name"]: check for check in report["checks"]}
+        assert by_name["breaker:hlx_enzyme"]["status"] == "ok"
+        assert by_name["quarantine_empty"]["status"] == "ok"
+
+    def test_open_breaker_warns(self, backend):
+        import pytest
+        from repro.errors import TransportError
+        warehouse, wrapper = self.resilient_setup(backend, fail=99)
+        with pytest.raises(TransportError):
+            warehouse.connect(wrapper).load("hlx_enzyme")
+        report = warehouse.health()
+        assert report["resilience"]["breakers"] == {"hlx_enzyme": "open"}
+        assert report["resilience"]["fetch_errors"]["hlx_enzyme"] > 0
+        assert report["resilience"]["retries"]["hlx_enzyme"] > 0
+        by_name = {check["name"]: check for check in report["checks"]}
+        assert by_name["breaker:hlx_enzyme"]["status"] == "warn"
+        assert report["status"] == "warn"
+        assert "[!] breaker:hlx_enzyme" in format_health(report)
+
+    def test_quarantined_entries_warn(self, backend):
+        registry = MetricsRegistry()
+        warehouse = Warehouse(backend=backend, metrics=registry)
+        repository = InMemoryRepository(metrics=registry)
+        repository.publish(
+            "hlx_enzyme", "r1",
+            "ID   1.1.1.1\nDE   fine.\n//\n"
+            "ID   1.1.1.2\nDE   broken.\nPR   BAD LINE\n//\n")
+        warehouse.connect(repository, quarantine=True).load("hlx_enzyme")
+        report = warehouse.health()
+        assert report["resilience"]["quarantined"] == {"hlx_enzyme": 1}
+        by_name = {check["name"]: check for check in report["checks"]}
+        assert by_name["quarantine_empty"]["status"] == "warn"
+        assert "hlx_enzyme: 1" in by_name["quarantine_empty"]["detail"]
+
+    def test_no_metrics_means_empty_section(self, backend):
+        warehouse = Warehouse(backend=backend, metrics=False)
+        report = warehouse.health()
+        assert report["resilience"] == {"breakers": {}, "quarantined": {},
+                                        "fetch_errors": {}, "retries": {}}
