@@ -16,10 +16,12 @@ __version__ = "1.0.0"
 from repro.errors import ReproError  # noqa: F401
 
 __all__ = [
+    "FederatedXomatiQ",
     "ProfileReport",
     "QueryResult",
     "QuerySubscription",
     "ReproError",
+    "ShardCatalog",
     "Tracer",
     "Warehouse",
     "XomatiQ",
@@ -33,6 +35,8 @@ _LAZY_EXPORTS = {
     "QuerySubscription": ("repro.subscriptions", "QuerySubscription"),
     "Tracer": ("repro.obs", "Tracer"),
     "ProfileReport": ("repro.obs", "ProfileReport"),
+    "FederatedXomatiQ": ("repro.federation", "FederatedXomatiQ"),
+    "ShardCatalog": ("repro.federation", "ShardCatalog"),
 }
 
 

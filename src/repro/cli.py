@@ -17,6 +17,19 @@ Subcommands mirror the system's workflow::
     xomatiq metrics --db wh.sqlite 'FOR ...'          # always-on metrics
     xomatiq metrics --synth --format prometheus       # exposition text
     xomatiq health --db wh.sqlite [--json]            # warehouse health
+
+Federation (sharded warehouses behind one query surface)::
+
+    xomatiq shard add --map shards.json s0 --path s0.sqlite
+    xomatiq shard assign --map shards.json hlx_enzyme s0
+    xomatiq shard assign --map shards.json hlx_embl s1 s2   # partitioned
+    xomatiq shard init --map shards.json      # create shard databases
+    xomatiq shard list --map shards.json [--json]
+    xomatiq load --shard-map shards.json --source hlx_embl embl.dat
+    xomatiq query --shard-map shards.json 'FOR ...'   # scatter-gather
+    xomatiq stats --shard-map shards.json             # aggregated
+    xomatiq health --shard-map shards.json            # per-shard roll-up
+    xomatiq metrics --shard-map shards.json 'FOR ...' # federation.*
 """
 
 from __future__ import annotations
@@ -43,7 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
     init.add_argument("--db", required=True, help="sqlite database path")
 
     load = sub.add_parser("load", help="transform and load a flat file")
-    load.add_argument("--db", required=True)
+    load.add_argument("--db", help="sqlite database path")
+    load.add_argument("--shard-map",
+                      help="load into a sharded federation instead of "
+                           "--db (partitioned sources split into "
+                           "contiguous slices across their shards)")
     load.add_argument("--source", required=True,
                       help="source name (hlx_enzyme, hlx_embl, hlx_sprot)")
     load.add_argument("flatfile", help="path to the flat-file release")
@@ -87,7 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--sprot", type=int, default=100)
 
     query = sub.add_parser("query", help="run a XomatiQ query")
-    query.add_argument("--db", required=True)
+    query.add_argument("--db", help="sqlite database path")
+    query.add_argument("--shard-map",
+                       help="run federated over the shard-map registry "
+                            "file instead of --db")
     query.add_argument("--file", help="read the query from a file")
     query.add_argument("--xml", action="store_true",
                        help="XML output instead of a table")
@@ -124,7 +144,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("sources", help="list registered source transformers")
 
     stats = sub.add_parser("stats", help="warehouse table/row counts")
-    stats.add_argument("--db", required=True)
+    stats.add_argument("--db", help="sqlite database path")
+    stats.add_argument("--shard-map",
+                       help="aggregate stats across a federation's "
+                            "shards instead of --db")
+    stats.add_argument("--per-shard", action="store_true",
+                       help="with --shard-map: per-shard breakdown "
+                            "instead of the aggregate")
     stats.add_argument("--json", action="store_true",
                        help="machine-readable JSON instead of a table")
 
@@ -132,6 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="dump the always-on metrics registry (optionally "
                         "after running a query to exercise the pipeline)")
     metrics.add_argument("--db", help="sqlite database path")
+    metrics.add_argument("--shard-map",
+                         help="run federated over a shard map; the dump "
+                              "includes the federation.* metrics")
     metrics.add_argument("--synth", action="store_true",
                          help="run against an in-memory synthetic corpus "
                               "instead of --db")
@@ -148,12 +177,51 @@ def build_parser() -> argparse.ArgumentParser:
         "health", help="warehouse health: row-count and keyword-index "
                        "sanity checks plus per-source harvest freshness")
     health.add_argument("--db", help="sqlite database path")
+    health.add_argument("--shard-map",
+                        help="roll up health across a federation's "
+                             "shards instead of --db")
     health.add_argument("--synth", action="store_true",
                         help="check an in-memory synthetic corpus")
     health.add_argument("--seed", type=int, default=7,
                         help="corpus seed for --synth runs")
     health.add_argument("--json", action="store_true",
                         help="machine-readable JSON instead of a report")
+
+    shard = sub.add_parser(
+        "shard", help="manage a federation's shard-map registry file")
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_add = shard_sub.add_parser(
+        "add", help="register a shard (creates the map file if absent)")
+    shard_add.add_argument("--map", required=True,
+                           help="shard-map registry file (JSON)")
+    shard_add.add_argument("name", help="shard name")
+    shard_add.add_argument("--path", default=None,
+                           help="shard database path "
+                                "(default: <name>.sqlite)")
+    shard_add.add_argument("--latency-s", type=float, default=0.0,
+                           help="simulated access round-trip in seconds "
+                                "(models a remote shard; E13 latency "
+                                "experiments)")
+    shard_add.add_argument("--backend", choices=("sqlite", "minidb"),
+                           default="sqlite")
+
+    shard_assign = shard_sub.add_parser(
+        "assign", help="route a source to one shard (whole) or several "
+                       "(horizontally partitioned, in order)")
+    shard_assign.add_argument("--map", required=True)
+    shard_assign.add_argument("source", help="source name (hlx_enzyme, ...)")
+    shard_assign.add_argument("shards", nargs="+",
+                              help="shard names, partition order")
+
+    shard_init = shard_sub.add_parser(
+        "init", help="create every shard database the map declares")
+    shard_init.add_argument("--map", required=True)
+
+    shard_list = shard_sub.add_parser(
+        "list", help="show registered shards and source routing")
+    shard_list.add_argument("--map", required=True)
+    shard_list.add_argument("--json", action="store_true")
     return parser
 
 
@@ -175,6 +243,21 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "load":
+        if args.shard_map:
+            federation = _open_federation(args.shard_map)
+            counts = federation.load_text(
+                args.source,
+                Path(args.flatfile).read_text(encoding="utf-8"),
+                batch_size=args.batch_size, workers=args.workers)
+            per_shard = ", ".join(f"{shard}: {count}"
+                                  for shard, count in counts.items())
+            print(f"loaded {sum(counts.values())} documents into "
+                  f"{args.source} ({per_shard})")
+            federation.close()
+            return 0
+        if not args.db:
+            print("error: provide --db or --shard-map", file=sys.stderr)
+            return 2
         warehouse = _open(args.db)
         count = warehouse.load_file(args.source, args.flatfile,
                                     batch_size=args.batch_size,
@@ -207,8 +290,21 @@ def _dispatch(args) -> int:
         print(f"wrote corpus to {out} ({corpus.sizes()})")
         return 0
 
+    if args.command == "query" and args.shard_map:
+        text = _query_text(args)
+        federation = _open_federation(args.shard_map)
+        result = federation.query(text)
+        for warning in result.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        print(result.to_xml() if args.xml else result.to_table())
+        federation.close()
+        return 0
+
     if args.command in ("query", "translate"):
         text = _query_text(args)
+        if args.command == "query" and not args.db:
+            print("error: provide --db or --shard-map", file=sys.stderr)
+            return 2
         warehouse = _open(args.db)
         if args.command == "translate":
             compiled = warehouse.translate(text)
@@ -253,6 +349,29 @@ def _dispatch(args) -> int:
 
     if args.command == "stats":
         import json
+        if args.shard_map:
+            federation = _open_federation(args.shard_map)
+            if args.per_shard:
+                per_shard = federation.shard_stats()
+                if args.json:
+                    print(json.dumps(per_shard, indent=2, sort_keys=True))
+                else:
+                    for shard, stats in per_shard.items():
+                        print(f"[{shard}]")
+                        for key, count in stats.items():
+                            print(f"  {key:<22} {count}")
+            else:
+                stats = federation.stats()
+                if args.json:
+                    print(json.dumps(stats, indent=2, sort_keys=True))
+                else:
+                    for key, count in stats.items():
+                        print(f"{key:<24} {count}")
+            federation.close()
+            return 0
+        if not args.db:
+            print("error: provide --db or --shard-map", file=sys.stderr)
+            return 2
         warehouse = _open(args.db)
         stats = warehouse.stats()
         if args.json:
@@ -301,7 +420,56 @@ def _dispatch(args) -> int:
             print(f"{name:<12} root <{transformer.dtd.root}>  lines: {codes}")
         return 0
 
+    if args.command == "shard":
+        return _dispatch_shard(args)
+
     raise AssertionError(f"unhandled command {args.command}")
+
+
+def _dispatch_shard(args) -> int:
+    import json
+    from repro.federation import ShardCatalog
+    path = Path(args.map)
+
+    if args.shard_command == "add":
+        catalog = (ShardCatalog.load(path) if path.exists()
+                   else ShardCatalog())
+        db_path = args.path if args.path is not None \
+            else f"{args.name}.sqlite"
+        catalog.add_shard(args.name, path=db_path, backend=args.backend,
+                          latency_s=args.latency_s)
+        catalog.save(path)
+        print(f"added shard {args.name} -> {db_path} ({args.backend})")
+        return 0
+
+    catalog = ShardCatalog.load(path)
+    if args.shard_command == "assign":
+        catalog.assign(args.source, *args.shards)
+        catalog.save(path)
+        print(f"routed {args.source} -> {', '.join(args.shards)}")
+        return 0
+    if args.shard_command == "init":
+        catalog.create_shards()
+        catalog.close()
+        print(f"initialized {len(catalog.shard_names())} shard "
+              f"database(s)")
+        return 0
+    if args.shard_command == "list":
+        if args.json:
+            print(json.dumps(catalog.to_dict(), indent=2, sort_keys=True))
+            return 0
+        print("shards:")
+        for name in catalog.shard_names():
+            spec = catalog.spec(name)
+            print(f"  {name:<12} {spec.backend:<8} {spec.path}")
+        print("sources:")
+        sources = catalog.sources()
+        if not sources:
+            print("  (none routed)")
+        for source, shards in sources.items():
+            print(f"  {source:<12} -> {', '.join(shards)}")
+        return 0
+    raise AssertionError(f"unhandled shard command {args.shard_command}")
 
 
 def _open(db: str, metrics=None) -> Warehouse:
@@ -311,9 +479,19 @@ def _open(db: str, metrics=None) -> Warehouse:
                      metrics=metrics)
 
 
-def _open_for_check(args, metrics=None) -> Warehouse | None:
-    """Open --db, or build an in-memory --synth warehouse; None = usage
-    error (message already printed)."""
+def _open_federation(shard_map: str, metrics=None):
+    """Open a federated facade over a shard-map registry file."""
+    from repro.federation import FederatedXomatiQ
+    return FederatedXomatiQ.from_shard_map(shard_map, metrics=metrics)
+
+
+def _open_for_check(args, metrics=None):
+    """Open --db / --shard-map, or build an in-memory --synth
+    warehouse; None = usage error (message already printed). The
+    returned object answers ``query``/``health``/``close`` whether it
+    is a warehouse or a federation."""
+    if getattr(args, "shard_map", None):
+        return _open_federation(args.shard_map, metrics=metrics)
     if args.synth:
         from repro.synth import build_corpus
         warehouse = Warehouse(metrics=metrics)

@@ -132,12 +132,21 @@ class Warehouse:
         ``batch_size`` documents in a single transaction, ANALYZE
         deferred to the end of the release."""
         from repro.flatfile import parse_entries
+        return self.load_entries(source, parse_entries(flat_text),
+                                 batch_size=batch_size, workers=workers)
+
+    def load_entries(self, source: str, entries,
+                     batch_size: int | None = None,
+                     workers: int | None = None) -> int:
+        """Transform and load already-parsed flat-file entries through
+        the bulk pipeline (the federation layer partitions one release
+        into contiguous entry slices and feeds each shard this way)."""
         transformer = self.registry.create(source,
                                            validate=self.validate_sources)
         with self.loader.bulk_session(batch_size=batch_size,
                                       workers=workers) as session:
             count = session.add_transformed(
-                source, parse_entries(flat_text),
+                source, entries,
                 lambda entry: (transformer.collection_of(entry),
                                transformer.entry_key(entry),
                                transformer.transform_entry(entry)))
@@ -377,32 +386,38 @@ class XomatiQ:
                     document_exists=self.warehouse.document_exists,
                     dtd_for_source=self._dtd_for_source)
 
-    def translate(self, text: str) -> CompiledQuery:
+    def translate(self, text: str,
+                  ast: Query | None = None) -> CompiledQuery:
         """Parse, check and compile; the compiled object exposes every
         SQL statement (the GUI's "Translate Query" view, one level
-        deeper)."""
-        query = self.parse(text)
+        deeper). With ``ast`` given, parsing is skipped and ``text`` is
+        only documentation (the federation planner hands per-shard
+        subquery ASTs straight through)."""
+        query = ast if ast is not None else self.parse(text)
         self.check(query)
         return compile_query(query,
                              sequence_tags=self.warehouse.sequence_tags)
 
-    def translate_cached(self, text: str) -> tuple[CompiledQuery, bool]:
+    def translate_cached(self, text: str,
+                         ast: Query | None = None
+                         ) -> tuple[CompiledQuery, bool]:
         """Translate via the compiled-query cache; returns
         ``(compiled, hit)``. With the cache disabled this is a plain
         :meth:`translate` (``hit`` always False)."""
         if self.cache is None:
-            return self.translate(text), False
+            return self.translate(text, ast), False
         generation = self.warehouse.loader.generation
         dialect = self.warehouse.backend.name
         tags = self.warehouse.sequence_tags
         compiled = self.cache.get(text, dialect, tags, generation)
         if compiled is not None:
             return compiled, True
-        compiled = self.translate(text)
+        compiled = self.translate(text, ast)
         self.cache.put(text, dialect, tags, generation, compiled)
         return compiled, False
 
-    def translate_in_spans(self, text: str, tracer, root) -> CompiledQuery:
+    def translate_in_spans(self, text: str, tracer, root,
+                           ast: Query | None = None) -> CompiledQuery:
         """Cache-aware translation with per-stage spans; ``cache.hit``
         / ``cache.miss`` counters land on ``root`` (they show up in
         profile JSON and query traces). On a hit the parse/check/
@@ -418,18 +433,19 @@ class XomatiQ:
                 root.count("cache.hit")
                 return compiled
             root.count("cache.miss")
-        with tracer.span("parse"):
-            query = self.parse(text)
+        if ast is None:
+            with tracer.span("parse"):
+                ast = self.parse(text)
         with tracer.span("check"):
-            self.check(query)
+            self.check(ast)
         with tracer.span("compile"):
             compiled = compile_query(
-                query, sequence_tags=self.warehouse.sequence_tags)
+                ast, sequence_tags=self.warehouse.sequence_tags)
         if cache is not None:
             cache.put(text, dialect, tags, generation, compiled)
         return compiled
 
-    def query(self, text: str) -> QueryResult:
+    def query(self, text: str, ast: Query | None = None) -> QueryResult:
         """The full pipeline: translate (cached) then execute.
 
         On a traced warehouse every stage runs inside a span and the
@@ -437,17 +453,18 @@ class XomatiQ:
         — traced or not — feeds the always-on metrics plane
         (``query.total``, ``query.seconds``, cache hit/miss) and is
         screened by the slow-query log, which captures SQL + EXPLAIN
-        for anything over the threshold."""
+        for anything over the threshold. ``ast`` short-circuits
+        parsing (but still keys the cache by ``text``)."""
         warehouse = self.warehouse
         tracer = warehouse.tracer
         start = time.perf_counter()
         if tracer is None:
-            compiled, hit = self.translate_cached(text)
+            compiled, hit = self.translate_cached(text, ast)
             result = execute_compiled(compiled, warehouse.backend)
         else:
             with tracer.span("query", query=text,
                              backend=warehouse.backend.name) as root:
-                compiled = self.translate_in_spans(text, tracer, root)
+                compiled = self.translate_in_spans(text, tracer, root, ast)
                 with tracer.span("execute") as span:
                     result = execute_compiled(compiled,
                                               warehouse.backend,

@@ -131,3 +131,18 @@ class TranslationError(QueryError):
 
 class UnknownDocumentError(QueryError):
     """Raised when ``document("name")`` names an unloaded warehouse."""
+
+
+class FederationError(ReproError):
+    """Base class for federated-query (sharded warehouse) errors."""
+
+
+class ShardConfigError(FederationError):
+    """Raised for an invalid shard catalog (unknown shard names,
+    malformed shard-map files, duplicate registrations)."""
+
+
+class ShardUnreachableError(FederationError):
+    """Raised when a shard's warehouse cannot be opened. Query
+    execution catches this and degrades to partial results; catalog
+    administration surfaces it."""

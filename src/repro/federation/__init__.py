@@ -1,0 +1,42 @@
+"""Federated query layer: sharded warehouses, scatter-gather joins.
+
+The paper runs every source inside one Oracle instance; the related
+mediator systems (YeastMed, HepToX in PAPERS.md) argue the realistic
+deployment is the opposite — each source in its own store, queried
+through one facade. This package is that deployment:
+
+* :class:`~repro.federation.catalog.ShardCatalog` — shard registry +
+  source→shard routing (JSON shard-map file, ``xomatiq shard`` verbs),
+* :class:`~repro.federation.planner.FederationPlanner` — splits one
+  XomatiQ query into per-shard single-source subplans (predicates,
+  ``contains()``/``seqcontains()`` probes and projections pushed down)
+  plus coordinator-side join atoms,
+* :class:`~repro.federation.executor.ScatterGatherExecutor` — runs
+  shard subqueries concurrently, hash-joins the shipped bindings and
+  reproduces monolithic result order (and byte-identical XML),
+* :class:`~repro.federation.facade.FederatedXomatiQ` — the
+  warehouse-shaped facade over all of it.
+
+See docs/federation.md for architecture, pushdown rules and failure
+semantics.
+"""
+
+from repro.federation.catalog import ShardCatalog, ShardSpec
+from repro.federation.executor import ScatterGatherExecutor, ShardBoundNode
+from repro.federation.facade import FederatedXomatiQ
+from repro.federation.planner import (
+    FederatedPlan,
+    FederationPlanner,
+    ShardSubPlan,
+)
+
+__all__ = [
+    "FederatedPlan",
+    "FederatedXomatiQ",
+    "FederationPlanner",
+    "ScatterGatherExecutor",
+    "ShardBoundNode",
+    "ShardCatalog",
+    "ShardSpec",
+    "ShardSubPlan",
+]

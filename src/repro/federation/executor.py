@@ -1,0 +1,408 @@
+"""Scatter-gather execution of a federated plan.
+
+Shard subqueries run concurrently on a thread pool (each shard's
+warehouse is its own engine; the sqlite backend serializes statements
+on a per-connection lock, so parallelism buys exactly the cross-shard
+overlap the paper's single-RDBMS design could not). The coordinator
+then
+
+* unions each subplan's bindings across its shards (a document lives
+  on exactly one shard, so the union is exact),
+* hash-joins units on the shipped cross-unit key values — existential
+  over value pairs, the same semantics the monolithic translator's SQL
+  join has,
+* deduplicates binding combinations across DNF disjuncts and sorts
+  them by per-variable ``(shard position, doc_id, node_id)`` — with
+  contiguous partitioned loading this reproduces the monolithic
+  warehouse's binding order, which is what makes federated results
+  byte-identical to single-warehouse results,
+* re-assembles RETURN values (and constructor elements) from the
+  shipped projections through the same helpers the monolithic
+  executor uses.
+
+A shard that cannot be opened or fails mid-statement costs its rows,
+not the query: the executor answers from the surviving shards and says
+so in ``result.warnings`` (the same degrade-with-warning philosophy as
+harvest quarantine). Planner/user errors still raise.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import (
+    ShardUnreachableError,
+    StorageError,
+    UnknownDocumentError,
+)
+from repro.federation.planner import FederatedPlan, ShardSubPlan
+from repro.obs.trace import Span
+from repro.results.resultset import (
+    BoundNode,
+    QueryResult,
+    ResultRow,
+    unique_columns,
+)
+from repro.translator.execute import _build_element
+from repro.xmlkit.serializer import serialize_compact
+from repro.xquery.ast import VarPath
+
+#: failures the query path degrades on — a shard that is gone or whose
+#: store is broken; anything else (syntax, semantics, bugs) propagates
+DEGRADABLE = (ShardUnreachableError, StorageError)
+
+
+@dataclass(frozen=True)
+class ShardBoundNode(BoundNode):
+    """A bound element plus the shard its document lives on (document
+    fetch must go back to the right warehouse)."""
+
+    shard: str = ""
+
+
+@dataclass
+class _UnitRow:
+    """One shipped binding tuple of one subplan."""
+
+    bindings: dict[str, ShardBoundNode]
+    sort_keys: dict[str, tuple]      # var → (shard position, doc, node)
+    values: dict[str, list[str]]     # str(varpath) → shipped values
+
+
+class ScatterGatherExecutor:
+    """Runs :class:`FederatedPlan` objects against a shard catalog."""
+
+    def __init__(self, catalog, metrics=None, tracer=None,
+                 max_workers: int | None = None):
+        self.catalog = catalog
+        self.metrics = metrics
+        self.tracer = tracer
+        self.max_workers = max_workers
+        #: injectable sleep honouring ShardSpec.latency_s (simulated
+        #: remote-shard round-trips; tests pass a recorder)
+        self.sleep = time.sleep
+
+    def execute(self, plan: FederatedPlan) -> QueryResult:
+        """Scatter, gather, join, assemble."""
+        if self.tracer is None:
+            return self._execute(plan, None)
+        with self.tracer.span("federated_query", query=plan.text,
+                              fanout=plan.fanout) as root:
+            result = self._execute(plan, root)
+            root.count("result_rows", len(result))
+        result.trace = root
+        return result
+
+    def _execute(self, plan: FederatedPlan, root) -> QueryResult:
+        if self.metrics is not None:
+            self.metrics.inc("federation.queries")
+            self.metrics.inc("federation.fanout", plan.fanout)
+        if plan.route_shard is not None:
+            return self._route(plan, root)
+        return self._scatter(plan, root)
+
+    # -- single-shard fast path ----------------------------------------------
+
+    def _route(self, plan: FederatedPlan, root) -> QueryResult:
+        """Every source lives whole on one shard: hand the original
+        query to that shard's engine untouched."""
+        shard = plan.route_shard
+        started = time.perf_counter()
+        try:
+            latency = self.catalog.spec(shard).latency_s
+            if latency:
+                self.sleep(latency)  # one round-trip, same as scatter
+            warehouse = self.catalog.warehouse(shard)
+            result = warehouse.xomatiq.query(plan.text, ast=plan.query)
+        except DEGRADABLE as exc:
+            return self._degraded_result(plan, [self._warn(shard, exc)])
+        self._observe_shard(shard, time.perf_counter() - started,
+                            len(result.rows), root)
+        for row in result.rows:
+            row.bindings = {
+                var: ShardBoundNode(doc_id=node.doc_id,
+                                    node_id=node.node_id, shard=shard)
+                for var, node in row.bindings.items()}
+        return result
+
+    # -- scatter-gather -------------------------------------------------------
+
+    def _scatter(self, plan: FederatedPlan, root) -> QueryResult:
+        tasks = [(subplan, shard) for subplan in plan.subplans
+                 for shard in subplan.shards]
+        unit_rows: dict[int, list[_UnitRow]] = {
+            subplan.index: [] for subplan in plan.subplans}
+        warnings: list[str] = []
+
+        if self.max_workers is not None:
+            workers = self.max_workers
+        else:
+            workers = len(tasks)
+        if workers > 1 and len(tasks) > 1:
+            with ThreadPoolExecutor(
+                    max_workers=min(workers, len(tasks)),
+                    thread_name_prefix="shard") as pool:
+                futures = [pool.submit(self._run_subquery, plan,
+                                       subplan, shard, root)
+                           for subplan, shard in tasks]
+                outcomes = [future.result() for future in futures]
+        else:
+            outcomes = [self._run_subquery(plan, subplan, shard, root)
+                        for subplan, shard in tasks]
+
+        for (subplan, shard), (rows, warning) in zip(tasks, outcomes):
+            if warning is not None:
+                warnings.append(warning)
+            else:
+                unit_rows[subplan.index].extend(rows)
+
+        combos = self._gather(plan, unit_rows)
+        result = self._assemble(plan, combos)
+        result.warnings.extend(warnings)
+        if warnings and self.metrics is not None:
+            self.metrics.inc("federation.partial_results")
+        return result
+
+    def _run_subquery(self, plan: FederatedPlan, subplan: ShardSubPlan,
+                      shard: str, root):
+        """One (subplan, shard) task; returns ``(rows, warning)``."""
+        started = time.perf_counter()
+        try:
+            latency = self.catalog.spec(shard).latency_s
+            if latency:
+                # one simulated round-trip per shard subquery; the
+                # sleep drops the GIL, so concurrent scatter overlaps
+                # the waits exactly as it would overlap network hops
+                self.sleep(latency)
+            warehouse = self.catalog.warehouse(shard)
+            result = warehouse.xomatiq.query(subplan.text,
+                                             ast=subplan.subquery)
+        except UnknownDocumentError:
+            # the shard hosts the source but holds none of its
+            # documents (an empty partition slice): zero bindings,
+            # not a fault
+            return [], None
+        except DEGRADABLE as exc:
+            return [], self._warn(shard, exc, subplan)
+        rows = self._unit_rows(plan, subplan, shard, result)
+        self._observe_shard(shard, time.perf_counter() - started,
+                            len(rows), root)
+        return rows, None
+
+    def _unit_rows(self, plan: FederatedPlan, subplan: ShardSubPlan,
+                   shard: str, result: QueryResult) -> list[_UnitRow]:
+        """Reshape one shard result into coordinator unit rows."""
+        position = {var: self.catalog.shard_position(
+            plan.var_source[var], shard) for var in subplan.vars}
+        rows: list[_UnitRow] = []
+        for row in result.rows:
+            bindings: dict[str, ShardBoundNode] = {}
+            sort_keys: dict[str, tuple] = {}
+            for var in subplan.vars:
+                node = row.bindings[var]
+                bindings[var] = ShardBoundNode(
+                    doc_id=node.doc_id, node_id=node.node_id,
+                    shard=shard)
+                sort_keys[var] = (position[var], node.doc_id,
+                                  node.node_id)
+            values = {key: row.values.get(column, [])
+                      for key, column in zip(subplan.item_keys,
+                                             result.columns)}
+            rows.append(_UnitRow(bindings=bindings, sort_keys=sort_keys,
+                                 values=values))
+        return rows
+
+    # -- coordinator join -----------------------------------------------------
+
+    def _gather(self, plan: FederatedPlan,
+                unit_rows: dict[int, list[_UnitRow]]) -> list:
+        """Join each disjunct's units, dedupe combinations across
+        disjuncts, and order them like the monolithic executor would.
+
+        Returns ``[(var → unit row)]`` sorted by per-variable
+        ``(shard position, doc_id, node_id)``.
+        """
+        accepted: dict[tuple, tuple] = {}
+        for disjunct in plan.disjuncts:
+            for combo in self._join_disjunct(disjunct, unit_rows):
+                var_rows = {var: combo[unit]
+                            for var, unit in disjunct.var_unit.items()}
+                key = tuple(
+                    (var_rows[var].bindings[var].shard,
+                     var_rows[var].bindings[var].doc_id,
+                     var_rows[var].bindings[var].node_id)
+                    for var in plan.variables)
+                if key not in accepted:
+                    sort_key = tuple(var_rows[var].sort_keys[var]
+                                     for var in plan.variables)
+                    accepted[key] = (sort_key, var_rows)
+        return [var_rows for __, var_rows in
+                sorted(accepted.values(), key=lambda item: item[0])]
+
+    def _join_disjunct(self, disjunct,
+                       unit_rows: dict[int, list[_UnitRow]]) -> list:
+        """All surviving unit-row combinations of one disjunct, as
+        ``{subplan id → unit row}`` dicts."""
+        var_unit = disjunct.var_unit
+        combos: list[dict[int, _UnitRow]] = [{}]
+        joined: set[int] = set()
+        for unit in disjunct.subplan_ids:
+            rows = unit_rows.get(unit, [])
+            if not combos or not rows:
+                return []
+            applicable = [atom for atom in disjunct.atoms
+                          if self._applies(atom, var_unit, joined, unit)]
+            hash_atom = next(
+                (atom for atom in applicable
+                 if atom.op == "=" and not atom.negated), None)
+            rest = [atom for atom in applicable if atom is not hash_atom]
+            if hash_atom is not None:
+                probe = self._hash_join(hash_atom, var_unit, unit, rows)
+            else:
+                probe = lambda combo: rows  # noqa: E731 - cross product
+            next_combos = []
+            for combo in combos:
+                for row in probe(combo):
+                    extended = dict(combo)
+                    extended[unit] = row
+                    if all(self._atom_holds(atom, var_unit, extended)
+                           for atom in rest):
+                        next_combos.append(extended)
+            combos = next_combos
+            joined.add(unit)
+        return combos
+
+    @staticmethod
+    def _applies(atom, var_unit, joined: set[int], unit: int) -> bool:
+        """An atom is applied the moment its second unit joins."""
+        left, right = var_unit[atom.left.var], var_unit[atom.right.var]
+        return ({left, right} <= joined | {unit}
+                and unit in (left, right))
+
+    def _hash_join(self, atom, var_unit, unit: int,
+                   rows: list[_UnitRow]):
+        """Probe function for one equality atom: index the joining
+        unit's rows by shipped key value, look prior combos up by the
+        other side's values. Empty string values never join — an
+        element with no text produces no value row in the monolithic
+        SQL join either."""
+        if var_unit[atom.left.var] == unit:
+            build_key, probe_key = atom.left_key, atom.right_key
+        else:
+            build_key, probe_key = atom.right_key, atom.left_key
+        index: dict[str, list[_UnitRow]] = {}
+        for row in rows:
+            for value in row.values.get(build_key, []):
+                if value:
+                    index.setdefault(value, []).append(row)
+
+        def probe(combo: dict[int, _UnitRow]) -> list[_UnitRow]:
+            other = var_unit[atom.left.var if probe_key == atom.left_key
+                             else atom.right.var]
+            candidates: list[_UnitRow] = []
+            seen: set[int] = set()
+            for value in combo[other].values.get(probe_key, []):
+                if not value:
+                    continue
+                for row in index.get(value, []):
+                    if id(row) not in seen:
+                        seen.add(id(row))
+                        candidates.append(row)
+            return candidates
+
+        return probe
+
+    def _atom_holds(self, atom, var_unit,
+                    combo: dict[int, _UnitRow]) -> bool:
+        """Existential comparison over the two operands' shipped
+        values (SQL-join semantics); negation inverts the existence."""
+        left = combo[var_unit[atom.left.var]].values.get(
+            atom.left_key, [])
+        right = combo[var_unit[atom.right.var]].values.get(
+            atom.right_key, [])
+        holds = any(
+            _compare(lv, atom.op, rv)
+            for lv in left if lv for rv in right if rv)
+        return (not holds) if atom.negated else holds
+
+    # -- output assembly ------------------------------------------------------
+
+    def _assemble(self, plan: FederatedPlan, combos: list) -> QueryResult:
+        """Rebuild rows in the monolithic result shape from shipped
+        values (constructor items reuse the monolithic executor's
+        element builder)."""
+        columns = unique_columns([item.output_name
+                                  for item in plan.query.returns])
+        result = QueryResult(columns=columns,
+                             variables=list(plan.variables))
+        for var_rows in combos:
+            row = ResultRow(bindings={
+                var: var_rows[var].bindings[var]
+                for var in plan.variables})
+
+            def values_for(varpath: VarPath, __=None) -> list[str]:
+                return var_rows[varpath.var].values.get(
+                    str(varpath), [])
+
+            for column, item in zip(columns, plan.query.returns):
+                if item.constructor is not None:
+                    maps = [None] * len(item.constructor.varpaths())
+                    element = _build_element(item.constructor, maps,
+                                             values_for)
+                    row.elements[column] = element
+                    row.values[column] = [serialize_compact(element)]
+                else:
+                    row.values[column] = values_for(item.value)
+            result.rows.append(row)
+        return result
+
+    def _degraded_result(self, plan: FederatedPlan,
+                         warnings: list[str]) -> QueryResult:
+        """Empty-but-answering result for a fully lost route."""
+        if self.metrics is not None:
+            self.metrics.inc("federation.partial_results")
+        columns = unique_columns([item.output_name
+                                  for item in plan.query.returns])
+        return QueryResult(columns=columns,
+                           variables=list(plan.variables),
+                           warnings=warnings)
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _warn(self, shard: str, exc: Exception,
+              subplan: ShardSubPlan | None = None) -> str:
+        if self.metrics is not None:
+            self.metrics.inc("federation.shard_errors", shard=shard)
+        sources = (" and ".join(subplan.sources)
+                   if subplan is not None else "this query")
+        return (f"shard {shard!r} unavailable — results for {sources} "
+                f"are partial: {exc}")
+
+    def _observe_shard(self, shard: str, seconds: float, rows: int,
+                       root) -> None:
+        if self.metrics is not None:
+            self.metrics.observe("federation.shard_seconds", seconds,
+                                 shard=shard)
+            self.metrics.inc("federation.rows_shipped", rows)
+        if root is not None:
+            now = self.tracer.clock()
+            span = Span(name="shard_subquery", start=now - seconds,
+                        end=now, meta={"shard": shard})
+            span.counters["rows_shipped"] = rows
+            root.children.append(span)
+
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _compare(left: str, op: str, right: str) -> bool:
+    return _OPS[op](left, right)

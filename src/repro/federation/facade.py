@@ -1,0 +1,281 @@
+"""The federated facade: one XomatiQ surface over many shards.
+
+:class:`FederatedXomatiQ` looks like a :class:`repro.engine.Warehouse`
+from the query side — ``query()`` returns the same
+:class:`~repro.results.resultset.QueryResult`, ``to_xml()`` renders
+through the same tagger — but bindings scatter across per-source
+warehouse shards and join back at the coordinator::
+
+    from repro.federation import FederatedXomatiQ, ShardCatalog
+
+    catalog = ShardCatalog()
+    catalog.add_shard("s0")          # in-memory; give paths for disk
+    catalog.add_shard("s1")
+    catalog.assign("hlx_enzyme", "s0")
+    catalog.assign("hlx_embl", "s1")
+
+    fed = FederatedXomatiQ(catalog)
+    fed.load_corpus(build_corpus(seed=7))
+    result = fed.query(FIG11_JOIN)   # scatter, hash-join, re-tag
+
+Loading a source routed to several shards partitions the release into
+**contiguous** entry slices, one per shard in catalog order — that
+plus the coordinator's ``(shard position, doc_id, node_id)`` sort is
+what keeps federated results byte-identical to a monolithic warehouse
+loaded from the same release.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datahounds.registry import SourceRegistry
+from repro.errors import (
+    FederationError,
+    ShardConfigError,
+    ShardUnreachableError,
+    UnknownDocumentError,
+)
+from repro.federation.catalog import ShardCatalog
+from repro.federation.executor import ScatterGatherExecutor, ShardBoundNode
+from repro.federation.planner import FederatedPlan, FederationPlanner
+from repro.results.resultset import QueryResult, ResultRow
+from repro.xmlkit import Document, serialize
+from repro.xquery.parser import parse_query
+from repro.xquery.semantics import check_query
+
+
+class FederatedXomatiQ:
+    """Scatter-gather query engine over a :class:`ShardCatalog`."""
+
+    def __init__(self, catalog: ShardCatalog,
+                 registry: SourceRegistry | None = None,
+                 validate_sources: bool = True,
+                 metrics=None, trace=None,
+                 max_workers: int | None = None):
+        """``metrics``/``trace`` follow :class:`~repro.engine.
+        Warehouse` conventions (default registry / no tracer);
+        ``max_workers`` caps the scatter pool (default: one thread per
+        shard subquery)."""
+        from repro.obs import NullMetrics, Tracer, resolve_metrics
+        self.catalog = catalog
+        self.registry = registry or SourceRegistry()
+        self.validate_sources = validate_sources
+        self.metrics = resolve_metrics(metrics)
+        self._metrics_sink = (None if isinstance(self.metrics, NullMetrics)
+                              else self.metrics)
+        self.tracer = None
+        if trace is not None and trace is not False:
+            self.tracer = trace if isinstance(trace, Tracer) else Tracer()
+            if self.tracer.metrics is None:
+                self.tracer.metrics = self._metrics_sink
+        if self.catalog.metrics is None:
+            # shard warehouses record into the facade's registry too
+            self.catalog.metrics = self.metrics
+        self.planner = FederationPlanner(catalog)
+        self.executor = ScatterGatherExecutor(
+            catalog, metrics=self._metrics_sink, tracer=self.tracer,
+            max_workers=max_workers)
+
+    @classmethod
+    def from_shard_map(cls, path, **kwargs) -> "FederatedXomatiQ":
+        """Open a federation from a shard-map registry file (what
+        ``xomatiq query --shard-map`` does)."""
+        return cls(ShardCatalog.load(path), **kwargs)
+
+    # -- querying -------------------------------------------------------------
+
+    def query(self, text: str) -> QueryResult:
+        """Parse, check, plan, scatter, gather."""
+        started = time.perf_counter()
+        result = self.executor.execute(self.plan(text))
+        if self._metrics_sink is not None:
+            self._metrics_sink.observe("federation.query_seconds",
+                                       time.perf_counter() - started)
+        return result
+
+    def plan(self, text: str) -> FederatedPlan:
+        """Parse, check and plan without executing (tests and the
+        curious inspect pushdown/fan-out decisions here)."""
+        ast = parse_query(text)
+        check_query(ast, document_exists=self.document_exists,
+                    dtd_for_source=self._dtd_for_source)
+        return self.planner.plan(text, ast)
+
+    # -- loading --------------------------------------------------------------
+
+    def load_text(self, source: str, flat_text: str,
+                  batch_size: int | None = None,
+                  workers: int | None = None) -> dict[str, int]:
+        """Load one release into the source's shard(s); returns
+        per-shard document counts.
+
+        A multi-shard route partitions the release into contiguous
+        entry slices (first shard gets the first slice), preserving
+        monolithic document order across the federation."""
+        from repro.flatfile import parse_entries
+        shards = self.catalog.shards_for(source)
+        if not shards:
+            raise ShardConfigError(
+                f"source {source!r} is not routed to any shard "
+                f"(assign it with `xomatiq shard assign`)")
+        entries = list(parse_entries(flat_text))
+        counts: dict[str, int] = {}
+        for shard, chunk in zip(shards, _slices(entries, len(shards))):
+            warehouse = self.catalog.warehouse(shard)
+            counts[shard] = warehouse.load_entries(
+                source, chunk, batch_size=batch_size, workers=workers)
+            if self._metrics_sink is not None:
+                self._metrics_sink.inc("federation.documents_loaded",
+                                       counts[shard], shard=shard)
+        return counts
+
+    def load_corpus(self, corpus) -> dict[str, int]:
+        """Load a synthetic corpus; returns per-source totals (the
+        :meth:`~repro.engine.Warehouse.load_corpus` shape)."""
+        return {source: sum(self.load_text(source, text).values())
+                for source, text in corpus.texts().items()}
+
+    # -- catalog / admin ------------------------------------------------------
+
+    def document_exists(self, source: str,
+                        collection: str | None) -> bool:
+        """True when some shard holds documents of the address.
+
+        An unreachable shard counts as "may hold it": the query then
+        proceeds and degrades to partial results with a warning
+        instead of failing the semantic check outright."""
+        maybe = False
+        for shard in self.catalog.shards_for(source):
+            try:
+                warehouse = self.catalog.warehouse(shard)
+            except ShardUnreachableError:
+                maybe = True
+                continue
+            if warehouse.document_exists(source, collection):
+                return True
+        return maybe
+
+    def stats(self) -> dict[str, int]:
+        """Aggregated warehouse stats summed across reachable shards,
+        plus shard accounting (``shards``/``shards_unreachable``)."""
+        out: dict[str, int] = {}
+        unreachable = 0
+        for name in self.catalog.shard_names():
+            try:
+                warehouse = self.catalog.warehouse(name)
+            except ShardUnreachableError:
+                unreachable += 1
+                continue
+            for key, value in warehouse.stats().items():
+                out[key] = out.get(key, 0) + value
+        out["shards"] = len(self.catalog.shard_names())
+        out["shards_unreachable"] = unreachable
+        return out
+
+    def shard_stats(self) -> dict[str, dict]:
+        """Per-shard stats; an unreachable shard maps to
+        ``{"error": reason}``."""
+        out: dict[str, dict] = {}
+        for name in self.catalog.shard_names():
+            try:
+                out[name] = self.catalog.warehouse(name).stats()
+            except ShardUnreachableError as exc:
+                out[name] = {"error": str(exc)}
+        return out
+
+    def health(self, stale_after_s: float | None = None) -> dict:
+        """Federation health: every shard's own health report rolled
+        up under one status, plus the routing table and cumulative
+        shard-error counters. ``format_health`` renders the roll-up."""
+        from repro.obs.health import OK, WARN, format_health  # noqa: F401
+        checks: list[dict] = []
+        shards: dict[str, dict] = {}
+        stats: dict[str, int] = {}
+        for name in self.catalog.shard_names():
+            try:
+                report = self.catalog.warehouse(name).health(
+                    stale_after_s=stale_after_s) \
+                    if stale_after_s is not None \
+                    else self.catalog.warehouse(name).health()
+            except ShardUnreachableError as exc:
+                shards[name] = {"status": "unreachable",
+                                "error": str(exc)}
+                checks.append({"name": f"shard:{name}", "status": WARN,
+                               "detail": f"unreachable — {exc}"})
+                continue
+            shards[name] = report
+            checks.append({
+                "name": f"shard:{name}", "status": report["status"],
+                "detail": f"{len(report['checks'])} checks, "
+                          f"status {report['status']}"})
+            for key, value in report["stats"].items():
+                stats[key] = stats.get(key, 0) + value
+        unrouted = [name for name in self.catalog.shard_names()
+                    if not any(name in route for route in
+                               self.catalog.sources().values())]
+        checks.append({
+            "name": "sources_routed",
+            "status": OK if self.catalog.sources() else WARN,
+            "detail": f"{len(self.catalog.sources())} source(s) routed"
+                      + (f"; idle shards: {', '.join(unrouted)}"
+                         if unrouted else "")})
+        errors = {}
+        if self._metrics_sink is not None:
+            for labels, value in self._metrics_sink.counter_items(
+                    "federation.shard_errors"):
+                errors[labels.get("shard", "?")] = int(value)
+        checks.append({
+            "name": "shard_errors",
+            "status": OK if not errors else WARN,
+            "detail": "no shard failures recorded" if not errors else
+                      ", ".join(f"{shard}: {count}" for shard, count
+                                in sorted(errors.items()))})
+        status = OK if all(c["status"] == OK for c in checks) else WARN
+        return {"status": status, "checks": checks, "stats": stats,
+                "shards": shards,
+                "federation": {"sources": self.catalog.sources(),
+                               "shard_errors": errors}}
+
+    # -- document fetch -------------------------------------------------------
+
+    def fetch_document(self, node) -> Document:
+        """Reconstruct the document behind a federated binding (the
+        binding knows its shard)."""
+        if not isinstance(node, ShardBoundNode):
+            raise FederationError(
+                "federated document fetch needs a ShardBoundNode "
+                "binding from a federated QueryResult")
+        return self.catalog.warehouse(node.shard).fetch_document(node)
+
+    def fetch_document_xml(self, row: ResultRow, variable: str) -> str:
+        """Serialized document behind one result row's variable."""
+        try:
+            node = row.bindings[variable]
+        except KeyError:
+            raise UnknownDocumentError(
+                f"result row has no binding for ${variable}") from None
+        return serialize(self.fetch_document(node))
+
+    def close(self) -> None:
+        """Release every catalog-owned shard warehouse."""
+        self.catalog.close()
+
+    # -- internals ------------------------------------------------------------
+
+    def _dtd_for_source(self, source: str):
+        if source in self.registry:
+            return self.registry.create(source, validate=False).dtd
+        return None
+
+
+def _slices(entries: list, parts: int) -> list[list]:
+    """Contiguous near-equal slices, earlier parts one longer."""
+    base, extra = divmod(len(entries), parts)
+    out = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        out.append(entries[start:start + size])
+        start += size
+    return out

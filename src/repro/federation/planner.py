@@ -1,0 +1,377 @@
+"""Split one XomatiQ query into per-shard subplans + a coordinator plan.
+
+The mediator strategy (YeastMed, HepToX): every FOR variable is rooted
+in exactly one source, and the shard catalog says which shard(s) hold
+that source. The planner
+
+1. groups variables into **units** — a root variable plus every
+   variable context-rooted on it; units joined by a cross-unit atom are
+   merged when all their sources live whole on one common shard (the
+   join then runs inside that shard's RDBMS, the paper's division of
+   labour),
+2. **pushes down** every atom whose variables fall inside one unit —
+   predicates, ``contains()`` keyword probes, ``seqcontains()`` motif
+   scans, literal comparisons — into that unit's subquery, per DNF
+   disjunct (so ``OR`` across shards still works),
+3. **projects** only what the coordinator needs out of each shard:
+   the original RETURN values that mention the unit's variables, plus
+   the join-key paths of the remaining cross-unit atoms,
+4. leaves cross-unit ``Compare`` atoms (equi-joins and their ordered
+   cousins) to the coordinator, which hash-joins shard bindings on the
+   shipped key values.
+
+Each unit compiles to an ordinary single-source (or single-shard)
+XomatiQ subquery AST that the shard's own translator/cache pipeline
+handles — the planner builds no SQL itself.
+
+Unsupported shapes fail loudly with :class:`FederationError` instead
+of silently changing semantics: a ``BEFORE``/``AFTER`` comparison
+across units can only run where both documents live, so it requires
+the sources to be co-located on one shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FederationError, TranslationError
+from repro.translator.compile import to_dnf
+from repro.xquery.ast import (
+    Binding,
+    BoolAnd,
+    BoolNot,
+    Compare,
+    Condition,
+    Contains,
+    OrderCompare,
+    Query,
+    ReturnItem,
+    SeqContains,
+    VarPath,
+)
+
+
+@dataclass(frozen=True)
+class ShardSubPlan:
+    """One unit's subquery, targeted at one or more shards.
+
+    A single-shard source runs the subquery once; a horizontally
+    partitioned source fans the same subquery out to every shard in
+    ``shards`` and the coordinator unions the bindings (each document
+    lives on exactly one shard, so the union is exact).
+    """
+
+    index: int
+    vars: tuple[str, ...]            # original binding order
+    sources: tuple[str, ...]         # distinct root sources of the unit
+    shards: tuple[str, ...]          # execution targets, catalog order
+    subquery: Query
+    text: str                        # deterministic cache/display key
+    item_keys: tuple[str, ...]       # str(varpath) per subquery RETURN item
+
+
+@dataclass(frozen=True)
+class CoordinatorAtom:
+    """A cross-unit comparison the coordinator evaluates on shipped
+    values — existential over the value pairs, exactly the semantics
+    the monolithic translator gets from its SQL join."""
+
+    op: str                          # = != < <= > >=
+    left: VarPath
+    right: VarPath
+    negated: bool
+
+    @property
+    def left_key(self) -> str:
+        """Shipped-value column key of the left operand."""
+        return str(self.left)
+
+    @property
+    def right_key(self) -> str:
+        """Shipped-value column key of the right operand."""
+        return str(self.right)
+
+
+@dataclass(frozen=True)
+class PlannedDisjunct:
+    """One DNF disjunct: which subplans it draws bindings from and the
+    cross-unit atoms the coordinator applies while joining them."""
+
+    subplan_ids: tuple[int, ...]     # join order (first-variable order)
+    var_unit: dict[str, int]         # variable → subplan id
+    atoms: tuple[CoordinatorAtom, ...]
+
+
+@dataclass
+class FederatedPlan:
+    """The full federation plan of one query."""
+
+    text: str
+    query: Query
+    variables: list[str]
+    var_source: dict[str, str]       # variable → root source
+    #: fast path — every source lives whole on this one shard, so the
+    #: original query routes there unchanged; subplans/disjuncts empty
+    route_shard: str | None = None
+    subplans: list[ShardSubPlan] = field(default_factory=list)
+    disjuncts: list[PlannedDisjunct] = field(default_factory=list)
+
+    @property
+    def fanout(self) -> int:
+        """Number of shard subqueries this plan issues."""
+        if self.route_shard is not None:
+            return 1
+        return sum(len(plan.shards) for plan in self.subplans)
+
+
+class FederationPlanner:
+    """Plans queries against a :class:`~repro.federation.catalog.
+    ShardCatalog` routing table."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+
+    def plan(self, text: str, query: Query) -> FederatedPlan:
+        """Build the federation plan for a checked query."""
+        return _Planning(self.catalog, text, query).run()
+
+
+def _atom_vars(atom: Condition) -> list[str]:
+    """Variables an atom constrains (deduplicated, stable order)."""
+    out: list[str] = []
+
+    def add(var: str) -> None:
+        if var not in out:
+            out.append(var)
+
+    if isinstance(atom, (Contains, SeqContains)):
+        add(atom.target.var)
+    elif isinstance(atom, OrderCompare):
+        add(atom.left.var)
+        add(atom.right.var)
+    elif isinstance(atom, Compare):
+        for operand in (atom.left, atom.right):
+            if isinstance(operand, VarPath):
+                add(operand.var)
+    else:
+        raise FederationError(
+            f"cannot federate condition {type(atom).__name__}")
+    return out
+
+
+class _Planning:
+    def __init__(self, catalog, text: str, query: Query):
+        self.catalog = catalog
+        self.text = text
+        self.query = query
+        self.bindings: dict[str, Binding] = {
+            binding.var: binding for binding in query.bindings}
+        self.variables = query.variables()
+        self.var_source = {var: self._root_source(var)
+                           for var in self.variables}
+        #: deduplicated subplans across disjuncts, keyed by subquery text
+        self._subplans: dict[str, ShardSubPlan] = {}
+
+    def run(self) -> FederatedPlan:
+        shards_by_source = {}
+        for source in self.var_source.values():
+            shards = self.catalog.shards_for(source)
+            if not shards:
+                raise FederationError(
+                    f"source {source!r} is not routed to any shard "
+                    f"(assign it with `xomatiq shard assign`)")
+            shards_by_source[source] = shards
+
+        plan = FederatedPlan(text=self.text, query=self.query,
+                             variables=self.variables,
+                             var_source=dict(self.var_source))
+
+        all_shards = {tuple(shards)
+                      for shards in shards_by_source.values()}
+        if len(all_shards) == 1 and len(next(iter(all_shards))) == 1:
+            # every source whole on one common shard: route untouched
+            plan.route_shard = next(iter(all_shards))[0]
+            return plan
+
+        if self.query.where is None:
+            disjunct_atoms = [[]]
+        else:
+            disjunct_atoms = to_dnf(self.query.where)
+        for atoms in disjunct_atoms:
+            plan.disjuncts.append(self._plan_disjunct(atoms))
+        plan.subplans = sorted(self._subplans.values(),
+                               key=lambda sp: sp.index)
+        return plan
+
+    # -- per-disjunct planning ------------------------------------------------
+
+    def _plan_disjunct(self, atoms) -> PlannedDisjunct:
+        # fragments: root var representative per variable (context
+        # chains collapse onto their root)
+        parent = {var: self._root_var(var) for var in self.variables}
+
+        def find(var: str) -> str:
+            while parent[var] != var:
+                parent[var] = parent[parent[var]]
+                var = parent[var]
+            return var
+
+        def union(left: str, right: str) -> None:
+            parent[find(left)] = find(right)
+
+        def colocated_shard(vars_: list[str]) -> str | None:
+            """The single shard every involved source lives whole on,
+            or None when there is no such shard."""
+            shards: set[tuple[str, ...]] = set()
+            for var in vars_:
+                members = [v for v in self.variables
+                           if find(v) == find(var)]
+                for member in members:
+                    shards.add(tuple(self.catalog.shards_for(
+                        self.var_source[member])))
+            if len(shards) == 1 and len(next(iter(shards))) == 1:
+                return next(iter(shards))[0]
+            return None
+
+        # merge pass: co-locate joinable units on their common shard so
+        # the join runs inside that shard's engine; ordered comparisons
+        # *must* co-locate (they compare document order, which only
+        # exists where both documents live)
+        for atom, _negated in atoms:
+            vars_ = _atom_vars(atom)
+            if len({find(var) for var in vars_}) <= 1:
+                continue
+            if colocated_shard(vars_) is not None:
+                for var in vars_[1:]:
+                    union(vars_[0], var)
+            elif isinstance(atom, OrderCompare):
+                raise FederationError(
+                    f"cannot federate {atom}: BEFORE/AFTER compares "
+                    f"document order, which requires "
+                    f"{' and '.join(sorted({self.var_source[v] for v in vars_}))} "
+                    f"to be co-located on one shard")
+
+        # unit membership (first-variable order)
+        unit_vars: dict[str, list[str]] = {}
+        for var in self.variables:
+            unit_vars.setdefault(find(var), []).append(var)
+        units = list(unit_vars.values())
+
+        # classify atoms now that units are final
+        pushdown: dict[int, list] = {index: [] for index in
+                                     range(len(units))}
+        unit_of = {var: index for index, members in enumerate(units)
+                   for var in members}
+        coordinator: list[CoordinatorAtom] = []
+        for atom, negated in atoms:
+            vars_ = _atom_vars(atom)
+            if not vars_:
+                raise TranslationError(
+                    "comparison between two literals is constant; "
+                    "remove it")
+            spanned = {unit_of[var] for var in vars_}
+            if len(spanned) == 1:
+                pushdown[spanned.pop()].append((atom, negated))
+                continue
+            if not isinstance(atom, Compare):
+                raise FederationError(
+                    f"cannot federate {atom} across shards")
+            coordinator.append(CoordinatorAtom(
+                op=atom.op, left=atom.left, right=atom.right,
+                negated=negated))
+
+        # per-unit shipped projections: original RETURN values first
+        # (stable output assembly), then the join keys
+        needed: dict[int, dict[str, VarPath]] = {
+            index: {} for index in range(len(units))}
+        for varpath in self._output_varpaths():
+            needed[unit_of[varpath.var]].setdefault(str(varpath), varpath)
+        for atom in coordinator:
+            for operand in (atom.left, atom.right):
+                needed[unit_of[operand.var]].setdefault(
+                    str(operand), operand)
+
+        subplan_ids = []
+        var_unit: dict[str, int] = {}
+        for index, members in enumerate(units):
+            subplan = self._unit_subplan(members, pushdown[index],
+                                         needed[index])
+            subplan_ids.append(subplan.index)
+            for var in members:
+                var_unit[var] = subplan.index
+        return PlannedDisjunct(subplan_ids=tuple(subplan_ids),
+                               var_unit=var_unit,
+                               atoms=tuple(coordinator))
+
+    def _unit_subplan(self, members: list[str], atoms,
+                      needed: dict[str, VarPath]) -> ShardSubPlan:
+        """Build (or reuse) the subplan of one unit."""
+        sources = []
+        for var in members:
+            source = self.var_source[var]
+            if source not in sources:
+                sources.append(source)
+        shard_lists = [tuple(self.catalog.shards_for(source))
+                       for source in sources]
+        if len(sources) == 1:
+            shards = shard_lists[0]
+        else:
+            # merged unit: the merge pass guaranteed one common shard
+            shards = shard_lists[0]
+
+        conjuncts = []
+        for atom, negated in atoms:
+            conjuncts.append(BoolNot(item=atom) if negated else atom)
+        if not conjuncts:
+            where = None
+        elif len(conjuncts) == 1:
+            where = conjuncts[0]
+        else:
+            where = BoolAnd(items=tuple(conjuncts))
+
+        if needed:
+            item_keys = tuple(needed)
+            returns = tuple(
+                ReturnItem(value=varpath, alias=f"f{i}")
+                for i, varpath in enumerate(needed.values()))
+        else:
+            # nothing shipped (pure existence filter): ship the first
+            # variable itself so the subquery stays well-formed
+            fallback = VarPath(var=members[0])
+            item_keys = (str(fallback),)
+            returns = (ReturnItem(value=fallback, alias="f0"),)
+
+        subquery = Query(
+            bindings=tuple(self.bindings[var] for var in members),
+            where=where, returns=returns)
+        text = str(subquery)
+        existing = self._subplans.get(text)
+        if existing is not None:
+            return existing
+        subplan = ShardSubPlan(index=len(self._subplans),
+                               vars=tuple(members),
+                               sources=tuple(sources),
+                               shards=shards, subquery=subquery,
+                               text=text, item_keys=item_keys)
+        self._subplans[text] = subplan
+        return subplan
+
+    # -- helpers -------------------------------------------------------------
+
+    def _root_var(self, var: str) -> str:
+        binding = self.bindings[var]
+        while binding.context_var is not None:
+            binding = self.bindings[binding.context_var]
+        return binding.var
+
+    def _root_source(self, var: str) -> str:
+        return self.bindings[self._root_var(var)].document.source
+
+    def _output_varpaths(self) -> list[VarPath]:
+        out: list[VarPath] = []
+        for item in self.query.returns:
+            if item.constructor is not None:
+                out.extend(item.constructor.varpaths())
+            else:
+                out.append(item.value)
+        return out

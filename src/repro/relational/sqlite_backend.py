@@ -18,6 +18,7 @@ sqlite3's prepared-statement cache so the translator's repetitive SQL
 from __future__ import annotations
 
 import sqlite3
+import threading
 from itertools import islice
 from pathlib import Path
 from typing import Iterable
@@ -27,7 +28,18 @@ from repro.relational.backend import Params, Row
 
 
 class SqliteBackend:
-    """A :class:`~repro.relational.backend.Backend` over sqlite3."""
+    """A :class:`~repro.relational.backend.Backend` over sqlite3.
+
+    The connection is shared across threads behind one re-entrant
+    lock: sqlite3's default ``check_same_thread=True`` would abort any
+    cross-thread execute with a ``ProgrammingError``, but the
+    federation scatter-gather pool (and concurrent readers generally)
+    call into one shard backend from worker threads. A guarded shared
+    connection keeps ``:memory:`` semantics intact — per-thread
+    connections would each see a *different* empty in-memory database —
+    and serializes statement execution, which is what sqlite does
+    internally anyway.
+    """
 
     name = "sqlite"
 
@@ -43,7 +55,9 @@ class SqliteBackend:
         # compiled form resident (the prepared-statement cache half of
         # the compiled-query cache story).
         self._connection = sqlite3.connect(
-            str(path), cached_statements=cached_statements)
+            str(path), cached_statements=cached_statements,
+            check_same_thread=False)
+        self._lock = threading.RLock()
         self._cursor = self._connection.cursor()
         # Bulk-load pragmas: the warehouse is rebuildable from the
         # sources, so relaxed durability is the right trade; the page
@@ -56,13 +70,15 @@ class SqliteBackend:
 
     def execute(self, sql: str, params: Params = ()) -> list[Row]:
         """Run one statement; result rows for queries, [] for DML."""
-        try:
-            cursor = self._cursor.execute(sql, tuple(params))
-        except sqlite3.Error as exc:
-            raise StorageError(f"sqlite error: {exc}\n  sql: {sql}") from exc
-        if cursor.description is None:
-            return []
-        return cursor.fetchall()
+        with self._lock:
+            try:
+                cursor = self._cursor.execute(sql, tuple(params))
+            except sqlite3.Error as exc:
+                raise StorageError(
+                    f"sqlite error: {exc}\n  sql: {sql}") from exc
+            if cursor.description is None:
+                return []
+            return cursor.fetchall()
 
     def executemany(self, sql: str, params_seq: Iterable[Params]) -> int:
         """Run one DML statement per parameter tuple, streaming the
@@ -74,27 +90,31 @@ class SqliteBackend:
             chunk = list(islice(iterator, self._EXECUTEMANY_CHUNK))
             if not chunk:
                 return total
-            try:
-                self._cursor.executemany(sql, chunk)
-            except sqlite3.Error as exc:
-                raise StorageError(
-                    f"sqlite error: {exc}\n  sql: {sql}") from exc
+            with self._lock:
+                try:
+                    self._cursor.executemany(sql, chunk)
+                except sqlite3.Error as exc:
+                    raise StorageError(
+                        f"sqlite error: {exc}\n  sql: {sql}") from exc
             total += len(chunk)
 
     def commit(self) -> None:
         """Flush pending writes to the database file."""
-        self._connection.commit()
+        with self._lock:
+            self._connection.commit()
 
     def analyze(self) -> None:
         """Refresh planner statistics. Without ANALYZE, sqlite's
         optimizer has no cardinality estimates over the generic schema
         and picks full-scan join orders (measured 100x slower on the
         Figure 11 join)."""
-        self._cursor.execute("ANALYZE")
+        with self._lock:
+            self._cursor.execute("ANALYZE")
 
     def close(self) -> None:
         """Close the underlying sqlite connection."""
-        self._connection.close()
+        with self._lock:
+            self._connection.close()
 
     def explain(self, sql: str, params: Params = ()) -> list[str]:
         """Query-plan lines (the paper's index tuning workflow relied on

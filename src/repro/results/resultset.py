@@ -79,6 +79,16 @@ class QueryResult:
     #: root :class:`repro.obs.trace.Span` of this execution when the
     #: warehouse ran with tracing enabled; None otherwise
     trace: "object | None" = None
+    #: degradation notices attached by the execution layer — a
+    #: federated query that lost a shard answers with the surviving
+    #: shards and says so here instead of raising (same philosophy as
+    #: harvest quarantine); empty for complete results
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when no execution-layer warning was attached."""
+        return not self.warnings
 
     def __len__(self) -> int:
         return len(self.rows)

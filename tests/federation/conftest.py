@@ -1,0 +1,73 @@
+"""Federation fixtures: a monolithic reference warehouse plus shard
+layouts over the same session corpus (byte-identity tests compare the
+two)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Warehouse
+from repro.federation import FederatedXomatiQ, ShardCatalog
+
+#: the paper's Figure 11 cross-database join (EMBL × ENZYME)
+FIG11_JOIN = '''
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number,
+       $Accession_Description = $a//description
+'''
+
+#: one shard per source — the pure scatter case
+ROUTING_PER_SOURCE = {
+    "hlx_enzyme": ("s0",),
+    "hlx_embl": ("s1",),
+    "hlx_sprot": ("s2",),
+    "hlx_omim": ("s3",),
+}
+
+#: EMBL horizontally partitioned across three shards
+ROUTING_PARTITIONED = {
+    "hlx_enzyme": ("s0",),
+    "hlx_embl": ("s1", "s2", "s3"),
+    "hlx_sprot": ("s0",),
+    "hlx_omim": ("s1",),
+}
+
+
+def build_federation(corpus, routing, metrics=False,
+                     **kwargs) -> FederatedXomatiQ:
+    """An in-memory federation with ``routing`` and the corpus loaded."""
+    catalog = ShardCatalog()
+    names = sorted({shard for route in routing.values()
+                    for shard in route})
+    for name in names:
+        catalog.add_shard(name)
+    for source, route in routing.items():
+        catalog.assign(source, *route)
+    federation = FederatedXomatiQ(catalog, metrics=metrics, **kwargs)
+    federation.load_corpus(corpus)
+    return federation
+
+
+@pytest.fixture(scope="module")
+def mono(corpus):
+    """Monolithic sqlite reference over the session corpus."""
+    warehouse = Warehouse(metrics=False)
+    warehouse.load_corpus(corpus)
+    yield warehouse
+    warehouse.close()
+
+
+@pytest.fixture(scope="module")
+def fed_per_source(corpus):
+    federation = build_federation(corpus, ROUTING_PER_SOURCE)
+    yield federation
+    federation.close()
+
+
+@pytest.fixture(scope="module")
+def fed_partitioned(corpus):
+    federation = build_federation(corpus, ROUTING_PARTITIONED)
+    yield federation
+    federation.close()

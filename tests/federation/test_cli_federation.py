@@ -1,0 +1,144 @@
+"""CLI federation workflow: shard verbs plus --shard-map plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+JOIN = ('FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry, '
+        '$b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry '
+        'WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id '
+        'RETURN $a//embl_accession_number, $b/enzyme_id')
+
+KEYWORD = ('FOR $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry '
+           'WHERE contains($e//catalytic_activity, "ketone") '
+           'RETURN $e/enzyme_id')
+
+
+@pytest.fixture
+def corpus_dir(tmp_path, corpus):
+    out = tmp_path / "corpus"
+    out.mkdir()
+    (out / "enzyme.dat").write_text(corpus.enzyme_text, encoding="utf-8")
+    (out / "embl.dat").write_text(corpus.embl_text, encoding="utf-8")
+    return out
+
+
+@pytest.fixture
+def shard_map(tmp_path):
+    """A two-shard map: enzyme on s0, embl partitioned over s0+s1."""
+    path = tmp_path / "shards.json"
+    assert main(["shard", "add", "--map", str(path), "s0",
+                 "--path", str(tmp_path / "s0.sqlite")]) == 0
+    assert main(["shard", "add", "--map", str(path), "s1",
+                 "--path", str(tmp_path / "s1.sqlite")]) == 0
+    assert main(["shard", "assign", "--map", str(path),
+                 "hlx_enzyme", "s0"]) == 0
+    assert main(["shard", "assign", "--map", str(path),
+                 "hlx_embl", "s0", "s1"]) == 0
+    assert main(["shard", "init", "--map", str(path)]) == 0
+    return str(path)
+
+
+@pytest.fixture
+def loaded_map(shard_map, corpus_dir):
+    assert main(["load", "--shard-map", shard_map, "--source",
+                 "hlx_enzyme", str(corpus_dir / "enzyme.dat")]) == 0
+    assert main(["load", "--shard-map", shard_map, "--source",
+                 "hlx_embl", str(corpus_dir / "embl.dat")]) == 0
+    return shard_map
+
+
+class TestShardVerbs:
+    def test_add_assign_list(self, shard_map, capsys):
+        capsys.readouterr()
+        assert main(["shard", "list", "--map", shard_map]) == 0
+        out = capsys.readouterr().out
+        assert "s0" in out and "s1" in out
+        assert "hlx_embl" in out and "s0, s1" in out
+
+    def test_list_json_round_trips(self, shard_map, capsys):
+        capsys.readouterr()
+        assert main(["shard", "list", "--map", shard_map, "--json"]) == 0
+        registry = json.loads(capsys.readouterr().out)
+        assert registry["version"] == 1
+        assert registry["sources"]["hlx_embl"] == ["s0", "s1"]
+
+    def test_init_creates_shard_databases(self, tmp_path, shard_map):
+        assert (tmp_path / "s0.sqlite").exists()
+        assert (tmp_path / "s1.sqlite").exists()
+
+    def test_duplicate_add_reported_cleanly(self, shard_map, capsys):
+        code = main(["shard", "add", "--map", shard_map, "s0"])
+        assert code == 1
+        assert "already registered" in capsys.readouterr().err
+
+
+class TestFederatedCommands:
+    def test_load_reports_per_shard_counts(self, shard_map, corpus_dir,
+                                           capsys):
+        assert main(["load", "--shard-map", shard_map, "--source",
+                     "hlx_embl", str(corpus_dir / "embl.dat")]) == 0
+        out = capsys.readouterr().out
+        assert "s0:" in out and "s1:" in out
+
+    def test_load_without_target_errors(self, corpus_dir, capsys):
+        assert main(["load", "--source", "hlx_enzyme",
+                     str(corpus_dir / "enzyme.dat")]) == 2
+        assert "provide --db or --shard-map" in capsys.readouterr().err
+
+    def test_query_scatter_gather(self, loaded_map, capsys):
+        capsys.readouterr()
+        assert main(["query", "--shard-map", loaded_map, JOIN]) == 0
+        out = capsys.readouterr().out
+        assert "embl_accession_number" in out
+        assert "row(s)" in out
+
+    def test_query_xml_output(self, loaded_map, capsys):
+        capsys.readouterr()
+        assert main(["query", "--shard-map", loaded_map, "--xml",
+                     KEYWORD]) == 0
+        assert "<xomatiq_results" in capsys.readouterr().out
+
+    def test_stats_aggregates_across_shards(self, loaded_map, corpus,
+                                            capsys):
+        capsys.readouterr()
+        assert main(["stats", "--shard-map", loaded_map, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["documents:hlx_embl"] == corpus.sizes()["hlx_embl"]
+        assert stats["shards"] == 2
+
+    def test_stats_per_shard_breakdown(self, loaded_map, capsys):
+        capsys.readouterr()
+        assert main(["stats", "--shard-map", loaded_map, "--per-shard",
+                     "--json"]) == 0
+        per_shard = json.loads(capsys.readouterr().out)
+        assert set(per_shard) == {"s0", "s1"}
+        assert per_shard["s0"]["documents:hlx_enzyme"] > 0
+
+    def test_health_rolls_up_shards(self, loaded_map, capsys):
+        capsys.readouterr()
+        assert main(["health", "--shard-map", loaded_map, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "ok"
+        assert set(report["shards"]) == {"s0", "s1"}
+
+    def test_metrics_exposes_federation_names(self, loaded_map, capsys):
+        capsys.readouterr()
+        assert main(["metrics", "--shard-map", loaded_map, JOIN]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        counters = {c["name"] for c in snapshot["counters"]}
+        assert "federation.queries" in counters
+        assert "federation.rows_shipped" in counters
+        histograms = {h["name"] for h in snapshot["histograms"]}
+        assert "federation.shard_seconds" in histograms
+
+    def test_query_lost_shard_warns_but_answers(self, tmp_path,
+                                                loaded_map, capsys):
+        (tmp_path / "s1.sqlite").unlink()
+        capsys.readouterr()
+        assert main(["query", "--shard-map", loaded_map, JOIN]) == 0
+        captured = capsys.readouterr()
+        assert "warning:" in captured.err and "s1" in captured.err
+        assert "row(s)" in captured.out

@@ -1,0 +1,267 @@
+"""End-to-end federated querying.
+
+The headline invariant: a federated query returns **byte-identical**
+tagged XML to the same query on a monolithic warehouse loaded from the
+same releases — across shard layouts, DNF disjunctions, constructors
+and negation. Plus the failure story: losing a shard degrades to
+partial results with a warning, never an exception.
+"""
+
+import pytest
+
+from repro.federation import FederatedXomatiQ, ShardCatalog
+from repro.obs import MetricsRegistry
+from repro.xmlkit import serialize
+
+from tests.federation.conftest import (
+    FIG11_JOIN,
+    ROUTING_PARTITIONED,
+    ROUTING_PER_SOURCE,
+    build_federation,
+)
+
+QUERIES = {
+    "fig11_join": FIG11_JOIN,
+    "keyword_single_source": '''
+        FOR $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+        WHERE contains($e//catalytic_activity, "ketone")
+        RETURN $e/enzyme_id, $e//enzyme_description
+    ''',
+    "or_across_shards": '''
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+        WHERE ($a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+               AND contains($b//catalytic_activity, "ketone", any))
+           OR seqcontains($a//sequence, "acgt")
+        RETURN $a//embl_accession_number, $b/enzyme_id
+    ''',
+    "negated_join": '''
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+        WHERE seqcontains($a//sequence, "acgtac")
+          AND NOT ($a//qualifier[@qualifier_type = "EC_number"]
+                   = $b/enzyme_id)
+          AND contains($b//catalytic_activity, "ketone")
+        RETURN $a//embl_accession_number, $b/enzyme_id
+    ''',
+    "constructor_join": '''
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+        WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+        RETURN <hit ec="{ $b/enzyme_id }">
+                 <acc>{ $a//embl_accession_number }</acc>
+               </hit>
+    ''',
+    "inequality_join": '''
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+        WHERE contains($a, "cdc6", any)
+          AND $a//qualifier[@qualifier_type = "EC_number"] < $b/enzyme_id
+        RETURN $a//embl_accession_number, $b/enzyme_id
+    ''',
+    "three_sources": '''
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry,
+            $p IN document("hlx_sprot.all")/hlx_n_sequence/db_entry
+        WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+          AND $b//reference = $p//sprot_accession_number
+        RETURN $b/enzyme_id, $p//sprot_accession_number,
+               $a//embl_accession_number
+    ''',
+}
+
+
+@pytest.fixture(scope="module", params=["per_source", "partitioned"])
+def federation(request, fed_per_source, fed_partitioned):
+    if request.param == "per_source":
+        return fed_per_source
+    return fed_partitioned
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_matches_monolithic_xml(self, name, mono, federation):
+        text = QUERIES[name]
+        expected = mono.query(text)
+        got = federation.query(text)
+        assert got.complete
+        assert got.columns == expected.columns
+        assert got.to_xml() == expected.to_xml()
+        assert got.to_table() == expected.to_table()
+
+    def test_cartesian_product_matches(self, mono, fed_per_source):
+        text = '''
+        FOR $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry,
+            $o IN document("hlx_omim.DEFAULT")/hlx_disease/db_entry
+        WHERE contains($e//catalytic_activity, "ketone")
+        RETURN $e/enzyme_id, $o/mim_id
+        '''
+        assert (fed_per_source.query(text).to_xml()
+                == mono.query(text).to_xml())
+
+
+class TestLoading:
+    def test_partitioned_load_is_contiguous_and_complete(self, corpus):
+        federation = build_federation(corpus, ROUTING_PARTITIONED)
+        counts = federation.catalog.warehouse("s1").stats()
+        assert counts["documents:hlx_embl"] > 0
+        total = sum(
+            federation.catalog.warehouse(shard).stats().get(
+                "documents:hlx_embl", 0)
+            for shard in ("s1", "s2", "s3"))
+        assert total == corpus.sizes()["hlx_embl"]
+        federation.close()
+
+    def test_unrouted_source_load_rejected(self, corpus):
+        catalog = ShardCatalog()
+        catalog.add_shard("s0")
+        federation = FederatedXomatiQ(catalog, metrics=False)
+        from repro.errors import ShardConfigError
+        with pytest.raises(ShardConfigError, match="not routed"):
+            federation.load_text("hlx_enzyme", corpus.enzyme_text)
+        federation.close()
+
+
+class TestDocumentFetch:
+    def test_fetch_document_goes_to_owning_shard(self, mono,
+                                                 fed_partitioned):
+        expected = mono.query(FIG11_JOIN)
+        got = fed_partitioned.query(FIG11_JOIN)
+        row_mono, row_fed = expected.rows[0], got.rows[0]
+        doc_mono = mono.fetch_document(row_mono.bindings["a"])
+        doc_fed = fed_partitioned.fetch_document(row_fed.bindings["a"])
+        assert serialize(doc_fed) == serialize(doc_mono)
+
+    def test_fetch_document_xml_by_variable(self, fed_per_source):
+        got = fed_per_source.query(FIG11_JOIN)
+        xml = fed_per_source.fetch_document_xml(got.rows[0], "b")
+        assert "<hlx_enzyme>" in xml
+
+
+class TestFailureSemantics:
+    @pytest.fixture()
+    def disk_federation(self, tmp_path, corpus):
+        catalog = ShardCatalog()
+        catalog.add_shard("s0", path=str(tmp_path / "s0.sqlite"))
+        catalog.add_shard("s1", path=str(tmp_path / "s1.sqlite"))
+        catalog.add_shard("s2", path=str(tmp_path / "s2.sqlite"))
+        catalog.assign("hlx_enzyme", "s0")
+        catalog.assign("hlx_embl", "s1", "s2")
+        catalog.assign("hlx_sprot", "s0")
+        catalog.assign("hlx_omim", "s0")
+        catalog.create_shards()
+        registry = MetricsRegistry()
+        federation = FederatedXomatiQ(catalog, metrics=registry)
+        federation.load_corpus(corpus)
+        federation.close()
+        reopened = FederatedXomatiQ(
+            ShardCatalog.from_dict(catalog.to_dict()), metrics=registry)
+        yield reopened, tmp_path, registry
+        reopened.close()
+
+    def test_lost_shard_degrades_to_partial_results(self,
+                                                    disk_federation):
+        federation, tmp_path, registry = disk_federation
+        baseline = federation.query(FIG11_JOIN)
+        assert baseline.complete and len(baseline) > 0
+
+        (tmp_path / "s2.sqlite").unlink()
+        federation.catalog._warehouses.pop("s2", None)  # drop pool entry
+        partial = federation.query(FIG11_JOIN)
+        assert not partial.complete
+        assert 0 < len(partial) < len(baseline) + 1
+        assert any("s2" in warning for warning in partial.warnings)
+        assert registry.get_counter("federation.shard_errors",
+                                    shard="s2") >= 1
+
+    def test_lost_shard_surfaces_in_health_and_stats(self,
+                                                     disk_federation):
+        federation, tmp_path, registry = disk_federation
+        (tmp_path / "s1.sqlite").unlink()
+        federation.catalog._warehouses.pop("s1", None)
+        report = federation.health()
+        assert report["status"] == "warn"
+        assert report["shards"]["s1"]["status"] == "unreachable"
+        stats = federation.stats()
+        assert stats["shards_unreachable"] == 1
+
+    def test_fully_lost_route_answers_empty_with_warning(self, tmp_path,
+                                                         corpus):
+        catalog = ShardCatalog()
+        catalog.add_shard("s0", path=str(tmp_path / "s0.sqlite"))
+        catalog.assign("hlx_enzyme", "s0")
+        catalog.create_shards()
+        federation = FederatedXomatiQ(catalog, metrics=False)
+        federation.load_text("hlx_enzyme", corpus.enzyme_text)
+        federation.close()
+
+        (tmp_path / "s0.sqlite").unlink()
+        reopened = FederatedXomatiQ(
+            ShardCatalog.from_dict(catalog.to_dict()), metrics=False)
+        result = reopened.query(QUERIES["keyword_single_source"])
+        assert len(result) == 0
+        assert not result.complete
+        reopened.close()
+
+
+class TestSimulatedLatency:
+    def test_one_round_trip_per_shard_task(self, corpus, mono):
+        catalog = ShardCatalog()
+        catalog.add_shard("s0", latency_s=0.001)
+        catalog.add_shard("s1", latency_s=0.005)
+        catalog.assign("hlx_enzyme", "s0")
+        catalog.assign("hlx_embl", "s1")
+        catalog.assign("hlx_sprot", "s0")
+        catalog.assign("hlx_omim", "s0")
+        federation = FederatedXomatiQ(catalog, metrics=False)
+        federation.load_corpus(corpus)
+
+        slept = []
+        federation.executor.sleep = slept.append
+        result = federation.query(FIG11_JOIN)
+        # one simulated round-trip per (subplan, shard) task
+        assert sorted(slept) == [0.001, 0.005]
+        # latency shapes timing only, never answers
+        assert result.to_xml() == mono.query(FIG11_JOIN).to_xml()
+        federation.close()
+
+
+class TestObservability:
+    def test_federation_metrics_recorded(self, corpus):
+        registry = MetricsRegistry()
+        federation = build_federation(corpus, ROUTING_PER_SOURCE,
+                                      metrics=registry)
+        federation.query(FIG11_JOIN)
+        assert registry.get_counter("federation.queries") == 1
+        assert registry.counter_total("federation.fanout") == 2
+        assert registry.counter_total("federation.rows_shipped") > 0
+        snapshot = registry.snapshot()
+        histograms = {h["name"] for h in snapshot["histograms"]}
+        assert "federation.shard_seconds" in histograms
+        assert "federation.query_seconds" in histograms
+        # shard-level query metrics land in the same registry
+        assert registry.counter_total("query.total") >= 2
+        federation.close()
+
+    def test_trace_carries_per_shard_spans(self, corpus):
+        federation = build_federation(corpus, ROUTING_PER_SOURCE,
+                                      metrics=False, trace=True)
+        result = federation.query(FIG11_JOIN)
+        assert result.trace is not None
+        assert result.trace.name == "federated_query"
+        shard_spans = [span for span in result.trace.children
+                       if span.name == "shard_subquery"]
+        assert {span.meta["shard"] for span in shard_spans} \
+            == {"s0", "s1"}
+        federation.close()
+
+    def test_route_fast_path_used_for_colocated_sources(self, corpus,
+                                                        mono):
+        routing = {source: ("only",) for source in
+                   ("hlx_enzyme", "hlx_embl", "hlx_sprot", "hlx_omim")}
+        federation = build_federation(corpus, routing)
+        plan = federation.plan(FIG11_JOIN)
+        assert plan.route_shard == "only"
+        assert (federation.query(FIG11_JOIN).to_xml()
+                == mono.query(FIG11_JOIN).to_xml())
+        federation.close()

@@ -1,0 +1,162 @@
+"""FederationPlanner: routing decisions, pushdown, coordinator atoms."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import FederationPlanner, ShardCatalog
+from repro.xquery.ast import Compare
+from repro.xquery.parser import parse_query
+
+JOIN = '''
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier = $b/enzyme_id
+  AND contains($b//catalytic_activity, "ketone")
+RETURN $a//embl_accession_number, $b/enzyme_id
+'''
+
+
+def plan_for(routing: dict, text: str):
+    catalog = ShardCatalog()
+    for shard in sorted({s for route in routing.values()
+                         for s in route}):
+        catalog.add_shard(shard)
+    for source, route in routing.items():
+        catalog.assign(source, *route)
+    query = parse_query(text)
+    return FederationPlanner(catalog).plan(text, query)
+
+
+class TestRouting:
+    def test_colocated_sources_route_whole_query(self):
+        plan = plan_for({"hlx_embl": ("s0",), "hlx_enzyme": ("s0",)},
+                        JOIN)
+        assert plan.route_shard == "s0"
+        assert plan.fanout == 1
+        assert plan.subplans == []
+
+    def test_split_sources_scatter(self):
+        plan = plan_for({"hlx_embl": ("s0",), "hlx_enzyme": ("s1",)},
+                        JOIN)
+        assert plan.route_shard is None
+        assert plan.fanout == 2
+        assert [sp.shards for sp in plan.subplans] == [("s0",), ("s1",)]
+
+    def test_partitioned_source_fans_out(self):
+        plan = plan_for(
+            {"hlx_embl": ("s0", "s1", "s2"), "hlx_enzyme": ("s3",)},
+            JOIN)
+        assert plan.fanout == 4
+
+    def test_unrouted_source_rejected(self):
+        with pytest.raises(FederationError, match="not routed"):
+            plan_for({"hlx_embl": ("s0",)}, JOIN)
+
+
+class TestPushdown:
+    def test_single_variable_atoms_pushed_to_shard(self):
+        plan = plan_for({"hlx_embl": ("s0",), "hlx_enzyme": ("s1",)},
+                        JOIN)
+        enzyme = next(sp for sp in plan.subplans
+                      if sp.sources == ("hlx_enzyme",))
+        # contains() travels with the enzyme unit...
+        assert "contains(" in enzyme.text
+        # ...while the cross-shard equality stays at the coordinator
+        assert "$a" not in enzyme.text
+        [disjunct] = plan.disjuncts
+        assert len(disjunct.atoms) == 1
+        assert disjunct.atoms[0].op == "="
+
+    def test_projections_cover_outputs_and_join_keys(self):
+        plan = plan_for({"hlx_embl": ("s0",), "hlx_enzyme": ("s1",)},
+                        JOIN)
+        embl = next(sp for sp in plan.subplans
+                    if sp.sources == ("hlx_embl",))
+        assert "$a//embl_accession_number" in embl.item_keys
+        assert "$a//qualifier" in embl.item_keys
+        enzyme = next(sp for sp in plan.subplans
+                      if sp.sources == ("hlx_enzyme",))
+        # enzyme_id is both output and join key — shipped once
+        assert enzyme.item_keys == ("$b/enzyme_id",)
+
+    def test_context_variable_stays_with_its_root(self):
+        text = '''
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $f IN $a //feature,
+            $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+        WHERE $f//qualifier = $b/enzyme_id
+        RETURN $f//qualifier, $b/enzyme_id
+        '''
+        plan = plan_for({"hlx_embl": ("s0",), "hlx_enzyme": ("s1",)},
+                        text)
+        embl = next(sp for sp in plan.subplans
+                    if sp.sources == ("hlx_embl",))
+        assert embl.vars == ("a", "f")
+
+    def test_identical_subplans_deduplicated_across_disjuncts(self):
+        text = '''
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+        WHERE $a//qualifier = $b/enzyme_id
+           OR $a//qualifier != $b/enzyme_id
+        RETURN $a//embl_accession_number
+        '''
+        plan = plan_for({"hlx_embl": ("s0",), "hlx_enzyme": ("s1",)},
+                        text)
+        # same bindings, same (empty) pushdown, same projections twice
+        assert len(plan.disjuncts) == 2
+        assert len(plan.subplans) == 2
+
+
+class TestCoordinatorAtoms:
+    def test_order_compare_across_shards_rejected(self):
+        text = '''
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+        WHERE $a//feature BEFORE $b/enzyme_id
+        RETURN $a//embl_accession_number
+        '''
+        with pytest.raises(FederationError, match="co-located"):
+            plan_for({"hlx_embl": ("s0",), "hlx_enzyme": ("s1",)}, text)
+
+    def test_order_compare_colocated_merges_onto_one_shard(self):
+        text = '''
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+        WHERE $a//feature BEFORE $b/enzyme_id
+          AND contains($a//description, "x")
+        RETURN $a//embl_accession_number
+        '''
+        plan = plan_for({"hlx_embl": ("s0",), "hlx_enzyme": ("s0",)},
+                        text)
+        assert plan.route_shard == "s0"
+
+    def test_negated_join_atom_kept_at_coordinator(self):
+        text = '''
+        FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+            $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+        WHERE NOT ($a//qualifier = $b/enzyme_id)
+        RETURN $a//embl_accession_number
+        '''
+        plan = plan_for({"hlx_embl": ("s0",), "hlx_enzyme": ("s1",)},
+                        text)
+        [disjunct] = plan.disjuncts
+        assert disjunct.atoms[0].negated is True
+
+    def test_subqueries_are_well_formed_queries(self):
+        plan = plan_for({"hlx_embl": ("s0",), "hlx_enzyme": ("s1",)},
+                        JOIN)
+        for subplan in plan.subplans:
+            reparsed = parse_query(subplan.text)
+            assert reparsed.variables() == list(subplan.vars)
+
+    def test_join_key_paths_resolve_atom_operands(self):
+        plan = plan_for({"hlx_embl": ("s0",), "hlx_enzyme": ("s1",)},
+                        JOIN)
+        [disjunct] = plan.disjuncts
+        atom = disjunct.atoms[0]
+        left_unit = disjunct.var_unit[atom.left.var]
+        right_unit = disjunct.var_unit[atom.right.var]
+        assert atom.left_key in plan.subplans[left_unit].item_keys
+        assert atom.right_key in plan.subplans[right_unit].item_keys
+        assert left_unit != right_unit

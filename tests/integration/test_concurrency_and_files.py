@@ -56,6 +56,55 @@ class TestConcurrentReaders:
         assert results == [expected] * 20
 
 
+class TestReadersDuringBulkLoad:
+    KEYWORD = ('FOR $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme'
+               '/db_entry '
+               'WHERE contains($e//catalytic_activity, "ketone") '
+               'RETURN $e/enzyme_id')
+
+    def test_keyword_queries_during_bulk_commits(self, corpus):
+        """Readers share the warehouse with an in-flight
+        BulkLoadSession: a tiny batch_size forces many interleaved
+        flush/commit cycles while N threads run keyword queries
+        against an already-loaded source. No torn reads, no sqlite
+        thread errors, every reader sees the same answer."""
+        from repro.flatfile import parse_entries
+
+        warehouse = Warehouse(metrics=False)
+        warehouse.load_text("hlx_enzyme", corpus.enzyme_text)
+        expected = warehouse.query(self.KEYWORD).to_xml()
+
+        stop = threading.Event()
+        answers: list[str] = []
+        errors: list[Exception] = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    answers.append(warehouse.query(self.KEYWORD).to_xml())
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            count = warehouse.load_entries(
+                "hlx_embl", parse_entries(corpus.embl_text),
+                batch_size=2)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+        assert not errors
+        assert count == corpus.sizes()["hlx_embl"]
+        assert answers and set(answers) == {expected}
+        # the load itself landed intact under reader pressure
+        assert warehouse.stats()["documents:hlx_embl"] == count
+        warehouse.close()
+
+
 class TestStreamedFileLoad:
     def test_load_file_matches_load_text(self, tmp_path, corpus):
         path = tmp_path / "enzyme.dat"

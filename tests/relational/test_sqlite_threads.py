@@ -1,0 +1,63 @@
+"""SqliteBackend thread-safety: the shared connection is lock-guarded,
+so worker threads (scatter-gather, bulk-load workers) may execute
+against one backend without tripping sqlite's same-thread check."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.engine import Warehouse
+from repro.relational.sqlite_backend import SqliteBackend
+
+KEYWORD = ('FOR $e IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry '
+           'WHERE contains($e//catalytic_activity, "ketone") '
+           'RETURN $e/enzyme_id')
+
+
+@pytest.fixture
+def backend():
+    be = SqliteBackend()
+    be.execute("CREATE TABLE t (a INTEGER)")
+    yield be
+    be.close()
+
+
+class TestBackendFromWorkerThreads:
+    def test_reads_from_worker_threads(self, backend):
+        backend.executemany("INSERT INTO t (a) VALUES (?)",
+                            [(i,) for i in range(100)])
+
+        def read(_):
+            return backend.execute("SELECT COUNT(*), SUM(a) FROM t")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(read, range(32)))
+        assert results == [[(100, 4950)]] * 32
+
+    def test_interleaved_writes_from_worker_threads(self, backend):
+        def write(i):
+            backend.executemany("INSERT INTO t (a) VALUES (?)",
+                                [(i * 50 + j,) for j in range(50)])
+            backend.commit()
+            return i
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(write, range(8)))
+        assert backend.execute("SELECT COUNT(*), MIN(a), MAX(a) FROM t") \
+            == [(400, 0, 399)]
+
+
+class TestWarehouseFromWorkerThreads:
+    def test_concurrent_keyword_queries_agree(self, corpus):
+        warehouse = Warehouse(metrics=False)
+        warehouse.load_text("hlx_enzyme", corpus.enzyme_text)
+        expected = warehouse.query(KEYWORD).to_xml()
+
+        def run(_):
+            return warehouse.query(KEYWORD).to_xml()
+
+        with ThreadPoolExecutor(max_workers=8,
+                                thread_name_prefix="reader") as pool:
+            results = list(pool.map(run, range(24)))
+        assert results == [expected] * 24
+        warehouse.close()
