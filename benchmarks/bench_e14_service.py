@@ -1,0 +1,312 @@
+"""E14: the always-on query service under concurrent client load.
+
+The paper's warehouse answered one analyst at a time; E14 measures the
+service layer that turns it into shared infrastructure. A
+:class:`~repro.service.ServiceServer` (one warehouse, a thread per
+connection, locked compiled-query cache) is driven by hundreds of
+concurrent clients running the mixed traffic an integrated site sees:
+
+* keyword lookups  — ``GET /keyword?q=ketone&source=hlx_enzyme``
+* sub-tree queries — ``POST /query`` (the Figure 9 ENZYME selection)
+* join queries     — ``POST /query`` (the Figure 11 EMBL×ENZYME join)
+
+Every response is checked against a sequential baseline captured
+before the storm — a dropped connection, a 5xx, or a drifted answer is
+a failure (``429`` rate-limit rejections are the contract working and
+are counted separately, though with the default unlimited rate none
+occur). Latency is reported from the service's own always-on
+``service.request_seconds`` histograms (the same numbers a scraper
+sees), alongside client-side wall-clock percentiles; the JSON artifact
+carries both. Exit status 1 on any failure or wrong answer — CI runs
+a smoke-sized invocation as a step.
+
+Usage::
+
+    python benchmarks/bench_e14_service.py [--clients 120] [--requests 8]
+        [--url http://host:port] [--json artifact.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from urllib.parse import urlsplit
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+ENZYME_QUERY = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+                'WHERE contains($a//catalytic_activity, "ketone") '
+                'RETURN $a//enzyme_id, $a//enzyme_description')
+
+JOIN_QUERY = '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number'''
+
+KEYWORD_TARGET = "/keyword?q=ketone&source=hlx_enzyme"
+
+#: the traffic mix, cycled per client so every thread runs all three
+LEGS = ("keyword", "subtree", "join")
+
+
+def start_server(args):
+    """An in-process server over a synthetic corpus; returns
+    (server, thread)."""
+    from repro.engine import Warehouse
+    from repro.obs import MetricsRegistry
+    from repro.service import ServiceConfig, serve
+    from repro.synth import build_corpus
+    corpus = build_corpus(seed=args.seed, enzyme_count=args.enzyme,
+                          embl_count=args.embl, sprot_count=args.sprot)
+    warehouse = Warehouse(metrics=MetricsRegistry())
+    warehouse.load_corpus(corpus)
+    config = ServiceConfig(host="127.0.0.1", port=0,
+                           max_in_flight=args.max_in_flight)
+    server = serve(warehouse, config)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="bench-e14-server", daemon=True)
+    thread.start()
+    return server, thread
+
+
+class Client:
+    """One keep-alive connection issuing the mixed legs in turn."""
+
+    def __init__(self, base: str, index: int, requests: int):
+        split = urlsplit(base)
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.index = index
+        self.requests = requests
+        self.statuses: dict[int, int] = {}
+        self.timings: dict[str, list[float]] = {leg: [] for leg in LEGS}
+        self.mismatches = 0
+        self.errors: list[str] = []
+
+    def _request(self, connection, leg: str):
+        if leg == "keyword":
+            connection.request("GET", KEYWORD_TARGET, headers={
+                "X-Client-Id": f"client-{self.index}"})
+        else:
+            text = ENZYME_QUERY if leg == "subtree" else JOIN_QUERY
+            body = json.dumps({"query": text}).encode()
+            connection.request("POST", "/query", body=body, headers={
+                "Content-Type": "application/json",
+                "X-Client-Id": f"client-{self.index}"})
+        response = connection.getresponse()
+        return response.status, response.read()
+
+    def run(self, expected: dict[str, dict]):
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=60)
+        try:
+            for turn in range(self.requests):
+                leg = LEGS[(self.index + turn) % len(LEGS)]
+                started = time.perf_counter()
+                status, body = self._request(connection, leg)
+                self.timings[leg].append(time.perf_counter() - started)
+                self.statuses[status] = self.statuses.get(status, 0) + 1
+                if status == 200 and \
+                        _digest(leg, body) != expected[leg]:
+                    self.mismatches += 1
+        except Exception as exc:   # noqa: BLE001 - a drop is a failure
+            self.errors.append(f"client {self.index}: {exc}")
+        finally:
+            connection.close()
+
+
+def _digest(leg: str, body: bytes) -> dict:
+    """The answer-defining fields of one 200 response."""
+    payload = json.loads(body)
+    if leg == "keyword":
+        return {"count": payload["count"],
+                "doc_ids": sorted(hit["doc_id"]
+                                  for hit in payload["results"])}
+    return {"columns": payload["columns"],
+            "row_count": payload["row_count"],
+            "values": sorted(json.dumps(row["values"], sort_keys=True)
+                             for row in payload["rows"])}
+
+
+def baseline(base: str, expect_rows: bool) -> dict[str, dict]:
+    """Sequential ground truth for each leg, plus sanity checks."""
+    probe = Client(base, index=0, requests=0)
+    connection = http.client.HTTPConnection(probe.host, probe.port,
+                                            timeout=60)
+    expected = {}
+    try:
+        for offset, leg in enumerate(LEGS):
+            probe.index = -offset   # cycle legs via _request directly
+            status, body = probe._request(connection, leg)
+            if status != 200:
+                raise SystemExit(f"baseline {leg} answered {status}: "
+                                 f"{body[:200]!r}")
+            expected[leg] = _digest(leg, body)
+    finally:
+        connection.close()
+    if expect_rows:
+        if not expected["keyword"]["count"]:
+            raise SystemExit("baseline keyword search found nothing — "
+                             "is the corpus seeded?")
+        if not expected["join"]["row_count"]:
+            raise SystemExit("baseline join returned no rows")
+    return expected
+
+
+def service_histograms(base: str) -> dict[str, dict]:
+    """Per-endpoint latency from the service's own histograms."""
+    split = urlsplit(base)
+    connection = http.client.HTTPConnection(split.hostname,
+                                            split.port or 80,
+                                            timeout=60)
+    try:
+        connection.request("GET", "/metrics")
+        snapshot = json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+    out = {}
+    for histogram in snapshot.get("histograms", []):
+        if histogram["name"] != "service.request_seconds":
+            continue
+        endpoint = dict(histogram["labels"]).get("endpoint", "?")
+        out[endpoint] = {"count": histogram["count"],
+                         "p50": histogram.get("p50"),
+                         "p95": histogram.get("p95"),
+                         "p99": histogram.get("p99")}
+    return out
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=120,
+                        help="concurrent client threads")
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per client")
+    parser.add_argument("--url", default=None,
+                        help="benchmark an external server instead of "
+                             "starting one in-process")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--enzyme", type=int, default=30)
+    parser.add_argument("--embl", type=int, default=40)
+    parser.add_argument("--sprot", type=int, default=30)
+    parser.add_argument("--max-in-flight", type=int, default=256,
+                        help="admission cap for the in-process server "
+                             "(≥ clients so nothing sheds)")
+    parser.add_argument("--json", default=None,
+                        help="write the latency/throughput artifact "
+                             "to this path")
+    args = parser.parse_args()
+
+    server = thread = None
+    if args.url:
+        base = args.url.rstrip("/")
+    else:
+        server, thread = start_server(args)
+        base = server.url
+    print(f"target: {base}  "
+          f"({'external' if args.url else 'in-process'})")
+
+    try:
+        expected = baseline(base, expect_rows=not args.url)
+        clients = [Client(base, index, args.requests)
+                   for index in range(args.clients)]
+        threads = [threading.Thread(target=client.run,
+                                    args=(expected,))
+                   for client in clients]
+        started = time.perf_counter()
+        for worker in threads:
+            worker.start()
+        for worker in threads:
+            worker.join()
+        elapsed = time.perf_counter() - started
+        histograms = service_histograms(base)
+    finally:
+        if server is not None:
+            server.close()
+            thread.join(timeout=10)
+
+    statuses: dict[int, int] = {}
+    client_times: dict[str, list[float]] = {leg: [] for leg in LEGS}
+    mismatches = sum(client.mismatches for client in clients)
+    errors = [error for client in clients for error in client.errors]
+    for client in clients:
+        for status, count in client.statuses.items():
+            statuses[status] = statuses.get(status, 0) + count
+        for leg in LEGS:
+            client_times[leg].extend(client.timings[leg])
+    total = sum(statuses.values())
+    rate_limited = statuses.get(429, 0)
+    failures = sum(count for status, count in statuses.items()
+                   if status != 200 and status != 429)
+
+    print(f"clients: {args.clients}  requests/client: {args.requests}  "
+          f"total: {total}  elapsed: {elapsed:.2f}s  "
+          f"throughput: {total / elapsed:.1f} req/s")
+    print(f"statuses: { {str(k): v for k, v in sorted(statuses.items())} }"
+          f"  (429s excluded from failures: {rate_limited})")
+    for leg in LEGS:
+        times = client_times[leg]
+        print(f"  {leg:<8} n={len(times):<5} "
+              f"p50={percentile(times, 0.50) * 1000:7.2f}ms  "
+              f"p95={percentile(times, 0.95) * 1000:7.2f}ms  "
+              f"p99={percentile(times, 0.99) * 1000:7.2f}ms  "
+              "(client-side)")
+    for endpoint, stats in sorted(histograms.items()):
+        print(f"  service.request_seconds{{endpoint={endpoint}}} "
+              f"count={stats['count']} p50={stats['p50'] * 1000:.2f}ms "
+              f"p95={stats['p95'] * 1000:.2f}ms "
+              f"p99={stats['p99'] * 1000:.2f}ms")
+
+    ok = not errors and not mismatches and failures == 0
+    if errors:
+        print(f"FAIL: {len(errors)} dropped/errored client(s); "
+              f"first: {errors[0]}")
+    if mismatches:
+        print(f"FAIL: {mismatches} response(s) drifted from the "
+              "sequential baseline")
+    if failures:
+        print(f"FAIL: {failures} non-200/non-429 response(s)")
+    if ok:
+        print("OK: zero dropped, zero incorrect, zero 5xx")
+
+    if args.json:
+        artifact = {
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "total_requests": total,
+            "elapsed_seconds": round(elapsed, 3),
+            "throughput_rps": round(total / elapsed, 1),
+            "statuses": {str(k): v for k, v in sorted(statuses.items())},
+            "rate_limited": rate_limited,
+            "failures": failures,
+            "mismatches": mismatches,
+            "client_errors": errors,
+            "client_latency_ms": {
+                leg: {"n": len(times),
+                      "p50": round(percentile(times, 0.50) * 1000, 3),
+                      "p95": round(percentile(times, 0.95) * 1000, 3),
+                      "p99": round(percentile(times, 0.99) * 1000, 3)}
+                for leg, times in client_times.items()},
+            "service_histograms": histograms,
+            "ok": ok,
+        }
+        Path(args.json).write_text(json.dumps(artifact, indent=2))
+        print(f"artifact: {args.json}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

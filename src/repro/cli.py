@@ -17,6 +17,11 @@ Subcommands mirror the system's workflow::
     xomatiq metrics --db wh.sqlite 'FOR ...'          # always-on metrics
     xomatiq metrics --synth --format prometheus       # exposition text
     xomatiq health --db wh.sqlite [--json]            # warehouse health
+    xomatiq serve --db wh.sqlite --port 8014          # HTTP query service
+    xomatiq serve --synth --rate-limit 50             # demo service
+
+``health`` exits 0/2/1 for ok/warn/fail so monitoring can tell a
+degraded-but-serving warehouse from a broken one.
 
 Federation (sharded warehouses behind one query surface)::
 
@@ -186,6 +191,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="corpus seed for --synth runs")
     health.add_argument("--json", action="store_true",
                         help="machine-readable JSON instead of a report")
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on HTTP query service over a "
+                      "warehouse (--db), a federation (--shard-map) or "
+                      "an in-memory synthetic corpus (--synth)")
+    serve.add_argument("--db", help="sqlite database path")
+    serve.add_argument("--shard-map",
+                       help="serve a sharded federation instead of --db")
+    serve.add_argument("--synth", action="store_true",
+                       help="serve an in-memory synthetic corpus "
+                            "(demos, benchmarks)")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="corpus seed for --synth")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8014,
+                       help="bind port (default 8014; 0 = ephemeral)")
+    serve.add_argument("--max-in-flight", type=int, default=64,
+                       help="concurrent work requests before 503 "
+                            "load-shedding (default 64)")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       help="sustained requests/second allowed per "
+                            "client before 429 (default 0: unlimited)")
+    serve.add_argument("--rate-burst", type=float, default=None,
+                       help="per-client burst allowance "
+                            "(default: 2 x rate limit)")
 
     shard = sub.add_parser(
         "shard", help="manage a federation's shard-map registry file")
@@ -410,7 +441,12 @@ def _dispatch(args) -> int:
         else:
             print(format_health(report))
         warehouse.close()
-        return 0 if report["status"] == "ok" else 1
+        # Nagios-style tri-state so monitoring can tell degraded from
+        # broken: 0 = ok, 2 = warn (degraded but serving), 1 = fail
+        return {"ok": 0, "warn": 2}.get(report["status"], 1)
+
+    if args.command == "serve":
+        return _dispatch_serve(args)
 
     if args.command == "sources":
         registry = SourceRegistry()
@@ -424,6 +460,43 @@ def _dispatch(args) -> int:
         return _dispatch_shard(args)
 
     raise AssertionError(f"unhandled command {args.command}")
+
+
+def _dispatch_serve(args) -> int:
+    """Run the HTTP service until SIGINT/SIGTERM, then drain."""
+    import signal
+    import threading
+    from repro.service import ServiceConfig, serve
+    engine = _open_for_check(args)
+    if engine is None:
+        return 2
+    config = ServiceConfig(host=args.host, port=args.port,
+                           max_in_flight=args.max_in_flight,
+                           rate_limit=args.rate_limit,
+                           rate_burst=args.rate_burst)
+    server = serve(engine, config)
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *__: stop.set())
+    # serve_forever must run off the main thread so the main thread
+    # can wait on the signal event and call shutdown() (calling it
+    # from the serving thread deadlocks by contract)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="xomatiq-serve", daemon=True)
+    thread.start()
+    print(f"serving on {server.url} "
+          f"(max in-flight {config.max_in_flight}"
+          + (f", {config.rate_limit:g} req/s per client"
+             if config.rate_limit > 0 else "")
+          + "; SIGINT/SIGTERM to stop)", flush=True)
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    print("shutting down", flush=True)
+    server.close()
+    thread.join(timeout=10)
+    return 0
 
 
 def _dispatch_shard(args) -> int:

@@ -305,6 +305,59 @@ class Warehouse:
         left panel)."""
         return self.registry.create(source, validate=False).dtd_tree()
 
+    def keyword_search(self, phrase: str, source: str | None = None,
+                       limit: int = 50) -> list[dict]:
+        """Web-search-style lookup over the keyword inverted index
+        (the service's ``GET /keyword`` resource).
+
+        ``phrase`` is tokenized exactly like a ``contains()`` argument;
+        a document qualifies when it contains **every** token.  Returns
+        JSON-ready dicts ``{doc_id, source, collection, entry_key,
+        matches}`` ordered by total match count (then ``doc_id`` for a
+        stable order), capped at ``limit``.
+
+        The per-token lookups and the ranking GROUP BY are portable
+        SQL (no HAVING / COUNT(DISTINCT)), so the search runs
+        identically on SQLite and minidb; the all-tokens intersection
+        happens coordinator-side on the (small) per-token doc-id sets.
+        """
+        from repro.shredding.keywords import query_tokens
+        tokens = sorted(set(query_tokens(phrase)))
+        if not tokens or limit < 1:
+            return []
+        matching: set | None = None
+        for token in tokens:
+            rows = self.backend.execute(
+                "SELECT DISTINCT doc_id FROM keywords WHERE token = ?",
+                (token,))
+            matching = ({row[0] for row in rows} if matching is None
+                        else matching & {row[0] for row in rows})
+            if not matching:
+                return []
+        placeholders = ", ".join("?" for __ in tokens)
+        counts = dict(self.backend.execute(
+            f"SELECT doc_id, COUNT(*) FROM keywords "
+            f"WHERE token IN ({placeholders}) GROUP BY doc_id",
+            tuple(tokens)))
+        results: list[dict] = []
+        doc_ids = sorted(matching)
+        for start in range(0, len(doc_ids), self._REMOVE_CHUNK):
+            chunk = doc_ids[start:start + self._REMOVE_CHUNK]
+            placeholders = ", ".join("?" for __ in chunk)
+            for doc_id, doc_source, collection, entry_key in \
+                    self.backend.execute(
+                        f"SELECT doc_id, source, collection, entry_key "
+                        f"FROM documents WHERE doc_id IN ({placeholders})",
+                        tuple(chunk)):
+                if source is not None and doc_source != source:
+                    continue
+                results.append({"doc_id": doc_id, "source": doc_source,
+                                "collection": collection,
+                                "entry_key": entry_key,
+                                "matches": int(counts.get(doc_id, 0))})
+        results.sort(key=lambda hit: (-hit["matches"], hit["doc_id"]))
+        return results[:limit]
+
     # -- querying -----------------------------------------------------------------------
 
     def query(self, text: str) -> QueryResult:

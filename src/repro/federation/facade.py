@@ -156,6 +156,28 @@ class FederatedXomatiQ:
                 return True
         return maybe
 
+    def keyword_search(self, phrase: str, source: str | None = None,
+                       limit: int = 50) -> list[dict]:
+        """Federated keyword search: every reachable shard answers
+        locally (:meth:`repro.engine.Warehouse.keyword_search`), the
+        coordinator merges and re-ranks. Each hit carries its
+        ``shard`` so ``GET /documents/{doc_id}?shard=...`` can fetch
+        the document from the right warehouse. Unreachable shards are
+        skipped — partial results, same degradation contract as
+        :meth:`query`."""
+        hits: list[dict] = []
+        for name in self.catalog.shard_names():
+            try:
+                warehouse = self.catalog.warehouse(name)
+            except ShardUnreachableError:
+                continue
+            for hit in warehouse.keyword_search(phrase, source=source,
+                                                limit=limit):
+                hits.append({**hit, "shard": name})
+        hits.sort(key=lambda hit: (-hit["matches"], hit["shard"],
+                                   hit["doc_id"]))
+        return hits[:limit]
+
     def stats(self) -> dict[str, int]:
         """Aggregated warehouse stats summed across reachable shards,
         plus shard accounting (``shards``/``shards_unreachable``)."""
@@ -188,7 +210,8 @@ class FederatedXomatiQ:
         """Federation health: every shard's own health report rolled
         up under one status, plus the routing table and cumulative
         shard-error counters. ``format_health`` renders the roll-up."""
-        from repro.obs.health import OK, WARN, format_health  # noqa: F401
+        from repro.obs.health import (  # noqa: F401
+            OK, WARN, combine_statuses, format_health)
         checks: list[dict] = []
         shards: dict[str, dict] = {}
         stats: dict[str, int] = {}
@@ -231,7 +254,8 @@ class FederatedXomatiQ:
             "detail": "no shard failures recorded" if not errors else
                       ", ".join(f"{shard}: {count}" for shard, count
                                 in sorted(errors.items()))})
-        status = OK if all(c["status"] == OK for c in checks) else WARN
+        # a failing shard fails the federation; unreachable/idle warns
+        status = combine_statuses(c["status"] for c in checks)
         return {"status": status, "checks": checks, "stats": stats,
                 "shards": shards,
                 "federation": {"sources": self.catalog.sources(),

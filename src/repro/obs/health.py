@@ -24,6 +24,22 @@ DEFAULT_STALE_AFTER_S = 45 * 24 * 3600.0
 
 OK = "ok"
 WARN = "warn"
+FAIL = "fail"
+
+#: severity order for rolling individual checks up into one status
+_STATUS_RANK = {OK: 0, WARN: 1, FAIL: 2}
+
+
+def combine_statuses(statuses) -> str:
+    """The worst status of an iterable (ok < warn < fail) — shared by
+    the single-warehouse report and the federation roll-up, and what
+    monitoring maps to exit codes (``xomatiq health``: 0/2/1)."""
+    worst = OK
+    for status in statuses:
+        if _STATUS_RANK.get(status, _STATUS_RANK[WARN]) \
+                > _STATUS_RANK[worst]:
+            worst = status
+    return worst
 
 
 def health_report(warehouse, metrics=None,
@@ -31,20 +47,29 @@ def health_report(warehouse, metrics=None,
                   clock: Callable[[], float] = time.time) -> dict:
     """Structural + freshness health of one warehouse.
 
-    Returns a JSON-ready dict: an overall ``status`` (``"ok"`` unless
-    any check warns), the individual ``checks``, the per-table
-    ``stats`` the checks were computed from, and per-source
-    ``freshness`` (``age_s`` since the last harvest recorded in
-    ``metrics``, which defaults to the warehouse's own registry).
+    Returns a JSON-ready dict: an overall ``status``, the individual
+    ``checks``, the per-table ``stats`` the checks were computed from,
+    and per-source ``freshness`` (``age_s`` since the last harvest
+    recorded in ``metrics``, which defaults to the warehouse's own
+    registry).
+
+    Statuses are three-valued so monitoring can tell a degraded
+    warehouse from a broken one: structural checks that mean queries
+    return *wrong or empty* answers (shredded rows missing for loaded
+    documents, an empty keyword index over indexed text) report
+    ``fail``; operational conditions the warehouse serves through
+    (open breakers, quarantined entries, stale sources, nothing loaded
+    yet) report ``warn``. The overall status is the worst check.
     """
     if metrics is None:
         metrics = getattr(warehouse, "metrics", None)
     stats = warehouse.stats()
     checks: list[dict] = []
 
-    def check(name: str, healthy: bool, detail: str) -> None:
+    def check(name: str, healthy: bool, detail: str,
+              severity: str = WARN) -> None:
         checks.append({"name": name,
-                       "status": OK if healthy else WARN,
+                       "status": OK if healthy else severity,
                        "detail": detail})
 
     documents = stats.get("documents", 0)
@@ -58,12 +83,14 @@ def health_report(warehouse, metrics=None,
           documents == 0 or elements >= documents,
           f"{elements} elements for {documents} documents"
           + ("" if documents == 0 or elements >= documents
-             else " — shredded rows are missing"))
+             else " — shredded rows are missing"),
+          severity=FAIL)
     check("keyword_index_populated",
           text_values == 0 or keywords > 0,
           f"{keywords} keyword rows for {text_values} text values"
           + ("" if text_values == 0 or keywords > 0
-             else " — keyword index empty, contains() will find nothing"))
+             else " — keyword index empty, contains() will find nothing"),
+          severity=FAIL)
     check("text_anchored_to_elements",
           text_values <= max(elements, 1) * 64,
           f"{text_values} text values over {elements} elements")
@@ -99,7 +126,7 @@ def health_report(warehouse, metrics=None,
               f"{source}: {count}"
               for source, count in sorted(quarantined.items())) + ")"))
 
-    status = OK if all(c["status"] == OK for c in checks) else WARN
+    status = combine_statuses(c["status"] for c in checks)
     return {"status": status, "checks": checks, "stats": stats,
             "freshness": freshness, "resilience": resilience}
 
@@ -151,7 +178,7 @@ def format_health(report: dict) -> str:
     """Human-readable rendering of one health report."""
     lines = [f"health: {report['status'].upper()}"]
     for check in report["checks"]:
-        marker = "+" if check["status"] == OK else "!"
+        marker = {OK: "+", FAIL: "x"}.get(check["status"], "!")
         lines.append(f"  [{marker}] {check['name']:<28} {check['detail']}")
     lines.append("tables:")
     for key, value in report["stats"].items():

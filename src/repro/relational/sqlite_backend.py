@@ -9,10 +9,32 @@ XQ2SQL-transformer emits, so it is interchangeable with minidb.
 
 Tuning (see docs/performance.md): the warehouse is rebuildable from
 the flat-file sources, so durability pragmas are relaxed
-(``synchronous = OFF``, in-memory journal), the page cache and temp
-store are sized for bulk loads, and a single long-lived cursor rides
-sqlite3's prepared-statement cache so the translator's repetitive SQL
-(chunked IN-lists, per-table inserts) is compiled once, not per call.
+(``synchronous = OFF``), the page cache and temp store are sized for
+bulk loads, and a single long-lived cursor rides sqlite3's
+prepared-statement cache so the translator's repetitive SQL (chunked
+IN-lists, per-table inserts) is compiled once, not per call.
+
+Journaling depends on where the database lives (docs/service.md):
+
+* ``:memory:`` — ``journal_mode = MEMORY``. There is exactly one
+  connection (per-thread connections would each see a different empty
+  database), so cross-connection concurrency cannot arise and the
+  in-memory rollback journal is the cheapest correct choice.
+* file-backed — ``journal_mode = WAL`` plus a ``busy_timeout``. The
+  query service (and any second process: a CLI ``health`` probe, a
+  scraper) opens *additional* connections to the same file; under the
+  old rollback journal a committing writer took an exclusive lock that
+  turned concurrent readers away with an immediate ``database is
+  locked``, and a second writer failed instantly. WAL lets readers
+  proceed against their snapshot while one writer appends, and the
+  busy timeout makes a second writer wait its turn instead of erroring.
+
+Durability trade-off: WAL with ``synchronous = OFF`` means a power
+loss can drop recently committed transactions (the WAL is not fsynced
+per commit), which is acceptable here because every release is
+re-harvestable from the flat-file sources; the database file itself
+stays structurally consistent thanks to WAL's append-then-checkpoint
+design.
 """
 
 from __future__ import annotations
@@ -49,7 +71,8 @@ class SqliteBackend:
 
     def __init__(self, path: str | Path = ":memory:",
                  cache_kib: int = 65_536,
-                 cached_statements: int = 512):
+                 cached_statements: int = 512,
+                 busy_timeout_ms: int = 5_000):
         # cached_statements: the stdlib default (128) evicts under the
         # translator's statement mix; 512 keeps every hot statement's
         # compiled form resident (the prepared-statement cache half of
@@ -62,10 +85,22 @@ class SqliteBackend:
         # Bulk-load pragmas: the warehouse is rebuildable from the
         # sources, so relaxed durability is the right trade; the page
         # cache and temp store keep index maintenance off the disk.
-        for pragma in ("PRAGMA synchronous = OFF",
-                       "PRAGMA journal_mode = MEMORY",
-                       f"PRAGMA cache_size = -{int(cache_kib)}",
-                       "PRAGMA temp_store = MEMORY"):
+        # Journaling splits on locus (module docstring): one-connection
+        # in-memory databases take the MEMORY rollback journal,
+        # file-backed databases take WAL + busy_timeout so concurrent
+        # connections (service threads, CLI probes, a second process)
+        # read during writes and queue behind a writer instead of
+        # failing with an immediate "database is locked".
+        in_memory = str(path) == ":memory:" or "mode=memory" in str(path)
+        pragmas = ["PRAGMA synchronous = OFF"]
+        if in_memory:
+            pragmas.append("PRAGMA journal_mode = MEMORY")
+        else:
+            pragmas.append("PRAGMA journal_mode = WAL")
+            pragmas.append(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+        pragmas += [f"PRAGMA cache_size = -{int(cache_kib)}",
+                    "PRAGMA temp_store = MEMORY"]
+        for pragma in pragmas:
             self._cursor.execute(pragma)
 
     def execute(self, sql: str, params: Params = ()) -> list[Row]:

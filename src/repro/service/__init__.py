@@ -1,0 +1,25 @@
+"""The always-on query service (``xomatiq serve``).
+
+One long-running process serves a shared warehouse — or a whole
+federation — over HTTP/JSON: queries, keyword search, document
+reconstruction, health, metrics, stats and harvests, behind admission
+control and per-client rate limits. See docs/service.md.
+"""
+
+from repro.service.admission import (AdmissionController, RateLimiter,
+                                     TokenBucket)
+from repro.service.app import (PROMETHEUS_CONTENT_TYPE, QueryService,
+                               Response, ServiceConfig, ServiceServer,
+                               serve)
+
+__all__ = [
+    "AdmissionController",
+    "PROMETHEUS_CONTENT_TYPE",
+    "QueryService",
+    "RateLimiter",
+    "Response",
+    "ServiceConfig",
+    "ServiceServer",
+    "TokenBucket",
+    "serve",
+]

@@ -1,0 +1,124 @@
+"""Admission control for the query service.
+
+A warehouse node that accepts every connection melts the moment
+traffic exceeds its backend's capacity — the waiting requests pile up
+behind the SQLite lock and *everyone* times out. Two guards keep the
+node answering:
+
+* :class:`AdmissionController` — a hard cap on concurrently executing
+  requests. Over the cap the service answers ``503`` immediately
+  (with ``Retry-After``) instead of queueing; a fast rejection is the
+  load-shedding contract that keeps tail latency bounded for the
+  requests that *are* admitted.
+* :class:`RateLimiter` — a token bucket per client identity
+  (``X-Client-Id`` header, else the peer address). Sustained rate
+  above ``rate`` drains the bucket and the client sees ``429`` until
+  it backs off; short bursts up to ``burst`` pass. Per-client (not
+  global) so one greedy script cannot starve the other biologists.
+
+Both are plain ``threading`` primitives — one lock + float per bucket,
+one semaphore for the in-flight cap — cheap enough to sit in front of
+every request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """One client's budget: ``rate`` tokens/s refill, ``burst`` cap."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_refilled_at", "_lock")
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def allow(self, now: float, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; refill lazily."""
+        with self._lock:
+            elapsed = now - self._refilled_at
+            if elapsed > 0:
+                self._tokens = min(self.burst,
+                                   self._tokens + elapsed * self.rate)
+                self._refilled_at = now
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True
+            return False
+
+
+class RateLimiter:
+    """Per-client token buckets; ``rate <= 0`` disables limiting.
+
+    The bucket table is bounded (``max_clients``): when a flood of
+    distinct client ids would grow it past the cap, the oldest-created
+    half is dropped — a dropped client merely restarts with a full
+    bucket, so the failure mode of the bound is *generosity*, never a
+    false 429.
+    """
+
+    def __init__(self, rate: float, burst: float | None = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 max_clients: int = 10_000):
+        self.rate = rate
+        self.burst = burst if burst is not None else max(1.0, 2.0 * rate)
+        self._clock = clock
+        self.max_clients = max_clients
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def allow(self, client: str) -> bool:
+        """True when ``client`` may proceed now."""
+        if self.rate <= 0:
+            return True
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self.max_clients:
+                    for stale in list(self._buckets)[
+                            :self.max_clients // 2]:
+                        del self._buckets[stale]
+                bucket = self._buckets[client] = TokenBucket(
+                    self.rate, self.burst, clock=self._clock)
+        return bucket.allow(now)
+
+
+class AdmissionController:
+    """Bounded in-flight requests: admit or reject, never queue."""
+
+    def __init__(self, max_in_flight: int):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.max_in_flight = max_in_flight
+        self._semaphore = threading.BoundedSemaphore(max_in_flight)
+        self._in_flight = 0
+        self._lock = threading.Lock()
+
+    @property
+    def in_flight(self) -> int:
+        """Currently admitted requests (the service gauge)."""
+        with self._lock:
+            return self._in_flight
+
+    def try_admit(self) -> bool:
+        """Admit without blocking; False means shed this request."""
+        if not self._semaphore.acquire(blocking=False):
+            return False
+        with self._lock:
+            self._in_flight += 1
+        return True
+
+    def release(self) -> None:
+        """Return one admitted request's slot."""
+        with self._lock:
+            self._in_flight -= 1
+        self._semaphore.release()

@@ -1,0 +1,455 @@
+"""The always-on query service: warehouse resources over HTTP/JSON.
+
+Every caller so far constructed a :class:`~repro.engine.Warehouse`
+in-process; this module is the long-running counterpart — one shared
+warehouse (or a :class:`~repro.federation.FederatedXomatiQ`) behind a
+stdlib :class:`~http.server.ThreadingHTTPServer`, speaking the JSON
+resource style of the MiST genomics API (SNIPPETS.md): flat records,
+explicit counts, machine-readable errors.
+
+Resources (full schemas in docs/service.md)::
+
+    POST /query                 FLWR text -> rows (JSON) or XML
+    GET  /keyword?q=...         inverted-index search -> document hits
+    GET  /documents/{doc_id}    reconstructed XML document
+    GET  /health                tri-state health report (503 on fail)
+    GET  /metrics               metrics snapshot (JSON or Prometheus)
+    GET  /stats                 table/row counts
+    POST /harvest               hound-harvest a mirror directory
+
+Work endpoints (query/keyword/documents/harvest) pass admission
+control — a hard in-flight cap answering ``503`` and per-client token
+buckets answering ``429`` (:mod:`repro.service.admission`) — while the
+probe endpoints (health/metrics/stats) bypass it so monitoring still
+sees an overloaded node. Every request lands in the engine's
+structured event log and the ``service.*`` metrics (per-endpoint
+request counters and latency histograms), so the same ``GET /metrics``
+the scraper polls also describes the service itself.
+
+The handler pool shares one warehouse: translation hits the (locked)
+compiled-query cache, statements serialize on the backend's connection
+lock, and on-disk databases run WAL so out-of-process readers coexist
+with the service's writes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.engine import Warehouse
+from repro.errors import ReproError, UnknownDocumentError
+from repro.service.admission import AdmissionController, RateLimiter
+from repro.xmlkit import serialize
+
+#: Prometheus text exposition content type (version 0.0.4)
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+XML_CONTENT_TYPE = "application/xml; charset=utf-8"
+
+#: endpoints that must answer even when the node sheds load
+_UNGATED = frozenset({"health", "metrics", "stats"})
+
+
+@dataclass
+class ServiceConfig:
+    """Operator knobs (docs/service.md documents each)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8014
+    #: concurrently executing work requests before 503 load-shedding
+    max_in_flight: int = 64
+    #: sustained requests/second allowed per client id (0 = unlimited)
+    rate_limit: float = 0.0
+    #: short-burst allowance per client (default: 2 x rate_limit)
+    rate_burst: float | None = None
+    #: request bodies above this answer 413 (a query is a few KiB)
+    max_body_bytes: int = 1_048_576
+    #: default / maximum hits per keyword search
+    keyword_limit: int = 50
+    keyword_limit_max: int = 500
+
+
+@dataclass
+class Response:
+    """One protocol-independent response (the HTTP layer frames it)."""
+
+    status: int
+    payload: object = None            # JSON-able; ignored when body set
+    body: bytes | None = None         # pre-encoded (XML, Prometheus)
+    content_type: str = JSON_CONTENT_TYPE
+    headers: dict = field(default_factory=dict)
+
+    def encoded(self) -> bytes:
+        """The wire body."""
+        if self.body is not None:
+            return self.body
+        return json.dumps(self.payload, sort_keys=True).encode("utf-8")
+
+
+class QueryService:
+    """Routes service requests onto one shared engine.
+
+    ``engine`` is a :class:`~repro.engine.Warehouse` or a
+    :class:`~repro.federation.FederatedXomatiQ`; the service adapts to
+    whichever surface it finds (a federation rejects ``/harvest`` and
+    requires ``shard`` on document fetches). Protocol-independent so
+    tests and benchmarks can drive :meth:`handle` without sockets.
+    """
+
+    def __init__(self, engine, config: ServiceConfig | None = None,
+                 events=None):
+        from repro.obs import EventLog, NullMetrics
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        self.federated = not isinstance(engine, Warehouse) \
+            and hasattr(engine, "catalog")
+        self.metrics = engine.metrics
+        self._metrics_sink = (None if isinstance(self.metrics, NullMetrics)
+                              else self.metrics)
+        self.events = events if events is not None else \
+            getattr(engine, "events", None) or EventLog()
+        self.admission = AdmissionController(self.config.max_in_flight)
+        self.rate_limiter = RateLimiter(self.config.rate_limit,
+                                        self.config.rate_burst)
+        if self._metrics_sink is not None:
+            self._in_flight_gauge = self._metrics_sink.gauge(
+                "service.in_flight")
+        else:
+            self._in_flight_gauge = None
+        #: one harvest at a time — concurrent mirror pulls into one
+        #: warehouse would interleave release snapshots
+        self._harvest_lock = threading.Lock()
+
+    # -- request entry ------------------------------------------------------
+
+    def handle(self, method: str, target: str, body: bytes = b"",
+               client: str = "", headers=None) -> Response:
+        """Route one request; never raises (errors become responses)."""
+        started = time.perf_counter()
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        params = {key: values[-1] for key, values
+                  in parse_qs(split.query).items()}
+        endpoint, tail = self._route(path)
+        client_id = (headers or {}).get("X-Client-Id") or client or "-"
+        gated = endpoint not in _UNGATED and endpoint != "unknown"
+        admitted = False
+        try:
+            if gated and not self.rate_limiter.allow(client_id):
+                response = self._reject(429, "rate limit exceeded",
+                                        "rate_limit", client_id)
+            elif gated and not (admitted := self.admission.try_admit()):
+                response = self._reject(503, "service at capacity",
+                                        "capacity", client_id)
+            else:
+                if self._in_flight_gauge is not None and admitted:
+                    self._in_flight_gauge.set(self.admission.in_flight)
+                response = self._dispatch(endpoint, tail, method,
+                                          params, body)
+        except UnknownDocumentError as exc:
+            response = _error(404, exc)
+        except ReproError as exc:
+            response = _error(400, exc)
+        except Exception as exc:   # one bad request must not kill a node
+            response = _error(500, exc)
+        finally:
+            if admitted:
+                self.admission.release()
+                if self._in_flight_gauge is not None:
+                    self._in_flight_gauge.set(self.admission.in_flight)
+        duration_s = time.perf_counter() - started
+        self._observe(endpoint, method, path, response.status,
+                      duration_s, client_id)
+        return response
+
+    def close(self) -> None:
+        """Release the engine (the server owns it in CLI mode)."""
+        self.engine.close()
+
+    # -- routing ------------------------------------------------------------
+
+    @staticmethod
+    def _route(path: str) -> tuple[str, str]:
+        if path == "/documents" or path.startswith("/documents/"):
+            return "documents", path[len("/documents/"):]
+        name = path.lstrip("/")
+        if name in ("query", "keyword", "health", "metrics", "stats",
+                    "harvest"):
+            return name, ""
+        return "unknown", ""
+
+    def _dispatch(self, endpoint: str, tail: str, method: str,
+                  params: dict, body: bytes) -> Response:
+        if endpoint == "unknown":
+            return _error(404, "no such resource")
+        expected = "POST" if endpoint in ("query", "harvest") else "GET"
+        if method != expected:
+            return Response(405, {"error": f"{endpoint} expects "
+                                           f"{expected}"},
+                            headers={"Allow": expected})
+        if len(body) > self.config.max_body_bytes:
+            return _error(413, "request body too large")
+        if endpoint == "query":
+            return self._query(_json_body(body))
+        if endpoint == "keyword":
+            return self._keyword(params)
+        if endpoint == "documents":
+            return self._document(tail, params)
+        if endpoint == "health":
+            return self._health()
+        if endpoint == "metrics":
+            return self._metrics(params)
+        if endpoint == "stats":
+            return Response(200, self.engine.stats())
+        return self._harvest(_json_body(body))
+
+    # -- resources ----------------------------------------------------------
+
+    def _query(self, request: dict) -> Response:
+        text = request.get("query")
+        if not isinstance(text, str) or not text.strip():
+            return _error(400, 'body must carry a "query" string')
+        fmt = request.get("format", "rows")
+        if fmt not in ("rows", "xml"):
+            return _error(400, f'unknown format {fmt!r} '
+                               '(expected "rows" or "xml")')
+        result = self.engine.query(text)
+        if fmt == "xml":
+            return Response(200, body=result.to_xml().encode("utf-8"),
+                            content_type=XML_CONTENT_TYPE)
+        return Response(200, {
+            "columns": result.columns,
+            "variables": result.variables,
+            "row_count": len(result),
+            "complete": result.complete,
+            "warnings": list(result.warnings),
+            "rows": [_row_record(row) for row in result.rows],
+        })
+
+    def _keyword(self, params: dict) -> Response:
+        phrase = params.get("q", "")
+        if not phrase.strip():
+            return _error(400, 'provide search terms via "?q="')
+        try:
+            limit = int(params.get("limit", self.config.keyword_limit))
+        except ValueError:
+            return _error(400, '"limit" must be an integer')
+        limit = max(1, min(limit, self.config.keyword_limit_max))
+        hits = self.engine.keyword_search(
+            phrase, source=params.get("source"), limit=limit)
+        return Response(200, {"query": phrase, "limit": limit,
+                              "count": len(hits), "results": hits})
+
+    def _document(self, tail: str, params: dict) -> Response:
+        if not tail or not tail.isdigit():
+            return _error(400, "document path must be "
+                               "/documents/{doc_id}")
+        doc_id = int(tail)
+        if self.federated:
+            shard = params.get("shard")
+            if not shard:
+                return _error(400, "federated document fetch needs "
+                                   "?shard=<name> (keyword hits carry "
+                                   "it)")
+            warehouse = self.engine.catalog.warehouse(shard)
+        else:
+            warehouse = self.engine
+        if not warehouse.backend.execute(
+                "SELECT doc_id FROM documents WHERE doc_id = ?",
+                (doc_id,)):
+            return _error(404, f"no document with doc_id {doc_id}")
+        document = warehouse.fetch_document(doc_id)
+        return Response(200, body=serialize(document).encode("utf-8"),
+                        content_type=XML_CONTENT_TYPE)
+
+    def _health(self) -> Response:
+        report = self.engine.health()
+        status = 503 if report["status"] == "fail" else 200
+        return Response(status, report)
+
+    def _metrics(self, params: dict) -> Response:
+        if params.get("format") == "prometheus":
+            text = self.metrics.render_prometheus()
+            return Response(200, body=text.encode("utf-8"),
+                            content_type=PROMETHEUS_CONTENT_TYPE)
+        return Response(200, self.metrics.snapshot())
+
+    def _harvest(self, request: dict) -> Response:
+        if self.federated:
+            return _error(400, "harvest is a warehouse operation; "
+                               "run it per shard")
+        repo = request.get("repo")
+        if not isinstance(repo, str) or not repo:
+            return _error(400, 'body must carry a "repo" mirror '
+                               'directory')
+        if not self._harvest_lock.acquire(blocking=False):
+            return Response(409, {"error": "a harvest is already "
+                                           "running"})
+        try:
+            from repro.datahounds.transport import DirectoryRepository
+            report = self.engine.harvest(
+                DirectoryRepository(repo),
+                sources=request.get("sources"),
+                quarantine=bool(request.get("quarantine", False)),
+                retries=request.get("retries"),
+                fail_fast=bool(request.get("fail_fast", False)))
+        finally:
+            self._harvest_lock.release()
+        payload = {
+            "ok": report.ok,
+            "documents_loaded": report.documents_loaded,
+            "reports": {
+                source: {
+                    "release": load.release,
+                    "documents_loaded": load.documents_loaded,
+                    "added": len(load.plan.added),
+                    "updated": len(load.plan.updated),
+                    "removed": len(load.plan.removed),
+                    "unchanged": len(load.plan.unchanged),
+                    "quarantined": len(load.quarantined),
+                } for source, load in report.reports.items()},
+            "failures": {
+                source: {"error": failure.error,
+                         "type": failure.error_type}
+                for source, failure in report.failures.items()},
+        }
+        return Response(200 if report.ok else 502, payload)
+
+    # -- observability ------------------------------------------------------
+
+    def _reject(self, status: int, message: str, reason: str,
+                client: str) -> Response:
+        if self._metrics_sink is not None:
+            self._metrics_sink.inc("service.rejected", reason=reason)
+        self.events.emit("service.rejected", severity="warning",
+                         reason=reason, client=client)
+        headers = {"Retry-After": "1"} if status in (429, 503) else {}
+        return Response(status, {"error": message, "reason": reason},
+                        headers=headers)
+
+    def _observe(self, endpoint: str, method: str, path: str,
+                 status: int, duration_s: float, client: str) -> None:
+        if self._metrics_sink is not None:
+            self._metrics_sink.inc("service.requests",
+                                   endpoint=endpoint, status=status)
+            self._metrics_sink.observe("service.request_seconds",
+                                       duration_s, endpoint=endpoint)
+        self.events.emit("service.request",
+                         severity="warning" if status >= 500 else "info",
+                         method=method, path=path, status=status,
+                         duration_ms=round(duration_s * 1000.0, 3),
+                         client=client)
+
+
+def _row_record(row) -> dict:
+    """One result row as a JSON record; federated bindings keep their
+    shard so the client can fetch the document."""
+    bindings = {}
+    for variable, node in row.bindings.items():
+        record = {"doc_id": node.doc_id, "node_id": node.node_id}
+        shard = getattr(node, "shard", None)
+        if shard is not None:
+            record["shard"] = shard
+        bindings[variable] = record
+    return {"bindings": bindings, "values": row.values}
+
+
+def _json_body(body: bytes) -> dict:
+    if not body:
+        return {}
+    try:
+        parsed = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ReproError(f"request body is not valid JSON: {exc}") \
+            from None
+    if not isinstance(parsed, dict):
+        raise ReproError("request body must be a JSON object")
+    return parsed
+
+
+def _error(status: int, error) -> Response:
+    return Response(status, {"error": str(error),
+                             "type": type(error).__name__
+                             if isinstance(error, Exception) else
+                             "error"})
+
+
+# -- the HTTP layer ---------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Frames :meth:`QueryService.handle` responses onto sockets."""
+
+    server_version = "xomatiq"
+    #: HTTP/1.1 keeps benchmark client connections alive between
+    #: requests (Content-Length is always sent, so framing is sound)
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:          # noqa: N802 - stdlib contract
+        self._respond(b"")
+
+    def do_POST(self) -> None:         # noqa: N802 - stdlib contract
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            length = 0
+        self._respond(self.rfile.read(length) if length > 0 else b"")
+
+    def _respond(self, body: bytes) -> None:
+        service: QueryService = self.server.service
+        response = service.handle(
+            self.command, self.path, body=body,
+            client=self.client_address[0], headers=self.headers)
+        encoded = response.encoded()
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, format: str, *args) -> None:
+        """Silenced — requests land in the structured event log."""
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryService`.
+
+    ``serve_forever`` runs until :meth:`shutdown`; ``close`` also
+    releases the engine. ``daemon_threads`` keeps a hung handler from
+    blocking process exit — graceful drain is the in-flight cap's job.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, service: QueryService,
+                 address: tuple[str, int] | None = None):
+        self.service = service
+        config = service.config
+        super().__init__(address or (config.host, config.port), _Handler)
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (port 0 resolves after bind)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Stop accepting, close the socket, release the engine."""
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def serve(engine, config: ServiceConfig | None = None) -> ServiceServer:
+    """Bind a server for ``engine`` (not yet serving — the caller runs
+    ``serve_forever``, usually on a background thread)."""
+    return ServiceServer(QueryService(engine, config=config))

@@ -25,10 +25,21 @@ document) recompiles after the document is loaded.
 A cached :class:`~repro.translator.compile.CompiledQuery` is never
 mutated by execution (the executor builds restricted SQL into local
 strings), so hits and misses produce identical results.
+
+The cache is shared by every thread that queries the warehouse (the
+query service hands one warehouse to a whole handler pool), so all
+``OrderedDict`` access runs under one lock — ``move_to_end`` and
+eviction are multi-step structure mutations that are not atomic under
+the GIL, and two unlocked threads can otherwise corrupt the LRU links
+or die with ``RuntimeError: OrderedDict mutated during iteration``.
+The translation itself is *not* under the lock: concurrent misses may
+both compile and the second ``put`` wins, which is merely duplicated
+work, never a wrong answer.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.translator.compile import CompiledQuery
@@ -52,6 +63,7 @@ class CompiledQueryCache:
         self.maxsize = maxsize
         self._entries: "OrderedDict[CacheKey, tuple[int, CompiledQuery]]"
         self._entries = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -71,59 +83,75 @@ class CompiledQueryCache:
             self._size_gauge = None
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, text: str, dialect: str, sequence_tags: frozenset,
             generation: int) -> CompiledQuery | None:
         """The cached translation, or None on miss/stale."""
         key = (text, dialect, sequence_tags)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            if self._miss_counter is not None:
-                self._miss_counter.inc()
-            return None
-        cached_generation, compiled = entry
-        if cached_generation != generation:
-            del self._entries[key]
-            self.invalidations += 1
-            self.misses += 1
-            if self._miss_counter is not None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                size = None
+                outcome = "miss"
+            else:
+                cached_generation, compiled = entry
+                if cached_generation != generation:
+                    del self._entries[key]
+                    self.invalidations += 1
+                    self.misses += 1
+                    size = len(self._entries)
+                    outcome = "stale"
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    size = None
+                    outcome = "hit"
+        # metric handles have their own locks; update them outside ours
+        if outcome == "hit":
+            if self._hit_counter is not None:
+                self._hit_counter.inc()
+            return compiled
+        if self._miss_counter is not None:
+            self._miss_counter.inc()
+            if outcome == "stale":
                 self._invalidation_counter.inc()
-                self._miss_counter.inc()
-                self._size_gauge.set(len(self._entries))
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        if self._hit_counter is not None:
-            self._hit_counter.inc()
-        return compiled
+                self._size_gauge.set(size)
+        return None
 
     def put(self, text: str, dialect: str, sequence_tags: frozenset,
             generation: int, compiled: CompiledQuery) -> None:
         """Cache one translation at the current catalog generation."""
         key = (text, dialect, sequence_tags)
-        self._entries[key] = (generation, compiled)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            if self._eviction_counter is not None:
-                self._eviction_counter.inc()
+        evicted = 0
+        with self._lock:
+            self._entries[key] = (generation, compiled)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+            size = len(self._entries)
+        if evicted and self._eviction_counter is not None:
+            self._eviction_counter.inc(evicted)
         if self._size_gauge is not None:
-            self._size_gauge.set(len(self._entries))
+            self._size_gauge.set(size)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict[str, int]:
         """Counters for benchmarks and the profile JSON."""
-        return {
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

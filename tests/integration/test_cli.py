@@ -184,10 +184,27 @@ class TestCliMetricsAndHealth:
         assert report["stats"]["documents"] > 0
 
     def test_health_warns_on_empty_db(self, tmp_path, capsys):
+        """Empty warehouse is degraded-but-truthful: exit 2 (warn),
+        not 1 (fail) — monitoring treats the two differently."""
         db = str(tmp_path / "empty.sqlite")
         main(["init", "--db", db])
-        assert main(["health", "--db", db]) == 1
+        assert main(["health", "--db", db]) == 2
         assert "health: WARN" in capsys.readouterr().out
+
+    def test_health_fails_on_structural_breakage(self, loaded_db,
+                                                 capsys):
+        """A populated warehouse whose keyword index was wiped would
+        silently answer keyword queries with nothing — that is a
+        wrong-answer condition, so health reports FAIL and exits 1."""
+        import sqlite3
+        connection = sqlite3.connect(loaded_db)
+        connection.execute("DELETE FROM keywords")
+        connection.commit()
+        connection.close()
+        assert main(["health", "--db", loaded_db]) == 1
+        out = capsys.readouterr().out
+        assert "health: FAIL" in out
+        assert "keyword_index_populated" in out
 
     def test_stats_json(self, loaded_db, capsys):
         import json

@@ -1,0 +1,142 @@
+"""Concurrent-query stress test over one shared on-disk warehouse.
+
+This is the deployment shape the query service creates: many handler
+threads running mixed keyword / sub-tree / join traffic against a
+single :class:`~repro.engine.Warehouse` while a harvest bulk-loads a
+new source in the background. Every concurrent answer must be
+byte-identical to the sequential baseline (the background load touches
+``hlx_omim`` only, so no query's answer may move), and the always-on
+metrics snapshot must come out of the storm internally consistent.
+
+Exercises both concurrency fixes at once: the compiled-query cache is
+hammered by overlapping readers across generation bumps from the
+loader, and the file-backed SQLite database runs WAL while the load's
+transactions commit mid-traffic.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import Warehouse
+from repro.obs import MetricsRegistry
+from repro.relational.sqlite_backend import SqliteBackend
+from repro.synth import build_corpus
+
+READERS = 8
+ITERATIONS = 40
+
+KEYWORD_PHRASE = "ketone"
+
+SUBTREE_QUERIES = [
+    'FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+    'WHERE contains($a//catalytic_activity, "ketone") '
+    'RETURN $a//enzyme_id, $a//enzyme_description',
+    'FOR $a IN document("hlx_embl.inv")/hlx_n_sequence '
+    'RETURN $a//embl_accession_number, $a//description',
+    'FOR $a IN document("hlx_sprot.all")/hlx_n_sequence '
+    'RETURN $a//sprot_accession_number',
+]
+
+JOIN_QUERY = '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number'''
+
+ALL_QUERIES = SUBTREE_QUERIES + [JOIN_QUERY]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(seed=7, enzyme_count=15, embl_count=20,
+                        sprot_count=15, omim_count=25)
+
+
+class TestConcurrentQueries:
+    def test_mixed_traffic_during_bulk_load(self, tmp_path, corpus):
+        warehouse = Warehouse(
+            backend=SqliteBackend(tmp_path / "wh.sqlite"),
+            metrics=MetricsRegistry(), query_cache=8)
+        for source in ("hlx_enzyme", "hlx_embl", "hlx_sprot"):
+            warehouse.load_text(source, corpus.texts()[source])
+
+        # sequential baselines, captured before any concurrency
+        expected_xml = [warehouse.query(text).to_xml()
+                        for text in ALL_QUERIES]
+        expected_keyword = warehouse.keyword_search(
+            KEYWORD_PHRASE, source="hlx_enzyme")
+        assert expected_keyword, "keyword baseline must be non-empty"
+
+        errors: list[Exception] = []
+        mismatches: list[str] = []
+        load_done = threading.Event()
+        barrier = threading.Barrier(READERS + 1)
+
+        def loader():
+            try:
+                barrier.wait()
+                loaded = warehouse.load_text("hlx_omim",
+                                             corpus.omim_text)
+                assert loaded == 25
+            except Exception as exc:   # noqa: BLE001 - collected
+                errors.append(exc)
+            finally:
+                load_done.set()
+
+        def reader(offset: int):
+            try:
+                barrier.wait()
+                for index in range(ITERATIONS):
+                    turn = (offset + index) % (len(ALL_QUERIES) + 1)
+                    if turn == len(ALL_QUERIES):
+                        hits = warehouse.keyword_search(
+                            KEYWORD_PHRASE, source="hlx_enzyme")
+                        if hits != expected_keyword:
+                            mismatches.append(
+                                f"keyword drifted at iter {index}")
+                    else:
+                        xml = warehouse.query(
+                            ALL_QUERIES[turn]).to_xml()
+                        if xml != expected_xml[turn]:
+                            mismatches.append(
+                                f"query {turn} drifted at iter {index}")
+            except Exception as exc:   # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(offset,))
+                   for offset in range(READERS)]
+        load_thread = threading.Thread(target=loader)
+        load_thread.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        load_thread.join()
+        assert load_done.is_set()
+        assert errors == []
+        assert mismatches == []
+
+        # the load landed in full, and sequential re-runs still agree
+        assert warehouse.stats()["documents:hlx_omim"] == 25
+        for text, baseline in zip(ALL_QUERIES, expected_xml):
+            assert warehouse.query(text).to_xml() == baseline
+
+        # the metrics snapshot survived the storm intact
+        snapshot = warehouse.metrics.snapshot()
+        cache_stats = warehouse.xomatiq.cache.stats()
+        total_queries = READERS * ITERATIONS
+        assert cache_stats["hits"] + cache_stats["misses"] >= \
+            len(ALL_QUERIES)
+        counters = {(m["name"],): m["value"]
+                    for m in snapshot["counters"] if not m["labels"]}
+        assert counters[("query_cache.hits",)] == cache_stats["hits"]
+        assert counters[("query_cache.misses",)] \
+            == cache_stats["misses"]
+        query_count = next(
+            m["count"] for m in snapshot["histograms"]
+            if m["name"] == "query.seconds")
+        # every warehouse.query() above is in the histogram: baselines,
+        # concurrent readers' non-keyword turns, and the final re-runs
+        assert query_count >= len(ALL_QUERIES) * 2
+        assert query_count <= total_queries + 2 * len(ALL_QUERIES)
+        warehouse.close()

@@ -41,14 +41,17 @@ class TestStructuralChecks:
         by_name = {check["name"]: check for check in report["checks"]}
         assert by_name["documents_present"]["status"] == "warn"
 
-    def test_gutted_keyword_index_warns(self, backend):
+    def test_gutted_keyword_index_fails(self, backend):
+        """A wiped keyword index over indexed text silently answers
+        keyword queries with nothing — a wrong-answer condition, so it
+        is FAIL (structural), not WARN (operational)."""
         warehouse = small_warehouse(backend, metrics=MetricsRegistry())
         warehouse.backend.execute("DELETE FROM keywords")
         warehouse.backend.commit()
         report = warehouse.health()
         by_name = {check["name"]: check for check in report["checks"]}
-        assert by_name["keyword_index_populated"]["status"] == "warn"
-        assert report["status"] == "warn"
+        assert by_name["keyword_index_populated"]["status"] == "fail"
+        assert report["status"] == "fail"
 
 
 class TestFreshness:

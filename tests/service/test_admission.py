@@ -1,0 +1,115 @@
+"""Admission-control unit tests (fake clocks, no sockets)."""
+
+import threading
+
+from repro.service import AdmissionController, RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.allow(clock.now) for __ in range(4)] \
+            == [True, True, True, False]
+
+    def test_refill_restores_budget(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.allow(clock.now)
+        assert bucket.allow(clock.now)
+        assert not bucket.allow(clock.now)
+        clock.advance(0.5)   # 2 tokens/s * 0.5s = 1 token back
+        assert bucket.allow(clock.now)
+        assert not bucket.allow(clock.now)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.allow(clock.now)
+        assert bucket.allow(clock.now)
+        assert not bucket.allow(clock.now)
+
+
+class TestRateLimiter:
+    def test_zero_rate_is_unlimited(self):
+        limiter = RateLimiter(rate=0.0)
+        assert all(limiter.allow("c") for __ in range(1000))
+
+    def test_clients_have_independent_buckets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        assert limiter.allow("alice")
+        assert not limiter.allow("alice")
+        assert limiter.allow("bob")   # alice's spend is not bob's
+
+    def test_bucket_table_stays_bounded(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock,
+                              max_clients=10)
+        for index in range(50):
+            limiter.allow(f"client-{index}")
+        assert len(limiter._buckets) <= 10
+
+    def test_evicted_client_restarts_with_full_bucket(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock,
+                              max_clients=4)
+        assert limiter.allow("c0")
+        assert not limiter.allow("c0")
+        for index in range(1, 10):   # flood past the cap
+            limiter.allow(f"c{index}")
+        # c0's bucket fell out of the table — generosity, not a 429
+        assert limiter.allow("c0")
+
+
+class TestAdmissionController:
+    def test_admits_up_to_cap_then_sheds(self):
+        control = AdmissionController(max_in_flight=2)
+        assert control.try_admit()
+        assert control.try_admit()
+        assert not control.try_admit()
+        assert control.in_flight == 2
+        control.release()
+        assert control.try_admit()
+
+    def test_release_restores_capacity(self):
+        control = AdmissionController(max_in_flight=1)
+        for __ in range(5):
+            assert control.try_admit()
+            control.release()
+        assert control.in_flight == 0
+
+    def test_thread_safety_never_over_admits(self):
+        control = AdmissionController(max_in_flight=5)
+        admitted = []
+        barrier = threading.Barrier(16)
+        peak = []
+
+        def worker():
+            barrier.wait()
+            for __ in range(200):
+                if control.try_admit():
+                    peak.append(control.in_flight)
+                    control.release()
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=worker) for __ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert admitted   # progress was made
+        assert max(peak) <= 5
+        assert control.in_flight == 0

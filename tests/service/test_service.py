@@ -1,0 +1,434 @@
+"""Query-service tests: routing/resources via :meth:`QueryService.
+handle` (no sockets), then the real ThreadingHTTPServer under
+concurrent clients, federated mode, and harvest-over-HTTP."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datahounds.transport import DirectoryRepository
+from repro.engine import Warehouse
+from repro.federation import FederatedXomatiQ, ShardCatalog
+from repro.obs import MetricsRegistry
+from repro.service import QueryService, ServiceConfig, ServiceServer
+from repro.synth import build_corpus
+
+ENZYME_QUERY = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+                'WHERE contains($a//catalytic_activity, "ketone") '
+                'RETURN $a//enzyme_id, $a//enzyme_description')
+
+JOIN_QUERY = '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number'''
+
+
+@pytest.fixture(scope="module")
+def service_corpus():
+    return build_corpus(seed=7, enzyme_count=20, embl_count=30,
+                        sprot_count=20)
+
+
+@pytest.fixture
+def service(service_corpus):
+    warehouse = Warehouse(metrics=MetricsRegistry())
+    warehouse.load_corpus(service_corpus)
+    svc = QueryService(warehouse, config=ServiceConfig())
+    yield svc
+    svc.close()
+
+
+class TestRouting:
+    def test_unknown_resource_404(self, service):
+        assert service.handle("GET", "/nope").status == 404
+
+    def test_method_mismatch_405(self, service):
+        response = service.handle("GET", "/query")
+        assert response.status == 405
+        assert response.headers["Allow"] == "POST"
+        assert service.handle("POST", "/stats").status == 405
+
+    def test_invalid_json_body_400(self, service):
+        response = service.handle("POST", "/query", body=b"not json")
+        assert response.status == 400
+        assert "JSON" in response.payload["error"]
+
+    def test_oversized_body_413(self, service):
+        service.config.max_body_bytes = 64
+        response = service.handle("POST", "/query", body=b"x" * 65)
+        assert response.status == 413
+
+    def test_trailing_slash_routes(self, service):
+        assert service.handle("GET", "/stats/").status == 200
+
+
+class TestQueryResource:
+    def test_rows_payload(self, service):
+        response = service.handle("POST", "/query", body=json.dumps(
+            {"query": ENZYME_QUERY}).encode())
+        assert response.status == 200
+        payload = response.payload
+        assert payload["columns"] == ["enzyme_id", "enzyme_description"]
+        assert payload["row_count"] == len(payload["rows"])
+        assert payload["complete"] is True
+        first = payload["rows"][0]
+        assert set(first["bindings"]) == {"a"}
+        assert set(first["bindings"]["a"]) == {"doc_id", "node_id"}
+        assert first["values"]["enzyme_id"]
+
+    def test_rows_match_inprocess_query(self, service):
+        response = service.handle("POST", "/query", body=json.dumps(
+            {"query": ENZYME_QUERY}).encode())
+        direct = service.engine.query(ENZYME_QUERY)
+        assert response.payload["row_count"] == len(direct)
+        assert response.payload["rows"][0]["values"] == \
+            direct.rows[0].values
+
+    def test_xml_format(self, service):
+        response = service.handle("POST", "/query", body=json.dumps(
+            {"query": ENZYME_QUERY, "format": "xml"}).encode())
+        assert response.status == 200
+        assert response.content_type.startswith("application/xml")
+        assert b"<xomatiq_results" in response.encoded()
+
+    def test_missing_query_400(self, service):
+        assert service.handle("POST", "/query",
+                              body=b"{}").status == 400
+
+    def test_unknown_format_400(self, service):
+        response = service.handle("POST", "/query", body=json.dumps(
+            {"query": ENZYME_QUERY, "format": "yaml"}).encode())
+        assert response.status == 400
+
+    def test_bad_query_is_400_with_type(self, service):
+        response = service.handle("POST", "/query", body=json.dumps(
+            {"query": "FOR bogus"}).encode())
+        assert response.status == 400
+        assert "Error" in response.payload["type"]
+
+
+class TestKeywordResource:
+    def test_all_tokens_required_and_ranked(self, service):
+        response = service.handle("GET", "/keyword?q=kinase")
+        assert response.status == 200
+        hits = response.payload["results"]
+        assert hits
+        matches = [hit["matches"] for hit in hits]
+        assert matches == sorted(matches, reverse=True)
+        assert set(hits[0]) == {"doc_id", "source", "collection",
+                                "entry_key", "matches"}
+
+    def test_source_filter(self, service):
+        response = service.handle(
+            "GET", "/keyword?q=kinase&source=hlx_sprot")
+        assert all(hit["source"] == "hlx_sprot"
+                   for hit in response.payload["results"])
+
+    def test_limit_clamped(self, service):
+        service.config.keyword_limit_max = 3
+        response = service.handle("GET", "/keyword?q=kinase&limit=999")
+        assert response.payload["limit"] == 3
+        assert len(response.payload["results"]) <= 3
+
+    def test_missing_terms_400(self, service):
+        assert service.handle("GET", "/keyword").status == 400
+
+    def test_no_hits_is_empty_not_error(self, service):
+        response = service.handle("GET", "/keyword?q=zzzzzzqqqq")
+        assert response.status == 200
+        assert response.payload["count"] == 0
+
+    def test_matches_inprocess_search(self, service):
+        response = service.handle("GET", "/keyword?q=kinase&limit=10")
+        assert response.payload["results"] == \
+            service.engine.keyword_search("kinase", limit=10)
+
+
+class TestDocumentResource:
+    def test_reconstructs_xml(self, service):
+        hit = service.handle(
+            "GET", "/keyword?q=kinase").payload["results"][0]
+        response = service.handle("GET", f"/documents/{hit['doc_id']}")
+        assert response.status == 200
+        assert response.content_type.startswith("application/xml")
+        assert response.encoded().startswith(b"<?xml")
+
+    def test_unknown_doc_404(self, service):
+        assert service.handle("GET", "/documents/999999").status == 404
+
+    def test_non_numeric_400(self, service):
+        assert service.handle("GET", "/documents/abc").status == 400
+        assert service.handle("GET", "/documents").status == 400
+
+
+class TestProbeResources:
+    def test_health_ok(self, service):
+        response = service.handle("GET", "/health")
+        assert response.status == 200
+        assert response.payload["status"] == "ok"
+
+    def test_health_fail_is_503(self, service):
+        # amputate the keyword index: structural breakage -> fail
+        service.engine.backend.execute("DELETE FROM keywords")
+        service.engine.backend.commit()
+        response = service.handle("GET", "/health")
+        assert response.status == 503
+        assert response.payload["status"] == "fail"
+
+    def test_stats(self, service):
+        response = service.handle("GET", "/stats")
+        assert response.status == 200
+        assert response.payload["documents"] > 0
+
+    def test_metrics_json_includes_service_counters(self, service):
+        service.handle("GET", "/keyword?q=kinase")
+        snapshot = service.handle("GET", "/metrics").payload
+        names = {c["name"] for c in snapshot["counters"]}
+        assert "service.requests" in names
+        assert "query_cache.misses" in names
+
+    def test_metrics_prometheus(self, service):
+        service.handle("GET", "/keyword?q=kinase")
+        response = service.handle("GET", "/metrics?format=prometheus")
+        assert response.content_type.startswith("text/plain")
+        assert b"xomatiq_service_requests_total" in response.encoded()
+
+    def test_request_event_logged(self, service):
+        service.handle("GET", "/stats", client="10.0.0.9")
+        events = service.events.events(name="service.request")
+        assert events
+        assert events[-1].fields["path"] == "/stats"
+        assert events[-1].fields["status"] == 200
+        assert events[-1].fields["client"] == "10.0.0.9"
+
+
+class TestAdmissionAndRateLimit:
+    def test_rate_limit_429_per_client(self, service_corpus):
+        warehouse = Warehouse(metrics=MetricsRegistry())
+        warehouse.load_corpus(service_corpus)
+        service = QueryService(warehouse, config=ServiceConfig(
+            rate_limit=0.001, rate_burst=2.0))
+        try:
+            statuses = [service.handle(
+                "GET", "/keyword?q=kinase",
+                headers={"X-Client-Id": "greedy"}).status
+                for __ in range(4)]
+            assert statuses[:2] == [200, 200]
+            assert statuses[2] == 429
+            # a different client is untouched
+            assert service.handle(
+                "GET", "/keyword?q=kinase",
+                headers={"X-Client-Id": "polite"}).status == 200
+            # probes bypass the limiter entirely
+            assert service.handle(
+                "GET", "/health",
+                headers={"X-Client-Id": "greedy"}).status == 200
+            rejected = service.metrics.get_counter(
+                "service.rejected", reason="rate_limit")
+            assert rejected >= 2
+        finally:
+            service.close()
+
+    def test_capacity_503_with_retry_after(self, service):
+        while service.admission.try_admit():
+            pass   # exhaust the in-flight budget
+        try:
+            response = service.handle("GET", "/keyword?q=kinase")
+            assert response.status == 503
+            assert response.headers["Retry-After"] == "1"
+            assert service.handle("GET", "/health").status == 200
+        finally:
+            for __ in range(service.admission.max_in_flight):
+                service.admission.release()
+        assert service.handle("GET", "/keyword?q=kinase").status == 200
+
+
+# -- live HTTP --------------------------------------------------------------
+
+
+def _request(url, payload=None, headers=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data,
+                                     headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+@pytest.fixture
+def live_server(service_corpus):
+    warehouse = Warehouse(metrics=MetricsRegistry())
+    warehouse.load_corpus(service_corpus)
+    server = ServiceServer(
+        QueryService(warehouse, config=ServiceConfig(port=0)))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.close()
+    thread.join(timeout=10)
+
+
+class TestLiveHttp:
+    def test_full_surface_over_sockets(self, live_server):
+        base = live_server.url
+        status, body = _request(base + "/health")
+        assert status == 200
+        status, body = _request(
+            base + "/query", payload={"query": ENZYME_QUERY})
+        assert status == 200
+        rows = json.loads(body)
+        assert rows["row_count"] > 0
+        status, body = _request(base + "/keyword?q=kinase&limit=3")
+        assert status == 200
+        doc_id = json.loads(body)["results"][0]["doc_id"]
+        status, body = _request(base + f"/documents/{doc_id}")
+        assert status == 200
+        assert body.startswith(b"<?xml")
+        status, body = _request(base + "/metrics?format=prometheus")
+        assert status == 200
+        assert b"xomatiq_service_request_seconds" in body
+
+    def test_concurrent_clients_agree(self, live_server):
+        base = live_server.url
+        expected = json.loads(_request(
+            base + "/query", payload={"query": JOIN_QUERY})[1])
+        results, errors = [], []
+
+        def client():
+            try:
+                for __ in range(5):
+                    status, body = _request(
+                        base + "/query", payload={"query": JOIN_QUERY})
+                    assert status == 200
+                    results.append(json.loads(body))
+            except Exception as exc:   # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for __ in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 60
+        assert all(result == expected for result in results)
+
+    def test_graceful_shutdown_mid_traffic(self, service_corpus):
+        warehouse = Warehouse(metrics=MetricsRegistry())
+        warehouse.load_corpus(service_corpus)
+        server = ServiceServer(
+            QueryService(warehouse, config=ServiceConfig(port=0)))
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        assert _request(server.url + "/health")[0] == 200
+        server.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestHarvestResource:
+    def test_harvest_and_refresh(self, tmp_path, service_corpus):
+        repo = DirectoryRepository(tmp_path / "mirror")
+        repo.publish("hlx_enzyme", "2026_01", service_corpus.enzyme_text)
+        warehouse = Warehouse(metrics=MetricsRegistry())
+        service = QueryService(warehouse, config=ServiceConfig())
+        try:
+            response = service.handle("POST", "/harvest", body=json.dumps(
+                {"repo": str(tmp_path / "mirror"),
+                 "sources": ["hlx_enzyme"]}).encode())
+            assert response.status == 200
+            payload = response.payload
+            assert payload["ok"] is True
+            assert payload["documents_loaded"] == 20
+            assert payload["reports"]["hlx_enzyme"]["release"] \
+                == "2026_01"
+            # a second harvest of the same release is a clean no-op
+            response = service.handle("POST", "/harvest", body=json.dumps(
+                {"repo": str(tmp_path / "mirror"),
+                 "sources": ["hlx_enzyme"]}).encode())
+            assert response.status == 200
+            assert response.payload["documents_loaded"] == 0
+        finally:
+            service.close()
+
+    def test_missing_repo_400(self, service):
+        assert service.handle("POST", "/harvest",
+                              body=b"{}").status == 400
+
+    def test_failed_source_reported_502(self, tmp_path, service_corpus):
+        repo = DirectoryRepository(tmp_path / "mirror")
+        repo.publish("hlx_enzyme", "2026_01", service_corpus.enzyme_text)
+        warehouse = Warehouse(metrics=MetricsRegistry())
+        service = QueryService(warehouse, config=ServiceConfig())
+        try:
+            response = service.handle("POST", "/harvest", body=json.dumps(
+                {"repo": str(tmp_path / "mirror"),
+                 "sources": ["hlx_enzyme", "hlx_embl"]}).encode())
+            assert response.status == 502
+            assert response.payload["failures"]["hlx_embl"]
+            assert response.payload["reports"]["hlx_enzyme"][
+                "documents_loaded"] == 20
+        finally:
+            service.close()
+
+
+class TestFederatedService:
+    @pytest.fixture
+    def federated_service(self, service_corpus):
+        catalog = ShardCatalog()
+        catalog.add_shard("s0")
+        catalog.add_shard("s1")
+        catalog.assign("hlx_enzyme", "s0")
+        catalog.assign("hlx_embl", "s1")
+        catalog.assign("hlx_sprot", "s0")
+        federation = FederatedXomatiQ(catalog,
+                                      metrics=MetricsRegistry())
+        federation.load_corpus(service_corpus)
+        service = QueryService(federation, config=ServiceConfig())
+        yield service
+        service.close()
+
+    def test_query_carries_shard_bindings(self, federated_service):
+        response = federated_service.handle(
+            "POST", "/query",
+            body=json.dumps({"query": JOIN_QUERY}).encode())
+        assert response.status == 200
+        row = response.payload["rows"][0]
+        assert row["bindings"]["a"]["shard"] == "s1"
+
+    def test_keyword_hits_carry_shard(self, federated_service):
+        response = federated_service.handle("GET", "/keyword?q=kinase")
+        hits = response.payload["results"]
+        assert hits
+        assert all(hit["shard"] in ("s0", "s1") for hit in hits)
+
+    def test_document_fetch_requires_and_uses_shard(
+            self, federated_service):
+        assert federated_service.handle(
+            "GET", "/documents/1").status == 400
+        hit = federated_service.handle(
+            "GET", "/keyword?q=kinase").payload["results"][0]
+        response = federated_service.handle(
+            "GET",
+            f"/documents/{hit['doc_id']}?shard={hit['shard']}")
+        assert response.status == 200
+        assert response.encoded().startswith(b"<?xml")
+
+    def test_harvest_rejected_400(self, federated_service):
+        response = federated_service.handle(
+            "POST", "/harvest",
+            body=json.dumps({"repo": "/tmp/nope"}).encode())
+        assert response.status == 400
+
+    def test_stats_and_health_roll_up(self, federated_service):
+        stats = federated_service.handle("GET", "/stats").payload
+        assert stats["shards"] == 2
+        health = federated_service.handle("GET", "/health")
+        assert health.status == 200
+        assert "shards" in health.payload
