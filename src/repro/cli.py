@@ -32,9 +32,14 @@ Federation (sharded warehouses behind one query surface)::
     xomatiq shard list --map shards.json [--json]
     xomatiq load --shard-map shards.json --source hlx_embl embl.dat
     xomatiq query --shard-map shards.json 'FOR ...'   # scatter-gather
+    xomatiq analyze --shard-map shards.json           # optimizer stats
     xomatiq stats --shard-map shards.json             # aggregated
     xomatiq health --shard-map shards.json            # per-shard roll-up
     xomatiq metrics --shard-map shards.json 'FOR ...' # federation.*
+
+``analyze`` samples per-shard cardinalities, keyword and value
+histograms into ``shards.stats.json``; subsequent federated queries
+plan cost-based (shard pruning, join ordering, semi-join pushdown).
 """
 
 from __future__ import annotations
@@ -158,6 +163,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of the aggregate")
     stats.add_argument("--json", action="store_true",
                        help="machine-readable JSON instead of a table")
+
+    analyze = sub.add_parser(
+        "analyze", help="collect federation optimizer statistics from "
+                        "every reachable shard (persisted next to the "
+                        "shard map; enables cost-based planning)")
+    analyze.add_argument("--shard-map", required=True,
+                         help="shard-map registry file (JSON)")
+    analyze.add_argument("--stats",
+                         help="statistics catalog path (default: the "
+                              "shard map's sibling .stats.json)")
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable summary instead of a "
+                              "table")
 
     metrics = sub.add_parser(
         "metrics", help="dump the always-on metrics registry (optionally "
@@ -411,6 +429,32 @@ def _dispatch(args) -> int:
             for key, count in stats.items():
                 print(f"{key:<24} {count}")
         warehouse.close()
+        return 0
+
+    if args.command == "analyze":
+        import json
+        from repro.federation import FederatedXomatiQ, default_stats_path
+        stats_path = args.stats or default_stats_path(args.shard_map)
+        federation = FederatedXomatiQ.from_shard_map(
+            args.shard_map, stats_path=stats_path)
+        try:
+            summary = federation.analyze()
+        finally:
+            federation.close()
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(f"analyzed {summary['shards_analyzed']} shard(s) "
+                  f"-> {stats_path}")
+            for name, record in summary["shards"].items():
+                complete = "complete" if record["tokens_complete"] \
+                    else "capped"
+                print(f"  {name:<8} gen {record['generation']:<4} "
+                      f"{record['documents']:>6} docs "
+                      f"{record['elements']:>8} elements "
+                      f"{record['tokens']:>6} tokens ({complete})")
+            for name in summary.get("shards_skipped", []):
+                print(f"  {name:<8} unreachable — skipped")
         return 0
 
     if args.command == "metrics":

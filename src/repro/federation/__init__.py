@@ -15,28 +15,45 @@ through one facade. This package is that deployment:
   shard subqueries concurrently, hash-joins the shipped bindings and
   reproduces monolithic result order (and byte-identical XML),
 * :class:`~repro.federation.facade.FederatedXomatiQ` — the
-  warehouse-shaped facade over all of it.
+  warehouse-shaped facade over all of it,
+* :class:`~repro.federation.stats.StatisticsCatalog` +
+  :class:`~repro.federation.costs.CostModel` — the cost-based
+  optimizer: per-shard statistics (``xomatiq analyze``), shard
+  pruning, join ordering and semi-join/Bloom pushdown.
 
 See docs/federation.md for architecture, pushdown rules and failure
 semantics.
 """
 
 from repro.federation.catalog import ShardCatalog, ShardSpec
+from repro.federation.costs import BloomFilter, CostModel
 from repro.federation.executor import ScatterGatherExecutor, ShardBoundNode
 from repro.federation.facade import FederatedXomatiQ
 from repro.federation.planner import (
     FederatedPlan,
     FederationPlanner,
+    SemiJoinPushdown,
     ShardSubPlan,
+)
+from repro.federation.stats import (
+    ShardStatistics,
+    StatisticsCatalog,
+    default_stats_path,
 )
 
 __all__ = [
+    "BloomFilter",
+    "CostModel",
     "FederatedPlan",
     "FederatedXomatiQ",
     "FederationPlanner",
     "ScatterGatherExecutor",
+    "SemiJoinPushdown",
     "ShardBoundNode",
     "ShardCatalog",
     "ShardSpec",
+    "ShardStatistics",
     "ShardSubPlan",
+    "StatisticsCatalog",
+    "default_stats_path",
 ]

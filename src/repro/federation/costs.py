@@ -1,0 +1,305 @@
+"""Cost model and Bloom filter for the federation optimizer.
+
+:class:`CostModel` prices a shard subquery against one shard's
+:class:`~repro.federation.stats.ShardStatistics`:
+
+* **cardinality** — base binding count (per-tag element counts from
+  the statistics catalog) scaled by per-atom selectivities: keyword
+  document frequencies for ``contains()``, value histograms for
+  equality literals, fixed fractions for ranges/motifs (the classic
+  System-R defaults),
+* **proof of emptiness** — a shard is *provably* empty for a subquery
+  when a bound source has zero documents there, or a conjoined
+  non-negated ``contains()`` token is absent from the shard's
+  *complete* token map. Estimates never prune; proofs do.
+* **transfer cost** — estimated rows × serialized row width, the
+  quantity the semi-join pushdown exists to cut.
+
+:class:`BloomFilter` is the shipped-filter representation above the
+IN-list cutoff: deterministic double hashing over blake2b digests, so
+a filter built on the coordinator tests identically anywhere. False
+positives are harmless — the coordinator hash-join re-checks every
+shipped binding — they only cost transfer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from hashlib import blake2b
+
+from repro.shredding.keywords import query_tokens
+from repro.xquery.ast import (
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Compare,
+    Condition,
+    Contains,
+    LiteralOperand,
+    OrderCompare,
+    Query,
+    SeqContains,
+    ValueIn,
+    VarPath,
+)
+
+from repro.federation.stats import ShardStatistics, StatisticsCatalog
+
+#: ship join keys as a SQL IN-list at or below this many distinct
+#: values; above it, ship a Bloom filter instead (an IN-list of tens of
+#: thousands of parameters stops being a win for the shard's planner)
+INLIST_CUTOFF = 500
+
+#: target false-positive rate for shipped Bloom filters
+BLOOM_FP_RATE = 0.01
+
+#: a semi-join pushdown must expect to scan a probe side at least this
+#: many times larger than its build side (two-phase execution
+#: serializes the sides; a filter that saves nothing costs a phase)
+SEMIJOIN_MIN_RATIO = 2.0
+
+#: and the probe side must be non-trivial to begin with
+SEMIJOIN_MIN_PROBE_ROWS = 16.0
+
+#: serialized-binding size model (matches the executor's
+#: ``federation.bytes_shipped`` estimate): fixed per-row framing plus
+#: the value strings themselves
+ROW_OVERHEAD_BYTES = 48
+AVG_VALUE_BYTES = 16
+
+#: selectivity defaults where statistics are silent
+EQUALITY_DEFAULT = 0.1
+RANGE_DEFAULT = 1.0 / 3.0
+SEQCONTAINS_DEFAULT = 0.25
+ORDER_DEFAULT = 0.5
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over string join keys.
+
+    Uses the Kirsch-Mitzenmacher double-hashing scheme over one
+    blake2b digest per value — deterministic across processes, no
+    dependence on Python's randomized ``hash()``.
+    """
+
+    __slots__ = ("bits", "size", "hashes", "count")
+
+    def __init__(self, values, fp_rate: float = BLOOM_FP_RATE):
+        values = list(values)
+        self.count = len(values)
+        n = max(1, self.count)
+        size = int(math.ceil(-n * math.log(fp_rate) / (math.log(2) ** 2)))
+        self.size = max(8, size)
+        self.hashes = max(1, round(self.size / n * math.log(2)))
+        self.bits = bytearray((self.size + 7) // 8)
+        for value in values:
+            for position in self._positions(value):
+                self.bits[position >> 3] |= 1 << (position & 7)
+
+    def _positions(self, value: str):
+        digest = blake2b(value.encode("utf-8"), digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        for i in range(self.hashes):
+            yield (h1 + i * h2) % self.size
+
+    def __contains__(self, value: str) -> bool:
+        return all(self.bits[p >> 3] & (1 << (p & 7))
+                   for p in self._positions(value))
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def byte_size(self) -> int:
+        """Shipped size of the filter itself."""
+        return len(self.bits)
+
+
+def estimate_bytes(rows: float, item_count: int) -> float:
+    """Transfer-cost model: serialized size of ``rows`` bindings each
+    shipping ``item_count`` values."""
+    return rows * (ROW_OVERHEAD_BYTES + AVG_VALUE_BYTES * item_count)
+
+
+@dataclass
+class CostModel:
+    """Prices shard subqueries against a statistics catalog."""
+
+    stats: StatisticsCatalog
+
+    # -- cardinality ---------------------------------------------------------
+
+    def shard_rows(self, subquery: Query, shard: str) -> float | None:
+        """Estimated result rows of ``subquery`` on ``shard``; None
+        when the shard was never analyzed (no pricing on fiction)."""
+        record = self.stats.shard(shard)
+        if record is None:
+            return None
+        base = self._base_rows(subquery, record)
+        if base <= 0:
+            return 0.0
+        if subquery.where is None:
+            return base
+        return base * self._selectivity(subquery.where, record)
+
+    def plan_rows(self, subquery: Query, shards) -> float | None:
+        """Estimated rows summed over ``shards``; None when any shard
+        lacks statistics (a partial estimate would mis-rank plans)."""
+        total = 0.0
+        for shard in shards:
+            rows = self.shard_rows(subquery, shard)
+            if rows is None:
+                return None
+            total += rows
+        return total
+
+    def _base_rows(self, subquery: Query, record: ShardStatistics) -> float:
+        """Candidate binding count before predicates: the largest
+        binding-path element count (bindings are correlated through
+        structure and join predicates; a product would square-count)."""
+        by_var = {binding.var: binding for binding in subquery.bindings}
+        cards = []
+        for binding in subquery.bindings:
+            source = self._binding_source(binding, by_var)
+            tag = None
+            if binding.path is not None and binding.path.steps:
+                last = binding.path.steps[-1]
+                if last.name != "*":
+                    tag = last.name
+            count = (record.tag_count(source, tag)
+                     if source is not None and tag is not None else None)
+            if count is not None:
+                cards.append(float(count))
+            elif binding.document is not None:
+                cards.append(float(
+                    record.source_documents(binding.document.source)))
+        return max(cards) if cards else 0.0
+
+    @staticmethod
+    def _binding_source(binding, by_var) -> str | None:
+        """Source a binding's elements live in: follow context-var
+        chains back to the document binding (chains are acyclic;
+        unresolvable outside the subquery → None)."""
+        seen = set()
+        while binding is not None and binding.var not in seen:
+            if binding.document is not None:
+                return binding.document.source
+            seen.add(binding.var)
+            binding = by_var.get(binding.context_var)
+        return None
+
+    # -- selectivity ---------------------------------------------------------
+
+    def _selectivity(self, condition: Condition,
+                     record: ShardStatistics) -> float:
+        if isinstance(condition, BoolAnd):
+            product = 1.0
+            for item in condition.items:
+                product *= self._selectivity(item, record)
+            return product
+        if isinstance(condition, BoolOr):
+            miss = 1.0
+            for item in condition.items:
+                miss *= 1.0 - self._selectivity(item, record)
+            return 1.0 - miss
+        if isinstance(condition, BoolNot):
+            return 1.0 - self._selectivity(condition.item, record)
+        return self._atom_selectivity(condition, record)
+
+    def _atom_selectivity(self, atom: Condition,
+                          record: ShardStatistics) -> float:
+        if isinstance(atom, Contains):
+            product = 1.0
+            for token in query_tokens(atom.phrase):
+                product *= record.token_selectivity(token)
+            return product
+        if isinstance(atom, Compare):
+            return self._compare_selectivity(atom, record)
+        if isinstance(atom, ValueIn):
+            histogram = self._histogram_for(atom.target, record)
+            if histogram is not None and histogram.distinct > 0:
+                return min(1.0, len(atom.values) / histogram.distinct)
+            return min(1.0, EQUALITY_DEFAULT * max(1, len(atom.values)))
+        if isinstance(atom, SeqContains):
+            return SEQCONTAINS_DEFAULT
+        if isinstance(atom, OrderCompare):
+            return ORDER_DEFAULT
+        return 1.0
+
+    def _compare_selectivity(self, atom: Compare,
+                             record: ShardStatistics) -> float:
+        literal = None
+        varpath = None
+        for operand in (atom.left, atom.right):
+            if isinstance(operand, LiteralOperand):
+                literal = operand
+            elif isinstance(operand, VarPath):
+                varpath = operand
+        if literal is None or varpath is None:
+            # var-var comparison inside one unit
+            return EQUALITY_DEFAULT if atom.op == "=" else ORDER_DEFAULT
+        if atom.op == "=":
+            histogram = self._histogram_for(varpath, record)
+            if histogram is not None and not literal.is_numeric:
+                return histogram.equality_selectivity(str(literal.value))
+            return EQUALITY_DEFAULT
+        if atom.op == "!=":
+            return 1.0 - EQUALITY_DEFAULT
+        return RANGE_DEFAULT
+
+    def _histogram_for(self, varpath: VarPath, record: ShardStatistics):
+        path = varpath.path
+        if path is None or not path.steps:
+            return None
+        last = path.steps[-1]
+        if last.name == "*":
+            return None
+        if path.is_attribute_path:
+            return record.attributes.get(last.name)
+        return record.values.get(last.name)
+
+    # -- proofs --------------------------------------------------------------
+
+    def shard_provably_empty(self, subquery: Query,
+                             shard: str) -> str | None:
+        """The proof that the subquery returns no rows on ``shard``
+        (a human-readable reason string), or None when no proof
+        exists — zero documents for a bound source, or a required
+        keyword token absent from a complete token map. The record
+        must also be fresh for the live shard (checked by the planner
+        via generation); estimates never reach this method."""
+        record = self.stats.shard(shard)
+        if record is None:
+            return None
+        for binding in subquery.bindings:
+            if binding.document is not None and \
+                    record.source_documents(binding.document.source) == 0:
+                return (f"no {binding.document.source!r} documents "
+                        f"on shard")
+        for atom in self._conjoined_atoms(subquery.where):
+            if isinstance(atom, Contains):
+                for token in query_tokens(atom.phrase):
+                    if record.proves_token_absent(token):
+                        return (f"token {token!r} absent from the "
+                                f"shard's complete keyword index")
+        return None
+
+    def _conjoined_atoms(self, condition: Condition | None):
+        """Non-negated atoms required by the top-level conjunction."""
+        if condition is None:
+            return
+        if isinstance(condition, BoolAnd):
+            for item in condition.items:
+                yield from self._conjoined_atoms(item)
+        elif not isinstance(condition, (BoolNot, BoolOr)):
+            yield condition
+
+    # -- semi-join policy ----------------------------------------------------
+
+    def semijoin_worthwhile(self, build_rows: float,
+                            probe_rows: float) -> bool:
+        """Should the probe side wait for the build side's filter?"""
+        return (probe_rows >= SEMIJOIN_MIN_PROBE_ROWS
+                and probe_rows >= SEMIJOIN_MIN_RATIO * build_rows)

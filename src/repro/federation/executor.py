@@ -20,6 +20,17 @@ then
   shipped projections through the same helpers the monolithic
   executor uses.
 
+Cost-based plans add a **two-phase mode**: subplans marked as
+semi-join *builds* run first; their distinct join-key values become a
+filter shipped into each *probe* subplan's shard subqueries — a
+``ValueIn`` conjunct (real parameterized SQL ``IN``) below the IN-list
+cutoff, a Bloom-filter check above it — so shards only return bindings
+that can possibly join. Bloom false positives are removed by the
+coordinator hash-join, which keeps optimized answers byte-identical to
+the rule-based (and monolithic) ones. When a build-side shard fails,
+its probes degrade to the unfiltered scatter with an explicit warning
+rather than risking dropped rows.
+
 A shard that cannot be opened or fails mid-statement costs its rows,
 not the query: the executor answers from the surviving shards and says
 so in ``result.warnings`` (the same degrade-with-warning philosophy as
@@ -28,6 +39,7 @@ harvest quarantine). Planner/user errors still raise.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -37,7 +49,16 @@ from repro.errors import (
     StorageError,
     UnknownDocumentError,
 )
-from repro.federation.planner import FederatedPlan, ShardSubPlan
+from repro.federation.costs import (
+    INLIST_CUTOFF,
+    ROW_OVERHEAD_BYTES,
+    BloomFilter,
+)
+from repro.federation.planner import (
+    FederatedPlan,
+    SemiJoinPushdown,
+    ShardSubPlan,
+)
 from repro.obs.trace import Span
 from repro.results.resultset import (
     BoundNode,
@@ -47,7 +68,7 @@ from repro.results.resultset import (
 )
 from repro.translator.execute import _build_element
 from repro.xmlkit.serializer import serialize_compact
-from repro.xquery.ast import VarPath
+from repro.xquery.ast import BoolAnd, ValueIn, VarPath
 
 #: failures the query path degrades on — a shard that is gone or whose
 #: store is broken; anything else (syntax, semantics, bugs) propagates
@@ -75,11 +96,13 @@ class ScatterGatherExecutor:
     """Runs :class:`FederatedPlan` objects against a shard catalog."""
 
     def __init__(self, catalog, metrics=None, tracer=None,
-                 max_workers: int | None = None):
+                 max_workers: int | None = None, stats=None):
         self.catalog = catalog
         self.metrics = metrics
         self.tracer = tracer
         self.max_workers = max_workers
+        #: statistics catalog fed with runtime latency/row observations
+        self.stats = stats
         #: injectable sleep honouring ShardSpec.latency_s (simulated
         #: remote-shard round-trips; tests pass a recorder)
         self.sleep = time.sleep
@@ -119,7 +142,9 @@ class ScatterGatherExecutor:
         except DEGRADABLE as exc:
             return self._degraded_result(plan, [self._warn(shard, exc)])
         self._observe_shard(shard, time.perf_counter() - started,
-                            len(result.rows), root)
+                            len(result.rows), root,
+                            sum(_row_bytes(row.values)
+                                for row in result.rows))
         for row in result.rows:
             row.bindings = {
                 var: ShardBoundNode(doc_id=node.doc_id,
@@ -130,12 +155,53 @@ class ScatterGatherExecutor:
     # -- scatter-gather -------------------------------------------------------
 
     def _scatter(self, plan: FederatedPlan, root) -> QueryResult:
-        tasks = [(subplan, shard) for subplan in plan.subplans
-                 for shard in subplan.shards]
         unit_rows: dict[int, list[_UnitRow]] = {
             subplan.index: [] for subplan in plan.subplans}
         warnings: list[str] = []
+        self._observe_optimizer(plan, root)
 
+        by_probe: dict[int, SemiJoinPushdown] = {
+            semijoin.probe: semijoin for semijoin in plan.semijoins}
+        phase_one = [(subplan, None) for subplan in plan.subplans
+                     if subplan.index not in by_probe]
+        failed = self._run_phase(plan, phase_one, unit_rows, warnings,
+                                 root)
+
+        phase_two = []
+        for subplan in plan.subplans:
+            semijoin = by_probe.get(subplan.index)
+            if semijoin is None:
+                continue
+            if semijoin.build in failed:
+                # the filter cannot be trusted when part of its build
+                # side is missing — scan unfiltered instead of silently
+                # dropping probe rows that might still join elsewhere
+                warnings.append(
+                    f"semi-join filter for {' and '.join(subplan.sources)} "
+                    f"unavailable (build side degraded); scanning "
+                    f"unfiltered")
+                phase_two.append((subplan, None))
+                continue
+            phase_two.append(
+                self._filtered_subplan(subplan, semijoin, unit_rows))
+        if phase_two:
+            self._run_phase(plan, phase_two, unit_rows, warnings, root)
+
+        combos = self._gather(plan, unit_rows)
+        result = self._assemble(plan, combos)
+        result.warnings.extend(warnings)
+        if warnings and self.metrics is not None:
+            self.metrics.inc("federation.partial_results")
+        return result
+
+    def _run_phase(self, plan: FederatedPlan, entries, unit_rows,
+                   warnings: list[str], root) -> set[int]:
+        """Run one phase's ``(subplan, bloom)`` entries across their
+        shards; returns the subplan ids that lost at least one shard."""
+        tasks = [(subplan, bloom, shard) for subplan, bloom in entries
+                 for shard in subplan.shards]
+        if not tasks:
+            return set()
         if self.max_workers is not None:
             workers = self.max_workers
         else:
@@ -145,29 +211,61 @@ class ScatterGatherExecutor:
                     max_workers=min(workers, len(tasks)),
                     thread_name_prefix="shard") as pool:
                 futures = [pool.submit(self._run_subquery, plan,
-                                       subplan, shard, root)
-                           for subplan, shard in tasks]
+                                       subplan, shard, root, bloom)
+                           for subplan, bloom, shard in tasks]
                 outcomes = [future.result() for future in futures]
         else:
-            outcomes = [self._run_subquery(plan, subplan, shard, root)
-                        for subplan, shard in tasks]
-
-        for (subplan, shard), (rows, warning) in zip(tasks, outcomes):
+            outcomes = [self._run_subquery(plan, subplan, shard, root,
+                                           bloom)
+                        for subplan, bloom, shard in tasks]
+        failed: set[int] = set()
+        for (subplan, __, shard), (rows, warning) in zip(tasks, outcomes):
             if warning is not None:
                 warnings.append(warning)
+                failed.add(subplan.index)
             else:
                 unit_rows[subplan.index].extend(rows)
+        return failed
 
-        combos = self._gather(plan, unit_rows)
-        result = self._assemble(plan, combos)
-        result.warnings.extend(warnings)
-        if warnings and self.metrics is not None:
-            self.metrics.inc("federation.partial_results")
-        return result
+    def _filtered_subplan(self, subplan: ShardSubPlan,
+                          semijoin: SemiJoinPushdown, unit_rows):
+        """Attach the build side's join-key values to a probe subplan:
+        an IN-list rewrite of the subquery below the cutoff (the filter
+        runs inside the shard's SQL), a Bloom post-check above it."""
+        values = sorted({value
+                        for row in unit_rows[semijoin.build]
+                        for value in row.values.get(semijoin.build_key, [])
+                        if value})
+        if len(values) <= INLIST_CUTOFF:
+            if self.metrics is not None:
+                self.metrics.inc("federation.semijoin_filters",
+                                 mode="inlist")
+            atom = ValueIn(target=semijoin.probe_path,
+                           values=tuple(values))
+            where = subplan.subquery.where
+            if where is None:
+                conjunction = atom
+            elif isinstance(where, BoolAnd):
+                conjunction = BoolAnd(items=where.items + (atom,))
+            else:
+                conjunction = BoolAnd(items=(where, atom))
+            subquery = dataclasses.replace(subplan.subquery,
+                                           where=conjunction)
+            rewritten = dataclasses.replace(subplan, subquery=subquery,
+                                            text=str(subquery))
+            return rewritten, None
+        if self.metrics is not None:
+            self.metrics.inc("federation.semijoin_filters", mode="bloom")
+        return subplan, (semijoin.probe_key, BloomFilter(values))
 
     def _run_subquery(self, plan: FederatedPlan, subplan: ShardSubPlan,
-                      shard: str, root):
-        """One (subplan, shard) task; returns ``(rows, warning)``."""
+                      shard: str, root, bloom=None):
+        """One (subplan, shard) task; returns ``(rows, warning)``.
+
+        ``bloom`` is a ``(value key, BloomFilter)`` pair: the shipped
+        semi-join filter, applied before rows count as shipped (it
+        models the filter running at the shard's end of the wire).
+        """
         started = time.perf_counter()
         try:
             latency = self.catalog.spec(shard).latency_s
@@ -187,8 +285,18 @@ class ScatterGatherExecutor:
         except DEGRADABLE as exc:
             return [], self._warn(shard, exc, subplan)
         rows = self._unit_rows(plan, subplan, shard, result)
+        if bloom is not None:
+            key, shipped_filter = bloom
+            kept = [row for row in rows
+                    if any(value and value in shipped_filter
+                           for value in row.values.get(key, []))]
+            if self.metrics is not None:
+                self.metrics.inc("federation.rows_pruned",
+                                 len(rows) - len(kept))
+            rows = kept
         self._observe_shard(shard, time.perf_counter() - started,
-                            len(rows), root)
+                            len(rows), root,
+                            sum(_row_bytes(row.values) for row in rows))
         return rows, None
 
     def _unit_rows(self, plan: FederatedPlan, subplan: ShardSubPlan,
@@ -380,18 +488,48 @@ class ScatterGatherExecutor:
         return (f"shard {shard!r} unavailable — results for {sources} "
                 f"are partial: {exc}")
 
+    def _observe_optimizer(self, plan: FederatedPlan, root) -> None:
+        """Record what the cost-based pass claimed and removed."""
+        if not plan.cost_based:
+            return
+        estimated = round(sum(plan.estimated_rows.values()))
+        if self.metrics is not None:
+            if plan.estimated_rows:
+                self.metrics.inc("federation.estimated_rows", estimated)
+            if plan.pruned:
+                self.metrics.inc("federation.shards_pruned",
+                                 len(plan.pruned))
+        if root is not None:
+            if plan.estimated_rows:
+                root.count("estimated_rows", estimated)
+            if plan.pruned:
+                root.count("shards_pruned", len(plan.pruned))
+            if plan.semijoins:
+                root.count("semijoin_filters", len(plan.semijoins))
+
     def _observe_shard(self, shard: str, seconds: float, rows: int,
-                       root) -> None:
+                       root, bytes_shipped: int = 0) -> None:
         if self.metrics is not None:
             self.metrics.observe("federation.shard_seconds", seconds,
                                  shard=shard)
             self.metrics.inc("federation.rows_shipped", rows)
+            self.metrics.inc("federation.bytes_shipped", bytes_shipped)
+        if self.stats is not None:
+            self.stats.record_observation(shard, seconds, rows)
         if root is not None:
             now = self.tracer.clock()
             span = Span(name="shard_subquery", start=now - seconds,
                         end=now, meta={"shard": shard})
             span.counters["rows_shipped"] = rows
+            span.counters["bytes_shipped"] = bytes_shipped
             root.children.append(span)
+
+
+def _row_bytes(values: dict) -> int:
+    """Serialized size estimate of one shipped binding: fixed framing
+    plus the value strings (the ``federation.bytes_shipped`` unit)."""
+    return ROW_OVERHEAD_BYTES + sum(
+        len(value) for items in values.values() for value in items)
 
 
 _OPS = {

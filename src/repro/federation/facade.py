@@ -37,8 +37,14 @@ from repro.errors import (
     UnknownDocumentError,
 )
 from repro.federation.catalog import ShardCatalog
+from repro.federation.costs import (
+    BLOOM_FP_RATE,
+    INLIST_CUTOFF,
+    CostModel,
+)
 from repro.federation.executor import ScatterGatherExecutor, ShardBoundNode
 from repro.federation.planner import FederatedPlan, FederationPlanner
+from repro.federation.stats import StatisticsCatalog, default_stats_path
 from repro.results.resultset import QueryResult, ResultRow
 from repro.xmlkit import Document, serialize
 from repro.xquery.parser import parse_query
@@ -52,11 +58,17 @@ class FederatedXomatiQ:
                  registry: SourceRegistry | None = None,
                  validate_sources: bool = True,
                  metrics=None, trace=None,
-                 max_workers: int | None = None):
+                 max_workers: int | None = None,
+                 stats: StatisticsCatalog | None = None,
+                 stats_path=None):
         """``metrics``/``trace`` follow :class:`~repro.engine.
         Warehouse` conventions (default registry / no tracer);
         ``max_workers`` caps the scatter pool (default: one thread per
-        shard subquery)."""
+        shard subquery). ``stats`` is the optimizer's statistics
+        catalog (empty until :meth:`analyze` runs — plans stay
+        rule-based until then); ``stats_path`` is where refreshed
+        statistics persist (defaults to the shard map's sibling
+        ``.stats.json`` when opened via :meth:`from_shard_map`)."""
         from repro.obs import NullMetrics, Tracer, resolve_metrics
         self.catalog = catalog
         self.registry = registry or SourceRegistry()
@@ -72,15 +84,31 @@ class FederatedXomatiQ:
         if self.catalog.metrics is None:
             # shard warehouses record into the facade's registry too
             self.catalog.metrics = self.metrics
-        self.planner = FederationPlanner(catalog)
+        self.statistics = stats if stats is not None else StatisticsCatalog()
+        self.stats_path = stats_path
+        self.planner = FederationPlanner(
+            catalog, cost_model=CostModel(self.statistics))
         self.executor = ScatterGatherExecutor(
             catalog, metrics=self._metrics_sink, tracer=self.tracer,
-            max_workers=max_workers)
+            max_workers=max_workers, stats=self.statistics)
 
     @classmethod
     def from_shard_map(cls, path, **kwargs) -> "FederatedXomatiQ":
         """Open a federation from a shard-map registry file (what
-        ``xomatiq query --shard-map`` does)."""
+        ``xomatiq query --shard-map`` does). A sibling statistics
+        catalog (``shards.json`` → ``shards.stats.json``) is picked up
+        automatically when present — cost-based planning without an
+        explicit ``analyze`` on every open."""
+        if "stats" not in kwargs:
+            stats_path = kwargs.pop("stats_path", None) \
+                or default_stats_path(path)
+            stats = None
+            try:
+                stats = StatisticsCatalog.load(stats_path)
+            except (OSError, ValueError, KeyError):
+                stats = None
+            kwargs["stats"] = stats
+            kwargs["stats_path"] = stats_path
         return cls(ShardCatalog.load(path), **kwargs)
 
     # -- querying -------------------------------------------------------------
@@ -96,11 +124,64 @@ class FederatedXomatiQ:
 
     def plan(self, text: str) -> FederatedPlan:
         """Parse, check and plan without executing (tests and the
-        curious inspect pushdown/fan-out decisions here)."""
+        curious inspect pushdown/fan-out decisions here).
+
+        With statistics collected, planning is cost-based; statistics
+        gone stale (a shard's loader generation moved past the recorded
+        one) auto-refresh first, so the pruner never acts on a proof
+        that stopped being true."""
         ast = parse_query(text)
         check_query(ast, document_exists=self.document_exists,
                     dtd_for_source=self._dtd_for_source)
+        self._refresh_stale_stats()
         return self.planner.plan(text, ast)
+
+    def _refresh_stale_stats(self) -> None:
+        """Re-analyze shards whose statistics no longer match their
+        live loader generation. Only runs once statistics exist at all
+        (`analyze` is the opt-in); unreachable shards are skipped —
+        their records drop, which disables pruning for them."""
+        if not self.statistics:
+            return
+        stale = self.statistics.stale_shards(self.catalog)
+        if not stale:
+            return
+        self.statistics.collect(self.catalog, shard_names=stale)
+        if self._metrics_sink is not None:
+            self._metrics_sink.inc("federation.stats_refreshed",
+                                   len(stale))
+        self._persist_stats()
+
+    def _persist_stats(self) -> None:
+        if self.stats_path is not None:
+            try:
+                self.statistics.save(self.stats_path)
+            except OSError:
+                pass  # statistics are advisory; never fail the query
+
+    # -- optimizer ------------------------------------------------------------
+
+    def analyze(self, persist: bool = True) -> dict:
+        """Collect optimizer statistics from every reachable shard
+        (the ``xomatiq analyze`` verb). Returns the catalog summary;
+        ``persist`` writes it to ``stats_path`` when one is set."""
+        skipped = self.statistics.collect(self.catalog)
+        if persist:
+            self._persist_stats()
+        summary = self.statistics.summary()
+        if skipped:
+            summary["shards_skipped"] = skipped
+        return summary
+
+    def optimizer_stats(self) -> dict:
+        """JSON-ready optimizer state (the service's ``/stats`` block):
+        the statistics-catalog summary plus the pushdown cutoffs."""
+        summary = self.statistics.summary()
+        summary["inlist_cutoff"] = INLIST_CUTOFF
+        summary["bloom_fp_rate"] = BLOOM_FP_RATE
+        summary["stats_path"] = (str(self.stats_path)
+                                 if self.stats_path is not None else None)
+        return summary
 
     # -- loading --------------------------------------------------------------
 

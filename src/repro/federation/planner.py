@@ -32,6 +32,7 @@ the sources to be co-located on one shard.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.errors import FederationError, TranslationError
@@ -47,6 +48,7 @@ from repro.xquery.ast import (
     Query,
     ReturnItem,
     SeqContains,
+    ValueIn,
     VarPath,
 )
 
@@ -93,6 +95,38 @@ class CoordinatorAtom:
 
 
 @dataclass(frozen=True)
+class SemiJoinPushdown:
+    """A planned two-phase filter for one coordinator equality.
+
+    The executor runs the cheap *build* subplan first, collects the
+    distinct values of its join key, and ships them into the *probe*
+    subplan's shard subqueries — as a :class:`~repro.xquery.ast.ValueIn`
+    conjunct (real SQL ``IN (?,...)``) below the IN-list cutoff, as a
+    Bloom-filter post-check above it. Shards then return only bindings
+    that can possibly join; Bloom false positives are removed by the
+    coordinator hash-join, so answers stay byte-identical.
+    """
+
+    disjunct: int                    # index into plan.disjuncts
+    build: int                       # cheap-side subplan id
+    probe: int                       # expensive-side subplan id
+    build_key: str                   # shipped-value key on the build side
+    probe_path: VarPath              # join path on the probe side
+    probe_key: str                   # shipped-value key on the probe side
+    estimated_build_rows: float
+    estimated_probe_rows: float
+
+
+@dataclass(frozen=True)
+class PrunedShard:
+    """One (subplan, shard) pair the optimizer proved empty."""
+
+    subplan: int
+    shard: str
+    reason: str
+
+
+@dataclass(frozen=True)
 class PlannedDisjunct:
     """One DNF disjunct: which subplans it draws bindings from and the
     cross-unit atoms the coordinator applies while joining them."""
@@ -115,6 +149,14 @@ class FederatedPlan:
     route_shard: str | None = None
     subplans: list[ShardSubPlan] = field(default_factory=list)
     disjuncts: list[PlannedDisjunct] = field(default_factory=list)
+    #: True when a statistics catalog shaped this plan
+    cost_based: bool = False
+    #: subplan id → estimated result rows across its (surviving) shards
+    estimated_rows: dict[int, float] = field(default_factory=dict)
+    #: shards the optimizer proved empty and removed from subplans
+    pruned: list[PrunedShard] = field(default_factory=list)
+    #: two-phase semi-join filters the executor applies
+    semijoins: list[SemiJoinPushdown] = field(default_factory=list)
 
     @property
     def fanout(self) -> int:
@@ -126,14 +168,113 @@ class FederatedPlan:
 
 class FederationPlanner:
     """Plans queries against a :class:`~repro.federation.catalog.
-    ShardCatalog` routing table."""
+    ShardCatalog` routing table.
 
-    def __init__(self, catalog):
+    With a :class:`~repro.federation.costs.CostModel` attached (the
+    facade passes one once statistics are collected and fresh), the
+    rule-based plan gets a cost-based pass: provably-empty shards are
+    pruned, each disjunct's units are reordered most-selective-first,
+    and profitable coordinator equalities become semi-join pushdowns.
+    An empty or absent statistics catalog leaves the rule-based plan
+    untouched — same subplans, same answers.
+    """
+
+    def __init__(self, catalog, cost_model=None):
         self.catalog = catalog
+        self.cost_model = cost_model
 
     def plan(self, text: str, query: Query) -> FederatedPlan:
         """Build the federation plan for a checked query."""
-        return _Planning(self.catalog, text, query).run()
+        plan = _Planning(self.catalog, text, query).run()
+        if self.cost_model is not None and plan.route_shard is None:
+            optimize_plan(plan, self.cost_model)
+        return plan
+
+
+def optimize_plan(plan: FederatedPlan, model) -> None:
+    """The cost-based pass, in place. Pruning acts only on *proofs*
+    (zero documents, token absent from a complete map); estimates only
+    rank — a bad estimate can cost speed, never rows. An empty
+    statistics catalog leaves the rule-based plan entirely untouched."""
+    if not model.stats:
+        return
+    plan.cost_based = True
+
+    # 1. shard pruning
+    subplans: list[ShardSubPlan] = []
+    for subplan in plan.subplans:
+        kept = []
+        for shard in subplan.shards:
+            proof = model.shard_provably_empty(subplan.subquery, shard)
+            if proof is not None:
+                plan.pruned.append(PrunedShard(
+                    subplan=subplan.index, shard=shard, reason=proof))
+            else:
+                kept.append(shard)
+        if len(kept) != len(subplan.shards):
+            subplan = dataclasses.replace(subplan, shards=tuple(kept))
+        subplans.append(subplan)
+    plan.subplans = subplans
+
+    # 2. cardinality estimates (None = shard without statistics; such
+    # subplans keep their rule-based position and never join semijoins)
+    for subplan in plan.subplans:
+        rows = model.plan_rows(subplan.subquery, subplan.shards)
+        if rows is not None:
+            plan.estimated_rows[subplan.index] = rows
+
+    # 3. join ordering: most selective unit first per disjunct
+    for index, disjunct in enumerate(plan.disjuncts):
+        if all(sid in plan.estimated_rows
+               for sid in disjunct.subplan_ids):
+            ordered = tuple(sorted(
+                disjunct.subplan_ids,
+                key=lambda sid: plan.estimated_rows[sid]))
+            if ordered != disjunct.subplan_ids:
+                plan.disjuncts[index] = dataclasses.replace(
+                    disjunct, subplan_ids=ordered)
+
+    # 4. semi-join pushdown selection. A probe subplan must belong to
+    # exactly one disjunct (its subquery gets rewritten; a subplan
+    # shared across disjuncts would filter the others' rows too), and
+    # build/probe roles must not chain (builds run unfiltered in phase
+    # one, probes in phase two).
+    owners: dict[int, int] = {}
+    for disjunct in plan.disjuncts:
+        for sid in disjunct.subplan_ids:
+            owners[sid] = owners.get(sid, 0) + 1
+    builds: set[int] = set()
+    probes: set[int] = set()
+    for d_index, disjunct in enumerate(plan.disjuncts):
+        for atom in disjunct.atoms:
+            if atom.op != "=" or atom.negated:
+                continue
+            left = disjunct.var_unit[atom.left.var]
+            right = disjunct.var_unit[atom.right.var]
+            if left == right:
+                continue
+            if left not in plan.estimated_rows or \
+                    right not in plan.estimated_rows:
+                continue
+            pairs = sorted(
+                ((plan.estimated_rows[left], left, atom.left),
+                 (plan.estimated_rows[right], right, atom.right)))
+            (build_rows, build, build_path), \
+                (probe_rows, probe, probe_path) = pairs
+            if owners.get(probe, 0) != 1:
+                continue
+            if probe in probes or probe in builds or build in probes:
+                continue
+            if not model.semijoin_worthwhile(build_rows, probe_rows):
+                continue
+            plan.semijoins.append(SemiJoinPushdown(
+                disjunct=d_index, build=build, probe=probe,
+                build_key=str(build_path), probe_path=probe_path,
+                probe_key=str(probe_path),
+                estimated_build_rows=build_rows,
+                estimated_probe_rows=probe_rows))
+            builds.add(build)
+            probes.add(probe)
 
 
 def _atom_vars(atom: Condition) -> list[str]:
@@ -144,7 +285,7 @@ def _atom_vars(atom: Condition) -> list[str]:
         if var not in out:
             out.append(var)
 
-    if isinstance(atom, (Contains, SeqContains)):
+    if isinstance(atom, (Contains, SeqContains, ValueIn)):
         add(atom.target.var)
     elif isinstance(atom, OrderCompare):
         add(atom.left.var)

@@ -1,0 +1,410 @@
+"""Per-shard statistics for the cost-based federation optimizer.
+
+The rule-based :class:`~repro.federation.planner.FederationPlanner`
+ships every shard's candidate bindings to the coordinator; E13 measured
+the resulting ~3x coordinator tax on cross-shard joins. Cost-based
+planning needs to know what each shard holds, and this module is that
+knowledge: a :class:`StatisticsCatalog` holding one
+:class:`ShardStatistics` record per shard —
+
+* table cardinalities and per-source document counts (baseline sizes),
+* per-tag element counts (binding-path cardinality estimates),
+* a keyword-token document-frequency map sampled from the inverted
+  index (``contains()`` selectivity; a ``complete`` flag marks maps
+  that enumerate *every* token, which is what makes absence a proof
+  the shard-pruner may act on),
+* per-tag and per-attribute value histograms — row count, distinct
+  count, most-common values — sampled from ``text_values`` /
+  ``attributes`` (equality/join selectivity),
+* latency and row-rate EWMAs fed at run time from the same
+  observations that drive ``federation.shard_seconds`` and
+  ``federation.rows_shipped``.
+
+Collection uses only portable SQL (no ``COUNT(DISTINCT)``, ``HAVING``
+or subqueries) so it runs unchanged on SQLite and minidb shards; the
+distinct-counting happens in Python over capped samples, and every
+capped sample is flagged so the cost model knows an estimate is based
+on a prefix, and the pruner knows not to treat absence as proof.
+
+The catalog persists as JSON next to the shard map
+(``shards.json`` → ``shards.stats.json``) and records each shard's
+loader *generation* at collection time. A live shard whose generation
+moved on makes the record stale — consumers re-collect (the facade
+auto-refreshes on the query path) rather than plan on fiction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+STATS_VERSION = 1
+
+#: keep at most this many tokens in the document-frequency map; a map
+#: that had to drop tokens loses its ``complete`` flag (absence stops
+#: being a proof)
+TOKEN_CAP = 4096
+
+#: cap on sampled value rows per table scan (text_values / attributes)
+VALUE_SAMPLE_CAP = 200_000
+
+#: most-common values kept per tag / attribute histogram
+MCV_K = 8
+
+#: EWMA smoothing factor for latency / row-rate observations
+EWMA_ALPHA = 0.2
+
+
+def default_stats_path(map_path) -> Path:
+    """Where the catalog lives for a given shard map:
+    ``shards.json`` → ``shards.stats.json``."""
+    return Path(map_path).with_suffix(".stats.json")
+
+
+@dataclass
+class ValueHistogram:
+    """Value distribution of one tag's text values (or one attribute's
+    values): enough to price equality predicates and joins."""
+
+    rows: int = 0
+    distinct: int = 0
+    mcvs: dict[str, int] = field(default_factory=dict)
+    sampled: bool = False       # True when the scan hit VALUE_SAMPLE_CAP
+
+    def equality_selectivity(self, literal: str) -> float:
+        """Fraction of rows expected to equal ``literal``."""
+        if self.rows <= 0:
+            return 0.0
+        if literal in self.mcvs:
+            return self.mcvs[literal] / self.rows
+        if self.distinct > 0:
+            return 1.0 / self.distinct
+        return 1.0
+
+    def to_dict(self) -> dict:
+        return {"rows": self.rows, "distinct": self.distinct,
+                "mcvs": dict(self.mcvs), "sampled": self.sampled}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ValueHistogram":
+        return cls(rows=int(raw.get("rows", 0)),
+                   distinct=int(raw.get("distinct", 0)),
+                   mcvs={str(k): int(v)
+                         for k, v in raw.get("mcvs", {}).items()},
+                   sampled=bool(raw.get("sampled", False)))
+
+    @classmethod
+    def from_values(cls, values, sampled: bool) -> "ValueHistogram":
+        counts: dict[str, int] = {}
+        rows = 0
+        for value in values:
+            rows += 1
+            counts[value] = counts.get(value, 0) + 1
+        top = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return cls(rows=rows, distinct=len(counts),
+                   mcvs=dict(top[:MCV_K]), sampled=sampled)
+
+
+@dataclass
+class ShardStatistics:
+    """Everything the cost model knows about one shard."""
+
+    name: str
+    generation: int = 0
+    collected_at: float = 0.0
+    tables: dict[str, int] = field(default_factory=dict)
+    documents: dict[str, int] = field(default_factory=dict)
+    #: source → tag → element count (per source, so two sources on one
+    #: shard that share a tag name don't inflate each other's estimates)
+    tags: dict[str, dict[str, int]] = field(default_factory=dict)
+    token_docs: dict[str, int] = field(default_factory=dict)
+    tokens_complete: bool = False
+    values: dict[str, ValueHistogram] = field(default_factory=dict)
+    attributes: dict[str, ValueHistogram] = field(default_factory=dict)
+    #: runtime EWMAs, fed from executor observations (not collection)
+    ewma_seconds: float | None = None
+    ewma_rows: float | None = None
+    observations: int = 0
+    #: True for records deserialized from disk: their generation came
+    #: from another process (generations are per-process counters), so
+    #: the first staleness check validates by document count and then
+    #: rebases the generation onto the live warehouse
+    loaded: bool = False
+
+    @property
+    def total_documents(self) -> int:
+        return sum(self.documents.values())
+
+    def source_documents(self, source: str) -> int:
+        return self.documents.get(source, 0)
+
+    def tag_count(self, source: str, tag: str) -> int | None:
+        """Elements named ``tag`` inside ``source``'s documents, or
+        None when the tag never occurs there."""
+        return self.tags.get(source, {}).get(tag)
+
+    def token_selectivity(self, token: str) -> float:
+        """Fraction of the shard's documents containing ``token``."""
+        docs = self.total_documents
+        if docs <= 0:
+            return 0.0
+        if token in self.token_docs:
+            return min(1.0, self.token_docs[token] / docs)
+        if self.tokens_complete:
+            return 0.0
+        return 1.0 / docs    # unknown under a capped map: assume rare
+
+    def proves_token_absent(self, token: str) -> bool:
+        """True only when the complete token map proves no document on
+        this shard contains ``token`` — the pruner's bar is proof, not
+        an estimate."""
+        return self.tokens_complete and token not in self.token_docs
+
+    def record_observation(self, seconds: float, rows: int) -> None:
+        """Fold one subquery observation into the latency/row EWMAs."""
+        if self.ewma_seconds is None:
+            self.ewma_seconds = seconds
+            self.ewma_rows = float(rows)
+        else:
+            self.ewma_seconds += EWMA_ALPHA * (seconds - self.ewma_seconds)
+            self.ewma_rows += EWMA_ALPHA * (rows - self.ewma_rows)
+        self.observations += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "generation": self.generation,
+            "collected_at": self.collected_at,
+            "tables": dict(self.tables),
+            "documents": dict(self.documents),
+            "tags": {source: dict(tags)
+                     for source, tags in self.tags.items()},
+            "tokens": {"map": dict(self.token_docs),
+                       "complete": self.tokens_complete},
+            "values": {tag: h.to_dict() for tag, h in self.values.items()},
+            "attributes": {name: h.to_dict()
+                           for name, h in self.attributes.items()},
+            "ewma": {"seconds": self.ewma_seconds,
+                     "rows": self.ewma_rows,
+                     "observations": self.observations},
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ShardStatistics":
+        tokens = raw.get("tokens", {})
+        ewma = raw.get("ewma", {})
+        return cls(
+            name=str(raw["name"]),
+            generation=int(raw.get("generation", 0)),
+            collected_at=float(raw.get("collected_at", 0.0)),
+            tables={str(k): int(v)
+                    for k, v in raw.get("tables", {}).items()},
+            documents={str(k): int(v)
+                       for k, v in raw.get("documents", {}).items()},
+            tags={str(source): {str(tag): int(count)
+                                for tag, count in tags.items()}
+                  for source, tags in raw.get("tags", {}).items()},
+            token_docs={str(k): int(v)
+                        for k, v in tokens.get("map", {}).items()},
+            tokens_complete=bool(tokens.get("complete", False)),
+            values={str(tag): ValueHistogram.from_dict(h)
+                    for tag, h in raw.get("values", {}).items()},
+            attributes={str(name): ValueHistogram.from_dict(h)
+                        for name, h in raw.get("attributes", {}).items()},
+            ewma_seconds=ewma.get("seconds"),
+            ewma_rows=ewma.get("rows"),
+            observations=int(ewma.get("observations", 0)),
+            loaded=True,
+        )
+
+
+def collect_shard_statistics(name: str, warehouse) -> ShardStatistics:
+    """ANALYZE one shard: portable scans over the generic schema."""
+    backend = warehouse.backend
+    stats = ShardStatistics(name=name,
+                            generation=warehouse.loader.generation,
+                            collected_at=time.time())
+
+    from repro.relational.schema import TABLE_NAMES
+    for table in TABLE_NAMES:
+        stats.tables[table] = backend.execute(
+            f"SELECT COUNT(*) FROM {table}")[0][0]
+    for source, count in backend.execute(
+            "SELECT source, COUNT(*) FROM documents GROUP BY source"):
+        stats.documents[source] = count
+    for source in stats.documents:
+        stats.tags[source] = {
+            tag: count for tag, count in backend.execute(
+                "SELECT e.tag, COUNT(*) FROM documents d, elements e "
+                "WHERE e.doc_id = d.doc_id AND d.source = ? "
+                "GROUP BY e.tag", (source,))}
+
+    # token document frequency: distinct (token, doc) pairs, counted
+    # here (COUNT(DISTINCT) is not portable to minidb)
+    token_docs: dict[str, int] = {}
+    for token, __ in backend.execute(
+            "SELECT DISTINCT token, doc_id FROM keywords"):
+        token_docs[token] = token_docs.get(token, 0) + 1
+    if len(token_docs) > TOKEN_CAP:
+        top = sorted(token_docs.items(),
+                     key=lambda item: (-item[1], item[0]))[:TOKEN_CAP]
+        stats.token_docs = dict(top)
+        stats.tokens_complete = False
+    else:
+        stats.token_docs = token_docs
+        stats.tokens_complete = True
+
+    # per-tag text-value histograms (capped scan)
+    rows = backend.execute(
+        "SELECT e.tag, t.value FROM elements e, text_values t "
+        "WHERE t.doc_id = e.doc_id AND t.node_id = e.node_id "
+        f"LIMIT {VALUE_SAMPLE_CAP}")
+    sampled = len(rows) >= VALUE_SAMPLE_CAP
+    by_tag: dict[str, list[str]] = {}
+    for tag, value in rows:
+        by_tag.setdefault(tag, []).append(value)
+    stats.values = {tag: ValueHistogram.from_values(values, sampled)
+                    for tag, values in by_tag.items()}
+
+    rows = backend.execute(
+        f"SELECT name, value FROM attributes LIMIT {VALUE_SAMPLE_CAP}")
+    sampled = len(rows) >= VALUE_SAMPLE_CAP
+    by_name: dict[str, list[str]] = {}
+    for attr_name, value in rows:
+        by_name.setdefault(attr_name, []).append(value)
+    stats.attributes = {name_: ValueHistogram.from_values(values, sampled)
+                        for name_, values in by_name.items()}
+    return stats
+
+
+@dataclass
+class StatisticsCatalog:
+    """The federation's statistics: one record per analyzed shard."""
+
+    shards: dict[str, ShardStatistics] = field(default_factory=dict)
+    collected_at: float = 0.0
+
+    def __bool__(self) -> bool:
+        return bool(self.shards)
+
+    def shard(self, name: str) -> ShardStatistics | None:
+        return self.shards.get(name)
+
+    # -- collection ----------------------------------------------------------
+
+    def collect(self, catalog, shard_names=None) -> list[str]:
+        """(Re-)analyze shards of a :class:`ShardCatalog`; unreachable
+        shards are skipped (their stale records dropped so the planner
+        never prunes on dead numbers). Returns the skipped names."""
+        from repro.errors import ShardUnreachableError
+        names = list(shard_names) if shard_names is not None \
+            else list(catalog.shard_names())
+        skipped: list[str] = []
+        for name in names:
+            try:
+                warehouse = catalog.warehouse(name)
+            except ShardUnreachableError:
+                self.shards.pop(name, None)
+                skipped.append(name)
+                continue
+            previous = self.shards.get(name)
+            record = collect_shard_statistics(name, warehouse)
+            if previous is not None:
+                # runtime EWMAs survive re-analysis
+                record.ewma_seconds = previous.ewma_seconds
+                record.ewma_rows = previous.ewma_rows
+                record.observations = previous.observations
+            self.shards[name] = record
+        self.collected_at = time.time()
+        return skipped
+
+    def stale_shards(self, catalog) -> list[str]:
+        """Live shards whose statistics no longer describe them:
+        never analyzed, loader generation moved on (in-process loads),
+        or the document row count changed (loads from *another*
+        process — generations are per-process, so the count probe is
+        what catches a shard modified behind our back). Unreachable
+        shards are not reported — staleness is only decidable against
+        a warehouse we can open."""
+        from repro.errors import ShardUnreachableError
+        stale: list[str] = []
+        for name in catalog.shard_names():
+            record = self.shards.get(name)
+            try:
+                warehouse = catalog.warehouse(name)
+            except ShardUnreachableError:
+                continue
+            if record is None:
+                stale.append(name)
+                continue
+            documents = warehouse.backend.execute(
+                "SELECT COUNT(*) FROM documents")[0][0]
+            if record.loaded:
+                # disk record from another process: validate by count,
+                # then adopt the live generation for in-process checks
+                if documents == record.tables.get("documents"):
+                    record.generation = warehouse.loader.generation
+                    record.loaded = False
+                else:
+                    stale.append(name)
+                continue
+            if warehouse.loader.generation != record.generation or \
+                    documents != record.tables.get("documents", documents):
+                stale.append(name)
+        return stale
+
+    def record_observation(self, shard: str, seconds: float,
+                           rows: int) -> None:
+        """Feed one runtime subquery observation into a shard's EWMAs
+        (no-op for unanalyzed shards)."""
+        record = self.shards.get(shard)
+        if record is not None:
+            record.record_observation(seconds, rows)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"version": STATS_VERSION,
+                "collected_at": self.collected_at,
+                "shards": {name: record.to_dict()
+                           for name, record in self.shards.items()}}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "StatisticsCatalog":
+        version = raw.get("version")
+        if version != STATS_VERSION:
+            raise ValueError(
+                f"unsupported statistics catalog version {version!r}")
+        return cls(
+            shards={str(name): ShardStatistics.from_dict(record)
+                    for name, record in raw.get("shards", {}).items()},
+            collected_at=float(raw.get("collected_at", 0.0)))
+
+    def save(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2,
+                                         sort_keys=True))
+
+    @classmethod
+    def load(cls, path) -> "StatisticsCatalog":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def summary(self) -> dict:
+        """JSON-ready operator view (`xomatiq analyze`, `/stats`)."""
+        return {
+            "shards_analyzed": len(self.shards),
+            "collected_at": self.collected_at,
+            "shards": {
+                name: {
+                    "generation": record.generation,
+                    "documents": record.total_documents,
+                    "elements": record.tables.get("elements", 0),
+                    "tokens": len(record.token_docs),
+                    "tokens_complete": record.tokens_complete,
+                    "ewma_seconds": record.ewma_seconds,
+                    "observations": record.observations,
+                }
+                for name, record in sorted(self.shards.items())
+            },
+        }

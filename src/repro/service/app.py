@@ -206,7 +206,13 @@ class QueryService:
         if endpoint == "metrics":
             return self._metrics(params)
         if endpoint == "stats":
-            return Response(200, self.engine.stats())
+            payload = self.engine.stats()
+            optimizer = getattr(self.engine, "optimizer_stats", None)
+            if optimizer is not None:
+                # federated engines expose the cost-based optimizer's
+                # statistics-catalog state alongside warehouse counts
+                payload = {**payload, "optimizer": optimizer()}
+            return Response(200, payload)
         return self._harvest(_json_body(body))
 
     # -- resources ----------------------------------------------------------

@@ -41,6 +41,7 @@ from repro.xquery.ast import (
     Query,
     ReturnItem,
     SeqContains,
+    ValueIn,
     VarPath,
 )
 from repro.translator.sqlgen import ChainBuilder, ElementRef, SqlBuilder
@@ -301,6 +302,8 @@ class _Compiler:
             self._apply_order(atom, builder, chains, ref_for)
         elif isinstance(atom, SeqContains):
             self._apply_seqcontains(atom, builder, chains, ref_for)
+        elif isinstance(atom, ValueIn):
+            self._apply_value_in(atom, builder, chains, ref_for)
         else:
             raise TranslationError(
                 f"cannot translate condition {type(atom).__name__}")
@@ -319,6 +322,15 @@ class _Compiler:
         builder.where(f"{seq}.doc_id = {holder.doc_id}")
         builder.where(f"{seq}.node_id = {holder.node_id}")
         builder.where(f"{seq}.residues LIKE ?", motif_to_like(atom.motif))
+
+    def _apply_value_in(self, atom: ValueIn, builder: SqlBuilder,
+                        chains: ChainBuilder, ref_for) -> None:
+        """IN-list membership over the target's text values — the
+        planner-injected semi-join fragment. Existential like an
+        equality join: joins ``text_values``/``attributes`` and asks
+        the value column to hit the parameterized list."""
+        value = chains.value_of(ref_for(atom.target.var), atom.target.path)
+        builder.where_in(value.text, atom.values)
 
     def _apply_order(self, atom: OrderCompare, builder: SqlBuilder,
                      chains: ChainBuilder, ref_for) -> None:

@@ -54,6 +54,19 @@ class SqlBuilder:
         self.conjuncts.append(conjunct)
         self.params.extend(params)
 
+    def where_in(self, column: str, values) -> None:
+        """Add a parameterized membership conjunct ``column IN (?,...)``
+        (the federation optimizer's semi-join IN-list fragment). An
+        empty value list matches nothing — SQL has no empty IN-list, so
+        it renders as a constant-false conjunct instead."""
+        values = tuple(values)
+        if not values:
+            self.conjuncts.append("1 = 0")
+            return
+        placeholders = ", ".join("?" for __ in values)
+        self.conjuncts.append(f"{column} IN ({placeholders})")
+        self.params.extend(values)
+
     def sql(self) -> str:
         """Render the accumulated SELECT."""
         if not self.tables:

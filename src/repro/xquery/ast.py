@@ -132,6 +132,29 @@ class SeqContains(Condition):
 
 
 @dataclass(frozen=True)
+class ValueIn(Condition):
+    """``target IN ("v1", "v2", ...)`` — membership of some text value
+    of ``target`` in a literal list.
+
+    There is no surface syntax for this atom: the federation planner
+    injects it into shard subqueries as the IN-list form of a semi-join
+    pushdown (the coordinator runs the cheap join side, collects its
+    join-key values and ships them into the expensive side's subquery
+    so shards return only bindings that can possibly join). Semantics
+    are existential over the target's text values, exactly like an
+    equality join: an empty element (no text row) never matches, and an
+    empty ``values`` tuple matches nothing.
+    """
+
+    target: VarPath
+    values: tuple[str, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(f'"{value}"' for value in self.values)
+        return f"{self.target} IN ({inner})"
+
+
+@dataclass(frozen=True)
 class Compare(Condition):
     """``left op right`` with op in ``= != < <= > >=``."""
 

@@ -30,6 +30,7 @@ from repro.xquery.ast import (
     OrderCompare,
     Query,
     SeqContains,
+    ValueIn,
     VarPath,
 )
 
@@ -81,7 +82,7 @@ def _used_varpaths(query: Query) -> list[VarPath]:
 
 
 def _collect_varpaths(condition: Condition, out: list[VarPath]) -> None:
-    if isinstance(condition, (Contains, SeqContains)):
+    if isinstance(condition, (Contains, SeqContains, ValueIn)):
         out.append(condition.target)
     elif isinstance(condition, Compare):
         for operand in (condition.left, condition.right):

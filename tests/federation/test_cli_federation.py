@@ -142,3 +142,45 @@ class TestFederatedCommands:
         captured = capsys.readouterr()
         assert "warning:" in captured.err and "s1" in captured.err
         assert "row(s)" in captured.out
+
+
+class TestAnalyzeVerb:
+    def test_analyze_writes_sibling_stats_file(self, tmp_path,
+                                               loaded_map, capsys):
+        capsys.readouterr()
+        assert main(["analyze", "--shard-map", loaded_map]) == 0
+        out = capsys.readouterr().out
+        assert "analyzed 2 shard(s)" in out
+        assert "s0" in out and "complete" in out
+        assert (tmp_path / "shards.stats.json").exists()
+
+    def test_analyze_json_summary(self, loaded_map, corpus, capsys):
+        capsys.readouterr()
+        assert main(["analyze", "--shard-map", loaded_map,
+                     "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["shards_analyzed"] == 2
+        total = sum(record["documents"]
+                    for record in summary["shards"].values())
+        sizes = corpus.sizes()
+        assert total == sizes["hlx_enzyme"] + sizes["hlx_embl"]
+
+    def test_analyze_custom_stats_path(self, tmp_path, loaded_map,
+                                       capsys):
+        target = tmp_path / "custom.stats.json"
+        capsys.readouterr()
+        assert main(["analyze", "--shard-map", loaded_map,
+                     "--stats", str(target)]) == 0
+        assert target.exists()
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert set(payload["shards"]) == {"s0", "s1"}
+
+    def test_query_after_analyze_uses_persisted_stats(self, tmp_path,
+                                                      loaded_map,
+                                                      capsys):
+        assert main(["analyze", "--shard-map", loaded_map]) == 0
+        capsys.readouterr()
+        # a fresh CLI invocation (new process, in spirit) picks the
+        # sibling stats file up and still answers correctly
+        assert main(["query", "--shard-map", loaded_map, JOIN]) == 0
+        assert "row(s)" in capsys.readouterr().out

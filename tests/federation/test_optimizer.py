@@ -1,0 +1,268 @@
+"""Cost-based federation optimizer: pruning, ordering, semi-joins.
+
+Every optimization must preserve the headline invariant — federated
+answers byte-identical to the monolithic warehouse — so each scenario
+here compares against a monolith over the same corpus. The optimizer
+is also strictly opt-in: with an empty statistics catalog the planner
+must behave exactly as the rule-based planner always did.
+"""
+
+import pytest
+
+import repro.federation.executor as executor_module
+from repro.errors import ShardUnreachableError
+from repro.engine import Warehouse
+from repro.obs import MetricsRegistry
+from repro.synth import build_corpus
+
+from tests.federation.conftest import (
+    FIG11_JOIN,
+    ROUTING_PARTITIONED,
+    build_federation,
+)
+
+#: skewed corpus: a small build side (enzyme) against a large probe
+#: side (embl) makes semi-join pushdown clearly worthwhile
+JOIN_CORPUS = dict(seed=17, enzyme_count=120, embl_count=400,
+                   sprot_count=10)
+
+SELECTIVE_JOIN = '''
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+  AND contains($b//catalytic_activity, "ketone")
+RETURN $Accession_Number = $a//embl_accession_number,
+       $Accession_Description = $a//description
+'''
+
+
+@pytest.fixture(scope="module")
+def join_corpus():
+    return build_corpus(**JOIN_CORPUS)
+
+
+@pytest.fixture(scope="module")
+def join_mono(join_corpus):
+    warehouse = Warehouse(metrics=False)
+    warehouse.load_corpus(join_corpus)
+    yield warehouse
+    warehouse.close()
+
+
+@pytest.fixture
+def optimized(join_corpus):
+    """Partitioned federation over the skewed corpus, analyzed."""
+    registry = MetricsRegistry()
+    federation = build_federation(join_corpus, ROUTING_PARTITIONED,
+                                  metrics=registry)
+    federation.analyze(persist=False)
+    yield federation, registry
+    federation.close()
+
+
+def rows_of(result):
+    return [row.values for row in result.rows]
+
+
+class TestRuleBasedFallback:
+    def test_empty_catalog_plans_rule_based(self, join_corpus,
+                                            join_mono):
+        federation = build_federation(join_corpus, ROUTING_PARTITIONED)
+        try:
+            plan = federation.plan(FIG11_JOIN)
+            assert not plan.cost_based
+            assert plan.estimated_rows == {}
+            assert plan.pruned == [] and plan.semijoins == []
+            result = federation.query(FIG11_JOIN)
+            reference = join_mono.xomatiq.query(FIG11_JOIN)
+            assert result.to_xml() == reference.to_xml()
+        finally:
+            federation.close()
+
+    def test_optimized_and_fallback_answers_agree(self, optimized,
+                                                  join_corpus):
+        federation, __ = optimized
+        fallback = build_federation(join_corpus, ROUTING_PARTITIONED)
+        try:
+            assert rows_of(federation.query(FIG11_JOIN)) \
+                == rows_of(fallback.query(FIG11_JOIN))
+        finally:
+            fallback.close()
+
+
+class TestCostBasedPlanning:
+    def test_plan_carries_estimates(self, optimized):
+        federation, __ = optimized
+        plan = federation.plan(FIG11_JOIN)
+        assert plan.cost_based
+        assert set(plan.estimated_rows) \
+            == {subplan.index for subplan in plan.subplans}
+        assert all(rows >= 0 for rows in plan.estimated_rows.values())
+
+    def test_join_order_most_selective_first(self, optimized):
+        federation, __ = optimized
+        plan = federation.plan(FIG11_JOIN)
+        order = plan.disjuncts[0].subplan_ids
+        estimates = [plan.estimated_rows[index] for index in order]
+        assert estimates == sorted(estimates)
+        # the 120-entry enzyme side must come before the 400-entry embl
+        by_index = {subplan.index: subplan for subplan in plan.subplans}
+        assert "hlx_enzyme" in by_index[order[0]].sources
+
+    def test_semijoin_selected_for_skewed_join(self, optimized):
+        federation, __ = optimized
+        plan = federation.plan(FIG11_JOIN)
+        assert len(plan.semijoins) == 1
+        semijoin = plan.semijoins[0]
+        by_index = {subplan.index: subplan for subplan in plan.subplans}
+        assert "hlx_enzyme" in by_index[semijoin.build].sources
+        assert "hlx_embl" in by_index[semijoin.probe].sources
+        assert semijoin.estimated_probe_rows \
+            >= 2 * semijoin.estimated_build_rows
+
+
+class TestShardPruning:
+    def test_empty_partition_slices_pruned(self, join_mono):
+        # one embl document routed across three shards: two slices are
+        # provably empty and must vanish from the plan
+        corpus = build_corpus(seed=5, enzyme_count=6, embl_count=1,
+                              sprot_count=2, omim_count=1)
+        registry = MetricsRegistry()
+        federation = build_federation(corpus, ROUTING_PARTITIONED,
+                                      metrics=registry)
+        mono = Warehouse(metrics=False)
+        try:
+            mono.load_corpus(corpus)
+            federation.analyze(persist=False)
+            plan = federation.plan(FIG11_JOIN)
+            assert {p.shard for p in plan.pruned} == {"s2", "s3"}
+            embl = next(s for s in plan.subplans
+                        if "hlx_embl" in s.sources)
+            assert embl.shards == ("s1",)
+            result = federation.query(FIG11_JOIN)
+            assert rows_of(result) \
+                == rows_of(mono.xomatiq.query(FIG11_JOIN))
+            assert registry.counter_total("federation.shards_pruned") == 2
+        finally:
+            mono.close()
+            federation.close()
+
+    def test_proven_absent_token_prunes_all_shards(self, optimized,
+                                                   join_mono):
+        federation, registry = optimized
+        query = SELECTIVE_JOIN.replace("ketone", "zzzneverinanydoc")
+        plan = federation.plan(query)
+        enzyme = next(s for s in plan.subplans
+                      if "hlx_enzyme" in s.sources)
+        assert enzyme.shards == ()
+        assert any("token" in p.reason for p in plan.pruned)
+        # an empty answer, but the *same* empty answer
+        result = federation.query(query)
+        assert rows_of(result) == rows_of(join_mono.xomatiq.query(query))
+
+    def test_estimates_never_prune(self, optimized):
+        # a selective predicate shrinks the estimate but proves
+        # nothing: every shard that might hold a match must stay
+        federation, __ = optimized
+        plan = federation.plan(SELECTIVE_JOIN)
+        embl = next(s for s in plan.subplans if "hlx_embl" in s.sources)
+        assert set(embl.shards) == {"s1", "s2", "s3"}
+
+
+class TestSemiJoinExecution:
+    def test_inlist_pushdown_cuts_rows_shipped(self, optimized,
+                                               join_corpus, join_mono):
+        federation, registry = optimized
+        baseline = build_federation(join_corpus, ROUTING_PARTITIONED,
+                                    metrics=MetricsRegistry())
+        try:
+            result = federation.query(FIG11_JOIN)
+            reference = baseline.query(FIG11_JOIN)
+            assert result.to_xml() == reference.to_xml()
+            assert result.to_xml() \
+                == join_mono.xomatiq.query(FIG11_JOIN).to_xml()
+            shipped = registry.counter_total("federation.rows_shipped")
+            unfiltered = baseline.metrics.counter_total(
+                "federation.rows_shipped")
+            assert shipped < unfiltered
+            assert registry.counter_items("federation.semijoin_filters") \
+                == [({"mode": "inlist"}, 1)]
+        finally:
+            baseline.close()
+
+    def test_bloom_pushdown_above_cutoff(self, optimized, join_mono,
+                                         monkeypatch):
+        # force the IN-list cutoff below the build size: the filter
+        # ships as a Bloom filter and false positives must still be
+        # removed by the coordinator join
+        monkeypatch.setattr(executor_module, "INLIST_CUTOFF", 10)
+        federation, registry = optimized
+        result = federation.query(FIG11_JOIN)
+        assert rows_of(result) \
+            == rows_of(join_mono.xomatiq.query(FIG11_JOIN))
+        assert registry.counter_items("federation.semijoin_filters") \
+            == [({"mode": "bloom"}, 1)]
+        assert registry.counter_total("federation.rows_pruned") > 0
+
+    def test_unreachable_build_shard_degrades_unfiltered(self,
+                                                         optimized):
+        federation, registry = optimized
+        original = federation.catalog.warehouse
+
+        def flaky(name):
+            if name == "s0":        # the enzyme (build) shard
+                raise ShardUnreachableError("s0 is down")
+            return original(name)
+
+        federation.catalog.warehouse = flaky
+        try:
+            result = federation.query(FIG11_JOIN)
+        finally:
+            federation.catalog.warehouse = original
+        # build side lost: empty join, but an answer with warnings —
+        # and the probe side scanned unfiltered rather than trusting
+        # a filter that could not be built
+        assert result.rows == []
+        assert any("s0" in warning for warning in result.warnings)
+        assert any("semi-join" in warning for warning in result.warnings)
+        assert registry.counter_items("federation.semijoin_filters") == []
+        assert registry.counter_total("federation.rows_shipped") > 0
+
+
+class TestAccounting:
+    ROUTE_QUERY = ('FOR $e IN document("hlx_enzyme.DEFAULT")'
+                   '/hlx_enzyme/db_entry RETURN $e/enzyme_id')
+
+    def test_route_plans_counted_like_scatter(self, corpus):
+        colocated = {source: ("only",) for source in
+                     ("hlx_enzyme", "hlx_embl", "hlx_sprot", "hlx_omim")}
+        registry = MetricsRegistry()
+        federation = build_federation(corpus, colocated,
+                                      metrics=registry)
+        try:
+            assert federation.plan(self.ROUTE_QUERY).route_shard == "only"
+            federation.query(self.ROUTE_QUERY)
+            assert registry.counter_total("federation.queries") == 1
+            assert registry.counter_total("federation.fanout") == 1
+            assert registry.counter_total("federation.rows_shipped") > 0
+            assert registry.counter_total("federation.bytes_shipped") > 0
+        finally:
+            federation.close()
+
+    def test_scatter_ships_bytes(self, optimized):
+        federation, registry = optimized
+        federation.query(FIG11_JOIN)
+        shipped_bytes = registry.counter_total("federation.bytes_shipped")
+        shipped_rows = registry.counter_total("federation.rows_shipped")
+        assert shipped_rows > 0
+        # every shipped row carries at least its fixed overhead
+        assert shipped_bytes \
+            >= shipped_rows * executor_module.ROW_OVERHEAD_BYTES
+
+    def test_optimizer_counters_exposed(self, optimized):
+        federation, registry = optimized
+        federation.query(FIG11_JOIN)
+        assert registry.counter_total("federation.estimated_rows") > 0
+        names = {name for name, __ in
+                 ((c["name"], c) for c in registry.snapshot()["counters"])}
+        assert "federation.semijoin_filters" in names

@@ -1,0 +1,269 @@
+"""Statistics catalog: collection, persistence, EWMAs, staleness.
+
+The optimizer's knowledge base (``repro.federation.stats``) has three
+jobs tested here: describe each shard accurately (counts, histograms,
+token maps), survive a round-trip to disk next to the shard map, and
+notice when a live shard has drifted past its record — including the
+cross-process case where loader generations mean nothing and only the
+document count can betray a load from another process.
+"""
+
+import pytest
+
+from repro.errors import ShardUnreachableError
+from repro.federation import StatisticsCatalog, default_stats_path
+from repro.federation.stats import EWMA_ALPHA, ValueHistogram
+from repro.synth import build_corpus
+
+from tests.federation.conftest import (
+    ROUTING_PARTITIONED,
+    ROUTING_PER_SOURCE,
+    build_federation,
+)
+
+
+@pytest.fixture(scope="module")
+def analyzed(corpus):
+    """Per-source federation over the session corpus, analyzed once.
+
+    Module-scoped: the tests below only read the records (the mutating
+    staleness/EWMA tests build their own federations)."""
+    federation = build_federation(corpus, ROUTING_PER_SOURCE)
+    federation.analyze(persist=False)
+    yield federation
+    federation.close()
+
+
+class TestCollection:
+    def test_per_source_document_counts(self, analyzed, corpus):
+        sizes = corpus.sizes()
+        record = analyzed.statistics.shard("s0")
+        assert record.documents == {"hlx_enzyme": sizes["hlx_enzyme"]}
+        assert record.source_documents("hlx_embl") == 0
+
+    def test_tag_counts_scoped_by_source(self, analyzed, corpus):
+        # every enzyme document contributes exactly one db_entry
+        record = analyzed.statistics.shard("s0")
+        assert record.tag_count("hlx_enzyme", "db_entry") \
+            == corpus.sizes()["hlx_enzyme"]
+        # the tag exists, but not under a source this shard lacks
+        assert record.tag_count("hlx_embl", "db_entry") is None
+        assert record.tag_count("hlx_enzyme", "no_such_tag") is None
+
+    def test_table_cardinalities_present(self, analyzed, corpus):
+        record = analyzed.statistics.shard("s0")
+        assert record.tables["documents"] == corpus.sizes()["hlx_enzyme"]
+        assert record.tables["elements"] > 0
+        assert record.tables["keywords"] > 0
+
+    def test_complete_token_map_proves_absence(self, analyzed):
+        record = analyzed.statistics.shard("s0")
+        assert record.tokens_complete
+        assert record.proves_token_absent("zzz_never_a_token")
+        some_token = next(iter(record.token_docs))
+        assert not record.proves_token_absent(some_token)
+        assert record.token_selectivity(some_token) > 0.0
+
+    def test_capped_token_map_never_proves(self, analyzed):
+        record = analyzed.statistics.shard("s0")
+        capped = type(record)(name="x", documents={"hlx_enzyme": 10},
+                              token_docs=dict(record.token_docs),
+                              tokens_complete=False)
+        assert not capped.proves_token_absent("zzz_never_a_token")
+        # unknown token under a capped map: assumed rare, not absent
+        assert capped.token_selectivity("zzz_never_a_token") == 0.1
+
+    def test_value_histograms_cover_join_columns(self, analyzed, corpus):
+        record = analyzed.statistics.shard("s0")
+        histogram = record.values["enzyme_id"]
+        assert histogram.rows == corpus.sizes()["hlx_enzyme"]
+        assert histogram.distinct > 0 and not histogram.sampled
+
+    def test_unreachable_shard_skipped_and_dropped(self, corpus):
+        federation = build_federation(corpus, ROUTING_PER_SOURCE)
+        try:
+            federation.analyze(persist=False)
+            assert federation.statistics.shard("s1") is not None
+            original = federation.catalog.warehouse
+
+            def flaky(name):
+                if name == "s1":
+                    raise ShardUnreachableError("s1 is down")
+                return original(name)
+
+            federation.catalog.warehouse = flaky
+            summary = federation.analyze(persist=False)
+            assert summary["shards_skipped"] == ["s1"]
+            # the stale record dropped: no pruning on dead numbers
+            assert federation.statistics.shard("s1") is None
+            assert federation.statistics.shard("s0") is not None
+        finally:
+            federation.catalog.warehouse = original
+            federation.close()
+
+
+class TestValueHistogram:
+    def test_mcv_and_uniform_selectivity(self):
+        histogram = ValueHistogram.from_values(
+            ["a"] * 6 + ["b"] * 2 + ["c", "d"], sampled=False)
+        assert histogram.rows == 10 and histogram.distinct == 4
+        assert histogram.equality_selectivity("a") == 0.6
+        # non-MCV values fall back to 1/distinct
+        tail = ValueHistogram(rows=100, distinct=20, mcvs={"a": 30})
+        assert tail.equality_selectivity("zzz") == 1.0 / 20
+
+    def test_empty_histogram_selects_nothing(self):
+        assert ValueHistogram().equality_selectivity("a") == 0.0
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_records(self, analyzed, tmp_path):
+        path = tmp_path / "shards.stats.json"
+        analyzed.statistics.save(path)
+        reloaded = StatisticsCatalog.load(path)
+        assert set(reloaded.shards) == set(analyzed.statistics.shards)
+        original = analyzed.statistics.shard("s0")
+        record = reloaded.shard("s0")
+        assert record.documents == original.documents
+        assert record.tags == original.tags
+        assert record.token_docs == original.token_docs
+        assert record.values["enzyme_id"].to_dict() \
+            == original.values["enzyme_id"].to_dict()
+        # disk records are marked: their generation is another
+        # process's counter until the first staleness check rebases it
+        assert record.loaded
+
+    def test_default_path_is_map_sibling(self):
+        assert str(default_stats_path("/x/shards.json")) \
+            == "/x/shards.stats.json"
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.stats.json"
+        path.write_text('{"version": 99, "shards": {}}',
+                        encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            StatisticsCatalog.load(path)
+
+
+class TestRuntimeObservations:
+    def test_ewma_folds_observations(self, corpus):
+        federation = build_federation(corpus, ROUTING_PER_SOURCE)
+        try:
+            federation.analyze(persist=False)
+            catalog = federation.statistics
+            catalog.record_observation("s0", 1.0, 100)
+            record = catalog.shard("s0")
+            assert record.ewma_seconds == 1.0
+            assert record.ewma_rows == 100.0
+            catalog.record_observation("s0", 2.0, 200)
+            assert record.ewma_seconds \
+                == pytest.approx(1.0 + EWMA_ALPHA * 1.0)
+            assert record.ewma_rows \
+                == pytest.approx(100.0 + EWMA_ALPHA * 100.0)
+            assert record.observations == 2
+        finally:
+            federation.close()
+
+    def test_queries_feed_ewmas(self, corpus):
+        federation = build_federation(corpus, ROUTING_PER_SOURCE)
+        try:
+            federation.analyze(persist=False)
+            federation.query(
+                'FOR $e IN document("hlx_enzyme.DEFAULT")'
+                '/hlx_enzyme/db_entry RETURN $e/enzyme_id')
+            assert federation.statistics.shard("s0").observations == 1
+        finally:
+            federation.close()
+
+    def test_reanalysis_keeps_ewmas(self, corpus):
+        federation = build_federation(corpus, ROUTING_PER_SOURCE)
+        try:
+            federation.analyze(persist=False)
+            federation.statistics.record_observation("s0", 1.5, 42)
+            federation.analyze(persist=False)
+            record = federation.statistics.shard("s0")
+            assert record.ewma_seconds == 1.5
+            assert record.observations == 1
+        finally:
+            federation.close()
+
+
+class TestStaleness:
+    def test_fresh_catalog_not_stale(self, corpus):
+        federation = build_federation(corpus, ROUTING_PARTITIONED)
+        try:
+            federation.analyze(persist=False)
+            assert federation.statistics.stale_shards(
+                federation.catalog) == []
+        finally:
+            federation.close()
+
+    def test_load_marks_shard_stale_and_plan_refreshes(self, corpus):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        federation = build_federation(corpus, ROUTING_PER_SOURCE,
+                                      metrics=registry)
+        try:
+            federation.analyze(persist=False)
+            extra = build_corpus(seed=99, enzyme_count=3, embl_count=0,
+                                 sprot_count=0, omim_count=0)
+            federation.load_text("hlx_enzyme", extra.enzyme_text)
+            stale = federation.statistics.stale_shards(federation.catalog)
+            assert stale == ["s0"]
+            # planning auto-refreshes: the proof base must track reality
+            federation.plan(
+                'FOR $e IN document("hlx_enzyme.DEFAULT")'
+                '/hlx_enzyme/db_entry RETURN $e/enzyme_id')
+            assert registry.counter_total("federation.stats_refreshed") == 1
+            record = federation.statistics.shard("s0")
+            assert record.documents["hlx_enzyme"] \
+                == corpus.sizes()["hlx_enzyme"] + 3
+            assert federation.statistics.stale_shards(
+                federation.catalog) == []
+        finally:
+            federation.close()
+
+    def test_loaded_record_rebases_generation(self, corpus, tmp_path):
+        path = tmp_path / "shards.stats.json"
+        first = build_federation(corpus, ROUTING_PER_SOURCE)
+        try:
+            first.analyze(persist=False)
+            first.statistics.save(path)
+        finally:
+            first.close()
+        # "another process": same data, fresh warehouses whose loader
+        # generations restarted from zero
+        second = build_federation(corpus, ROUTING_PER_SOURCE,
+                                  stats=StatisticsCatalog.load(path))
+        try:
+            assert second.statistics.stale_shards(second.catalog) == []
+            record = second.statistics.shard("s0")
+            assert not record.loaded     # rebased onto the live counter
+            # after rebasing, in-process loads are caught by generation
+            extra = build_corpus(seed=98, enzyme_count=2, embl_count=0,
+                                 sprot_count=0, omim_count=0)
+            second.load_text("hlx_enzyme", extra.enzyme_text)
+            assert second.statistics.stale_shards(
+                second.catalog) == ["s0"]
+        finally:
+            second.close()
+
+    def test_loaded_record_with_count_drift_is_stale(self, corpus,
+                                                     tmp_path):
+        path = tmp_path / "shards.stats.json"
+        first = build_federation(corpus, ROUTING_PER_SOURCE)
+        try:
+            first.analyze(persist=False)
+            first.statistics.save(path)
+        finally:
+            first.close()
+        bigger = build_corpus(seed=7, enzyme_count=30, embl_count=35,
+                              sprot_count=25, omim_count=15)
+        second = build_federation(bigger, ROUTING_PER_SOURCE,
+                                  stats=StatisticsCatalog.load(path))
+        try:
+            # the record says 25 enzyme documents, the shard holds 30:
+            # the count probe catches what generations cannot
+            assert "s0" in second.statistics.stale_shards(second.catalog)
+        finally:
+            second.close()

@@ -432,3 +432,13 @@ class TestFederatedService:
         health = federated_service.handle("GET", "/health")
         assert health.status == 200
         assert "shards" in health.payload
+
+    def test_stats_exposes_optimizer_block(self, federated_service):
+        before = federated_service.handle("GET", "/stats").payload
+        assert before["optimizer"]["shards_analyzed"] == 0
+        federated_service.engine.analyze(persist=False)
+        after = federated_service.handle("GET", "/stats").payload
+        optimizer = after["optimizer"]
+        assert optimizer["shards_analyzed"] == 2
+        assert optimizer["inlist_cutoff"] > 0
+        assert 0 < optimizer["bloom_fp_rate"] < 1

@@ -1,0 +1,100 @@
+"""ValueIn — the planner-injected IN-list semi-join fragment.
+
+ValueIn has no surface syntax; the federation optimizer splices it into
+shard subquery ASTs. These tests pin the three things the optimizer
+relies on: parameterized SQL (never literal-spliced values), equality-
+join-identical semantics (existential over text values), and the
+empty-list edge matching nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.engine import Warehouse
+from repro.synth import build_corpus
+from repro.translator.sqlgen import SqlBuilder
+from repro.xquery.ast import ValueIn, VarPath
+from repro.xquery.parser import parse_query
+
+ENZYME_IDS = '''
+FOR $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+RETURN $b/enzyme_id
+'''
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    instance = Warehouse(metrics=False)
+    instance.load_corpus(build_corpus(
+        seed=7, enzyme_count=12, embl_count=5, sprot_count=3,
+        omim_count=2))
+    yield instance
+    instance.close()
+
+
+def with_in_list(values):
+    query = parse_query(ENZYME_IDS)
+    atom = ValueIn(target=query.returns[0].value, values=tuple(values))
+    return dataclasses.replace(query, where=atom)
+
+
+class TestWhereIn:
+    def test_parameterized_placeholders(self):
+        builder = SqlBuilder()
+        builder.add_table("t", "x")
+        builder.select = ["x0.v"]
+        builder.where_in("x0.v", ("a", "b", "c"))
+        assert "x0.v IN (?, ?, ?)" in builder.sql()
+        assert builder.params == ["a", "b", "c"]
+
+    def test_empty_list_is_constant_false(self):
+        builder = SqlBuilder()
+        builder.add_table("t", "x")
+        builder.select = ["x0.v"]
+        builder.where_in("x0.v", ())
+        assert "1 = 0" in builder.sql()
+        assert builder.params == []
+
+
+class TestValueInQueries:
+    def test_filters_to_listed_values(self, warehouse):
+        all_ids = sorted(row.first("enzyme_id") for row in
+                         warehouse.xomatiq.query(ENZYME_IDS).rows)
+        pick = all_ids[:3]
+        query = with_in_list(pick)
+        result = warehouse.xomatiq.query(str(query), ast=query)
+        assert sorted(row.first("enzyme_id")
+                      for row in result.rows) == pick
+
+    def test_unmatched_values_drop_out(self, warehouse):
+        query = with_in_list(("no.such.id", "also.missing"))
+        result = warehouse.xomatiq.query(str(query), ast=query)
+        assert result.rows == []
+
+    def test_empty_list_matches_nothing(self, warehouse):
+        query = with_in_list(())
+        result = warehouse.xomatiq.query(str(query), ast=query)
+        assert result.rows == []
+
+    def test_matches_equality_join_semantics(self, warehouse):
+        # IN ("v") must select exactly the rows `= "v"` selects
+        all_ids = sorted(row.first("enzyme_id") for row in
+                         warehouse.xomatiq.query(ENZYME_IDS).rows)
+        target = all_ids[0]
+        by_equality = warehouse.xomatiq.query(f'''
+            FOR $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+            WHERE $b/enzyme_id = "{target}"
+            RETURN $b/enzyme_id
+        ''')
+        query = with_in_list((target,))
+        by_in = warehouse.xomatiq.query(str(query), ast=query)
+        assert ([row.values for row in by_in.rows]
+                == [row.values for row in by_equality.rows])
+
+    def test_str_round_trips_through_parser_check(self, warehouse):
+        # the executor keys the compiled-query cache on str(query);
+        # the rendered text must at least be stable and distinct
+        assert str(with_in_list(("a", "b"))) != str(with_in_list(("a",)))
