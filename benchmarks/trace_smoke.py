@@ -1,0 +1,199 @@
+"""CI smoke check for end-to-end request tracing.
+
+Points at a *running* ``xomatiq serve`` instance, sends a small burst
+of mixed traffic (joins, keyword lookups, an error or two), and then
+verifies the whole tracing pipeline from the outside:
+
+* every response echoes ``X-Request-Id`` and carries ``X-Trace-Id``,
+* ``GET /traces`` serves a schema-valid listing,
+* the join request's trace resolves by id as one *connected* span
+  tree — request → admission → plan → per-shard subqueries (with SQL
+  statements) → coordinator join when the service fronts a
+  federation, request → admission → query on a single warehouse,
+* the Chrome ``trace_event`` export is valid JSON and is written to
+  ``--out`` as a CI artifact,
+* the Prometheus exposition carries an exemplar pointing back at a
+  retained trace.
+
+Exit status 0 on success, 1 with a diagnostic on the first failure.
+
+Usage::
+
+    python benchmarks/trace_smoke.py --url http://127.0.0.1:8014
+        [--out trace_chrome.json] [--federated]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+JOIN_QUERY = '''
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number
+'''
+
+ENZYME_QUERY = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+                'RETURN $a//enzyme_id')
+
+
+def request(url, payload=None, headers=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return response.status, dict(response.headers), \
+                response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+
+
+def walk(span):
+    yield span
+    for child in span.get("children", []):
+        yield from walk(child)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default="http://127.0.0.1:8014")
+    parser.add_argument("--out", default="trace_chrome.json",
+                        help="Chrome trace_event artifact path")
+    parser.add_argument("--federated", action="store_true",
+                        help="expect federation spans (shard "
+                        "subqueries + coordinator join) in the trace")
+    args = parser.parse_args()
+    base = args.url.rstrip("/")
+
+    # -- mixed traffic ---------------------------------------------------
+    status, headers, body = request(
+        base + "/query", payload={"query": JOIN_QUERY},
+        headers={"X-Request-Id": "smoke-join"})
+    check(status == 200, f"join query returned {status}: {body[:200]}")
+    check(headers.get("X-Request-Id") == "smoke-join",
+          "X-Request-Id not echoed on the join response")
+    trace_id = headers.get("X-Trace-Id", "")
+    check(trace_id == "smoke-join",
+          f"X-Trace-Id is {trace_id!r}, expected the request id")
+    for __ in range(3):
+        status, headers, __body = request(
+            base + "/query", payload={"query": ENZYME_QUERY})
+        check(status == 200, f"enzyme query returned {status}")
+        check(headers.get("X-Trace-Id", ""),
+              "minted X-Trace-Id missing on an id-less request")
+    status, headers, __body = request(base + "/nope")
+    check(status == 404 and headers.get("X-Request-Id"),
+          "404 path lost its X-Request-Id header")
+    status, __h, __body = request(base + "/query",
+                                  payload={"query": "NOT XQUERY ("})
+    check(status == 400, f"bad query returned {status}, expected 400")
+    print(f"traffic OK: join trace id {trace_id}")
+
+    # -- listing schema --------------------------------------------------
+    status, __h, body = request(base + "/traces")
+    check(status == 200, f"/traces returned {status}")
+    listing = json.loads(body)
+    for key in ("count", "offered", "kept", "capacity", "traces"):
+        check(key in listing, f"/traces listing missing {key!r}")
+    check(listing["count"] >= 4,
+          f"only {listing['count']} retained traces after 5+ requests")
+    summary_keys = {"trace_id", "root", "endpoint", "status",
+                    "duration_ms", "spans", "kept"}
+    for summary in listing["traces"]:
+        check(summary_keys <= set(summary),
+              f"trace summary missing keys: {summary}")
+    ids = [summary["trace_id"] for summary in listing["traces"]]
+    check("smoke-join" in ids, "join trace not in the listing")
+    print(f"listing OK: {listing['kept']}/{listing['offered']} kept, "
+          f"capacity {listing['capacity']}")
+
+    # -- span tree -------------------------------------------------------
+    status, __h, body = request(base + f"/traces/{trace_id}")
+    check(status == 200, f"/traces/{trace_id} returned {status}")
+    payload = json.loads(body)
+    check(payload.get("format") == "xomatiq-trace/1",
+          f"unexpected trace format {payload.get('format')!r}")
+    root = payload["root"]
+    check(root["name"] == "request", f"root span is {root['name']!r}")
+    spans = list(walk(root))
+    by_id = {span["span_id"]: span for span in spans}
+    for span in spans:
+        check(span["trace_id"] == trace_id,
+              f"span {span['name']} has foreign trace id")
+        if span is not root:
+            check(span["parent_id"] in by_id,
+                  f"span {span['name']} is orphaned")
+    names = {span["name"] for span in spans}
+    check("admission" in names, "no admission span in the trace")
+    if args.federated:
+        for expected in ("plan", "federated_query", "shard_subquery",
+                         "coordinator_join"):
+            check(expected in names, f"no {expected} span in the trace")
+        shard_spans = [span for span in spans
+                       if span["name"] == "shard_subquery"]
+        for shard_span in shard_spans:
+            statements = [stmt for span in walk(shard_span)
+                          for stmt in span.get("statements", [])]
+            check(bool(statements),
+                  f"shard {shard_span['meta'].get('shard')} subquery "
+                  "has no SQL statements")
+        shards = sorted(span["meta"].get("shard", "")
+                        for span in shard_spans)
+        print(f"span tree OK: {len(spans)} spans, shards {shards}")
+    else:
+        check("query" in names, "no query span in the trace")
+        statements = [stmt for span in spans
+                      for stmt in span.get("statements", [])]
+        check(bool(statements), "no SQL statements in the trace")
+        print(f"span tree OK: {len(spans)} spans")
+
+    # -- Chrome export ---------------------------------------------------
+    status, __h, body = request(
+        base + f"/traces/{trace_id}?format=chrome")
+    check(status == 200, f"chrome export returned {status}")
+    chrome = json.loads(body)
+    events = chrome.get("traceEvents", [])
+    check(any(event.get("ph") == "X" for event in events),
+          "chrome export has no complete events")
+    check(chrome.get("otherData", {}).get("trace_id") == trace_id,
+          "chrome export lost the trace id")
+    Path(args.out).write_text(json.dumps(chrome, indent=2),
+                              encoding="utf-8")
+    print(f"chrome export OK: {len(events)} events -> {args.out}")
+
+    # -- exemplar --------------------------------------------------------
+    status, __h, body = request(base + "/metrics?format=prometheus")
+    check(status == 200, f"/metrics returned {status}")
+    text = body.decode()
+    exemplars = [line for line in text.splitlines()
+                 if "_bucket" in line and " # " in line]
+    check(any("service_request_seconds_bucket" in line
+              for line in exemplars),
+          "no exemplar on service_request_seconds buckets")
+    check(any(f'trace_id="{trace_id}"' in line for line in exemplars)
+          or any('trace_id="' in line for line in exemplars),
+          "exemplars carry no trace ids")
+    print(f"exemplars OK: {len(exemplars)} bucket lines linked")
+    print("trace smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

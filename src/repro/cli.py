@@ -19,9 +19,18 @@ Subcommands mirror the system's workflow::
     xomatiq health --db wh.sqlite [--json]            # warehouse health
     xomatiq serve --db wh.sqlite --port 8014          # HTTP query service
     xomatiq serve --synth --rate-limit 50             # demo service
+    xomatiq serve --synth --shards 3                  # federated demo node
+    xomatiq trace list --url http://127.0.0.1:8014    # retained traces
+    xomatiq trace show [trace-id]                     # span-tree waterfall
+    xomatiq trace export [trace-id] --out trace.json  # Chrome trace_event
 
 ``health`` exits 0/2/1 for ok/warn/fail so monitoring can tell a
-degraded-but-serving warehouse from a broken one.
+degraded-but-serving warehouse from a broken one. The ``trace`` verbs
+talk HTTP to a running ``serve`` node: ``list`` summarizes the trace
+store's ring, ``show`` renders one request's span tree as a waterfall
+(per-shard rows shipped, cache hits, semi-join mode, SQL timings), and
+``export`` writes Chrome ``trace_event`` JSON for about:tracing /
+ui.perfetto.dev. ``show``/``export`` default to the newest trace.
 
 Federation (sharded warehouses behind one query surface)::
 
@@ -45,6 +54,7 @@ plan cost-based (shard pruning, join ordering, semi-join pushdown).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -235,6 +245,60 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rate-burst", type=float, default=None,
                        help="per-client burst allowance "
                             "(default: 2 x rate limit)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="with --synth: serve the corpus as an "
+                            "in-memory federation of this many shards "
+                            "(EMBL horizontally partitioned across all "
+                            "of them) instead of one warehouse")
+    serve.add_argument("--trace-capacity", type=int, default=256,
+                       help="retained request traces (0 disables "
+                            "tracing; default 256)")
+    serve.add_argument("--trace-sample", type=float, default=1.0,
+                       help="head-sampling rate for routine traces; "
+                            "slow and error traces are always kept "
+                            "(default 1.0)")
+    serve.add_argument("--trace-slow-ms", type=float, default=500.0,
+                       help="requests at or over this duration are "
+                            "always kept (default 500)")
+
+    trace = sub.add_parser(
+        "trace", help="inspect a running service's request traces "
+                      "(talks HTTP to a serve node's /traces API)")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _trace_common(command):
+        command.add_argument("--url", default="http://127.0.0.1:8014",
+                             help="service base URL "
+                                  "(default http://127.0.0.1:8014)")
+        command.add_argument("--timeout", type=float, default=10.0,
+                             help="HTTP timeout in seconds (default 10)")
+
+    trace_list = trace_sub.add_parser(
+        "list", help="summaries of retained traces, newest first")
+    _trace_common(trace_list)
+    trace_list.add_argument("--limit", type=int, default=0,
+                            help="show at most this many (default: all)")
+    trace_list.add_argument("--json", action="store_true",
+                            help="raw /traces JSON instead of a table")
+
+    trace_show = trace_sub.add_parser(
+        "show", help="render one trace as a span-tree waterfall")
+    _trace_common(trace_show)
+    trace_show.add_argument("trace_id", nargs="?",
+                            help="trace id (default: the newest trace)")
+    trace_show.add_argument("--json", action="store_true",
+                            help="raw xomatiq-trace/1 JSON instead of "
+                                 "the waterfall")
+
+    trace_export = trace_sub.add_parser(
+        "export", help="write one trace as Chrome trace_event JSON "
+                       "(about:tracing / ui.perfetto.dev)")
+    _trace_common(trace_export)
+    trace_export.add_argument("trace_id", nargs="?",
+                              help="trace id (default: the newest trace)")
+    trace_export.add_argument("--out",
+                              help="output path "
+                                   "(default: trace-<id>.json)")
 
     shard = sub.add_parser(
         "shard", help="manage a federation's shard-map registry file")
@@ -282,6 +346,11 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # downstream pager/head closed early; not an error, but the
+        # interpreter would complain at exit unless stdout is detached
+        sys.stdout = open(os.devnull, "w")
+        return 0
 
 
 def _dispatch(args) -> int:
@@ -492,6 +561,9 @@ def _dispatch(args) -> int:
     if args.command == "serve":
         return _dispatch_serve(args)
 
+    if args.command == "trace":
+        return _dispatch_trace(args)
+
     if args.command == "sources":
         registry = SourceRegistry()
         for name in registry.names():
@@ -511,13 +583,22 @@ def _dispatch_serve(args) -> int:
     import signal
     import threading
     from repro.service import ServiceConfig, serve
-    engine = _open_for_check(args)
+    if args.shards:
+        if not args.synth:
+            print("error: --shards requires --synth", file=sys.stderr)
+            return 2
+        engine = _build_synth_federation(args.seed, args.shards)
+    else:
+        engine = _open_for_check(args)
     if engine is None:
         return 2
     config = ServiceConfig(host=args.host, port=args.port,
                            max_in_flight=args.max_in_flight,
                            rate_limit=args.rate_limit,
-                           rate_burst=args.rate_burst)
+                           rate_burst=args.rate_burst,
+                           trace_capacity=args.trace_capacity,
+                           trace_sample=args.trace_sample,
+                           trace_slow_ms=args.trace_slow_ms)
     server = serve(engine, config)
     stop = threading.Event()
     for signum in (signal.SIGINT, signal.SIGTERM):
@@ -541,6 +622,78 @@ def _dispatch_serve(args) -> int:
     server.close()
     thread.join(timeout=10)
     return 0
+
+
+def _dispatch_trace(args) -> int:
+    """``trace list/show/export`` — read a serve node's /traces API."""
+    import json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    base = args.url.rstrip("/")
+
+    def fetch(path: str) -> dict:
+        try:
+            with urlopen(base + path, timeout=args.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as exc:
+            try:
+                detail = json.loads(
+                    exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                detail = ""
+            raise ReproError(
+                f"{base}{path}: HTTP {exc.code}"
+                + (f" ({detail})" if detail else "")) from None
+        except (URLError, OSError) as exc:
+            raise ReproError(
+                f"cannot reach service at {base}: {exc}") from None
+
+    def resolve_id() -> str:
+        if getattr(args, "trace_id", None):
+            return args.trace_id
+        newest = fetch("/traces?limit=1")["traces"]
+        if not newest:
+            raise ReproError("the service has no retained traces yet "
+                             "(send it a request first)")
+        return newest[0]["trace_id"]
+
+    if args.trace_command == "list":
+        query = f"?limit={args.limit}" if args.limit else ""
+        payload = fetch("/traces" + query)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"{payload['kept']}/{payload['offered']} traces kept "
+              f"(ring capacity {payload['capacity']}), newest first:")
+        for summary in payload["traces"]:
+            print(f"  {summary['trace_id']:<20} "
+                  f"{summary['endpoint'] or '-':<10} "
+                  f"status={summary['status']} "
+                  f"{summary['duration_ms']:>9.2f}ms "
+                  f"{summary['spans']:>3} spans  "
+                  f"kept={summary['kept']}")
+        return 0
+
+    if args.trace_command == "show":
+        from repro.obs import format_trace
+        trace = fetch(f"/traces/{resolve_id()}")
+        if args.json:
+            print(json.dumps(trace, indent=2, sort_keys=True))
+        else:
+            print(format_trace(trace))
+        return 0
+
+    if args.trace_command == "export":
+        trace_id = resolve_id()
+        payload = fetch(f"/traces/{trace_id}?format=chrome")
+        out = args.out or f"trace-{trace_id}.json"
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n",
+                             encoding="utf-8")
+        print(f"wrote Chrome trace_event JSON for {trace_id} to {out} "
+              f"(open in about:tracing or ui.perfetto.dev)")
+        return 0
+    raise AssertionError(f"unhandled trace command {args.trace_command}")
 
 
 def _dispatch_shard(args) -> int:
@@ -594,6 +747,25 @@ def _open(db: str, metrics=None) -> Warehouse:
     exists = Path(db).exists()
     return Warehouse(backend=SqliteBackend(db), create=not exists,
                      metrics=metrics)
+
+
+def _build_synth_federation(seed: int, shards: int):
+    """An in-memory federation over the synthetic corpus: ENZYME and
+    SPROT on single shards, EMBL horizontally partitioned across every
+    shard — so a demo node exercises both routing modes (and a request
+    trace shows real scatter-gather fan-out)."""
+    from repro.federation import FederatedXomatiQ, ShardCatalog
+    from repro.synth import build_corpus
+    catalog = ShardCatalog()
+    names = [f"s{index}" for index in range(max(1, shards))]
+    for name in names:
+        catalog.add_shard(name)
+    catalog.assign("hlx_enzyme", names[0])
+    catalog.assign("hlx_sprot", names[-1])
+    catalog.assign("hlx_embl", *names)
+    federation = FederatedXomatiQ(catalog)
+    federation.load_corpus(build_corpus(seed=seed))
+    return federation
 
 
 def _open_federation(shard_map: str, metrics=None):

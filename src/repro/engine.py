@@ -110,6 +110,9 @@ class Warehouse:
         self.registry = registry or SourceRegistry()
         self.sequence_tags = sequence_tags
         self.validate_sources = validate_sources
+        #: set by the federation catalog on shard warehouses so slow
+        #: queries and spans can say *which* shard they ran on
+        self.shard_name = ""
         self.loader = WarehouseLoader(self.backend, options=options,
                                       sequence_tags=sequence_tags,
                                       create=create, tracer=self.tracer,
@@ -117,6 +120,37 @@ class Warehouse:
                                       bulk_batch_size=bulk_batch_size,
                                       bulk_workers=bulk_workers)
         self.xomatiq = XomatiQ(self, cache_size=query_cache)
+
+    def enable_tracing(self, tracer=None, max_spans: int | None = None):
+        """Turn span tracing on after construction (idempotent).
+
+        The service layer calls this so any warehouse it is handed —
+        built with ``trace=...`` or not — traces requests. Passing a
+        ``tracer`` adopts it (the federation layer shares one tracer
+        across every shard this way); otherwise the existing tracer is
+        kept or a fresh one allocated. ``max_spans`` bounds retained
+        top-level spans for long-running processes. Returns the live
+        :class:`repro.obs.Tracer`.
+        """
+        from repro.obs import InstrumentedBackend, Tracer
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.tracer is None:
+            self.tracer = Tracer(max_spans=max_spans)
+        if max_spans is not None:
+            self.tracer.max_spans = max_spans
+        if self.tracer.metrics is None:
+            self.tracer.metrics = self._metrics_sink
+        if isinstance(self.backend, InstrumentedBackend):
+            self.backend.tracer = self.tracer
+        else:
+            # metrics were off, so the backend was never wrapped; the
+            # loader holds the same backend reference and must follow
+            self.backend = InstrumentedBackend(
+                self.backend, self.tracer, metrics=self._metrics_sink)
+            self.loader.backend = self.backend
+        self.loader.tracer = self.tracer
+        return self.tracer
 
     # -- loading ---------------------------------------------------------------
 
@@ -511,6 +545,7 @@ class XomatiQ:
         warehouse = self.warehouse
         tracer = warehouse.tracer
         start = time.perf_counter()
+        trace_id = ""
         if tracer is None:
             compiled, hit = self.translate_cached(text, ast)
             result = execute_compiled(compiled, warehouse.backend)
@@ -518,19 +553,30 @@ class XomatiQ:
             with tracer.span("query", query=text,
                              backend=warehouse.backend.name) as root:
                 compiled = self.translate_in_spans(text, tracer, root, ast)
-                with tracer.span("execute") as span:
+                hit = root.counters.get("cache.hit", 0) > 0
+                if hit:
+                    # hot path: no pipeline stage ran, so no stage
+                    # spans — SQL statements attach to the query span
+                    # itself, keeping always-on tracing off the
+                    # cached-query critical path
                     result = execute_compiled(compiled,
-                                              warehouse.backend,
-                                              tracer=tracer)
-                    span.count("result_rows", len(result))
-            hit = root.counters.get("cache.hit", 0) > 0
+                                              warehouse.backend)
+                    root.count("result_rows", len(result))
+                else:
+                    with tracer.span("execute") as span:
+                        result = execute_compiled(compiled,
+                                                  warehouse.backend,
+                                                  tracer=tracer)
+                        span.count("result_rows", len(result))
             result.trace = root
+            trace_id = root.trace_id
         duration_s = time.perf_counter() - start
         if self._query_timer is not None:
             self._query_timer.record(hit, duration_s, len(result))
         warehouse.slow_queries.record(
             text, warehouse.backend, duration_s * 1000.0, len(result),
-            hit, compiled.parameterized_statements)
+            hit, compiled.parameterized_statements,
+            shard=warehouse.shard_name, trace_id=trace_id)
         return result
 
     def execute(self, compiled: CompiledQuery) -> QueryResult:

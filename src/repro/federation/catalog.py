@@ -85,6 +85,11 @@ class ShardCatalog:
         #: facade aligns this with its own registry so shard-level and
         #: coordinator-level metrics land in one place
         self.metrics = metrics
+        #: shared tracer handed to every shard warehouse (set via
+        #: :meth:`set_tracer`), so shard-side query spans and SQL
+        #: statement records land in the *coordinator's* span tree
+        #: instead of per-shard orphan tracers
+        self.tracer = None
         self._specs: dict[str, ShardSpec] = {}
         self._sources: dict[str, list[str]] = {}
         self._warehouses: dict[str, object] = {}
@@ -119,6 +124,10 @@ class ShardCatalog:
             raise ShardConfigError(f"shard {name!r} already registered")
         self._specs[name] = ShardSpec(name=name, path=MEMORY_PATH)
         self._warehouses[name] = warehouse
+        if not getattr(warehouse, "shard_name", ""):
+            warehouse.shard_name = name
+        if self.tracer is not None:
+            warehouse.enable_tracing(self.tracer)
 
     def assign(self, source: str, *shards: str) -> None:
         """Route a source to one shard (whole) or several (horizontally
@@ -191,22 +200,40 @@ class ShardCatalog:
         self._owned.add(name)
         return warehouse
 
+    def set_tracer(self, tracer) -> None:
+        """Adopt one shared tracer for every shard warehouse — the
+        ones already open (including attached ones) and every one
+        opened later. This is the cross-shard half of the distributed
+        trace: without it each shard's query spans start their own
+        disconnected tree."""
+        self.tracer = tracer
+        for warehouse in self._warehouses.values():
+            warehouse.enable_tracing(tracer)
+
     def _open(self, spec: ShardSpec):
         from repro.engine import Warehouse
+
+        def branded(warehouse):
+            warehouse.shard_name = spec.name
+            return warehouse
+
         if spec.backend == "minidb":
             from repro.relational import MiniDbBackend
-            return Warehouse(backend=MiniDbBackend(),
-                             metrics=self.metrics)
+            return branded(Warehouse(backend=MiniDbBackend(),
+                                     metrics=self.metrics,
+                                     trace=self.tracer))
         if spec.path == MEMORY_PATH:
-            return Warehouse(metrics=self.metrics)
+            return branded(Warehouse(metrics=self.metrics,
+                                     trace=self.tracer))
         path = Path(spec.path)
         if not path.exists():
             raise ShardUnreachableError(
                 f"shard {spec.name!r}: database {spec.path} does not "
                 f"exist (create it with `xomatiq shard init`)")
         from repro.relational import SqliteBackend
-        return Warehouse(backend=SqliteBackend(path), create=False,
-                         metrics=self.metrics)
+        return branded(Warehouse(backend=SqliteBackend(path),
+                                 create=False, metrics=self.metrics,
+                                 trace=self.tracer))
 
     def create_shards(self) -> None:
         """Eagerly create/open every shard database (``shard init``)."""

@@ -59,7 +59,6 @@ from repro.federation.planner import (
     SemiJoinPushdown,
     ShardSubPlan,
 )
-from repro.obs.trace import Span
 from repro.results.resultset import (
     BoundNode,
     QueryResult,
@@ -132,6 +131,14 @@ class ScatterGatherExecutor:
         """Every source lives whole on one shard: hand the original
         query to that shard's engine untouched."""
         shard = plan.route_shard
+        if self.tracer is not None and root is not None:
+            with self.tracer.span("shard_subquery", parent=root,
+                                  shard=shard, route="single") as span:
+                return self._route_inner(plan, shard, span)
+        return self._route_inner(plan, shard, None)
+
+    def _route_inner(self, plan: FederatedPlan, shard: str,
+                     span) -> QueryResult:
         started = time.perf_counter()
         try:
             latency = self.catalog.spec(shard).latency_s
@@ -140,9 +147,11 @@ class ScatterGatherExecutor:
             warehouse = self.catalog.warehouse(shard)
             result = warehouse.xomatiq.query(plan.text, ast=plan.query)
         except DEGRADABLE as exc:
+            if span is not None:
+                span.meta["error"] = str(exc)
             return self._degraded_result(plan, [self._warn(shard, exc)])
         self._observe_shard(shard, time.perf_counter() - started,
-                            len(result.rows), root,
+                            len(result.rows), span,
                             sum(_row_bytes(row.values)
                                 for row in result.rows))
         for row in result.rows:
@@ -162,7 +171,7 @@ class ScatterGatherExecutor:
 
         by_probe: dict[int, SemiJoinPushdown] = {
             semijoin.probe: semijoin for semijoin in plan.semijoins}
-        phase_one = [(subplan, None) for subplan in plan.subplans
+        phase_one = [(subplan, None, None) for subplan in plan.subplans
                      if subplan.index not in by_probe]
         failed = self._run_phase(plan, phase_one, unit_rows, warnings,
                                  root)
@@ -180,15 +189,21 @@ class ScatterGatherExecutor:
                     f"semi-join filter for {' and '.join(subplan.sources)} "
                     f"unavailable (build side degraded); scanning "
                     f"unfiltered")
-                phase_two.append((subplan, None))
+                phase_two.append((subplan, None, None))
                 continue
             phase_two.append(
                 self._filtered_subplan(subplan, semijoin, unit_rows))
         if phase_two:
             self._run_phase(plan, phase_two, unit_rows, warnings, root)
 
-        combos = self._gather(plan, unit_rows)
-        result = self._assemble(plan, combos)
+        if self.tracer is not None and root is not None:
+            with self.tracer.span("coordinator_join") as span:
+                combos = self._gather(plan, unit_rows)
+                result = self._assemble(plan, combos)
+                span.count("combos", len(combos))
+        else:
+            combos = self._gather(plan, unit_rows)
+            result = self._assemble(plan, combos)
         result.warnings.extend(warnings)
         if warnings and self.metrics is not None:
             self.metrics.inc("federation.partial_results")
@@ -196,9 +211,11 @@ class ScatterGatherExecutor:
 
     def _run_phase(self, plan: FederatedPlan, entries, unit_rows,
                    warnings: list[str], root) -> set[int]:
-        """Run one phase's ``(subplan, bloom)`` entries across their
-        shards; returns the subplan ids that lost at least one shard."""
-        tasks = [(subplan, bloom, shard) for subplan, bloom in entries
+        """Run one phase's ``(subplan, bloom, semijoin mode)`` entries
+        across their shards; returns the subplan ids that lost at
+        least one shard."""
+        tasks = [(subplan, bloom, mode, shard)
+                 for subplan, bloom, mode in entries
                  for shard in subplan.shards]
         if not tasks:
             return set()
@@ -211,15 +228,17 @@ class ScatterGatherExecutor:
                     max_workers=min(workers, len(tasks)),
                     thread_name_prefix="shard") as pool:
                 futures = [pool.submit(self._run_subquery, plan,
-                                       subplan, shard, root, bloom)
-                           for subplan, bloom, shard in tasks]
+                                       subplan, shard, root, bloom,
+                                       mode)
+                           for subplan, bloom, mode, shard in tasks]
                 outcomes = [future.result() for future in futures]
         else:
             outcomes = [self._run_subquery(plan, subplan, shard, root,
-                                           bloom)
-                        for subplan, bloom, shard in tasks]
+                                           bloom, mode)
+                        for subplan, bloom, mode, shard in tasks]
         failed: set[int] = set()
-        for (subplan, __, shard), (rows, warning) in zip(tasks, outcomes):
+        for (subplan, __, ___, shard), (rows, warning) in zip(tasks,
+                                                              outcomes):
             if warning is not None:
                 warnings.append(warning)
                 failed.add(subplan.index)
@@ -231,7 +250,8 @@ class ScatterGatherExecutor:
                           semijoin: SemiJoinPushdown, unit_rows):
         """Attach the build side's join-key values to a probe subplan:
         an IN-list rewrite of the subquery below the cutoff (the filter
-        runs inside the shard's SQL), a Bloom post-check above it."""
+        runs inside the shard's SQL), a Bloom post-check above it.
+        Returns a ``(subplan, bloom, semijoin mode)`` phase entry."""
         values = sorted({value
                         for row in unit_rows[semijoin.build]
                         for value in row.values.get(semijoin.build_key, [])
@@ -253,19 +273,41 @@ class ScatterGatherExecutor:
                                            where=conjunction)
             rewritten = dataclasses.replace(subplan, subquery=subquery,
                                             text=str(subquery))
-            return rewritten, None
+            return rewritten, None, "inlist"
         if self.metrics is not None:
             self.metrics.inc("federation.semijoin_filters", mode="bloom")
-        return subplan, (semijoin.probe_key, BloomFilter(values))
+        return subplan, (semijoin.probe_key, BloomFilter(values)), "bloom"
 
     def _run_subquery(self, plan: FederatedPlan, subplan: ShardSubPlan,
-                      shard: str, root, bloom=None):
+                      shard: str, root, bloom=None, mode=None):
         """One (subplan, shard) task; returns ``(rows, warning)``.
 
         ``bloom`` is a ``(value key, BloomFilter)`` pair: the shipped
         semi-join filter, applied before rows count as shipped (it
         models the filter running at the shard's end of the wire).
+        ``mode`` labels the span with the semi-join flavour in play.
+
+        This runs on a pool worker thread, so the shard span is opened
+        with an **explicit parent** — the coordinator's
+        ``federated_query`` span — because a worker's thread-local span
+        stack starts empty and cannot see the coordinator's. The shard
+        warehouse shares the federation tracer, so its own ``query``
+        span (and every SQL statement record) nests under this one:
+        one connected tree from request to statement.
         """
+        if self.tracer is not None and root is not None:
+            meta = {"shard": shard,
+                    "sources": ", ".join(subplan.sources)}
+            if mode is not None:
+                meta["semijoin"] = mode
+            with self.tracer.span("shard_subquery", parent=root,
+                                  **meta) as span:
+                return self._shard_subquery(plan, subplan, shard,
+                                            bloom, span)
+        return self._shard_subquery(plan, subplan, shard, bloom, None)
+
+    def _shard_subquery(self, plan: FederatedPlan,
+                        subplan: ShardSubPlan, shard: str, bloom, span):
         started = time.perf_counter()
         try:
             latency = self.catalog.spec(shard).latency_s
@@ -283,6 +325,8 @@ class ScatterGatherExecutor:
             # not a fault
             return [], None
         except DEGRADABLE as exc:
+            if span is not None:
+                span.meta["error"] = str(exc)
             return [], self._warn(shard, exc, subplan)
         rows = self._unit_rows(plan, subplan, shard, result)
         if bloom is not None:
@@ -295,7 +339,7 @@ class ScatterGatherExecutor:
                                  len(rows) - len(kept))
             rows = kept
         self._observe_shard(shard, time.perf_counter() - started,
-                            len(rows), root,
+                            len(rows), span,
                             sum(_row_bytes(row.values) for row in rows))
         return rows, None
 
@@ -508,21 +552,23 @@ class ScatterGatherExecutor:
                 root.count("semijoin_filters", len(plan.semijoins))
 
     def _observe_shard(self, shard: str, seconds: float, rows: int,
-                       root, bytes_shipped: int = 0) -> None:
+                       span, bytes_shipped: int = 0) -> None:
+        """Record one finished shard visit on the metrics plane and on
+        its (live, worker-opened) ``shard_subquery`` span. The span's
+        trace id doubles as the ``federation.shard_seconds`` exemplar,
+        tying the latency bucket to a resolvable trace."""
         if self.metrics is not None:
+            exemplar = (span.trace_id
+                        if span is not None and span.trace_id else None)
             self.metrics.observe("federation.shard_seconds", seconds,
-                                 shard=shard)
+                                 shard=shard, exemplar=exemplar)
             self.metrics.inc("federation.rows_shipped", rows)
             self.metrics.inc("federation.bytes_shipped", bytes_shipped)
         if self.stats is not None:
             self.stats.record_observation(shard, seconds, rows)
-        if root is not None:
-            now = self.tracer.clock()
-            span = Span(name="shard_subquery", start=now - seconds,
-                        end=now, meta={"shard": shard})
+        if span is not None:
             span.counters["rows_shipped"] = rows
             span.counters["bytes_shipped"] = bytes_shipped
-            root.children.append(span)
 
 
 def _row_bytes(values: dict) -> int:

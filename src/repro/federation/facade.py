@@ -84,6 +84,10 @@ class FederatedXomatiQ:
         if self.catalog.metrics is None:
             # shard warehouses record into the facade's registry too
             self.catalog.metrics = self.metrics
+        if self.tracer is not None:
+            # one tracer across coordinator and every shard — the
+            # distributed trace is a single tree
+            self.catalog.set_tracer(self.tracer)
         self.statistics = stats if stats is not None else StatisticsCatalog()
         self.stats_path = stats_path
         self.planner = FederationPlanner(
@@ -113,10 +117,40 @@ class FederatedXomatiQ:
 
     # -- querying -------------------------------------------------------------
 
+    def enable_tracing(self, tracer=None, max_spans: int | None = None):
+        """Turn span tracing on after construction (idempotent; the
+        :meth:`~repro.engine.Warehouse.enable_tracing` counterpart).
+        One tracer is shared by the coordinator, the scatter-gather
+        executor, and every shard warehouse, so a federated query's
+        trace is a single connected tree. Returns the tracer."""
+        from repro.obs import Tracer
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.tracer is None:
+            self.tracer = Tracer(max_spans=max_spans)
+        if max_spans is not None:
+            self.tracer.max_spans = max_spans
+        if self.tracer.metrics is None:
+            self.tracer.metrics = self._metrics_sink
+        self.executor.tracer = self.tracer
+        self.catalog.set_tracer(self.tracer)
+        return self.tracer
+
     def query(self, text: str) -> QueryResult:
-        """Parse, check, plan, scatter, gather."""
+        """Parse, check, plan, scatter, gather.
+
+        On a traced federation, planning runs inside a ``plan`` span
+        (parse/check/statistics refresh included) as a sibling of the
+        executor's ``federated_query`` span, so a request trace reads
+        handler → plan → scatter."""
         started = time.perf_counter()
-        result = self.executor.execute(self.plan(text))
+        if self.tracer is None:
+            plan = self.plan(text)
+        else:
+            with self.tracer.span("plan", query=text) as span:
+                plan = self.plan(text)
+                span.meta["fanout"] = plan.fanout
+        result = self.executor.execute(plan)
         if self._metrics_sink is not None:
             self._metrics_sink.observe("federation.query_seconds",
                                        time.perf_counter() - started)

@@ -22,7 +22,11 @@ This package provides it:
 * :mod:`repro.obs.profile` — one-shot query profiling
   (:func:`profile_query`, :class:`ProfileReport`) and text rendering,
 * :mod:`repro.obs.export` — JSON export of traces and profiles
-  (consumed by ``benchmarks/summarize.py``).
+  (consumed by ``benchmarks/summarize.py``),
+* :mod:`repro.obs.tracestore` — :class:`TraceStore`, a bounded ring of
+  finished request traces with head sampling plus tail-based keep for
+  slow and error traces, Chrome ``trace_event`` export, and the
+  ``xomatiq trace show`` waterfall renderer.
 
 Span *tracing* remains opt-in (``Warehouse(trace=True)``); the metrics
 plane and slow-query log are always on and can be disabled with
@@ -50,7 +54,15 @@ from repro.obs.metrics import (
     resolve_metrics,
 )
 from repro.obs.profile import ProfileReport, format_profile, profile_query
-from repro.obs.trace import Span, Tracer
+from repro.obs.trace import Span, TraceContext, Tracer
+from repro.obs.tracestore import (
+    TraceRecord,
+    TraceStore,
+    chrome_trace,
+    format_trace,
+    trace_summary,
+    trace_to_dict,
+)
 
 __all__ = [
     "Counter",
@@ -66,16 +78,23 @@ __all__ = [
     "SlowQueryRecord",
     "Span",
     "StatementRecord",
+    "TraceContext",
+    "TraceRecord",
+    "TraceStore",
     "Tracer",
+    "chrome_trace",
     "default_registry",
     "export_profiles",
     "format_health",
     "format_profile",
+    "format_trace",
     "health_report",
     "profile_query",
     "profile_to_dict",
     "resolve_metrics",
     "span_to_dict",
+    "trace_summary",
+    "trace_to_dict",
     "trace_to_json",
     "tracer_to_dicts",
 ]

@@ -23,9 +23,13 @@ from typing import Iterable
 from repro.relational.backend import Backend, Params, Row
 
 
-@dataclass
+@dataclass(slots=True)
 class StatementRecord:
-    """One executed SQL statement (or one ``executemany`` batch)."""
+    """One executed SQL statement (or one ``executemany`` batch).
+
+    Slotted and allocation-lean: one of these is created per SQL
+    statement on a traced warehouse, which is the hottest allocation
+    site in the observability plane."""
 
     sql: str
     kind: str
@@ -36,7 +40,7 @@ class StatementRecord:
     executions: int = 1
     #: captured EXPLAIN lines (empty unless plan capture is on)
     plan: tuple[str, ...] = ()
-    extra: dict[str, object] = field(default_factory=dict)
+    extra: dict[str, object] | None = None
 
     @property
     def duration_ms(self) -> float:
@@ -118,9 +122,13 @@ class InstrumentedBackend:
         if timer is not None:
             timer.record(len(rows), duration)
         if self.tracer is not None:
+            try:
+                param_count = len(params)
+            except TypeError:
+                param_count = len(tuple(params))
+            # positional construction: this runs once per statement
             self.tracer.record_statement(StatementRecord(
-                sql=sql, kind=kind, param_count=len(tuple(params)),
-                row_count=len(rows), duration_s=duration, plan=plan))
+                sql, kind, param_count, len(rows), duration, 1, plan))
         return rows
 
     def executemany(self, sql: str, params_seq: Iterable[Params]) -> int:

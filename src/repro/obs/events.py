@@ -133,6 +133,10 @@ class SlowQueryRecord:
     sql: tuple[str, ...] = ()
     #: SELECT sql → the engine's EXPLAIN lines for it
     plans: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: which shard ran it (federated queries) — "" for monolithic
+    shard: str = ""
+    #: trace id of the request that ran it, when tracing was active
+    trace_id: str = ""
 
     def to_dict(self) -> dict:
         """JSON-ready form."""
@@ -140,6 +144,7 @@ class SlowQueryRecord:
                 "backend": self.backend,
                 "duration_ms": round(self.duration_ms, 3),
                 "rows": self.rows, "cache_hit": self.cache_hit,
+                "shard": self.shard, "trace_id": self.trace_id,
                 "sql": list(self.sql),
                 "plans": {sql: list(lines)
                           for sql, lines in self.plans.items()}}
@@ -168,15 +173,18 @@ class SlowQueryLog:
         self.slow = 0
 
     def record(self, query: str, backend, duration_ms: float,
-               rows: int, cache_hit: bool,
-               statements=()) -> SlowQueryRecord | None:
+               rows: int, cache_hit: bool, statements=(),
+               shard: str = "",
+               trace_id: str = "") -> SlowQueryRecord | None:
         """Consider one finished query; returns the record when slow.
 
         ``statements`` are ``(sql, params)`` pairs (see
         ``CompiledQuery.parameterized_statements``) — params are needed
         to re-run EXPLAIN against parameterized SQL. Pass a zero-arg
         callable returning the pairs to defer building them to the
-        slow case (the common fast case then pays one comparison)."""
+        slow case (the common fast case then pays one comparison).
+        ``shard`` and ``trace_id`` pin a federated slow query to the
+        shard that ran it and the request trace that triggered it."""
         with self._lock:
             self.seen += 1
         if duration_ms < self.threshold_ms:
@@ -189,7 +197,8 @@ class SlowQueryLog:
             backend=getattr(backend, "name", str(backend)),
             duration_ms=duration_ms, rows=rows, cache_hit=cache_hit,
             sql=tuple(sql for sql, __ in statements),
-            plans=self._capture_plans(backend, statements))
+            plans=self._capture_plans(backend, statements),
+            shard=shard, trace_id=trace_id)
         with self._lock:
             self._records.append(record)
             self.slow += 1
@@ -198,7 +207,8 @@ class SlowQueryLog:
                 "query.slow", severity="warning", query=query,
                 backend=record.backend,
                 duration_ms=round(duration_ms, 3), rows=rows,
-                cache_hit=cache_hit, statements=len(record.sql))
+                cache_hit=cache_hit, statements=len(record.sql),
+                shard=shard, trace_id=trace_id)
         return record
 
     def records(self) -> list[SlowQueryRecord]:

@@ -4,6 +4,8 @@ Schema (documented in docs/observability.md)::
 
     span = {
       "name": str, "duration_ms": float,
+      "span_id": str, "parent_id": str, "trace_id": str,
+      "start_ms": float,  # offset from the root of the exported tree
       "meta": {...}, "counters": {"statements": int, "rows": int, ...},
       "statements": [
         {"sql": str, "kind": "SELECT", "param_count": int,
@@ -41,14 +43,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 PROFILE_FORMAT = "xomatiq-profile/1"
 
 
-def span_to_dict(span: "Span") -> dict:
+def span_to_dict(span: "Span", origin: float | None = None) -> dict:
     """One span (and its subtree) as JSON-ready data.
 
     A span that was never closed (``end is None``) renders with
     ``duration_ms: null`` — an honest "unknown", not a fake 0.0.
+    ``start_ms`` is the offset from the root of the exported tree
+    (absolute monotonic-clock readings are meaningless off-process),
+    which is what the waterfall renderer and Chrome export need.
     """
+    if origin is None:
+        origin = span.start
     return {
         "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "trace_id": span.trace_id,
+        "start_ms": round((span.start - origin) * 1000.0, 4),
         "duration_ms": (round(span.duration_ms, 4)
                         if span.end is not None else None),
         "meta": {key: _jsonable(value)
@@ -56,7 +67,8 @@ def span_to_dict(span: "Span") -> dict:
         "counters": dict(span.counters),
         "statements": [_statement_to_dict(record)
                        for record in span.statements],
-        "children": [span_to_dict(child) for child in span.children],
+        "children": [span_to_dict(child, origin)
+                     for child in span.children],
     }
 
 

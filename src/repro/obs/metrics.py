@@ -31,6 +31,7 @@ cache the metric handle instead and skip the lookup.
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
 from typing import Iterable, Mapping
 
@@ -99,7 +100,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
-                 "sum", "_lock")
+                 "sum", "exemplars", "_lock")
 
     def __init__(self, name: str, labels: LabelItems = (),
                  buckets: Iterable[float] | None = None):
@@ -112,15 +113,26 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.sum = 0.0
+        #: per-bucket latest exemplar ``(trace_id, value, epoch_s)``,
+        #: allocated lazily — histograms that never see an exemplar
+        #: (the per-statement hot path) pay nothing
+        self.exemplars: list[tuple[str, float, float] | None] | None = None
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
-        """Record one sample."""
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one sample; ``exemplar`` is the trace id of the
+        request this sample came from — the latest one per bucket is
+        kept and rendered in the Prometheus exposition, linking a
+        latency bucket to a retained trace."""
         index = bisect_left(self.bounds, value)
         with self._lock:
             self.bucket_counts[index] += 1
             self.count += 1
             self.sum += value
+            if exemplar is not None:
+                if self.exemplars is None:
+                    self.exemplars = [None] * len(self.bucket_counts)
+                self.exemplars[index] = (exemplar, value, time.time())
 
     def quantile(self, q: float) -> float:
         """Approximate q-quantile (0 < q <= 1), linearly interpolated
@@ -339,9 +351,12 @@ class MetricsRegistry:
         self.gauge(name, **labels).set(value)
 
     def observe(self, name: str, value: float,
-                buckets: Iterable[float] | None = None, **labels) -> None:
-        """Record a histogram sample by name."""
-        self.histogram(name, buckets=buckets, **labels).observe(value)
+                buckets: Iterable[float] | None = None,
+                exemplar: str | None = None, **labels) -> None:
+        """Record a histogram sample by name (``exemplar`` optionally
+        ties the sample to a trace id; see :meth:`Histogram.observe`)."""
+        self.histogram(name, buckets=buckets, **labels).observe(
+            value, exemplar=exemplar)
 
     # -- reading ------------------------------------------------------------
 
@@ -439,13 +454,19 @@ class MetricsRegistry:
                 seen.add(exposed)
                 lines.append(f"# TYPE {exposed} histogram")
             cumulative = 0
-            for bound, count in zip(metric.bounds + ("+Inf",),
-                                    metric.bucket_counts):
+            exemplars = metric.exemplars
+            for index, (bound, count) in enumerate(
+                    zip(metric.bounds + ("+Inf",), metric.bucket_counts)):
                 cumulative += count
                 le = "+Inf" if bound == "+Inf" else _prom_value(bound)
                 labels = metric.labels + (("le", le),)
-                lines.append(f"{exposed}_bucket{_prom_labels(labels)}"
-                             f" {cumulative}")
+                line = (f"{exposed}_bucket{_prom_labels(labels)}"
+                        f" {cumulative}")
+                if exemplars is not None and exemplars[index] is not None:
+                    trace_id, value, ts = exemplars[index]
+                    line += (f" # {_prom_labels((('trace_id', trace_id),))}"
+                             f" {_prom_value(value)} {ts:.3f}")
+                lines.append(line)
             lines.append(f"{exposed}_sum{_prom_labels(metric.labels)}"
                          f" {_prom_value(metric.sum)}")
             lines.append(f"{exposed}_count{_prom_labels(metric.labels)}"
@@ -487,7 +508,8 @@ class NullMetrics:
     def set_gauge(self, name: str, value, **labels) -> None:
         pass
 
-    def observe(self, name: str, value, buckets=None, **labels) -> None:
+    def observe(self, name: str, value, buckets=None, exemplar=None,
+                **labels) -> None:
         pass
 
     def get_counter(self, name: str, **labels):
@@ -531,7 +553,7 @@ class _NullMetric:
     def set(self, value) -> None:
         pass
 
-    def observe(self, value) -> None:
+    def observe(self, value, exemplar=None) -> None:
         pass
 
     def record(self, *args, **kwargs) -> None:

@@ -15,14 +15,61 @@ exported to JSON, or rendered as text long after the tracer is gone.
 
 from __future__ import annotations
 
+import itertools
+import os
+import re
 import threading
 import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+#: process-unique id sequence; the 4-hex prefix keeps trace ids from
+#: two processes (e.g. test workers) from colliding in merged output
+_ids = itertools.count(1)
+_SEED = os.urandom(2).hex()
 
-@dataclass
+#: inbound request ids are honored only when they are short and safe to
+#: echo into headers, logs, and Prometheus exemplars verbatim
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9_.:-]{1,64}$")
+
+
+def new_span_id() -> str:
+    """A process-unique span id (hex, constant width)."""
+    return f"{next(_ids):012x}"
+
+
+def new_trace_id() -> str:
+    """A process-unique trace id (hex, constant width)."""
+    return _SEED + f"{next(_ids):012x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Propagatable identity of one request: which trace a piece of
+    work belongs to and which span is its parent.
+
+    Minted once per HTTP request by the service layer; handed across
+    thread boundaries explicitly (worker pools cannot inherit the
+    coordinator's thread-local span stack), and quoted in Prometheus
+    exemplars and slow-query records so metrics, logs, and traces all
+    share one id.
+    """
+
+    trace_id: str
+    span_id: str = ""
+    sampled: bool = True
+
+    @classmethod
+    def mint(cls, request_id: str | None = None,
+             sampled: bool = True) -> "TraceContext":
+        """Create a fresh context, honoring a caller-supplied request
+        id as the trace id when it is safe to echo verbatim."""
+        if request_id and _REQUEST_ID_RE.match(request_id):
+            return cls(trace_id=request_id, sampled=sampled)
+        return cls(trace_id=new_trace_id(), sampled=sampled)
+
+
+@dataclass(slots=True)
 class Span:
     """One timed region of the pipeline."""
 
@@ -34,6 +81,12 @@ class Span:
     #: SQL statements executed while this span was innermost
     statements: list = field(default_factory=list)
     children: list["Span"] = field(default_factory=list)
+    #: trace identity — every span in one request tree shares trace_id
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str = ""
+    #: ident of the thread that opened the span (Chrome trace lane)
+    tid: int = 0
 
     @property
     def duration_s(self) -> float:
@@ -76,6 +129,48 @@ class Span:
                 f"{len(self.children)} children)")
 
 
+class _SpanScope:
+    """Hand-rolled context manager for one open span.
+
+    ``tracer.span(...)`` is the hottest allocation on a traced query
+    (several spans per query, always-on in the service), and a
+    generator-based ``@contextmanager`` costs a few times this class's
+    enter/exit — enough to show up in the observability-overhead
+    guardrail."""
+
+    __slots__ = ("_tracer", "_span", "_stack")
+
+    def __init__(self, tracer: "Tracer", span: Span, stack: list):
+        self._tracer = tracer
+        self._span = span
+        self._stack = stack
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._stack.pop()
+        span = self._span
+        tracer = self._tracer
+        span.end = tracer.clock()
+        statements = span.statements
+        if statements:
+            # statement counters are aggregated once per span close
+            # instead of once per statement — the per-statement dict
+            # updates were a measurable slice of the tracing overhead
+            executions = rows = 0
+            for record in statements:
+                executions += record.executions
+                rows += record.row_count
+            counters = span.counters
+            counters["statements"] = (counters.get("statements", 0)
+                                      + executions)
+            counters["rows"] = counters.get("rows", 0) + rows
+        if tracer.metrics is not None:
+            tracer._span_seconds(span.name).observe(span.end - span.start)
+        return False
+
+
 class Tracer:
     """Produces span trees; one tracer serves one warehouse.
 
@@ -99,16 +194,25 @@ class Tracer:
     """
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter,
-                 metrics=None):
+                 metrics=None, max_spans: int | None = None):
         self.clock = clock
         #: optional MetricsRegistry fed one sample per finished span
         self.metrics = metrics
+        #: bound on retained top-level spans (None = unbounded); a
+        #: long-running service must set this or ``spans`` grows with
+        #: every request it serves
+        self.max_spans = max_spans
         self.spans: list[Span] = []
         self._local = threading.local()
         self._lock = threading.Lock()
         #: per-thread catch-all spans, so concurrent counts never race
         #: on one shared Span's dicts
         self._untracked_spans: list[Span] = []
+        #: span name → live trace.span_seconds histogram handle; the
+        #: per-name registry lookup (label key + registry lock) is too
+        #: expensive to repeat on every span exit
+        self._span_histograms: dict[str, object] = {}
+        self._span_histogram_source = None
 
     def _stack(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)
@@ -122,26 +226,72 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
-    @contextmanager
-    def span(self, name: str, **meta) -> Iterator[Span]:
+    def current_context(self) -> TraceContext | None:
+        """The calling thread's position in its trace, as a context
+        that can be handed to another thread (or stamped on a log
+        record). ``None`` when no span is open."""
+        span = self.current
+        if span is None:
+            return None
+        return TraceContext(trace_id=span.trace_id, span_id=span.span_id)
+
+    def span(self, name: str, parent: Span | None = None,
+             context: TraceContext | None = None,
+             **meta) -> _SpanScope:
         """Open a span; nests under the calling thread's current span
-        when one is open."""
-        span = Span(name=name, start=self.clock(), meta=dict(meta))
+        when one is open.
+
+        ``parent`` attaches the span under an *explicit* parent even
+        though that parent lives on another thread's stack — this is
+        how scatter-gather and bulk-load worker threads join the
+        coordinator's tree instead of starting orphaned trees of their
+        own. ``context`` seeds a *root* span with an externally minted
+        trace identity (the service layer's per-request
+        :class:`TraceContext`); it is ignored unless this span starts a
+        new tree on this thread. Roots without a context mint a fresh
+        trace id, so every finished tree is addressable.
+        """
+        span = Span(name=name, start=self.clock(), meta=meta,
+                    span_id=new_span_id(), tid=threading.get_ident())
         stack = self._stack()
-        if stack:
-            stack[-1].children.append(span)
+        if parent is not None:
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+            # list.append is atomic under the GIL, so worker threads
+            # may attach to a shared parent without taking the lock
+            parent.children.append(span)
+        elif stack:
+            top = stack[-1]
+            span.trace_id = top.trace_id
+            span.parent_id = top.span_id
+            top.children.append(span)
         else:
+            if context is not None:
+                span.trace_id = context.trace_id
+                span.parent_id = context.span_id
+            else:
+                # derive the root's trace id from its span id rather
+                # than drawing (and formatting) a second counter value
+                span.trace_id = _SEED + span.span_id
             with self._lock:
                 self.spans.append(span)
+                if (self.max_spans is not None
+                        and len(self.spans) > self.max_spans):
+                    del self.spans[:len(self.spans) - self.max_spans]
         stack.append(span)
-        try:
-            yield span
-        finally:
-            stack.pop()
-            span.end = self.clock()
-            if self.metrics is not None:
-                self.metrics.observe("trace.span_seconds",
-                                     span.end - span.start, span=name)
+        return _SpanScope(self, span, stack)
+
+    def _span_seconds(self, name: str):
+        """The live ``trace.span_seconds{span=name}`` handle, cached
+        per name (and rebuilt if :attr:`metrics` is swapped out)."""
+        if self.metrics is not self._span_histogram_source:
+            self._span_histogram_source = self.metrics
+            self._span_histograms = {}
+        histogram = self._span_histograms.get(name)
+        if histogram is None:
+            histogram = self._span_histograms[name] = \
+                self.metrics.histogram("trace.span_seconds", span=name)
+        return histogram
 
     def count(self, name: str, amount: int = 1) -> None:
         """Increment a counter on the current span; counts arriving
@@ -152,12 +302,19 @@ class Tracer:
         span.count(name, amount)
 
     def record_statement(self, record) -> None:
-        """Attach one backend statement record to the current span."""
-        span = self.current
-        if span is None:
-            span = self._untracked_span()
+        """Attach one backend statement record to the current span.
+
+        For open stack spans this is append-only — the ``statements``
+        / ``rows`` counters are rolled up once when the span closes
+        (see :class:`_SpanScope`). The catch-all ``(untracked)`` span
+        has no close, so it counts eagerly."""
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            stack[-1].statements.append(record)
+            return
+        span = self._untracked_span()
         span.statements.append(record)
-        span.count("statements", getattr(record, "executions", 1))
+        span.count("statements", record.executions)
         span.count("rows", record.row_count)
 
     def last_span(self, name: str | None = None) -> Span | None:
@@ -182,7 +339,9 @@ class Tracer:
     def _untracked_span(self) -> Span:
         span = getattr(self._local, "untracked", None)
         if span is None:
-            span = Span(name="(untracked)", start=self.clock())
+            span = Span(name="(untracked)", start=self.clock(),
+                        span_id=new_span_id(), trace_id=new_trace_id(),
+                        tid=threading.get_ident())
             self._local.untracked = span
             with self._lock:
                 self.spans.append(span)

@@ -92,6 +92,25 @@ class RateLimiter:
         return bucket.allow(now)
 
 
+def decide(rate_limiter: "RateLimiter",
+           controller: "AdmissionController",
+           client: str) -> tuple[bool, str | None]:
+    """Evaluate both gates for one request, in rejection-cost order.
+
+    The token bucket is checked first — a rate-limited client must not
+    consume an in-flight slot just to be told 429. Returns
+    ``(admitted, refusal)`` where ``refusal`` is ``"rate_limit"``
+    (answer 429) or ``"capacity"`` (answer 503) when the request is
+    shed, else ``None`` — and then the caller owns an in-flight slot
+    and must call ``controller.release()``.
+    """
+    if not rate_limiter.allow(client):
+        return False, "rate_limit"
+    if not controller.try_admit():
+        return False, "capacity"
+    return True, None
+
+
 class AdmissionController:
     """Bounded in-flight requests: admit or reject, never queue."""
 

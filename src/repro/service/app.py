@@ -15,16 +15,30 @@ Resources (full schemas in docs/service.md)::
     GET  /health                tri-state health report (503 on fail)
     GET  /metrics               metrics snapshot (JSON or Prometheus)
     GET  /stats                 table/row counts
+    GET  /traces                retained request traces (summaries)
+    GET  /traces/{trace_id}     one span tree (JSON, ?format=chrome)
     POST /harvest               hound-harvest a mirror directory
 
 Work endpoints (query/keyword/documents/harvest) pass admission
 control — a hard in-flight cap answering ``503`` and per-client token
 buckets answering ``429`` (:mod:`repro.service.admission`) — while the
-probe endpoints (health/metrics/stats) bypass it so monitoring still
-sees an overloaded node. Every request lands in the engine's
+probe endpoints (health/metrics/stats/traces) bypass it so monitoring
+still sees an overloaded node. Every request lands in the engine's
 structured event log and the ``service.*`` metrics (per-endpoint
 request counters and latency histograms), so the same ``GET /metrics``
 the scraper polls also describes the service itself.
+
+Every request is traced end to end: the service mints a
+:class:`~repro.obs.trace.TraceContext` (honoring a caller-supplied
+``X-Request-Id`` when it is safe to echo) and opens a ``request`` root
+span that the engine's own spans — planner, scatter-gather shard
+subqueries, per-statement SQL — nest under. The finished tree is
+offered to a bounded :class:`~repro.obs.TraceStore` (head sampling
+plus always-keep for slow and error traces) and served back on
+``GET /traces/{id}``; kept trace ids are also attached to the
+``service.request_seconds`` histogram as Prometheus exemplars.
+``X-Request-Id`` and ``X-Trace-Id`` are echoed on **every** response,
+including 429/503 rejections, so a shed request is still correlatable.
 
 The handler pool shares one warehouse: translation hits the (locked)
 compiled-query cache, statements serialize on the backend's connection
@@ -43,7 +57,18 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.engine import Warehouse
 from repro.errors import ReproError, UnknownDocumentError
-from repro.service.admission import AdmissionController, RateLimiter
+from repro.obs.trace import TraceContext
+from repro.obs.tracestore import (
+    TraceStore,
+    chrome_trace,
+    trace_summary,
+    trace_to_dict,
+)
+from repro.service.admission import (
+    AdmissionController,
+    RateLimiter,
+    decide,
+)
 from repro.xmlkit import serialize
 
 #: Prometheus text exposition content type (version 0.0.4)
@@ -53,7 +78,7 @@ JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 XML_CONTENT_TYPE = "application/xml; charset=utf-8"
 
 #: endpoints that must answer even when the node sheds load
-_UNGATED = frozenset({"health", "metrics", "stats"})
+_UNGATED = frozenset({"health", "metrics", "stats", "traces"})
 
 
 @dataclass
@@ -73,6 +98,12 @@ class ServiceConfig:
     #: default / maximum hits per keyword search
     keyword_limit: int = 50
     keyword_limit_max: int = 500
+    #: retained finished traces (ring buffer; 0 disables tracing)
+    trace_capacity: int = 256
+    #: head-sampling rate for routine traces (slow/error always kept)
+    trace_sample: float = 1.0
+    #: root spans at or over this duration are kept regardless
+    trace_slow_ms: float = 500.0
 
 
 @dataclass
@@ -117,6 +148,19 @@ class QueryService:
         self.admission = AdmissionController(self.config.max_in_flight)
         self.rate_limiter = RateLimiter(self.config.rate_limit,
                                         self.config.rate_burst)
+        if self.config.trace_capacity > 0 \
+                and hasattr(engine, "enable_tracing"):
+            #: shared with the engine — planner / shard / SQL spans
+            #: nest under the per-request root this service opens
+            self.tracer = engine.enable_tracing(
+                max_spans=self.config.trace_capacity)
+            self.trace_store = TraceStore(
+                capacity=self.config.trace_capacity,
+                sample_rate=self.config.trace_sample,
+                slow_ms=self.config.trace_slow_ms)
+        else:
+            self.tracer = None
+            self.trace_store = None
         if self._metrics_sink is not None:
             self._in_flight_gauge = self._metrics_sink.gauge(
                 "service.in_flight")
@@ -138,15 +182,31 @@ class QueryService:
                   in parse_qs(split.query).items()}
         endpoint, tail = self._route(path)
         client_id = (headers or {}).get("X-Client-Id") or client or "-"
+        inbound_id = (headers or {}).get("X-Request-Id") or ""
+        context = TraceContext.mint(inbound_id)
+        # echo the caller's id when it was safe to honor (mint adopted
+        # it as the trace id), else the minted id — never raw junk
+        request_id = context.trace_id
         gated = endpoint not in _UNGATED and endpoint != "unknown"
         admitted = False
+        root = span_cm = None
+        if self.tracer is not None:
+            span_cm = self.tracer.span("request", context=context,
+                                       endpoint=endpoint, method=method,
+                                       path=path)
+            root = span_cm.__enter__()
         try:
-            if gated and not self.rate_limiter.allow(client_id):
+            refusal = None
+            if gated:
+                admitted, refusal = self._admit(client_id)
+            if refusal == "rate_limit":
                 response = self._reject(429, "rate limit exceeded",
-                                        "rate_limit", client_id)
-            elif gated and not (admitted := self.admission.try_admit()):
+                                        "rate_limit", client_id,
+                                        request_id)
+            elif refusal == "capacity":
                 response = self._reject(503, "service at capacity",
-                                        "capacity", client_id)
+                                        "capacity", client_id,
+                                        request_id)
             else:
                 if self._in_flight_gauge is not None and admitted:
                     self._in_flight_gauge.set(self.admission.in_flight)
@@ -163,10 +223,38 @@ class QueryService:
                 self.admission.release()
                 if self._in_flight_gauge is not None:
                     self._in_flight_gauge.set(self.admission.in_flight)
+            if span_cm is not None:
+                span_cm.__exit__(None, None, None)
+        response.headers.setdefault("X-Request-Id", request_id)
+        kept = None
+        if root is not None:
+            response.headers.setdefault("X-Trace-Id", context.trace_id)
+            root.meta["status"] = response.status
+            # /traces requests are not offered to the store — the trace
+            # CLI polling for traces must not become the newest trace
+            if self.trace_store is not None and endpoint != "traces":
+                kept = self.trace_store.offer(
+                    root, request_id=request_id, endpoint=endpoint,
+                    status=response.status,
+                    error=response.status >= 500)
         duration_s = time.perf_counter() - started
         self._observe(endpoint, method, path, response.status,
-                      duration_s, client_id)
+                      duration_s, client_id, request_id,
+                      trace_id=context.trace_id if kept is not None
+                      else "")
         return response
+
+    def _admit(self, client_id: str) -> tuple[bool, str | None]:
+        """Both gates, under an ``admission`` span when tracing — a
+        shed request's trace shows *where* it was turned away."""
+        if self.tracer is None:
+            return decide(self.rate_limiter, self.admission, client_id)
+        with self.tracer.span("admission", client=client_id) as span:
+            admitted, refusal = decide(self.rate_limiter,
+                                       self.admission, client_id)
+            if refusal:
+                span.meta["refused"] = refusal
+            return admitted, refusal
 
     def close(self) -> None:
         """Release the engine (the server owns it in CLI mode)."""
@@ -178,6 +266,8 @@ class QueryService:
     def _route(path: str) -> tuple[str, str]:
         if path == "/documents" or path.startswith("/documents/"):
             return "documents", path[len("/documents/"):]
+        if path == "/traces" or path.startswith("/traces/"):
+            return "traces", path[len("/traces/"):]
         name = path.lstrip("/")
         if name in ("query", "keyword", "health", "metrics", "stats",
                     "harvest"):
@@ -205,6 +295,8 @@ class QueryService:
             return self._health()
         if endpoint == "metrics":
             return self._metrics(params)
+        if endpoint == "traces":
+            return self._traces(tail, params)
         if endpoint == "stats":
             payload = self.engine.stats()
             optimizer = getattr(self.engine, "optimizer_stats", None)
@@ -286,6 +378,36 @@ class QueryService:
                             content_type=PROMETHEUS_CONTENT_TYPE)
         return Response(200, self.metrics.snapshot())
 
+    def _traces(self, tail: str, params: dict) -> Response:
+        if self.trace_store is None:
+            return _error(404, "tracing is disabled on this node "
+                               "(trace_capacity = 0)")
+        if tail:
+            record = self.trace_store.get(tail)
+            if record is None:
+                return _error(404, f"no retained trace {tail} (the "
+                                   "store is bounded; it may have been "
+                                   "evicted or sampled out)")
+            fmt = params.get("format", "json")
+            if fmt == "chrome":
+                return Response(200, chrome_trace(record))
+            if fmt != "json":
+                return _error(400, f'unknown format {fmt!r} '
+                                   '(expected "json" or "chrome")')
+            return Response(200, trace_to_dict(record))
+        try:
+            limit = int(params["limit"]) if "limit" in params else None
+        except ValueError:
+            return _error(400, '"limit" must be an integer')
+        records = self.trace_store.records(limit)
+        return Response(200, {
+            "count": len(records),
+            "offered": self.trace_store.offered,
+            "kept": self.trace_store.kept,
+            "capacity": self.trace_store.capacity,
+            "traces": [trace_summary(record) for record in records],
+        })
+
     def _harvest(self, request: dict) -> Response:
         if self.federated:
             return _error(400, "harvest is a warehouse operation; "
@@ -330,27 +452,33 @@ class QueryService:
     # -- observability ------------------------------------------------------
 
     def _reject(self, status: int, message: str, reason: str,
-                client: str) -> Response:
+                client: str, request_id: str = "") -> Response:
         if self._metrics_sink is not None:
             self._metrics_sink.inc("service.rejected", reason=reason)
         self.events.emit("service.rejected", severity="warning",
-                         reason=reason, client=client)
+                         reason=reason, client=client,
+                         request_id=request_id)
         headers = {"Retry-After": "1"} if status in (429, 503) else {}
-        return Response(status, {"error": message, "reason": reason},
+        return Response(status, {"error": message, "reason": reason,
+                                 "request_id": request_id},
                         headers=headers)
 
     def _observe(self, endpoint: str, method: str, path: str,
-                 status: int, duration_s: float, client: str) -> None:
+                 status: int, duration_s: float, client: str,
+                 request_id: str = "", trace_id: str = "") -> None:
         if self._metrics_sink is not None:
             self._metrics_sink.inc("service.requests",
                                    endpoint=endpoint, status=status)
+            # a kept trace id rides along as the histogram exemplar, so
+            # a slow bucket links straight to the trace that filled it
             self._metrics_sink.observe("service.request_seconds",
-                                       duration_s, endpoint=endpoint)
+                                       duration_s, endpoint=endpoint,
+                                       exemplar=trace_id or None)
         self.events.emit("service.request",
                          severity="warning" if status >= 500 else "info",
                          method=method, path=path, status=status,
                          duration_ms=round(duration_s * 1000.0, 3),
-                         client=client)
+                         client=client, request_id=request_id)
 
 
 def _row_record(row) -> dict:
@@ -435,6 +563,12 @@ class ServiceServer(ThreadingHTTPServer):
 
     daemon_threads = True
     allow_reuse_address = True
+    #: socketserver's default listen backlog is 5; a burst of clients
+    #: connecting at once overflows it and the kernel resets the
+    #: overflow connections before a handler ever sees them. Admission
+    #: control is the layer that sheds load — the backlog just has to
+    #: be deep enough that the decision is ours, not the kernel's.
+    request_queue_size = 128
 
     def __init__(self, service: QueryService,
                  address: tuple[str, int] | None = None):

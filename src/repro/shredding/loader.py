@@ -369,7 +369,12 @@ class BulkLoadSession:
         With ``workers > 1`` the transform+shred stage (the CPU-bound
         part of a load) runs in a thread pool; results come back in
         input order, so buffering — and therefore every insert the
-        backend sees — stays ordered on the calling thread.
+        backend sees — stays ordered on the calling thread. On a traced
+        loader the fan-out runs inside a ``shred_fanout`` span on the
+        calling thread, and each worker-side shred span is parented to
+        it explicitly (worker threads cannot see the coordinator's
+        thread-local span stack), so a bulk load's trace stays one
+        connected tree instead of scattering orphan roots.
         """
         before = self.documents_loaded
         job = self._shred_job(source, transform)
@@ -377,9 +382,21 @@ class BulkLoadSession:
                     for item in items)
         if self.workers and self.workers > 1:
             from concurrent.futures import ThreadPoolExecutor
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                for entry_key, shredded in pool.map(job, numbered):
-                    self._buffer(source, entry_key, shredded)
+            tracer = self.loader.tracer
+            span_context = (tracer.span("shred_fanout", source=source,
+                                        workers=self.workers)
+                            if tracer is not None else nullcontext(None))
+            with span_context as fanout:
+                if tracer is not None:
+                    inner_job = job
+
+                    def job(pair, __job=inner_job):
+                        with tracer.span("shred", parent=fanout):
+                            return __job(pair)
+
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    for entry_key, shredded in pool.map(job, numbered):
+                        self._buffer(source, entry_key, shredded)
         else:
             for pair in numbered:
                 entry_key, shredded = job(pair)

@@ -55,9 +55,13 @@ class TestCacheHits:
                        if span.name == "query"]
         assert query_spans[0].counters.get("cache.miss") == 1
         assert query_spans[1].counters.get("cache.hit") == 1
-        # on the hit, parse/check/compile stages are skipped entirely
-        assert [child.name for child in query_spans[1].children] \
-            == ["execute"]
+        # the miss runs the full pipeline under stage spans; the hit
+        # skips every stage, so it is a single span with the SQL
+        # statements attached directly to it
+        assert "execute" in [c.name for c in query_spans[0].children]
+        assert query_spans[1].children == []
+        assert query_spans[1].statements
+        assert query_spans[1].counters.get("result_rows") == 3
 
 
 class TestInvalidation:

@@ -1,0 +1,187 @@
+"""Acceptance: end-to-end request tracing over a live federation.
+
+A real ``ServiceServer`` fronts a two-shard federation; a client posts
+a cross-database join with an ``X-Request-Id``, takes the trace id off
+the response headers, and resolves it two ways — ``GET /traces/{id}``
+and ``xomatiq trace show`` — asserting one connected span tree from
+the HTTP handler through admission, the planner, every shard
+subquery's SQL statements, and the coordinator join.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.federation import FederatedXomatiQ, ShardCatalog
+from repro.obs import MetricsRegistry
+from repro.service import QueryService, ServiceConfig, ServiceServer
+from repro.synth import build_corpus
+
+JOIN_QUERY = '''
+FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number
+'''
+
+
+def _request(url, payload=None, headers=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data,
+                                     headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), \
+                response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def walk(span):
+    yield span
+    for child in span["children"]:
+        yield from walk(child)
+
+
+@pytest.fixture(scope="module")
+def live_federation_server():
+    catalog = ShardCatalog()
+    catalog.add_shard("s0")
+    catalog.add_shard("s1")
+    catalog.assign("hlx_enzyme", "s0")
+    catalog.assign("hlx_embl", "s1")
+    catalog.assign("hlx_sprot", "s1")
+    federation = FederatedXomatiQ(catalog, metrics=MetricsRegistry())
+    federation.load_corpus(build_corpus(seed=11, enzyme_count=12,
+                                        embl_count=18, sprot_count=8))
+    server = ServiceServer(
+        QueryService(federation, config=ServiceConfig(port=0)))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.close()
+    thread.join(timeout=10)
+    federation.close()
+
+
+@pytest.fixture(scope="module")
+def traced_request(live_federation_server):
+    """One traced join request; returns (base_url, trace_id, tree)."""
+    base = live_federation_server.url
+    status, headers, body = _request(
+        base + "/query", payload={"query": JOIN_QUERY},
+        headers={"X-Request-Id": "req-e2e-join"})
+    assert status == 200, body
+    assert headers["X-Request-Id"] == "req-e2e-join"
+    trace_id = headers["X-Trace-Id"]
+    assert trace_id == "req-e2e-join"
+    status, __, body = _request(base + f"/traces/{trace_id}")
+    assert status == 200, body
+    return base, trace_id, json.loads(body)
+
+
+class TestTraceOverHttp:
+    def test_span_tree_is_single_and_connected(self, traced_request):
+        __, trace_id, payload = traced_request
+        assert payload["format"] == "xomatiq-trace/1"
+        assert payload["trace_id"] == trace_id
+        root = payload["root"]
+        assert root["name"] == "request"
+        assert root["parent_id"] == ""
+        spans = list(walk(root))
+        by_id = {span["span_id"]: span for span in spans}
+        assert len(by_id) == len(spans)   # no duplicated ids
+        for span in spans:
+            assert span["trace_id"] == trace_id, span["name"]
+            if span is not root:
+                parent = by_id[span["parent_id"]]
+                assert span in parent["children"]
+
+    def test_handler_to_shard_sql_chain(self, traced_request):
+        """request → admission → plan → federated_query →
+        shard_subquery (per shard, with SQL statements) →
+        coordinator_join, all in one tree."""
+        __, __, payload = traced_request
+        root = payload["root"]
+        top_names = [child["name"] for child in root["children"]]
+        assert top_names[0] == "admission"
+        assert "plan" in top_names
+        assert "federated_query" in top_names
+        scatter = next(child for child in root["children"]
+                       if child["name"] == "federated_query")
+        shard_spans = [child for child in scatter["children"]
+                       if child["name"] == "shard_subquery"]
+        # the join fans out to both shards of this layout
+        assert {span["meta"]["shard"] for span in shard_spans} \
+            == {"s0", "s1"}
+        for shard_span in shard_spans:
+            statements = [stmt
+                          for span in walk(shard_span)
+                          for stmt in span["statements"]]
+            assert statements, shard_span["meta"]
+            assert all("SELECT" in stmt["sql"].upper()
+                       for stmt in statements)
+        join = next(child for child in scatter["children"]
+                    if child["name"] == "coordinator_join")
+        assert join["trace_id"] == payload["trace_id"]
+
+    def test_exemplar_links_metrics_to_trace(self, traced_request):
+        base, trace_id, __ = traced_request
+        status, __, body = _request(base + "/metrics?format=prometheus")
+        assert status == 200
+        text = body.decode()
+        linked = [line for line in text.splitlines()
+                  if "_bucket" in line
+                  and f'trace_id="{trace_id}"' in line]
+        assert any("service_request_seconds_bucket" in line
+                   for line in linked)
+        assert any("federation_shard_seconds_bucket" in line
+                   for line in linked)
+
+
+class TestTraceCli:
+    def test_show_resolves_header_trace_id(self, traced_request,
+                                           capsys):
+        base, trace_id, __ = traced_request
+        assert main(["trace", "show", "--url", base, trace_id]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {trace_id}" in out
+        for name in ("request", "admission", "plan",
+                     "federated_query", "shard_subquery",
+                     "coordinator_join"):
+            assert name in out
+        assert "shard=s0" in out and "shard=s1" in out
+
+    def test_list_includes_the_request(self, traced_request, capsys):
+        base, trace_id, __ = traced_request
+        assert main(["trace", "list", "--url", base]) == 0
+        out = capsys.readouterr().out
+        assert trace_id in out
+        assert "query" in out
+
+    def test_export_writes_chrome_trace(self, traced_request, tmp_path,
+                                        capsys):
+        base, trace_id, __ = traced_request
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "export", "--url", base,
+                     "--out", str(out_file), trace_id]) == 0
+        data = json.loads(out_file.read_text(encoding="utf-8"))
+        assert data["otherData"]["trace_id"] == trace_id
+        names = {event["name"] for event in data["traceEvents"]
+                 if event["ph"] == "X"}
+        assert {"request", "federated_query",
+                "shard_subquery", "coordinator_join"} <= names
+        # worker threads land in their own lanes
+        tids = {event["tid"] for event in data["traceEvents"]
+                if event.get("name") == "shard_subquery"}
+        assert len(tids) >= 1
+
+    def test_show_unknown_id_fails_cleanly(self, traced_request,
+                                           capsys):
+        base, __, __ = traced_request
+        assert main(["trace", "show", "--url", base, "ghost"]) == 1
+        assert "ghost" in capsys.readouterr().err

@@ -104,7 +104,10 @@ class TestExport:
         data = span_to_dict(report.trace)
         assert data["name"] == "query"
         assert set(data) == {"name", "duration_ms", "meta", "counters",
-                             "statements", "children"}
+                             "statements", "children", "span_id",
+                             "parent_id", "trace_id", "start_ms"}
+        assert data["trace_id"]          # roots mint a trace id
+        assert data["start_ms"] == 0.0   # offsets are root-relative
         child_names = [child["name"] for child in data["children"]]
         assert child_names == ["parse", "check", "compile", "execute",
                                "tag"]

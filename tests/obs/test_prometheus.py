@@ -1,0 +1,190 @@
+"""Prometheus text exposition correctness.
+
+The exposition format (version 0.0.4) is a real wire protocol with a
+picky parser on the other end; these tests pin the rules a scraper
+relies on: metric-name validity, label escaping, cumulative bucket
+monotonicity, counter ``_total`` suffixing, and the OpenMetrics-style
+exemplar syntax this repo appends to ``_bucket`` lines.
+"""
+
+import re
+
+from repro.obs import MetricsRegistry
+
+#: a legal exposition metric name
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: one sample line: name{labels} value [# {labels} value timestamp]
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?P<exemplar> # \{[^{}]*\} [^ ]+ [0-9.]+)?$")
+
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def render(registry):
+    return registry.render_prometheus().splitlines()
+
+
+def sample_lines(registry):
+    return [line for line in render(registry)
+            if line and not line.startswith("#")]
+
+
+class TestNamesAndTypes:
+    def test_dotted_names_are_mangled_to_valid_names(self):
+        registry = MetricsRegistry()
+        registry.inc("service.requests", endpoint="query")
+        registry.set_gauge("service.in-flight", 3)
+        registry.observe("federation.shard_seconds", 0.01, shard="s0")
+        for line in sample_lines(registry):
+            match = SAMPLE_RE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            assert NAME_RE.match(match.group("name")), line
+
+    def test_counters_get_total_suffix_once(self):
+        registry = MetricsRegistry()
+        registry.inc("queries")
+        registry.inc("loads_total")
+        names = {SAMPLE_RE.match(line).group("name")
+                 for line in sample_lines(registry)}
+        assert "xomatiq_queries_total" in names
+        assert "xomatiq_loads_total" in names
+        assert "xomatiq_loads_total_total" not in names
+
+    def test_type_header_precedes_samples_exactly_once(self):
+        registry = MetricsRegistry()
+        registry.inc("requests", endpoint="a")
+        registry.inc("requests", endpoint="b")
+        registry.observe("seconds", 0.1, endpoint="a")
+        registry.observe("seconds", 0.2, endpoint="b")
+        lines = render(registry)
+        type_lines = [line for line in lines
+                      if line.startswith("# TYPE ")]
+        declared = [line.split()[2] for line in type_lines]
+        assert declared == sorted(set(declared), key=declared.index)
+        assert len(declared) == len(set(declared))
+        # every TYPE header names the family its following samples use
+        for header in type_lines:
+            name = header.split()[2]
+            index = lines.index(header)
+            follower = lines[index + 1]
+            assert follower.startswith(name), (header, follower)
+
+    def test_kinds_declared_correctly(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 0.1)
+        text = registry.render_prometheus()
+        assert "# TYPE xomatiq_c_total counter" in text
+        assert "# TYPE xomatiq_g gauge" in text
+        assert "# TYPE xomatiq_h histogram" in text
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("events", path='C:\\data\n"prod"')
+        (line,) = sample_lines(registry)
+        # the raw control characters never reach the wire
+        assert "\n" not in line.replace("\\n", "")
+        assert '\\\\' in line and '\\"' in line and "\\n" in line
+        # and the escaped form round-trips through the label grammar
+        labels = dict(LABEL_RE.findall(
+            SAMPLE_RE.match(line).group("labels")))
+        assert labels["path"] == 'C:\\\\data\\n\\"prod\\"'
+
+    def test_label_values_quoted(self):
+        registry = MetricsRegistry()
+        registry.inc("requests", endpoint="query", status=200)
+        (line,) = sample_lines(registry)
+        assert 'endpoint="query"' in line
+        assert 'status="200"' in line
+
+
+class TestHistogramRules:
+    def build(self):
+        registry = MetricsRegistry()
+        for value in (0.0004, 0.003, 0.02, 0.02, 7.0, 120.0):
+            registry.observe("request_seconds", value, endpoint="q")
+        return registry
+
+    def test_buckets_are_cumulative_and_monotonic(self):
+        registry = self.build()
+        buckets = [line for line in sample_lines(registry)
+                   if "_bucket" in line]
+        counts = [float(SAMPLE_RE.match(line).group("value"))
+                  for line in buckets]
+        assert counts == sorted(counts)
+        assert any('le="+Inf"' in line for line in buckets)
+
+    def test_inf_bucket_equals_count(self):
+        registry = self.build()
+        lines = sample_lines(registry)
+        inf = next(float(SAMPLE_RE.match(line).group("value"))
+                   for line in lines if 'le="+Inf"' in line)
+        count = next(float(SAMPLE_RE.match(line).group("value"))
+                     for line in lines
+                     if SAMPLE_RE.match(line).group("name")
+                     .endswith("_count"))
+        assert inf == count == 6
+
+    def test_sum_line_present(self):
+        registry = self.build()
+        total = next(float(SAMPLE_RE.match(line).group("value"))
+                     for line in sample_lines(registry)
+                     if SAMPLE_RE.match(line).group("name")
+                     .endswith("_sum"))
+        assert total == (0.0004 + 0.003 + 0.02 + 0.02 + 7.0 + 120.0)
+
+
+class TestExemplars:
+    def test_exemplar_appended_to_bucket_line(self):
+        registry = MetricsRegistry()
+        registry.observe("request_seconds", 0.02, endpoint="query",
+                         exemplar="req-42")
+        buckets = [line for line in sample_lines(registry)
+                   if "_bucket" in line]
+        with_exemplar = [line for line in buckets if " # " in line]
+        assert len(with_exemplar) == 1
+        match = SAMPLE_RE.match(with_exemplar[0])
+        assert match and match.group("exemplar")
+        assert 'trace_id="req-42"' in match.group("exemplar")
+        # the exemplar's value is the observation that landed there
+        assert " 0.02 " in match.group("exemplar")
+        # it sits on the bucket the observation fell into
+        assert 'le="0.025"' in with_exemplar[0]
+
+    def test_exemplar_only_on_bucket_lines(self):
+        registry = MetricsRegistry()
+        registry.observe("request_seconds", 0.02, exemplar="req-42")
+        for line in sample_lines(registry):
+            if "_bucket" not in line:
+                assert " # " not in line, line
+
+    def test_newer_exemplar_replaces_older_in_same_bucket(self):
+        registry = MetricsRegistry()
+        registry.observe("request_seconds", 0.02, exemplar="old")
+        registry.observe("request_seconds", 0.02, exemplar="new")
+        text = registry.render_prometheus()
+        assert 'trace_id="new"' in text
+        assert 'trace_id="old"' not in text
+
+    def test_no_exemplars_no_hash_marks(self):
+        registry = MetricsRegistry()
+        registry.observe("request_seconds", 0.02)
+        for line in sample_lines(registry):
+            assert " # " not in line
+
+    def test_every_line_still_parses_with_exemplars(self):
+        registry = MetricsRegistry()
+        registry.inc("requests", endpoint="query")
+        registry.observe("request_seconds", 0.004, endpoint="query",
+                         exemplar="trace-a")
+        registry.observe("request_seconds", 3.0, endpoint="query",
+                         exemplar="trace-b")
+        for line in sample_lines(registry):
+            assert SAMPLE_RE.match(line), f"bad line: {line!r}"

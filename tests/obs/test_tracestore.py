@@ -1,0 +1,274 @@
+"""TraceContext minting, cross-thread span parenting, the bounded
+TraceStore (head sampling + tail keep), and the served trace formats
+(xomatiq-trace/1 JSON, Chrome trace_event, text waterfall)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    TraceContext,
+    TraceStore,
+    Tracer,
+    chrome_trace,
+    format_trace,
+    trace_summary,
+    trace_to_dict,
+)
+from repro.obs.trace import new_span_id, new_trace_id
+from repro.obs.tracestore import TRACE_FORMAT
+
+
+def finished_root(name="request", tracer=None, duration_s=None, **meta):
+    """A small finished span tree (root + one child)."""
+    tracer = tracer or Tracer()
+    with tracer.span(name, **meta) as root:
+        with tracer.span("child"):
+            pass
+    if duration_s is not None:
+        root.end = root.start + duration_s
+    return root
+
+
+class TestTraceContext:
+    def test_mint_honors_safe_request_id(self):
+        context = TraceContext.mint("req-abc_1.2:x")
+        assert context.trace_id == "req-abc_1.2:x"
+
+    @pytest.mark.parametrize("bad", [
+        "", None, "has space", "bad\nid", 'quo"te', "x" * 65,
+        "héllo", "semi;colon",
+    ])
+    def test_unsafe_request_ids_get_fresh_trace_ids(self, bad):
+        context = TraceContext.mint(bad)
+        assert context.trace_id != bad
+        assert context.trace_id  # minted, never empty
+
+    def test_minted_ids_are_unique(self):
+        assert new_trace_id() != new_trace_id()
+        assert new_span_id() != new_span_id()
+        ids = {TraceContext.mint().trace_id for __ in range(100)}
+        assert len(ids) == 100
+
+    def test_context_seeds_a_root_span(self):
+        tracer = Tracer()
+        context = TraceContext.mint("req-1")
+        with tracer.span("request", context=context) as root:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == "req-1"
+        assert root.trace_id == "req-1"
+        assert root.parent_id == context.span_id == ""
+
+    def test_context_ignored_when_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner",
+                             context=TraceContext.mint("req-2")) as inner:
+                pass
+        assert inner.trace_id == outer.trace_id != "req-2"
+
+    def test_current_context_reflects_open_span(self):
+        tracer = Tracer()
+        assert tracer.current_context() is None
+        with tracer.span("outer") as outer:
+            context = tracer.current_context()
+            assert context.trace_id == outer.trace_id
+            assert context.span_id == outer.span_id
+        assert tracer.current_context() is None
+
+    def test_roots_always_mint_a_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("lonely") as span:
+            pass
+        assert span.trace_id
+        assert span.span_id
+
+
+class TestCrossThreadParenting:
+    """Regression: spans opened on worker threads started orphaned
+    trees — the coordinator's stack is thread-local, so scatter-gather
+    and bulk-load spans never attached to the request. The explicit
+    ``parent=`` handoff is the fix."""
+
+    def test_explicit_parent_crosses_threads(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(parent):
+            with tracer.span("shard_subquery", parent=parent) as span:
+                with tracer.span("sql") as inner:
+                    seen["inner"] = inner
+                seen["outer"] = span
+
+        with tracer.span("federated_query") as root:
+            thread = threading.Thread(target=worker, args=(root,))
+            thread.start()
+            thread.join()
+
+        # one tree, not two: the worker's span is a child of the root
+        assert len(tracer.spans) == 1
+        assert seen["outer"] in root.children
+        assert seen["outer"].parent_id == root.span_id
+        assert seen["outer"].trace_id == root.trace_id
+        # nesting *within* the worker thread still stacks normally
+        assert seen["inner"] in seen["outer"].children
+        assert seen["inner"].trace_id == root.trace_id
+        # thread lanes recorded for the Chrome export
+        assert seen["outer"].tid != root.tid
+
+    def test_many_workers_attach_without_losing_spans(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            def work(index):
+                with tracer.span("worker", parent=root) as span:
+                    span.count("index", index)
+            threads = [threading.Thread(target=work, args=(i,))
+                       for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(root.children) == 8
+        assert {child.trace_id for child in root.children} \
+            == {root.trace_id}
+
+
+class TestTraceStore:
+    def test_keeps_and_serves_by_trace_id(self):
+        store = TraceStore()
+        root = finished_root()
+        record = store.offer(root, request_id="r1", endpoint="query",
+                             status=200)
+        assert record is not None and record.kept == "sampled"
+        assert store.get(root.trace_id) is record
+        assert store.get("missing") is None
+        assert len(store) == 1
+        assert (store.offered, store.kept) == (1, 1)
+
+    def test_records_newest_first_with_limit(self):
+        store = TraceStore()
+        roots = [finished_root() for __ in range(3)]
+        for root in roots:
+            store.offer(root)
+        listed = store.records()
+        assert [r.trace_id for r in listed] == \
+            [r.trace_id for r in reversed(roots)]
+        assert len(store.records(limit=2)) == 2
+
+    def test_capacity_evicts_oldest(self):
+        store = TraceStore(capacity=2)
+        roots = [finished_root() for __ in range(3)]
+        for root in roots:
+            store.offer(root)
+        assert len(store) == 2
+        assert store.get(roots[0].trace_id) is None
+        assert store.get(roots[2].trace_id) is not None
+
+    def test_duplicate_trace_id_newer_wins(self):
+        store = TraceStore()
+        tracer = Tracer()
+        context = TraceContext.mint("req-dup")
+        with tracer.span("request", context=context) as first:
+            pass
+        with tracer.span("request", context=context) as second:
+            pass
+        store.offer(first, status=200)
+        store.offer(second, status=500)
+        assert len(store) == 1
+        assert store.get("req-dup").status == 500
+
+    def test_sampling_is_deterministic(self):
+        store = TraceStore(sample_rate=0.5)
+        verdicts = {tid: store.sampled(tid)
+                    for tid in (f"trace-{i}" for i in range(64))}
+        assert any(verdicts.values()) and not all(verdicts.values())
+        again = TraceStore(sample_rate=0.5)
+        assert all(again.sampled(tid) == kept
+                   for tid, kept in verdicts.items())
+
+    def test_tail_keep_overrides_head_sampling(self):
+        store = TraceStore(sample_rate=0.0, slow_ms=100.0)
+        assert store.offer(finished_root()) is None          # sampled out
+        slow = store.offer(finished_root(duration_s=0.2))
+        assert slow is not None and slow.kept == "slow"
+        error = store.offer(finished_root(), status=500)
+        assert error is not None and error.kept == "error"
+        crashed = store.offer(finished_root(), error=True)
+        assert crashed is not None and crashed.kept == "error"
+        assert (store.offered, store.kept) == (4, 3)
+
+    def test_error_outranks_slow(self):
+        store = TraceStore(slow_ms=100.0)
+        record = store.offer(finished_root(duration_s=0.2), status=503)
+        assert record.kept == "error"
+
+
+class TestTraceFormats:
+    def setup_method(self):
+        tracer = Tracer()
+        context = TraceContext.mint("req-fmt")
+        with tracer.span("request", context=context,
+                         endpoint="query") as root:
+            with tracer.span("plan"):
+                pass
+            with tracer.span("shard_subquery", shard="s0") as shard:
+                shard.count("rows_shipped", 40)
+        self.root = root
+        self.record = TraceStore().offer(root, request_id="req-fmt",
+                                         endpoint="query", status=200)
+
+    def test_trace_to_dict_schema(self):
+        data = trace_to_dict(self.record)
+        assert data["format"] == TRACE_FORMAT
+        assert data["trace_id"] == "req-fmt"
+        assert data["status"] == 200
+        assert data["root"]["name"] == "request"
+        assert [c["name"] for c in data["root"]["children"]] == \
+            ["plan", "shard_subquery"]
+        for child in data["root"]["children"]:
+            assert child["parent_id"] == data["root"]["span_id"]
+            assert child["trace_id"] == "req-fmt"
+        json.dumps(data)
+
+    def test_trace_summary_is_flat(self):
+        summary = trace_summary(self.record)
+        assert summary["trace_id"] == "req-fmt"
+        assert summary["spans"] == 3
+        assert summary["root"] == "request"
+        assert summary["kept"] == "sampled"
+        json.dumps(summary)
+
+    def test_chrome_trace_events(self):
+        data = chrome_trace(self.record)
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        metadata = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == \
+            {"request", "plan", "shard_subquery"}
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in complete)
+        shard = next(e for e in complete
+                     if e["name"] == "shard_subquery")
+        assert shard["args"]["shard"] == "s0"
+        assert shard["args"]["counter.rows_shipped"] == 40
+        # one thread here: one lane, named for the request thread
+        assert metadata and metadata[0]["args"]["name"] == "request"
+        assert data["otherData"]["trace_id"] == "req-fmt"
+        json.dumps(data)
+
+    def test_chrome_trace_stringifies_exotic_args(self):
+        self.root.meta["error"] = ValueError("boom")
+        data = chrome_trace(self.record)
+        root_event = next(e for e in data["traceEvents"]
+                          if e.get("name") == "request")
+        assert root_event["args"]["error"] == "boom"
+        json.dumps(data)
+
+    def test_waterfall_renders_from_served_json(self):
+        # the CLI renders the payload it fetched, not live Span objects
+        served = json.loads(json.dumps(trace_to_dict(self.record)))
+        text = format_trace(served)
+        assert "trace req-fmt" in text
+        for name in ("request", "plan", "shard_subquery"):
+            assert name in text
+        assert "shard=s0" in text
+        assert "rows_shipped=40" in text
