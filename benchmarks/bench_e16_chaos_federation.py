@@ -1,0 +1,397 @@
+"""E16: federated availability under injected shard faults.
+
+E13 showed the federation answers *fast*; E16 shows it answers *at
+all* when shards misbehave. A 2-shard federation (one replica per
+shard, loaded with identical entry slices) serves sustained mixed
+query load over HTTP while a :class:`~repro.federation.chaos.
+FaultInjectingBackend` on each shard primary injects the two failure
+shapes that matter:
+
+* **kill** — mid-run, every statement on the ``s0`` primary starts
+  raising (a crashed shard process). The executor fails over to the
+  replica, the breaker opens after three straight losses, and every
+  response must stay 200, complete, and **byte-identical** to a
+  monolithic warehouse loaded from the same corpus — the replica
+  holds the same entry slice, so a covered loss is invisible.
+* **stall** — the primary blackholes: statements block until
+  interrupted. Clients send ``X-Deadline-Ms``; the EWMA-based hedge
+  fires a duplicate on the replica, first result wins, the straggler
+  is interrupted, and repeated hedge losses trip the primary's
+  breaker. Once it opens the stalled shard is skipped outright, so
+  it cannot push p95 anywhere near the deadline.
+
+Exit status 1 on any non-200, any byte drift, a breaker that never
+opened, or a post-open p95 at/over the deadline. The JSON artifact
+carries per-phase latency, status counts, and the
+``federation.failovers`` / ``hedges`` / ``hedge_wins`` /
+``breaker_skips`` / ``interrupts`` counters the run produced — CI
+runs ``--smoke`` as a step and uploads it.
+
+Usage::
+
+    python benchmarks/bench_e16_chaos_federation.py [--smoke]
+        [--clients 6] [--requests 18] [--deadline-ms 2000]
+        [--json artifact.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+ENZYME_QUERY = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+                'WHERE contains($a//catalytic_activity, "ketone") '
+                'RETURN $a//enzyme_id, $a//enzyme_description')
+
+JOIN_QUERY = '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number'''
+
+LEGS = {"subtree": ENZYME_QUERY, "join": JOIN_QUERY}
+
+
+def build_corpus(args):
+    from repro.synth import build_corpus as build
+    return build(seed=args.seed, enzyme_count=args.enzyme,
+                 embl_count=args.embl, sprot_count=args.sprot)
+
+
+def monolithic_baseline(corpus) -> dict[str, bytes]:
+    """The byte-identity oracle: each leg's XML from one warehouse
+    loaded with the full corpus."""
+    from repro.engine import Warehouse
+    warehouse = Warehouse()
+    warehouse.load_corpus(corpus)
+    try:
+        return {leg: warehouse.query(text).to_xml().encode("utf-8")
+                for leg, text in LEGS.items()}
+    finally:
+        warehouse.close()
+
+
+def start_federation(corpus, args):
+    """A replicated in-memory federation behind an HTTP server, with
+    a chaos wrapper on each shard primary. Returns
+    ``(server, thread, wrappers)``."""
+    from repro.federation import (
+        ChaosPlan,
+        FaultPolicy,
+        FederatedXomatiQ,
+        ShardCatalog,
+        inject_faults,
+    )
+    from repro.obs import MetricsRegistry
+    from repro.service import ServiceConfig, serve
+    catalog = ShardCatalog()
+    for name in ("s0", "s1"):
+        catalog.add_shard(name)
+        catalog.add_replica(name)
+    catalog.assign("hlx_enzyme", "s0")
+    catalog.assign("hlx_sprot", "s1")
+    catalog.assign("hlx_embl", "s0", "s1")
+    policy = FaultPolicy(
+        breaker_threshold=3,
+        # longer than a phase, so an opened breaker stays open for
+        # the rest of it — "skipped instantly" holds to the end
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        hedge=True)
+    federation = FederatedXomatiQ(catalog, metrics=MetricsRegistry(),
+                                  fault_policy=policy)
+    federation.load_corpus(corpus)
+    # the stall safety valve models the statement timeout a real DB
+    # driver would enforce: un-interrupted stalls clear on their own
+    # in sub-second time instead of wedging facade-side probes
+    plan = ChaosPlan().add_backend("*", stall_s=args.stall_valve_s)
+    wrappers = {name: inject_faults(catalog.warehouse(name), plan=plan,
+                                    name=name)
+                for name in ("s0", "s1")}
+    config = ServiceConfig(host="127.0.0.1", port=0,
+                           max_in_flight=max(64, args.clients * 2))
+    server = serve(federation, config)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="bench-e16-server", daemon=True)
+    thread.start()
+    return server, thread, wrappers
+
+
+class Client:
+    """One keep-alive connection cycling the query legs as XML."""
+
+    def __init__(self, server, index: int, requests: int,
+                 deadline_ms: float | None, progress):
+        self.host, self.port = server.server_address[:2]
+        self.index = index
+        self.requests = requests
+        self.deadline_ms = deadline_ms
+        self.progress = progress
+        #: per request: (leg, status, seconds, body, started_at)
+        self.samples: list[tuple] = []
+        self.errors: list[str] = []
+
+    def run(self) -> None:
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=60)
+        try:
+            for turn in range(self.requests):
+                leg = list(LEGS)[(self.index + turn) % len(LEGS)]
+                body = json.dumps({"query": LEGS[leg],
+                                   "format": "xml"}).encode()
+                headers = {"Content-Type": "application/json",
+                           "X-Client-Id": f"client-{self.index}"}
+                if self.deadline_ms is not None:
+                    headers["X-Deadline-Ms"] = str(self.deadline_ms)
+                started = time.perf_counter()
+                connection.request("POST", "/query", body=body,
+                                   headers=headers)
+                response = connection.getresponse()
+                payload = response.read()
+                self.samples.append((leg, response.status,
+                                     time.perf_counter() - started,
+                                     payload, started))
+                self.progress()
+        except Exception as exc:  # noqa: BLE001 - a drop is a failure
+            self.errors.append(f"client {self.index}: {exc}")
+        finally:
+            connection.close()
+
+
+def run_phase(server, args, deadline_ms, trigger_after, fault) -> dict:
+    """Drive sustained load; after ``trigger_after`` responses call
+    ``fault()`` (the mid-run kill/stall). Returns the raw samples."""
+    done = 0
+    lock = threading.Lock()
+    fault_at = [None]
+
+    def progress():
+        nonlocal done
+        with lock:
+            done += 1
+            if done == trigger_after and fault_at[0] is None:
+                fault()
+                fault_at[0] = time.perf_counter()
+
+    clients = [Client(server, index, args.requests, deadline_ms,
+                      progress)
+               for index in range(args.clients)]
+    threads = [threading.Thread(target=client.run) for client in clients]
+    started = time.perf_counter()
+    for worker in threads:
+        worker.start()
+    for worker in threads:
+        worker.join()
+    return {"elapsed": time.perf_counter() - started,
+            "fault_at": fault_at[0],
+            "samples": [s for c in clients for s in c.samples],
+            "errors": [e for c in clients for e in c.errors]}
+
+
+def federation_counters(server) -> dict:
+    """The fault-tolerance counters and breaker gauges after a run."""
+    host, port = server.server_address[:2]
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        connection.request("GET", "/metrics")
+        snapshot = json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+    names = ("federation.failovers", "federation.hedges",
+             "federation.hedge_wins", "federation.breaker_skips",
+             "federation.shard_retries", "federation.shard_timeouts",
+             "federation.interrupts")
+    out = {name.split(".", 1)[1]: 0 for name in names}
+    for counter in snapshot.get("counters", []):
+        if counter["name"] in names:
+            key = counter["name"].split(".", 1)[1]
+            out[key] += int(counter["value"])
+    out["breaker_state"] = {
+        gauge["labels"].get("backend", "?"): int(gauge["value"])
+        for gauge in snapshot.get("gauges", [])
+        if gauge["name"] == "federation.breaker_state"}
+    return out
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def summarize(phase: dict, baseline: dict[str, bytes]) -> dict:
+    """Availability + byte-identity + latency over one phase's
+    samples (latency split at the fault-injection instant)."""
+    statuses: dict[int, int] = {}
+    mismatches = 0
+    before, after = [], []
+    for leg, status, seconds, body, started in phase["samples"]:
+        statuses[status] = statuses.get(status, 0) + 1
+        if status == 200 and body != baseline[leg]:
+            mismatches += 1
+        if phase["fault_at"] is not None and started >= phase["fault_at"]:
+            after.append(seconds)
+        else:
+            before.append(seconds)
+    return {
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "failures": sum(count for status, count in statuses.items()
+                        if status != 200),
+        "mismatches": mismatches,
+        "errors": phase["errors"],
+        "elapsed_seconds": round(phase["elapsed"], 3),
+        "latency_ms": {
+            "pre_fault": {"n": len(before),
+                          "p50": round(percentile(before, .5) * 1e3, 2),
+                          "p95": round(percentile(before, .95) * 1e3, 2)},
+            "during_fault": {
+                "n": len(after),
+                "p50": round(percentile(after, .5) * 1e3, 2),
+                "p95": round(percentile(after, .95) * 1e3, 2)},
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--requests", type=int, default=18,
+                        help="requests per client per phase")
+    parser.add_argument("--deadline-ms", type=float, default=2000.0,
+                        help="X-Deadline-Ms sent during the stall phase")
+    parser.add_argument("--breaker-cooldown-s", type=float, default=120.0)
+    parser.add_argument("--stall-valve-s", type=float, default=0.5,
+                        help="stalled statements error out on their "
+                             "own after this long (a driver-side "
+                             "statement timeout)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--enzyme", type=int, default=30)
+    parser.add_argument("--embl", type=int, default=40)
+    parser.add_argument("--sprot", type=int, default=30)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small corpus, few clients)")
+    parser.add_argument("--json", default=None,
+                        help="write the JSON artifact to this path")
+    args = parser.parse_args()
+    if args.smoke:
+        args.clients = min(args.clients, 4)
+        args.requests = min(args.requests, 10)
+        args.enzyme, args.embl, args.sprot = 12, 16, 12
+
+    corpus = build_corpus(args)
+    baseline = monolithic_baseline(corpus)
+    print(f"corpus: enzyme={args.enzyme} embl={args.embl} "
+          f"sprot={args.sprot}; {args.clients} clients x "
+          f"{args.requests} requests per phase")
+
+    trigger = max(1, (args.clients * args.requests) // 3)
+    phases: dict[str, dict] = {}
+    failures: list[str] = []
+
+    # -- phase A: kill the s0 primary mid-run -------------------------------
+    server, thread, wrappers = start_federation(corpus, args)
+    try:
+        phase = run_phase(server, args, deadline_ms=None,
+                          trigger_after=trigger,
+                          fault=lambda: wrappers["s0"].force("error"))
+        counters = federation_counters(server)
+    finally:
+        server.close()
+        thread.join(timeout=10)
+    report = summarize(phase, baseline)
+    report["counters"] = counters
+    phases["kill"] = report
+    if report["failures"] or report["errors"]:
+        failures.append(f"kill: {report['failures']} non-200 responses, "
+                        f"{len(report['errors'])} dropped clients")
+    if report["mismatches"]:
+        failures.append(f"kill: {report['mismatches']} responses "
+                        "drifted from the monolithic baseline")
+    if not (counters["failovers"] or counters["breaker_skips"]):
+        failures.append("kill: no failovers or breaker skips recorded "
+                        "— did the fault inject?")
+    print(f"kill : statuses={report['statuses']} "
+          f"mismatches={report['mismatches']} "
+          f"failovers={counters['failovers']} "
+          f"breaker_skips={counters['breaker_skips']} "
+          f"breaker_state={counters['breaker_state']}")
+
+    # -- phase B: stall the s0 primary, clients carry a deadline ------------
+    server, thread, wrappers = start_federation(corpus, args)
+    try:
+        # stall from the very first request: the phase measures how
+        # fast hedges + the breaker wall the stalled primary off
+        wrappers["s0"].force("stall")
+        phase = run_phase(server, args, deadline_ms=args.deadline_ms,
+                          trigger_after=1, fault=lambda: None)
+        counters = federation_counters(server)
+        # post-open tail: requests issued once the breaker opened
+        open_p95 = None
+        if counters["breaker_state"].get("s0") == 1:
+            # breaker open by phase end — measure the last third,
+            # which ran against the walled-off primary
+            tail = sorted(phase["samples"], key=lambda s: s[4])
+            tail = [s[2] for s in tail[-max(1, len(tail) // 3):]]
+            open_p95 = percentile(tail, .95)
+    finally:
+        server.close()
+        thread.join(timeout=10)
+    report = summarize(phase, baseline)
+    report["counters"] = counters
+    report["post_open_p95_ms"] = (round(open_p95 * 1e3, 2)
+                                  if open_p95 is not None else None)
+    phases["stall"] = report
+    if report["failures"] or report["errors"]:
+        failures.append(f"stall: {report['failures']} non-200 responses,"
+                        f" {len(report['errors'])} dropped clients")
+    if report["mismatches"]:
+        failures.append(f"stall: {report['mismatches']} responses "
+                        "drifted from the monolithic baseline")
+    if not counters["hedges"]:
+        failures.append("stall: no hedged subqueries fired")
+    if counters["breaker_state"].get("s0") != 1:
+        failures.append("stall: the s0 breaker never opened")
+    elif open_p95 is not None and open_p95 * 1000.0 >= args.deadline_ms:
+        failures.append(f"stall: post-open p95 "
+                        f"{open_p95 * 1000.0:.1f}ms is not under the "
+                        f"{args.deadline_ms:.0f}ms deadline")
+    print(f"stall: statuses={report['statuses']} "
+          f"hedges={counters['hedges']} "
+          f"hedge_wins={counters['hedge_wins']} "
+          f"interrupts={counters['interrupts']} "
+          f"breaker_state={counters['breaker_state']} "
+          f"post_open_p95={report['post_open_p95_ms']}ms "
+          f"(deadline {args.deadline_ms:.0f}ms)")
+
+    ok = not failures
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if ok:
+        print("OK: 100% availability, byte-identical answers, breaker "
+              "walled off the faulty shard in both phases")
+
+    if args.json:
+        artifact = {
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "deadline_ms": args.deadline_ms,
+            "corpus": {"seed": args.seed, "enzyme": args.enzyme,
+                       "embl": args.embl, "sprot": args.sprot},
+            "phases": phases,
+            "failures": failures,
+            "ok": ok,
+        }
+        Path(args.json).write_text(json.dumps(artifact, indent=2))
+        print(f"artifact: {args.json}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -250,6 +250,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "in-memory federation of this many shards "
                             "(EMBL horizontally partitioned across all "
                             "of them) instead of one warehouse")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="with --shards: in-memory replicas per "
+                            "shard, enabling failover and hedging "
+                            "(default 0)")
     serve.add_argument("--trace-capacity", type=int, default=256,
                        help="retained request traces (0 disables "
                             "tracing; default 256)")
@@ -318,6 +322,21 @@ def build_parser() -> argparse.ArgumentParser:
                                 "experiments)")
     shard_add.add_argument("--backend", choices=("sqlite", "minidb"),
                            default="sqlite")
+
+    shard_replica = shard_sub.add_parser(
+        "add-replica", help="register a replica backend for a shard "
+                            "(query path fails over / hedges onto it)")
+    shard_replica.add_argument("--map", required=True,
+                               help="shard-map registry file (JSON)")
+    shard_replica.add_argument("shard", help="shard to replicate")
+    shard_replica.add_argument("--path", default=None,
+                               help="replica database path "
+                                    "(default: <shard>-r<n>.sqlite)")
+    shard_replica.add_argument("--latency-s", type=float, default=0.0,
+                               help="simulated access round-trip in "
+                                    "seconds")
+    shard_replica.add_argument("--backend", choices=("sqlite", "minidb"),
+                               default="sqlite")
 
     shard_assign = shard_sub.add_parser(
         "assign", help="route a source to one shard (whole) or several "
@@ -587,7 +606,8 @@ def _dispatch_serve(args) -> int:
         if not args.synth:
             print("error: --shards requires --synth", file=sys.stderr)
             return 2
-        engine = _build_synth_federation(args.seed, args.shards)
+        engine = _build_synth_federation(args.seed, args.shards,
+                                         replicas=args.replicas)
     else:
         engine = _open_for_check(args)
     if engine is None:
@@ -713,6 +733,16 @@ def _dispatch_shard(args) -> int:
         return 0
 
     catalog = ShardCatalog.load(path)
+    if args.shard_command == "add-replica":
+        ordinal = len(catalog.replicas(args.shard))
+        db_path = args.path if args.path is not None \
+            else f"{args.shard}-r{ordinal}.sqlite"
+        spec = catalog.add_replica(args.shard, path=db_path,
+                                   backend=args.backend,
+                                   latency_s=args.latency_s)
+        catalog.save(path)
+        print(f"added replica {spec.name} -> {db_path} ({args.backend})")
+        return 0
     if args.shard_command == "assign":
         catalog.assign(args.source, *args.shards)
         catalog.save(path)
@@ -732,6 +762,9 @@ def _dispatch_shard(args) -> int:
         for name in catalog.shard_names():
             spec = catalog.spec(name)
             print(f"  {name:<12} {spec.backend:<8} {spec.path}")
+            for replica in catalog.replicas(name):
+                print(f"  {replica.name:<12} {replica.backend:<8} "
+                      f"{replica.path} (replica)")
         print("sources:")
         sources = catalog.sources()
         if not sources:
@@ -749,17 +782,21 @@ def _open(db: str, metrics=None) -> Warehouse:
                      metrics=metrics)
 
 
-def _build_synth_federation(seed: int, shards: int):
+def _build_synth_federation(seed: int, shards: int, replicas: int = 0):
     """An in-memory federation over the synthetic corpus: ENZYME and
     SPROT on single shards, EMBL horizontally partitioned across every
     shard — so a demo node exercises both routing modes (and a request
-    trace shows real scatter-gather fan-out)."""
+    trace shows real scatter-gather fan-out). ``replicas`` in-memory
+    replicas per shard are loaded alongside their primaries, giving
+    the executor failover/hedging targets."""
     from repro.federation import FederatedXomatiQ, ShardCatalog
     from repro.synth import build_corpus
     catalog = ShardCatalog()
     names = [f"s{index}" for index in range(max(1, shards))]
     for name in names:
         catalog.add_shard(name)
+        for __ in range(max(0, replicas)):
+            catalog.add_replica(name)
     catalog.assign("hlx_enzyme", names[0])
     catalog.assign("hlx_sprot", names[-1])
     catalog.assign("hlx_embl", *names)

@@ -30,139 +30,25 @@ is testable in microseconds.
 
 from __future__ import annotations
 
-import hashlib
 import time
-from dataclasses import dataclass
 
 from repro.datahounds.transport import FetchResult, _record_fetch_error
 from repro.errors import CircuitOpenError, PayloadIntegrityError, TransportError
 
-#: breaker states, and their numeric codes on the
-#: ``transport.breaker_state`` gauge
-CLOSED = "closed"
-OPEN = "open"
-HALF_OPEN = "half_open"
-
-BREAKER_STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
-BREAKER_STATE_NAMES = {code: name
-                       for name, code in BREAKER_STATE_CODES.items()}
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded exponential backoff with deterministic jitter.
-
-    ``max_attempts`` counts the first try: ``max_attempts=1`` disables
-    retrying. Delays grow ``base_delay_s * multiplier**(attempt-1)``
-    capped at ``max_delay_s``, then jittered by up to ±``jitter``
-    (fractional) using a hash of ``(source, attempt)`` — spread like
-    random jitter, reproducible like none. ``deadline_s`` bounds the
-    whole fetch (attempts + sleeps): once past it, no further attempt
-    is made. (A stalled in-flight call cannot be interrupted; the
-    deadline is checked between attempts.)
-    """
-
-    max_attempts: int = 4
-    base_delay_s: float = 0.05
-    multiplier: float = 2.0
-    max_delay_s: float = 5.0
-    jitter: float = 0.1
-    deadline_s: float | None = None
-
-    def __post_init__(self):
-        if self.max_attempts < 1:
-            raise ValueError("max_attempts must be >= 1")
-        if self.multiplier < 1.0:
-            raise ValueError("multiplier must be >= 1")
-
-    def delay_for(self, attempt: int, source: str = "") -> float:
-        """Backoff delay after the ``attempt``-th failure (1-based)."""
-        raw = min(self.base_delay_s * self.multiplier ** (attempt - 1),
-                  self.max_delay_s)
-        if self.jitter:
-            digest = hashlib.sha256(
-                f"{source}:{attempt}".encode("utf-8")).hexdigest()[:8]
-            unit = int(digest, 16) / 0xFFFFFFFF          # [0, 1]
-            raw *= 1.0 + self.jitter * (2.0 * unit - 1.0)
-        return max(0.0, raw)
-
-
-class CircuitBreaker:
-    """Per-source breaker: closed → open → half-open → closed.
-
-    ``failure_threshold`` consecutive failures open the breaker; while
-    open, :meth:`allow` returns False (callers short-circuit without
-    touching the source) until ``cooldown_s`` has elapsed, at which
-    point the breaker half-opens and admits one probe. A successful
-    probe closes it; a failed probe re-opens it for another cooldown.
-
-    State transitions land on the ``transport.breaker_state`` gauge
-    (coded via :data:`BREAKER_STATE_CODES`) and as
-    ``transport.breaker_open`` / ``transport.breaker_half_open`` /
-    ``transport.breaker_close`` events.
-    """
-
-    def __init__(self, source: str, failure_threshold: int = 5,
-                 cooldown_s: float = 30.0, clock=time.monotonic,
-                 metrics=None, events=None):
-        if failure_threshold < 1:
-            raise ValueError("failure_threshold must be >= 1")
-        self.source = source
-        self.failure_threshold = failure_threshold
-        self.cooldown_s = cooldown_s
-        self.clock = clock
-        self.metrics = metrics
-        self.events = events
-        self.state = CLOSED
-        self.consecutive_failures = 0
-        self._opened_at: float | None = None
-        self._publish_state()
-
-    def allow(self) -> bool:
-        """May the caller attempt a fetch right now? (An open breaker
-        past its cooldown half-opens and admits the probe.)"""
-        if self.state != OPEN:
-            return True
-        if (self.clock() - self._opened_at) >= self.cooldown_s:
-            self._transition(HALF_OPEN)
-            return True
-        return False
-
-    def record_success(self) -> None:
-        """A fetch succeeded: reset the failure streak; a half-open
-        probe's success closes the breaker."""
-        self.consecutive_failures = 0
-        if self.state != CLOSED:
-            self._transition(CLOSED)
-
-    def record_failure(self) -> None:
-        """A fetch failed: extend the streak; hitting the threshold —
-        or failing the half-open probe — opens the breaker."""
-        self.consecutive_failures += 1
-        if (self.state == HALF_OPEN
-                or self.consecutive_failures >= self.failure_threshold):
-            if self.state != OPEN:
-                self._transition(OPEN)
-            self._opened_at = self.clock()
-
-    # -- internals ----------------------------------------------------------
-
-    def _transition(self, state: str) -> None:
-        self.state = state
-        if state == OPEN and self._opened_at is None:
-            self._opened_at = self.clock()
-        self._publish_state()
-        if self.events is not None:
-            severity = "warning" if state == OPEN else "info"
-            self.events.emit(f"transport.breaker_{state}",
-                             severity=severity, source=self.source,
-                             consecutive_failures=self.consecutive_failures)
-
-    def _publish_state(self) -> None:
-        if self.metrics is not None:
-            self.metrics.set_gauge("transport.breaker_state",
-                                   BREAKER_STATE_CODES[self.state],
-                                   source=self.source)
+# The retry/breaker primitives started life here, guarding the harvest
+# transport; they now also guard the federated query path, so they live
+# in the shared repro.resilience module. Re-exported for back-compat —
+# the defaults still publish under the historical transport.* names.
+from repro.resilience import (          # noqa: F401  (re-exports)
+    BREAKER_STATE_CODES,
+    BREAKER_STATE_NAMES,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    ManualClock,
+    RetryPolicy,
+)
 
 
 class ResilientRepository:

@@ -433,6 +433,15 @@ class Warehouse:
                 f"result row has no binding for ${variable}") from None
         return serialize(self.fetch_document(node))
 
+    def interrupt(self) -> None:
+        """Abort the statement currently running on this warehouse's
+        backend, if the backend supports it (sqlite does; minidb has
+        nothing long-running to abort). The federated executor uses
+        this to cancel stragglers past their deadline or hedge loss."""
+        interrupt = getattr(self.backend, "interrupt", None)
+        if interrupt is not None:
+            interrupt()
+
     def close(self) -> None:
         """Release the backend (files, connections)."""
         self.backend.close()

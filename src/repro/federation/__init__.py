@@ -25,9 +25,19 @@ See docs/federation.md for architecture, pushdown rules and failure
 semantics.
 """
 
-from repro.federation.catalog import ShardCatalog, ShardSpec
+from repro.federation.catalog import ShardCatalog, ShardSpec, shard_of
+from repro.federation.chaos import (
+    ChaosPlan,
+    ChaosSpec,
+    FaultInjectingBackend,
+    inject_faults,
+)
 from repro.federation.costs import BloomFilter, CostModel
-from repro.federation.executor import ScatterGatherExecutor, ShardBoundNode
+from repro.federation.executor import (
+    FaultPolicy,
+    ScatterGatherExecutor,
+    ShardBoundNode,
+)
 from repro.federation.facade import FederatedXomatiQ
 from repro.federation.planner import (
     FederatedPlan,
@@ -43,7 +53,12 @@ from repro.federation.stats import (
 
 __all__ = [
     "BloomFilter",
+    "ChaosPlan",
+    "ChaosSpec",
     "CostModel",
+    "FaultInjectingBackend",
+    "inject_faults",
+    "FaultPolicy",
     "FederatedPlan",
     "FederatedXomatiQ",
     "FederationPlanner",
@@ -56,4 +71,5 @@ __all__ = [
     "ShardSubPlan",
     "StatisticsCatalog",
     "default_stats_path",
+    "shard_of",
 ]

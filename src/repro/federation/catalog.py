@@ -71,6 +71,16 @@ class ShardSpec:
         return data
 
 
+#: separates a shard name from a replica ordinal in backend names
+#: (``s0#r1`` = second replica of shard ``s0``); reserved in shard names
+REPLICA_SEP = "#"
+
+
+def shard_of(backend_name: str) -> str:
+    """The shard a backend name belongs to (``s0#r1`` → ``s0``)."""
+    return backend_name.split(REPLICA_SEP, 1)[0]
+
+
 class ShardCatalog:
     """Shard registry + source→shard routing + lazy warehouse pool.
 
@@ -91,6 +101,9 @@ class ShardCatalog:
         #: instead of per-shard orphan tracers
         self.tracer = None
         self._specs: dict[str, ShardSpec] = {}
+        #: shard name → ordered replica specs (replica backend names
+        #: are derived: ``<shard>#r<ordinal>``)
+        self._replicas: dict[str, list[ShardSpec]] = {}
         self._sources: dict[str, list[str]] = {}
         self._warehouses: dict[str, object] = {}
         self._owned: set[str] = set()
@@ -103,6 +116,10 @@ class ShardCatalog:
         """Register a shard; returns its spec."""
         if not name:
             raise ShardConfigError("shard name must be non-empty")
+        if REPLICA_SEP in name:
+            raise ShardConfigError(
+                f"shard name {name!r} may not contain {REPLICA_SEP!r} "
+                f"(reserved for replica backend names)")
         if name in self._specs:
             raise ShardConfigError(f"shard {name!r} already registered")
         if backend not in ("sqlite", "minidb"):
@@ -129,6 +146,58 @@ class ShardCatalog:
         if self.tracer is not None:
             warehouse.enable_tracing(self.tracer)
 
+    def add_replica(self, shard: str, path: str = MEMORY_PATH,
+                    backend: str = "sqlite",
+                    latency_s: float = 0.0) -> ShardSpec:
+        """Register a replica backend for an existing shard.
+
+        The replica gets a derived backend name (``<shard>#r<n>``) and
+        holds the *same* data as its primary (the facade's loader
+        writes every entry slice to the primary and all its replicas),
+        so the executor can fail a subquery over to it — or hedge onto
+        it — without changing the answer.
+        """
+        if shard not in self._specs:
+            raise ShardConfigError(
+                f"replica for unknown shard {shard!r}")
+        if backend not in ("sqlite", "minidb"):
+            raise ShardConfigError(
+                f"replica of {shard!r}: unknown backend {backend!r} "
+                f"(expected sqlite or minidb)")
+        if latency_s < 0:
+            raise ShardConfigError(
+                f"replica of {shard!r}: latency_s must be >= 0")
+        ordinal = len(self._replicas.get(shard, []))
+        spec = ShardSpec(name=f"{shard}{REPLICA_SEP}r{ordinal}",
+                         path=str(path), backend=backend,
+                         latency_s=latency_s)
+        self._replicas.setdefault(shard, []).append(spec)
+        return spec
+
+    def attach_replica(self, shard: str, warehouse) -> ShardSpec:
+        """Register a replica backed by an already-open warehouse
+        (tests and benchmarks build in-memory replicas up front)."""
+        spec = self.add_replica(shard)
+        self._warehouses[spec.name] = warehouse
+        if not getattr(warehouse, "shard_name", ""):
+            warehouse.shard_name = spec.name
+        if self.tracer is not None:
+            warehouse.enable_tracing(self.tracer)
+        return spec
+
+    def replicas(self, shard: str) -> list[ShardSpec]:
+        """Ordered replica specs of one shard ([] when none)."""
+        return list(self._replicas.get(shard, []))
+
+    def backends_for(self, shard: str) -> list[str]:
+        """All backend names able to answer for a shard: the primary
+        first (it is the write target and the fast path), then its
+        replicas in registration order."""
+        if shard not in self._specs:
+            raise ShardConfigError(f"unknown shard {shard!r}")
+        return [shard] + [spec.name
+                          for spec in self._replicas.get(shard, [])]
+
     def assign(self, source: str, *shards: str) -> None:
         """Route a source to one shard (whole) or several (horizontally
         partitioned in the given order); replaces any prior route."""
@@ -151,11 +220,15 @@ class ShardCatalog:
         return list(self._specs)
 
     def spec(self, name: str) -> ShardSpec:
-        """Spec of one shard."""
-        try:
-            return self._specs[name]
-        except KeyError:
-            raise ShardConfigError(f"unknown shard {name!r}") from None
+        """Spec of one shard or replica backend (``s0`` or ``s0#r1``)."""
+        spec = self._specs.get(name)
+        if spec is not None:
+            return spec
+        if REPLICA_SEP in name:
+            for candidate in self._replicas.get(shard_of(name), []):
+                if candidate.name == name:
+                    return candidate
+        raise ShardConfigError(f"unknown shard {name!r}")
 
     def sources(self) -> dict[str, list[str]]:
         """source → ordered shard names (a copy)."""
@@ -200,6 +273,13 @@ class ShardCatalog:
         self._owned.add(name)
         return warehouse
 
+    def peek(self, name: str):
+        """The backend's warehouse if it is already open, else None —
+        never opens one. (The executor's straggler cancellation uses
+        this: there is nothing to interrupt on a backend that was
+        never opened.)"""
+        return self._warehouses.get(name)
+
     def set_tracer(self, tracer) -> None:
         """Adopt one shared tracer for every shard warehouse — the
         ones already open (including attached ones) and every one
@@ -239,7 +319,10 @@ class ShardCatalog:
         """Eagerly create/open every shard database (``shard init``)."""
         from repro.engine import Warehouse
         from repro.relational import SqliteBackend
-        for spec in self._specs.values():
+        specs = list(self._specs.values())
+        for replicas in self._replicas.values():
+            specs.extend(replicas)
+        for spec in specs:
             if spec.name in self._warehouses or spec.backend != "sqlite" \
                     or spec.path == MEMORY_PATH:
                 continue
@@ -261,10 +344,16 @@ class ShardCatalog:
 
     def to_dict(self) -> dict:
         """JSON-ready registry form."""
+        shards = {}
+        for name, spec in self._specs.items():
+            entry = spec.to_dict()
+            if self._replicas.get(name):
+                entry["replicas"] = [replica.to_dict()
+                                     for replica in self._replicas[name]]
+            shards[name] = entry
         return {
             "version": CATALOG_VERSION,
-            "shards": {name: spec.to_dict()
-                       for name, spec in self._specs.items()},
+            "shards": shards,
             "sources": {source: list(shards)
                         for source, shards in self._sources.items()},
         }
@@ -287,6 +376,14 @@ class ShardCatalog:
             catalog.add_shard(name, path=spec.get("path", MEMORY_PATH),
                               backend=spec.get("backend", "sqlite"),
                               latency_s=spec.get("latency_s", 0.0))
+            for replica in spec.get("replicas", []):
+                if not isinstance(replica, dict):
+                    raise ShardConfigError(
+                        f"shard {name!r}: replica spec must be an object")
+                catalog.add_replica(
+                    name, path=replica.get("path", MEMORY_PATH),
+                    backend=replica.get("backend", "sqlite"),
+                    latency_s=replica.get("latency_s", 0.0))
         for source, shards in data.get("sources", {}).items():
             if isinstance(shards, str):
                 shards = [shards]

@@ -35,11 +35,45 @@ A shard that cannot be opened or fails mid-statement costs its rows,
 not the query: the executor answers from the surviving shards and says
 so in ``result.warnings`` (the same degrade-with-warning philosophy as
 harvest quarantine). Planner/user errors still raise.
+
+**Fault tolerance** (see docs/robustness.md, "Query-path fault
+tolerance") upgrades that degradation story from *detect* to *cover*:
+
+* every backend — shard primaries and their replicas — is guarded by a
+  :class:`repro.resilience.CircuitBreaker`, so a dead backend is
+  skipped instantly instead of paying a connection attempt per query;
+* a failed or timed-out subquery **fails over** to the shard's next
+  healthy replica (replicas hold the same entry slice, so a covered
+  loss keeps the answer byte-identical);
+* an optional **deadline** bounds the whole query: per-shard attempts
+  inherit the remaining budget and stragglers are cancelled through
+  ``Warehouse.interrupt()`` (SQLite's cross-thread statement abort);
+* with a spare replica available, a **hedge** duplicate of the
+  subquery launches after a delay derived from the shard's latency
+  EWMA (a p95 proxy: EWMA × multiplier) — first result wins, the
+  loser is interrupted, and losing to a hedge (or to the deadline)
+  counts against the loser's breaker, so a stalled backend that keeps
+  getting out-raced ends up skipped entirely.
+
+All of it lands on the metrics plane (``federation.shard_retries`` /
+``failovers`` / ``hedges`` / ``hedge_wins`` / ``breaker_state``) and as
+``backend`` / ``attempts`` / ``hedged`` annotations on the
+``shard_subquery`` trace spans.
+
+One caveat worth knowing when reading interrupt-related code:
+``sqlite3.Connection.interrupt`` aborts *whatever statement is running
+on that connection*, so cancelling a straggler on a backend that is
+concurrently serving another subquery of the same query can abort that
+one too — the victim surfaces as a degradable error and takes the same
+retry/failover path, so the answer survives; it just costs an extra
+attempt.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import queue as queue_module
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -49,6 +83,7 @@ from repro.errors import (
     StorageError,
     UnknownDocumentError,
 )
+from repro.resilience import OPEN, CircuitBreaker
 from repro.federation.costs import (
     INLIST_CUTOFF,
     ROW_OVERHEAD_BYTES,
@@ -75,6 +110,40 @@ DEGRADABLE = (ShardUnreachableError, StorageError)
 
 
 @dataclass(frozen=True)
+class FaultPolicy:
+    """Knobs of the fault-tolerant subquery path.
+
+    ``retries_per_backend`` counts attempts on one backend before
+    failing over to the next (1 = fail over immediately);
+    ``retry_delay_s`` sleeps between same-backend retries (through the
+    executor's injectable ``sleep``). ``subquery_timeout_s`` bounds a
+    single backend attempt; a per-query deadline (``X-Deadline-Ms``)
+    additionally bounds everything, whichever is tighter.
+
+    Hedging fires a duplicate subquery on a spare healthy replica once
+    the primary has been out for ``hedge_delay_s`` — or, when that is
+    None, for ``max(hedge_min_delay_s, EWMA latency × hedge_multiplier)``
+    from the statistics catalog (the EWMA-based p95 proxy: a request
+    slower than several times its moving average is in the tail).
+    ``hedge=False`` disables hedging outright.
+
+    Breaker knobs are tighter than the harvest plane's (threshold 3,
+    5 s cooldown): query traffic is dense enough that three straight
+    failures mean *down*, and probes are cheap.
+    """
+
+    retries_per_backend: int = 1
+    retry_delay_s: float = 0.0
+    subquery_timeout_s: float | None = None
+    hedge: bool = True
+    hedge_delay_s: float | None = None
+    hedge_multiplier: float = 4.0
+    hedge_min_delay_s: float = 0.05
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+
+
+@dataclass(frozen=True)
 class ShardBoundNode(BoundNode):
     """A bound element plus the shard its document lives on (document
     fetch must go back to the right warehouse)."""
@@ -95,61 +164,106 @@ class ScatterGatherExecutor:
     """Runs :class:`FederatedPlan` objects against a shard catalog."""
 
     def __init__(self, catalog, metrics=None, tracer=None,
-                 max_workers: int | None = None, stats=None):
+                 max_workers: int | None = None, stats=None,
+                 policy: FaultPolicy | None = None):
         self.catalog = catalog
         self.metrics = metrics
         self.tracer = tracer
         self.max_workers = max_workers
         #: statistics catalog fed with runtime latency/row observations
         self.stats = stats
+        self.policy = policy if policy is not None else FaultPolicy()
         #: injectable sleep honouring ShardSpec.latency_s (simulated
         #: remote-shard round-trips; tests pass a recorder)
         self.sleep = time.sleep
+        #: injectable clock driving deadlines, timeouts and breakers
+        self.clock = time.monotonic
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
 
-    def execute(self, plan: FederatedPlan) -> QueryResult:
-        """Scatter, gather, join, assemble."""
+    # -- breakers -------------------------------------------------------------
+
+    def breaker(self, backend: str) -> CircuitBreaker:
+        """The (lazily created) breaker guarding one backend — a shard
+        primary (``s0``) or a replica (``s0#r0``)."""
+        with self._breaker_lock:
+            breaker = self._breakers.get(backend)
+            if breaker is None:
+                breaker = self._breakers[backend] = CircuitBreaker(
+                    backend,
+                    failure_threshold=self.policy.breaker_threshold,
+                    cooldown_s=self.policy.breaker_cooldown_s,
+                    clock=self.clock, metrics=self.metrics,
+                    gauge="federation.breaker_state", label="backend",
+                    event_prefix="federation.breaker")
+            return breaker
+
+    def breaker_states(self) -> dict[str, dict]:
+        """Per-backend breaker status (the health report's view)."""
+        with self._breaker_lock:
+            return {backend: breaker.status()
+                    for backend, breaker in sorted(self._breakers.items())}
+
+    def breaker_is_open(self, backend: str) -> bool:
+        """Read-only open check for callers outside the attempt path:
+        the facade's admin probes (stats, keyword search, document
+        resolution) use it to try healthy backends first without
+        mutating the breaker state machine — half-open probing stays
+        the query path's job."""
+        with self._breaker_lock:
+            breaker = self._breakers.get(backend)
+        return breaker is not None and breaker.state == OPEN
+
+    def execute(self, plan: FederatedPlan,
+                deadline_s: float | None = None) -> QueryResult:
+        """Scatter, gather, join, assemble. ``deadline_s`` bounds the
+        whole execution: subqueries still running once it passes are
+        interrupted and their shards reported as failed."""
+        deadline = (self.clock() + deadline_s
+                    if deadline_s is not None else None)
         if self.tracer is None:
-            return self._execute(plan, None)
+            return self._execute(plan, None, deadline)
         with self.tracer.span("federated_query", query=plan.text,
                               fanout=plan.fanout) as root:
-            result = self._execute(plan, root)
+            if deadline_s is not None:
+                root.meta["deadline_ms"] = round(deadline_s * 1000.0, 3)
+            result = self._execute(plan, root, deadline)
             root.count("result_rows", len(result))
         result.trace = root
         return result
 
-    def _execute(self, plan: FederatedPlan, root) -> QueryResult:
+    def _execute(self, plan: FederatedPlan, root, deadline) -> QueryResult:
         if self.metrics is not None:
             self.metrics.inc("federation.queries")
             self.metrics.inc("federation.fanout", plan.fanout)
         if plan.route_shard is not None:
-            return self._route(plan, root)
-        return self._scatter(plan, root)
+            return self._route(plan, root, deadline)
+        return self._scatter(plan, root, deadline)
 
     # -- single-shard fast path ----------------------------------------------
 
-    def _route(self, plan: FederatedPlan, root) -> QueryResult:
+    def _route(self, plan: FederatedPlan, root, deadline) -> QueryResult:
         """Every source lives whole on one shard: hand the original
         query to that shard's engine untouched."""
         shard = plan.route_shard
         if self.tracer is not None and root is not None:
             with self.tracer.span("shard_subquery", parent=root,
                                   shard=shard, route="single") as span:
-                return self._route_inner(plan, shard, span)
-        return self._route_inner(plan, shard, None)
+                return self._route_inner(plan, shard, span, deadline)
+        return self._route_inner(plan, shard, None, deadline)
 
     def _route_inner(self, plan: FederatedPlan, shard: str,
-                     span) -> QueryResult:
+                     span, deadline) -> QueryResult:
         started = time.perf_counter()
         try:
-            latency = self.catalog.spec(shard).latency_s
-            if latency:
-                self.sleep(latency)  # one round-trip, same as scatter
-            warehouse = self.catalog.warehouse(shard)
-            result = warehouse.xomatiq.query(plan.text, ast=plan.query)
+            result, backend, info = self._resilient_subquery(
+                plan.text, plan.query, shard, deadline)
         except DEGRADABLE as exc:
             if span is not None:
                 span.meta["error"] = str(exc)
-            return self._degraded_result(plan, [self._warn(shard, exc)])
+            return self._degraded_result(plan, [self._warn(shard, exc)],
+                                         shard)
+        self._annotate_attempt(span, backend, info)
         self._observe_shard(shard, time.perf_counter() - started,
                             len(result.rows), span,
                             sum(_row_bytes(row.values)
@@ -163,10 +277,11 @@ class ScatterGatherExecutor:
 
     # -- scatter-gather -------------------------------------------------------
 
-    def _scatter(self, plan: FederatedPlan, root) -> QueryResult:
+    def _scatter(self, plan: FederatedPlan, root, deadline) -> QueryResult:
         unit_rows: dict[int, list[_UnitRow]] = {
             subplan.index: [] for subplan in plan.subplans}
         warnings: list[str] = []
+        lost: set[str] = set()
         self._observe_optimizer(plan, root)
 
         by_probe: dict[int, SemiJoinPushdown] = {
@@ -174,7 +289,7 @@ class ScatterGatherExecutor:
         phase_one = [(subplan, None, None) for subplan in plan.subplans
                      if subplan.index not in by_probe]
         failed = self._run_phase(plan, phase_one, unit_rows, warnings,
-                                 root)
+                                 root, deadline, lost)
 
         phase_two = []
         for subplan in plan.subplans:
@@ -194,7 +309,8 @@ class ScatterGatherExecutor:
             phase_two.append(
                 self._filtered_subplan(subplan, semijoin, unit_rows))
         if phase_two:
-            self._run_phase(plan, phase_two, unit_rows, warnings, root)
+            self._run_phase(plan, phase_two, unit_rows, warnings, root,
+                            deadline, lost)
 
         if self.tracer is not None and root is not None:
             with self.tracer.span("coordinator_join") as span:
@@ -205,15 +321,17 @@ class ScatterGatherExecutor:
             combos = self._gather(plan, unit_rows)
             result = self._assemble(plan, combos)
         result.warnings.extend(warnings)
+        result.failed_shards = sorted(lost)
         if warnings and self.metrics is not None:
             self.metrics.inc("federation.partial_results")
         return result
 
     def _run_phase(self, plan: FederatedPlan, entries, unit_rows,
-                   warnings: list[str], root) -> set[int]:
+                   warnings: list[str], root, deadline,
+                   lost: set[str]) -> set[int]:
         """Run one phase's ``(subplan, bloom, semijoin mode)`` entries
         across their shards; returns the subplan ids that lost at
-        least one shard."""
+        least one shard (and adds the shard names to ``lost``)."""
         tasks = [(subplan, bloom, mode, shard)
                  for subplan, bloom, mode in entries
                  for shard in subplan.shards]
@@ -229,12 +347,12 @@ class ScatterGatherExecutor:
                     thread_name_prefix="shard") as pool:
                 futures = [pool.submit(self._run_subquery, plan,
                                        subplan, shard, root, bloom,
-                                       mode)
+                                       mode, deadline)
                            for subplan, bloom, mode, shard in tasks]
                 outcomes = [future.result() for future in futures]
         else:
             outcomes = [self._run_subquery(plan, subplan, shard, root,
-                                           bloom, mode)
+                                           bloom, mode, deadline)
                         for subplan, bloom, mode, shard in tasks]
         failed: set[int] = set()
         for (subplan, __, ___, shard), (rows, warning) in zip(tasks,
@@ -242,6 +360,7 @@ class ScatterGatherExecutor:
             if warning is not None:
                 warnings.append(warning)
                 failed.add(subplan.index)
+                lost.add(shard)
             else:
                 unit_rows[subplan.index].extend(rows)
         return failed
@@ -279,7 +398,8 @@ class ScatterGatherExecutor:
         return subplan, (semijoin.probe_key, BloomFilter(values)), "bloom"
 
     def _run_subquery(self, plan: FederatedPlan, subplan: ShardSubPlan,
-                      shard: str, root, bloom=None, mode=None):
+                      shard: str, root, bloom=None, mode=None,
+                      deadline=None):
         """One (subplan, shard) task; returns ``(rows, warning)``.
 
         ``bloom`` is a ``(value key, BloomFilter)`` pair: the shipped
@@ -303,22 +423,17 @@ class ScatterGatherExecutor:
             with self.tracer.span("shard_subquery", parent=root,
                                   **meta) as span:
                 return self._shard_subquery(plan, subplan, shard,
-                                            bloom, span)
-        return self._shard_subquery(plan, subplan, shard, bloom, None)
+                                            bloom, span, deadline)
+        return self._shard_subquery(plan, subplan, shard, bloom, None,
+                                    deadline)
 
     def _shard_subquery(self, plan: FederatedPlan,
-                        subplan: ShardSubPlan, shard: str, bloom, span):
+                        subplan: ShardSubPlan, shard: str, bloom, span,
+                        deadline):
         started = time.perf_counter()
         try:
-            latency = self.catalog.spec(shard).latency_s
-            if latency:
-                # one simulated round-trip per shard subquery; the
-                # sleep drops the GIL, so concurrent scatter overlaps
-                # the waits exactly as it would overlap network hops
-                self.sleep(latency)
-            warehouse = self.catalog.warehouse(shard)
-            result = warehouse.xomatiq.query(subplan.text,
-                                             ast=subplan.subquery)
+            result, backend, info = self._resilient_subquery(
+                subplan.text, subplan.subquery, shard, deadline)
         except UnknownDocumentError:
             # the shard hosts the source but holds none of its
             # documents (an empty partition slice): zero bindings,
@@ -328,6 +443,7 @@ class ScatterGatherExecutor:
             if span is not None:
                 span.meta["error"] = str(exc)
             return [], self._warn(shard, exc, subplan)
+        self._annotate_attempt(span, backend, info)
         rows = self._unit_rows(plan, subplan, shard, result)
         if bloom is not None:
             key, shipped_filter = bloom
@@ -365,6 +481,307 @@ class ScatterGatherExecutor:
             rows.append(_UnitRow(bindings=bindings, sort_keys=sort_keys,
                                  values=values))
         return rows
+
+    # -- fault-tolerant subquery attempts -------------------------------------
+
+    def _resilient_subquery(self, text: str, ast, shard: str, deadline):
+        """Run one shard subquery with breakers, failover, timeouts
+        and hedging; returns ``(result, winning backend, info)``.
+
+        Raises the last degradable error when every usable backend is
+        exhausted, :class:`ShardUnreachableError` when all breakers are
+        open or the deadline passes, and lets
+        :class:`UnknownDocumentError` (an empty partition slice — not
+        a fault) propagate to the caller untouched.
+        """
+        candidates = []
+        for backend in self.catalog.backends_for(shard):
+            if self.breaker(backend).allow():
+                candidates.append(backend)
+            elif self.metrics is not None:
+                self.metrics.inc("federation.breaker_skips",
+                                 backend=backend)
+        if not candidates:
+            raise ShardUnreachableError(
+                f"shard {shard!r}: circuit breaker open for every "
+                f"backend (cooling down "
+                f"{self.policy.breaker_cooldown_s}s)")
+        if deadline is not None and self.clock() >= deadline:
+            raise ShardUnreachableError(
+                f"shard {shard!r}: query deadline exhausted before "
+                f"the subquery could start")
+        # the plain path — no deadline, no per-attempt timeout, no
+        # spare to hedge onto — runs attempts inline on this thread;
+        # anything needing cancellation or a duplicate runs attempts
+        # on their own threads so the coordinator can time them out
+        if (deadline is None and self.policy.subquery_timeout_s is None
+                and not (self.policy.hedge and len(candidates) > 1)):
+            return self._attempts_inline(text, ast, shard, candidates)
+        return self._attempts_threaded(text, ast, shard, candidates,
+                                       deadline)
+
+    def _query_backend(self, text: str, ast, backend: str):
+        """One raw attempt against one backend (latency sleep, lazy
+        open, subquery)."""
+        latency = self.catalog.spec(backend).latency_s
+        if latency:
+            # one simulated round-trip per attempt; the sleep drops
+            # the GIL, so concurrent scatter overlaps the waits
+            # exactly as it would overlap network hops
+            self.sleep(latency)
+        warehouse = self.catalog.warehouse(backend)
+        return warehouse.xomatiq.query(text, ast=ast)
+
+    def _attempts_inline(self, text: str, ast, shard: str,
+                         candidates: list[str]):
+        """Sequential attempts: each candidate backend up to
+        ``retries_per_backend`` times, then fail over to the next."""
+        retries = max(1, self.policy.retries_per_backend)
+        attempts = 0
+        last_exc = None
+        for index, backend in enumerate(candidates):
+            for retry in range(retries):
+                attempts += 1
+                try:
+                    result = self._query_backend(text, ast, backend)
+                except UnknownDocumentError:
+                    self.breaker(backend).record_success()
+                    raise
+                except DEGRADABLE as exc:
+                    self.breaker(backend).record_failure()
+                    last_exc = exc
+                    if retry + 1 < retries:
+                        if self.metrics is not None:
+                            self.metrics.inc("federation.shard_retries",
+                                             shard=shard)
+                        if self.policy.retry_delay_s:
+                            self.sleep(self.policy.retry_delay_s)
+                    continue
+                self.breaker(backend).record_success()
+                return result, backend, {"attempts": attempts,
+                                         "hedged": False,
+                                         "hedge_won": False}
+            if index + 1 < len(candidates) and self.metrics is not None:
+                self.metrics.inc("federation.failovers", shard=shard)
+        raise last_exc
+
+    def _attempts_threaded(self, text: str, ast, shard: str,
+                           candidates: list[str], deadline):
+        """Attempts on their own threads: per-attempt timeouts, the
+        query deadline, and hedging all need a coordinator that can
+        outlive (and interrupt) a stuck backend call.
+
+        A straggler that loses — to the deadline, its timeout, or a
+        faster hedge — is cancelled with ``Warehouse.interrupt()``;
+        its late outcome, if any, is ignored by attempt token.
+        """
+        policy = self.policy
+        retries = max(1, policy.retries_per_backend)
+        schedule = [backend for backend in candidates
+                    for __ in range(retries)]
+        outcomes: queue_module.Queue = queue_module.Queue()
+        launched: dict[int, tuple[str, float]] = {}
+        in_flight: dict[int, str] = {}
+        cursor = 0
+        token_counter = 0
+        last_exc = None
+
+        def attempt(backend: str, token: int) -> None:
+            try:
+                outcomes.put((token, self._query_backend(text, ast,
+                                                         backend), None))
+            except BaseException as exc:  # noqa: BLE001 - ferried out
+                outcomes.put((token, None, exc))
+
+        def launch(backend: str) -> int:
+            nonlocal token_counter
+            token_counter += 1
+            token = token_counter
+            launched[token] = (backend, self.clock())
+            in_flight[token] = backend
+            thread = threading.Thread(target=attempt,
+                                      args=(backend, token),
+                                      name=f"subq-{backend}",
+                                      daemon=True)
+            thread.start()
+            return token
+
+        def next_backend(exclude=()) -> str | None:
+            nonlocal cursor
+            while cursor < len(schedule):
+                backend = schedule[cursor]
+                cursor += 1
+                if backend not in exclude:
+                    return backend
+            return None
+
+        def abandon() -> None:
+            for backend in in_flight.values():
+                self._interrupt(backend)
+            in_flight.clear()
+
+        first = next_backend()
+        primary_start = self.clock()
+        launch(first)
+        hedge_at = None
+        hedge_token = None
+        if policy.hedge and len(candidates) > 1:
+            hedge_at = primary_start + self._hedge_delay(shard)
+
+        while in_flight:
+            now = self.clock()
+            if deadline is not None and now >= deadline:
+                # blowing the whole query budget counts against every
+                # backend still running — a shard that keeps eating
+                # deadlines must eventually trip its breaker
+                for straggler in in_flight.values():
+                    self.breaker(straggler).record_failure()
+                abandon()
+                raise ShardUnreachableError(
+                    f"shard {shard!r}: query deadline exceeded; "
+                    f"straggler subqueries interrupted")
+            waits = []
+            if deadline is not None:
+                waits.append(deadline - now)
+            if policy.subquery_timeout_s is not None:
+                earliest = min(launched[token][1]
+                               for token in in_flight)
+                waits.append(earliest + policy.subquery_timeout_s - now)
+            if hedge_at is not None and hedge_token is None:
+                waits.append(hedge_at - now)
+            wait = max(0.0, min(waits)) if waits else None
+            try:
+                token, result, exc = outcomes.get(timeout=wait)
+            except queue_module.Empty:
+                now = self.clock()
+                if (hedge_at is not None and hedge_token is None
+                        and now >= hedge_at):
+                    backend = next_backend(
+                        exclude=set(in_flight.values()))
+                    hedge_at = None
+                    if backend is not None:
+                        if self.metrics is not None:
+                            self.metrics.inc("federation.hedges",
+                                             shard=shard)
+                        hedge_token = launch(backend)
+                    continue
+                if policy.subquery_timeout_s is not None:
+                    expired = [token for token in list(in_flight)
+                               if now >= launched[token][1]
+                               + policy.subquery_timeout_s]
+                    for token in expired:
+                        backend = in_flight.pop(token)
+                        self._interrupt(backend)
+                        self.breaker(backend).record_failure()
+                        if self.metrics is not None:
+                            self.metrics.inc("federation.shard_timeouts",
+                                             shard=shard)
+                        last_exc = ShardUnreachableError(
+                            f"shard {shard!r}: backend {backend!r} "
+                            f"exceeded its "
+                            f"{policy.subquery_timeout_s}s subquery "
+                            f"timeout")
+                    if expired and not in_flight:
+                        backend = next_backend()
+                        if backend is not None:
+                            if self.metrics is not None:
+                                self.metrics.inc("federation.failovers",
+                                                 shard=shard)
+                            launch(backend)
+                continue
+            if token not in in_flight:
+                continue  # a straggler we already gave up on
+            backend = in_flight.pop(token)
+            if exc is None:
+                self.breaker(backend).record_success()
+                hedge_won = (hedge_token is not None
+                             and token == hedge_token)
+                if hedge_won:
+                    # the hedge outracing the primary is hard evidence
+                    # the primary is deep in its latency tail (the
+                    # hedge only fired because the p95 proxy elapsed):
+                    # count the loss against its breaker so a stalled
+                    # backend stops being tried at all. A hedge that
+                    # fired but *lost* costs the primary nothing.
+                    for loser in in_flight.values():
+                        self.breaker(loser).record_failure()
+                    if self.metrics is not None:
+                        self.metrics.inc("federation.hedge_wins",
+                                         shard=shard)
+                abandon()
+                return result, backend, {
+                    "attempts": token_counter,
+                    "hedged": hedge_token is not None,
+                    "hedge_won": hedge_won}
+            if isinstance(exc, UnknownDocumentError):
+                self.breaker(backend).record_success()
+                abandon()
+                raise exc
+            if not isinstance(exc, DEGRADABLE):
+                abandon()
+                raise exc
+            self.breaker(backend).record_failure()
+            last_exc = exc
+            if not in_flight:
+                nxt = next_backend()
+                if nxt is None:
+                    raise last_exc
+                if self.metrics is not None:
+                    if nxt == backend:
+                        self.metrics.inc("federation.shard_retries",
+                                         shard=shard)
+                    else:
+                        self.metrics.inc("federation.failovers",
+                                         shard=shard)
+                launch(nxt)
+        if last_exc is not None:
+            raise last_exc
+        raise ShardUnreachableError(
+            f"shard {shard!r}: no backend attempt completed")
+
+    def _hedge_delay(self, shard: str) -> float:
+        """How long the primary may run before a duplicate fires on a
+        replica: the explicit policy value when set, else a p95 proxy
+        from the statistics EWMAs (a request several times slower than
+        the shard's moving average is in the tail), floored so cold
+        stats never hedge instantly."""
+        policy = self.policy
+        if policy.hedge_delay_s is not None:
+            return policy.hedge_delay_s
+        if self.stats is not None:
+            record = self.stats.shard(shard)
+            ewma = getattr(record, "ewma_seconds", None)
+            if ewma:
+                return max(policy.hedge_min_delay_s,
+                           ewma * policy.hedge_multiplier)
+        return policy.hedge_min_delay_s
+
+    def _interrupt(self, backend: str) -> None:
+        """Cancel whatever the backend is running for us (breaking
+        into its current statement; see the module caveat). A backend
+        that never opened has nothing to interrupt."""
+        warehouse = self.catalog.peek(backend)
+        if warehouse is None:
+            return
+        try:
+            warehouse.interrupt()
+        except Exception:
+            return  # the backend is already broken; nothing to cancel
+        if self.metrics is not None:
+            self.metrics.inc("federation.interrupts", backend=backend)
+
+    def _annotate_attempt(self, span, backend: str, info: dict) -> None:
+        """Stamp the winning backend and attempt shape on the
+        subquery's trace span."""
+        if span is None:
+            return
+        span.meta["backend"] = backend
+        if info.get("attempts", 1) > 1:
+            span.meta["attempts"] = info["attempts"]
+        if info.get("hedged"):
+            span.meta["hedged"] = True
+        if info.get("hedge_won"):
+            span.meta["hedge_won"] = True
 
     # -- coordinator join -----------------------------------------------------
 
@@ -510,8 +927,8 @@ class ScatterGatherExecutor:
             result.rows.append(row)
         return result
 
-    def _degraded_result(self, plan: FederatedPlan,
-                         warnings: list[str]) -> QueryResult:
+    def _degraded_result(self, plan: FederatedPlan, warnings: list[str],
+                         shard: str | None = None) -> QueryResult:
         """Empty-but-answering result for a fully lost route."""
         if self.metrics is not None:
             self.metrics.inc("federation.partial_results")
@@ -519,7 +936,8 @@ class ScatterGatherExecutor:
                                   for item in plan.query.returns])
         return QueryResult(columns=columns,
                            variables=list(plan.variables),
-                           warnings=warnings)
+                           warnings=warnings,
+                           failed_shards=[shard] if shard else [])
 
     # -- bookkeeping ----------------------------------------------------------
 

@@ -42,7 +42,11 @@ from repro.federation.costs import (
     INLIST_CUTOFF,
     CostModel,
 )
-from repro.federation.executor import ScatterGatherExecutor, ShardBoundNode
+from repro.federation.executor import (
+    DEGRADABLE,
+    ScatterGatherExecutor,
+    ShardBoundNode,
+)
 from repro.federation.planner import FederatedPlan, FederationPlanner
 from repro.federation.stats import StatisticsCatalog, default_stats_path
 from repro.results.resultset import QueryResult, ResultRow
@@ -60,7 +64,8 @@ class FederatedXomatiQ:
                  metrics=None, trace=None,
                  max_workers: int | None = None,
                  stats: StatisticsCatalog | None = None,
-                 stats_path=None):
+                 stats_path=None,
+                 fault_policy=None):
         """``metrics``/``trace`` follow :class:`~repro.engine.
         Warehouse` conventions (default registry / no tracer);
         ``max_workers`` caps the scatter pool (default: one thread per
@@ -94,7 +99,8 @@ class FederatedXomatiQ:
             catalog, cost_model=CostModel(self.statistics))
         self.executor = ScatterGatherExecutor(
             catalog, metrics=self._metrics_sink, tracer=self.tracer,
-            max_workers=max_workers, stats=self.statistics)
+            max_workers=max_workers, stats=self.statistics,
+            policy=fault_policy)
 
     @classmethod
     def from_shard_map(cls, path, **kwargs) -> "FederatedXomatiQ":
@@ -136,8 +142,15 @@ class FederatedXomatiQ:
         self.catalog.set_tracer(self.tracer)
         return self.tracer
 
-    def query(self, text: str) -> QueryResult:
+    def query(self, text: str,
+              deadline_s: float | None = None) -> QueryResult:
         """Parse, check, plan, scatter, gather.
+
+        ``deadline_s`` bounds the whole execution (the service maps
+        ``X-Deadline-Ms`` here): shard subqueries still running when
+        it passes are interrupted, and the answer degrades to the
+        shards that made it, with ``result.failed_shards`` naming the
+        ones that did not.
 
         On a traced federation, planning runs inside a ``plan`` span
         (parse/check/statistics refresh included) as a sibling of the
@@ -150,7 +163,7 @@ class FederatedXomatiQ:
             with self.tracer.span("plan", query=text) as span:
                 plan = self.plan(text)
                 span.meta["fanout"] = plan.fanout
-        result = self.executor.execute(plan)
+        result = self.executor.execute(plan, deadline_s=deadline_s)
         if self._metrics_sink is not None:
             self._metrics_sink.observe("federation.query_seconds",
                                        time.perf_counter() - started)
@@ -227,7 +240,9 @@ class FederatedXomatiQ:
 
         A multi-shard route partitions the release into contiguous
         entry slices (first shard gets the first slice), preserving
-        monolithic document order across the federation."""
+        monolithic document order across the federation. Each shard's
+        slice is also written to every replica of that shard, so a
+        replica can answer for its primary byte-identically."""
         from repro.flatfile import parse_entries
         shards = self.catalog.shards_for(source)
         if not shards:
@@ -243,6 +258,18 @@ class FederatedXomatiQ:
             if self._metrics_sink is not None:
                 self._metrics_sink.inc("federation.documents_loaded",
                                        counts[shard], shard=shard)
+            for replica in self.catalog.replicas(shard):
+                try:
+                    self.catalog.warehouse(replica.name).load_entries(
+                        source, chunk, batch_size=batch_size,
+                        workers=workers)
+                except ShardUnreachableError:
+                    # a down replica just loses this slice; the primary
+                    # still holds it, and health reports the replica
+                    if self._metrics_sink is not None:
+                        self._metrics_sink.inc(
+                            "federation.replica_load_skipped",
+                            backend=replica.name)
         return counts
 
     def load_corpus(self, corpus) -> dict[str, int]:
@@ -253,22 +280,42 @@ class FederatedXomatiQ:
 
     # -- catalog / admin ------------------------------------------------------
 
+    def _probe_backends(self, shard: str) -> list[str]:
+        """Backend order for admin-path probes (stats, searches,
+        document resolution): backends with an open breaker go last,
+        so a probe reaches a healthy replica without first eating the
+        dead primary's failure mode. They stay in the list — with
+        every breaker open, trying is still better than lying."""
+        backends = self.catalog.backends_for(shard)
+        is_open = self.executor.breaker_is_open
+        return ([b for b in backends if not is_open(b)]
+                + [b for b in backends if is_open(b)])
+
     def document_exists(self, source: str,
                         collection: str | None) -> bool:
         """True when some shard holds documents of the address.
 
-        An unreachable shard counts as "may hold it": the query then
-        proceeds and degrades to partial results with a warning
-        instead of failing the semantic check outright."""
+        Each shard is asked through its first *healthy* backend —
+        replicas hold the same slice, so they answer for a dead
+        primary. A shard with no healthy backend at all counts as
+        "may hold it": the query then proceeds and degrades to
+        partial results with a warning instead of failing the
+        semantic check outright."""
         maybe = False
         for shard in self.catalog.shards_for(source):
-            try:
-                warehouse = self.catalog.warehouse(shard)
-            except ShardUnreachableError:
+            answered = False
+            for backend in self._probe_backends(shard):
+                try:
+                    warehouse = self.catalog.warehouse(backend)
+                    found = warehouse.document_exists(source, collection)
+                except DEGRADABLE:
+                    continue
+                if found:
+                    return True
+                answered = True
+                break
+            if not answered:
                 maybe = True
-                continue
-            if warehouse.document_exists(source, collection):
-                return True
         return maybe
 
     def keyword_search(self, phrase: str, source: str | None = None,
@@ -277,56 +324,69 @@ class FederatedXomatiQ:
         locally (:meth:`repro.engine.Warehouse.keyword_search`), the
         coordinator merges and re-ranks. Each hit carries its
         ``shard`` so ``GET /documents/{doc_id}?shard=...`` can fetch
-        the document from the right warehouse. Unreachable shards are
-        skipped — partial results, same degradation contract as
-        :meth:`query`."""
+        the document from the right warehouse. A shard whose primary
+        is down answers through a replica (hits keep the *shard*
+        name); shards with no healthy backend are skipped — partial
+        results, same degradation contract as :meth:`query`."""
         hits: list[dict] = []
         for name in self.catalog.shard_names():
-            try:
-                warehouse = self.catalog.warehouse(name)
-            except ShardUnreachableError:
-                continue
-            for hit in warehouse.keyword_search(phrase, source=source,
-                                                limit=limit):
-                hits.append({**hit, "shard": name})
+            for backend in self._probe_backends(name):
+                try:
+                    warehouse = self.catalog.warehouse(backend)
+                    found = warehouse.keyword_search(phrase,
+                                                     source=source,
+                                                     limit=limit)
+                except DEGRADABLE:
+                    continue
+                for hit in found:
+                    hits.append({**hit, "shard": name})
+                break
         hits.sort(key=lambda hit: (-hit["matches"], hit["shard"],
                                    hit["doc_id"]))
         return hits[:limit]
 
     def stats(self) -> dict[str, int]:
-        """Aggregated warehouse stats summed across reachable shards,
-        plus shard accounting (``shards``/``shards_unreachable``)."""
+        """Aggregated warehouse stats summed across reachable shards
+        (each answering through its first healthy backend), plus shard
+        accounting (``shards``/``shards_unreachable``)."""
         out: dict[str, int] = {}
         unreachable = 0
-        for name in self.catalog.shard_names():
-            try:
-                warehouse = self.catalog.warehouse(name)
-            except ShardUnreachableError:
+        for name, stats in self.shard_stats().items():
+            if "error" in stats:
                 unreachable += 1
                 continue
-            for key, value in warehouse.stats().items():
+            for key, value in stats.items():
                 out[key] = out.get(key, 0) + value
         out["shards"] = len(self.catalog.shard_names())
         out["shards_unreachable"] = unreachable
         return out
 
     def shard_stats(self) -> dict[str, dict]:
-        """Per-shard stats; an unreachable shard maps to
-        ``{"error": reason}``."""
+        """Per-shard stats from each shard's first healthy backend; a
+        shard with none maps to ``{"error": reason}``."""
         out: dict[str, dict] = {}
         for name in self.catalog.shard_names():
-            try:
-                out[name] = self.catalog.warehouse(name).stats()
-            except ShardUnreachableError as exc:
-                out[name] = {"error": str(exc)}
+            error: Exception | None = None
+            for backend in self._probe_backends(name):
+                try:
+                    out[name] = self.catalog.warehouse(backend).stats()
+                    break
+                except DEGRADABLE as exc:
+                    error = exc
+            else:
+                out[name] = {"error": str(error)}
         return out
 
     def health(self, stale_after_s: float | None = None) -> dict:
         """Federation health: every shard's own health report rolled
-        up under one status, plus the routing table and cumulative
-        shard-error counters. ``format_health`` renders the roll-up."""
+        up under one status, plus the routing table, cumulative
+        shard-error counters, per-backend circuit-breaker states (with
+        last-failure timestamps) and replica reachability. An open
+        breaker warns; a shard whose replicas are *all* down fails —
+        it promised redundancy and currently has none. ``format_health``
+        renders the roll-up."""
         from repro.obs.health import (  # noqa: F401
-            OK, WARN, combine_statuses, format_health)
+            FAIL, OK, WARN, combine_statuses, format_health)
         checks: list[dict] = []
         shards: dict[str, dict] = {}
         stats: dict[str, int] = {}
@@ -336,7 +396,7 @@ class FederatedXomatiQ:
                     stale_after_s=stale_after_s) \
                     if stale_after_s is not None \
                     else self.catalog.warehouse(name).health()
-            except ShardUnreachableError as exc:
+            except DEGRADABLE as exc:
                 shards[name] = {"status": "unreachable",
                                 "error": str(exc)}
                 checks.append({"name": f"shard:{name}", "status": WARN,
@@ -349,6 +409,48 @@ class FederatedXomatiQ:
                           f"status {report['status']}"})
             for key, value in report["stats"].items():
                 stats[key] = stats.get(key, 0) + value
+        # replica coverage: a shard that was given replicas promised
+        # redundancy; losing every one of them means the next primary
+        # fault is unsurvivable, so that is a FAIL, not a warning.
+        # Shards without replicas never made the promise and keep the
+        # plain unreachable-warns contract above.
+        replicas: dict[str, dict[str, str]] = {}
+        for name in self.catalog.shard_names():
+            specs = self.catalog.replicas(name)
+            if not specs:
+                continue
+            states: dict[str, str] = {}
+            for spec in specs:
+                try:
+                    self.catalog.warehouse(spec.name)
+                    states[spec.name] = "ok"
+                except ShardUnreachableError as exc:
+                    states[spec.name] = f"unreachable — {exc}"
+            replicas[name] = states
+            up = sum(1 for state in states.values() if state == "ok")
+            replica_status = OK if up == len(states) \
+                else (WARN if up else FAIL)
+            checks.append({
+                "name": f"replicas:{name}", "status": replica_status,
+                "detail": f"{up}/{len(states)} replica(s) reachable"
+                          + ("" if up else " — redundancy lost")})
+        # per-backend circuit breakers (lazily created by the executor
+        # on first subquery; an open breaker means the backend is being
+        # skipped until cooldown — degraded, not broken)
+        breakers = self.executor.breaker_states()
+        for backend, state in breakers.items():
+            if state["state"] == "closed" \
+                    and not state["consecutive_failures"]:
+                continue
+            last = state.get("last_failure_time")
+            checks.append({
+                "name": f"breaker:{backend}",
+                "status": OK if state["state"] != "open" else WARN,
+                "detail": f"circuit breaker {state['state']}"
+                          + (f", last failure at {last:.0f}"
+                             if last else "")
+                          + ("" if state["state"] != "open" else
+                             " — subqueries skipped until cooldown")})
         unrouted = [name for name in self.catalog.shard_names()
                     if not any(name in route for route in
                                self.catalog.sources().values())]
@@ -374,18 +476,50 @@ class FederatedXomatiQ:
         return {"status": status, "checks": checks, "stats": stats,
                 "shards": shards,
                 "federation": {"sources": self.catalog.sources(),
-                               "shard_errors": errors}}
+                               "shard_errors": errors,
+                               "breakers": breakers,
+                               "replicas": replicas}}
 
     # -- document fetch -------------------------------------------------------
 
+    def find_document_shard(self, doc_id: int) -> str | None:
+        """The shard holding a document id, or None when no reachable
+        shard has it. Doc ids are per-shard sequences, so the same id
+        can exist on several shards — catalog order wins, which is
+        deterministic; callers needing a specific shard pass it
+        explicitly (the service keeps ``?shard=`` as an override).
+        A shard whose primary is down is asked through its replicas
+        (they hold the same documents)."""
+        for name in self.catalog.shard_names():
+            for backend in self._probe_backends(name):
+                try:
+                    warehouse = self.catalog.warehouse(backend)
+                    rows = warehouse.backend.execute(
+                        "SELECT doc_id FROM documents WHERE doc_id = ?",
+                        (doc_id,))
+                except DEGRADABLE:
+                    continue
+                if rows:
+                    return name
+                break
+        return None
+
     def fetch_document(self, node) -> Document:
         """Reconstruct the document behind a federated binding (the
-        binding knows its shard)."""
+        binding knows its shard; a dead primary falls back to the
+        shard's replicas, which hold identical documents)."""
         if not isinstance(node, ShardBoundNode):
             raise FederationError(
                 "federated document fetch needs a ShardBoundNode "
                 "binding from a federated QueryResult")
-        return self.catalog.warehouse(node.shard).fetch_document(node)
+        last_exc: Exception | None = None
+        for backend in self._probe_backends(node.shard):
+            try:
+                return self.catalog.warehouse(backend) \
+                    .fetch_document(node)
+            except DEGRADABLE as exc:
+                last_exc = exc
+        raise last_exc
 
     def fetch_document_xml(self, row: ResultRow, variable: str) -> str:
         """Serialized document behind one result row's variable."""

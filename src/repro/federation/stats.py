@@ -298,19 +298,21 @@ class StatisticsCatalog:
         """(Re-)analyze shards of a :class:`ShardCatalog`; unreachable
         shards are skipped (their stale records dropped so the planner
         never prunes on dead numbers). Returns the skipped names."""
-        from repro.errors import ShardUnreachableError
+        from repro.errors import ShardUnreachableError, StorageError
         names = list(shard_names) if shard_names is not None \
             else list(catalog.shard_names())
         skipped: list[str] = []
         for name in names:
+            previous = self.shards.get(name)
             try:
                 warehouse = catalog.warehouse(name)
-            except ShardUnreachableError:
+                record = collect_shard_statistics(name, warehouse)
+            except (ShardUnreachableError, StorageError):
+                # gone at open time or dying mid-statement: either way
+                # the shard is not analyzable right now
                 self.shards.pop(name, None)
                 skipped.append(name)
                 continue
-            previous = self.shards.get(name)
-            record = collect_shard_statistics(name, warehouse)
             if previous is not None:
                 # runtime EWMAs survive re-analysis
                 record.ewma_seconds = previous.ewma_seconds
@@ -328,19 +330,19 @@ class StatisticsCatalog:
         what catches a shard modified behind our back). Unreachable
         shards are not reported — staleness is only decidable against
         a warehouse we can open."""
-        from repro.errors import ShardUnreachableError
+        from repro.errors import ShardUnreachableError, StorageError
         stale: list[str] = []
         for name in catalog.shard_names():
             record = self.shards.get(name)
             try:
                 warehouse = catalog.warehouse(name)
-            except ShardUnreachableError:
+                if record is None:
+                    stale.append(name)
+                    continue
+                documents = warehouse.backend.execute(
+                    "SELECT COUNT(*) FROM documents")[0][0]
+            except (ShardUnreachableError, StorageError):
                 continue
-            if record is None:
-                stale.append(name)
-                continue
-            documents = warehouse.backend.execute(
-                "SELECT COUNT(*) FROM documents")[0][0]
             if record.loaded:
                 # disk record from another process: validate by count,
                 # then adopt the live generation for in-process checks

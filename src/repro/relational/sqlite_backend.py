@@ -146,6 +146,18 @@ class SqliteBackend:
         with self._lock:
             self._cursor.execute("ANALYZE")
 
+    def interrupt(self) -> None:
+        """Abort the statement currently running on this connection
+        (the aborted ``execute`` raises :class:`StorageError`).
+
+        Deliberately lock-free: the whole point is to break into a
+        statement that *holds* the backend lock — a straggler the
+        federated executor has already failed over from, or one that
+        outlived its deadline. ``sqlite3.Connection.interrupt`` is
+        documented thread-safe.
+        """
+        self._connection.interrupt()
+
     def close(self) -> None:
         """Close the underlying sqlite connection."""
         with self._lock:

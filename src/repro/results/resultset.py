@@ -84,6 +84,10 @@ class QueryResult:
     #: shards and says so here instead of raising (same philosophy as
     #: harvest quarantine); empty for complete results
     warnings: list[str] = field(default_factory=list)
+    #: shard names whose contributions are missing from a degraded
+    #: federated answer (machine-readable companion to ``warnings``;
+    #: the HTTP service ships it as ``missing_shards``)
+    failed_shards: list[str] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:

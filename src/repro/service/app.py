@@ -56,7 +56,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.engine import Warehouse
-from repro.errors import ReproError, UnknownDocumentError
+from repro.errors import (
+    ReproError,
+    ShardUnreachableError,
+    StorageError,
+    UnknownDocumentError,
+)
 from repro.obs.trace import TraceContext
 from repro.obs.tracestore import (
     TraceStore,
@@ -211,7 +216,7 @@ class QueryService:
                 if self._in_flight_gauge is not None and admitted:
                     self._in_flight_gauge.set(self.admission.in_flight)
                 response = self._dispatch(endpoint, tail, method,
-                                          params, body)
+                                          params, body, headers or {})
         except UnknownDocumentError as exc:
             response = _error(404, exc)
         except ReproError as exc:
@@ -275,7 +280,7 @@ class QueryService:
         return "unknown", ""
 
     def _dispatch(self, endpoint: str, tail: str, method: str,
-                  params: dict, body: bytes) -> Response:
+                  params: dict, body: bytes, headers) -> Response:
         if endpoint == "unknown":
             return _error(404, "no such resource")
         expected = "POST" if endpoint in ("query", "harvest") else "GET"
@@ -286,7 +291,7 @@ class QueryService:
         if len(body) > self.config.max_body_bytes:
             return _error(413, "request body too large")
         if endpoint == "query":
-            return self._query(_json_body(body))
+            return self._query(_json_body(body), headers)
         if endpoint == "keyword":
             return self._keyword(params)
         if endpoint == "documents":
@@ -309,7 +314,7 @@ class QueryService:
 
     # -- resources ----------------------------------------------------------
 
-    def _query(self, request: dict) -> Response:
+    def _query(self, request: dict, headers=None) -> Response:
         text = request.get("query")
         if not isinstance(text, str) or not text.strip():
             return _error(400, 'body must carry a "query" string')
@@ -317,18 +322,67 @@ class QueryService:
         if fmt not in ("rows", "xml"):
             return _error(400, f'unknown format {fmt!r} '
                                '(expected "rows" or "xml")')
-        result = self.engine.query(text)
+        mode = request.get("mode", "partial")
+        if mode not in ("strict", "partial"):
+            return _error(400, f'unknown mode {mode!r} '
+                               '(expected "strict" or "partial")')
+        deadline_s = None
+        raw_deadline = (headers or {}).get("X-Deadline-Ms")
+        if raw_deadline:
+            try:
+                deadline_s = float(raw_deadline) / 1000.0
+            except ValueError:
+                return _error(400, "X-Deadline-Ms must be a number "
+                                   "of milliseconds")
+            if deadline_s <= 0:
+                return _error(400, "X-Deadline-Ms must be positive")
+        if self.federated:
+            # the deadline propagates into per-shard task timeouts;
+            # stragglers past it are interrupted (docs/robustness.md)
+            result = self.engine.query(text, deadline_s=deadline_s)
+        else:
+            result = self.engine.query(text)
+        missing = list(getattr(result, "failed_shards", []))
+        if not result.complete and mode == "strict":
+            # strict callers would rather retry than act on a partial
+            # answer; Retry-After matches the breaker cooldown — by
+            # then the shard has either probed healthy or stayed open
+            if self._metrics_sink is not None:
+                self._metrics_sink.inc("service.strict_refusals")
+            return Response(503, {
+                "error": "partial results refused (mode=strict)",
+                "reason": "degraded",
+                "missing_shards": missing,
+                "warnings": list(result.warnings),
+            }, headers={"Retry-After": str(self._retry_after_s())})
+        degraded_headers = {}
+        if not result.complete:
+            degraded_headers["X-Partial-Results"] = "true"
+            if self._metrics_sink is not None:
+                self._metrics_sink.inc("service.partial_responses")
         if fmt == "xml":
             return Response(200, body=result.to_xml().encode("utf-8"),
-                            content_type=XML_CONTENT_TYPE)
+                            content_type=XML_CONTENT_TYPE,
+                            headers=degraded_headers)
         return Response(200, {
             "columns": result.columns,
             "variables": result.variables,
             "row_count": len(result),
             "complete": result.complete,
+            "partial": not result.complete,
+            "missing_shards": missing,
             "warnings": list(result.warnings),
             "rows": [_row_record(row) for row in result.rows],
-        })
+        }, headers=degraded_headers)
+
+    def _retry_after_s(self) -> int:
+        """Strict-mode 503s advise retrying after the federation's
+        breaker cooldown (rounded up; at least 1 s)."""
+        policy = getattr(getattr(self.engine, "executor", None),
+                         "policy", None)
+        if policy is None:
+            return 1
+        return max(1, int(-(-policy.breaker_cooldown_s // 1)))
 
     def _keyword(self, params: dict) -> Response:
         phrase = params.get("q", "")
@@ -349,18 +403,35 @@ class QueryService:
             return _error(400, "document path must be "
                                "/documents/{doc_id}")
         doc_id = int(tail)
+        probe = "SELECT doc_id FROM documents WHERE doc_id = ?"
         if self.federated:
             shard = params.get("shard")
             if not shard:
-                return _error(400, "federated document fetch needs "
-                                   "?shard=<name> (keyword hits carry "
-                                   "it)")
-            warehouse = self.engine.catalog.warehouse(shard)
+                # resolve the owning shard from the catalog (keyword
+                # hits still carry ?shard= as an explicit override)
+                shard = self.engine.find_document_shard(doc_id)
+                if shard is None:
+                    return _error(404, f"no document with doc_id "
+                                       f"{doc_id} on any reachable "
+                                       f"shard")
+            # the shard's first healthy backend answers — replicas
+            # hold the same documents as their primary
+            warehouse = rows = None
+            for backend in self.engine.catalog.backends_for(shard):
+                try:
+                    candidate = self.engine.catalog.warehouse(backend)
+                    rows = candidate.backend.execute(probe, (doc_id,))
+                except (ShardUnreachableError, StorageError):
+                    continue
+                warehouse = candidate
+                break
+            if warehouse is None:
+                return _error(404, f"shard {shard!r} has no reachable "
+                                   f"backend")
         else:
             warehouse = self.engine
-        if not warehouse.backend.execute(
-                "SELECT doc_id FROM documents WHERE doc_id = ?",
-                (doc_id,)):
+            rows = warehouse.backend.execute(probe, (doc_id,))
+        if not rows:
             return _error(404, f"no document with doc_id {doc_id}")
         document = warehouse.fetch_document(doc_id)
         return Response(200, body=serialize(document).encode("utf-8"),

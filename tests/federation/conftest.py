@@ -35,14 +35,18 @@ ROUTING_PARTITIONED = {
 }
 
 
-def build_federation(corpus, routing, metrics=False,
+def build_federation(corpus, routing, metrics=False, replicas=0,
                      **kwargs) -> FederatedXomatiQ:
-    """An in-memory federation with ``routing`` and the corpus loaded."""
+    """An in-memory federation with ``routing`` and the corpus loaded;
+    ``replicas`` in-memory replicas per shard (failover/hedging
+    targets)."""
     catalog = ShardCatalog()
     names = sorted({shard for route in routing.values()
                     for shard in route})
     for name in names:
         catalog.add_shard(name)
+        for __ in range(replicas):
+            catalog.add_replica(name)
     for source, route in routing.items():
         catalog.assign(source, *route)
     federation = FederatedXomatiQ(catalog, metrics=metrics, **kwargs)

@@ -184,3 +184,47 @@ class TestAnalyzeVerb:
         # sibling stats file up and still answers correctly
         assert main(["query", "--shard-map", loaded_map, JOIN]) == 0
         assert "row(s)" in capsys.readouterr().out
+
+
+class TestReplicaVerbs:
+    def test_add_replica_round_trips(self, tmp_path, shard_map, capsys):
+        capsys.readouterr()
+        assert main(["shard", "add-replica", "--map", shard_map, "s0",
+                     "--path", str(tmp_path / "s0-r0.sqlite")]) == 0
+        assert "s0#r0" in capsys.readouterr().out
+        assert main(["shard", "init", "--map", shard_map]) == 0
+        assert (tmp_path / "s0-r0.sqlite").exists()
+        capsys.readouterr()
+        assert main(["shard", "list", "--map", shard_map, "--json"]) == 0
+        registry = json.loads(capsys.readouterr().out)
+        replicas = registry["shards"]["s0"]["replicas"]
+        assert replicas[0]["path"].endswith("s0-r0.sqlite")
+
+    def test_add_replica_unknown_shard_fails(self, shard_map, capsys):
+        assert main(["shard", "add-replica", "--map", shard_map,
+                     "s9"]) == 1
+        assert "unknown shard" in capsys.readouterr().err
+
+
+class TestHealthExitCodes:
+    """Nagios-style tri-state: 0 = ok, 2 = degraded, 1 = broken.
+    (The healthy exit-0 case is ``test_health_rolls_up_shards``.)"""
+
+    def test_replicaless_shard_missing_warns(self, tmp_path, loaded_map,
+                                             capsys):
+        (tmp_path / "s1.sqlite").unlink()
+        capsys.readouterr()
+        assert main(["health", "--shard-map", loaded_map, "--json"]) == 2
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "warn"
+
+    def test_all_replicas_down_fails(self, tmp_path, loaded_map, capsys):
+        # a replica registered but never initialised: the shard
+        # promised redundancy and currently has none
+        assert main(["shard", "add-replica", "--map", loaded_map, "s0",
+                     "--path", str(tmp_path / "ghost.sqlite")]) == 0
+        capsys.readouterr()
+        assert main(["health", "--shard-map", loaded_map, "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "fail"
+        assert "redundancy lost" in json.dumps(report["checks"])

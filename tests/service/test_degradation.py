@@ -1,0 +1,157 @@
+"""HTTP degradation contract: real requests against the same synth
+federation ``xomatiq serve --synth --shards 2 --replicas 1`` builds —
+partial vs strict modes, deadline headers, and byte-identical failover.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import _build_synth_federation
+from repro.engine import Warehouse
+from repro.federation.chaos import inject_faults
+from repro.service import QueryService, ServiceConfig, ServiceServer
+from repro.synth import build_corpus
+
+ENZYME_QUERY = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+                'WHERE contains($a//catalytic_activity, "ketone") '
+                'RETURN $a//enzyme_id, $a//enzyme_description')
+
+SEED = 7
+
+
+def _request(url, payload=None, headers=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data,
+                                     headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), \
+                response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def _post_query(base, payload, headers=None):
+    return _request(base + "/query", payload=payload, headers=headers)
+
+
+@pytest.fixture
+def degraded_server():
+    """A live federated server (what ``serve --synth --shards 2
+    --replicas 1`` runs) plus chaos wrappers on every backend."""
+    engine = _build_synth_federation(SEED, 2, replicas=1)
+    wrappers = {}
+    for shard in engine.catalog.shard_names():
+        for backend in engine.catalog.backends_for(shard):
+            wrappers[backend] = inject_faults(
+                engine.catalog.warehouse(backend), name=backend)
+    server = ServiceServer(
+        QueryService(engine, config=ServiceConfig(port=0)))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, engine, wrappers
+    server.close()
+    thread.join(timeout=10)
+
+
+class TestDegradationContract:
+    def test_partial_then_strict_then_recovered(self, degraded_server):
+        server, engine, wrappers = degraded_server
+        base = server.url
+        # the synth layout puts hlx_enzyme whole on the first shard
+        shard = engine.catalog.shards_for("hlx_enzyme")[0]
+
+        status, headers, body = _post_query(
+            base, {"query": ENZYME_QUERY})
+        healthy = json.loads(body)
+        assert status == 200 and not healthy["partial"]
+        assert "X-Partial-Results" not in headers
+
+        for backend in engine.catalog.backends_for(shard):
+            wrappers[backend].force("error")   # primary AND replica die
+
+        status, headers, body = _post_query(
+            base, {"query": ENZYME_QUERY})
+        degraded = json.loads(body)
+        assert status == 200                   # partial is the default
+        assert degraded["partial"] is True
+        assert shard in degraded["missing_shards"]
+        assert headers["X-Partial-Results"] == "true"
+        assert degraded["row_count"] < healthy["row_count"] \
+            or degraded["row_count"] == 0
+
+        status, headers, body = _post_query(
+            base, {"query": ENZYME_QUERY, "mode": "strict"})
+        refused = json.loads(body)
+        assert status == 503                   # strict refuses partials
+        assert shard in refused["missing_shards"]
+        assert int(headers["Retry-After"]) >= 1
+
+        for backend in engine.catalog.backends_for(shard):
+            wrappers[backend].restore()
+
+        status, headers, body = _post_query(
+            base, {"query": ENZYME_QUERY, "mode": "strict"})
+        assert status == 200
+        assert json.loads(body)["rows"] == healthy["rows"]
+        assert "X-Partial-Results" not in headers
+
+    def test_unknown_mode_rejected(self, degraded_server):
+        server, __, ___ = degraded_server
+        status, __, body = _post_query(
+            server.url, {"query": ENZYME_QUERY, "mode": "optimistic"})
+        assert status == 400
+        assert b"unknown mode" in body
+
+    def test_deadline_header_validation(self, degraded_server):
+        server, __, ___ = degraded_server
+        base = server.url
+        status, __, body = _post_query(
+            base, {"query": ENZYME_QUERY},
+            headers={"X-Deadline-Ms": "soon"})
+        assert status == 400 and b"X-Deadline-Ms" in body
+        status, __, body = _post_query(
+            base, {"query": ENZYME_QUERY},
+            headers={"X-Deadline-Ms": "-100"})
+        assert status == 400 and b"positive" in body
+        status, __, ___ = _post_query(
+            base, {"query": ENZYME_QUERY},
+            headers={"X-Deadline-Ms": "5000"})
+        assert status == 200
+
+    def test_failover_is_byte_identical_over_http(self, degraded_server):
+        server, engine, wrappers = degraded_server
+        base = server.url
+        monolith = Warehouse(metrics=False)
+        try:
+            monolith.load_corpus(build_corpus(seed=SEED))
+            oracle = monolith.query(ENZYME_QUERY).to_xml().encode("utf-8")
+        finally:
+            monolith.close()
+        shard = engine.catalog.shards_for("hlx_enzyme")[0]
+        wrappers[shard].force("error")         # replica keeps covering
+        status, headers, body = _post_query(
+            base, {"query": ENZYME_QUERY, "format": "xml"})
+        assert status == 200
+        assert "X-Partial-Results" not in headers
+        assert body == oracle
+
+    def test_health_surfaces_breakers_and_replicas(self, degraded_server):
+        server, engine, wrappers = degraded_server
+        base = server.url
+        shard = engine.catalog.shards_for("hlx_enzyme")[0]
+        wrappers[shard].force("error")
+        for __ in range(3):                    # trip the breaker
+            assert _post_query(base, {"query": ENZYME_QUERY})[0] == 200
+        status, __, body = _request(base + "/health")
+        report = json.loads(body)
+        assert status == 200
+        federation = report["federation"]
+        assert federation["breakers"][shard]["state"] == "open"
+        assert f"{shard}#r0" in federation["replicas"][shard]

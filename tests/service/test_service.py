@@ -408,10 +408,17 @@ class TestFederatedService:
         assert hits
         assert all(hit["shard"] in ("s0", "s1") for hit in hits)
 
-    def test_document_fetch_requires_and_uses_shard(
+    def test_document_fetch_resolves_shard_automatically(
             self, federated_service):
-        assert federated_service.handle(
-            "GET", "/documents/1").status == 400
+        hit = federated_service.handle(
+            "GET", "/keyword?q=kinase").payload["results"][0]
+        response = federated_service.handle(
+            "GET", f"/documents/{hit['doc_id']}")
+        assert response.status == 200
+        assert response.encoded().startswith(b"<?xml")
+
+    def test_document_fetch_shard_override_and_miss(
+            self, federated_service):
         hit = federated_service.handle(
             "GET", "/keyword?q=kinase").payload["results"][0]
         response = federated_service.handle(
@@ -419,6 +426,8 @@ class TestFederatedService:
             f"/documents/{hit['doc_id']}?shard={hit['shard']}")
         assert response.status == 200
         assert response.encoded().startswith(b"<?xml")
+        assert federated_service.handle(
+            "GET", "/documents/999999").status == 404
 
     def test_harvest_rejected_400(self, federated_service):
         response = federated_service.handle(
