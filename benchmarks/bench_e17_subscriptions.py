@@ -1,0 +1,341 @@
+"""E17: standing-query subscriptions — incremental maintenance and
+push fan-out.
+
+Three claims, three phases:
+
+* **maintenance** — on a ≤1% harvest delta, incrementally maintaining
+  a standing query (``entry_key IN`` splice + tombstones) must be at
+  least 5x faster per refresh than re-running it in full (the smoke
+  corpus is too small for the asymptotics to fully show, so the gate
+  drops there), while staying *byte-identical* to a full-refresh
+  oracle's snapshot after every single event.
+* **fan-out** — one delta pushed to 100 → 1k → 10k subscribers of the
+  same query text: the manager must compile/refresh once (dedupe), and
+  every subscriber must receive every delta. Reports deliveries/sec.
+* **no-stall** — a subscriber that sleeps through every delivery,
+  registered under ``coalesce`` and under ``drop_oldest``, must not
+  slow the harvest loop: publish is non-blocking for those policies,
+  so the whole mutation+load loop must finish in well under the time
+  the slow consumers spend sleeping, and the fast subscriber alongside
+  them must still see every delta.
+
+Exit status 1 on any gate failure. The JSON artifact carries per-phase
+numbers — CI runs ``--smoke`` and uploads it.
+
+Usage::
+
+    python benchmarks/bench_e17_subscriptions.py [--smoke]
+        [--rounds 5] [--json artifact.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+QUERY = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+         'RETURN $a//enzyme_id, $a//enzyme_description')
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus, 100 subscribers, relaxed "
+                             "speedup gate (CI)")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="mutation rounds per phase (default 5)")
+    parser.add_argument("--enzyme", type=int, default=None,
+                        help="enzyme entries (default 600, smoke 120)")
+    parser.add_argument("--seed", type=int, default=41)
+    parser.add_argument("--json", help="write a JSON artifact here")
+    args = parser.parse_args(argv)
+    if args.enzyme is None:
+        args.enzyme = 120 if args.smoke else 600
+    args.subscriber_counts = [100] if args.smoke else [100, 1000, 10000]
+    args.min_speedup = 1.5 if args.smoke else 5.0
+    # ~1% of entries touched per round (the smoke corpus is small, so
+    # roll a higher per-entry fraction to avoid empty rounds)
+    args.delta_fraction = 0.02 if args.smoke else 0.005
+    return args
+
+
+def fresh_setup(args, metrics=False):
+    from repro.datahounds import InMemoryRepository
+    from repro.engine import Warehouse
+    from repro.obs import MetricsRegistry
+    from repro.synth import build_corpus
+    corpus = build_corpus(seed=args.seed, enzyme_count=args.enzyme,
+                          embl_count=10, sprot_count=10)
+    repository = InMemoryRepository()
+    corpus.publish_to(repository, "r1")
+    warehouse = Warehouse(metrics=MetricsRegistry() if metrics else False)
+    hound = warehouse.connect(repository)
+    return corpus, repository, warehouse, hound
+
+
+def mutation_rounds(args, corpus, repository, hound, collect):
+    """Publish ``rounds`` small-delta releases and load each; events
+    land in ``collect`` via the caller's trigger subscription."""
+    from repro.synth import mutate_release
+    for round_no in range(2, args.rounds + 2):
+        repository.publish(
+            "hlx_enzyme", f"r{round_no}",
+            mutate_release(corpus.enzyme_text, seed=round_no,
+                           update_fraction=args.delta_fraction,
+                           remove_fraction=args.delta_fraction))
+        hound.load("hlx_enzyme")
+    return collect
+
+
+def phase_maintenance(args) -> dict:
+    """Incremental vs full-refresh oracle: speed and exactness.
+
+    Both evaluations apply each event *at event time* (inside the
+    trigger callback, while the warehouse is in exactly the state the
+    event describes) — applying a stale event against a newer
+    warehouse is outside the incremental contract.
+    """
+    from repro.subscriptions import StandingEvaluation
+    corpus, repository, warehouse, hound = fresh_setup(args)
+    incremental = StandingEvaluation(warehouse, QUERY)
+    oracle = StandingEvaluation(warehouse, QUERY, incremental=False)
+    mismatches = 0
+    non_incremental = 0
+    delta_sizes = []
+    primed = []
+
+    def on_event(event):
+        nonlocal mismatches, non_incremental
+        if not primed:
+            incremental.refresh_full(event)
+            oracle.refresh_full(event)
+            primed.append(True)
+            return
+        inc_delta = incremental.apply(event)
+        oracle.apply(event)
+        delta_sizes.append(event.total_changes)
+        if incremental.canonical() != oracle.canonical():
+            mismatches += 1
+        if inc_delta.origin != "incremental":
+            non_incremental += 1   # the fast path must engage
+
+    hound.triggers.subscribe(on_event, "hlx_enzyme")
+    hound.load("hlx_enzyme")
+    inc_before = (incremental.incremental_seconds,
+                  incremental.incremental_refreshes)
+    full_before = (oracle.full_seconds, oracle.full_refreshes)
+    mutation_rounds(args, corpus, repository, hound, [])
+    warehouse.close()
+    inc_refreshes = incremental.incremental_refreshes - inc_before[1]
+    full_refreshes = oracle.full_refreshes - full_before[1]
+    inc_per = ((incremental.incremental_seconds - inc_before[0])
+               / max(1, inc_refreshes))
+    full_per = ((oracle.full_seconds - full_before[0])
+                / max(1, full_refreshes))
+    speedup = full_per / inc_per if inc_per > 0 else float("inf")
+    return {
+        "rows": incremental.total_rows,
+        "events": len(delta_sizes),
+        "non_incremental_refreshes": non_incremental,
+        "mean_delta_entries": (round(sum(delta_sizes) / len(delta_sizes), 1)
+                               if delta_sizes else 0),
+        "delta_fraction_pct": round(100.0 * sum(delta_sizes)
+                                    / max(1, len(delta_sizes))
+                                    / max(1, args.enzyme), 2),
+        "full_ms_per_refresh": round(full_per * 1e3, 3),
+        "incremental_ms_per_refresh": round(inc_per * 1e3, 3),
+        "speedup": round(speedup, 2),
+        "snapshot_mismatches": mismatches,
+    }
+
+
+def phase_fanout(args, subscribers: int) -> dict:
+    """One load, ``subscribers`` consumers of one query text."""
+    from repro.subscriptions import SubscriptionManager
+    corpus, repository, warehouse, hound = fresh_setup(args)
+    manager = SubscriptionManager(warehouse, workers=4, persist=False)
+    counts = [0] * subscribers
+
+    def sink(index):
+        def receive(delta):
+            counts[index] += 1
+        return receive
+
+    subscribe_start = time.perf_counter()
+    for index in range(subscribers):
+        manager.subscribe(QUERY, callback=sink(index), policy="coalesce")
+    subscribe_seconds = time.perf_counter() - subscribe_start
+    load_start = time.perf_counter()
+    hound.load("hlx_enzyme")
+    load_seconds = time.perf_counter() - load_start
+    flushed = manager.bus.flush(timeout=120.0)
+    drain_seconds = time.perf_counter() - load_start
+    evaluations = manager.evaluation_count
+    refreshes = manager.evaluation_for(QUERY).refreshes
+    delivered = sum(counts)
+    missing = sum(1 for count in counts if count != 1)
+    manager.close()
+    warehouse.close()
+    return {
+        "subscribers": subscribers,
+        "evaluations": evaluations,        # dedupe: must be 1
+        "refreshes": refreshes,            # prime + 1 load
+        "subscribe_seconds": round(subscribe_seconds, 3),
+        "load_seconds": round(load_seconds, 3),
+        "drain_seconds": round(drain_seconds, 3),
+        "deliveries": delivered,
+        "deliveries_per_second": (round(delivered / drain_seconds)
+                                  if drain_seconds > 0 else None),
+        "subscribers_missing_delta": missing,
+        "flushed": flushed,
+    }
+
+
+def phase_no_stall(args) -> dict:
+    """Slow consumers under coalesce/drop_oldest vs the harvest loop."""
+    from repro.subscriptions import SubscriptionManager
+    sleep_s = 0.5
+    # baseline: the same harvest loop with no subscribers at all
+    corpus, repository, warehouse, hound = fresh_setup(args)
+    baseline_start = time.perf_counter()
+    hound.load("hlx_enzyme")
+    mutation_rounds(args, corpus, repository, hound, [])
+    baseline_seconds = time.perf_counter() - baseline_start
+    warehouse.close()
+
+    corpus, repository, warehouse, hound = fresh_setup(args)
+    manager = SubscriptionManager(warehouse, workers=2, queue_max=2,
+                                  persist=False)
+    fast_deliveries = []
+    slow_calls = {"coalesce": 0, "drop_oldest": 0}
+
+    def slow(policy):
+        def receive(delta):
+            slow_calls[policy] += 1
+            time.sleep(sleep_s)
+        return receive
+
+    manager.subscribe(QUERY, callback=slow("coalesce"),
+                      policy="coalesce")
+    manager.subscribe(QUERY, callback=slow("drop_oldest"),
+                      policy="drop_oldest")
+    manager.subscribe(QUERY, callback=fast_deliveries.append,
+                      policy="block")
+    harvest_start = time.perf_counter()
+    hound.load("hlx_enzyme")
+    mutation_rounds(args, corpus, repository, hound, [])
+    harvest_seconds = time.perf_counter() - harvest_start
+    loads = args.rounds + 1
+    # if the publisher had waited on the sleeping consumers, the loop
+    # would cost at least one sleep per load per slow subscriber
+    # beyond the baseline; gate at half of a *single* slow
+    # subscriber's serialized cost on top of the measured baseline
+    stall_budget = baseline_seconds + loads * sleep_s * 0.5
+    manager.bus.flush(timeout=loads * sleep_s * 4 + 30.0)
+    bus_stats = manager.bus.stats()
+    manager.close()
+    warehouse.close()
+    changed_deltas = len(fast_deliveries)
+    return {
+        "loads": loads,
+        "slow_sleep_seconds": sleep_s,
+        "baseline_seconds": round(baseline_seconds, 3),
+        "harvest_seconds": round(harvest_seconds, 3),
+        "stall_budget_seconds": round(stall_budget, 3),
+        "fast_subscriber_deltas": changed_deltas,
+        "slow_deliveries": dict(slow_calls),
+        "coalesced": sum(queue["coalesced"]
+                         for queue in bus_stats.values()),
+        "dropped": sum(queue["dropped"] for queue in bus_stats.values()),
+    }
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    failures = []
+    report: dict = {"config": {
+        "smoke": args.smoke, "rounds": args.rounds,
+        "enzyme_entries": args.enzyme, "seed": args.seed,
+        "min_speedup": args.min_speedup,
+        "subscriber_counts": args.subscriber_counts,
+    }}
+
+    maintenance = phase_maintenance(args)
+    report["maintenance"] = maintenance
+    print(f"maintenance: {maintenance['events']} events of "
+          f"~{maintenance['mean_delta_entries']} entries "
+          f"({maintenance['delta_fraction_pct']}% of "
+          f"{args.enzyme}): full {maintenance['full_ms_per_refresh']}ms "
+          f"vs incremental "
+          f"{maintenance['incremental_ms_per_refresh']}ms per refresh "
+          f"= {maintenance['speedup']}x")
+    if maintenance["snapshot_mismatches"]:
+        failures.append(f"maintenance: {maintenance['snapshot_mismatches']}"
+                        " snapshot mismatches vs the full-refresh oracle")
+    if maintenance["non_incremental_refreshes"]:
+        failures.append(
+            f"maintenance: {maintenance['non_incremental_refreshes']} "
+            "refreshes fell back to the full path on a small delta")
+    if maintenance["events"] == 0:
+        failures.append("maintenance: no change events fired")
+    if maintenance["speedup"] < args.min_speedup:
+        failures.append(f"maintenance: speedup {maintenance['speedup']}x "
+                        f"is under the {args.min_speedup}x gate")
+
+    report["fanout"] = []
+    for subscribers in args.subscriber_counts:
+        fanout = phase_fanout(args, subscribers)
+        report["fanout"].append(fanout)
+        print(f"fanout: {subscribers} subscribers, "
+              f"{fanout['evaluations']} evaluation(s), "
+              f"{fanout['deliveries']} deliveries in "
+              f"{fanout['drain_seconds']}s "
+              f"({fanout['deliveries_per_second']}/s), "
+              f"{fanout['subscribers_missing_delta']} missing")
+        if not fanout["flushed"]:
+            failures.append(f"fanout[{subscribers}]: bus never drained")
+        if fanout["evaluations"] != 1:
+            failures.append(f"fanout[{subscribers}]: dedupe failed "
+                            f"({fanout['evaluations']} evaluations)")
+        if fanout["subscribers_missing_delta"]:
+            failures.append(
+                f"fanout[{subscribers}]: "
+                f"{fanout['subscribers_missing_delta']} subscribers "
+                "missed the delta")
+
+    no_stall = phase_no_stall(args)
+    report["no_stall"] = no_stall
+    print(f"no-stall: {no_stall['loads']} loads in "
+          f"{no_stall['harvest_seconds']}s with two consumers sleeping "
+          f"{no_stall['slow_sleep_seconds']}s per delivery "
+          f"(budget {no_stall['stall_budget_seconds']}s; "
+          f"coalesced={no_stall['coalesced']} "
+          f"dropped={no_stall['dropped']})")
+    if no_stall["harvest_seconds"] >= no_stall["stall_budget_seconds"]:
+        failures.append(
+            f"no-stall: harvest took {no_stall['harvest_seconds']}s, "
+            f"over the {no_stall['stall_budget_seconds']}s budget — "
+            "a slow subscriber stalled the load path")
+    if no_stall["fast_subscriber_deltas"] == 0:
+        failures.append("no-stall: the fast subscriber saw no deltas")
+
+    report["failures"] = failures
+    report["ok"] = not failures
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK: incremental refreshes are exact and fast, fan-out "
+              "is lossless, slow subscribers never stall the harvest")
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2))
+        print(f"artifact: {args.json}")
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

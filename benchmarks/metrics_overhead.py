@@ -14,7 +14,14 @@ already running, which is how the planes actually stack in service:
 * ``trace``:  metrics + ``enable_tracing()`` (per-request spans,
   per-statement SQL records, bounded span ring — the query service's
   always-on configuration) vs the metrics-only warehouse — the price
-  of tracing over the plane it requires.
+  of tracing over the plane it requires;
+* ``subscriptions``: one incremental standing-query refresh
+  (``StandingEvaluation.apply`` on a small delta — the subscription
+  engine's hot path, run once per harvest commit per standing query)
+  with the evaluation's own metric emission on vs off, both over a
+  metrics-instrumented warehouse — the subscription plane's increment
+  on top of the metrics plane it stacks on (the backend's
+  per-statement instrumentation is already priced by ``metrics``).
 
 Each increment must clear the threshold independently. The increments
 are gated separately rather than summed against the bare warehouse
@@ -88,25 +95,63 @@ def build_warehouse(metrics, trace=False):
     return warehouse
 
 
-def time_batch(warehouse, per_round: int) -> float:
+SUBSCRIPTION_QUERY = '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+RETURN $a//enzyme_id'''
+
+
+def build_subscription_arm(instrumented: bool):
+    """A primed standing evaluation plus a small synthetic delta event
+    over entries that exist — ``apply`` takes the incremental path and
+    lands back on the same snapshot every time, so batches are
+    steady-state. Both arms run over a metrics-instrumented warehouse;
+    ``instrumented`` toggles only the evaluation's own emission."""
+    from repro.datahounds.triggers import ChangeEvent
+    from repro.obs import MetricsRegistry
+    from repro.subscriptions import StandingEvaluation
+    warehouse = build_warehouse(metrics=MetricsRegistry())
+    evaluation = StandingEvaluation(warehouse, SUBSCRIPTION_QUERY)
+    if not instrumented:
+        evaluation._metrics = None
+    evaluation.refresh_full()
+    keys = [key for (key,) in warehouse.backend.execute(
+        "SELECT entry_key FROM documents WHERE source = 'hlx_enzyme' "
+        "ORDER BY entry_key LIMIT 5")]
+    event = ChangeEvent(source="hlx_enzyme", release="r2",
+                        updated=tuple(keys))
+    return warehouse, evaluation, event
+
+
+def time_batch(arm, per_round: int) -> float:
+    if isinstance(arm, tuple):           # subscriptions leg
+        __, evaluation, event = arm
+        start = process_time()
+        for __ in range(per_round):
+            evaluation.apply(event)
+        return process_time() - start
     start = process_time()
     for __ in range(per_round):
-        warehouse.query(FIG8)
+        arm.query(FIG8)
     return process_time() - start
 
 
 def measure(rounds: int, per_round: int,
-            trace: bool = False) -> tuple[float, float, float]:
+            leg: str = "metrics") -> tuple[float, float, float]:
     """One full measurement: (best_off, best_on, median paired ratio).
 
-    ``trace=False`` compares metrics-on against bare; ``trace=True``
-    compares metrics+tracing against metrics-on (tracing's increment
-    over the plane it stacks on). Builds fresh warehouses so a retry
-    also re-rolls allocation layout, not just scheduler luck."""
+    ``metrics`` compares metrics-on against bare; ``trace`` compares
+    metrics+tracing against metrics-on (tracing's increment over the
+    plane it stacks on); ``subscriptions`` compares one incremental
+    standing-query refresh with the evaluation's metric emission on
+    vs off over an instrumented warehouse. Builds fresh warehouses so
+    a retry also re-rolls allocation layout, not just scheduler
+    luck."""
     from repro.obs import MetricsRegistry
-    if trace:
+    if leg == "trace":
         off = build_warehouse(metrics=MetricsRegistry())
         on = build_warehouse(metrics=MetricsRegistry(), trace=True)
+    elif leg == "subscriptions":
+        off = build_subscription_arm(instrumented=False)
+        on = build_subscription_arm(instrumented=True)
     else:
         off = build_warehouse(metrics=False)
         on = build_warehouse(metrics=MetricsRegistry())
@@ -133,8 +178,8 @@ def measure(rounds: int, per_round: int,
     finally:
         if gc_was_enabled:
             gc.enable()
-    off.close()
-    on.close()
+    for arm in (off, on):
+        (arm[0] if isinstance(arm, tuple) else arm).close()
     ratios.sort()
     return best_off, best_on, ratios[len(ratios) // 2]
 
@@ -152,10 +197,10 @@ def main() -> int:
     args = parser.parse_args()
 
     failed = []
-    for label, trace in (("metrics", False), ("trace", True)):
+    for label in ("metrics", "trace", "subscriptions"):
         for attempt in range(args.attempts):
             best_off, best_on, median_ratio = measure(
-                args.rounds, args.per_round, trace=trace)
+                args.rounds, args.per_round, leg=label)
             floor_pct = (best_on / best_off - 1.0) * 100.0
             median_pct = (median_ratio - 1.0) * 100.0
             overhead = min(floor_pct, median_pct)

@@ -304,6 +304,32 @@ def build_parser() -> argparse.ArgumentParser:
                               help="output path "
                                    "(default: trace-<id>.json)")
 
+    subscribe = sub.add_parser(
+        "subscribe", help="register a standing query on a serve node "
+                          "and tail its deltas (talks HTTP to "
+                          "/subscriptions)")
+    subscribe.add_argument("query", nargs="?",
+                           help="FLWR query text (or use --file)")
+    subscribe.add_argument("--file", help="read the query from a file")
+    subscribe.add_argument("--url", default="http://127.0.0.1:8014",
+                           help="service base URL "
+                                "(default http://127.0.0.1:8014)")
+    subscribe.add_argument("--policy", default="coalesce",
+                           choices=("block", "drop_oldest", "coalesce"),
+                           help="backpressure policy for this "
+                                "subscriber's queue (default coalesce)")
+    subscribe.add_argument("--max-events", type=int, default=0,
+                           help="stop after this many deltas "
+                                "(default: tail until interrupted)")
+    subscribe.add_argument("--timeout", type=float, default=10.0,
+                           help="long-poll wait per request in seconds "
+                                "(default 10; the server clamps it)")
+    subscribe.add_argument("--keep", action="store_true",
+                           help="leave the subscription registered on "
+                                "exit instead of deleting it")
+    subscribe.add_argument("--json", action="store_true",
+                           help="print raw delta JSON, one per line")
+
     shard = sub.add_parser(
         "shard", help="manage a federation's shard-map registry file")
     shard_sub = shard.add_subparsers(dest="shard_command", required=True)
@@ -591,6 +617,9 @@ def _dispatch(args) -> int:
             print(f"{name:<12} root <{transformer.dtd.root}>  lines: {codes}")
         return 0
 
+    if args.command == "subscribe":
+        return _dispatch_subscribe(args)
+
     if args.command == "shard":
         return _dispatch_shard(args)
 
@@ -641,6 +670,90 @@ def _dispatch_serve(args) -> int:
     print("shutting down", flush=True)
     server.close()
     thread.join(timeout=10)
+    return 0
+
+
+def _dispatch_subscribe(args) -> int:
+    """``subscribe`` — register a standing query on a serve node and
+    tail its deltas over the long-poll API until interrupted."""
+    import json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import Request, urlopen
+
+    base = args.url.rstrip("/")
+    if args.file:
+        text = Path(args.file).read_text(encoding="utf-8")
+    elif args.query:
+        text = args.query
+    else:
+        print("error: give a query or --file", file=sys.stderr)
+        return 2
+
+    def call(method: str, path: str, body: dict | None = None) -> dict:
+        request = Request(
+            base + path, method=method,
+            data=(json.dumps(body).encode("utf-8")
+                  if body is not None else None),
+            headers={"Content-Type": "application/json"}
+            if body is not None else {})
+        try:
+            with urlopen(request, timeout=args.timeout + 5) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as exc:
+            try:
+                detail = json.loads(
+                    exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                detail = ""
+            raise ReproError(
+                f"{base}{path}: HTTP {exc.code}"
+                + (f" ({detail})" if detail else "")) from None
+        except (URLError, OSError) as exc:
+            raise ReproError(
+                f"cannot reach service at {base}: {exc}") from None
+
+    record = call("POST", "/subscriptions",
+                  {"query": text, "policy": args.policy,
+                   "persist": args.keep})
+    sub_id = record["id"]
+    print(f"subscribed {sub_id} (policy {args.policy}, "
+          f"sources {', '.join(record.get('sources', []) or ['?'])}); "
+          f"waiting for deltas — Ctrl-C to stop", flush=True)
+    cursor = 0
+    seen = 0
+    try:
+        while not args.max_events or seen < args.max_events:
+            page = call("GET", f"/subscriptions/{sub_id}/events"
+                               f"?after={cursor}&timeout={args.timeout}")
+            for event in page["events"]:
+                cursor = event["id"]
+                seen += 1
+                delta = event["delta"]
+                if args.json:
+                    print(json.dumps(delta, sort_keys=True), flush=True)
+                else:
+                    print(f"#{event['id']} {delta['source']} "
+                          f"{delta['release'] or '-'} "
+                          f"[{delta['origin']}] "
+                          f"+{len(delta['added'])} "
+                          f"-{len(delta['removed'])} "
+                          f"rows={delta['total_rows']}", flush=True)
+                if args.max_events and seen >= args.max_events:
+                    break
+            if page.get("lost_events"):
+                print(f"warning: channel overflowed, "
+                      f"{page['lost_events']} event(s) lost",
+                      file=sys.stderr, flush=True)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if not args.keep:
+            try:
+                call("DELETE", f"/subscriptions/{sub_id}")
+                print(f"unsubscribed {sub_id}", flush=True)
+            except ReproError as exc:
+                print(f"warning: could not unsubscribe: {exc}",
+                      file=sys.stderr)
     return 0
 
 

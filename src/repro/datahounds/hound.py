@@ -133,7 +133,8 @@ class DataHound:
                  registry: SourceRegistry | None = None,
                  validate: bool = True,
                  quarantine: bool = False,
-                 tracer=None, metrics=None, events=None):
+                 tracer=None, metrics=None, events=None,
+                 triggers: TriggerHub | None = None):
         self.repository = repository
         self.store = store
         self.registry = registry or SourceRegistry()
@@ -154,7 +155,12 @@ class DataHound:
         #: optional :class:`repro.obs.EventLog`; each load emits one
         #: ``hound.load`` event with the release and delta counts
         self.events = events
-        self.triggers = TriggerHub(metrics=metrics)
+        #: trigger dispatch; pass a shared :class:`TriggerHub` (the
+        #: warehouse owns one) so subscriptions outlive any single
+        #: hound — every hound harvesting into the same warehouse then
+        #: announces through the same hub
+        self.triggers = (triggers if triggers is not None
+                         else TriggerHub(metrics=metrics, events=events))
         self._snapshots: dict[str, ReleaseSnapshot] = {}
         self._transformers: dict[str, SourceTransformer] = {}
         # crash recovery: stores that persist release snapshots (the
@@ -279,7 +285,9 @@ class DataHound:
                             if k not in quarantined_set),
                 updated=tuple(k for k in plan.updated
                               if k not in quarantined_set),
-                removed=plan.removed)
+                removed=plan.removed,
+                trace_id=(load_span.trace_id
+                          if load_span is not None else ""))
             fired = self.triggers.fire(event)
         return LoadReport(source=source, release=fetched.release, plan=plan,
                           documents_loaded=loaded, triggers_fired=fired,

@@ -110,6 +110,13 @@ class Warehouse:
         self.registry = registry or SourceRegistry()
         self.sequence_tags = sequence_tags
         self.validate_sources = validate_sources
+        #: warehouse-lifetime trigger hub: every hound from
+        #: :meth:`connect` dispatches through it, so standing
+        #: subscriptions (``repro.subscriptions``) survive across
+        #: hound instances — one-shot ``harvest()`` calls included
+        from repro.datahounds.triggers import TriggerHub
+        self.triggers = TriggerHub(metrics=self._metrics_sink,
+                                   events=self.events)
         #: set by the federation catalog on shard warehouses so slow
         #: queries and spans can say *which* shard they ran on
         self.shard_name = ""
@@ -250,7 +257,8 @@ class Warehouse:
                          quarantine=quarantine,
                          tracer=self.tracer,
                          metrics=self._metrics_sink,
-                         events=self.events)
+                         events=self.events,
+                         triggers=self.triggers)
 
     def refresh(self, repository, source: str) -> LoadReport:
         """One-shot convenience: hound-load the latest release."""

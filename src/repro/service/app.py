@@ -109,6 +109,16 @@ class ServiceConfig:
     trace_sample: float = 1.0
     #: root spans at or over this duration are kept regardless
     trace_slow_ms: float = 500.0
+    #: standing-query subscriptions (False disables the endpoints)
+    subscriptions: bool = True
+    #: delivery-bus worker threads / per-subscriber queue bound
+    subscription_workers: int = 2
+    subscription_queue_max: int = 64
+    #: per-subscription event ring (Last-Event-Id resume window)
+    subscription_channel_capacity: int = 256
+    #: hard cap on one long-poll / SSE wait (seconds); a held request
+    #: occupies an admission slot, so the cap bounds slot occupancy
+    subscription_poll_max_s: float = 30.0
 
 
 @dataclass
@@ -120,6 +130,9 @@ class Response:
     body: bytes | None = None         # pre-encoded (XML, Prometheus)
     content_type: str = JSON_CONTENT_TYPE
     headers: dict = field(default_factory=dict)
+    #: when set, the HTTP layer streams these byte chunks instead of a
+    #: fixed body (SSE); the connection closes when the iterator ends
+    stream: object = None
 
     def encoded(self) -> bytes:
         """The wire body."""
@@ -174,6 +187,17 @@ class QueryService:
         #: one harvest at a time — concurrent mirror pulls into one
         #: warehouse would interleave release snapshots
         self._harvest_lock = threading.Lock()
+        #: standing-query push (warehouse engines only: a federation
+        #: has no trigger hub — subscribe per shard instead)
+        self.subscriptions = None
+        if self.config.subscriptions and not self.federated \
+                and isinstance(engine, Warehouse):
+            from repro.subscriptions import SubscriptionManager
+            self.subscriptions = SubscriptionManager(
+                engine,
+                workers=self.config.subscription_workers,
+                queue_max=self.config.subscription_queue_max,
+                channel_capacity=self.config.subscription_channel_capacity)
 
     # -- request entry ------------------------------------------------------
 
@@ -263,6 +287,8 @@ class QueryService:
 
     def close(self) -> None:
         """Release the engine (the server owns it in CLI mode)."""
+        if self.subscriptions is not None:
+            self.subscriptions.close()
         self.engine.close()
 
     # -- routing ------------------------------------------------------------
@@ -273,6 +299,8 @@ class QueryService:
             return "documents", path[len("/documents/"):]
         if path == "/traces" or path.startswith("/traces/"):
             return "traces", path[len("/traces/"):]
+        if path == "/subscriptions" or path.startswith("/subscriptions/"):
+            return "subscriptions", path[len("/subscriptions/"):]
         name = path.lstrip("/")
         if name in ("query", "keyword", "health", "metrics", "stats",
                     "harvest"):
@@ -283,6 +311,11 @@ class QueryService:
                   params: dict, body: bytes, headers) -> Response:
         if endpoint == "unknown":
             return _error(404, "no such resource")
+        if endpoint == "subscriptions":
+            if len(body) > self.config.max_body_bytes:
+                return _error(413, "request body too large")
+            return self._subscriptions(tail, method, params, body,
+                                       headers)
         expected = "POST" if endpoint in ("query", "harvest") else "GET"
         if method != expected:
             return Response(405, {"error": f"{endpoint} expects "
@@ -520,6 +553,163 @@ class QueryService:
         }
         return Response(200 if report.ok else 502, payload)
 
+    # -- subscriptions ------------------------------------------------------
+
+    def _subscriptions(self, tail: str, method: str, params: dict,
+                       body: bytes, headers) -> Response:
+        """The push surface (docs/subscriptions.md):
+
+        * ``POST /subscriptions``               create (FLWR body)
+        * ``GET  /subscriptions``               list registrations
+        * ``GET  /subscriptions/{id}/events``   long-poll or SSE tail
+        * ``DELETE /subscriptions/{id}``        cancel
+
+        All of it is admission-gated like any other work endpoint; a
+        long-poll/SSE wait holds its admission slot, so waits are
+        clamped to ``subscription_poll_max_s``.
+        """
+        if self.subscriptions is None:
+            return _error(404, "subscriptions are disabled on this "
+                               "node (federated engine or "
+                               "subscriptions=False)")
+        if not tail:
+            if method == "POST":
+                return self._subscription_create(_json_body(body))
+            if method == "GET":
+                return Response(200, {
+                    "count": len(self.subscriptions.subscriptions()),
+                    "subscriptions": [
+                        sub.as_record() for sub
+                        in self.subscriptions.subscriptions()],
+                })
+            return Response(405, {"error": "subscriptions expects "
+                                           "POST or GET"},
+                            headers={"Allow": "POST, GET"})
+        if tail.endswith("/events"):
+            sub_id = tail[:-len("/events")]
+            if method != "GET":
+                return Response(405, {"error": "events expects GET"},
+                                headers={"Allow": "GET"})
+            return self._subscription_events(sub_id, params, headers)
+        if "/" in tail:
+            return _error(404, "subscription paths are "
+                               "/subscriptions/{id} and "
+                               "/subscriptions/{id}/events")
+        if method == "DELETE":
+            if not self.subscriptions.unsubscribe(tail):
+                return _error(404, f"no subscription {tail}")
+            return Response(200, {"id": tail, "cancelled": True})
+        if method == "GET":
+            subscription = self.subscriptions.get(tail)
+            if subscription is None:
+                return _error(404, f"no subscription {tail}")
+            return Response(200, subscription.as_record())
+        return Response(405, {"error": "subscription expects GET or "
+                                       "DELETE"},
+                        headers={"Allow": "GET, DELETE"})
+
+    def _subscription_create(self, request: dict) -> Response:
+        text = request.get("query")
+        if not isinstance(text, str) or not text.strip():
+            return _error(400, 'body must carry a "query" string')
+        policy = request.get("policy", "coalesce")
+        from repro.subscriptions import POLICIES
+        if policy not in POLICIES:
+            return _error(400, f"unknown policy {policy!r} (expected "
+                               f"one of {', '.join(POLICIES)})")
+        persist = bool(request.get("persist", True))
+        subscription = self.subscriptions.subscribe(
+            text, policy=policy, persist=persist)
+        if self._metrics_sink is not None:
+            self._metrics_sink.inc("service.subscriptions_created")
+        self.events.emit("service.subscription_created",
+                         sub_id=subscription.id, policy=policy)
+        return Response(201, subscription.as_record())
+
+    def _subscription_events(self, sub_id: str, params: dict,
+                             headers) -> Response:
+        subscription = self.subscriptions.get(sub_id)
+        if subscription is None:
+            return _error(404, f"no subscription {sub_id}")
+        channel = subscription.channel
+        if channel is None:
+            return _error(400, f"subscription {sub_id} delivers to an "
+                               f"in-process callback, not a channel")
+        after = 0
+        raw_after = params.get("after") \
+            or (headers or {}).get("Last-Event-Id")
+        if raw_after:
+            try:
+                after = int(raw_after)
+            except ValueError:
+                return _error(400, "Last-Event-Id / ?after= must be an "
+                                   "integer event id")
+        try:
+            timeout = float(params.get("timeout", 0.0))
+            limit = int(params.get("limit", 100))
+        except ValueError:
+            return _error(400, '"timeout" and "limit" must be numbers')
+        timeout = max(0.0, min(timeout,
+                               self.config.subscription_poll_max_s))
+        if params.get("stream") == "sse":
+            return self._subscription_sse(sub_id, channel, after, params)
+        events, last_id = channel.poll(after=after, timeout=timeout,
+                                       limit=limit)
+        return Response(200, {
+            "id": sub_id,
+            "events": [{"id": event_id, "delta": payload}
+                       for event_id, payload in events],
+            "next": last_id,
+            "lost_events": channel.lost,
+        })
+
+    def _subscription_sse(self, sub_id: str, channel, after: int,
+                          params: dict) -> Response:
+        """``text/event-stream`` tail: numbered ``id:``/``data:``
+        frames, comment heartbeats while idle, bounded by
+        ``max_events``/``max_seconds`` (and always by the poll cap per
+        wait) so a stream cannot hold its slot forever."""
+        from repro.subscriptions import payload_json
+        try:
+            max_events = int(params.get("max_events", 0))
+            max_seconds = float(params.get(
+                "max_seconds", self.config.subscription_poll_max_s))
+        except ValueError:
+            return _error(400, '"max_events" and "max_seconds" must be '
+                               'numbers')
+        max_seconds = max(0.1, min(max_seconds,
+                                   self.config.subscription_poll_max_s))
+
+        def frames():
+            yield b"retry: 1000\n\n"
+            cursor = after
+            sent = 0
+            deadline = time.perf_counter() + max_seconds
+            while time.perf_counter() < deadline:
+                wait = min(1.0, max(0.0,
+                                    deadline - time.perf_counter()))
+                events, last_id = channel.poll(after=cursor,
+                                               timeout=wait, limit=100)
+                if not events:
+                    yield b": keep-alive\n\n"
+                    continue
+                for event_id, payload in events:
+                    cursor = event_id
+                    sent += 1
+                    data = payload_json(payload)
+                    yield (f"id: {event_id}\n"
+                           f"data: {data}\n\n").encode("utf-8")
+                    if max_events and sent >= max_events:
+                        return
+            # explicit end-of-window marker so tails distinguish a
+            # server-closed window from a dead connection
+            yield b"event: end\ndata: {}\n\n"
+
+        return Response(200, stream=frames(),
+                        content_type="text/event-stream; charset=utf-8",
+                        headers={"Cache-Control": "no-store",
+                                 "X-Subscription-Id": sub_id})
+
     # -- observability ------------------------------------------------------
 
     def _reject(self, status: int, message: str, reason: str,
@@ -606,19 +796,47 @@ class _Handler(BaseHTTPRequestHandler):
             length = 0
         self._respond(self.rfile.read(length) if length > 0 else b"")
 
+    def do_DELETE(self) -> None:       # noqa: N802 - stdlib contract
+        self._respond(b"")
+
     def _respond(self, body: bytes) -> None:
         service: QueryService = self.server.service
         response = service.handle(
             self.command, self.path, body=body,
             client=self.client_address[0], headers=self.headers)
+        if response.stream is not None:
+            self._stream(response)
+            return
         encoded = response.encoded()
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(encoded)))
+            for name, value in response.headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(encoded)
+        except (BrokenPipeError, ConnectionResetError):
+            # the client gave up while we were answering — routine for
+            # long-poll subscribers; the work is done, drop the reply
+            self.close_connection = True
+
+    def _stream(self, response: Response) -> None:
+        """Unframed streaming (SSE): no Content-Length, connection
+        closes when the iterator ends or the client hangs up."""
+        self.close_connection = True
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
-        self.send_header("Content-Length", str(len(encoded)))
+        self.send_header("Connection", "close")
         for name, value in response.headers.items():
             self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(encoded)
+        try:
+            for chunk in response.stream:
+                self.wfile.write(chunk)
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass   # client went away mid-stream; nothing to clean up
 
     def log_message(self, format: str, *args) -> None:
         """Silenced — requests land in the structured event log."""

@@ -69,6 +69,33 @@ _SNAPSHOT_DDL = ("CREATE TABLE hound_snapshots ("
                  "release_id TEXT NOT NULL, "
                  "fingerprints TEXT NOT NULL)")
 
+#: ids per IN-list statement — small enough for every backend's
+#: parameter limit, large enough to amortize statement overhead
+_IN_CHUNK = 200
+
+
+def execute_in_chunks(backend, template: str, values,
+                      params: tuple = (), chunk: int = _IN_CHUNK) -> list:
+    """Run one parameterized IN-list statement per chunk of ``values``.
+
+    ``template`` carries a ``{placeholders}`` slot that each execution
+    fills with the chunk's ``?`` markers; ``params`` are prefix
+    parameters bound before the chunk (e.g. a ``source = ?`` filter).
+    Returns the concatenated rows of every chunk. This is the one
+    IN-list idiom in the codebase — the bulk loader's upsert-delete
+    and the subscription engine's entry-key lookups both go through
+    it, so id lists never end up interpolated into SQL text.
+    """
+    values = list(values)
+    rows: list = []
+    for start in range(0, len(values), chunk):
+        part = values[start:start + chunk]
+        placeholders = ", ".join("?" for __ in part)
+        rows.extend(backend.execute(
+            template.format(placeholders=placeholders),
+            (*params, *part)))
+    return rows
+
 
 class WarehouseLoader:
     """Shreds documents and maintains them in one backend."""
@@ -551,20 +578,16 @@ class BulkLoadSession:
             by_source.setdefault(source, []).append(entry_key)
         doomed: list[int] = []
         for source, entry_keys in by_source.items():
-            for start in range(0, len(entry_keys), self._SQL_CHUNK):
-                chunk = entry_keys[start:start + self._SQL_CHUNK]
-                placeholders = ", ".join("?" for __ in chunk)
-                rows = backend.execute(
-                    f"SELECT doc_id FROM documents WHERE source = ? "
-                    f"AND entry_key IN ({placeholders})",
-                    (source, *chunk))
-                doomed.extend(row[0] for row in rows)
+            rows = execute_in_chunks(
+                backend,
+                "SELECT doc_id FROM documents WHERE source = ? "
+                "AND entry_key IN ({placeholders})",
+                entry_keys, params=(source,), chunk=self._SQL_CHUNK)
+            doomed.extend(row[0] for row in rows)
         if not doomed:
             return
         for table in TABLE_NAMES:
-            for start in range(0, len(doomed), self._SQL_CHUNK):
-                chunk = doomed[start:start + self._SQL_CHUNK]
-                placeholders = ", ".join("?" for __ in chunk)
-                backend.execute(
-                    f"DELETE FROM {table} WHERE doc_id IN ({placeholders})",
-                    tuple(chunk))
+            execute_in_chunks(
+                backend,
+                f"DELETE FROM {table} WHERE doc_id IN ({{placeholders}})",
+                doomed, chunk=self._SQL_CHUNK)

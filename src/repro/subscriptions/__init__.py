@@ -1,0 +1,61 @@
+"""Delta-driven standing queries with push fan-out.
+
+The paper's "living with genomes" claim rests on incremental updates
+with change triggers to subscribed applications. This package is that
+subsystem (docs/subscriptions.md):
+
+* :mod:`~repro.subscriptions.delta` — durable row identity + exact
+  delta algebra (mergeable :class:`KeyedDelta`),
+* :mod:`~repro.subscriptions.ivm` — incremental view maintenance: one
+  :class:`StandingEvaluation` per unique query text, refreshed
+  proportionally to the harvest delta via an ``entry_key IN (...)``
+  AST splice, with a full-refresh fallback where incrementality would
+  be wrong or slower,
+* :mod:`~repro.subscriptions.bus` — the :class:`DeliveryBus`, bounded
+  per-subscriber queues on a worker pool with ``block`` /
+  ``drop_oldest`` / ``coalesce`` backpressure policies,
+* :mod:`~repro.subscriptions.manager` — the
+  :class:`SubscriptionManager` registry: dedupe, persistence across
+  restarts, trigger routing, and :class:`SubscriberChannel` rings for
+  the HTTP long-poll/SSE consumers,
+* :mod:`~repro.subscriptions.standing` — the embedded
+  :class:`QuerySubscription` (one query, one synchronous callback).
+"""
+
+from repro.subscriptions.bus import POLICIES, DeliveryBus
+from repro.subscriptions.delta import (
+    KeyedDelta,
+    ResultDelta,
+    canonical_rows,
+    row_key,
+)
+from repro.subscriptions.ivm import (
+    DEFAULT_MAX_DELTA_KEYS,
+    StandingEvaluation,
+    sources_of,
+)
+from repro.subscriptions.manager import (
+    SubscriberChannel,
+    Subscription,
+    SubscriptionManager,
+    payload_json,
+)
+from repro.subscriptions.standing import DeltaCallback, QuerySubscription
+
+__all__ = [
+    "DEFAULT_MAX_DELTA_KEYS",
+    "DeliveryBus",
+    "DeltaCallback",
+    "KeyedDelta",
+    "POLICIES",
+    "QuerySubscription",
+    "ResultDelta",
+    "StandingEvaluation",
+    "SubscriberChannel",
+    "Subscription",
+    "SubscriptionManager",
+    "canonical_rows",
+    "payload_json",
+    "row_key",
+    "sources_of",
+]

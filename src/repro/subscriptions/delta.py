@@ -1,0 +1,177 @@
+"""Row identity and delta algebra for standing queries.
+
+A standing query's result is a *set of rows*; a delta is the exact
+difference between two snapshots of that set. Everything here is keyed
+on durable row identity — the ``(source, entry_key)`` behind each
+binding plus the returned values — never on ``doc_id``, which changes
+whenever a refresh re-shreds an entry.
+
+Two delta shapes live here:
+
+* :class:`ResultDelta` — the application-facing delta
+  :class:`~repro.subscriptions.standing.QuerySubscription` hands to its
+  callback (plain added/removed :class:`ResultRow` lists).
+* :class:`KeyedDelta` — the engine-internal delta that additionally
+  carries each row's canonical key, which is what makes exact
+  coalescing possible on the delivery bus: two consecutive deltas
+  merge with cancellation (a row added then removed nets out) because
+  keys, not object identities, are compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datahounds.triggers import ChangeEvent
+from repro.results.resultset import ResultRow
+
+#: refresh strategies a delta can originate from
+ORIGIN_FULL = "full"
+ORIGIN_INCREMENTAL = "incremental"
+ORIGIN_COALESCED = "coalesced"
+
+
+def row_key(row: ResultRow, entry_keys: dict[int, tuple]) -> tuple:
+    """Canonical identity of a result row.
+
+    Bindings are identified by the *entry* behind them — the durable
+    ``(source, entry_key)`` — not by ``doc_id``, which changes whenever
+    a refresh re-shreds the entry. Otherwise every content update
+    reports the row as removed-and-re-added even when the watched
+    values did not change.
+    """
+    bindings = tuple(sorted(
+        (var,) + entry_keys.get(node.doc_id, (str(node.doc_id),))
+        for var, node in row.bindings.items()))
+    values = tuple(sorted(
+        (column, tuple(values)) for column, values in row.values.items()))
+    return bindings, values
+
+
+def key_touches(key: tuple, source: str, touched: frozenset[str]) -> bool:
+    """True when any binding of ``key`` points at a touched entry of
+    ``source`` — the tombstone test for incremental maintenance."""
+    for entry in key[0]:
+        # (var, source, entry_key) normally; (var, doc_id) when the
+        # document vanished before its key could be resolved — those
+        # rows are conservatively treated as untouchable here and
+        # cleaned up by the next full refresh
+        if len(entry) == 3 and entry[1] == source and entry[2] in touched:
+            return True
+    return False
+
+
+@dataclass
+class ResultDelta:
+    """What changed in a standing query's result after one warehouse
+    commit."""
+
+    event: ChangeEvent | None
+    added: list[ResultRow] = field(default_factory=list)
+    removed: list[ResultRow] = field(default_factory=list)
+    total_rows: int = 0
+
+    @property
+    def changed(self) -> bool:
+        """True when any row was added or removed."""
+        return bool(self.added or self.removed)
+
+    def __str__(self) -> str:
+        origin = str(self.event) if self.event else "initial"
+        return (f"[{origin}] +{len(self.added)} -{len(self.removed)} "
+                f"rows (now {self.total_rows})")
+
+
+@dataclass
+class KeyedDelta:
+    """A delta whose rows carry their canonical keys.
+
+    ``added``/``removed`` are ``(key, row)`` pairs; within one delta a
+    key appears at most once across both lists (it is a set
+    difference). The bus merges consecutive deltas via :meth:`merge`.
+    """
+
+    source: str
+    release: str
+    origin: str                      # full | incremental | coalesced
+    added: list[tuple[tuple, ResultRow]] = field(default_factory=list)
+    removed: list[tuple[tuple, ResultRow]] = field(default_factory=list)
+    total_rows: int = 0
+    trace_id: str = ""
+    #: number of raw deltas folded into this one (1 = not coalesced)
+    folded: int = 1
+
+    @property
+    def changed(self) -> bool:
+        """True when any row was added or removed."""
+        return bool(self.added or self.removed)
+
+    def merge(self, newer: "KeyedDelta") -> "KeyedDelta":
+        """The delta equivalent of applying ``self`` then ``newer``.
+
+        Exact snapshot algebra: with ``self`` = S1 − S0 and ``newer`` =
+        S2 − S1, the merge is S2 − S0. A key added by one delta and
+        removed by the other cancels out entirely (row identity
+        includes the returned values, so a changed row is a different
+        key and never falsely cancels).
+        """
+        added_old = dict(self.added)
+        removed_old = dict(self.removed)
+        added_new = dict(newer.added)
+        removed_new = dict(newer.removed)
+        added = [(key, r) for key, r in self.added
+                 if key not in removed_new]
+        added += [(key, r) for key, r in newer.added
+                  if key not in removed_old]
+        removed = [(key, r) for key, r in self.removed
+                   if key not in added_new]
+        removed += [(key, r) for key, r in newer.removed
+                    if key not in added_old]
+        return KeyedDelta(
+            source=newer.source, release=newer.release,
+            origin=ORIGIN_COALESCED, added=added, removed=removed,
+            total_rows=newer.total_rows,
+            trace_id=newer.trace_id or self.trace_id,
+            folded=self.folded + newer.folded)
+
+    def to_result_delta(self, event: ChangeEvent | None) -> ResultDelta:
+        """The application-facing shape (rows without keys)."""
+        return ResultDelta(event=event,
+                           added=[row for __, row in self.added],
+                           removed=[row for __, row in self.removed],
+                           total_rows=self.total_rows)
+
+    def to_payload(self) -> dict:
+        """JSON-able wire form (the service's event stream)."""
+        return {
+            "source": self.source,
+            "release": self.release,
+            "origin": self.origin,
+            "coalesced": self.folded,
+            "total_rows": self.total_rows,
+            "added": [_entry_payload(key, row) for key, row in self.added],
+            "removed": [_entry_payload(key, row)
+                        for key, row in self.removed],
+        }
+
+    def __str__(self) -> str:
+        return (f"[{self.source}@{self.release} {self.origin}] "
+                f"+{len(self.added)} -{len(self.removed)} "
+                f"rows (now {self.total_rows})")
+
+
+def _entry_payload(key: tuple, row: ResultRow) -> dict:
+    return {
+        "key": [list(part) for part in key[0]],
+        "values": {column: list(values)
+                   for column, values in row.values.items()},
+    }
+
+
+def canonical_rows(snapshot: dict[tuple, ResultRow]) -> list:
+    """A snapshot as a deterministic, JSON-able structure — the basis
+    for the incremental-vs-oracle equivalence checks (doc_ids differ
+    between the two evaluation paths; keys and values may not)."""
+    return [[[list(part) for part in key[0]],
+             [[column, list(values)] for column, values in key[1]]]
+            for key in sorted(snapshot)]

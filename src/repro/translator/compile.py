@@ -328,7 +328,22 @@ class _Compiler:
         """IN-list membership over the target's text values — the
         planner-injected semi-join fragment. Existential like an
         equality join: joins ``text_values``/``attributes`` and asks
-        the value column to hit the parameterized list."""
+        the value column to hit the parameterized list.
+
+        The ``on_entry_key`` form instead restricts the target's
+        *document* to a set of entry keys (the subscription engine's
+        incremental-refresh splice): it joins ``documents`` on the
+        binding's doc_id and asks ``entry_key`` to hit the list."""
+        if atom.on_entry_key:
+            if atom.target.path is not None:
+                raise TranslationError(
+                    "entry-key membership applies to a bound variable, "
+                    "not a path inside it")
+            ref = ref_for(atom.target.var)
+            doc = builder.add_table("documents", "d")
+            builder.where(f"{doc}.doc_id = {ref.doc_id}")
+            builder.where_in(f"{doc}.entry_key", atom.values)
+            return
         value = chains.value_of(ref_for(atom.target.var), atom.target.path)
         builder.where_in(value.text, atom.values)
 

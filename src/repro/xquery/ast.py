@@ -148,9 +148,18 @@ class ValueIn(Condition):
 
     target: VarPath
     values: tuple[str, ...]
+    #: when set, membership is tested against the *entry key* of the
+    #: target variable's document rather than its text values — the
+    #: subscription engine's delta restriction (re-evaluate a standing
+    #: query only for the entries one harvest touched). ``target.path``
+    #: must be None in this form: entry keys belong to the bound
+    #: document, not to a path inside it.
+    on_entry_key: bool = False
 
     def __str__(self) -> str:
         inner = ", ".join(f'"{value}"' for value in self.values)
+        if self.on_entry_key:
+            return f"entry-key({self.target}) IN ({inner})"
         return f"{self.target} IN ({inner})"
 
 

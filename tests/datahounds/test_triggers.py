@@ -85,3 +85,51 @@ class TestChangeEvent:
     def test_str_summary(self):
         text = str(event(added=("a",), updated=("b",)))
         assert "+1" in text and "~1" in text and "-0" in text
+
+
+class TestDeliveryIsolation:
+    def test_raising_callback_does_not_starve_neighbours(self):
+        hub = TriggerHub()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("subscriber bug")
+
+        hub.subscribe(broken, "hlx_enzyme")
+        hub.subscribe(seen.append, "hlx_enzyme")
+        fired = hub.fire(event())
+        assert fired == 2
+        assert len(seen) == 1            # the healthy neighbour ran
+
+    def test_deliveries_counts_only_successes(self):
+        hub = TriggerHub()
+        hub.subscribe(lambda e: (_ for _ in ()).throw(ValueError("x")),
+                      "hlx_enzyme")
+        hub.subscribe(lambda e: None, "hlx_enzyme")
+        hub.fire(event())
+        assert hub.deliveries == 1
+        assert hub.failed_deliveries == 1
+
+    def test_failure_feeds_metrics_and_events(self):
+        from repro.obs import EventLog, MetricsRegistry
+        registry = MetricsRegistry()
+        log = EventLog()
+        hub = TriggerHub(metrics=registry, events=log)
+        hub.subscribe(lambda e: (_ for _ in ()).throw(ValueError("boom")),
+                      "hlx_enzyme")
+        hub.fire(event())
+        assert registry.get_counter("triggers.delivery_failed",
+                                    source="hlx_enzyme") == 1
+        failures = log.events("triggers.delivery_failed")
+        assert len(failures) == 1
+        assert failures[0].severity == "error"
+        assert failures[0].fields["error_type"] == "ValueError"
+
+    def test_latency_not_recorded_for_failures(self):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        hub = TriggerHub(metrics=registry)
+        hub.subscribe(lambda e: (_ for _ in ()).throw(ValueError("x")),
+                      "hlx_enzyme")
+        hub.fire(event())
+        assert registry.histogram("triggers.delivery_seconds").count == 0

@@ -1,0 +1,232 @@
+"""The /subscriptions push surface — create/list/delete, long-poll
+with cursor resume, SSE streaming, and the disabled/federated 404."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.datahounds import InMemoryRepository
+from repro.engine import Warehouse
+from repro.obs import MetricsRegistry
+from repro.service import (
+    QueryService,
+    ServiceConfig,
+    ServiceServer,
+)
+from repro.synth import build_corpus, mutate_release
+
+QUERY = ('FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme '
+         'RETURN $a//enzyme_id')
+
+
+@pytest.fixture
+def setup():
+    corpus = build_corpus(seed=37, enzyme_count=12, embl_count=4,
+                          sprot_count=4)
+    repository = InMemoryRepository()
+    corpus.publish_to(repository, "r1")
+    warehouse = Warehouse(metrics=MetricsRegistry())
+    hound = warehouse.connect(repository)
+    service = QueryService(warehouse, config=ServiceConfig())
+    yield corpus, repository, hound, service
+    service.close()
+
+
+def create(service, query=QUERY, **extra):
+    body = json.dumps({"query": query, **extra}).encode()
+    return service.handle("POST", "/subscriptions", body=body)
+
+
+class TestRegistration:
+    def test_create_returns_record(self, setup):
+        *__, service = setup
+        response = create(service, policy="coalesce")
+        assert response.status == 201
+        record = response.payload
+        assert record["id"] and record["policy"] == "coalesce"
+        assert record["mode"] == "channel"
+        assert record["sources"] == ["hlx_enzyme"]
+
+    def test_list_and_get(self, setup):
+        *__, service = setup
+        sub_id = create(service).payload["id"]
+        listing = service.handle("GET", "/subscriptions")
+        assert listing.status == 200
+        assert listing.payload["count"] == 1
+        assert listing.payload["subscriptions"][0]["id"] == sub_id
+        one = service.handle("GET", f"/subscriptions/{sub_id}")
+        assert one.status == 200 and one.payload["id"] == sub_id
+
+    def test_delete(self, setup):
+        *__, service = setup
+        sub_id = create(service).payload["id"]
+        assert service.handle("DELETE",
+                              f"/subscriptions/{sub_id}").status == 200
+        assert service.handle("DELETE",
+                              f"/subscriptions/{sub_id}").status == 404
+        assert service.handle("GET", "/subscriptions").payload["count"] == 0
+
+    def test_missing_query_400(self, setup):
+        *__, service = setup
+        response = service.handle("POST", "/subscriptions",
+                                  body=json.dumps({"policy": "block"})
+                                  .encode())
+        assert response.status == 400
+
+    def test_bad_policy_400(self, setup):
+        *__, service = setup
+        assert create(service, policy="bogus").status == 400
+
+    def test_bad_query_400(self, setup):
+        *__, service = setup
+        assert create(service, query="NOT FLWR").status == 400
+
+    def test_method_mismatch_405(self, setup):
+        *__, service = setup
+        sub_id = create(service).payload["id"]
+        assert service.handle("DELETE", "/subscriptions").status == 405
+        assert service.handle("POST",
+                              f"/subscriptions/{sub_id}").status == 405
+        assert service.handle(
+            "POST", f"/subscriptions/{sub_id}/events").status == 405
+
+    def test_disabled_404(self):
+        warehouse = Warehouse(metrics=MetricsRegistry())
+        service = QueryService(
+            warehouse, config=ServiceConfig(subscriptions=False))
+        try:
+            assert service.handle("GET", "/subscriptions").status == 404
+        finally:
+            service.close()
+
+
+class TestEvents:
+    def test_long_poll_delivers_delta(self, setup):
+        __, __, hound, service = setup
+        sub_id = create(service).payload["id"]
+        hound.load("hlx_enzyme")
+        response = service.handle(
+            "GET", f"/subscriptions/{sub_id}/events?timeout=5")
+        assert response.status == 200
+        page = response.payload
+        assert page["next"] == 1 and len(page["events"]) == 1
+        delta = page["events"][0]["delta"]
+        assert delta["origin"] == "full" and delta["added"]
+
+    def test_cursor_resume_via_param_and_header(self, setup):
+        corpus, repository, hound, service = setup
+        sub_id = create(service).payload["id"]
+        hound.load("hlx_enzyme")
+        first = service.handle(
+            "GET", f"/subscriptions/{sub_id}/events?timeout=5").payload
+        cursor = first["next"]
+        empty = service.handle(
+            "GET", f"/subscriptions/{sub_id}/events?after={cursor}")
+        assert empty.payload["events"] == []
+        repository.publish("hlx_enzyme", "r2",
+                           mutate_release(corpus.enzyme_text, seed=2,
+                                          update_fraction=0.0,
+                                          remove_fraction=0.4))
+        hound.load("hlx_enzyme")
+        via_header = service.handle(
+            "GET", f"/subscriptions/{sub_id}/events?timeout=5",
+            headers={"Last-Event-Id": str(cursor)})
+        assert len(via_header.payload["events"]) == 1
+        assert via_header.payload["events"][0]["delta"]["removed"]
+
+    def test_bad_cursor_400(self, setup):
+        *__, service = setup
+        sub_id = create(service).payload["id"]
+        response = service.handle(
+            "GET", f"/subscriptions/{sub_id}/events?after=nope")
+        assert response.status == 400
+
+    def test_unknown_subscription_404(self, setup):
+        *__, service = setup
+        assert service.handle("GET",
+                              "/subscriptions/nope/events").status == 404
+
+    def test_sse_response_streams_frames(self, setup):
+        __, __, hound, service = setup
+        sub_id = create(service).payload["id"]
+        hound.load("hlx_enzyme")
+        response = service.handle(
+            "GET", f"/subscriptions/{sub_id}/events"
+                   f"?stream=sse&max_events=1&max_seconds=5")
+        assert response.status == 200
+        assert response.content_type.startswith("text/event-stream")
+        assert response.stream is not None
+        text = b"".join(response.stream).decode()
+        assert "id: 1\n" in text and '"origin": "full"' in text
+
+    def test_timeout_clamped_to_config_cap(self, setup):
+        *__, service = setup
+        service.config.subscription_poll_max_s = 0.2
+        sub_id = create(service).payload["id"]
+        started = time.perf_counter()
+        service.handle("GET",
+                       f"/subscriptions/{sub_id}/events?timeout=60")
+        assert time.perf_counter() - started < 2.0
+
+
+class TestLiveHttp:
+    def test_subscribe_poll_delete_over_sockets(self, setup):
+        __, __, hound, service = setup
+        server = ServiceServer(service, ("127.0.0.1", 0))
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            request = urllib.request.Request(
+                server.url + "/subscriptions", method="POST",
+                data=json.dumps({"query": QUERY}).encode(),
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert response.status == 201
+                sub_id = json.loads(response.read())["id"]
+            hound.load("hlx_enzyme")
+            with urllib.request.urlopen(
+                    server.url + f"/subscriptions/{sub_id}/events"
+                                 f"?timeout=5", timeout=10) as response:
+                page = json.loads(response.read())
+            assert len(page["events"]) == 1
+            request = urllib.request.Request(
+                server.url + f"/subscriptions/{sub_id}",
+                method="DELETE")
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert response.status == 200
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+
+    def test_sse_over_sockets(self, setup):
+        __, __, hound, service = setup
+        server = ServiceServer(service, ("127.0.0.1", 0))
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            request = urllib.request.Request(
+                server.url + "/subscriptions", method="POST",
+                data=json.dumps({"query": QUERY}).encode(),
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=10) as response:
+                sub_id = json.loads(response.read())["id"]
+            hound.load("hlx_enzyme")
+            with urllib.request.urlopen(
+                    server.url + f"/subscriptions/{sub_id}/events"
+                                 f"?stream=sse&max_events=1"
+                                 f"&max_seconds=5",
+                    timeout=10) as response:
+                assert response.headers["Content-Type"].startswith(
+                    "text/event-stream")
+                text = response.read().decode()
+            assert "id: 1\n" in text and "data: {" in text
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)

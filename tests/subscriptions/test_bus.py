@@ -1,0 +1,190 @@
+"""DeliveryBus — backpressure policies, subscriber isolation, and the
+no-stall guarantee for the publish path."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import EventLog, MetricsRegistry
+from repro.subscriptions import DeliveryBus, KeyedDelta
+
+
+def delta(n: int) -> KeyedDelta:
+    return KeyedDelta(source="hlx_enzyme", release=f"r{n}",
+                      origin="incremental",
+                      added=[((("a", "hlx_enzyme", f"k{n}"), ()), None)])
+
+
+@pytest.fixture
+def bus():
+    instance = DeliveryBus(workers=2, queue_max=4)
+    yield instance
+    instance.close()
+
+
+class TestDelivery:
+    def test_delivers_in_order_per_subscriber(self, bus):
+        seen = []
+        bus.register("s1", seen.append)
+        for n in range(10):
+            bus.publish(["s1"], delta(n))
+        assert bus.flush(timeout=5.0)
+        assert [d.release for d in seen] == [f"r{n}" for n in range(10)]
+
+    def test_fan_out_to_many_subscribers(self, bus):
+        counts = {f"s{i}": [] for i in range(5)}
+        for sub_id, sink in counts.items():
+            bus.register(sub_id, sink.append)
+        bus.publish(list(counts), delta(1))
+        assert bus.flush(timeout=5.0)
+        assert all(len(sink) == 1 for sink in counts.values())
+
+    def test_unregister_discards_queue(self, bus):
+        bus.register("s1", lambda d: None)
+        bus.unregister("s1")
+        assert bus.publish(["s1"], delta(1)) == 0
+        assert bus.subscriber_count == 0
+
+    def test_unknown_policy_rejected(self, bus):
+        with pytest.raises(ValueError):
+            bus.register("s1", lambda d: None, policy="bogus")
+
+
+class TestBackpressure:
+    def test_drop_oldest_never_stalls_publisher(self):
+        bus = DeliveryBus(workers=1, queue_max=2)
+        release = threading.Event()
+        seen = []
+
+        def slow(d):
+            release.wait(5.0)
+            seen.append(d)
+
+        bus.register("slow", slow, policy="drop_oldest")
+        started = time.perf_counter()
+        for n in range(20):
+            bus.publish(["slow"], delta(n))
+        publish_seconds = time.perf_counter() - started
+        assert publish_seconds < 1.0       # publisher was never blocked
+        release.set()
+        assert bus.flush(timeout=5.0)
+        stats = bus.stats()["slow"]
+        assert stats["dropped"] > 0
+        assert stats["delivered"] + stats["dropped"] == 20
+        # the newest delta always survives a drop
+        assert seen[-1].release == "r19"
+        bus.close()
+
+    def test_coalesce_folds_backlog_into_one_net_delta(self):
+        bus = DeliveryBus(workers=1, queue_max=4)
+        release = threading.Event()
+        seen = []
+
+        def slow(d):
+            release.wait(5.0)
+            seen.append(d)
+
+        bus.register("slow", slow, policy="coalesce")
+        bus.publish(["slow"], delta(0))    # worker picks this up, blocks
+        time.sleep(0.1)
+        for n in range(1, 6):
+            bus.publish(["slow"], delta(n))
+        release.set()
+        assert bus.flush(timeout=5.0)
+        stats = bus.stats()["slow"]
+        assert stats["coalesced"] == 4     # 5 queued folded into 1
+        # the in-flight delta plus one coalesced delta arrive
+        assert len(seen) == 2
+        assert seen[1].folded == 5
+        assert seen[1].origin == "coalesced"
+        # net effect preserved: all five distinct keys present
+        assert len(seen[1].added) == 5
+        bus.close()
+
+    def test_coalesce_cancellation_is_exact(self):
+        bus = DeliveryBus(workers=1, queue_max=4)
+        release = threading.Event()
+        seen = []
+
+        def slow(d):
+            release.wait(5.0)
+            seen.append(d)
+
+        key = (("a", "hlx_enzyme", "k1"), ())
+        add = KeyedDelta(source="s", release="r2", origin="incremental",
+                         added=[(key, None)])
+        remove = KeyedDelta(source="s", release="r3", origin="incremental",
+                            removed=[(key, None)])
+        bus.register("slow", slow, policy="coalesce")
+        bus.publish(["slow"], delta(0))    # occupy the worker
+        time.sleep(0.1)
+        bus.publish(["slow"], add)
+        bus.publish(["slow"], remove)
+        release.set()
+        assert bus.flush(timeout=5.0)
+        # add then remove of the same key nets to nothing
+        assert seen[1].added == [] and seen[1].removed == []
+        bus.close()
+
+    def test_block_policy_waits_for_room(self):
+        bus = DeliveryBus(workers=1, queue_max=1)
+        gate = threading.Event()
+        seen = []
+
+        def slow(d):
+            gate.wait(5.0)
+            seen.append(d)
+
+        bus.register("slow", slow, policy="block")
+        bus.publish(["slow"], delta(0))    # in flight, blocks worker
+        time.sleep(0.1)
+        bus.publish(["slow"], delta(1))    # fills the queue
+
+        def late_publish():
+            bus.publish(["slow"], delta(2))
+
+        publisher = threading.Thread(target=late_publish)
+        publisher.start()
+        time.sleep(0.2)
+        assert publisher.is_alive()        # blocked: queue is full
+        gate.set()
+        publisher.join(timeout=5.0)
+        assert not publisher.is_alive()
+        assert bus.flush(timeout=5.0)
+        assert len(seen) == 3              # lossless
+        bus.close()
+
+
+class TestIsolationAndMetrics:
+    def test_raising_subscriber_does_not_stop_the_bus(self):
+        registry = MetricsRegistry()
+        log = EventLog()
+        bus = DeliveryBus(workers=1, metrics=registry, events=log)
+        healthy = []
+        bus.register("bad", lambda d: (_ for _ in ()).throw(
+            RuntimeError("subscriber bug")))
+        bus.register("good", healthy.append)
+        bus.publish(["bad", "good"], delta(1))
+        bus.publish(["bad", "good"], delta(2))
+        assert bus.flush(timeout=5.0)
+        assert len(healthy) == 2
+        assert bus.stats()["bad"]["failed"] == 2
+        assert registry.get_counter("subscriptions.delivery_failed") == 2
+        failures = log.events("subscriptions.delivery_failed")
+        assert failures and failures[0].fields["subscriber"] == "bad"
+        bus.close()
+
+    def test_delivery_metrics(self):
+        registry = MetricsRegistry()
+        bus = DeliveryBus(workers=1, metrics=registry)
+        bus.register("s1", lambda d: None)
+        bus.publish(["s1"], delta(1))
+        assert bus.flush(timeout=5.0)
+        assert registry.get_counter("subscriptions.deliveries") == 1
+        assert registry.histogram("subscriptions.lag_seconds").count == 1
+        assert registry.histogram(
+            "subscriptions.delivery_seconds").count == 1
+        bus.close()

@@ -1,0 +1,258 @@
+"""Incremental view maintenance — equivalence with the full-refresh
+oracle across mutation sequences, fallback gates, and delta algebra."""
+
+from __future__ import annotations
+
+from repro.datahounds import InMemoryRepository
+from repro.engine import Warehouse
+from repro.subscriptions import KeyedDelta, StandingEvaluation, sources_of
+from repro.subscriptions.delta import ORIGIN_FULL, ORIGIN_INCREMENTAL
+from repro.synth import build_corpus, mutate_release
+from repro.xquery.parser import parse_query
+
+VALUES_QUERY = '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+RETURN $a//enzyme_id'''
+
+FILTER_QUERY = '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+WHERE contains($a//comment_list, "updated")
+RETURN $a//enzyme_id'''
+
+JOIN_QUERY = '''FOR $a IN document("hlx_embl.inv")/hlx_n_sequence/db_entry,
+    $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+WHERE $a//qualifier[@qualifier_type = "EC_number"] = $b/enzyme_id
+RETURN $Accession_Number = $a//embl_accession_number'''
+
+
+def make_setup(backend, seed=23, enzyme_count=25, embl_count=10,
+               sprot_count=5):
+    corpus = build_corpus(seed=seed, enzyme_count=enzyme_count,
+                          embl_count=embl_count, sprot_count=sprot_count)
+    repository = InMemoryRepository()
+    corpus.publish_to(repository, "r1")
+    warehouse = Warehouse(backend=backend)
+    hound = warehouse.connect(repository)
+    return corpus, repository, warehouse, hound
+
+
+class TestSourcesOf:
+    def test_document_bindings_resolve(self):
+        query = parse_query(JOIN_QUERY)
+        assert sources_of(query) == ["hlx_embl", "hlx_enzyme"]
+
+    def test_variable_only_bindings_fall_back_to_wildcard(self):
+        # parse-level legal even though the checker rejects it later:
+        # every binding re-roots on a variable, so no source resolves.
+        # The regression: this used to yield [] — a subscription that
+        # silently never fires. It must subscribe to "*" instead.
+        query = parse_query('FOR $b IN $a//db_entry RETURN $b/enzyme_id')
+        assert sources_of(query) == ["*"]
+
+    def test_duplicate_sources_deduped(self):
+        query = parse_query('''
+            FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry,
+                $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+            WHERE $a/enzyme_id = $b/enzyme_id
+            RETURN $a/enzyme_id''')
+        assert sources_of(query) == ["hlx_enzyme"]
+
+
+class TestIncrementalEqualsOracle:
+    """Property-style: after every mutation in a sequence covering
+    adds, modifies, removes, and a leave-then-re-enter entry, the
+    incrementally maintained snapshot is byte-identical to a
+    full-refresh oracle's."""
+
+    def drive(self, backend, query_text, releases, corpus=None,
+              seed=23):
+        if corpus is None:
+            corpus, repository, warehouse, hound = make_setup(
+                backend, seed=seed)
+        else:
+            repository = InMemoryRepository()
+            corpus.publish_to(repository, "r1")
+            warehouse = Warehouse(backend=backend)
+            hound = warehouse.connect(repository)
+        incremental = StandingEvaluation(warehouse, query_text)
+        oracle = StandingEvaluation(warehouse, query_text,
+                                    incremental=False)
+        events = []
+        hound.triggers.subscribe(events.append, "hlx_enzyme")
+        hound.load("hlx_enzyme")
+        hound.load("hlx_embl")
+        for event in events:
+            incremental.apply(event)
+            oracle.apply(event)
+        assert incremental.canonical() == oracle.canonical()
+        for round_no, text in enumerate(releases, start=2):
+            events.clear()
+            repository.publish("hlx_enzyme", f"r{round_no}", text)
+            hound.load("hlx_enzyme")
+            for event in events:
+                inc_delta = incremental.apply(event)
+                ora_delta = oracle.apply(event)
+                # the two paths must report the *same* delta, not just
+                # converge to the same snapshot
+                assert (sorted(key for key, __ in inc_delta.added)
+                        == sorted(key for key, __ in ora_delta.added))
+                assert (sorted(key for key, __ in inc_delta.removed)
+                        == sorted(key for key, __ in ora_delta.removed))
+            assert incremental.canonical() == oracle.canonical(), \
+                f"diverged at release r{round_no}"
+        warehouse.close()
+        return incremental, oracle
+
+    def test_values_query_over_mutation_sequence(self, backend):
+        corpus = build_corpus(seed=23, enzyme_count=25, embl_count=10,
+                              sprot_count=5)
+        releases = [
+            mutate_release(corpus.enzyme_text, seed=1,
+                           update_fraction=0.3, remove_fraction=0.1),
+            mutate_release(corpus.enzyme_text, seed=2,
+                           update_fraction=0.1, remove_fraction=0.3),
+            # every original entry returns: removed entries re-enter
+            corpus.enzyme_text,
+        ]
+        incremental, oracle = self.drive(backend, VALUES_QUERY, releases,
+                                         corpus=corpus)
+        assert incremental.incremental_refreshes > 0
+        assert oracle.incremental_refreshes == 0
+
+    def test_filter_query_entries_enter_and_leave(self, backend):
+        corpus = build_corpus(seed=23, enzyme_count=25, embl_count=10,
+                              sprot_count=5)
+        marked = mutate_release(corpus.enzyme_text, seed=3,
+                                update_fraction=0.4, remove_fraction=0.0)
+        releases = [
+            marked,              # entries gain the marker → enter
+            corpus.enzyme_text,  # markers gone → leave
+            marked,              # re-enter with identical rows
+        ]
+        incremental, __ = self.drive(backend, FILTER_QUERY, releases,
+                                     corpus=corpus)
+        assert incremental.incremental_refreshes > 0
+
+    def test_join_query_tracks_either_side(self, backend):
+        corpus, repository, warehouse, hound = make_setup(backend)
+        incremental = StandingEvaluation(warehouse, JOIN_QUERY)
+        oracle = StandingEvaluation(warehouse, JOIN_QUERY,
+                                    incremental=False)
+        events = []
+        hound.triggers.subscribe(events.append)   # both sources
+        hound.load("hlx_enzyme")
+        hound.load("hlx_embl")
+        repository.publish("hlx_enzyme", "r2",
+                           mutate_release(corpus.enzyme_text, seed=4,
+                                          update_fraction=0.2,
+                                          remove_fraction=0.2))
+        hound.load("hlx_enzyme")
+        repository.publish("hlx_embl", "r2",
+                           mutate_release(corpus.embl_text, seed=5,
+                                          update_fraction=0.2,
+                                          remove_fraction=0.2))
+        hound.load("hlx_embl")
+        for event in events:
+            incremental.apply(event)
+            oracle.apply(event)
+        assert incremental.canonical() == oracle.canonical()
+        assert incremental.incremental_refreshes > 0
+        warehouse.close()
+
+
+class TestFallbackGates:
+    def test_large_delta_falls_back_to_full(self, backend):
+        __, __, warehouse, hound = make_setup(backend)
+        evaluation = StandingEvaluation(warehouse, VALUES_QUERY,
+                                        incremental_max_keys=1)
+        events = []
+        hound.triggers.subscribe(events.append, "hlx_enzyme")
+        hound.load("hlx_enzyme")
+        delta = evaluation.apply(events[0])
+        # 25 added entries > max 1 key: must take the full path
+        assert delta.origin == ORIGIN_FULL
+        assert evaluation.incremental_refreshes == 0
+        warehouse.close()
+
+    def test_unprimed_evaluation_takes_full_path(self, backend):
+        __, __, warehouse, hound = make_setup(backend)
+        evaluation = StandingEvaluation(warehouse, VALUES_QUERY)
+        events = []
+        hound.triggers.subscribe(events.append, "hlx_enzyme")
+        hound.load("hlx_enzyme")
+        delta = evaluation.apply(events[0])
+        assert delta.origin == ORIGIN_FULL
+        warehouse.close()
+
+    def test_small_delta_after_priming_is_incremental(self, backend):
+        corpus, repository, warehouse, hound = make_setup(backend)
+        evaluation = StandingEvaluation(warehouse, VALUES_QUERY)
+        events = []
+        hound.triggers.subscribe(events.append, "hlx_enzyme")
+        hound.load("hlx_enzyme")
+        evaluation.apply(events[0])
+        events.clear()
+        repository.publish("hlx_enzyme", "r2",
+                           mutate_release(corpus.enzyme_text, seed=6,
+                                          update_fraction=0.1,
+                                          remove_fraction=0.05))
+        hound.load("hlx_enzyme")
+        delta = evaluation.apply(events[0])
+        assert delta.origin == ORIGIN_INCREMENTAL
+        warehouse.close()
+
+    def test_self_join_never_incremental(self, backend):
+        corpus, repository, warehouse, hound = make_setup(backend)
+        self_join = '''
+            FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry,
+                $b IN document("hlx_enzyme.DEFAULT")/hlx_enzyme/db_entry
+            WHERE $a/enzyme_id = $b/enzyme_id
+            RETURN $a/enzyme_id'''
+        evaluation = StandingEvaluation(warehouse, self_join)
+        events = []
+        hound.triggers.subscribe(events.append, "hlx_enzyme")
+        hound.load("hlx_enzyme")
+        evaluation.apply(events[0])
+        events.clear()
+        repository.publish("hlx_enzyme", "r2",
+                           mutate_release(corpus.enzyme_text, seed=7,
+                                          update_fraction=0.1,
+                                          remove_fraction=0.0))
+        hound.load("hlx_enzyme")
+        delta = evaluation.apply(events[0])
+        assert delta.origin == ORIGIN_FULL
+        warehouse.close()
+
+    def test_query_before_source_loaded_is_empty_not_error(self, backend):
+        __, __, warehouse, hound = make_setup(backend)
+        evaluation = StandingEvaluation(warehouse, VALUES_QUERY)
+        delta = evaluation.refresh_full()
+        assert delta.added == [] and delta.removed == []
+        assert evaluation.total_rows == 0
+        warehouse.close()
+
+
+class TestDeltaAlgebra:
+    def delta(self, added=(), removed=(), origin="incremental"):
+        return KeyedDelta(source="s", release="r", origin=origin,
+                          added=[(key, None) for key in added],
+                          removed=[(key, None) for key in removed])
+
+    def test_add_then_remove_cancels(self):
+        merged = self.delta(added=["k1"]).merge(self.delta(removed=["k1"]))
+        assert merged.added == [] and merged.removed == []
+        assert merged.folded == 2
+
+    def test_remove_then_add_cancels(self):
+        merged = self.delta(removed=["k1"]).merge(self.delta(added=["k1"]))
+        assert merged.added == [] and merged.removed == []
+
+    def test_disjoint_deltas_union(self):
+        merged = self.delta(added=["k1"]).merge(self.delta(added=["k2"]))
+        assert sorted(key for key, __ in merged.added) == ["k1", "k2"]
+
+    def test_merge_is_s2_minus_s0(self):
+        # S0={a}, S1={a,b}, S2={b,c}: merged must be +b +c -a
+        first = self.delta(added=["b"])
+        second = self.delta(added=["c"], removed=["a"])
+        merged = first.merge(second)
+        assert sorted(key for key, __ in merged.added) == ["b", "c"]
+        assert [key for key, __ in merged.removed] == ["a"]

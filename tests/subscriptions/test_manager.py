@@ -1,0 +1,237 @@
+"""SubscriptionManager — query dedupe, channel delivery, persistence
+across restarts, and lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datahounds import InMemoryRepository
+from repro.engine import Warehouse
+from repro.errors import ReproError
+from repro.obs import MetricsRegistry
+from repro.subscriptions import SubscriptionManager
+from repro.synth import build_corpus, mutate_release
+
+QUERY = '''FOR $a IN document("hlx_enzyme.DEFAULT")/hlx_enzyme
+RETURN $a//enzyme_id'''
+
+OTHER_QUERY = '''FOR $a IN document("hlx_sprot.all")/hlx_n_sequence
+RETURN $a//entry_name'''
+
+
+@pytest.fixture
+def setup(backend):
+    corpus = build_corpus(seed=31, enzyme_count=15, embl_count=5,
+                          sprot_count=6)
+    repository = InMemoryRepository()
+    corpus.publish_to(repository, "r1")
+    warehouse = Warehouse(backend=backend, metrics=MetricsRegistry())
+    hound = warehouse.connect(repository)
+    yield corpus, repository, warehouse, hound
+    warehouse.close()
+
+
+class TestDedupe:
+    def test_same_text_shares_one_evaluation(self, setup):
+        __, __, warehouse, __ = setup
+        manager = SubscriptionManager(warehouse)
+        first = manager.subscribe(QUERY, callback=lambda d: None)
+        second = manager.subscribe(QUERY, callback=lambda d: None)
+        third = manager.subscribe(OTHER_QUERY, callback=lambda d: None)
+        assert first.id != second.id
+        assert manager.evaluation_count == 2
+        assert (manager.evaluation_for(QUERY)
+                is not manager.evaluation_for(OTHER_QUERY))
+        assert third.query_text == OTHER_QUERY
+        manager.close()
+
+    def test_one_event_refreshes_shared_query_once(self, setup):
+        __, __, warehouse, hound = setup
+        manager = SubscriptionManager(warehouse)
+        sinks = [[], [], []]
+        for sink in sinks:
+            manager.subscribe(QUERY, callback=sink.append)
+        hound.load("hlx_enzyme")
+        assert manager.bus.flush(timeout=5.0)
+        evaluation = manager.evaluation_for(QUERY)
+        # primed once at subscribe (x1: shared), refreshed once on load
+        assert evaluation.refreshes == 2
+        # ...but every subscriber got its own delivery
+        assert all(len(sink) == 1 for sink in sinks)
+        manager.close()
+
+    def test_evaluation_dropped_with_last_subscriber(self, setup):
+        __, __, warehouse, __ = setup
+        manager = SubscriptionManager(warehouse)
+        first = manager.subscribe(QUERY, callback=lambda d: None)
+        second = manager.subscribe(QUERY, callback=lambda d: None)
+        manager.unsubscribe(first.id)
+        assert manager.evaluation_count == 1
+        manager.unsubscribe(second.id)
+        assert manager.evaluation_count == 0
+        manager.close()
+
+
+class TestChannels:
+    def test_channel_subscription_accumulates_events(self, setup):
+        corpus, repository, warehouse, hound = setup
+        manager = SubscriptionManager(warehouse)
+        subscription = manager.subscribe(QUERY)
+        hound.load("hlx_enzyme")
+        assert manager.bus.flush(timeout=5.0)
+        events, last_id = subscription.channel.poll(timeout=2.0)
+        assert last_id == 1
+        assert len(events) == 1
+        assert events[0][1]["added"]
+        # resume from the cursor: nothing new
+        events, __ = subscription.channel.poll(after=last_id)
+        assert events == []
+        # a comment-only update leaves the returned values unchanged —
+        # entries must actually leave for the result to change
+        repository.publish("hlx_enzyme", "r2",
+                           mutate_release(corpus.enzyme_text, seed=2,
+                                          update_fraction=0.0,
+                                          remove_fraction=0.3))
+        hound.load("hlx_enzyme")
+        assert manager.bus.flush(timeout=5.0)
+        events, last_id = subscription.channel.poll(after=last_id,
+                                                    timeout=2.0)
+        assert last_id == 2 and len(events) == 1
+        assert events[0][1]["removed"]
+        manager.close()
+
+    def test_unchanged_refresh_publishes_nothing(self, setup):
+        corpus, repository, warehouse, hound = setup
+        manager = SubscriptionManager(warehouse)
+        subscription = manager.subscribe(QUERY)
+        hound.load("hlx_enzyme")
+        # unrelated source: the evaluation never runs, nothing lands
+        hound.load("hlx_sprot")
+        assert manager.bus.flush(timeout=5.0)
+        events, last_id = subscription.channel.poll(timeout=2.0)
+        assert last_id == 1 and len(events) == 1
+        manager.close()
+
+    def test_ring_overflow_counts_lost(self, setup):
+        corpus, repository, warehouse, hound = setup
+        manager = SubscriptionManager(warehouse, channel_capacity=1)
+        subscription = manager.subscribe(QUERY)
+        hound.load("hlx_enzyme")
+        repository.publish("hlx_enzyme", "r2",
+                           mutate_release(corpus.enzyme_text, seed=3,
+                                          update_fraction=0.0,
+                                          remove_fraction=0.4))
+        hound.load("hlx_enzyme")
+        assert manager.bus.flush(timeout=5.0)
+        assert subscription.channel.lost == 1
+        events, last_id = subscription.channel.poll()
+        assert len(events) == 1 and last_id == 2
+        manager.close()
+
+
+class TestPersistence:
+    def test_subscriptions_survive_restart(self, setup):
+        corpus, repository, warehouse, hound = setup
+        manager = SubscriptionManager(warehouse)
+        kept = manager.subscribe(QUERY, subscription_id="durable-1")
+        manager.subscribe(OTHER_QUERY, subscription_id="ephemeral",
+                          persist=False)
+        manager.close()
+
+        # "restart": a new manager over the same backend
+        revived = SubscriptionManager(warehouse)
+        ids = [sub.id for sub in revived.subscriptions()]
+        assert ids == ["durable-1"]
+        restored = revived.get("durable-1")
+        assert restored.query_text == kept.query_text
+        assert restored.policy == kept.policy
+        assert restored.persisted
+        # and the restored registration is live: a load reaches it
+        hound.load("hlx_enzyme")
+        assert revived.bus.flush(timeout=5.0)
+        events, __ = restored.channel.poll(timeout=2.0)
+        assert events and events[0][1]["added"]
+        revived.close()
+
+    def test_unsubscribe_removes_persisted_row(self, setup):
+        __, __, warehouse, __ = setup
+        manager = SubscriptionManager(warehouse)
+        manager.subscribe(QUERY, subscription_id="durable-2")
+        assert manager.unsubscribe("durable-2")
+        manager.close()
+        revived = SubscriptionManager(warehouse)
+        assert revived.subscriptions() == []
+        revived.close()
+
+    def test_restore_skips_broken_rows(self, setup):
+        __, __, warehouse, __ = setup
+        manager = SubscriptionManager(warehouse)
+        manager.subscribe(QUERY, subscription_id="ok-1")
+        manager.close()
+        warehouse.backend.execute(
+            "INSERT INTO standing_subscriptions "
+            "(sub_id, query_text, policy, mode, created_at) "
+            "VALUES ('broken', 'NOT A QUERY', 'block', 'channel', 0)")
+        warehouse.backend.commit()
+        revived = SubscriptionManager(warehouse)
+        assert [sub.id for sub in revived.subscriptions()] == ["ok-1"]
+        failures = warehouse.events.events("subscriptions.restore_failed")
+        assert failures and failures[0].fields["sub_id"] == "broken"
+        revived.close()
+
+    def test_persist_disabled_writes_nothing(self, setup):
+        __, __, warehouse, __ = setup
+        manager = SubscriptionManager(warehouse, persist=False)
+        manager.subscribe(QUERY)
+        manager.close()
+        revived = SubscriptionManager(warehouse)
+        assert revived.subscriptions() == []
+        revived.close()
+
+
+class TestLifecycle:
+    def test_duplicate_id_rejected(self, setup):
+        __, __, warehouse, __ = setup
+        manager = SubscriptionManager(warehouse)
+        manager.subscribe(QUERY, subscription_id="dup")
+        with pytest.raises(ReproError):
+            manager.subscribe(QUERY, subscription_id="dup")
+        manager.close()
+
+    def test_bad_policy_rejected(self, setup):
+        __, __, warehouse, __ = setup
+        manager = SubscriptionManager(warehouse)
+        with pytest.raises(ReproError):
+            manager.subscribe(QUERY, policy="bogus")
+        manager.close()
+
+    def test_active_gauges_track_registrations(self, setup):
+        __, __, warehouse, __ = setup
+        registry = warehouse.metrics
+        manager = SubscriptionManager(warehouse)
+        first = manager.subscribe(QUERY)
+        manager.subscribe(QUERY)
+        assert registry.get_gauge_value("subscriptions.active") == 2
+        assert registry.get_gauge_value(
+            "subscriptions.standing_queries") == 1
+        manager.unsubscribe(first.id)
+        assert registry.get_gauge_value("subscriptions.active") == 1
+        manager.close()
+
+    def test_closed_manager_ignores_events(self, setup):
+        __, __, warehouse, hound = setup
+        manager = SubscriptionManager(warehouse)
+        subscription = manager.subscribe(QUERY)
+        manager.close()
+        hound.load("hlx_enzyme")
+        events, __ = subscription.channel.poll()
+        assert events == []
+
+    def test_stats_shape(self, setup):
+        __, __, warehouse, __ = setup
+        manager = SubscriptionManager(warehouse)
+        manager.subscribe(QUERY)
+        stats = manager.stats()
+        assert stats["subscribers"] == 1
+        assert stats["standing_queries"] == 1
+        manager.close()

@@ -98,3 +98,55 @@ class TestValueInQueries:
         # the executor keys the compiled-query cache on str(query);
         # the rendered text must at least be stable and distinct
         assert str(with_in_list(("a", "b"))) != str(with_in_list(("a",)))
+
+
+def with_entry_keys(keys):
+    query = parse_query(ENZYME_IDS)
+    atom = ValueIn(target=VarPath(var="b"), values=tuple(keys),
+                   on_entry_key=True)
+    return dataclasses.replace(query, where=atom)
+
+
+class TestEntryKeyValueIn:
+    """``on_entry_key`` — the subscription engine's delta restriction
+    (entries by durable key instead of values by text)."""
+
+    def test_restricts_binding_to_listed_entries(self, warehouse):
+        rows = warehouse.backend.execute(
+            "SELECT entry_key FROM documents WHERE source = 'hlx_enzyme' "
+            "ORDER BY entry_key")
+        keys = [row[0] for row in rows][:2]
+        query = with_entry_keys(keys)
+        from repro.translator.compile import compile_query
+        result = warehouse.xomatiq.execute(
+            compile_query(query, sequence_tags=warehouse.sequence_tags))
+        assert len(result.rows) == 2
+
+    def test_empty_key_list_matches_nothing(self, warehouse):
+        query = with_entry_keys(())
+        from repro.translator.compile import compile_query
+        result = warehouse.xomatiq.execute(
+            compile_query(query, sequence_tags=warehouse.sequence_tags))
+        assert result.rows == []
+
+    def test_unknown_keys_match_nothing(self, warehouse):
+        query = with_entry_keys(("NO/SUCH/ENTRY",))
+        from repro.translator.compile import compile_query
+        result = warehouse.xomatiq.execute(
+            compile_query(query, sequence_tags=warehouse.sequence_tags))
+        assert result.rows == []
+
+    def test_path_target_rejected(self):
+        from repro.errors import TranslationError
+        from repro.translator.compile import compile_query
+        query = parse_query(ENZYME_IDS)
+        atom = ValueIn(target=VarPath(var="b", path="enzyme_id"),
+                       values=("k",), on_entry_key=True)
+        bad = dataclasses.replace(query, where=atom)
+        with pytest.raises(TranslationError):
+            compile_query(bad)
+
+    def test_str_renders_entry_key_form(self):
+        atom = ValueIn(target=VarPath(var="b"), values=("k1", "k2"),
+                       on_entry_key=True)
+        assert "entry-key($b)" in str(atom)
